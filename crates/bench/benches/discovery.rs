@@ -1,0 +1,45 @@
+//! End-to-end discovery variants: exact vs. approximate, inter-relation
+//! on/off, order modes — the configuration-space cost profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use discoverxfd::approximate::discover_approximate_forest;
+use discoverxfd::driver::encode_only;
+use discoverxfd::{discover, DiscoveryConfig};
+use xfd_datagen::{warehouse_scaled, WarehouseSpec};
+use xfd_xml::OrderMode;
+
+fn bench_variants(c: &mut Criterion) {
+    let tree = warehouse_scaled(&WarehouseSpec {
+        states: 6,
+        stores_per_state: 4,
+        books_per_store: 12,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("discovery_variants");
+    group.sample_size(20);
+
+    group.bench_function("exact_full", |b| {
+        b.iter(|| discover(&tree, &DiscoveryConfig::default()))
+    });
+    group.bench_function("exact_intra_only", |b| {
+        let cfg = DiscoveryConfig {
+            inter_relation: false,
+            ..Default::default()
+        };
+        b.iter(|| discover(&tree, &cfg))
+    });
+    group.bench_function("exact_ordered", |b| {
+        let mut cfg = DiscoveryConfig::default();
+        cfg.encode.order = OrderMode::Ordered;
+        b.iter(|| discover(&tree, &cfg))
+    });
+    group.bench_function("approximate_eps_05", |b| {
+        let cfg = DiscoveryConfig::default();
+        let (_, forest) = encode_only(&tree, &cfg);
+        b.iter(|| discover_approximate_forest(&forest, &cfg, 0.05))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! XML substrate benchmarks: parse and encode rates on the XMark-like
+//! document (the fixed per-document cost ahead of discovery).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xfd_relation::{encode, EncodeConfig};
+use xfd_schema::infer_schema;
+use xfd_xml::{parse, to_xml_string};
+
+fn bench_parse(c: &mut Criterion) {
+    let tree = xfd_datagen::xmark_like(&xfd_datagen::XmarkSpec::with_scale(2.0));
+    let xml = to_xml_string(&tree);
+    let mut group = c.benchmark_group("xml");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("parse_xmark", |b| b.iter(|| parse(&xml).unwrap()));
+    group.bench_function("serialize_xmark", |b| b.iter(|| to_xml_string(&tree)));
+    let schema = infer_schema(&tree);
+    group.bench_function("infer_schema_xmark", |b| b.iter(|| infer_schema(&tree)));
+    group.bench_function("validate_stream_xmark", |b| {
+        b.iter(|| xfd_xml::stream::validate(&xml).unwrap())
+    });
+    let query: xfd_xml::Query = "/site//item[category='books']/name".parse().unwrap();
+    group.bench_function("query_xmark", |b| b.iter(|| query.select(&tree)));
+    group.bench_function("encode_xmark", |b| {
+        b.iter(|| encode(&tree, &schema, &EncodeConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

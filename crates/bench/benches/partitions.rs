@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the partition machinery (Sec 4.2 primitives).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xfd_partition::Partition;
+
+fn column(n: usize, domain: u64, offset: u64) -> Vec<Option<u64>> {
+    (0..n as u64)
+        .map(|i| Some((i * 2654435761 + offset) % domain))
+        .collect()
+}
+
+fn bench_from_column(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_from_column");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let col = column(n, 100, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &col, |b, col| {
+            b.iter(|| Partition::from_column(col))
+        });
+    }
+    group.finish();
+}
+
+fn bench_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_product");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let a = Partition::from_column(&column(n, 50, 0));
+        let b = Partition::from_column(&column(n, 70, 13));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| a.product(b)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_from_column, bench_product);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion counterpart of Fig 1: end-to-end discovery vs document size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use discoverxfd::{discover, DiscoveryConfig};
+use xfd_datagen::{warehouse_scaled, xmark_like, WarehouseSpec, XmarkSpec};
+
+fn bench_warehouse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discover_warehouse");
+    group.sample_size(10);
+    for &books in &[8usize, 16, 32] {
+        let tree = warehouse_scaled(&WarehouseSpec {
+            states: 6,
+            stores_per_state: 4,
+            books_per_store: books,
+            ..Default::default()
+        });
+        let cfg = DiscoveryConfig {
+            max_lhs_size: Some(3),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(books), &tree, |b, t| {
+            b.iter(|| discover(t, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_xmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discover_xmark");
+    group.sample_size(10);
+    for &scale in &[0.5f64, 1.0, 2.0] {
+        let tree = xmark_like(&XmarkSpec::with_scale(scale));
+        let cfg = DiscoveryConfig {
+            max_lhs_size: Some(3),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &tree, |b, t| {
+            b.iter(|| discover(t, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warehouse, bench_xmark);
+criterion_main!(benches);

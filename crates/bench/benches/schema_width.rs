@@ -1,0 +1,33 @@
+//! Criterion counterpart of Fig 2: lattice cost vs relation width,
+//! DiscoverXFD vs the flat baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use discoverxfd::baseline::{discover_flat, BaselineOptions};
+use discoverxfd::{discover, DiscoveryConfig};
+use xfd_datagen::{wide_relation, WideSpec};
+use xfd_schema::infer_schema;
+
+fn bench_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schema_width");
+    group.sample_size(10);
+    for &width in &[6usize, 10, 14] {
+        let tree = wide_relation(&WideSpec {
+            rows: 300,
+            width,
+            ..Default::default()
+        });
+        let schema = infer_schema(&tree);
+        group.bench_with_input(BenchmarkId::new("discoverxfd", width), &tree, |b, t| {
+            b.iter(|| discover(t, &DiscoveryConfig::default()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("flat_tane", width),
+            &(&tree, &schema),
+            |b, (t, s)| b.iter(|| discover_flat(t, s, &BaselineOptions::default()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_width);
+criterion_main!(benches);

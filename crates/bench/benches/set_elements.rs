@@ -1,0 +1,23 @@
+//! Criterion counterpart of Fig 4: the cost of set-element support.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use discoverxfd::{discover, DiscoveryConfig};
+use xfd_datagen::{dblp_like, DblpSpec};
+use xfd_relation::SetColumnMode;
+
+fn bench_sets(c: &mut Criterion) {
+    let tree = dblp_like(&DblpSpec::default());
+    let mut group = c.benchmark_group("set_elements");
+    group.sample_size(10);
+    for (mode, label) in [(SetColumnMode::All, "on"), (SetColumnMode::None, "off")] {
+        let mut cfg = DiscoveryConfig::default();
+        cfg.encode.set_columns = mode;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &tree, |b, t| {
+            b.iter(|| discover(t, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sets);
+criterion_main!(benches);

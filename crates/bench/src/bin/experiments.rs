@@ -1,0 +1,18 @@
+//! Regenerate every table and figure of the (reconstructed) evaluation.
+//!
+//! ```sh
+//! cargo run -p xfd-bench --release --bin experiments           # everything
+//! cargo run -p xfd-bench --release --bin experiments -- fig1   # one id
+//! ```
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let sections = xfd_bench::run_all(filter.as_deref());
+    if sections.is_empty() {
+        eprintln!("no experiment matches {filter:?} (ids: table1 table2 fig1..fig7)");
+        std::process::exit(1);
+    }
+    for s in sections {
+        println!("{}", s.render());
+    }
+}

@@ -1,0 +1,702 @@
+#![warn(missing_docs)]
+//! # xfd-bench
+//!
+//! The experiment harness: one function per table/figure of the
+//! (reconstructed) evaluation — see DESIGN.md's per-experiment index.
+//! `cargo run -p xfd-bench --release --bin experiments [-- <filter>]`
+//! prints the rows; the Criterion benches in `benches/` time the same
+//! sweeps with statistical rigor.
+
+use std::time::{Duration, Instant};
+
+use discoverxfd::baseline::{discover_flat, BaselineError, BaselineOptions};
+use discoverxfd::config::PruneConfig;
+use discoverxfd::{discover, DiscoveryConfig};
+use xfd_datagen::{
+    dblp_like, parallel_sets, standard_suite, warehouse_scaled, wide_relation, xmark_like,
+    DblpSpec, ParallelSetSpec, WarehouseSpec, WideSpec, XmarkSpec,
+};
+use xfd_relation::{encode, flatten, EncodeConfig, SetColumnMode};
+use xfd_schema::{infer_schema, SchemaMap};
+use xfd_xml::DataTree;
+
+/// A printable experiment section.
+pub struct Section {
+    /// Experiment id (e.g. "table1", "fig3").
+    pub id: &'static str,
+    /// Title line.
+    pub title: &'static str,
+    /// Column headers.
+    pub header: Vec<&'static str>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+    /// Commentary on the expected shape (the paper-claim being checked).
+    pub note: &'static str,
+}
+
+impl Section {
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let headers: Vec<String> = self.header.iter().map(|s| s.to_string()).collect();
+        let _ = writeln!(out, "{}", fmt_row(&headers));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        let _ = writeln!(out, "note: {}", self.note);
+        out
+    }
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Table 1: dataset characteristics.
+pub fn table1() -> Section {
+    let mut rows = Vec::new();
+    for ds in standard_suite() {
+        let stats = ds.tree.stats();
+        let schema = infer_schema(&ds.tree);
+        let map = SchemaMap::new(&schema);
+        let forest = encode(&ds.tree, &schema, &EncodeConfig::default());
+        let fstats = forest.stats();
+        rows.push(vec![
+            ds.name.to_string(),
+            stats.nodes.to_string(),
+            stats.max_depth.to_string(),
+            map.len().to_string(),
+            map.essential_pivots().len().to_string(),
+            fstats.relations.to_string(),
+            fstats.tuples.to_string(),
+            fstats.columns.to_string(),
+        ]);
+    }
+    Section {
+        id: "table1",
+        title: "dataset characteristics",
+        header: vec![
+            "dataset",
+            "nodes",
+            "depth",
+            "schema elems",
+            "set elems",
+            "relations",
+            "tuples",
+            "columns",
+        ],
+        rows,
+        note: "hierarchical relations stay narrow even for complex schemas (Sec 4.1)",
+    }
+}
+
+/// Table 2: discovery results per dataset.
+pub fn table2() -> Section {
+    let mut rows = Vec::new();
+    for ds in standard_suite() {
+        let report = discover(&ds.tree, &DiscoveryConfig::default());
+        let redundant: usize = report.redundancies.iter().map(|r| r.redundant_values).sum();
+        rows.push(vec![
+            ds.name.to_string(),
+            report.fds.len().to_string(),
+            report.keys.len().to_string(),
+            report.redundancies.len().to_string(),
+            redundant.to_string(),
+            report.lattice_stats.nodes_visited.to_string(),
+            ms(report.timings.total()),
+        ]);
+    }
+    Section {
+        id: "table2",
+        title: "discovery results per dataset (DiscoverXFD, default config)",
+        header: vec![
+            "dataset",
+            "FDs",
+            "keys",
+            "redundant FDs",
+            "red. values",
+            "nodes",
+            "ms",
+        ],
+        rows,
+        note: "real-life-shaped data carries discoverable redundancy; runtimes are interactive",
+    }
+}
+
+/// Table 3: per-relation breakdown on the XMark-like document — where the
+/// lattice work actually happens.
+pub fn table3() -> Section {
+    use discoverxfd::intra::{discover_intra, IntraOptions};
+    let tree = xmark_like(&XmarkSpec::with_scale(1.0));
+    let schema = infer_schema(&tree);
+    let forest = encode(&tree, &schema, &EncodeConfig::default());
+    let mut rows = Vec::new();
+    for rel in &forest.relations {
+        if rel.n_tuples() <= 1 {
+            continue;
+        }
+        let columns: Vec<&[Option<u64>]> = rel.columns.iter().map(|c| c.cells.as_slice()).collect();
+        let t0 = Instant::now();
+        let res = discover_intra(&columns, rel.n_tuples(), &IntraOptions::default());
+        rows.push(vec![
+            rel.name.clone(),
+            rel.n_tuples().to_string(),
+            rel.n_columns().to_string(),
+            res.stats.nodes_visited.to_string(),
+            res.fds.len().to_string(),
+            res.keys.len().to_string(),
+            ms(t0.elapsed()),
+        ]);
+    }
+    Section {
+        id: "table3",
+        title: "per-relation lattice work (xmark-like, intra only)",
+        header: vec!["relation", "tuples", "columns", "nodes", "FDs", "keys", "ms"],
+        rows,
+        note: "work concentrates in the widest relations (person, item); the hierarchical split keeps each lattice small — the structural advantage over the flat whole-schema lattice",
+    }
+}
+
+/// Fig 1: scalability with data size — DiscoverXFD vs flat+TANE.
+pub fn fig1() -> Section {
+    let mut rows = Vec::new();
+    let cfg = DiscoveryConfig {
+        max_lhs_size: Some(3),
+        ..Default::default()
+    };
+    let flat_opts = BaselineOptions {
+        max_rows: 2_000_000,
+        max_lhs: 3,
+        empty_lhs: true,
+    };
+    for &books in &[4usize, 8, 16, 32, 64] {
+        let tree = warehouse_scaled(&WarehouseSpec {
+            states: 6,
+            stores_per_state: 4,
+            books_per_store: books,
+            ..Default::default()
+        });
+        let (xfd_t, flat_t, flat_rows) = head_to_head(&tree, &cfg, &flat_opts);
+        rows.push(vec![
+            format!("warehouse books/store={books}"),
+            tree.node_count().to_string(),
+            ms(xfd_t),
+            flat_t,
+            flat_rows,
+        ]);
+    }
+    for &scale in &[0.5f64, 1.0, 2.0] {
+        let tree = xmark_like(&XmarkSpec::with_scale(scale));
+        let (xfd_t, flat_t, flat_rows) = head_to_head(&tree, &cfg, &flat_opts);
+        rows.push(vec![
+            format!("xmark scale={scale}"),
+            tree.node_count().to_string(),
+            ms(xfd_t),
+            flat_t,
+            flat_rows,
+        ]);
+    }
+    Section {
+        id: "fig1",
+        title: "runtime vs document size (max LHS 3): DiscoverXFD vs flat+TANE",
+        header: vec!["workload", "nodes", "DiscoverXFD ms", "flat+TANE ms", "flat rows"],
+        rows,
+        note: "DiscoverXFD scales near-linearly; the flat baseline degrades with document size and is INFEASIBLE on xmark (parallel set elements multiply its rows past any cap)",
+    }
+}
+
+fn head_to_head(
+    tree: &DataTree,
+    cfg: &DiscoveryConfig,
+    flat_opts: &BaselineOptions,
+) -> (Duration, String, String) {
+    let t0 = Instant::now();
+    let _ = discover(tree, cfg);
+    let xfd_t = t0.elapsed();
+    let schema = infer_schema(tree);
+    let t1 = Instant::now();
+    match discover_flat(tree, &schema, flat_opts) {
+        Ok(res) => (xfd_t, ms(t1.elapsed()), res.rows.to_string()),
+        Err(BaselineError::Flatten(_)) => (xfd_t, "DNF".into(), format!(">{}", flat_opts.max_rows)),
+        Err(BaselineError::TooWide { columns }) => {
+            (xfd_t, "DNF".into(), format!("{columns} cols > 128"))
+        }
+    }
+}
+
+/// Fig 2: scalability with schema complexity (attribute width).
+pub fn fig2() -> Section {
+    let mut rows = Vec::new();
+    for &width in &[4usize, 6, 8, 10, 12, 14] {
+        let tree = wide_relation(&WideSpec {
+            rows: 300,
+            width,
+            ..Default::default()
+        });
+        let cfg = DiscoveryConfig::default();
+        let t0 = Instant::now();
+        let report = discover(&tree, &cfg);
+        let xfd_t = t0.elapsed();
+        let schema = infer_schema(&tree);
+        let t1 = Instant::now();
+        let flat = discover_flat(&tree, &schema, &BaselineOptions::default()).expect("feasible");
+        let flat_t = t1.elapsed();
+        rows.push(vec![
+            width.to_string(),
+            report.lattice_stats.nodes_visited.to_string(),
+            ms(xfd_t),
+            flat.stats.nodes_visited.to_string(),
+            ms(flat_t),
+        ]);
+    }
+    Section {
+        id: "fig2",
+        title: "runtime vs schema width (one set element, 300 tuples)",
+        header: vec!["width", "XFD nodes", "XFD ms", "flat nodes", "flat ms"],
+        rows,
+        note: "both search an exponential lattice in relation width; the flat baseline additionally carries every OTHER schema element in the same lattice, so on real schemas (fig1) its width is the whole schema",
+    }
+}
+
+/// Fig 3: runtime vs the max-LHS-size bound.
+pub fn fig3() -> Section {
+    let tree = xmark_like(&XmarkSpec::with_scale(1.0));
+    let mut rows = Vec::new();
+    for level in 1..=6usize {
+        let cfg = DiscoveryConfig {
+            max_lhs_size: Some(level),
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let report = discover(&tree, &cfg);
+        rows.push(vec![
+            level.to_string(),
+            report.lattice_stats.nodes_visited.to_string(),
+            report.fds.len().to_string(),
+            report.keys.len().to_string(),
+            ms(t0.elapsed()),
+        ]);
+    }
+    Section {
+        id: "fig3",
+        title: "runtime vs max LHS size (xmark scale 1)",
+        header: vec!["max LHS", "nodes", "FDs", "keys", "ms"],
+        rows,
+        note: "cost grows with the level bound until key/FD pruning saturates the lattice",
+    }
+}
+
+/// Fig 4: cost and payoff of set-element support.
+pub fn fig4() -> Section {
+    let mut rows = Vec::new();
+    let datasets: Vec<(&str, DataTree)> = vec![
+        ("dblp-like", dblp_like(&DblpSpec::default())),
+        (
+            "warehouse-scaled",
+            warehouse_scaled(&WarehouseSpec {
+                states: 6,
+                stores_per_state: 4,
+                books_per_store: 12,
+                ..Default::default()
+            }),
+        ),
+    ];
+    for (name, tree) in datasets {
+        for (mode, label) in [(SetColumnMode::All, "on"), (SetColumnMode::None, "off")] {
+            let mut cfg = DiscoveryConfig::default();
+            cfg.encode.set_columns = mode;
+            let t0 = Instant::now();
+            let report = discover(&tree, &cfg);
+            rows.push(vec![
+                name.to_string(),
+                label.to_string(),
+                report.fds.len().to_string(),
+                report.redundancies.len().to_string(),
+                ms(t0.elapsed()),
+            ]);
+        }
+    }
+    Section {
+        id: "fig4",
+        title: "set-element support on/off",
+        header: vec!["dataset", "set columns", "FDs", "redundant FDs", "ms"],
+        rows,
+        note: "set-valued columns add modest cost and surface the Constraint-3/4 class of redundancies that prior notions miss entirely",
+    }
+}
+
+/// Fig 5: representation blow-up — flat vs hierarchical size.
+pub fn fig5() -> Section {
+    let mut rows = Vec::new();
+    for &parallel in &[1usize, 2, 3, 4, 5, 6] {
+        let tree = parallel_sets(&ParallelSetSpec {
+            records: 20,
+            parallel,
+            items_per_set: 3,
+            seed: 5,
+        });
+        let schema = infer_schema(&tree);
+        let forest = encode(&tree, &schema, &EncodeConfig::default());
+        let h = forest.stats();
+        let flat_cells = match flatten(&tree, &schema, 10_000_000) {
+            Ok(f) => (f.n_rows().to_string(), f.n_cells().to_string()),
+            Err(_) => ("DNF".into(), "DNF".into()),
+        };
+        rows.push(vec![
+            parallel.to_string(),
+            h.tuples.to_string(),
+            h.cells.to_string(),
+            flat_cells.0,
+            flat_cells.1,
+        ]);
+    }
+    Section {
+        id: "fig5",
+        title: "representation size vs parallel set elements (20 records × 3 items/set)",
+        header: vec!["parallel sets", "hier tuples", "hier cells", "flat rows", "flat cells"],
+        rows,
+        note: "flat rows grow as items^parallel per record (Sec 4.1: 'the total number of tuples would double'); hierarchical size grows linearly",
+    }
+}
+
+/// Fig 6: phase breakdown.
+pub fn fig6() -> Section {
+    let mut rows = Vec::new();
+    for &scale in &[0.5f64, 1.0, 2.0, 4.0] {
+        let tree = xmark_like(&XmarkSpec::with_scale(scale));
+        let report = discover(&tree, &DiscoveryConfig::default());
+        let t = report.timings;
+        rows.push(vec![
+            format!("{scale}"),
+            tree.node_count().to_string(),
+            ms(t.infer),
+            ms(t.encode),
+            ms(t.discover),
+            ms(t.redundancy),
+        ]);
+    }
+    Section {
+        id: "fig6",
+        title: "phase breakdown on xmark (ms)",
+        header: vec!["scale", "nodes", "infer", "encode", "discover", "redundancy"],
+        rows,
+        note: "encoding is linear in document size; discovery dominates and is governed by relation widths, not document size alone",
+    }
+}
+
+/// Fig 7: pruning-rule ablation.
+pub fn fig7() -> Section {
+    let tree = warehouse_scaled(&WarehouseSpec {
+        states: 6,
+        stores_per_state: 4,
+        books_per_store: 12,
+        ..Default::default()
+    });
+    let variants: Vec<(&str, PruneConfig)> = vec![
+        ("all rules", PruneConfig::default()),
+        (
+            "no rule1",
+            PruneConfig {
+                rule1: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no key prune",
+            PruneConfig {
+                key_prune: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no pruning",
+            PruneConfig {
+                rule1: false,
+                rule2: false,
+                key_prune: false,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, prune) in variants {
+        let cfg = DiscoveryConfig {
+            prune,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let report = discover(&tree, &cfg);
+        rows.push(vec![
+            label.to_string(),
+            report.lattice_stats.nodes_visited.to_string(),
+            report.lattice_stats.products.to_string(),
+            report.fds.len().to_string(),
+            ms(t0.elapsed()),
+        ]);
+    }
+    Section {
+        id: "fig7",
+        title: "pruning ablation (warehouse-scaled)",
+        header: vec!["variant", "nodes", "products", "FDs", "ms"],
+        rows,
+        note: "the Sec-4.2 rules cut lattice nodes and partition products substantially without changing the minimal FDs",
+    }
+}
+
+/// Fig 8 (extension): sibling-order sensitivity — the Section 4.5
+/// discussion the paper defers. With duplicates whose author *sequences*
+/// differ but author *sets* agree, ordered mode loses the set FDs.
+pub fn fig8() -> Section {
+    use xfd_xml::OrderMode;
+    let mut rows = Vec::new();
+    for (shuffled, label) in [
+        (false, "stable author order"),
+        (true, "shuffled author order"),
+    ] {
+        let tree = dblp_like(&DblpSpec {
+            shuffle_authors: shuffled,
+            ..Default::default()
+        });
+        for (order, olabel) in [
+            (OrderMode::Unordered, "unordered"),
+            (OrderMode::Ordered, "ordered"),
+        ] {
+            let mut cfg = DiscoveryConfig::default();
+            cfg.encode.order = order;
+            let t0 = Instant::now();
+            let report = discover(&tree, &cfg);
+            let set_fds = report
+                .fds
+                .iter()
+                .filter(|f| f.rhs.to_string() == "./author")
+                .count();
+            rows.push(vec![
+                label.to_string(),
+                olabel.to_string(),
+                set_fds.to_string(),
+                report.fds.len().to_string(),
+                ms(t0.elapsed()),
+            ]);
+        }
+    }
+    Section {
+        id: "fig8",
+        title: "order sensitivity (dblp-like): set FDs found per order mode",
+        header: vec!["data", "mode", "FDs with RHS ./author", "all FDs", "ms"],
+        rows,
+        note: "with reordered duplicates, list semantics loses every author-set dependency — the paper's rationale for choosing unordered sets (Sec 3.1 remark 4)",
+    }
+}
+
+/// Fig 9 (extension): approximate discovery under injected noise.
+pub fn fig9() -> Section {
+    use discoverxfd::approximate::discover_approximate_forest;
+    use xfd_relation::encode as encode_forest;
+    let mut rows = Vec::new();
+    for &noise in &[0.0f64, 0.02, 0.05, 0.10] {
+        let tree = warehouse_scaled(&WarehouseSpec {
+            states: 6,
+            stores_per_state: 4,
+            books_per_store: 12,
+            title_noise: noise,
+            ..Default::default()
+        });
+        let cfg = DiscoveryConfig::default();
+        let exact = discover(&tree, &cfg);
+        let exact_has = exact
+            .fds
+            .iter()
+            .any(|f| f.to_string() == "{./ISBN} -> ./title w.r.t. C_book");
+        let schema = infer_schema(&tree);
+        let forest = encode_forest(&tree, &schema, &cfg.encode);
+        let approx = discover_approximate_forest(&forest, &cfg, noise.max(0.001) * 2.0);
+        let approx_entry = approx
+            .iter()
+            .find(|(f, _)| f.to_string() == "{./ISBN} -> ./title w.r.t. C_book");
+        rows.push(vec![
+            format!("{:.0}%", noise * 100.0),
+            if exact_has { "yes" } else { "no" }.to_string(),
+            match approx_entry {
+                Some((_, err)) => format!("yes (g3={err:.3})"),
+                None => "no".to_string(),
+            },
+        ]);
+    }
+    Section {
+        id: "fig9",
+        title: "approximate FDs under title noise (warehouse, ISBN→title)",
+        header: vec!["noise", "exact finds it", "approximate finds it"],
+        rows,
+        note: "a single typo kills the exact FD; g3-approximate discovery (extension) recovers it with an error matching the injected noise rate",
+    }
+}
+
+/// Fig 10 (extension): sample-then-validate on the widest relation of a
+/// large warehouse — candidate generation on a sample, one-pass validation
+/// on the full data.
+pub fn fig10() -> Section {
+    use discoverxfd::intra::{discover_intra, IntraOptions};
+    use discoverxfd::sampling::{sampled_intra, SampleOptions};
+    // A wide relation with many tuples: the regime where candidate
+    // generation dominates and sampling pays.
+    let tree = wide_relation(&WideSpec {
+        rows: 20_000,
+        width: 10,
+        domain: 40,
+        derived_fraction: 0.3,
+        seed: 3,
+    });
+    let schema = infer_schema(&tree);
+    let forest = encode(&tree, &schema, &EncodeConfig::default());
+    let row_rel = forest
+        .relations
+        .iter()
+        .find(|r| r.name == "row")
+        .expect("row relation");
+    let columns: Vec<&[Option<u64>]> = row_rel.columns.iter().map(|c| c.cells.as_slice()).collect();
+    let n = row_rel.n_tuples();
+
+    let mut rows = Vec::new();
+    let t0 = Instant::now();
+    let exact = discover_intra(&columns, n, &IntraOptions::default());
+    rows.push(vec![
+        "exact".to_string(),
+        exact.fds.len().to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        ms(t0.elapsed()),
+    ]);
+    for stride in [2usize, 4, 8, 16] {
+        let t1 = Instant::now();
+        let res = sampled_intra(
+            &columns,
+            n,
+            &SampleOptions {
+                stride,
+                ..Default::default()
+            },
+        );
+        rows.push(vec![
+            format!("sample 1/{stride}"),
+            res.fds.len().to_string(),
+            res.rejected.to_string(),
+            res.repaired.to_string(),
+            ms(t1.elapsed()),
+        ]);
+    }
+    Section {
+        id: "fig10",
+        title: format!("sample-then-validate on a wide relation ({n} tuples)").leak(),
+        header: vec!["variant", "validated FDs", "rejected", "repaired", "ms"],
+        rows,
+        note: "an honest negative ablation: with partition caching the exact lattice already wins at these scales — validation rebuilds full partitions per candidate, so sample-then-validate only pays on much wider/taller relations; results stay sound either way (every validated FD is exact)",
+    }
+}
+
+/// Table 4 (extension): large-document stress — the full pipeline
+/// (serialize → parse → infer → encode → discover → redundancy) on
+/// XMark-like documents up to ~200k nodes.
+pub fn table4() -> Section {
+    use xfd_xml::{parse, to_xml_string};
+    let mut rows = Vec::new();
+    for &scale in &[8.0f64, 16.0, 32.0, 64.0] {
+        let tree = xmark_like(&XmarkSpec::with_scale(scale));
+        let xml = to_xml_string(&tree);
+        let t0 = Instant::now();
+        let reparsed = parse(&xml).expect("well-formed");
+        let parse_t = t0.elapsed();
+        let t1 = Instant::now();
+        let report = discover(
+            &reparsed,
+            &DiscoveryConfig {
+                max_lhs_size: Some(3),
+                ..Default::default()
+            },
+        );
+        let discover_t = t1.elapsed();
+        rows.push(vec![
+            format!("{scale}"),
+            reparsed.node_count().to_string(),
+            format!("{:.1} MB", xml.len() as f64 / 1e6),
+            ms(parse_t),
+            ms(discover_t),
+            report.fds.len().to_string(),
+            report.redundancies.len().to_string(),
+        ]);
+    }
+    Section {
+        id: "table4",
+        title: "large-document stress (xmark-like, full pipeline, max LHS 3)",
+        header: vec![
+            "scale",
+            "nodes",
+            "XML size",
+            "parse ms",
+            "discover ms",
+            "FDs",
+            "red. FDs",
+        ],
+        rows,
+        note: "both parsing and discovery stay near-linear into the hundreds of thousands of nodes",
+    }
+}
+
+/// All sections, optionally filtered by id substring.
+pub fn run_all(filter: Option<&str>) -> Vec<Section> {
+    let all: Vec<fn() -> Section> = vec![
+        table1, table2, table3, table4, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
+    ];
+    all.into_iter()
+        .map(|f| f())
+        .filter(|s| filter.is_none_or(|f| s.id.contains(f)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_section_renders_with_rows() {
+        // Smoke: the cheap sections run end to end.
+        for s in [table1(), fig5()] {
+            assert!(!s.rows.is_empty());
+            let text = s.render();
+            assert!(text.contains(s.id));
+        }
+    }
+
+    #[test]
+    fn fig5_shows_the_multiplicative_blowup() {
+        let s = fig5();
+        // flat rows at k=1 vs k=3: 3^1*20=60 vs 3^3*20=540.
+        let rows1: usize = s.rows[0][3].parse().unwrap();
+        let rows3: usize = s.rows[2][3].parse().unwrap();
+        assert_eq!(rows1, 60);
+        assert_eq!(rows3, 540);
+        // hierarchical grows linearly: 20 + 20*3*k tuples + root.
+        let h1: usize = s.rows[0][1].parse().unwrap();
+        let h3: usize = s.rows[2][1].parse().unwrap();
+        assert!(h3 < h1 * 4);
+    }
+}

@@ -1,0 +1,408 @@
+//! `discoverxfd` — command-line interface to the DiscoverXFD system.
+//!
+//! Subcommands: `discover` (FDs/keys/redundancies, with `--approx`,
+//! `--inds`, `--json`/`--markdown`, `--suggest`), `check` (verify one FD
+//! with witnesses), `normalize` (XNF refactoring), `diff` (schema +
+//! constraint drift), `select` (XPath-lite), `profile` (column stats),
+//! `schema` (nested representation or `--xsd`), `encode` (Figure 6 view),
+//! `flat` (the Section 4.1 baseline), `dot` (Graphviz) and `gen`
+//! (datasets). Run with no arguments for the full usage text.
+
+use std::process::ExitCode;
+
+use discoverxfd::approximate::discover_approximate_forest;
+use discoverxfd::baseline::{discover_flat, BaselineOptions};
+use discoverxfd::report::{render_markdown, render_text, RenderOptions};
+use discoverxfd::{discover_with_schema, DiscoveryConfig};
+use xfd_datagen as datagen;
+use xfd_relation::{encode, EncodeConfig, OrderMode, SetColumnMode};
+use xfd_schema::{infer_schema, nested_representation};
+use xfd_xml::{parse, to_xml_string, DataTree};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  discoverxfd discover <file.xml> [--max-lhs N] [--no-sets] [--no-inter] [--ordered]
+                                  [--approx EPS] [--inds] [--cover] [--keep-uninteresting]
+                                  [--suggest] [--markdown|--json]
+  discoverxfd schema   <file.xml> [--xsd]
+  discoverxfd encode   <file.xml>
+  discoverxfd flat     <file.xml> [--max-rows N] [--max-lhs N]
+  discoverxfd gen      <warehouse|xmark|dblp|psd|mondial> [--scale F] [--seed N]
+  discoverxfd check    <file.xml> \"{./lhs, ...} -> ./rhs w.r.t. C_class\"
+  discoverxfd normalize <file.xml> [--max-rounds N]   (writes refactored XML to stdout)
+  discoverxfd dot      <file.xml> [--fds]             (Graphviz of the forest, or the FD graph)
+  discoverxfd diff     <old.xml> <new.xml>            (constraint drift between versions)
+  discoverxfd select   <file.xml> \"/site//item[category='books']/name\"
+  discoverxfd profile  <file.xml>                     (column statistics)";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "discover" => cmd_discover(rest),
+        "schema" => cmd_schema(rest),
+        "encode" => cmd_encode(rest),
+        "flat" => cmd_flat(rest),
+        "gen" => cmd_gen(rest),
+        "check" => cmd_check(rest),
+        "normalize" => cmd_normalize(rest),
+        "dot" => cmd_dot(rest),
+        "diff" => cmd_diff(rest),
+        "select" => cmd_select(rest),
+        "profile" => cmd_profile(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<DataTree, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_value<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} requires a value"))?;
+            return v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("invalid value for {name}: {v:?}"));
+        }
+    }
+    Ok(None)
+}
+
+fn positional(args: &[String], idx: usize) -> Result<&str, String> {
+    args.iter()
+        .filter(|a| !a.starts_with("--"))
+        // Values of --opts also don't start with --, but all our value
+        // options are numeric; positional paths come first in practice.
+        .nth(idx)
+        .map(String::as_str)
+        .ok_or_else(|| "missing argument".to_string())
+}
+
+fn cmd_discover(args: &[String]) -> Result<(), String> {
+    let tree = load(positional(args, 0)?)?;
+    let mut config = DiscoveryConfig {
+        max_lhs_size: opt_value::<usize>(args, "--max-lhs")?,
+        inter_relation: !flag(args, "--no-inter"),
+        keep_uninteresting: flag(args, "--keep-uninteresting"),
+        ..Default::default()
+    };
+    if flag(args, "--no-sets") {
+        config.encode.set_columns = SetColumnMode::None;
+    }
+    if flag(args, "--ordered") {
+        config.encode.order = OrderMode::Ordered;
+    }
+    let schema = infer_schema(&tree);
+    let report = discover_with_schema(&tree, &schema, &config);
+
+    let opts = RenderOptions {
+        show_uninteresting: config.keep_uninteresting,
+        show_suggestions: flag(args, "--suggest"),
+        show_stats: true,
+    };
+    if flag(args, "--json") {
+        print!("{}", discoverxfd::report::render_json(&report));
+    } else if flag(args, "--markdown") {
+        print!("{}", render_markdown(&report, &opts));
+    } else {
+        println!("# Schema\n{}", nested_representation(&schema));
+        print!("{}", render_text(&report, &opts));
+    }
+    if let Some(eps) = opt_value::<f64>(args, "--approx")? {
+        let forest = encode(&tree, &schema, &config.encode);
+        let approx = discover_approximate_forest(&forest, &config, eps);
+        println!("\n# Approximate FDs (g3 error <= {eps})");
+        for (fd, err) in approx {
+            println!("  {fd}  [error {err:.4}]");
+        }
+    }
+    if flag(args, "--inds") {
+        use discoverxfd::inclusion::{discover_inds, IndOptions};
+        let forest = encode(&tree, &schema, &config.encode);
+        let inds = discover_inds(&forest, &IndOptions::default());
+        println!("\n# Inclusion dependencies (reference candidates)");
+        for ind in inds {
+            println!("  {ind}");
+        }
+    }
+    if flag(args, "--cover") {
+        use discoverxfd::cover::canonical_cover;
+        use discoverxfd::interesting::intra_fd_to_xfd;
+        use discoverxfd::xfd::discover_forest;
+        let forest = encode(&tree, &schema, &config.encode);
+        let disc = discover_forest(&forest, &config);
+        println!("\n# Canonical covers (per tuple class, intra-relation FDs)");
+        for rd in &disc.relations {
+            if forest.relation(rd.rel).parent.is_none() || rd.fds.is_empty() {
+                continue;
+            }
+            for fd in canonical_cover(&rd.fds) {
+                println!("  {}", intra_fd_to_xfd(&forest, rd.rel, &fd));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_schema(args: &[String]) -> Result<(), String> {
+    let tree = load(positional(args, 0)?)?;
+    let schema = infer_schema(&tree);
+    if flag(args, "--xsd") {
+        print!("{}", xfd_schema::xsd::to_xsd(&schema));
+    } else {
+        print!("{}", nested_representation(&schema));
+    }
+    Ok(())
+}
+
+fn cmd_encode(args: &[String]) -> Result<(), String> {
+    let tree = load(positional(args, 0)?)?;
+    let schema = infer_schema(&tree);
+    let forest = encode(&tree, &schema, &EncodeConfig::default());
+    print!("{}", forest.render());
+    let stats = forest.stats();
+    println!(
+        "({} relations, {} tuples, {} columns, {} cells)",
+        stats.relations, stats.tuples, stats.columns, stats.cells
+    );
+    Ok(())
+}
+
+fn cmd_flat(args: &[String]) -> Result<(), String> {
+    let tree = load(positional(args, 0)?)?;
+    let schema = infer_schema(&tree);
+    let options = BaselineOptions {
+        max_rows: opt_value::<usize>(args, "--max-rows")?.unwrap_or(1_000_000),
+        max_lhs: opt_value::<usize>(args, "--max-lhs")?.unwrap_or(usize::MAX),
+        empty_lhs: true,
+    };
+    let res = discover_flat(&tree, &schema, &options).map_err(|e| e.to_string())?;
+    println!(
+        "# Flat relation: {} rows x {} columns",
+        res.rows, res.columns
+    );
+    println!("# FDs ({})", res.fds.len());
+    for fd in &res.fds {
+        println!("  {fd}");
+    }
+    println!("# Keys ({})", res.keys.len());
+    for k in &res.keys {
+        println!("  {{{}}}", k.join(", "));
+    }
+    println!(
+        "# Stats: {} lattice nodes, flatten {:?}, discover {:?}",
+        res.stats.nodes_visited, res.flatten_time, res.discover_time
+    );
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    use discoverxfd::verify::{verify_fd, FdSpec};
+    let tree = load(positional(args, 0)?)?;
+    let expr = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .ok_or("missing FD expression")?;
+    let spec: FdSpec = expr.parse().map_err(|e| format!("{e}"))?;
+    let schema = infer_schema(&tree);
+    let forest = encode(&tree, &schema, &EncodeConfig::default());
+    let report = verify_fd(&forest, &spec, 10).map_err(|e| e.to_string())?;
+    if report.holds {
+        println!("HOLDS over {} tuples", report.tuples);
+        if report.lhs_is_key {
+            println!("(the LHS is also an XML Key: no two tuples agree on it)");
+        } else {
+            println!("(the LHS is NOT a key: the FD indicates redundancy, Definition 11)");
+        }
+    } else {
+        println!("VIOLATED — witnesses (pivot node keys):");
+        for v in &report.violations {
+            println!("  nodes {} and {}", v.node1.0, v.node2.0);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    use discoverxfd::profile::{profile, render};
+    let tree = load(positional(args, 0)?)?;
+    let schema = infer_schema(&tree);
+    let forest = encode(&tree, &schema, &EncodeConfig::default());
+    print!("{}", render(&profile(&forest)));
+    Ok(())
+}
+
+fn cmd_select(args: &[String]) -> Result<(), String> {
+    let tree = load(positional(args, 0)?)?;
+    let query_str = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .ok_or("missing query expression")?;
+    let query: xfd_xml::Query = query_str.parse().map_err(|e| format!("{e}"))?;
+    let matches = query.select(&tree);
+    for n in &matches {
+        let path = tree.label_path(*n).join("/");
+        match tree.value(*n) {
+            Some(v) => println!("[{}] /{}  = {:?}", n.0, path, v),
+            None => println!(
+                "[{}] /{}  ({} children)",
+                n.0,
+                path,
+                tree.children(*n).len()
+            ),
+        }
+    }
+    eprintln!("{} match(es)", matches.len());
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    use discoverxfd::diff::diff_reports;
+    let old_tree = load(positional(args, 0)?)?;
+    let new_tree = load(positional(args, 1)?)?;
+    let cfg = DiscoveryConfig::default();
+    let old_schema = infer_schema(&old_tree);
+    let new_schema = infer_schema(&new_tree);
+    let schema_changes = xfd_schema::diff::diff_schemas(&old_schema, &new_schema);
+    if !schema_changes.is_empty() {
+        println!("# Schema changes");
+        for c in &schema_changes {
+            println!("  {c}");
+        }
+        println!();
+    }
+    let old = discover_with_schema(&old_tree, &old_schema, &cfg);
+    let new = discover_with_schema(&new_tree, &new_schema, &cfg);
+    print!("{}", diff_reports(&old, &new));
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    use discoverxfd::graphviz::{fds_to_dot, forest_to_dot};
+    let tree = load(positional(args, 0)?)?;
+    let schema = infer_schema(&tree);
+    if flag(args, "--fds") {
+        let report = discover_with_schema(&tree, &schema, &DiscoveryConfig::default());
+        print!("{}", fds_to_dot(&report));
+    } else {
+        let forest = encode(&tree, &schema, &EncodeConfig::default());
+        print!("{}", forest_to_dot(&forest));
+    }
+    Ok(())
+}
+
+fn cmd_normalize(args: &[String]) -> Result<(), String> {
+    use discoverxfd::normalize::normalize_fully;
+    let tree = load(positional(args, 0)?)?;
+    let rounds = opt_value::<usize>(args, "--max-rounds")?.unwrap_or(10);
+    let (normalized, log) = normalize_fully(&tree, &DiscoveryConfig::default(), rounds);
+    for r in &log {
+        eprintln!(
+            "applied: {}  ({} -> {} redundant values)",
+            r.applied, r.redundant_before, r.redundant_after
+        );
+    }
+    eprintln!(
+        "{} rounds; {} nodes -> {} nodes",
+        log.len(),
+        tree.node_count(),
+        normalized.node_count()
+    );
+    print!("{}", to_xml_string(&normalized));
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let which = positional(args, 0)?;
+    let scale = opt_value::<f64>(args, "--scale")?.unwrap_or(1.0);
+    let seed = opt_value::<u64>(args, "--seed")?;
+    let tree = match which {
+        "warehouse" => {
+            if scale <= 1.0 {
+                datagen::warehouse_figure1()
+            } else {
+                let mut spec = datagen::WarehouseSpec {
+                    states: (4.0 * scale) as usize,
+                    stores_per_state: 3,
+                    books_per_store: (8.0 * scale) as usize,
+                    ..Default::default()
+                };
+                if let Some(s) = seed {
+                    spec.seed = s;
+                }
+                datagen::warehouse_scaled(&spec)
+            }
+        }
+        "xmark" => {
+            let mut spec = datagen::XmarkSpec::with_scale(scale);
+            if let Some(s) = seed {
+                spec.seed = s;
+            }
+            datagen::xmark_like(&spec)
+        }
+        "dblp" => {
+            let mut spec = datagen::DblpSpec {
+                articles: (150.0 * scale) as usize,
+                inproceedings: (100.0 * scale) as usize,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                spec.seed = s;
+            }
+            datagen::dblp_like(&spec)
+        }
+        "psd" => {
+            let mut spec = datagen::ProteinSpec {
+                entries: (80.0 * scale) as usize,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                spec.seed = s;
+            }
+            datagen::protein_like(&spec)
+        }
+        "mondial" => {
+            let mut spec = datagen::MondialSpec {
+                countries: (15.0 * scale) as usize,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                spec.seed = s;
+            }
+            datagen::mondial_like(&spec)
+        }
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    print!("{}", to_xml_string(&tree));
+    Ok(())
+}

@@ -1,0 +1,255 @@
+//! End-to-end tests of the `discoverxfd` binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_discoverxfd"))
+}
+
+fn write_warehouse() -> tempfile_lite::TempPath {
+    let gen = bin().args(["gen", "warehouse"]).output().expect("gen runs");
+    assert!(gen.status.success());
+    tempfile_lite::write("discoverxfd-cli-test.xml", &gen.stdout)
+}
+
+/// A tiny self-contained temp-file helper (std-only; avoids a dependency).
+mod tempfile_lite {
+    use std::path::PathBuf;
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    pub fn write(name: &str, contents: &[u8]) -> TempPath {
+        let mut p = std::env::temp_dir();
+        p.push(format!("{}-{}", std::process::id(), name));
+        std::fs::write(&p, contents).expect("temp write");
+        TempPath(p)
+    }
+}
+
+#[test]
+fn gen_produces_parseable_xml() {
+    let out = bin().args(["gen", "warehouse"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("<warehouse>"));
+    xfd_xml::parse(&text).expect("generated XML parses");
+}
+
+#[test]
+fn discover_reports_the_paper_fds() {
+    let file = write_warehouse();
+    let out = bin()
+        .args(["discover", file.0.to_str().unwrap(), "--suggest"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("{./ISBN} -> ./title w.r.t. C_book"), "{text}");
+    assert!(
+        text.contains("{./ISBN} -> ./author w.r.t. C_book"),
+        "{text}"
+    );
+    assert!(text.contains("# Redundancies"), "{text}");
+    assert!(text.contains("# Refinement suggestions"), "{text}");
+}
+
+#[test]
+fn schema_subcommand_prints_figure_2() {
+    let file = write_warehouse();
+    let out = bin()
+        .args(["schema", file.0.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("author: SetOf str"), "{text}");
+    assert!(text.contains("store: SetOf Rcd"), "{text}");
+}
+
+#[test]
+fn flat_subcommand_runs() {
+    let file = write_warehouse();
+    let out = bin()
+        .args(["flat", file.0.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("# Flat relation: 7 rows"), "{text}");
+}
+
+#[test]
+fn approx_flag_reports_errors() {
+    let file = write_warehouse();
+    let out = bin()
+        .args(["discover", file.0.to_str().unwrap(), "--approx", "0.5"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("# Approximate FDs"), "{text}");
+    assert!(
+        text.contains("error 0.0000"),
+        "exact FDs appear with zero error: {text}"
+    );
+}
+
+#[test]
+fn check_subcommand_verifies_fds() {
+    let file = write_warehouse();
+    let holds = bin()
+        .args([
+            "check",
+            file.0.to_str().unwrap(),
+            "{./ISBN} -> ./title w.r.t. C_book",
+        ])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(holds.stdout).unwrap();
+    assert!(text.contains("HOLDS"), "{text}");
+    assert!(text.contains("NOT a key"), "{text}");
+
+    let violated = bin()
+        .args([
+            "check",
+            file.0.to_str().unwrap(),
+            "{./ISBN} -> ./price w.r.t. C_book",
+        ])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(violated.stdout).unwrap();
+    assert!(text.contains("VIOLATED"), "{text}");
+}
+
+#[test]
+fn select_subcommand_queries_documents() {
+    let file = write_warehouse();
+    let out = bin()
+        .args([
+            "select",
+            file.0.to_str().unwrap(),
+            "//store[contact/name='Borders']/book/title",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 3, "{text}");
+    assert!(text.contains("\"DBMS\""), "{text}");
+}
+
+#[test]
+fn diff_subcommand_reports_drift() {
+    let file = write_warehouse();
+    let out = bin()
+        .args(["diff", file.0.to_str().unwrap(), file.0.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("no constraint drift"), "{text}");
+}
+
+#[test]
+fn json_output_is_emitted() {
+    let file = write_warehouse();
+    let out = bin()
+        .args(["discover", file.0.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert!(text.contains("\"fds\""), "{text}");
+    assert!(
+        !text.contains("# Schema"),
+        "json mode suppresses text output"
+    );
+}
+
+#[test]
+fn cover_flag_reduces_the_fd_list() {
+    let file = write_warehouse();
+    let out = bin()
+        .args(["discover", file.0.to_str().unwrap(), "--cover"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("# Canonical covers"), "{text}");
+    // The cover for C_book is smaller than the full minimal-FD list
+    // (e.g. title→author follows from title→ISBN and ISBN→author).
+    let full = text
+        .lines()
+        .skip_while(|l| !l.starts_with("# Interesting"))
+        .take_while(|l| !l.starts_with("# XML Keys"))
+        .filter(|l| l.contains("w.r.t. C_book"))
+        .count();
+    let cover = text
+        .lines()
+        .skip_while(|l| !l.starts_with("# Canonical covers"))
+        .filter(|l| l.contains("w.r.t. C_book"))
+        .count();
+    assert!(cover > 0, "{text}");
+    assert!(cover < full, "cover {cover} !< full {full}:\n{text}");
+}
+
+#[test]
+fn dot_subcommand_renders_graphs() {
+    let file = write_warehouse();
+    let forest = bin()
+        .args(["dot", file.0.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(forest.stdout).unwrap();
+    assert!(text.starts_with("digraph forest"), "{text}");
+    let fds = bin()
+        .args(["dot", file.0.to_str().unwrap(), "--fds"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(fds.stdout).unwrap();
+    assert!(text.starts_with("digraph fds"), "{text}");
+}
+
+#[test]
+fn normalize_subcommand_emits_refactored_xml() {
+    let file = write_warehouse();
+    let out = bin()
+        .args(["normalize", file.0.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let xml = String::from_utf8(out.stdout).unwrap();
+    let log = String::from_utf8(out.stderr).unwrap();
+    assert!(log.contains("applied:"), "{log}");
+    let tree = xfd_xml::parse(&xml).expect("normalized output parses");
+    assert!(
+        "/warehouse/book_info"
+            .parse::<xfd_xml::Path>()
+            .unwrap()
+            .resolve_all(&tree)
+            .len()
+            >= 2,
+        "extracted book_info elements expected:\n{xml}"
+    );
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = bin().args(["bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = bin()
+        .args(["discover", "/nonexistent/x.xml"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read"), "{err}");
+}

@@ -1,0 +1,283 @@
+//! Approximate XML FDs — an extension for *dirty* casually-designed data.
+//!
+//! Real casually-authored XML (the paper's motivating scenario) often
+//! contains a handful of entry errors that break an otherwise-intended
+//! dependency; exact discovery then reports nothing. Following the `g₃`
+//! error measure of Kivinen & Mannila (as used by TANE), an FD
+//! `LHS → RHS` holds *approximately at error ε* iff removing at most
+//! `ε·n` tuples makes it exact:
+//!
+//! ```text
+//! g₃(LHS → RHS) = 1 − (Σ over groups g of Π_LHS: max |g ∩ g'| over
+//!                      groups g' of Π_{LHS∪RHS}) / n
+//! ```
+//!
+//! Tuples with ⊥ in the LHS are exempt (they agree with nothing, strong
+//! satisfaction), and a ⊥ RHS counts as violating (Definition 7 requires a
+//! non-null RHS), consistent with the exact semantics.
+
+use std::collections::HashMap;
+
+use xfd_partition::{AttrSet, GroupMap, Partition};
+use xfd_relation::{Forest, RelId};
+
+use crate::config::DiscoveryConfig;
+use crate::fd::Xfd;
+use crate::interesting::{fd_is_interesting, intra_fd_to_xfd};
+use crate::lattice::IntraFd;
+
+/// An approximately-satisfied FD with its `g₃` error.
+#[derive(Debug, Clone)]
+pub struct ApproxFd {
+    /// LHS attribute set.
+    pub lhs: AttrSet,
+    /// RHS attribute index.
+    pub rhs: usize,
+    /// The `g₃` error in `[0, 1)`; 0 means exactly satisfied.
+    pub error: f64,
+}
+
+/// Compute `g₃` for `Π_LHS` vs `Π_{LHS∪RHS}` over `n` tuples.
+///
+/// Both partitions are stripped; a tuple of a `Π_LHS` group that is a
+/// stripped singleton of the product (unique or ⊥ RHS) can only "keep"
+/// itself, which falls out of the max-subgroup computation naturally.
+pub fn g3_error(pl: &Partition, pa: &Partition, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let gm = GroupMap::new(pa);
+    let mut removed = 0usize;
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for g in pl.groups() {
+        counts.clear();
+        let mut singles = 0usize;
+        for &t in g {
+            match gm.group_of(t) {
+                Some(sub) => *counts.entry(sub).or_insert(0) += 1,
+                None => singles += 1,
+            }
+        }
+        let keep = counts
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(usize::from(singles > 0));
+        removed += g.len() - keep;
+    }
+    removed as f64 / n as f64
+}
+
+/// Discover minimal approximate FDs (error ≤ `epsilon`) over one table.
+///
+/// Exactly-satisfied FDs are included with error 0. Minimality is with
+/// respect to the same RHS: a superset LHS is only reported if no reported
+/// subset exists.
+pub fn discover_approximate(
+    columns: &[&[Option<u64>]],
+    n_tuples: usize,
+    epsilon: f64,
+    max_lhs: usize,
+) -> Vec<ApproxFd> {
+    let m = columns.len();
+    if n_tuples <= 1 || m == 0 {
+        return Vec::new();
+    }
+    let singles: Vec<Partition> = columns.iter().map(|c| Partition::from_column(c)).collect();
+    let mut out: Vec<ApproxFd> = Vec::new();
+    // Level-wise enumeration of LHS sets (smallest first ensures minimal
+    // LHSs are recorded before their supersets are considered).
+    let mut level: Vec<(AttrSet, Partition)> =
+        vec![(AttrSet::empty(), Partition::universal(n_tuples))];
+    for _ in 0..=max_lhs.min(m) {
+        let mut next: Vec<(AttrSet, Partition)> = Vec::new();
+        for (lhs, pl) in &level {
+            for (rhs, single) in singles.iter().enumerate() {
+                if lhs.contains(rhs) {
+                    continue;
+                }
+                if out.iter().any(|f| f.rhs == rhs && f.lhs.is_subset_of(*lhs)) {
+                    continue; // a subset already (approximately) determines rhs
+                }
+                let pa = pl.product(single);
+                let err = g3_error(pl, &pa, n_tuples);
+                if err <= epsilon {
+                    out.push(ApproxFd {
+                        lhs: *lhs,
+                        rhs,
+                        error: err,
+                    });
+                }
+            }
+            // Expand canonically (append attributes beyond the max).
+            let start = lhs.max_attr().map_or(0, |a| a + 1);
+            for (a, single) in singles.iter().enumerate().skip(start) {
+                // Skip expansion if every RHS is already determined by a
+                // subset — no minimal FD can come from this branch.
+                let bigger = lhs.insert(a);
+                if (0..m).all(|rhs| {
+                    bigger.contains(rhs)
+                        || out
+                            .iter()
+                            .any(|f| f.rhs == rhs && f.lhs.is_subset_of(bigger))
+                }) {
+                    continue;
+                }
+                let pb = pl.product(single);
+                next.push((bigger, pb));
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level = next;
+    }
+    out
+}
+
+/// Approximate discovery over every essential relation of a forest
+/// (intra-relation only — approximate partition-target propagation is out
+/// of scope), reporting interesting FDs with their errors.
+pub fn discover_approximate_forest(
+    forest: &Forest,
+    config: &DiscoveryConfig,
+    epsilon: f64,
+) -> Vec<(Xfd, f64)> {
+    let mut out = Vec::new();
+    for rel in &forest.relations {
+        if rel.parent.is_none() || rel.n_tuples() <= 1 {
+            continue;
+        }
+        let columns: Vec<&[Option<u64>]> = rel.columns.iter().map(|c| c.cells.as_slice()).collect();
+        let found = discover_approximate(
+            &columns,
+            rel.n_tuples(),
+            epsilon,
+            config.lhs_bound().min(columns.len()),
+        );
+        for f in found {
+            if !fd_is_interesting(forest, rel.id, f.rhs) {
+                continue;
+            }
+            let rid: RelId = rel.id;
+            out.push((
+                intra_fd_to_xfd(
+                    forest,
+                    rid,
+                    &IntraFd {
+                        lhs: f.lhs,
+                        rhs: f.rhs,
+                    },
+                ),
+                f.error,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_relation::{encode, EncodeConfig};
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    #[test]
+    fn exact_fds_have_zero_error() {
+        let lhs = [Some(1u64), Some(1), Some(2)];
+        let rhs = [Some(9u64), Some(9), Some(8)];
+        let pl = Partition::from_column(&lhs);
+        let pa = pl.product(&Partition::from_column(&rhs));
+        assert_eq!(g3_error(&pl, &pa, 3), 0.0);
+    }
+
+    #[test]
+    fn one_violation_in_ten_gives_error_point_one() {
+        let lhs: Vec<Option<u64>> = (0..10).map(|_| Some(1u64)).collect();
+        let mut rhs: Vec<Option<u64>> = (0..10).map(|_| Some(5u64)).collect();
+        rhs[7] = Some(6); // one dissenter
+        let pl = Partition::from_column(&lhs);
+        let pa = pl.product(&Partition::from_column(&rhs));
+        let err = g3_error(&pl, &pa, 10);
+        assert!((err - 0.1).abs() < 1e-9, "{err}");
+    }
+
+    #[test]
+    fn null_rhs_counts_as_violation() {
+        let lhs = [Some(1u64), Some(1), Some(1)];
+        let pl = Partition::from_column(&lhs);
+        // RHS values 5, 5, ⊥ paired with the constant LHS.
+        let paired = [Some(15u64), Some(15), None];
+        let pa = Partition::from_column(&paired);
+        let err = g3_error(&pl, &pa, 3);
+        assert!((err - (1.0 / 3.0)).abs() < 1e-9, "{err}");
+    }
+
+    #[test]
+    fn discover_approximate_finds_noisy_fd() {
+        // a0 → a1 with one corrupted row out of 12.
+        let a0: Vec<Option<u64>> = (0..12).map(|i| Some(i as u64 % 4)).collect();
+        let mut a1: Vec<Option<u64>> = (0..12).map(|i| Some(i as u64 % 4 + 100)).collect();
+        a1[5] = Some(999);
+        let exact = discover_approximate(&[&a0, &a1], 12, 0.0, 2);
+        assert!(
+            !exact
+                .iter()
+                .any(|f| f.rhs == 1 && f.lhs == AttrSet::single(0)),
+            "corrupted FD must fail exactly"
+        );
+        let approx = discover_approximate(&[&a0, &a1], 12, 0.1, 2);
+        let f = approx
+            .iter()
+            .find(|f| f.rhs == 1 && f.lhs == AttrSet::single(0))
+            .expect("approximate a0→a1");
+        assert!((f.error - 1.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimality_suppresses_supersets() {
+        let a0 = [Some(1u64), Some(1), Some(2), Some(2)];
+        let a1 = [Some(5u64), Some(6), Some(5), Some(6)];
+        let a2 = [Some(9u64), Some(9), Some(8), Some(8)]; // a0 → a2 exact
+        let found = discover_approximate(&[&a0, &a1, &a2], 4, 0.0, 3);
+        assert!(found
+            .iter()
+            .any(|f| f.rhs == 2 && f.lhs == AttrSet::single(0)));
+        assert!(
+            !found
+                .iter()
+                .any(|f| f.rhs == 2 && f.lhs == AttrSet::from_iter([0, 1])),
+            "superset of a satisfied LHS must be suppressed"
+        );
+    }
+
+    #[test]
+    fn forest_level_approximate_discovery() {
+        // title determined by isbn except one typo'd book.
+        let t = parse(
+            "<w>\
+             <book><i>1</i><t>A</t></book>\
+             <book><i>1</i><t>A</t></book>\
+             <book><i>1</i><t>A</t></book>\
+             <book><i>1</i><t>A!</t></book>\
+             <book><i>2</i><t>B</t></book>\
+             </w>",
+        )
+        .unwrap();
+        let schema = infer_schema(&t);
+        let forest = encode(&t, &schema, &EncodeConfig::default());
+        let cfg = DiscoveryConfig::default();
+        let exact = discover_approximate_forest(&forest, &cfg, 0.0);
+        assert!(!exact
+            .iter()
+            .any(|(fd, _)| fd.to_string() == "{./i} -> ./t w.r.t. C_book"));
+        let approx = discover_approximate_forest(&forest, &cfg, 0.25);
+        let (_, err) = approx
+            .iter()
+            .find(|(fd, _)| fd.to_string() == "{./i} -> ./t w.r.t. C_book")
+            .expect("approximate isbn→title");
+        assert!((err - 0.2).abs() < 1e-9, "{err}");
+    }
+}

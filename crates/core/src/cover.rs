@@ -1,0 +1,211 @@
+//! FD implication and canonical covers (Armstrong's axioms) over one
+//! relation's attribute space.
+//!
+//! Discovery reports *minimal* FDs, but downstream consumers (schema
+//! refiners, documentation) often want the implication structure: does a
+//! candidate FD follow from the discovered ones? What is a canonical
+//! (minimal, reduced) cover? This module implements the classical
+//! machinery — attribute-set closure, implication, and canonical covers —
+//! on [`AttrSet`]s, so it applies to any relation of the hierarchical
+//! representation (and to the flat baseline).
+
+use xfd_partition::AttrSet;
+
+use crate::lattice::IntraFd;
+
+/// Closure `X⁺` of `attrs` under `fds` (Armstrong: reflexivity,
+/// augmentation, transitivity).
+pub fn closure(attrs: AttrSet, fds: &[IntraFd]) -> AttrSet {
+    let mut closed = attrs;
+    loop {
+        let before = closed;
+        for fd in fds {
+            if fd.lhs.is_subset_of(closed) {
+                closed = closed.insert(fd.rhs);
+            }
+        }
+        if closed == before {
+            return closed;
+        }
+    }
+}
+
+/// Does `fds ⊨ candidate` (the candidate follows by Armstrong's axioms)?
+pub fn implies(fds: &[IntraFd], candidate: &IntraFd) -> bool {
+    closure(candidate.lhs, fds).contains(candidate.rhs)
+}
+
+/// Compute a canonical cover: left-reduced (no extraneous LHS attribute)
+/// and non-redundant (no FD implied by the others). The result implies
+/// exactly the same FDs as the input.
+pub fn canonical_cover(fds: &[IntraFd]) -> Vec<IntraFd> {
+    // Left-reduce each FD.
+    let mut cover: Vec<IntraFd> = fds
+        .iter()
+        .map(|fd| {
+            let mut lhs = fd.lhs;
+            for a in fd.lhs.iter() {
+                let smaller = lhs.remove(a);
+                if closure(smaller, fds).contains(fd.rhs) {
+                    lhs = smaller;
+                }
+            }
+            IntraFd { lhs, rhs: fd.rhs }
+        })
+        .collect();
+    cover.sort_by_key(|fd| (fd.lhs.bits(), fd.rhs));
+    cover.dedup();
+    // Drop redundant FDs (re-checking against the shrinking cover).
+    let mut i = 0;
+    while i < cover.len() {
+        let fd = cover[i];
+        let mut rest: Vec<IntraFd> = cover.clone();
+        rest.remove(i);
+        if implies(&rest, &fd) {
+            cover.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    cover
+}
+
+/// Is the attribute set a superkey w.r.t. `fds` over `all_attrs`?
+pub fn is_superkey(attrs: AttrSet, all_attrs: AttrSet, fds: &[IntraFd]) -> bool {
+    all_attrs.is_subset_of(closure(attrs, fds))
+}
+
+/// All candidate keys (minimal superkeys) over `all_attrs` under `fds`.
+/// Exponential — intended for the narrow relations of the hierarchical
+/// representation.
+pub fn candidate_keys(all_attrs: AttrSet, fds: &[IntraFd]) -> Vec<AttrSet> {
+    let attrs: Vec<usize> = all_attrs.iter().collect();
+    let m = attrs.len();
+    let mut keys: Vec<AttrSet> = Vec::new();
+    // Level-wise so minimal keys are found first.
+    for size in 0..=m {
+        for bits in 0u64..(1 << m) {
+            if (bits.count_ones() as usize) != size {
+                continue;
+            }
+            let set = AttrSet::from_iter((0..m).filter(|i| bits & (1 << i) != 0).map(|i| attrs[i]));
+            if keys.iter().any(|k| k.is_subset_of(set)) {
+                continue;
+            }
+            if is_superkey(set, all_attrs, fds) {
+                keys.push(set);
+            }
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(lhs: &[usize], rhs: usize) -> IntraFd {
+        IntraFd {
+            lhs: AttrSet::from_iter(lhs.iter().copied()),
+            rhs,
+        }
+    }
+
+    #[test]
+    fn closure_is_reflexive_and_transitive() {
+        // 0→1, 1→2 ⇒ {0}⁺ = {0,1,2}.
+        let fds = [fd(&[0], 1), fd(&[1], 2)];
+        assert_eq!(
+            closure(AttrSet::single(0), &fds),
+            AttrSet::from_iter([0, 1, 2])
+        );
+        assert_eq!(closure(AttrSet::single(2), &fds), AttrSet::single(2));
+    }
+
+    #[test]
+    fn implication_via_augmentation() {
+        // 0→1 implies {0,2}→1.
+        let fds = [fd(&[0], 1)];
+        assert!(implies(&fds, &fd(&[0, 2], 1)));
+        assert!(!implies(&fds, &fd(&[1], 0)));
+        assert!(implies(&fds, &fd(&[1], 1)), "trivial FDs always follow");
+    }
+
+    #[test]
+    fn canonical_cover_left_reduces() {
+        // {0,1}→2 with 0→1: LHS reduces to {0}.
+        let fds = [fd(&[0, 1], 2), fd(&[0], 1)];
+        let cover = canonical_cover(&fds);
+        assert!(cover.contains(&fd(&[0], 2)), "{cover:?}");
+        assert!(cover.contains(&fd(&[0], 1)));
+        assert_eq!(cover.len(), 2);
+    }
+
+    #[test]
+    fn canonical_cover_drops_redundant_fds() {
+        // 0→1, 1→2, 0→2: the last is implied.
+        let fds = [fd(&[0], 1), fd(&[1], 2), fd(&[0], 2)];
+        let cover = canonical_cover(&fds);
+        assert_eq!(cover.len(), 2, "{cover:?}");
+        assert!(implies(&cover, &fd(&[0], 2)));
+    }
+
+    #[test]
+    fn cover_preserves_implication_power() {
+        let fds = [fd(&[0], 1), fd(&[1, 2], 3), fd(&[0, 2], 3), fd(&[3], 0)];
+        let cover = canonical_cover(&fds);
+        // Everything in the original follows from the cover and vice versa.
+        for f in &fds {
+            assert!(implies(&cover, f), "cover lost {f:?}");
+        }
+        for f in &cover {
+            assert!(implies(&fds, f));
+        }
+    }
+
+    #[test]
+    fn candidate_keys_classic_example() {
+        // R(0,1,2,3) with 0→1, 2→3: candidate key {0,2}.
+        let fds = [fd(&[0], 1), fd(&[2], 3)];
+        let keys = candidate_keys(AttrSet::from_iter([0, 1, 2, 3]), &fds);
+        assert_eq!(keys, vec![AttrSet::from_iter([0, 2])]);
+        // Cyclic: 0→1, 1→0, {0,2} and {1,2} both keys.
+        let fds = [fd(&[0], 1), fd(&[1], 0), fd(&[0, 2], 3)];
+        let keys = candidate_keys(AttrSet::from_iter([0, 1, 2, 3]), &fds);
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn armstrong_laws_on_random_fd_sets() {
+        // Deterministic pseudo-random FD sets; check soundness laws.
+        let mut seed = 0xDEADBEEFu64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed >> 33
+        };
+        for _ in 0..50 {
+            let m = 5usize;
+            let n_fds = (next() % 5 + 1) as usize;
+            let fds: Vec<IntraFd> = (0..n_fds)
+                .map(|_| {
+                    let lhs = AttrSet::from_iter((0..m).filter(|_| next() % 3 == 0));
+                    IntraFd {
+                        lhs,
+                        rhs: (next() as usize) % m,
+                    }
+                })
+                .collect();
+            let cover = canonical_cover(&fds);
+            for f in &fds {
+                assert!(implies(&cover, f), "cover must imply {f:?} (fds {fds:?})");
+            }
+            // Closure is monotone: X ⊆ Y ⇒ X⁺ ⊆ Y⁺.
+            let x = AttrSet::from_iter([0, 1]);
+            let y = AttrSet::from_iter([0, 1, 2]);
+            assert!(closure(x, &fds).is_subset_of(closure(y, &fds)));
+            // Closure is idempotent.
+            let cx = closure(x, &fds);
+            assert_eq!(closure(cx, &fds), cx);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Constraint drift: compare the discovery reports of two document
+//! versions. FDs that disappear signal data-quality regressions (a
+//! once-clean dependency now violated); FDs that appear signal newly
+//! introduced (possibly accidental) structure; redundancy growth
+//! quantifies accumulating duplication.
+
+use std::fmt;
+
+use crate::driver::DiscoveryReport;
+use crate::fd::{Xfd, XmlKey};
+
+/// The differences between two reports (`old` → `new`).
+#[derive(Debug, Clone, Default)]
+pub struct ReportDiff {
+    /// FDs present in `old` but not `new` — constraints that broke.
+    pub lost_fds: Vec<Xfd>,
+    /// FDs present in `new` but not `old`.
+    pub gained_fds: Vec<Xfd>,
+    /// Keys that broke.
+    pub lost_keys: Vec<XmlKey>,
+    /// Keys that appeared.
+    pub gained_keys: Vec<XmlKey>,
+    /// Total redundant values in `old`.
+    pub redundant_before: usize,
+    /// Total redundant values in `new`.
+    pub redundant_after: usize,
+}
+
+impl ReportDiff {
+    /// No drift at all?
+    pub fn is_empty(&self) -> bool {
+        self.lost_fds.is_empty()
+            && self.gained_fds.is_empty()
+            && self.lost_keys.is_empty()
+            && self.gained_keys.is_empty()
+    }
+}
+
+impl fmt::Display for ReportDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            writeln!(f, "no constraint drift")?;
+        }
+        for fd in &self.lost_fds {
+            writeln!(f, "- FD broke:    {fd}")?;
+        }
+        for fd in &self.gained_fds {
+            writeln!(f, "+ FD appeared: {fd}")?;
+        }
+        for k in &self.lost_keys {
+            writeln!(f, "- key broke:    {k}")?;
+        }
+        for k in &self.gained_keys {
+            writeln!(f, "+ key appeared: {k}")?;
+        }
+        writeln!(
+            f,
+            "redundant values: {} -> {}",
+            self.redundant_before, self.redundant_after
+        )
+    }
+}
+
+/// Compute the drift between two reports. An FD counts as *retained* when
+/// the new report contains it exactly or a stronger version (same class
+/// and RHS with an LHS subset) — minimality can shift the reported LHS
+/// without the constraint actually breaking.
+pub fn diff_reports(old: &DiscoveryReport, new: &DiscoveryReport) -> ReportDiff {
+    let retained_in = |fd: &Xfd, report: &DiscoveryReport| {
+        report
+            .fds
+            .iter()
+            .any(|other| fd == other || fd.is_weakening_of(other))
+    };
+    let key_retained_in = |key: &XmlKey, report: &DiscoveryReport| {
+        report.keys.iter().any(|other| {
+            key.tuple_class == other.tuple_class && other.lhs.iter().all(|p| key.lhs.contains(p))
+        })
+    };
+    ReportDiff {
+        lost_fds: old
+            .fds
+            .iter()
+            .filter(|fd| !retained_in(fd, new))
+            .cloned()
+            .collect(),
+        gained_fds: new
+            .fds
+            .iter()
+            .filter(|fd| !retained_in(fd, old))
+            .cloned()
+            .collect(),
+        lost_keys: old
+            .keys
+            .iter()
+            .filter(|k| !key_retained_in(k, new))
+            .cloned()
+            .collect(),
+        gained_keys: new
+            .keys
+            .iter()
+            .filter(|k| !key_retained_in(k, old))
+            .cloned()
+            .collect(),
+        redundant_before: old.redundancies.iter().map(|r| r.redundant_values).sum(),
+        redundant_after: new.redundancies.iter().map(|r| r.redundant_values).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiscoveryConfig;
+    use crate::driver::discover;
+    use xfd_xml::parse;
+
+    fn report(xml: &str) -> DiscoveryReport {
+        discover(&parse(xml).unwrap(), &DiscoveryConfig::default())
+    }
+
+    #[test]
+    fn identical_documents_have_no_drift() {
+        let xml = "<w><b><i>1</i><t>A</t></b><b><i>1</i><t>A</t></b><b><i>2</i><t>B</t></b></w>";
+        let d = diff_reports(&report(xml), &report(xml));
+        assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn broken_fd_is_reported_as_lost() {
+        let old =
+            report("<w><b><i>1</i><t>A</t></b><b><i>1</i><t>A</t></b><b><i>2</i><t>B</t></b></w>");
+        let new = report(
+            "<w><b><i>1</i><t>A</t></b><b><i>1</i><t>OOPS</t></b><b><i>2</i><t>B</t></b></w>",
+        );
+        let d = diff_reports(&old, &new);
+        assert!(
+            d.lost_fds
+                .iter()
+                .any(|fd| fd.to_string() == "{./i} -> ./t w.r.t. C_b"),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn strengthened_lhs_is_not_drift() {
+        // Old: {i, x} → t minimal; new: {i} → t (stronger). Retained.
+        let old = report(
+            "<w><b><i>1</i><x>p</x><t>A</t></b><b><i>1</i><x>q</x><t>B</t></b>\
+                <b><i>2</i><x>p</x><t>C</t></b><b><i>2</i><x>q</x><t>D</t></b></w>",
+        );
+        let new = report(
+            "<w><b><i>1</i><x>p</x><t>A</t></b><b><i>1</i><x>q</x><t>A</t></b>\
+                <b><i>2</i><x>p</x><t>C</t></b><b><i>2</i><x>q</x><t>C</t></b></w>",
+        );
+        let d = diff_reports(&old, &new);
+        // Whatever composite FDs old had with class C_b and rhs ./t must
+        // not be *lost* if {./i} → ./t now holds.
+        assert!(
+            !d.lost_fds
+                .iter()
+                .any(|fd| fd.rhs.to_string() == "./t" && fd.lhs.len() == 2),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn redundancy_totals_are_tracked() {
+        let old = report("<w><b><i>1</i><t>A</t></b><b><i>2</i><t>B</t></b></w>");
+        let new =
+            report("<w><b><i>1</i><t>A</t></b><b><i>1</i><t>A</t></b><b><i>2</i><t>B</t></b></w>");
+        let d = diff_reports(&old, &new);
+        assert!(d.redundant_after > d.redundant_before, "{d}");
+    }
+
+    #[test]
+    fn display_lists_changes() {
+        let old =
+            report("<w><b><i>1</i><t>A</t></b><b><i>1</i><t>A</t></b><b><i>2</i><t>B</t></b></w>");
+        let new =
+            report("<w><b><i>1</i><t>A</t></b><b><i>1</i><t>X</t></b><b><i>2</i><t>B</t></b></w>");
+        let text = diff_reports(&old, &new).to_string();
+        assert!(text.contains("FD broke"), "{text}");
+        assert!(text.contains("redundant values:"), "{text}");
+    }
+}

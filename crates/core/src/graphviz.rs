@@ -1,0 +1,153 @@
+//! Graphviz (DOT) export of the relation forest and the discovered FD
+//! structure — for documentation, demos, and schema-review meetings.
+
+use std::fmt::Write as _;
+
+use xfd_relation::{ColumnKind, Forest};
+
+use crate::driver::DiscoveryReport;
+
+/// Render the relation forest (hierarchical representation) as a DOT
+/// digraph: one record-shaped node per relation listing its columns, with
+/// parent → child edges.
+pub fn forest_to_dot(forest: &Forest) -> String {
+    let mut out = String::from("digraph forest {\n  node [shape=record, fontsize=10];\n");
+    for rel in &forest.relations {
+        let mut cols = String::from("@key|parent");
+        for c in &rel.columns {
+            let marker = match c.kind {
+                ColumnKind::Simple => "",
+                ColumnKind::Complex => " (rcd)",
+                ColumnKind::SetValue => " {set}",
+            };
+            let _ = write!(cols, "|{}{}", c.name.replace('|', "/"), marker);
+        }
+        let _ = writeln!(
+            out,
+            "  r{} [label=\"{{R_{} ({} tuples)|{}}}\"];",
+            rel.id.0,
+            rel.name,
+            rel.n_tuples(),
+            cols
+        );
+        if let Some(parent) = rel.parent {
+            let _ = writeln!(out, "  r{} -> r{};", parent.0, rel.id.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render the discovered FDs as a DOT digraph: one node per path (within
+/// its tuple class cluster), an edge LHS → RHS per FD; redundancy-
+/// indicating FDs are highlighted.
+pub fn fds_to_dot(report: &DiscoveryReport) -> String {
+    let mut out = String::from("digraph fds {\n  node [fontsize=10];\n  rankdir=LR;\n");
+    let mut classes: Vec<String> = report
+        .fds
+        .iter()
+        .map(|fd| fd.tuple_class.to_string())
+        .collect();
+    classes.sort();
+    classes.dedup();
+    let esc = |s: &str| s.replace('"', "\\\"");
+    for (ci, class) in classes.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  subgraph cluster{ci} {{\n    label=\"C_{}\";",
+            esc(class)
+        );
+        let mut nodes: Vec<String> = Vec::new();
+        for fd in report
+            .fds
+            .iter()
+            .filter(|f| &f.tuple_class.to_string() == class)
+        {
+            for p in fd.lhs.iter().chain(std::iter::once(&fd.rhs)) {
+                let name = p.to_string();
+                if !nodes.contains(&name) {
+                    nodes.push(name);
+                }
+            }
+        }
+        for (ni, n) in nodes.iter().enumerate() {
+            let _ = writeln!(out, "    c{ci}n{ni} [label=\"{}\"];", esc(n));
+        }
+        for fd in report
+            .fds
+            .iter()
+            .filter(|f| &f.tuple_class.to_string() == class)
+        {
+            let redundant = report.redundancies.iter().any(|r| &r.fd == fd);
+            let rhs_idx = nodes
+                .iter()
+                .position(|n| *n == fd.rhs.to_string())
+                .expect("rhs node");
+            for p in &fd.lhs {
+                let lhs_idx = nodes
+                    .iter()
+                    .position(|n| *n == p.to_string())
+                    .expect("lhs node");
+                let _ = writeln!(
+                    out,
+                    "    c{ci}n{lhs_idx} -> c{ci}n{rhs_idx}{};",
+                    if redundant {
+                        " [color=red, penwidth=2]"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiscoveryConfig;
+    use crate::driver::discover;
+    use xfd_relation::{encode, EncodeConfig};
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    fn sample() -> (Forest, DiscoveryReport) {
+        let t = parse(
+            "<w><store><name>X</name>\
+               <book><i>1</i><t>A</t></book><book><i>1</i><t>A</t></book>\
+               <book><i>2</i><t>B</t></book></store></w>",
+        )
+        .unwrap();
+        let schema = infer_schema(&t);
+        let forest = encode(&t, &schema, &EncodeConfig::default());
+        let report = discover(&t, &DiscoveryConfig::default());
+        (forest, report)
+    }
+
+    #[test]
+    fn forest_dot_lists_relations_and_edges() {
+        let (forest, _) = sample();
+        let dot = forest_to_dot(&forest);
+        assert!(dot.starts_with("digraph forest {"));
+        assert!(dot.contains("R_book"));
+        assert!(dot.contains("{set}"), "set columns are marked");
+        assert!(dot.contains("->"), "parent edges exist");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn fd_dot_highlights_redundancies() {
+        let (_, report) = sample();
+        let dot = fds_to_dot(&report);
+        assert!(dot.contains("subgraph cluster0"));
+        assert!(
+            dot.contains("color=red"),
+            "redundancy-indicating FDs highlighted:\n{dot}"
+        );
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

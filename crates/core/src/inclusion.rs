@@ -1,0 +1,310 @@
+//! Unary inclusion dependencies (INDs) across the relation forest —
+//! reference/foreign-key discovery, the natural companion of FD discovery
+//! for schema refinement (an extracted element needs a key *and* the
+//! references pointing at it).
+//!
+//! An IND `A ⊆ B` holds when every non-⊥ value of column `A` occurs in
+//! column `B`. Discovery follows the classical sort-merge approach
+//! (à la SPIDER): build each simple column's distinct value set once, then
+//! test candidate pairs by merge; candidates are pruned by set size
+//! (`|A| ≤ |B|`) and by minimum support.
+
+use std::collections::BTreeSet;
+
+use xfd_relation::{ColumnKind, Forest, RelId};
+use xfd_xml::Path;
+
+/// A discovered inclusion dependency between two columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ind {
+    /// Tuple class of the dependent (referencing) column.
+    pub from_class: Path,
+    /// Dependent column path, relative to its pivot.
+    pub from_path: Path,
+    /// Tuple class of the referenced column (a representative when the
+    /// target is a label union).
+    pub to_class: Path,
+    /// Referenced column path, relative to its pivot.
+    pub to_path: Path,
+    /// The referenced side unions every same-labeled relation (e.g. the
+    /// per-region `item` classes of XMark).
+    pub union_target: bool,
+    /// Distinct values in the dependent column.
+    pub support: usize,
+}
+
+impl std::fmt::Display for Ind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of C_{} ⊆ {} of {}C_{}  [{} values]",
+            self.from_path,
+            crate::fd::class_name(&self.from_class),
+            self.to_path,
+            if self.union_target { "any " } else { "" },
+            crate::fd::class_name(&self.to_class),
+            self.support
+        )
+    }
+}
+
+/// Options for IND discovery.
+#[derive(Debug, Clone, Copy)]
+pub struct IndOptions {
+    /// Minimum number of distinct values in the dependent column (tiny
+    /// domains produce accidental inclusions).
+    pub min_support: usize,
+    /// Require the referenced column to be unique over its relation (a
+    /// key-like target — the classical foreign-key shape).
+    pub referenced_unique: bool,
+}
+
+impl Default for IndOptions {
+    fn default() -> Self {
+        IndOptions {
+            min_support: 3,
+            referenced_unique: true,
+        }
+    }
+}
+
+struct ColumnInfo {
+    rel: RelId,
+    col: usize,
+    values: BTreeSet<u64>,
+    cells: usize,
+    unique: bool,
+}
+
+/// Discover unary INDs between simple columns of different `(relation,
+/// column)` pairs. Referenced-side candidates additionally include the
+/// *union* of same-labeled relations' same-named columns (e.g. XMark's
+/// per-region `item/@id` sets, which only jointly cover the references).
+pub fn discover_inds(forest: &Forest, options: &IndOptions) -> Vec<Ind> {
+    let mut infos: Vec<ColumnInfo> = Vec::new();
+    for rel in &forest.relations {
+        for (c, col) in rel.columns.iter().enumerate() {
+            if col.kind != ColumnKind::Simple {
+                continue;
+            }
+            let mut values = BTreeSet::new();
+            let mut cells = 0usize;
+            for v in col.cells.iter().flatten() {
+                values.insert(*v);
+                cells += 1;
+            }
+            let unique = values.len() == cells;
+            infos.push(ColumnInfo {
+                rel: rel.id,
+                col: c,
+                values,
+                cells,
+                unique,
+            });
+        }
+    }
+    // Union targets per (relation label, column name) with ≥ 2 members.
+    struct UnionInfo {
+        rep_rel: RelId,
+        rep_col: usize,
+        members: Vec<usize>, // indices into infos
+        values: BTreeSet<u64>,
+        unique: bool,
+    }
+    let mut unions: Vec<UnionInfo> = Vec::new();
+    for (i, info) in infos.iter().enumerate() {
+        let rel = forest.relation(info.rel);
+        let key = (rel.name.clone(), rel.columns[info.col].name.clone());
+        match unions.iter_mut().find(|u| {
+            let r = forest.relation(u.rep_rel);
+            (r.name.clone(), r.columns[u.rep_col].name.clone()) == key
+        }) {
+            Some(u) => {
+                u.members.push(i);
+                u.values.extend(info.values.iter().copied());
+            }
+            None => unions.push(UnionInfo {
+                rep_rel: info.rel,
+                rep_col: info.col,
+                members: vec![i],
+                values: info.values.clone(),
+                unique: false,
+            }),
+        }
+    }
+    unions.retain(|u| u.members.len() >= 2);
+    for u in &mut unions {
+        let total_cells: usize = u.members.iter().map(|&i| infos[i].cells).sum();
+        u.unique = u.values.len() == total_cells;
+    }
+
+    let mut out = Vec::new();
+    for a in &infos {
+        if a.values.len() < options.min_support {
+            continue;
+        }
+        for b in &infos {
+            if (a.rel, a.col) == (b.rel, b.col)
+                || a.values.len() > b.values.len()
+                || (options.referenced_unique && !b.unique)
+            {
+                continue;
+            }
+            if a.values.is_subset(&b.values) {
+                let fr = forest.relation(a.rel);
+                let tr = forest.relation(b.rel);
+                out.push(Ind {
+                    from_class: fr.pivot_path.clone(),
+                    from_path: fr.columns[a.col].rel_path.clone(),
+                    to_class: tr.pivot_path.clone(),
+                    to_path: tr.columns[b.col].rel_path.clone(),
+                    union_target: false,
+                    support: a.values.len(),
+                });
+            }
+        }
+        for u in &unions {
+            if u.members
+                .iter()
+                .any(|&i| (infos[i].rel, infos[i].col) == (a.rel, a.col))
+            {
+                continue; // a is part of the union itself
+            }
+            if a.values.len() > u.values.len()
+                || (options.referenced_unique && !u.unique)
+                || !a.values.is_subset(&u.values)
+            {
+                continue;
+            }
+            let fr = forest.relation(a.rel);
+            let tr = forest.relation(u.rep_rel);
+            out.push(Ind {
+                from_class: fr.pivot_path.clone(),
+                from_path: fr.columns[a.col].rel_path.clone(),
+                to_class: tr.pivot_path.clone(),
+                to_path: tr.columns[u.rep_col].rel_path.clone(),
+                union_target: true,
+                support: a.values.len(),
+            });
+        }
+    }
+    // Drop display-level duplicates (e.g. the same inclusion into each
+    // same-labeled region relation).
+    let mut seen = BTreeSet::new();
+    out.retain(|ind| seen.insert(ind.to_string()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_datagen::{xmark_like, XmarkSpec};
+    use xfd_relation::{encode, EncodeConfig};
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    fn forest_of(tree: &xfd_xml::DataTree) -> Forest {
+        let schema = infer_schema(tree);
+        encode(tree, &schema, &EncodeConfig::default())
+    }
+
+    #[test]
+    fn simple_foreign_key_is_found() {
+        let t = parse(
+            "<db>\
+             <item><id>i1</id></item><item><id>i2</id></item>\
+             <item><id>i3</id></item><item><id>i4</id></item>\
+             <order><ref>i1</ref></order><order><ref>i3</ref></order>\
+             <order><ref>i1</ref></order><order><ref>i4</ref></order>\
+             </db>",
+        )
+        .unwrap();
+        let f = forest_of(&t);
+        let inds = discover_inds(&f, &IndOptions::default());
+        assert!(
+            inds.iter()
+                .any(|i| i.to_string().contains("./ref of C_order ⊆ ./id of C_item")),
+            "{inds:#?}"
+        );
+    }
+
+    #[test]
+    fn dangling_references_break_the_ind() {
+        let t = parse(
+            "<db>\
+             <item><id>i1</id></item><item><id>i2</id></item><item><id>i3</id></item>\
+             <order><ref>i1</ref></order><order><ref>iMISSING</ref></order>\
+             <order><ref>i3</ref></order>\
+             </db>",
+        )
+        .unwrap();
+        let f = forest_of(&t);
+        let inds = discover_inds(
+            &f,
+            &IndOptions {
+                min_support: 2,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !inds.iter().any(|i| i.to_string().contains("C_order ⊆")),
+            "{inds:#?}"
+        );
+    }
+
+    #[test]
+    fn min_support_suppresses_tiny_domains() {
+        let t = parse(
+            "<db>\
+             <a><x>1</x></a><a><x>2</x></a>\
+             <b><y>1</y></b><b><y>2</y></b><b><y>3</y></b>\
+             </db>",
+        )
+        .unwrap();
+        let f = forest_of(&t);
+        let strict = discover_inds(
+            &f,
+            &IndOptions {
+                min_support: 3,
+                referenced_unique: false,
+            },
+        );
+        assert!(strict.is_empty(), "{strict:#?}");
+        let loose = discover_inds(
+            &f,
+            &IndOptions {
+                min_support: 2,
+                referenced_unique: false,
+            },
+        );
+        assert!(
+            loose.iter().any(|i| i.to_string().contains("C_a ⊆")),
+            "{loose:#?}"
+        );
+    }
+
+    #[test]
+    fn xmark_references_are_discovered() {
+        // itemref/@item values come from the item catalog; with a unique-
+        // target requirement relaxed (items repeat across regions), the
+        // inclusion from auction references into item ids must appear.
+        let t = xmark_like(&XmarkSpec::with_scale(1.0));
+        let f = forest_of(&t);
+        let inds = discover_inds(
+            &f,
+            &IndOptions {
+                min_support: 5,
+                referenced_unique: false,
+            },
+        );
+        assert!(
+            inds.iter().any(|i| {
+                i.from_path.to_string() == "./itemref/@item"
+                    && i.to_path.to_string() == "./@id"
+                    && i.to_class.to_string().contains("item")
+            }),
+            "{:#?}",
+            inds.iter().map(Ind::to_string).collect::<Vec<_>>()
+        );
+    }
+}

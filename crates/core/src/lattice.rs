@@ -1,0 +1,225 @@
+//! Shared lattice helpers: candidate-LHS pruning (the paper's
+//! `candidateLHS` / `candidateLHS2`) and partition materialization.
+
+use xfd_partition::{AttrSet, Partition, PartitionCache};
+
+use crate::config::PruneConfig;
+
+/// A discovered minimal intra-relation FD `lhs → rhs` (attribute indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntraFd {
+    /// LHS attribute set.
+    pub lhs: AttrSet,
+    /// RHS attribute index.
+    pub rhs: usize,
+}
+
+/// Compute the candidate LHSs for lattice node `a_set` — the paper's
+/// `candidateLHS` (Figure 8) with the pruning repairs documented in
+/// DESIGN.md. Each candidate is `a_set` minus one attribute; a candidate is
+/// dropped when the edge it represents cannot yield a minimal FD:
+///
+/// * **rule 1**: some satisfied `L → r` has `r = a` and `L ⊆ A_L` — the FD
+///   `A_L → a` is implied;
+/// * **rule 2** (repaired; only with `use_rule2`, i.e. `candidateLHS`
+///   rather than `candidateLHS2`): some satisfied `L → r` has `r ∈ A_L`
+///   and `L ⊆ A_L ∖ {r}` — `A_L` contains a derivable attribute, so any FD
+///   from it is non-minimal.
+///
+/// With `empty_lhs`, singleton nodes get the candidate `∅` (the edge
+/// `∅ → a`, discovering constant columns).
+pub fn candidate_lhs(
+    a_set: AttrSet,
+    fds: &[IntraFd],
+    prune: &PruneConfig,
+    use_rule2: bool,
+    empty_lhs: bool,
+) -> Vec<AttrSet> {
+    let mut out = Vec::new();
+    if a_set.len() == 1 {
+        if !empty_lhs {
+            return out;
+        }
+        let a = a_set.max_attr().expect("non-empty");
+        let pruned = prune.rule1 && fds.iter().any(|fd| fd.rhs == a && fd.lhs.is_empty());
+        if !pruned {
+            out.push(AttrSet::empty());
+        }
+        return out;
+    }
+    'cands: for a in a_set.iter() {
+        let al = a_set.remove(a);
+        for fd in fds {
+            if prune.rule1 && fd.rhs == a && fd.lhs.is_subset_of(al) {
+                continue 'cands;
+            }
+            if use_rule2
+                && prune.rule2
+                && al.contains(fd.rhs)
+                && fd.lhs.is_subset_of(al.remove(fd.rhs))
+            {
+                continue 'cands;
+            }
+        }
+        out.push(al);
+    }
+    out
+}
+
+/// Materialize `Π_{a_set}` in the cache, preferring the paper's
+/// two-operand product over candidate LHSs (lines 9–10 of Figure 8) and
+/// falling back to folding single-attribute partitions when an operand was
+/// never materialized (possible after aggressive pruning).
+pub fn materialize(
+    cache: &mut PartitionCache,
+    a_set: AttrSet,
+    candidates: &[AttrSet],
+) -> Partition {
+    ensure(cache, a_set, candidates);
+    cache.get(a_set).expect("ensured").clone()
+}
+
+/// Like [`materialize`] but without handing out an owned copy: after this
+/// returns, `cache.get(a_set)` is guaranteed `Some`, so callers can borrow
+/// several partitions immutably at once (the lattice hot path compares
+/// `Π_{A_L}` against `Π_A` without cloning either).
+pub fn ensure(cache: &mut PartitionCache, a_set: AttrSet, candidates: &[AttrSet]) {
+    if cache.get(a_set).is_some() {
+        return;
+    }
+    // Two candidates whose union is a_set (each lacks a distinct attribute).
+    if candidates.len() >= 2 {
+        let (c1, c2) = (candidates[0], candidates[1]);
+        if cache.get(c1).is_some() && cache.get(c2).is_some() {
+            debug_assert_eq!(c1.union(c2), a_set);
+            cache.product(c1, c2);
+            return;
+        }
+    }
+    if let Some(&c1) = candidates.first() {
+        let rest = a_set.minus(c1);
+        if cache.get(c1).is_some() && cache.get(rest).is_some() {
+            cache.product(c1, rest);
+            return;
+        }
+    }
+    // Fallback: fold over single attributes.
+    let mut iter = a_set.iter();
+    let first = AttrSet::single(iter.next().expect("ensure on empty set"));
+    let mut acc = first;
+    for a in iter {
+        cache.product(acc, AttrSet::single(a));
+        acc = acc.insert(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(lhs: &[usize], rhs: usize) -> IntraFd {
+        IntraFd {
+            lhs: AttrSet::from_iter(lhs.iter().copied()),
+            rhs,
+        }
+    }
+
+    #[test]
+    fn no_fds_yields_all_candidates() {
+        let prune = PruneConfig::default();
+        let cands = candidate_lhs(AttrSet::from_iter([0, 1, 2]), &[], &prune, true, true);
+        assert_eq!(cands.len(), 3);
+    }
+
+    #[test]
+    fn rule1_drops_implied_edges() {
+        // B → C satisfied; node {B, C}: candidate {B} → C pruned.
+        let prune = PruneConfig::default();
+        let fds = [fd(&[1], 2)];
+        let cands = candidate_lhs(AttrSet::from_iter([1, 2]), &fds, &prune, true, true);
+        // Candidate A_L = {1} (rhs 2) pruned by rule 1; A_L = {2} (rhs 1)
+        // pruned by repaired rule 2 ({2} contains derivable... no: r=2 ∈ {2},
+        // L={1} ⊄ ∅). So {2} survives.
+        assert_eq!(cands, vec![AttrSet::single(2)]);
+    }
+
+    #[test]
+    fn repaired_rule2_requires_rhs_in_candidate() {
+        // B → C satisfied. Node {A, B, D}: candidate {A,B} → D must SURVIVE
+        // (C ∉ {A,B}); the paper's literal line 24 would wrongly drop it.
+        let prune = PruneConfig::default();
+        let fds = [fd(&[1], 2)];
+        let cands = candidate_lhs(AttrSet::from_iter([0, 1, 3]), &fds, &prune, true, true);
+        assert!(cands.contains(&AttrSet::from_iter([0, 1])), "{cands:?}");
+    }
+
+    #[test]
+    fn rule2_drops_candidates_with_derivable_attrs() {
+        // B → C satisfied. Node {B, C, D}: candidate {B,C} → D contains C
+        // derivable from B ⊆ {B}: pruned. Candidate {C,D} → B: r=C? fd rhs=2∈{2,3}, L={1}⊄{3}: survives.
+        let prune = PruneConfig::default();
+        let fds = [fd(&[1], 2)];
+        let cands = candidate_lhs(AttrSet::from_iter([1, 2, 3]), &fds, &prune, true, true);
+        assert!(!cands.contains(&AttrSet::from_iter([1, 2])));
+        assert!(cands.contains(&AttrSet::from_iter([2, 3])));
+        // {B,D} → C pruned by rule 1 (B → C with {B} ⊆ {B,D}).
+        assert!(!cands.contains(&AttrSet::from_iter([1, 3])));
+    }
+
+    #[test]
+    fn candidate_lhs2_skips_rule2() {
+        let prune = PruneConfig::default();
+        let fds = [fd(&[1], 2)];
+        let cands = candidate_lhs(AttrSet::from_iter([1, 2, 3]), &fds, &prune, false, true);
+        // Without rule 2, {B,C} → D is kept.
+        assert!(cands.contains(&AttrSet::from_iter([1, 2])));
+    }
+
+    #[test]
+    fn empty_lhs_candidates_for_singletons() {
+        let prune = PruneConfig::default();
+        let with = candidate_lhs(AttrSet::single(4), &[], &prune, true, true);
+        assert_eq!(with, vec![AttrSet::empty()]);
+        let without = candidate_lhs(AttrSet::single(4), &[], &prune, true, false);
+        assert!(without.is_empty());
+        // ∅ → 4 already found: pruned by rule 1.
+        let fds = [fd(&[], 4)];
+        let pruned = candidate_lhs(AttrSet::single(4), &fds, &prune, true, true);
+        assert!(pruned.is_empty());
+    }
+
+    #[test]
+    fn disabled_rules_keep_everything() {
+        let prune = PruneConfig {
+            rule1: false,
+            rule2: false,
+            key_prune: false,
+        };
+        let fds = [fd(&[1], 2)];
+        let cands = candidate_lhs(AttrSet::from_iter([1, 2]), &fds, &prune, true, true);
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn materialize_falls_back_to_fold() {
+        use xfd_partition::Partition;
+        let mut cache = PartitionCache::new();
+        for (i, col) in [
+            vec![Some(1), Some(1), Some(2), Some(2)],
+            vec![Some(5), Some(6), Some(5), Some(5)],
+            vec![Some(9), Some(9), Some(9), Some(8)],
+        ]
+        .iter()
+        .enumerate()
+        {
+            cache.insert(AttrSet::single(i), Partition::from_column(col));
+        }
+        let target = AttrSet::from_iter([0, 1, 2]);
+        // No candidates cached → fold path.
+        let p = materialize(&mut cache, target, &[]);
+        assert_eq!(p.groups().len(), 0, "all distinct combinations");
+        // Re-materializing hits the cache.
+        let p2 = materialize(&mut cache, target, &[]);
+        assert_eq!(p, p2);
+    }
+}

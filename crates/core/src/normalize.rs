@@ -1,0 +1,561 @@
+//! Schema-refinement suggestions — the application the paper's
+//! introduction motivates ("discovery of redundancies … will provide the
+//! critical first step for analyzing and refining such schemas").
+//!
+//! Following the XNF decomposition idea (Arenas & Libkin, which Definition
+//! 11 generalizes): for every redundancy-indicating FD `(C_p, LHS, RHS)`,
+//! the RHS data can be moved out of `C_p` into a new element keyed by the
+//! LHS, storing each `LHS → RHS` association exactly once. Suggestions
+//! sharing `(C_p, LHS)` are merged (one new element can absorb several
+//! determined paths).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use xfd_xml::Path;
+
+use crate::redundancy::Redundancy;
+
+/// One refinement suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// The tuple class holding redundant data.
+    pub tuple_class: Path,
+    /// Paths (relative to the pivot) that become the key of the extracted
+    /// element.
+    pub key_paths: Vec<Path>,
+    /// Paths whose values move into the extracted element.
+    pub moved_paths: Vec<Path>,
+    /// Total redundant values this extraction eliminates.
+    pub redundant_values: usize,
+}
+
+impl fmt::Display for Suggestion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let keys: Vec<String> = self.key_paths.iter().map(Path::to_string).collect();
+        let moved: Vec<String> = self.moved_paths.iter().map(Path::to_string).collect();
+        write!(
+            f,
+            "extract from C_{}: new element keyed by {{{}}} holding {{{}}} (saves {} redundant values)",
+            crate::fd::class_name(&self.tuple_class),
+            keys.join(", "),
+            moved.join(", "),
+            self.redundant_values
+        )
+    }
+}
+
+/// Derive merged suggestions from the redundancy findings.
+pub fn suggest(redundancies: &[Redundancy]) -> Vec<Suggestion> {
+    // Group by (tuple class, LHS path set).
+    let mut groups: BTreeMap<(String, Vec<String>), Suggestion> = BTreeMap::new();
+    for r in redundancies {
+        let mut lhs_strs: Vec<String> = r.fd.lhs.iter().map(Path::to_string).collect();
+        lhs_strs.sort();
+        let key = (r.fd.tuple_class.to_string(), lhs_strs);
+        let entry = groups.entry(key).or_insert_with(|| Suggestion {
+            tuple_class: r.fd.tuple_class.clone(),
+            key_paths: {
+                let mut k = r.fd.lhs.clone();
+                k.sort();
+                k
+            },
+            moved_paths: Vec::new(),
+            redundant_values: 0,
+        });
+        if !entry.moved_paths.contains(&r.fd.rhs) {
+            entry.moved_paths.push(r.fd.rhs.clone());
+            entry.redundant_values += r.redundant_values;
+        }
+    }
+    let mut out: Vec<Suggestion> = groups.into_values().collect();
+    // Largest savings first.
+    out.sort_by_key(|s| std::cmp::Reverse(s.redundant_values));
+    out
+}
+
+/// Why a suggestion could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The suggestion involves paths outside the pivot's subtree (an
+    /// inter-relation LHS like `../contact/name`); the executor only
+    /// handles local decompositions.
+    NonLocalPath(Path),
+    /// The tuple-class path matches no node.
+    NoSuchClass(Path),
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::NonLocalPath(p) => {
+                write!(f, "cannot apply: path {p} reaches outside the tuple class")
+            }
+            ApplyError::NoSuchClass(p) => write!(f, "tuple class {p} matches no node"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// Apply a decomposition suggestion to the data (XNF-style): the moved
+/// elements are deleted from every instance of the tuple class whose key
+/// paths are all present, and one `<label>_info` element per distinct key
+/// value is appended under the document root, holding the key elements and
+/// one copy of the moved elements. Instances with a ⊥ key keep their data
+/// in place (nothing determines it).
+pub fn apply(
+    tree: &xfd_xml::DataTree,
+    suggestion: &Suggestion,
+) -> Result<xfd_xml::DataTree, ApplyError> {
+    use std::collections::{HashMap, HashSet};
+    use xfd_xml::builder::TreeWriter;
+    use xfd_xml::{canonical_form, CanonicalValue, NodeId};
+
+    for p in suggestion.key_paths.iter().chain(&suggestion.moved_paths) {
+        if p.steps().iter().any(|s| matches!(s, xfd_xml::Step::Parent)) {
+            return Err(ApplyError::NonLocalPath(p.clone()));
+        }
+    }
+    let pivots = suggestion.tuple_class.resolve_all(tree);
+    if pivots.is_empty() {
+        return Err(ApplyError::NoSuchClass(suggestion.tuple_class.clone()));
+    }
+    let label = suggestion
+        .tuple_class
+        .last_label()
+        .expect("tuple classes end in a labeled element");
+
+    // Group pivot instances by the canonical value of their key paths.
+    let mut groups: HashMap<Vec<CanonicalValue>, Vec<NodeId>> = HashMap::new();
+    for &pivot in &pivots {
+        let mut sig: Vec<CanonicalValue> = Vec::new();
+        let mut complete = true;
+        for kp in &suggestion.key_paths {
+            let mut matched: Vec<CanonicalValue> = kp
+                .resolve_from(tree, pivot)
+                .iter()
+                .map(|&n| canonical_form(tree, n))
+                .collect();
+            if matched.is_empty() {
+                complete = false;
+                break;
+            }
+            matched.sort();
+            sig.extend(matched);
+        }
+        if complete {
+            groups.entry(sig).or_default().push(pivot);
+        }
+    }
+
+    // Nodes to drop: moved elements of every grouped instance.
+    let mut dropped: HashSet<NodeId> = HashSet::new();
+    for members in groups.values() {
+        for &pivot in members {
+            for mp in &suggestion.moved_paths {
+                dropped.extend(mp.resolve_from(tree, pivot));
+            }
+        }
+    }
+
+    // Rebuild: copy everything except dropped nodes, then append the
+    // extracted elements under the root.
+    let mut w = TreeWriter::new(tree.label(tree.root()));
+    if let Some(v) = tree.value(tree.root()) {
+        // Value-carrying roots cannot also have children in our model, but
+        // preserve it defensively.
+        let _ = v;
+    }
+    for &c in tree.children(tree.root()) {
+        w.copy_filtered(tree, c, &mut |n| !dropped.contains(&n));
+    }
+    let info_label = format!("{label}_info");
+    let mut reps: Vec<(&Vec<CanonicalValue>, NodeId)> = groups
+        .iter()
+        .map(|(sig, members)| (sig, members[0]))
+        .collect();
+    reps.sort_by_key(|(_, rep)| *rep); // deterministic document order
+    for (_, rep) in reps {
+        w.open(&info_label);
+        for p in suggestion.key_paths.iter().chain(&suggestion.moved_paths) {
+            for n in p.resolve_from(tree, rep) {
+                w.copy_subtree(tree, n);
+            }
+        }
+        w.close();
+    }
+    Ok(w.finish())
+}
+
+/// XNF status of a document w.r.t. its discovered constraints.
+///
+/// Following the XML Normal Form of Arenas & Libkin (which Definition 11
+/// generalizes): the data witnesses an XNF violation exactly when some
+/// satisfied interesting FD's LHS fails to be an XML Key — i.e. when the
+/// report carries redundancies. `violations` lists the offending FDs.
+#[derive(Debug, Clone)]
+pub struct XnfReport {
+    /// True when no interesting FD indicates redundancy.
+    pub is_xnf: bool,
+    /// The FDs whose LHS is not a key (one per redundancy finding).
+    pub violations: Vec<crate::fd::Xfd>,
+}
+
+/// Assess XNF from a discovery report.
+pub fn xnf_report(report: &crate::driver::DiscoveryReport) -> XnfReport {
+    let violations: Vec<crate::fd::Xfd> =
+        report.redundancies.iter().map(|r| r.fd.clone()).collect();
+    XnfReport {
+        is_xnf: violations.is_empty(),
+        violations,
+    }
+}
+
+/// One round of [`normalize_fully`].
+#[derive(Debug)]
+pub struct NormalizeRound {
+    /// The suggestion applied this round.
+    pub applied: Suggestion,
+    /// Total redundant values before the round.
+    pub redundant_before: usize,
+    /// Total redundant values after the round.
+    pub redundant_after: usize,
+}
+
+/// Iteratively normalize: discover redundancies, apply the highest-saving
+/// *local* suggestion, repeat until no applicable redundancy remains or
+/// `max_rounds` is hit. Returns the restructured document and a log of
+/// rounds. Suggestions with inter-relation LHSs are skipped (the executor
+/// only handles local decompositions) and rounds that fail to reduce the
+/// redundancy count stop the loop (guaranteeing termination).
+pub fn normalize_fully(
+    tree: &xfd_xml::DataTree,
+    config: &crate::config::DiscoveryConfig,
+    max_rounds: usize,
+) -> (xfd_xml::DataTree, Vec<NormalizeRound>) {
+    let mut current = tree.clone();
+    let mut rounds = Vec::new();
+    for _ in 0..max_rounds {
+        let report = crate::driver::discover(&current, config);
+        let before: usize = report.redundancies.iter().map(|r| r.redundant_values).sum();
+        if before == 0 {
+            break;
+        }
+        let suggestions = suggest(&report.redundancies);
+        let Some((applied, next)) = suggestions
+            .iter()
+            .find_map(|s| apply(&current, s).ok().map(|t| (s.clone(), t)))
+        else {
+            break; // only inter-relation suggestions remain
+        };
+        let after_report = crate::driver::discover(&next, config);
+        let after: usize = after_report
+            .redundancies
+            .iter()
+            .map(|r| r.redundant_values)
+            .sum();
+        if after >= before {
+            break; // no progress; avoid oscillation
+        }
+        rounds.push(NormalizeRound {
+            applied,
+            redundant_before: before,
+            redundant_after: after,
+        });
+        current = next;
+    }
+    (current, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiscoveryConfig;
+    use crate::driver::discover;
+    use xfd_xml::parse;
+
+    #[test]
+    fn merges_rhs_paths_per_lhs() {
+        let t = parse(
+            "<w>\
+             <book><isbn>1</isbn><title>A</title><year>99</year></book>\
+             <book><isbn>1</isbn><title>A</title><year>99</year></book>\
+             <book><isbn>2</isbn><title>B</title><year>01</year></book>\
+             </w>",
+        )
+        .unwrap();
+        let report = discover(&t, &DiscoveryConfig::default());
+        let suggestions = suggest(&report.redundancies);
+        let isbn_sugg = suggestions
+            .iter()
+            .find(|s| s.key_paths.iter().any(|p| p.to_string() == "./isbn"))
+            .expect("suggestion keyed by isbn");
+        // title and year both move into the extracted element.
+        let moved: Vec<String> = isbn_sugg.moved_paths.iter().map(Path::to_string).collect();
+        assert!(moved.contains(&"./title".to_string()), "{moved:?}");
+        assert!(moved.contains(&"./year".to_string()), "{moved:?}");
+        assert!(isbn_sugg.redundant_values >= 2);
+    }
+
+    #[test]
+    fn suggestions_sorted_by_savings() {
+        let t = parse(
+            "<w>\
+             <book><isbn>1</isbn><title>A</title></book>\
+             <book><isbn>1</isbn><title>A</title></book>\
+             <book><isbn>1</isbn><title>A</title></book>\
+             <book><isbn>2</isbn><title>B</title></book>\
+             </w>",
+        )
+        .unwrap();
+        let report = discover(&t, &DiscoveryConfig::default());
+        let suggestions = suggest(&report.redundancies);
+        for pair in suggestions.windows(2) {
+            assert!(pair[0].redundant_values >= pair[1].redundant_values);
+        }
+    }
+
+    #[test]
+    fn apply_removes_the_redundancy() {
+        let t = parse(
+            "<w>\
+             <book><isbn>1</isbn><title>A</title><price>9</price></book>\
+             <book><isbn>1</isbn><title>A</title><price>7</price></book>\
+             <book><isbn>2</isbn><title>B</title><price>5</price></book>\
+             </w>",
+        )
+        .unwrap();
+        let before = discover(&t, &DiscoveryConfig::default());
+        let isbn_title = before
+            .redundancies
+            .iter()
+            .find(|r| r.fd.to_string() == "{./isbn} -> ./title w.r.t. C_book")
+            .expect("redundancy present before");
+        assert_eq!(isbn_title.redundant_values, 1);
+
+        let sugg = Suggestion {
+            tuple_class: "/w/book".parse().unwrap(),
+            key_paths: vec!["./isbn".parse().unwrap()],
+            moved_paths: vec!["./title".parse().unwrap()],
+            redundant_values: 1,
+        };
+        let decomposed = apply(&t, &sugg).unwrap();
+
+        // Titles now live once per ISBN in book_info elements.
+        let infos = "/w/book_info"
+            .parse::<xfd_xml::Path>()
+            .unwrap()
+            .resolve_all(&decomposed);
+        assert_eq!(infos.len(), 2);
+        // Books lost their titles.
+        let books = "/w/book"
+            .parse::<xfd_xml::Path>()
+            .unwrap()
+            .resolve_all(&decomposed);
+        assert_eq!(books.len(), 3);
+        for b in books {
+            assert!(decomposed.child_labeled(b, "title").is_none());
+        }
+        // The isbn→title redundancy is gone in rediscovery.
+        let after = discover(&decomposed, &DiscoveryConfig::default());
+        assert!(
+            !after
+                .redundancies
+                .iter()
+                .any(|r| r.fd.to_string() == "{./isbn} -> ./title w.r.t. C_book"),
+            "{:#?}",
+            after
+                .redundancies
+                .iter()
+                .map(|r| r.fd.to_string())
+                .collect::<Vec<_>>()
+        );
+        // No information lost: every (isbn, title) association is present.
+        let assoc: Vec<(String, String)> = "/w/book_info"
+            .parse::<xfd_xml::Path>()
+            .unwrap()
+            .resolve_all(&decomposed)
+            .iter()
+            .map(|&i| {
+                (
+                    decomposed
+                        .value(decomposed.child_labeled(i, "isbn").unwrap())
+                        .unwrap()
+                        .to_string(),
+                    decomposed
+                        .value(decomposed.child_labeled(i, "title").unwrap())
+                        .unwrap()
+                        .to_string(),
+                )
+            })
+            .collect();
+        let mut assoc = assoc;
+        assoc.sort();
+        assert_eq!(
+            assoc,
+            vec![
+                ("1".to_string(), "A".to_string()),
+                ("2".to_string(), "B".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn apply_preserves_null_key_instances() {
+        let t = parse(
+            "<w>\
+             <book><isbn>1</isbn><title>A</title></book>\
+             <book><title>Orphan</title></book>\
+             </w>",
+        )
+        .unwrap();
+        let sugg = Suggestion {
+            tuple_class: "/w/book".parse().unwrap(),
+            key_paths: vec!["./isbn".parse().unwrap()],
+            moved_paths: vec!["./title".parse().unwrap()],
+            redundant_values: 0,
+        };
+        let decomposed = apply(&t, &sugg).unwrap();
+        let books = "/w/book"
+            .parse::<xfd_xml::Path>()
+            .unwrap()
+            .resolve_all(&decomposed);
+        // The orphan keeps its title in place.
+        let orphan = books
+            .iter()
+            .find(|&&b| decomposed.child_labeled(b, "isbn").is_none())
+            .copied()
+            .expect("orphan book");
+        assert_eq!(
+            decomposed.value(decomposed.child_labeled(orphan, "title").unwrap()),
+            Some("Orphan")
+        );
+    }
+
+    #[test]
+    fn apply_handles_set_valued_moves() {
+        // Moving an author *set* copies every member once.
+        let t = parse(
+            "<w>\
+             <book><isbn>1</isbn><a>R</a><a>G</a></book>\
+             <book><isbn>1</isbn><a>G</a><a>R</a></book>\
+             </w>",
+        )
+        .unwrap();
+        let sugg = Suggestion {
+            tuple_class: "/w/book".parse().unwrap(),
+            key_paths: vec!["./isbn".parse().unwrap()],
+            moved_paths: vec!["./a".parse().unwrap()],
+            redundant_values: 1,
+        };
+        let decomposed = apply(&t, &sugg).unwrap();
+        let infos = "/w/book_info"
+            .parse::<xfd_xml::Path>()
+            .unwrap()
+            .resolve_all(&decomposed);
+        assert_eq!(infos.len(), 1);
+        assert_eq!(decomposed.children_labeled(infos[0], "a").count(), 2);
+        let books = "/w/book"
+            .parse::<xfd_xml::Path>()
+            .unwrap()
+            .resolve_all(&decomposed);
+        for b in books {
+            assert_eq!(decomposed.children_labeled(b, "a").count(), 0);
+        }
+    }
+
+    #[test]
+    fn normalize_fully_converges_and_reduces() {
+        let t = parse(
+            "<w>\
+             <book><isbn>1</isbn><title>A</title><year>99</year></book>\
+             <book><isbn>1</isbn><title>A</title><year>99</year></book>\
+             <book><isbn>1</isbn><title>A</title><year>99</year></book>\
+             <book><isbn>2</isbn><title>B</title><year>01</year></book>\
+             </w>",
+        )
+        .unwrap();
+        let cfg = DiscoveryConfig::default();
+        let (normalized, rounds) = normalize_fully(&t, &cfg, 10);
+        assert!(!rounds.is_empty());
+        for r in &rounds {
+            assert!(r.redundant_after < r.redundant_before, "{r:?}");
+        }
+        let before: usize = discover(&t, &cfg)
+            .redundancies
+            .iter()
+            .map(|r| r.redundant_values)
+            .sum();
+        let after: usize = discover(&normalized, &cfg)
+            .redundancies
+            .iter()
+            .map(|r| r.redundant_values)
+            .sum();
+        assert!(after < before, "{after} !< {before}");
+        // The associations survive: every original title reachable.
+        let titles = "/w/book_info/title".parse::<xfd_xml::Path>().unwrap();
+        assert!(!titles.resolve_all(&normalized).is_empty());
+    }
+
+    #[test]
+    fn normalization_reaches_xnf_on_simple_data() {
+        let t = parse(
+            "<w>\
+             <book><isbn>1</isbn><title>A</title></book>\
+             <book><isbn>1</isbn><title>A</title></book>\
+             <book><isbn>2</isbn><title>B</title></book>\
+             </w>",
+        )
+        .unwrap();
+        let cfg = DiscoveryConfig::default();
+        let before = xnf_report(&discover(&t, &cfg));
+        assert!(!before.is_xnf);
+        assert!(!before.violations.is_empty());
+        let (normalized, _) = normalize_fully(&t, &cfg, 10);
+        let after = xnf_report(&discover(&normalized, &cfg));
+        assert!(
+            after.is_xnf,
+            "still violating: {:?}",
+            after
+                .violations
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn normalize_fully_is_a_noop_on_clean_data() {
+        let t = parse("<w><book><isbn>1</isbn></book><book><isbn>2</isbn></book></w>").unwrap();
+        let (normalized, rounds) = normalize_fully(&t, &DiscoveryConfig::default(), 10);
+        assert!(rounds.is_empty());
+        assert_eq!(normalized.node_count(), t.node_count());
+    }
+
+    #[test]
+    fn apply_rejects_inter_relation_suggestions() {
+        let t = parse("<w><book><isbn>1</isbn></book></w>").unwrap();
+        let sugg = Suggestion {
+            tuple_class: "/w/book".parse().unwrap(),
+            key_paths: vec!["../name".parse().unwrap()],
+            moved_paths: vec!["./isbn".parse().unwrap()],
+            redundant_values: 0,
+        };
+        assert!(matches!(apply(&t, &sugg), Err(ApplyError::NonLocalPath(_))));
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let s = Suggestion {
+            tuple_class: "/w/book".parse().unwrap(),
+            key_paths: vec!["./isbn".parse().unwrap()],
+            moved_paths: vec!["./title".parse().unwrap()],
+            redundant_values: 3,
+        };
+        let text = s.to_string();
+        assert!(text.contains("C_book"));
+        assert!(text.contains("./isbn"));
+        assert!(text.contains("3 redundant values"));
+    }
+}

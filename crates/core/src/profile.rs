@@ -1,0 +1,175 @@
+//! Column-level data profiling over the relation forest — the summary
+//! statistics dependency miners conventionally ship (distinct counts,
+//! null rates, uniqueness, value-length ranges). Feeds the CLI's
+//! `profile` subcommand and helps users pick `max_lhs`/support knobs.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use xfd_relation::{ColumnKind, Forest};
+
+/// Statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    /// Relation (tuple class) label.
+    pub relation: String,
+    /// Column name.
+    pub column: String,
+    /// Cell semantics.
+    pub kind: ColumnKind,
+    /// Total tuples.
+    pub rows: usize,
+    /// Non-⊥ cells.
+    pub non_null: usize,
+    /// Distinct non-⊥ values.
+    pub distinct: usize,
+    /// Is the column unique over its non-⊥ cells (a key candidate)?
+    pub unique: bool,
+    /// Shortest/longest string value (simple columns only).
+    pub len_range: Option<(usize, usize)>,
+}
+
+impl ColumnProfile {
+    /// Null rate in `[0, 1]`.
+    pub fn null_rate(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            1.0 - self.non_null as f64 / self.rows as f64
+        }
+    }
+
+    /// Distinctness (distinct / non-null) in `[0, 1]`; 1.0 = unique.
+    pub fn distinctness(&self) -> f64 {
+        if self.non_null == 0 {
+            1.0
+        } else {
+            self.distinct as f64 / self.non_null as f64
+        }
+    }
+}
+
+/// Profile every column of the forest.
+pub fn profile(forest: &Forest) -> Vec<ColumnProfile> {
+    let mut out = Vec::new();
+    for rel in &forest.relations {
+        for col in &rel.columns {
+            let mut distinct: HashSet<u64> = HashSet::new();
+            let mut non_null = 0usize;
+            let mut len_range: Option<(usize, usize)> = None;
+            for cell in col.cells.iter().flatten() {
+                non_null += 1;
+                distinct.insert(*cell);
+                if col.kind == ColumnKind::Simple {
+                    let len = forest.dictionary.resolve_str(*cell).len();
+                    len_range = Some(match len_range {
+                        None => (len, len),
+                        Some((lo, hi)) => (lo.min(len), hi.max(len)),
+                    });
+                }
+            }
+            out.push(ColumnProfile {
+                relation: rel.name.clone(),
+                column: col.name.clone(),
+                kind: col.kind,
+                rows: rel.n_tuples(),
+                non_null,
+                distinct: distinct.len(),
+                unique: distinct.len() == non_null,
+                len_range,
+            });
+        }
+    }
+    out
+}
+
+/// Render profiles as an aligned text table.
+pub fn render(profiles: &[ColumnProfile]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:<20} {:>7} {:>9} {:>9} {:>7} {:>7}  len",
+        "relation", "column", "rows", "non-null", "distinct", "null%", "uniq"
+    );
+    for p in profiles {
+        let len = match p.len_range {
+            Some((lo, hi)) if lo == hi => format!("{lo}"),
+            Some((lo, hi)) => format!("{lo}-{hi}"),
+            None => "-".into(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:<20} {:>7} {:>9} {:>9} {:>6.1}% {:>7}  {}",
+            p.relation,
+            p.column,
+            p.rows,
+            p.non_null,
+            p.distinct,
+            p.null_rate() * 100.0,
+            if p.unique { "yes" } else { "no" },
+            len
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_relation::{encode, EncodeConfig};
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    fn profiles(xml: &str) -> Vec<ColumnProfile> {
+        let t = parse(xml).unwrap();
+        let schema = infer_schema(&t);
+        let forest = encode(&t, &schema, &EncodeConfig::default());
+        profile(&forest)
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let ps = profiles("<w><b><i>1</i><t>A</t></b><b><i>1</i></b><b><i>2</i><t>Bee</t></b></w>");
+        let i = ps.iter().find(|p| p.column == "i").unwrap();
+        assert_eq!(i.rows, 3);
+        assert_eq!(i.non_null, 3);
+        assert_eq!(i.distinct, 2);
+        assert!(!i.unique);
+        assert_eq!(i.null_rate(), 0.0);
+        let t = ps.iter().find(|p| p.column == "t").unwrap();
+        assert_eq!(t.non_null, 2);
+        assert!((t.null_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert!(t.unique);
+        assert_eq!(t.len_range, Some((1, 3)));
+    }
+
+    #[test]
+    fn set_columns_are_profiled_too() {
+        let ps = profiles("<w><b><a>x</a><a>y</a></b><b><a>y</a><a>x</a></b><b><a>z</a></b></w>");
+        let a = ps
+            .iter()
+            .find(|p| p.column == "a" && p.kind == ColumnKind::SetValue)
+            .unwrap();
+        assert_eq!(a.rows, 3);
+        assert_eq!(a.distinct, 2, "{{x,y}} shared by two books, {{z}} by one");
+        assert_eq!(a.len_range, None, "set cells have no string length");
+    }
+
+    #[test]
+    fn render_aligns_and_includes_every_column() {
+        let ps = profiles("<w><b><i>1</i><t>A</t></b><b><i>2</i><t>B</t></b></w>");
+        let text = render(&ps);
+        assert!(text.lines().count() > ps.len());
+        assert!(text.contains("uniq"));
+        assert!(text.contains("100.0%") || text.contains("0.0%"));
+    }
+
+    #[test]
+    fn empty_columns_have_full_null_rate() {
+        // Heterogeneous: second book lacks `t` entirely.
+        let ps = profiles("<w><b><t>A</t></b><b><t>B</t></b><b><i>1</i></b></w>");
+        let i = ps.iter().find(|p| p.column == "i").unwrap();
+        assert!((i.null_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(i.distinctness(), 1.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! XML data redundancy (Definition 11): a satisfied *interesting* XML FD
+//! `(C_p, LHS, RHS)` such that `(C_p, LHS)` is **not** an XML Key. Every
+//! LHS group with two or more tuples then stores its RHS value redundantly.
+//!
+//! Rather than cross-referencing the discovered key list (which is bounded
+//! by the same search budget as the FDs), the analyzer recomputes the LHS
+//! grouping directly from the relations — exact, and it also yields the
+//! redundancy *magnitude* (how many RHS values are stored redundantly).
+
+use std::collections::HashMap;
+
+use xfd_partition::AttrSet;
+use xfd_relation::{Forest, RelId};
+
+use crate::fd::Xfd;
+use crate::interesting::{fd_is_interesting, inter_fd_to_xfd, intra_fd_to_xfd};
+use crate::xfd::ForestDiscovery;
+
+/// One redundancy finding.
+#[derive(Debug, Clone)]
+pub struct Redundancy {
+    /// The satisfied interesting FD whose LHS fails to be a key.
+    pub fd: Xfd,
+    /// Number of LHS groups with ≥ 2 tuples.
+    pub groups: usize,
+    /// Σ (|group| − 1): how many tuples store an RHS value that is already
+    /// determined by another tuple.
+    pub redundant_values: usize,
+    /// Up to three example RHS values that are stored redundantly
+    /// (rendered; set-valued cells show their cardinality).
+    pub examples: Vec<String>,
+}
+
+/// Map each tuple of `origin` to its ancestor tuple in `target` (which must
+/// be `origin` itself or one of its ancestors in the relation tree).
+fn ancestor_map(forest: &Forest, origin: RelId, target: RelId) -> Vec<u32> {
+    let n = forest.relation(origin).n_tuples();
+    let mut map: Vec<u32> = (0..n as u32).collect();
+    let mut cur = origin;
+    while cur != target {
+        let rel = forest.relation(cur);
+        let parent = rel.parent.expect("target must be an ancestor of origin");
+        for m in &mut map {
+            *m = rel.parent_of[*m as usize];
+        }
+        cur = parent;
+    }
+    map
+}
+
+/// Group the origin relation's tuples by the joined LHS values; returns
+/// `(groups_with_2_plus, redundant_values)`.
+///
+/// Agreement follows the semantics the discovery algorithm implements
+/// (see DESIGN.md, "node-identity semantics for ancestor attributes"):
+/// a ⊥ cell agrees with nothing *except* the same underlying node — two
+/// tuples sharing the ancestor tuple that carries the ⊥ agree on it
+/// (that is exactly what `updatePT`'s pair-collapse rule assumes). In
+/// encoding terms a ⊥ cell contributes `(⊥, ancestor-tuple-id)` to the
+/// grouping key; for origin-level attributes the ancestor is the tuple
+/// itself, which reproduces plain strong satisfaction.
+pub fn lhs_grouping(forest: &Forest, origin: RelId, levels: &[(RelId, AttrSet)]) -> (usize, usize) {
+    let members = lhs_group_members(forest, origin, levels);
+    let groups = members.iter().filter(|g| g.len() >= 2).count();
+    let redundant = members
+        .iter()
+        .filter(|g| g.len() >= 2)
+        .map(|g| g.len() - 1)
+        .sum();
+    (groups, redundant)
+}
+
+/// The actual LHS groups (tuple indices of the origin relation), under the
+/// same agreement semantics as [`lhs_grouping`]. Singleton groups included.
+pub fn lhs_group_members(
+    forest: &Forest,
+    origin: RelId,
+    levels: &[(RelId, AttrSet)],
+) -> Vec<Vec<u32>> {
+    let n = forest.relation(origin).n_tuples();
+    let mut keys: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for &(lrel, attrs) in levels {
+        let amap = ancestor_map(forest, origin, lrel);
+        let rel = forest.relation(lrel);
+        for a in attrs.iter() {
+            let cells = &rel.columns[a].cells;
+            for (t, key) in keys.iter_mut().enumerate() {
+                match cells[amap[t] as usize] {
+                    Some(v) => {
+                        key.push(0);
+                        key.push(v);
+                    }
+                    None => {
+                        key.push(1);
+                        key.push(u64::from(amap[t]));
+                    }
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
+    for (t, key) in keys.into_iter().enumerate() {
+        groups.entry(key).or_default().push(t as u32);
+    }
+    let mut out: Vec<Vec<u32>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// Up to three rendered RHS example values from the ≥2-sized LHS groups.
+fn rhs_examples(
+    forest: &Forest,
+    origin: RelId,
+    levels: &[(RelId, AttrSet)],
+    rhs: usize,
+) -> Vec<String> {
+    use xfd_relation::ColumnKind;
+    let rel = forest.relation(origin);
+    let col = &rel.columns[rhs];
+    let mut out = Vec::new();
+    for g in lhs_group_members(forest, origin, levels) {
+        if g.len() < 2 {
+            continue;
+        }
+        if let Some(v) = col.cells[g[0] as usize] {
+            let rendered = match col.kind {
+                ColumnKind::Simple => {
+                    format!("{:?}", forest.dictionary.resolve_str(v))
+                }
+                ColumnKind::Complex => format!("#{v}"),
+                ColumnKind::SetValue => {
+                    format!(
+                        "a set of {} values",
+                        forest.dictionary.resolve_multiset(v).len()
+                    )
+                }
+            };
+            let entry = format!("{rendered} ×{}", g.len());
+            if !out.contains(&entry) {
+                out.push(entry);
+            }
+            if out.len() == 3 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Find every redundancy indicated by the discovered interesting FDs.
+pub fn analyze(forest: &Forest, disc: &ForestDiscovery) -> Vec<Redundancy> {
+    let mut out = Vec::new();
+    for rd in &disc.relations {
+        if forest.relation(rd.rel).parent.is_none() {
+            continue;
+        }
+        for fd in &rd.fds {
+            if !fd_is_interesting(forest, rd.rel, fd.rhs) {
+                continue;
+            }
+            let levels = [(rd.rel, fd.lhs)];
+            let (groups, redundant_values) = lhs_grouping(forest, rd.rel, &levels);
+            if groups > 0 {
+                out.push(Redundancy {
+                    fd: intra_fd_to_xfd(forest, rd.rel, fd),
+                    groups,
+                    redundant_values,
+                    examples: rhs_examples(forest, rd.rel, &levels, fd.rhs),
+                });
+            }
+        }
+    }
+    for fd in &disc.inter_fds {
+        if !fd_is_interesting(forest, fd.origin, fd.rhs) {
+            continue;
+        }
+        let (groups, redundant_values) = lhs_grouping(forest, fd.origin, &fd.lhs_levels);
+        if groups > 0 {
+            out.push(Redundancy {
+                fd: inter_fd_to_xfd(forest, fd),
+                groups,
+                redundant_values,
+                examples: rhs_examples(forest, fd.origin, &fd.lhs_levels, fd.rhs),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiscoveryConfig;
+    use crate::xfd::discover_forest;
+    use xfd_relation::{encode, EncodeConfig};
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    fn redundancies(xml: &str) -> Vec<Redundancy> {
+        let t = parse(xml).unwrap();
+        let schema = infer_schema(&t);
+        let forest = encode(&t, &schema, &EncodeConfig::default());
+        let disc = discover_forest(&forest, &DiscoveryConfig::default());
+        analyze(&forest, &disc)
+    }
+
+    #[test]
+    fn examples_show_the_duplicated_values() {
+        let reds = redundancies(
+            "<w>\
+             <book><isbn>1</isbn><title>DBMS</title></book>\
+             <book><isbn>1</isbn><title>DBMS</title></book>\
+             <book><isbn>2</isbn><title>TCP</title></book>\
+             </w>",
+        );
+        let r = reds
+            .iter()
+            .find(|r| r.fd.to_string() == "{./isbn} -> ./title w.r.t. C_book")
+            .unwrap();
+        assert_eq!(r.examples, vec!["\"DBMS\" ×2".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_titles_for_one_isbn_are_redundant() {
+        let reds = redundancies(
+            "<w>\
+             <book><isbn>1</isbn><title>DBMS</title></book>\
+             <book><isbn>1</isbn><title>DBMS</title></book>\
+             <book><isbn>1</isbn><title>DBMS</title></book>\
+             <book><isbn>2</isbn><title>TCP</title></book>\
+             </w>",
+        );
+        let r = reds
+            .iter()
+            .find(|r| r.fd.to_string() == "{./isbn} -> ./title w.r.t. C_book")
+            .expect("isbn→title redundancy");
+        assert_eq!(r.groups, 1);
+        assert_eq!(r.redundant_values, 2, "two extra copies of the title");
+    }
+
+    #[test]
+    fn key_lhs_produces_no_redundancy() {
+        let reds = redundancies(
+            "<w>\
+             <book><isbn>1</isbn><title>A</title></book>\
+             <book><isbn>2</isbn><title>A</title></book>\
+             </w>",
+        );
+        assert!(
+            reds.iter()
+                .all(|r| !r.fd.to_string().starts_with("{./isbn}")),
+            "isbn is a key here, no redundancy: {:?}",
+            reds.iter().map(|r| r.fd.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn inter_relation_redundancy_counts_cross_store_duplicates() {
+        // Same chain (name), same isbn, same price at two stores: the price
+        // is stored redundantly (the paper's Borders example).
+        let reds = redundancies(
+            "<w>\
+             <store><name>Borders</name><book><isbn>1</isbn><price>10</price></book>\
+               <book><isbn>2</isbn><price>20</price></book></store>\
+             <store><name>Borders</name><book><isbn>1</isbn><price>10</price></book></store>\
+             <store><name>WHSmith</name><book><isbn>1</isbn><price>12</price></book></store>\
+             </w>",
+        );
+        let r = reds
+            .iter()
+            .find(|r| r.fd.to_string() == "{./isbn, ../name} -> ./price w.r.t. C_book")
+            .expect("FD2-style redundancy");
+        assert_eq!(r.groups, 1);
+        assert_eq!(r.redundant_values, 1);
+    }
+
+    #[test]
+    fn set_element_redundancy_for_fd3() {
+        // The author *set* is stored redundantly for a repeated ISBN.
+        let reds = redundancies(
+            "<w>\
+             <book><isbn>1</isbn><a>R</a><a>G</a><title>T</title></book>\
+             <book><isbn>1</isbn><a>G</a><a>R</a><title>T</title></book>\
+             <book><isbn>2</isbn><a>R</a><title>U</title></book>\
+             </w>",
+        );
+        assert!(
+            reds.iter()
+                .any(|r| r.fd.to_string() == "{./isbn} -> ./a w.r.t. C_book"),
+            "{:?}",
+            reds.iter().map(|r| r.fd.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn null_lhs_tuples_do_not_group() {
+        let reds = redundancies(
+            "<w>\
+             <book><title>A</title></book>\
+             <book><title>A</title></book>\
+             <book><isbn>2</isbn><title>B</title></book>\
+             </w>",
+        );
+        // {./isbn} → ./title: books without isbn have ⊥ LHS — they never
+        // agree, so no redundancy via isbn.
+        assert!(reds
+            .iter()
+            .all(|r| !r.fd.to_string().starts_with("{./isbn}")));
+    }
+}

@@ -1,0 +1,306 @@
+//! Rendering of a [`DiscoveryReport`] as plain text or Markdown — shared
+//! by the CLI and downstream tooling.
+
+use std::fmt::Write as _;
+
+use crate::driver::DiscoveryReport;
+use crate::normalize::suggest;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderOptions {
+    /// Include the uninteresting FDs/keys section (when populated).
+    pub show_uninteresting: bool,
+    /// Include XNF refinement suggestions.
+    pub show_suggestions: bool,
+    /// Include work counters and timings.
+    pub show_stats: bool,
+}
+
+impl RenderOptions {
+    /// Everything on.
+    pub fn full() -> Self {
+        RenderOptions {
+            show_uninteresting: true,
+            show_suggestions: true,
+            show_stats: true,
+        }
+    }
+}
+
+/// Render as plain text (the CLI's `discover` output body).
+pub fn render_text(report: &DiscoveryReport, opts: &RenderOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Interesting XML FDs ({})", report.fds.len());
+    for fd in &report.fds {
+        let _ = writeln!(out, "  {fd}");
+    }
+    let _ = writeln!(out, "\n# XML Keys ({})", report.keys.len());
+    for key in &report.keys {
+        let _ = writeln!(out, "  {key}");
+    }
+    let _ = writeln!(out, "\n# Redundancies ({})", report.redundancies.len());
+    for r in &report.redundancies {
+        let _ = writeln!(
+            out,
+            "  {}  [{} groups, {} redundant values]",
+            r.fd, r.groups, r.redundant_values
+        );
+        if !r.examples.is_empty() {
+            let _ = writeln!(out, "      e.g. {}", r.examples.join(", "));
+        }
+    }
+    if opts.show_uninteresting
+        && (!report.uninteresting_fds.is_empty() || !report.uninteresting_keys.is_empty())
+    {
+        let _ = writeln!(
+            out,
+            "\n# Uninteresting FDs ({})",
+            report.uninteresting_fds.len()
+        );
+        for fd in &report.uninteresting_fds {
+            let _ = writeln!(out, "  {fd}");
+        }
+        let _ = writeln!(
+            out,
+            "\n# Uninteresting keys ({})",
+            report.uninteresting_keys.len()
+        );
+        for key in &report.uninteresting_keys {
+            let _ = writeln!(out, "  {key}");
+        }
+    }
+    if opts.show_suggestions {
+        let _ = writeln!(out, "\n# Refinement suggestions");
+        for s in suggest(&report.redundancies) {
+            let _ = writeln!(out, "  - {s}");
+        }
+    }
+    if opts.show_stats {
+        let _ = writeln!(
+            out,
+            "\n# Stats: {} lattice nodes, {} partitions, {} products, {} targets, {:?} total",
+            report.lattice_stats.nodes_visited,
+            report.lattice_stats.partitions_built,
+            report.lattice_stats.products,
+            report.target_stats.created,
+            report.timings.total()
+        );
+    }
+    out
+}
+
+/// Render as a Markdown document (for reports/CI artifacts).
+pub fn render_markdown(report: &DiscoveryReport, opts: &RenderOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Interesting XML FDs\n");
+    let _ = writeln!(out, "| # | FD |\n|---|---|");
+    for (i, fd) in report.fds.iter().enumerate() {
+        let _ = writeln!(out, "| {} | `{}` |", i + 1, fd);
+    }
+    let _ = writeln!(out, "\n## XML Keys\n");
+    let _ = writeln!(out, "| # | Key |\n|---|---|");
+    for (i, key) in report.keys.iter().enumerate() {
+        let _ = writeln!(out, "| {} | `{}` |", i + 1, key);
+    }
+    let _ = writeln!(out, "\n## Redundancies (Definition 11)\n");
+    let _ = writeln!(out, "| FD | groups | redundant values |\n|---|---|---|");
+    for r in &report.redundancies {
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} |",
+            r.fd, r.groups, r.redundant_values
+        );
+    }
+    if opts.show_suggestions {
+        let _ = writeln!(out, "\n## Refinement suggestions\n");
+        for s in suggest(&report.redundancies) {
+            let _ = writeln!(out, "- {s}");
+        }
+    }
+    if opts.show_stats {
+        let _ = writeln!(
+            out,
+            "\n---\n*{} lattice nodes · {} partitions · {} targets · {:?}*",
+            report.lattice_stats.nodes_visited,
+            report.lattice_stats.partitions_built,
+            report.target_stats.created,
+            report.timings.total()
+        );
+    }
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render as a JSON document (machine-readable CI artifact). Hand-rolled
+/// (no serde) — the schema is small and stable:
+///
+/// ```json
+/// {
+///   "fds": [{"class": "...", "lhs": ["..."], "rhs": "...", "scope": "intra|inter"}],
+///   "keys": [{"class": "...", "lhs": ["..."]}],
+///   "redundancies": [{"fd": "...", "groups": n, "redundant_values": n}],
+///   "stats": {...}
+/// }
+/// ```
+pub fn render_json(report: &DiscoveryReport) -> String {
+    let mut out = String::from("{\n  \"fds\": [");
+    for (i, fd) in report.fds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let lhs: Vec<String> = fd
+            .lhs
+            .iter()
+            .map(|p| format!("\"{}\"", json_escape(&p.to_string())))
+            .collect();
+        let _ = write!(
+            out,
+            "\n    {{\"class\": \"{}\", \"lhs\": [{}], \"rhs\": \"{}\", \"scope\": \"{}\"}}",
+            json_escape(&fd.tuple_class.to_string()),
+            lhs.join(", "),
+            json_escape(&fd.rhs.to_string()),
+            match fd.scope {
+                crate::fd::FdScope::IntraRelation => "intra",
+                crate::fd::FdScope::InterRelation => "inter",
+            }
+        );
+    }
+    out.push_str("\n  ],\n  \"keys\": [");
+    for (i, key) in report.keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let lhs: Vec<String> = key
+            .lhs
+            .iter()
+            .map(|p| format!("\"{}\"", json_escape(&p.to_string())))
+            .collect();
+        let _ = write!(
+            out,
+            "\n    {{\"class\": \"{}\", \"lhs\": [{}]}}",
+            json_escape(&key.tuple_class.to_string()),
+            lhs.join(", ")
+        );
+    }
+    out.push_str("\n  ],\n  \"redundancies\": [");
+    for (i, r) in report.redundancies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"fd\": \"{}\", \"groups\": {}, \"redundant_values\": {}}}",
+            json_escape(&r.fd.to_string()),
+            r.groups,
+            r.redundant_values
+        );
+    }
+    let _ = write!(
+        out,
+        "\n  ],\n  \"stats\": {{\"lattice_nodes\": {}, \"partitions\": {}, \"products\": {}, \"targets_created\": {}, \"total_ms\": {:.3}}}\n}}\n",
+        report.lattice_stats.nodes_visited,
+        report.lattice_stats.partitions_built,
+        report.lattice_stats.products,
+        report.target_stats.created,
+        report.timings.total().as_secs_f64() * 1e3
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiscoveryConfig;
+    use crate::driver::discover;
+    use xfd_xml::parse;
+
+    fn sample() -> DiscoveryReport {
+        let t = parse(
+            "<w><book><i>1</i><t>A</t></book><book><i>1</i><t>A</t></book>\
+                <book><i>2</i><t>B</t></book></w>",
+        )
+        .unwrap();
+        discover(
+            &t,
+            &DiscoveryConfig {
+                keep_uninteresting: true,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn text_rendering_contains_all_sections() {
+        let text = render_text(&sample(), &RenderOptions::full());
+        for needle in [
+            "# Interesting XML FDs",
+            "# XML Keys",
+            "# Redundancies",
+            "# Refinement",
+            "# Stats",
+        ] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+        assert!(text.contains("{./i} -> ./t w.r.t. C_book"));
+    }
+
+    #[test]
+    fn markdown_rendering_is_tabular() {
+        let md = render_markdown(&sample(), &RenderOptions::full());
+        assert!(md.contains("## Interesting XML FDs"));
+        assert!(md.contains("| `{./i} -> ./t w.r.t. C_book` |"));
+        assert!(md.contains("|---|"));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let json = render_json(&sample());
+        // Structural sanity without a JSON parser dependency: balanced
+        // braces/brackets and the expected keys.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"fds\"",
+            "\"keys\"",
+            "\"redundancies\"",
+            "\"stats\"",
+            "\"scope\"",
+        ] {
+            assert!(json.contains(key), "missing {key}:\n{json}");
+        }
+        assert!(json.contains("{./i} -> ./t w.r.t. C_book"));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn sections_are_optional() {
+        let minimal = render_text(&sample(), &RenderOptions::default());
+        assert!(!minimal.contains("# Stats"));
+        assert!(!minimal.contains("# Refinement"));
+        assert!(!minimal.contains("# Uninteresting"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Sample-then-validate discovery — a scalability technique layered over
+//! the paper's algorithms (in the spirit of later FD miners à la HyFD):
+//!
+//! 1. discover candidate FDs on a systematic sample of each relation's
+//!    tuples (the lattice shrinks because partitions are smaller and more
+//!    FDs *appear* to hold, pruning more aggressively);
+//! 2. validate every candidate on the full relation with one partition
+//!    refinement check each (linear, no lattice).
+//!
+//! Sampling can only *over*-report candidates (an FD that holds on all
+//! tuples holds on any subset), so step 2 restores exactness for the FDs
+//! it validates. What sampling can lose is **completeness of minimal
+//! LHSs**: an FD may hold on the sample with a *smaller* LHS than on the
+//! full data, and the larger true-minimal variant is then never generated.
+//! [`sampled_intra`] therefore *expands* failed candidates by one
+//! attribute before giving up (a single repair round), which in practice
+//! recovers most of the gap; the trade-off is quantified in experiment
+//! `fig10`.
+
+use xfd_partition::{AttrSet, Partition};
+
+use crate::intra::{discover_intra, IntraOptions, IntraResult};
+use crate::lattice::IntraFd;
+
+/// Options for sampled discovery.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleOptions {
+    /// Keep every `stride`-th tuple (stride 1 = no sampling).
+    pub stride: usize,
+    /// Underlying lattice options for the sample pass.
+    pub intra: IntraOptions,
+    /// Attempt one LHS-expansion repair round for failed candidates.
+    pub repair: bool,
+}
+
+impl Default for SampleOptions {
+    fn default() -> Self {
+        SampleOptions {
+            stride: 4,
+            intra: IntraOptions::default(),
+            repair: true,
+        }
+    }
+}
+
+/// Result of a sampled run, with validation counters.
+#[derive(Debug, Clone, Default)]
+pub struct SampledResult {
+    /// FDs that validated on the full relation (exact).
+    pub fds: Vec<IntraFd>,
+    /// Keys that validated on the full relation (exact).
+    pub keys: Vec<AttrSet>,
+    /// Candidates from the sample that failed full validation.
+    pub rejected: usize,
+    /// Candidates recovered by the repair round.
+    pub repaired: usize,
+}
+
+fn full_partition(columns: &[&[Option<u64>]], attrs: AttrSet, n: usize) -> Partition {
+    let mut acc = Partition::universal(n);
+    for a in attrs.iter() {
+        acc = acc.product(&Partition::from_column(columns[a]));
+    }
+    acc
+}
+
+fn fd_holds_full(columns: &[&[Option<u64>]], fd: &IntraFd, n: usize) -> bool {
+    let pl = full_partition(columns, fd.lhs, n);
+    let pa = pl.product(&Partition::from_column(columns[fd.rhs]));
+    pl.same_as_refining(&pa)
+}
+
+/// Sampled intra-relation discovery with full validation.
+pub fn sampled_intra(
+    columns: &[&[Option<u64>]],
+    n_tuples: usize,
+    opts: &SampleOptions,
+) -> SampledResult {
+    let stride = opts.stride.max(1);
+    if stride == 1 || n_tuples <= 2 * stride {
+        let exact = discover_intra(columns, n_tuples, &opts.intra);
+        return SampledResult {
+            fds: exact.fds,
+            keys: exact.keys,
+            rejected: 0,
+            repaired: 0,
+        };
+    }
+    // Systematic sample (deterministic; respects value distributions well
+    // enough for candidate generation).
+    let sampled: Vec<Vec<Option<u64>>> = columns
+        .iter()
+        .map(|col| col.iter().copied().step_by(stride).collect())
+        .collect();
+    let sampled_refs: Vec<&[Option<u64>]> = sampled.iter().map(Vec::as_slice).collect();
+    let sample_n = sampled.first().map_or(0, Vec::len);
+    let candidates: IntraResult = discover_intra(&sampled_refs, sample_n, &opts.intra);
+
+    let mut out = SampledResult::default();
+    let mut failed: Vec<IntraFd> = Vec::new();
+    for fd in &candidates.fds {
+        if fd_holds_full(columns, fd, n_tuples) {
+            out.fds.push(*fd);
+        } else {
+            failed.push(*fd);
+            out.rejected += 1;
+        }
+    }
+    // Keys validate the same way: the full partition must be singleton-free.
+    for &k in &candidates.keys {
+        if full_partition(columns, k, n_tuples).is_key() {
+            out.keys.push(k);
+        } else {
+            out.rejected += 1;
+        }
+    }
+    if opts.repair {
+        // One expansion round: try adding each absent attribute to a failed
+        // LHS; keep minimal validated expansions.
+        for fd in failed {
+            for a in 0..columns.len() {
+                if fd.lhs.contains(a) || a == fd.rhs {
+                    continue;
+                }
+                let bigger = IntraFd {
+                    lhs: fd.lhs.insert(a),
+                    rhs: fd.rhs,
+                };
+                let subsumed = out
+                    .fds
+                    .iter()
+                    .any(|f| f.rhs == bigger.rhs && f.lhs.is_subset_of(bigger.lhs));
+                if !subsumed && fd_holds_full(columns, &bigger, n_tuples) {
+                    out.fds.push(bigger);
+                    out.repaired += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns_with_fd(n: usize) -> Vec<Vec<Option<u64>>> {
+        // a0 → a1 everywhere; a2 random-ish; a0,a2 → a3.
+        (0..4)
+            .map(|c| {
+                (0..n)
+                    .map(|i| {
+                        let a0 = (i * 7) as u64 % 13;
+                        let a2 = (i * 11) as u64 % 5;
+                        Some(match c {
+                            0 => a0,
+                            1 => a0 * 3 + 1,
+                            2 => a2,
+                            _ => a0 * 10 + a2,
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn validated_fds_always_hold_on_full_data() {
+        let cols = columns_with_fd(400);
+        let refs: Vec<&[Option<u64>]> = cols.iter().map(Vec::as_slice).collect();
+        let res = sampled_intra(&refs, 400, &SampleOptions::default());
+        for fd in &res.fds {
+            assert!(fd_holds_full(&refs, fd, 400), "unsound sampled FD {fd:?}");
+        }
+        // The injected FDs are found.
+        assert!(res
+            .fds
+            .iter()
+            .any(|f| f.lhs == AttrSet::single(0) && f.rhs == 1));
+    }
+
+    #[test]
+    fn sampling_rejects_spurious_candidates() {
+        // a0 → a1 holds on every 4th tuple but not globally (violations at
+        // odd indices only).
+        let n = 200;
+        let a0: Vec<Option<u64>> = (0..n).map(|i| Some((i / 2) as u64)).collect();
+        let a1: Vec<Option<u64>> = (0..n)
+            .map(|i| Some(if i % 2 == 0 { (i / 2) as u64 } else { 999 }))
+            .collect();
+        let refs: Vec<&[Option<u64>]> = vec![&a0, &a1];
+        let opts = SampleOptions {
+            stride: 2,
+            repair: false,
+            ..Default::default()
+        };
+        let res = sampled_intra(&refs, n, &opts);
+        assert!(
+            !res.fds
+                .iter()
+                .any(|f| f.lhs == AttrSet::single(0) && f.rhs == 1),
+            "spurious FD must be rejected by validation"
+        );
+        assert!(res.rejected > 0);
+    }
+
+    #[test]
+    fn stride_one_is_exact() {
+        let cols = columns_with_fd(100);
+        let refs: Vec<&[Option<u64>]> = cols.iter().map(Vec::as_slice).collect();
+        let exact = discover_intra(&refs, 100, &IntraOptions::default());
+        let res = sampled_intra(
+            &refs,
+            100,
+            &SampleOptions {
+                stride: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.fds, exact.fds);
+        assert_eq!(res.keys, exact.keys);
+        assert_eq!(res.rejected, 0);
+    }
+
+    #[test]
+    fn repair_recovers_expanded_lhs() {
+        // On the sample, a2 → a3 may appear to hold (few a2 collisions);
+        // on the full data only {a0, a2} → a3 holds. Repair should find it
+        // if the small candidate fails.
+        let cols = columns_with_fd(600);
+        let refs: Vec<&[Option<u64>]> = cols.iter().map(Vec::as_slice).collect();
+        let res = sampled_intra(
+            &refs,
+            600,
+            &SampleOptions {
+                stride: 8,
+                ..Default::default()
+            },
+        );
+        let found = res
+            .fds
+            .iter()
+            .any(|f| f.rhs == 3 && f.lhs.is_subset_of(AttrSet::from_iter([0, 2])));
+        assert!(found, "{:?}", res.fds);
+    }
+
+    #[test]
+    fn keys_are_validated() {
+        // a3 is a key on the full data in columns_with_fd? a3 = a0*10+a2 —
+        // collides across i. Construct an explicit one.
+        let n = 120;
+        let id: Vec<Option<u64>> = (0..n).map(|i| Some(i as u64)).collect();
+        let grp: Vec<Option<u64>> = (0..n).map(|i| Some((i % 7) as u64)).collect();
+        let refs: Vec<&[Option<u64>]> = vec![&id, &grp];
+        let res = sampled_intra(&refs, n, &SampleOptions::default());
+        assert!(res.keys.contains(&AttrSet::single(0)));
+        assert!(!res.keys.contains(&AttrSet::single(1)));
+    }
+
+    #[test]
+    fn default_prune_config_is_used() {
+        let opts = SampleOptions::default();
+        assert!(opts.intra.prune.rule1 && opts.intra.prune.key_prune);
+    }
+}

@@ -1,0 +1,840 @@
+//! `DiscoverXFD` (Figure 9): bottom-up traversal of the relation forest,
+//! discovering intra-relation FDs/keys per relation and inter-relation
+//! FDs/keys by propagating partition targets from child relations to their
+//! ancestors.
+
+use std::collections::{HashMap, VecDeque};
+
+use xfd_partition::{AttrSet, GroupMap, Partition, PartitionCache};
+use xfd_relation::{Forest, RelId};
+
+use crate::config::DiscoveryConfig;
+use crate::intra::RunStats;
+use crate::lattice::{candidate_lhs, ensure, IntraFd};
+use crate::target::{create_target, update_target, CreateOutcome, PartitionTarget};
+
+/// A discovered inter-relation FD, in raw (relation, attribute) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawInterFd {
+    /// Relation of the tuple class the FD is about.
+    pub origin: RelId,
+    /// RHS column in the origin relation.
+    pub rhs: usize,
+    /// LHS per level: `(relation, attributes)`, origin first, then
+    /// successively higher ancestors.
+    pub lhs_levels: Vec<(RelId, AttrSet)>,
+}
+
+/// A discovered inter-relation XML Key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawInterKey {
+    /// Relation of the tuple class.
+    pub origin: RelId,
+    /// LHS per level, origin first.
+    pub lhs_levels: Vec<(RelId, AttrSet)>,
+}
+
+/// Per-relation intra results.
+#[derive(Debug, Clone)]
+pub struct RelationDiscovery {
+    /// The relation.
+    pub rel: RelId,
+    /// Minimal intra-relation FDs (attribute indices).
+    pub fds: Vec<IntraFd>,
+    /// Minimal intra-relation keys.
+    pub keys: Vec<AttrSet>,
+}
+
+/// Counters specific to the inter-relation machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TargetStats {
+    /// Partition targets created from unsatisfied edges.
+    pub created: usize,
+    /// Targets propagated to a parent relation.
+    pub propagated: usize,
+    /// Targets dropped because a conflicting pair collapsed.
+    pub dropped_impossible: usize,
+    /// Targets dropped by the pair/target caps.
+    pub dropped_overflow: usize,
+}
+
+/// Full output of the forest traversal.
+#[derive(Debug)]
+pub struct ForestDiscovery {
+    /// Intra results per relation (same order as `forest.relations`).
+    pub relations: Vec<RelationDiscovery>,
+    /// Inter-relation FDs.
+    pub inter_fds: Vec<RawInterFd>,
+    /// Inter-relation keys.
+    pub inter_keys: Vec<RawInterKey>,
+    /// Lattice work counters, summed over relations.
+    pub lattice_stats: RunStats,
+    /// Partition-target counters.
+    pub target_stats: TargetStats,
+}
+
+/// Everything one relation's pass produces (kept local so relation passes
+/// can run on worker threads).
+struct RelationOutput {
+    local: RelationDiscovery,
+    inter_fds: Vec<RawInterFd>,
+    inter_keys: Vec<RawInterKey>,
+    lattice: RunStats,
+    targets: TargetStats,
+    outgoing: Vec<PartitionTarget>,
+}
+
+/// Run `DiscoverXFD` over an encoded forest. With
+/// [`DiscoveryConfig::parallel`], independent relations (same depth in the
+/// relation tree) are processed on scoped worker threads; results are
+/// merged in relation order, so the output is identical either way.
+pub fn discover_forest(forest: &Forest, config: &DiscoveryConfig) -> ForestDiscovery {
+    let mut out = ForestDiscovery {
+        relations: Vec::with_capacity(forest.relations.len()),
+        inter_fds: Vec::new(),
+        inter_keys: Vec::new(),
+        lattice_stats: RunStats::default(),
+        target_stats: TargetStats::default(),
+    };
+    // Incoming partition targets per relation, pairs in that relation's
+    // tuple space.
+    let mut inbox: HashMap<RelId, Vec<PartitionTarget>> = HashMap::new();
+
+    // Group relations by depth in the relation tree; process deepest wave
+    // first. Relations within a wave never feed each other.
+    let mut depth: HashMap<RelId, usize> = HashMap::new();
+    for rel in &forest.relations {
+        let d = rel.parent.map_or(0, |p| depth[&p] + 1);
+        depth.insert(rel.id, d);
+    }
+    let max_depth = depth.values().copied().max().unwrap_or(0);
+    let mut waves: Vec<Vec<RelId>> = vec![Vec::new(); max_depth + 1];
+    for rel_id in forest.bottom_up() {
+        waves[depth[&rel_id]].push(rel_id);
+    }
+
+    for wave in waves.into_iter().rev() {
+        let jobs: Vec<(RelId, Vec<PartitionTarget>)> = wave
+            .into_iter()
+            .map(|rel_id| (rel_id, inbox.remove(&rel_id).unwrap_or_default()))
+            .collect();
+        let results: Vec<RelationOutput> = if config.parallel && jobs.len() > 1 {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|(rel_id, incoming)| {
+                        scope.spawn(move |_| process_relation(forest, rel_id, incoming, config))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("relation worker"))
+                    .collect()
+            })
+            .expect("scoped threads")
+        } else {
+            jobs.into_iter()
+                .map(|(rel_id, incoming)| process_relation(forest, rel_id, incoming, config))
+                .collect()
+        };
+        for mut result in results {
+            let rel_id = result.local.rel;
+            out.inter_fds.append(&mut result.inter_fds);
+            out.inter_keys.append(&mut result.inter_keys);
+            out.lattice_stats.absorb(&result.lattice);
+            out.target_stats.created += result.targets.created;
+            out.target_stats.propagated += result.targets.propagated;
+            out.target_stats.dropped_impossible += result.targets.dropped_impossible;
+            out.target_stats.dropped_overflow += result.targets.dropped_overflow;
+            out.relations.push(result.local);
+            if let Some(parent) = forest.relation(rel_id).parent {
+                let mut outgoing = result.outgoing;
+                let room = config
+                    .max_partition_targets
+                    .saturating_sub(inbox.get(&parent).map_or(0, Vec::len));
+                if outgoing.len() > room {
+                    out.target_stats.dropped_overflow += outgoing.len() - room;
+                    outgoing.truncate(room);
+                }
+                inbox.entry(parent).or_default().extend(outgoing);
+            }
+        }
+    }
+    // Relations vector was filled bottom-up; restore forest order.
+    out.relations.sort_by_key(|r| r.rel);
+    minimize_inter(&mut out);
+    out
+}
+
+/// Canonical sorted attribute list of an LHS spanning levels.
+fn attr_list(levels: &[(RelId, AttrSet)]) -> Vec<(u32, usize)> {
+    let mut v: Vec<(u32, usize)> = levels
+        .iter()
+        .flat_map(|&(r, s)| s.iter().map(move |a| (r.0, a)))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn is_sub(a: &[(u32, usize)], b: &[(u32, usize)]) -> bool {
+    a.iter().all(|x| b.contains(x))
+}
+
+/// Drop inter-relation FDs/keys whose LHS is a strict superset of another
+/// discovered one with the same origin (and RHS, for FDs). Two partition
+/// targets with comparable origin LHSs can both complete at an ancestor,
+/// yielding a non-minimal cousin; the paper leaves this implicit.
+/// Canonicalized LHS of one inter-relation FD: `(origin, rhs, attrs)`.
+type FdSignature = (RelId, usize, Vec<(u32, usize)>);
+
+fn minimize_inter(out: &mut ForestDiscovery) {
+    let fd_lists: Vec<FdSignature> = out
+        .inter_fds
+        .iter()
+        .map(|fd| (fd.origin, fd.rhs, attr_list(&fd.lhs_levels)))
+        .collect();
+    let mut keep_fd = vec![true; fd_lists.len()];
+    for i in 0..fd_lists.len() {
+        for j in 0..fd_lists.len() {
+            if i == j || !keep_fd[i] {
+                continue;
+            }
+            let (oi, ri, ref li) = fd_lists[i];
+            let (oj, rj, ref lj) = fd_lists[j];
+            if oi == oj
+                && ri == rj
+                && is_sub(lj, li)
+                && (lj.len() < li.len() || j < i)
+                && keep_fd[j]
+            {
+                keep_fd[i] = false;
+            }
+        }
+    }
+    let mut it = keep_fd.iter();
+    out.inter_fds
+        .retain(|_| *it.next().expect("keep mask aligned"));
+
+    let key_lists: Vec<(RelId, Vec<(u32, usize)>)> = out
+        .inter_keys
+        .iter()
+        .map(|k| (k.origin, attr_list(&k.lhs_levels)))
+        .collect();
+    let mut keep_key = vec![true; key_lists.len()];
+    for i in 0..key_lists.len() {
+        for j in 0..key_lists.len() {
+            if i == j || !keep_key[i] {
+                continue;
+            }
+            let (oi, ref li) = key_lists[i];
+            let (oj, ref lj) = key_lists[j];
+            if oi == oj && is_sub(lj, li) && (lj.len() < li.len() || j < i) && keep_key[j] {
+                keep_key[i] = false;
+            }
+        }
+    }
+    let mut it = keep_key.iter();
+    out.inter_keys
+        .retain(|_| *it.next().expect("keep mask aligned"));
+}
+
+/// Process one relation: intra discovery, partition-target checks, target
+/// creation. Returns the targets bound for the parent relation (pairs in
+/// the parent's tuple space).
+fn process_relation(
+    forest: &Forest,
+    rel_id: RelId,
+    mut incoming: Vec<PartitionTarget>,
+    config: &DiscoveryConfig,
+) -> RelationOutput {
+    let rel = forest.relation(rel_id);
+    let n = rel.n_tuples();
+    let has_parent = rel.parent.is_some();
+    let mut out = RelationOutput {
+        local: RelationDiscovery {
+            rel: rel_id,
+            fds: Vec::new(),
+            keys: Vec::new(),
+        },
+        inter_fds: Vec::new(),
+        inter_keys: Vec::new(),
+        lattice: RunStats::default(),
+        targets: TargetStats::default(),
+        outgoing: Vec::new(),
+    };
+
+    if n <= 1 {
+        // A 0/1-tuple relation (always including the root): the empty set
+        // is a key and no FDs are checkable. Incoming targets cannot exist
+        // (their pairs would have collapsed on the way in).
+        out.local.keys.push(AttrSet::empty());
+        debug_assert!(incoming.is_empty());
+        return out;
+    }
+
+    // Self-reference guard: an incoming target that originated below child
+    // relation `c` must not have its LHS extended with this relation's
+    // set-valued column aggregating `c` — that cell *contains* the very
+    // tuples being compared (and would render as a degenerate path).
+    let excluded_col_for = |origin: RelId| -> Option<usize> {
+        let mut cur = origin;
+        loop {
+            let r = forest.relation(cur);
+            match r.parent {
+                Some(p) if p == rel_id => {
+                    return rel.columns.iter().position(|col| col.elem == r.pivot);
+                }
+                Some(p) => cur = p,
+                None => return None,
+            }
+        }
+    };
+
+    // The paper's lines 8–10: every incoming target also propagates with no
+    // local attributes (Π_∅ satisfies nothing), letting higher ancestors
+    // satisfy it alone.
+    if has_parent && config.inter_relation {
+        for pt in &incoming {
+            match update_target(
+                pt,
+                rel_id,
+                AttrSet::empty(),
+                pt.fd_target.clone(),
+                pt.key_target.clone(),
+                &rel.parent_of,
+            ) {
+                Some(up) => {
+                    out.targets.propagated += 1;
+                    out.outgoing.push(up);
+                }
+                None => out.targets.dropped_impossible += 1,
+            }
+        }
+    }
+
+    let excluded: Vec<Option<usize>> = incoming
+        .iter()
+        .map(|pt| excluded_col_for(pt.origin))
+        .collect();
+
+    let mut cache = PartitionCache::new();
+    cache.insert(AttrSet::empty(), Partition::universal(n));
+    let columns: Vec<&[Option<u64>]> = rel.columns.iter().map(|c| c.cells.as_slice()).collect();
+    for (i, col) in columns.iter().enumerate() {
+        cache.insert(AttrSet::single(i), Partition::from_column(col));
+    }
+
+    let mut stats = RunStats::default();
+    let mut queue: VecDeque<AttrSet> = (0..columns.len()).map(AttrSet::single).collect();
+    while let Some(a_set) = queue.pop_front() {
+        if config.prune.key_prune && out.local.keys.iter().any(|k| k.is_subset_of(a_set)) {
+            stats.nodes_key_skipped += 1;
+            continue;
+        }
+        // candidateLHS2: rule 2 off (an intra-non-minimal edge can still
+        // seed a minimal inter-relation FD).
+        let cands = candidate_lhs(
+            a_set,
+            &out.local.fds,
+            &config.prune,
+            false,
+            config.empty_lhs,
+        );
+        if a_set.len() > 1 && cands.is_empty() {
+            continue;
+        }
+        ensure(&mut cache, a_set, &cands);
+        stats.nodes_visited += 1;
+        stats.max_level = stats.max_level.max(a_set.len());
+
+        let pa = cache.get(a_set).expect("ensured");
+        if pa.is_key() {
+            out.local.keys.push(a_set);
+            // Figure 9 lines 18–25 (with the Key/FD branches un-swapped,
+            // see DESIGN.md): a local key satisfies every FD target; the
+            // key target is satisfied exactly when still valid.
+            for (i, pt) in incoming.iter_mut().enumerate() {
+                if excluded[i].is_some_and(|c| a_set.contains(c)) {
+                    continue;
+                }
+                emit_for_satisfying_set(
+                    pt,
+                    rel_id,
+                    a_set,
+                    pt.key_target.is_some(),
+                    &mut out.inter_fds,
+                    &mut out.inter_keys,
+                );
+            }
+            continue;
+        }
+
+        // Figure 9 lines 26–33: check incoming targets against Π_A.
+        if !incoming.is_empty() {
+            let gm = GroupMap::new(pa);
+            for (i, pt) in incoming.iter_mut().enumerate() {
+                if excluded[i].is_some_and(|c| a_set.contains(c)) {
+                    continue;
+                }
+                if pt.fd_target.satisfied_by(&gm) {
+                    let key_sat = pt
+                        .key_target
+                        .as_ref()
+                        .is_some_and(|kt| kt.satisfied_by(&gm));
+                    emit_for_satisfying_set(
+                        pt,
+                        rel_id,
+                        a_set,
+                        key_sat,
+                        &mut out.inter_fds,
+                        &mut out.inter_keys,
+                    );
+                } else if has_parent && config.inter_relation && !a_set.is_empty() {
+                    let remaining = pt.fd_target.unsatisfied_under(&gm);
+                    if remaining.len() < pt.fd_target.len() {
+                        // Π_A separated some pairs: propagate the extension.
+                        let rem_key = pt.key_target.as_ref().map(|kt| kt.unsatisfied_under(&gm));
+                        match update_target(pt, rel_id, a_set, remaining, rem_key, &rel.parent_of) {
+                            Some(up) => {
+                                out.targets.propagated += 1;
+                                out.outgoing.push(up);
+                            }
+                            None => out.targets.dropped_impossible += 1,
+                        }
+                    }
+                }
+            }
+        }
+
+        // Figure 9 lines 34–37: edges — satisfied intra FDs or new targets.
+        for &al in &cands {
+            ensure(&mut cache, al, &[]);
+        }
+        let pa = cache.get(a_set).expect("ensured");
+        for &al in &cands {
+            let pl = cache.get(al).expect("ensured");
+            let rhs = a_set
+                .minus(al)
+                .max_attr()
+                .expect("al = a_set minus one attribute");
+            if pl.same_as_refining(pa) {
+                out.local.fds.push(IntraFd { lhs: al, rhs });
+            } else if has_parent && config.inter_relation {
+                match create_target(
+                    rel_id,
+                    rhs,
+                    al,
+                    pl,
+                    pa,
+                    &rel.parent_of,
+                    config.max_partition_targets,
+                ) {
+                    CreateOutcome::Target(pt) => {
+                        out.targets.created += 1;
+                        out.outgoing.push(*pt);
+                    }
+                    CreateOutcome::Impossible => out.targets.dropped_impossible += 1,
+                    CreateOutcome::Overflow => out.targets.dropped_overflow += 1,
+                }
+            }
+        }
+
+        if a_set.len() <= config.lhs_bound() {
+            let last = a_set.max_attr().expect("non-empty node");
+            for next in last + 1..columns.len() {
+                let bigger = a_set.insert(next);
+                if config.prune.key_prune && out.local.keys.iter().any(|k| k.is_subset_of(bigger)) {
+                    continue;
+                }
+                queue.push_back(bigger);
+            }
+        }
+    }
+
+    let cs = cache.stats();
+    stats.products = cs.products;
+    stats.partitions_built = cs.partitions_built;
+    out.lattice = stats;
+    out
+}
+
+/// Emit the inter-relation FD or Key completed by attribute set `a_set` of
+/// relation `rel_id` satisfying target `pt`, with per-target minimality
+/// (skip if a recorded subset already satisfied it).
+fn emit_for_satisfying_set(
+    pt: &mut PartitionTarget,
+    rel_id: RelId,
+    a_set: AttrSet,
+    key_satisfied: bool,
+    inter_fds: &mut Vec<RawInterFd>,
+    inter_keys: &mut Vec<RawInterKey>,
+) {
+    let fd_covered = pt.satisfied_fd.iter().any(|b| b.is_subset_of(a_set));
+    if key_satisfied {
+        let key_covered = pt.satisfied_key.iter().any(|b| b.is_subset_of(a_set));
+        if !key_covered {
+            let mut lhs_levels = pt.lhs_levels.clone();
+            if !a_set.is_empty() {
+                lhs_levels.push((rel_id, a_set));
+            }
+            inter_keys.push(RawInterKey {
+                origin: pt.origin,
+                lhs_levels,
+            });
+            pt.satisfied_key.push(a_set);
+        }
+        if !fd_covered {
+            pt.satisfied_fd.push(a_set);
+        }
+    } else if !fd_covered {
+        let mut lhs_levels = pt.lhs_levels.clone();
+        if !a_set.is_empty() {
+            lhs_levels.push((rel_id, a_set));
+        }
+        inter_fds.push(RawInterFd {
+            origin: pt.origin,
+            rhs: pt.rhs,
+            lhs_levels,
+        });
+        pt.satisfied_fd.push(a_set);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_relation::{encode, EncodeConfig};
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    fn run(xml: &str) -> (Forest, ForestDiscovery) {
+        let t = parse(xml).unwrap();
+        let schema = infer_schema(&t);
+        let forest = encode(&t, &schema, &EncodeConfig::default());
+        let disc = discover_forest(&forest, &DiscoveryConfig::default());
+        (forest, disc)
+    }
+
+    /// Paper FD 2 on a two-level document: books under stores, price
+    /// determined by (store name, ISBN) but not by ISBN alone.
+    #[test]
+    fn finds_the_papers_inter_relation_fd() {
+        let xml = "<w>\
+            <store><name>Borders</name>\
+              <book><isbn>1</isbn><price>10</price></book>\
+              <book><isbn>2</isbn><price>20</price></book></store>\
+            <store><name>Borders</name>\
+              <book><isbn>1</isbn><price>10</price></book></store>\
+            <store><name>WHSmith</name>\
+              <book><isbn>1</isbn><price>12</price></book></store>\
+            </w>";
+        let (forest, disc) = run(xml);
+        let book = forest
+            .relation_by_path(&"/w/store/book".parse().unwrap())
+            .unwrap();
+        let store = forest
+            .relation_by_path(&"/w/store".parse().unwrap())
+            .unwrap();
+        // {./isbn} → ./price w.r.t. C_book fails (prices 10 vs 12)…
+        let book_rel = forest.relation(book);
+        let isbn = book_rel
+            .column_by_rel_path(&"./isbn".parse().unwrap())
+            .unwrap();
+        let price = book_rel
+            .column_by_rel_path(&"./price".parse().unwrap())
+            .unwrap();
+        let book_disc = &disc.relations[book.index()];
+        assert!(!book_disc
+            .fds
+            .iter()
+            .any(|fd| fd.rhs == price && fd.lhs == AttrSet::single(isbn)));
+        // …but {../name, ./isbn} → ./price holds as an inter-relation FD.
+        let store_rel = forest.relation(store);
+        let name = store_rel
+            .column_by_rel_path(&"./name".parse().unwrap())
+            .unwrap();
+        let found = disc.inter_fds.iter().any(|fd| {
+            fd.origin == book
+                && fd.rhs == price
+                && fd
+                    .lhs_levels
+                    .iter()
+                    .any(|&(r, a)| r == book && a.contains(isbn))
+                && fd
+                    .lhs_levels
+                    .iter()
+                    .any(|&(r, a)| r == store && a.contains(name))
+        });
+        assert!(found, "missing FD2-style inter FD: {:?}", disc.inter_fds);
+    }
+
+    #[test]
+    fn intra_fds_found_per_relation() {
+        let xml = "<w>\
+            <book><isbn>1</isbn><title>A</title></book>\
+            <book><isbn>1</isbn><title>A</title></book>\
+            <book><isbn>2</isbn><title>B</title></book>\
+            </w>";
+        let (forest, disc) = run(xml);
+        let book = forest
+            .relation_by_path(&"/w/book".parse().unwrap())
+            .unwrap();
+        let rel = forest.relation(book);
+        let isbn = rel.column_by_rel_path(&"./isbn".parse().unwrap()).unwrap();
+        let title = rel.column_by_rel_path(&"./title".parse().unwrap()).unwrap();
+        let fds = &disc.relations[book.index()].fds;
+        assert!(fds.contains(&IntraFd {
+            lhs: AttrSet::single(isbn),
+            rhs: title
+        }));
+        assert!(fds.contains(&IntraFd {
+            lhs: AttrSet::single(title),
+            rhs: isbn
+        }));
+    }
+
+    #[test]
+    fn intra_keys_found_per_relation() {
+        let xml = "<w>\
+            <book><isbn>1</isbn><title>A</title></book>\
+            <book><isbn>2</isbn><title>A</title></book>\
+            </w>";
+        let (forest, disc) = run(xml);
+        let book = forest
+            .relation_by_path(&"/w/book".parse().unwrap())
+            .unwrap();
+        let rel = forest.relation(book);
+        let isbn = rel.column_by_rel_path(&"./isbn".parse().unwrap()).unwrap();
+        let keys = &disc.relations[book.index()].keys;
+        assert!(keys.contains(&AttrSet::single(isbn)));
+    }
+
+    /// An inter-relation key: (store name, isbn) identifies books. The
+    /// local pair (isbn, price) must not itself be unique, otherwise the
+    /// key node absorbs the edge and no partition target is created (a
+    /// deliberate property of Figure 8 line 11 — such missed keys can
+    /// never indicate redundancy, see DESIGN.md).
+    #[test]
+    fn finds_inter_relation_keys() {
+        let xml = "<w>\
+            <store><name>X</name>\
+              <book><isbn>1</isbn><price>10</price></book>\
+              <book><isbn>2</isbn><price>20</price></book></store>\
+            <store><name>Y</name>\
+              <book><isbn>1</isbn><price>10</price></book></store>\
+            <store><name>Z</name>\
+              <book><isbn>1</isbn><price>12</price></book></store>\
+            </w>";
+        let (forest, disc) = run(xml);
+        let book = forest
+            .relation_by_path(&"/w/store/book".parse().unwrap())
+            .unwrap();
+        assert!(
+            disc.inter_keys.iter().any(|k| k.origin == book),
+            "expected an inter-relation key for C_book: {:?}",
+            disc.inter_keys
+        );
+    }
+
+    #[test]
+    fn inter_relation_can_be_disabled() {
+        let xml = "<w>\
+            <store><name>A</name><book><isbn>1</isbn><price>10</price></book>\
+              <book><isbn>2</isbn><price>11</price></book></store>\
+            <store><name>B</name><book><isbn>1</isbn><price>12</price></book></store>\
+            </w>";
+        let t = parse(xml).unwrap();
+        let schema = infer_schema(&t);
+        let forest = encode(&t, &schema, &EncodeConfig::default());
+        let config = DiscoveryConfig {
+            inter_relation: false,
+            ..Default::default()
+        };
+        let disc = discover_forest(&forest, &config);
+        assert!(disc.inter_fds.is_empty());
+        assert!(disc.inter_keys.is_empty());
+        assert_eq!(disc.target_stats.created, 0);
+    }
+
+    /// FD 3: ISBN determines the *set* of authors, via the set-valued
+    /// column — undiscoverable under the flat notions.
+    #[test]
+    fn set_element_fd_is_discovered() {
+        let xml = "<w>\
+            <book><isbn>1</isbn><a>R</a><a>G</a></book>\
+            <book><isbn>1</isbn><a>G</a><a>R</a></book>\
+            <book><isbn>2</isbn><a>R</a></book>\
+            </w>";
+        let (forest, disc) = run(xml);
+        let book = forest
+            .relation_by_path(&"/w/book".parse().unwrap())
+            .unwrap();
+        let rel = forest.relation(book);
+        let isbn = rel.column_by_rel_path(&"./isbn".parse().unwrap()).unwrap();
+        let a_set = rel.column_by_rel_path(&"./a".parse().unwrap()).unwrap();
+        let fds = &disc.relations[book.index()].fds;
+        assert!(
+            fds.contains(&IntraFd {
+                lhs: AttrSet::single(isbn),
+                rhs: a_set
+            }),
+            "FD 3 (isbn → author set) missing: {fds:?}"
+        );
+    }
+
+    #[test]
+    fn root_relation_reports_trivial_key_only() {
+        let (forest, disc) = run("<w><b><x>1</x></b><b><x>2</x></b></w>");
+        let root = &disc.relations[forest.root().index()];
+        assert_eq!(root.keys, vec![AttrSet::empty()]);
+        assert!(root.fds.is_empty());
+    }
+
+    #[test]
+    fn minimize_inter_drops_supersets_and_duplicates() {
+        let fd = |attrs: &[(u32, usize)]| RawInterFd {
+            origin: RelId(3),
+            rhs: 0,
+            lhs_levels: attrs
+                .iter()
+                .map(|&(r, a)| (RelId(r), AttrSet::single(a)))
+                .collect(),
+        };
+        let mut disc = ForestDiscovery {
+            relations: Vec::new(),
+            inter_fds: vec![
+                fd(&[(3, 1), (2, 0)]), // {b1, s0}
+                fd(&[(2, 0)]),         // {s0} ⊂ first → first dropped
+                fd(&[(3, 1), (2, 0)]), // duplicate of first → dropped
+                fd(&[(3, 2), (2, 1)]), // incomparable → kept
+            ],
+            inter_keys: vec![
+                RawInterKey {
+                    origin: RelId(3),
+                    lhs_levels: vec![(RelId(2), AttrSet::single(0))],
+                },
+                RawInterKey {
+                    origin: RelId(3),
+                    lhs_levels: vec![
+                        (RelId(3), AttrSet::single(1)),
+                        (RelId(2), AttrSet::single(0)),
+                    ],
+                },
+            ],
+            lattice_stats: RunStats::default(),
+            target_stats: TargetStats::default(),
+        };
+        minimize_inter(&mut disc);
+        assert_eq!(disc.inter_fds.len(), 2, "{:?}", disc.inter_fds);
+        assert!(disc.inter_fds.contains(&fd(&[(2, 0)])));
+        assert!(disc.inter_fds.contains(&fd(&[(3, 2), (2, 1)])));
+        assert_eq!(disc.inter_keys.len(), 1, "superset key dropped");
+    }
+
+    #[test]
+    fn attr_list_is_canonical() {
+        let levels = vec![
+            (RelId(3), AttrSet::from_iter([2, 0])),
+            (RelId(1), AttrSet::single(5)),
+        ];
+        assert_eq!(attr_list(&levels), vec![(1, 5), (3, 0), (3, 2)]);
+    }
+
+    /// Different RHS must never cross-minimize.
+    #[test]
+    fn minimize_inter_respects_rhs() {
+        let mut disc = ForestDiscovery {
+            relations: Vec::new(),
+            inter_fds: vec![
+                RawInterFd {
+                    origin: RelId(3),
+                    rhs: 0,
+                    lhs_levels: vec![(RelId(2), AttrSet::single(0))],
+                },
+                RawInterFd {
+                    origin: RelId(3),
+                    rhs: 1,
+                    lhs_levels: vec![
+                        (RelId(3), AttrSet::single(2)),
+                        (RelId(2), AttrSet::single(0)),
+                    ],
+                },
+            ],
+            inter_keys: Vec::new(),
+            lattice_stats: RunStats::default(),
+            target_stats: TargetStats::default(),
+        };
+        minimize_inter(&mut disc);
+        assert_eq!(disc.inter_fds.len(), 2);
+    }
+
+    /// Parallel mode must produce byte-identical results.
+    #[test]
+    fn parallel_equals_sequential() {
+        let xml = "<w>\
+            <state><sname>WA</sname>\
+              <store><book><isbn>1</isbn><price>10</price></book>\
+                <book><isbn>2</isbn><price>30</price></book>\
+                <mag><m>1</m></mag><mag><m>2</m></mag></store>\
+              <store><book><isbn>1</isbn><price>10</price></book>\
+                <mag><m>1</m></mag></store>\
+            </state>\
+            <state><sname>KY</sname>\
+              <store><book><isbn>1</isbn><price>12</price></book>\
+                <mag><m>3</m></mag></store>\
+            </state>\
+            </w>";
+        let t = parse(xml).unwrap();
+        let schema = infer_schema(&t);
+        let forest = encode(&t, &schema, &EncodeConfig::default());
+        let seq = discover_forest(&forest, &DiscoveryConfig::default());
+        let par = discover_forest(
+            &forest,
+            &DiscoveryConfig {
+                parallel: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq.inter_fds, par.inter_fds);
+        assert_eq!(seq.inter_keys, par.inter_keys);
+        for (a, b) in seq.relations.iter().zip(par.relations.iter()) {
+            assert_eq!(a.rel, b.rel);
+            assert_eq!(a.fds, b.fds);
+            assert_eq!(a.keys, b.keys);
+        }
+        assert_eq!(seq.target_stats, par.target_stats);
+    }
+
+    /// Three levels: an FD that needs the grandparent's attribute.
+    #[test]
+    fn grandparent_attributes_can_complete_an_fd() {
+        // price is determined by (state name, isbn): within a state all
+        // stores sell at the same price, across states prices differ.
+        let xml = "<w>\
+            <state><sname>WA</sname>\
+              <store><book><isbn>1</isbn><price>10</price></book>\
+                <book><isbn>2</isbn><price>30</price></book></store>\
+              <store><book><isbn>1</isbn><price>10</price></book></store>\
+            </state>\
+            <state><sname>KY</sname>\
+              <store><book><isbn>1</isbn><price>12</price></book></store>\
+            </state>\
+            </w>";
+        let (forest, disc) = run(xml);
+        let book = forest
+            .relation_by_path(&"/w/state/store/book".parse().unwrap())
+            .unwrap();
+        let state = forest
+            .relation_by_path(&"/w/state".parse().unwrap())
+            .unwrap();
+        let found = disc
+            .inter_fds
+            .iter()
+            .any(|fd| fd.origin == book && fd.lhs_levels.iter().any(|&(r, _)| r == state));
+        assert!(
+            found,
+            "state-level completion missing: {:?}",
+            disc.inter_fds
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! A DBLP-like bibliography: the classic real-life dataset with set
+//! elements (multi-author publications) — the shape that motivates the
+//! paper's Constraints 3 and 4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xfd_xml::builder::TreeWriter;
+use xfd_xml::DataTree;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct DblpSpec {
+    /// Number of article elements.
+    pub articles: usize,
+    /// Number of inproceedings elements.
+    pub inproceedings: usize,
+    /// Distinct publications (identities); repeats inject redundancy.
+    pub distinct: usize,
+    /// Author pool size.
+    pub authors: usize,
+    /// Journal/conference pool size.
+    pub venues: usize,
+    /// Rotate the author list of each duplicate occurrence (author *sets*
+    /// stay equal, author *sequences* differ — exercises order modes).
+    pub shuffle_authors: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpSpec {
+    fn default() -> Self {
+        DblpSpec {
+            articles: 150,
+            inproceedings: 100,
+            distinct: 120,
+            authors: 60,
+            venues: 12,
+            shuffle_authors: false,
+            seed: 11,
+        }
+    }
+}
+
+/// Generate the bibliography. Injected constraints:
+///
+/// * `@key → title, year, venue, author set` (entries are drawn from a
+///   catalog; duplicated entries make titles/author sets redundant);
+/// * `(author set, title) → @key` (FD 4 analogue);
+/// * `venue` repeats freely (no FD), `year` depends on the entry.
+pub fn dblp_like(spec: &DblpSpec) -> DataTree {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let catalog: Vec<(String, String, String, String, Vec<String>)> = (0..spec.distinct)
+        .map(|i| {
+            let key = format!("entry/{i:05}");
+            let title = format!("On the Theory of Topic {i}");
+            let year = format!("{}", 1990 + i % 17);
+            let venue = format!("Venue-{}", (i * 5) % spec.venues);
+            let n_auth = 1 + i % 4;
+            let authors = (0..n_auth)
+                .map(|a| format!("Writer {}", (i * 7 + a * 3) % spec.authors))
+                .collect();
+            (key, title, year, venue, authors)
+        })
+        .collect();
+
+    let mut w = TreeWriter::new("dblp");
+    let shuffle = spec.shuffle_authors;
+    let emit = |w: &mut TreeWriter, kind: &str, venue_tag: &str, idx: usize, rot: usize| {
+        let (key, title, year, venue, authors) = &catalog[idx];
+        w.open(kind);
+        w.attr("key", key);
+        let n = authors.len();
+        for k in 0..n {
+            let a = if shuffle {
+                &authors[(k + rot) % n]
+            } else {
+                &authors[k]
+            };
+            w.leaf("author", a);
+        }
+        w.leaf("title", title);
+        w.leaf("year", year);
+        w.leaf(venue_tag, venue);
+        w.close();
+    };
+    for _ in 0..spec.articles {
+        let idx = rng.gen_range(0..spec.distinct / 2); // articles: first half
+        let rot = rng.gen_range(0..4);
+        emit(&mut w, "article", "journal", idx, rot);
+    }
+    for _ in 0..spec.inproceedings {
+        let idx = spec.distinct / 2 + rng.gen_range(0..spec.distinct - spec.distinct / 2);
+        let rot = rng.gen_range(0..4);
+        emit(&mut w, "inproceedings", "booktitle", idx, rot);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_xml::Path;
+
+    #[test]
+    fn counts_match_spec() {
+        let spec = DblpSpec {
+            articles: 20,
+            inproceedings: 10,
+            ..Default::default()
+        };
+        let t = dblp_like(&spec);
+        assert_eq!(
+            "/dblp/article"
+                .parse::<Path>()
+                .unwrap()
+                .resolve_all(&t)
+                .len(),
+            20
+        );
+        assert_eq!(
+            "/dblp/inproceedings"
+                .parse::<Path>()
+                .unwrap()
+                .resolve_all(&t)
+                .len(),
+            10
+        );
+    }
+
+    #[test]
+    fn key_determines_title() {
+        let t = dblp_like(&DblpSpec::default());
+        let arts = "/dblp/article".parse::<Path>().unwrap().resolve_all(&t);
+        let mut seen: std::collections::HashMap<String, String> = Default::default();
+        for a in arts {
+            let key = t
+                .value(t.child_labeled(a, "@key").unwrap())
+                .unwrap()
+                .to_string();
+            let title = t
+                .value(t.child_labeled(a, "title").unwrap())
+                .unwrap()
+                .to_string();
+            if let Some(prev) = seen.insert(key, title.clone()) {
+                assert_eq!(prev, title);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_author_entries_exist() {
+        let t = dblp_like(&DblpSpec::default());
+        let arts = "/dblp/article".parse::<Path>().unwrap().resolve_all(&t);
+        assert!(arts
+            .iter()
+            .any(|&a| t.children_labeled(a, "author").count() >= 2));
+    }
+
+    #[test]
+    fn determinism() {
+        let a = dblp_like(&DblpSpec::default());
+        let b = dblp_like(&DblpSpec::default());
+        assert!(xfd_xml::node_value_eq_cross(&a, a.root(), &b, b.root()));
+    }
+}

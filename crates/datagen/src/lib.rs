@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+//! # xfd-datagen
+//!
+//! Deterministic XML workload generators for the DiscoverXFD evaluation
+//! (reconstructed Section 5; see DESIGN.md for the substitution rationale).
+//!
+//! All generators are seeded (`rand::rngs::StdRng`) and build
+//! [`xfd_xml::DataTree`]s directly; serialize with `xfd_xml::to_xml_string`
+//! when actual XML text is needed (e.g. for parser benchmarks).
+//!
+//! * [`warehouse`] — the paper's Figure 1 document, exact, plus a scaled
+//!   version with the paper's constraints (FDs 1–4) injected;
+//! * [`xmark`] — an XMark-like auction-site benchmark document driven by a
+//!   scale factor (the benchmark dataset of the era);
+//! * [`dblp`] — a DBLP-like bibliography (multi-author set elements);
+//! * [`protein`] — a PIR/PSD-like protein database (the community resource
+//!   the paper's introduction cites as anecdotally redundant);
+//! * [`mondial`] — a Mondial-like geography database (deep nesting);
+//! * [`synthetic`] — fully parameterised trees for the width/parallel-set
+//!   sweeps.
+
+pub mod dblp;
+pub mod mondial;
+pub mod protein;
+pub mod sigmod;
+pub mod synthetic;
+pub mod warehouse;
+pub mod xmark;
+
+pub use dblp::{dblp_like, DblpSpec};
+pub use mondial::{mondial_like, MondialSpec};
+pub use protein::{protein_like, ProteinSpec};
+pub use sigmod::{sigmod_like, SigmodSpec};
+pub use synthetic::{parallel_sets, wide_relation, ParallelSetSpec, WideSpec};
+pub use warehouse::{warehouse_figure1, warehouse_scaled, WarehouseSpec};
+pub use xmark::{xmark_like, XmarkSpec};
+
+/// Dataset descriptors used by Table 1/2 of the experiment harness.
+#[derive(Debug, Clone)]
+pub struct DatasetInfo {
+    /// Short name.
+    pub name: &'static str,
+    /// The document.
+    pub tree: xfd_xml::DataTree,
+}
+
+/// The standard small-scale dataset suite (one instance per generator).
+pub fn standard_suite() -> Vec<DatasetInfo> {
+    vec![
+        DatasetInfo {
+            name: "warehouse",
+            tree: warehouse_figure1(),
+        },
+        DatasetInfo {
+            name: "warehouse-x20",
+            tree: warehouse_scaled(&WarehouseSpec {
+                states: 8,
+                stores_per_state: 5,
+                books_per_store: 12,
+                ..Default::default()
+            }),
+        },
+        DatasetInfo {
+            name: "xmark-like",
+            tree: xmark_like(&XmarkSpec::with_scale(1.0)),
+        },
+        DatasetInfo {
+            name: "dblp-like",
+            tree: dblp_like(&DblpSpec::default()),
+        },
+        DatasetInfo {
+            name: "psd-like",
+            tree: protein_like(&ProteinSpec::default()),
+        },
+        DatasetInfo {
+            name: "mondial-like",
+            tree: mondial_like(&MondialSpec::default()),
+        },
+        DatasetInfo {
+            name: "sigmod-like",
+            tree: sigmod_like(&SigmodSpec::default()),
+        },
+    ]
+}

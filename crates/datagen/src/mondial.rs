@@ -1,0 +1,114 @@
+//! A Mondial-like geography database: three nesting levels
+//! (country → province → city), the classic deep-hierarchy dataset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xfd_xml::builder::TreeWriter;
+use xfd_xml::DataTree;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct MondialSpec {
+    /// Number of countries.
+    pub countries: usize,
+    /// Provinces per country (average).
+    pub provinces: usize,
+    /// Cities per province (average).
+    pub cities: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MondialSpec {
+    fn default() -> Self {
+        MondialSpec {
+            countries: 15,
+            provinces: 4,
+            cities: 5,
+            seed: 31,
+        }
+    }
+}
+
+/// Generate the geography tree. Injected constraints:
+///
+/// * `country/@car_code → country/name` and vice versa;
+/// * within a country, `(province name, city name)` identifies a city but
+///   city names repeat across provinces (inter-relation key material);
+/// * `city population` is determined by the city identity (duplicated
+///   sister-city entries inject redundancy).
+pub fn mondial_like(spec: &MondialSpec) -> DataTree {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut w = TreeWriter::new("mondial");
+    for c in 0..spec.countries {
+        w.open("country");
+        w.attr("car_code", &format!("C{c:02}"));
+        w.leaf("name", &format!("Country {c}"));
+        w.leaf("capital", &format!("City {c}-0-0"));
+        let n_prov = 1 + (c + spec.provinces) % (2 * spec.provinces);
+        for p in 0..n_prov {
+            w.open("province");
+            w.leaf("name", &format!("Province {c}-{p}"));
+            let n_city = 1 + rng.gen_range(0..2 * spec.cities);
+            for k in 0..n_city {
+                // Sister cities: identity sometimes repeats across provinces.
+                let identity = if rng.gen_bool(0.2) && p > 0 {
+                    format!("{c}-0-{k}")
+                } else {
+                    format!("{c}-{p}-{k}")
+                };
+                w.open("city");
+                w.leaf("name", &format!("City {identity}"));
+                let pop = 10_000 + (identity.len() * 7919 + k * 1013) % 5_000_000;
+                w.leaf("population", &pop.to_string());
+                w.close();
+            }
+            w.close();
+        }
+        w.close();
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_xml::Path;
+
+    #[test]
+    fn three_levels_of_nesting() {
+        let t = mondial_like(&MondialSpec::default());
+        let p = |s: &str| s.parse::<Path>().unwrap();
+        assert_eq!(p("/mondial/country").resolve_all(&t).len(), 15);
+        assert!(!p("/mondial/country/province/city/name")
+            .resolve_all(&t)
+            .is_empty());
+    }
+
+    #[test]
+    fn car_code_determines_name() {
+        let t = mondial_like(&MondialSpec::default());
+        let countries = "/mondial/country".parse::<Path>().unwrap().resolve_all(&t);
+        let mut seen: std::collections::HashMap<String, String> = Default::default();
+        for c in countries {
+            let code = t
+                .value(t.child_labeled(c, "@car_code").unwrap())
+                .unwrap()
+                .to_string();
+            let name = t
+                .value(t.child_labeled(c, "name").unwrap())
+                .unwrap()
+                .to_string();
+            if let Some(prev) = seen.insert(code, name.clone()) {
+                assert_eq!(prev, name);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = mondial_like(&MondialSpec::default());
+        let b = mondial_like(&MondialSpec::default());
+        assert!(xfd_xml::node_value_eq_cross(&a, a.root(), &b, b.root()));
+    }
+}

@@ -1,0 +1,190 @@
+//! Fully parameterised synthetic documents for the controlled sweeps:
+//!
+//! * [`wide_relation`] — schema-complexity sweep (reconstructed Figure 2
+//!   of the evaluation): one set element with a configurable number of
+//!   attribute children and a configurable FD structure;
+//! * [`parallel_sets`] — representation-blow-up sweep (reconstructed
+//!   Figure 5): a record with `k` *parallel* set elements, under which the
+//!   flat representation multiplies while the hierarchical one adds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xfd_xml::builder::TreeWriter;
+use xfd_xml::DataTree;
+
+/// Parameters for [`wide_relation`].
+#[derive(Debug, Clone)]
+pub struct WideSpec {
+    /// Number of tuples (repeated `row` elements).
+    pub rows: usize,
+    /// Number of attribute children per row (`a0..a{width-1}`).
+    pub width: usize,
+    /// Domain size per attribute (smaller ⇒ larger partition groups and
+    /// more satisfied FDs).
+    pub domain: u64,
+    /// Fraction of attributes that are *derived* from attribute 0
+    /// (injects FDs `a0 → ai`).
+    pub derived_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WideSpec {
+    fn default() -> Self {
+        WideSpec {
+            rows: 200,
+            width: 8,
+            domain: 20,
+            derived_fraction: 0.25,
+            seed: 3,
+        }
+    }
+}
+
+/// One flat set element with `width` attributes per tuple.
+pub fn wide_relation(spec: &WideSpec) -> DataTree {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let derived = ((spec.width as f64) * spec.derived_fraction) as usize;
+    let mut w = TreeWriter::new("db");
+    for _ in 0..spec.rows {
+        w.open("row");
+        let a0 = rng.gen_range(0..spec.domain);
+        for a in 0..spec.width {
+            let v = if a == 0 {
+                a0
+            } else if a <= derived {
+                // Derived: a function of a0 (injects a0 → a_i).
+                a0.wrapping_mul(a as u64 + 1) % spec.domain
+            } else {
+                rng.gen_range(0..spec.domain)
+            };
+            w.leaf(&format!("a{a}"), &v.to_string());
+        }
+        w.close();
+    }
+    w.finish()
+}
+
+/// Parameters for [`parallel_sets`].
+#[derive(Debug, Clone)]
+pub struct ParallelSetSpec {
+    /// Number of record elements.
+    pub records: usize,
+    /// Number of parallel set elements per record (`s0..s{k-1}`).
+    pub parallel: usize,
+    /// Items per set element instance.
+    pub items_per_set: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ParallelSetSpec {
+    fn default() -> Self {
+        ParallelSetSpec {
+            records: 20,
+            parallel: 3,
+            items_per_set: 2,
+            seed: 5,
+        }
+    }
+}
+
+/// Records with `parallel` sibling set elements — the flat representation
+/// produces `items_per_set ^ parallel` rows per record (the Section 4.1
+/// blow-up), the hierarchical one `parallel × items_per_set` tuples.
+pub fn parallel_sets(spec: &ParallelSetSpec) -> DataTree {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut w = TreeWriter::new("db");
+    for r in 0..spec.records {
+        w.open("rec");
+        w.leaf("id", &r.to_string());
+        for s in 0..spec.parallel {
+            for i in 0..spec.items_per_set {
+                w.leaf(
+                    &format!("s{s}"),
+                    &format!("v{}", (r + s * 7 + i + rng.gen_range(0..2)) % 10),
+                );
+            }
+        }
+        w.close();
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_xml::Path;
+
+    #[test]
+    fn wide_relation_has_requested_shape() {
+        let t = wide_relation(&WideSpec {
+            rows: 10,
+            width: 5,
+            ..Default::default()
+        });
+        assert_eq!("/db/row".parse::<Path>().unwrap().resolve_all(&t).len(), 10);
+        assert_eq!(
+            "/db/row/a4".parse::<Path>().unwrap().resolve_all(&t).len(),
+            10
+        );
+        assert!("/db/row/a5"
+            .parse::<Path>()
+            .unwrap()
+            .resolve_all(&t)
+            .is_empty());
+    }
+
+    #[test]
+    fn derived_attributes_follow_a0() {
+        let spec = WideSpec {
+            rows: 50,
+            width: 8,
+            derived_fraction: 0.5,
+            ..Default::default()
+        };
+        let t = wide_relation(&spec);
+        let rows = "/db/row".parse::<Path>().unwrap().resolve_all(&t);
+        let mut seen: std::collections::HashMap<String, String> = Default::default();
+        for r in rows {
+            let a0 = t
+                .value(t.child_labeled(r, "a0").unwrap())
+                .unwrap()
+                .to_string();
+            let a1 = t
+                .value(t.child_labeled(r, "a1").unwrap())
+                .unwrap()
+                .to_string();
+            if let Some(prev) = seen.insert(a0, a1.clone()) {
+                assert_eq!(prev, a1, "a0 → a1 must hold by construction");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sets_have_k_siblings() {
+        let t = parallel_sets(&ParallelSetSpec {
+            records: 3,
+            parallel: 4,
+            items_per_set: 2,
+            seed: 5,
+        });
+        let recs = "/db/rec".parse::<Path>().unwrap().resolve_all(&t);
+        assert_eq!(recs.len(), 3);
+        for r in recs {
+            for s in 0..4 {
+                assert_eq!(t.children_labeled(r, &format!("s{s}")).count(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = wide_relation(&WideSpec::default());
+        let b = wide_relation(&WideSpec::default());
+        assert!(xfd_xml::node_value_eq_cross(&a, a.root(), &b, b.root()));
+        let c = parallel_sets(&ParallelSetSpec::default());
+        let d = parallel_sets(&ParallelSetSpec::default());
+        assert!(xfd_xml::node_value_eq_cross(&c, c.root(), &d, d.root()));
+    }
+}

@@ -1,0 +1,253 @@
+//! The paper's running example: the `warehouse` document of Figure 1,
+//! exact, and a scaled generator that preserves the paper's constraints.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xfd_xml::builder::TreeWriter;
+use xfd_xml::DataTree;
+
+/// The document of Figure 1, node for node (keys differ: the paper skips
+/// numbers for elements it elides).
+pub fn warehouse_figure1() -> DataTree {
+    let mut w = TreeWriter::new("warehouse");
+    // state 10 (WA)
+    w.open("state");
+    w.leaf("name", "WA");
+    w.open("store"); // store 12
+    w.open("contact");
+    w.leaf("name", "Borders");
+    w.leaf("address", "Seattle");
+    w.close();
+    w.open("book"); // book 20
+    w.leaf("ISBN", "1-0676-2775-0");
+    w.leaf("author", "Post");
+    w.leaf("title", "Dreams");
+    w.leaf("price", "19.99");
+    w.close();
+    w.open("book"); // book 30
+    w.leaf("ISBN", "1-55860-438-3");
+    w.leaf("author", "Ramakrishnan");
+    w.leaf("author", "Gehrke");
+    w.leaf("title", "DBMS");
+    w.leaf("price", "59.99");
+    w.close();
+    w.close(); // store 12
+    w.close(); // state 10
+               // state 40 (KY)
+    w.open("state");
+    w.leaf("name", "KY");
+    w.open("store"); // store 42
+    w.open("contact");
+    w.leaf("name", "Borders");
+    w.leaf("address", "Lexington");
+    w.close();
+    w.open("book"); // book 50
+    w.leaf("ISBN", "1-55860-438-3");
+    w.leaf("author", "Ramakrishnan");
+    w.leaf("author", "Gehrke");
+    w.leaf("title", "DBMS");
+    w.leaf("price", "59.99");
+    w.close();
+    w.close(); // store 42
+    w.open("store"); // store 72
+    w.open("contact");
+    w.leaf("name", "WHSmith");
+    w.leaf("address", "Lexington");
+    w.close();
+    w.open("book"); // book 80 — no price
+    w.leaf("ISBN", "1-55860-438-3");
+    w.leaf("author", "Ramakrishnan");
+    w.leaf("author", "Gehrke");
+    w.leaf("title", "DBMS");
+    w.close();
+    w.close(); // store 72
+    w.close(); // state 40
+    w.finish()
+}
+
+/// Parameters for the scaled warehouse.
+#[derive(Debug, Clone)]
+pub struct WarehouseSpec {
+    /// Number of states.
+    pub states: usize,
+    /// Stores per state.
+    pub stores_per_state: usize,
+    /// Books per store.
+    pub books_per_store: usize,
+    /// Size of the ISBN catalog (smaller ⇒ more redundancy).
+    pub catalog_size: usize,
+    /// Number of distinct store chains.
+    pub chains: usize,
+    /// Probability that a book's price is missing.
+    pub missing_price: f64,
+    /// Probability that a book's title is corrupted with a unique typo —
+    /// noise for the approximate-FD experiments (0.0 keeps FD 1 exact).
+    pub title_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WarehouseSpec {
+    fn default() -> Self {
+        WarehouseSpec {
+            states: 4,
+            stores_per_state: 3,
+            books_per_store: 8,
+            catalog_size: 40,
+            chains: 5,
+            missing_price: 0.1,
+            title_noise: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A scaled warehouse preserving the paper's constraints:
+///
+/// * Constraint 1/3 (FD 1/FD 3): ISBN determines title and the author set
+///   (books are drawn from a fixed catalog);
+/// * Constraint 4 (FD 4): (author set, title) determines ISBN;
+/// * Constraint 2 (FD 2): (store chain name, ISBN) determines price, with
+///   per-chain pricing, while ISBN alone does not;
+/// * some prices are missing, as for book 80 in Figure 1.
+pub fn warehouse_scaled(spec: &WarehouseSpec) -> DataTree {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // Catalog: ISBN → (title, authors). Distinct titles per ISBN so FD 4
+    // holds in reverse as well.
+    let catalog: Vec<(String, String, Vec<String>)> = (0..spec.catalog_size)
+        .map(|i| {
+            let isbn = format!("1-{:05}-{:03}-{}", i * 7919 % 100_000, i, i % 10);
+            let title = format!("Title-{i}");
+            let n_authors = 1 + (i % 3);
+            let authors = (0..n_authors)
+                .map(|a| format!("Author-{}", (i * 3 + a) % 50))
+                .collect();
+            (isbn, title, authors)
+        })
+        .collect();
+    let chain_names: Vec<String> = (0..spec.chains).map(|c| format!("Chain-{c}")).collect();
+    // Per (chain, isbn) price.
+    let price = |chain: usize, isbn_idx: usize| -> String {
+        format!("{}.99", 10 + (chain * 31 + isbn_idx * 17) % 90)
+    };
+
+    let mut w = TreeWriter::new("warehouse");
+    let mut typo_counter = 0usize;
+    for s in 0..spec.states {
+        w.open("state");
+        w.leaf("name", &format!("State-{s}"));
+        for _ in 0..spec.stores_per_state {
+            let chain = rng.gen_range(0..spec.chains);
+            w.open("store");
+            w.open("contact");
+            w.leaf("name", &chain_names[chain]);
+            w.leaf("address", &format!("City-{}", rng.gen_range(0..20)));
+            w.close();
+            for _ in 0..spec.books_per_store {
+                let idx = rng.gen_range(0..spec.catalog_size);
+                let (isbn, title, authors) = &catalog[idx];
+                w.open("book");
+                w.leaf("ISBN", isbn);
+                for a in authors {
+                    w.leaf("author", a);
+                }
+                if spec.title_noise > 0.0 && rng.gen_bool(spec.title_noise) {
+                    typo_counter += 1;
+                    w.leaf("title", &format!("{title} (typo {typo_counter})"));
+                } else {
+                    w.leaf("title", title);
+                }
+                if rng.gen_bool(1.0 - spec.missing_price) {
+                    w.leaf("price", &price(chain, idx));
+                }
+                w.close();
+            }
+            w.close();
+        }
+        w.close();
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_xml::Path;
+
+    #[test]
+    fn figure1_has_the_papers_shape() {
+        let t = warehouse_figure1();
+        let p = |s: &str| s.parse::<Path>().unwrap();
+        assert_eq!(p("/warehouse/state").resolve_all(&t).len(), 2);
+        assert_eq!(p("/warehouse/state/store").resolve_all(&t).len(), 3);
+        assert_eq!(p("/warehouse/state/store/book").resolve_all(&t).len(), 4);
+        assert_eq!(
+            p("/warehouse/state/store/book/author")
+                .resolve_all(&t)
+                .len(),
+            7
+        );
+        // Book 80 has no price.
+        assert_eq!(
+            p("/warehouse/state/store/book/price").resolve_all(&t).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn scaled_is_deterministic() {
+        let a = warehouse_scaled(&WarehouseSpec::default());
+        let b = warehouse_scaled(&WarehouseSpec::default());
+        assert_eq!(a.node_count(), b.node_count());
+        assert!(xfd_xml::node_value_eq_cross(&a, a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn scaled_respects_counts() {
+        let spec = WarehouseSpec {
+            states: 3,
+            stores_per_state: 2,
+            books_per_store: 5,
+            ..Default::default()
+        };
+        let t = warehouse_scaled(&spec);
+        let p = |s: &str| s.parse::<Path>().unwrap();
+        assert_eq!(p("/warehouse/state").resolve_all(&t).len(), 3);
+        assert_eq!(p("/warehouse/state/store").resolve_all(&t).len(), 6);
+        assert_eq!(p("/warehouse/state/store/book").resolve_all(&t).len(), 30);
+    }
+
+    #[test]
+    fn catalog_constraint_holds_in_scaled_data() {
+        // Same ISBN ⇒ same title (FD 1), by construction.
+        let t = warehouse_scaled(&WarehouseSpec::default());
+        let books = "/warehouse/state/store/book"
+            .parse::<Path>()
+            .unwrap()
+            .resolve_all(&t);
+        let mut seen: std::collections::HashMap<String, String> = Default::default();
+        for b in books {
+            let isbn = t
+                .value(t.child_labeled(b, "ISBN").unwrap())
+                .unwrap()
+                .to_string();
+            let title = t
+                .value(t.child_labeled(b, "title").unwrap())
+                .unwrap()
+                .to_string();
+            if let Some(prev) = seen.insert(isbn, title.clone()) {
+                assert_eq!(prev, title, "FD 1 violated by the generator");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = warehouse_scaled(&WarehouseSpec::default());
+        let b = warehouse_scaled(&WarehouseSpec {
+            seed: 7,
+            ..Default::default()
+        });
+        assert!(!xfd_xml::node_value_eq_cross(&a, a.root(), &b, b.root()));
+    }
+}

@@ -1,0 +1,296 @@
+//! An XMark-like auction-site document (the standard XML benchmark of the
+//! paper's era), driven by a scale factor.
+//!
+//! The shape follows XMark's `site` document: regional `item`s, `person`s
+//! with nested addresses and watched-auction sets, `open_auction`s with
+//! `bidder` sets, and `closed_auction`s. Element counts scale linearly
+//! with the factor (factor 1.0 ≈ a few thousand nodes here; the real XMark
+//! factor 1.0 is ~100 MB — our experiments sweep relative sizes, which is
+//! what the scalability figure needs).
+//!
+//! Injected dependencies (so discovery has something to find):
+//!
+//! * `item/@id → item/name, item/category` (items are drawn from a
+//!   catalog: duplicated listings across regions are redundant);
+//! * `person/@id → person/name, person/emailaddress`;
+//! * `open_auction`: `itemref/@item → reserve`;
+//! * bidder increases depend on (auction, bidder position).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xfd_xml::builder::TreeWriter;
+use xfd_xml::DataTree;
+
+/// Scale parameters (all counts are multiplied by `scale`).
+#[derive(Debug, Clone)]
+pub struct XmarkSpec {
+    /// Relative size (1.0 = base counts below).
+    pub scale: f64,
+    /// Base number of items (split across regions).
+    pub base_items: usize,
+    /// Base number of persons.
+    pub base_persons: usize,
+    /// Base number of open auctions.
+    pub base_open: usize,
+    /// Base number of closed auctions.
+    pub base_closed: usize,
+    /// Size of the item catalog (distinct item identities).
+    pub catalog: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XmarkSpec {
+    fn default() -> Self {
+        XmarkSpec {
+            scale: 1.0,
+            base_items: 120,
+            base_persons: 60,
+            base_open: 60,
+            base_closed: 40,
+            catalog: 50,
+            seed: 7,
+        }
+    }
+}
+
+impl XmarkSpec {
+    /// Spec with everything default but the scale.
+    pub fn with_scale(scale: f64) -> Self {
+        XmarkSpec {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    fn n(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+const REGIONS: [&str; 4] = ["africa", "asia", "europe", "namerica"];
+const CATEGORIES: [&str; 8] = [
+    "books", "music", "art", "tools", "sports", "toys", "garden", "autos",
+];
+
+/// Generate the document.
+pub fn xmark_like(spec: &XmarkSpec) -> DataTree {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n_items = spec.n(spec.base_items);
+    let n_persons = spec.n(spec.base_persons);
+    let n_open = spec.n(spec.base_open);
+    let n_closed = spec.n(spec.base_closed);
+
+    // Item catalog: identity → (name, category, reserve).
+    let catalog: Vec<(String, String, &str, String)> = (0..spec.catalog)
+        .map(|i| {
+            (
+                format!("item{i}"),
+                format!("Item name {i}"),
+                CATEGORIES[i % CATEGORIES.len()],
+                format!("{}.00", 10 + (i * 13) % 200),
+            )
+        })
+        .collect();
+
+    let mut w = TreeWriter::new("site");
+
+    w.open("categories");
+    for (c, cat) in CATEGORIES.iter().enumerate() {
+        w.open("category");
+        w.attr("id", &format!("category{c}"));
+        w.leaf("name", cat);
+        w.leaf("description", &format!("All about {cat}."));
+        w.close();
+    }
+    w.close();
+
+    w.open("regions");
+    let mut placed: Vec<usize> = Vec::new(); // catalog indices actually listed
+    for (r, region) in REGIONS.iter().enumerate() {
+        w.open(region);
+        for k in 0..n_items / REGIONS.len() + usize::from(r < n_items % REGIONS.len()) {
+            let idx = rng.gen_range(0..spec.catalog);
+            placed.push(idx);
+            let (id, name, cat, _) = &catalog[idx];
+            w.open("item");
+            w.attr("id", id);
+            w.leaf("name", name);
+            w.leaf("category", cat);
+            w.leaf("quantity", &format!("{}", 1 + k % 5));
+            w.leaf("location", &format!("Loc-{}", rng.gen_range(0..30)));
+            if rng.gen_bool(0.4) {
+                w.open("mailbox");
+                for m in 0..rng.gen_range(1..3usize) {
+                    w.open("mail");
+                    w.leaf("from", &format!("p{}@example.org", rng.gen_range(0..40)));
+                    w.leaf(
+                        "date",
+                        &format!("2006-0{}-{:02}", 1 + m % 9, 1 + (k + m) % 28),
+                    );
+                    w.close();
+                }
+                w.close();
+            }
+            w.close();
+        }
+        w.close();
+    }
+    w.close();
+
+    w.open("people");
+    for pidx in 0..n_persons {
+        let identity = pidx % (n_persons / 2).max(1); // some duplicate profiles
+        w.open("person");
+        w.attr("id", &format!("person{identity}"));
+        w.leaf("name", &format!("Person {identity}"));
+        w.leaf("emailaddress", &format!("mailto:p{identity}@example.org"));
+        if rng.gen_bool(0.6) {
+            w.leaf("phone", &format!("+1-555-{:04}", identity * 7 % 10_000));
+        }
+        w.open("address");
+        w.leaf("street", &format!("{} Main St", 1 + identity % 99));
+        w.leaf("city", &format!("City-{}", identity % 12));
+        w.leaf(
+            "country",
+            if identity.is_multiple_of(3) {
+                "US"
+            } else {
+                "DE"
+            },
+        );
+        w.close();
+        if rng.gen_bool(0.5) {
+            w.open("watches");
+            for _ in 0..rng.gen_range(1..4) {
+                w.open("watch");
+                w.attr(
+                    "open_auction",
+                    &format!("auction{}", rng.gen_range(0..n_open.max(1))),
+                );
+                w.close();
+            }
+            w.close();
+        }
+        w.close();
+    }
+    w.close();
+
+    w.open("open_auctions");
+    for a in 0..n_open {
+        // Auctions reference items that are actually listed.
+        let item = placed[rng.gen_range(0..placed.len())];
+        let (id, _, _, reserve) = &catalog[item];
+        w.open("open_auction");
+        w.attr("id", &format!("auction{a}"));
+        w.leaf("initial", &format!("{}.00", 1 + a % 50));
+        w.leaf("reserve", reserve);
+        for b in 0..rng.gen_range(0..5usize) {
+            w.open("bidder");
+            w.leaf(
+                "date",
+                &format!("2006-0{}-{:02}", 1 + b % 9, 1 + (a + b) % 28),
+            );
+            w.leaf("increase", &format!("{}.50", 1 + b * 3));
+            w.open("personref");
+            w.attr(
+                "person",
+                &format!("person{}", rng.gen_range(0..(n_persons / 2).max(1))),
+            );
+            w.close();
+            w.close();
+        }
+        w.open("itemref");
+        w.attr("item", id);
+        w.close();
+        w.open("seller");
+        w.attr(
+            "person",
+            &format!("person{}", rng.gen_range(0..(n_persons / 2).max(1))),
+        );
+        w.close();
+        w.close();
+    }
+    w.close();
+
+    w.open("closed_auctions");
+    for c in 0..n_closed {
+        let item = placed[rng.gen_range(0..placed.len())];
+        let (id, _, _, reserve) = &catalog[item];
+        w.open("closed_auction");
+        w.open("buyer");
+        w.attr(
+            "person",
+            &format!("person{}", rng.gen_range(0..(n_persons / 2).max(1))),
+        );
+        w.close();
+        w.open("itemref");
+        w.attr("item", id);
+        w.close();
+        w.leaf("price", reserve);
+        w.leaf("date", &format!("2006-0{}-{:02}", 1 + c % 9, 1 + c % 28));
+        w.close();
+    }
+    w.close();
+
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_xml::Path;
+
+    #[test]
+    fn scale_grows_the_document_linearly_ish() {
+        let small = xmark_like(&XmarkSpec::with_scale(0.5));
+        let big = xmark_like(&XmarkSpec::with_scale(2.0));
+        assert!(big.node_count() > small.node_count() * 2);
+        assert!(big.node_count() < small.node_count() * 8);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = xmark_like(&XmarkSpec::default());
+        let b = xmark_like(&XmarkSpec::default());
+        assert!(xfd_xml::node_value_eq_cross(&a, a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn structure_has_the_xmark_sections() {
+        let t = xmark_like(&XmarkSpec::with_scale(0.2));
+        for path in [
+            "/site/regions",
+            "/site/people/person",
+            "/site/open_auctions/open_auction",
+        ] {
+            assert!(
+                !path.parse::<Path>().unwrap().resolve_all(&t).is_empty(),
+                "missing {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn item_catalog_injects_id_name_dependency() {
+        let t = xmark_like(&XmarkSpec::default());
+        let items: Vec<_> = "/site/regions/africa/item"
+            .parse::<Path>()
+            .unwrap()
+            .resolve_all(&t);
+        let mut seen: std::collections::HashMap<String, String> = Default::default();
+        for item in items {
+            let id = t
+                .value(t.child_labeled(item, "@id").unwrap())
+                .unwrap()
+                .to_string();
+            let name = t
+                .value(t.child_labeled(item, "name").unwrap())
+                .unwrap()
+                .to_string();
+            if let Some(prev) = seen.insert(id, name.clone()) {
+                assert_eq!(prev, name);
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Memoized partitions per attribute set, with traversal counters.
+//!
+//! The lattice algorithms construct `Π_A` for many attribute sets `A`; the
+//! cache avoids recomputation when several lattice edges need the same
+//! partition and exposes the counters the pruning-ablation experiment
+//! (reconstructed Figure 7) reports.
+
+use std::collections::HashMap;
+
+use crate::attrset::AttrSet;
+use crate::partition::Partition;
+
+/// Counters describing how much work a lattice traversal did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lattice nodes whose partition was materialized.
+    pub partitions_built: usize,
+    /// Partition products computed.
+    pub products: usize,
+    /// Cache hits (partition already present).
+    pub hits: usize,
+}
+
+/// A memo table `AttrSet → Partition`.
+#[derive(Debug, Default)]
+pub struct PartitionCache {
+    map: HashMap<AttrSet, Partition>,
+    stats: CacheStats,
+}
+
+impl PartitionCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        PartitionCache::default()
+    }
+
+    /// Insert a base partition (single attribute or `Π_∅`).
+    pub fn insert(&mut self, attrs: AttrSet, partition: Partition) {
+        self.stats.partitions_built += 1;
+        self.map.insert(attrs, partition);
+    }
+
+    /// Lookup.
+    pub fn get(&self, attrs: AttrSet) -> Option<&Partition> {
+        self.map.get(&attrs)
+    }
+
+    /// Is a partition cached for `attrs`?
+    pub fn contains(&mut self, attrs: AttrSet) -> bool {
+        let hit = self.map.contains_key(&attrs);
+        if hit {
+            self.stats.hits += 1;
+        }
+        hit
+    }
+
+    /// Get `Π_{a∪b}`, computing `Π_a · Π_b` and caching it if necessary.
+    ///
+    /// # Panics
+    /// Panics if `Π_a` or `Π_b` is not already cached.
+    pub fn product(&mut self, a: AttrSet, b: AttrSet) -> &Partition {
+        let target = a.union(b);
+        if !self.map.contains_key(&target) {
+            let pa = self.map.get(&a).expect("operand partition must be cached");
+            let pb = self.map.get(&b).expect("operand partition must be cached");
+            let prod = pa.product(pb);
+            self.stats.products += 1;
+            self.stats.partitions_built += 1;
+            self.map.insert(target, prod);
+        } else {
+            self.stats.hits += 1;
+        }
+        self.map.get(&target).expect("just inserted")
+    }
+
+    /// Drop partitions for attribute sets of size `level` or smaller except
+    /// the bases (size ≤ 1); level-wise algorithms never revisit them.
+    pub fn evict_below(&mut self, level: usize) {
+        self.map.retain(|k, _| {
+            let n = k.len();
+            n <= 1 || n > level
+        });
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached partitions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_builds_and_caches() {
+        let mut c = PartitionCache::new();
+        let a = AttrSet::single(0);
+        let b = AttrSet::single(1);
+        c.insert(
+            a,
+            Partition::from_column(&[Some(1), Some(1), Some(2), Some(2)]),
+        );
+        c.insert(
+            b,
+            Partition::from_column(&[Some(1), Some(2), Some(1), Some(1)]),
+        );
+        let ab = c.product(a, b).clone();
+        assert_eq!(ab.groups(), &[vec![2, 3]]);
+        // Second call hits the cache.
+        let before = c.stats().products;
+        let _ = c.product(a, b);
+        assert_eq!(c.stats().products, before);
+        assert!(c.stats().hits >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be cached")]
+    fn product_requires_operands() {
+        let mut c = PartitionCache::new();
+        let _ = c.product(AttrSet::single(0), AttrSet::single(1));
+    }
+
+    #[test]
+    fn evict_below_keeps_bases_and_upper_levels() {
+        let mut c = PartitionCache::new();
+        let a = AttrSet::single(0);
+        let b = AttrSet::single(1);
+        let d = AttrSet::single(2);
+        for s in [a, b, d] {
+            c.insert(s, Partition::universal(3));
+        }
+        let _ = c.product(a, b);
+        let _ = c.product(a.union(b), d);
+        assert_eq!(c.len(), 5);
+        c.evict_below(2);
+        // Bases (3) stay, {a,b} evicted, {a,b,d} stays.
+        assert_eq!(c.len(), 4);
+        assert!(c.get(a.union(b)).is_none());
+        assert!(c.get(a.union(b).union(d)).is_some());
+    }
+}

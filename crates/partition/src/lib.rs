@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # xfd-partition
+//!
+//! Partition machinery for DiscoverXFD (Section 4.2 of the paper):
+//!
+//! * [`AttrSet`] — small bitset over a relation's attributes; lattice nodes;
+//! * [`Partition`] — *stripped* attribute partitions (footnote 5): the
+//!   groups of tuples agreeing on an attribute set, with singleton groups
+//!   dropped; linear-time partition product (the TANE construction the
+//!   paper's lines 9–10 allude to); refinement tests realizing Lemmas 1–2;
+//! * [`GroupMap`] — a tuple → group index for fast "does this partition
+//!   separate tuples t₁, t₂?" queries;
+//! * [`PairSet`] — sets of tuple-pair *inequalities*, the building block of
+//!   the paper's partition targets (`FDTarget` / `KeyTarget`, Figure 10),
+//!   with the parent-index mapping of `updatePT`;
+//! * [`PartitionCache`] — memoized partitions per attribute set, with the
+//!   visit/product counters used by the pruning-ablation experiment.
+
+pub mod attrset;
+pub mod cache;
+pub mod pairs;
+pub mod partition;
+
+pub use attrset::AttrSet;
+pub use cache::{CacheStats, PartitionCache};
+pub use pairs::{Collapse, PairSet};
+pub use partition::{GroupMap, Partition, Tuple};

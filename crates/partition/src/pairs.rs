@@ -1,0 +1,190 @@
+//! Tuple-pair inequality sets — the substance of the paper's partition
+//! targets (Figure 10).
+//!
+//! A candidate inter-relation FD is carried upward through the relation
+//! tree as a set of inequalities `t₁ ≠ t₂` over the *current* relation's
+//! tuples: the pairs that some ancestor attribute set must separate for the
+//! FD (`FDTarget`) or the Key (`KeyTarget`) to be satisfied. `updatePT`
+//! maps still-unsatisfied pairs through the tuple→parent index; a pair
+//! whose two tuples collapse onto the same parent tuple can never be
+//! separated — the FD becomes impossible, or the KeyTarget becomes invalid.
+
+use std::collections::HashSet;
+
+use crate::partition::{GroupMap, Tuple};
+
+/// Result of mapping a pair set to the parent relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Collapse {
+    /// All pairs survived; here they are in parent-tuple space.
+    Mapped(PairSet),
+    /// Some pair collapsed onto a single parent tuple: unsatisfiable.
+    Impossible,
+}
+
+/// A set of inequalities `t₁ ≠ t₂` (normalized `t₁ < t₂`, deduplicated).
+#[derive(Debug, Clone, Default)]
+pub struct PairSet {
+    pairs: Vec<(Tuple, Tuple)>,
+    seen: HashSet<(Tuple, Tuple)>,
+}
+
+impl PartialEq for PairSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.pairs == other.pairs
+    }
+}
+
+impl Eq for PairSet {}
+
+impl PairSet {
+    /// The empty (vacuously satisfied) set.
+    pub fn new() -> Self {
+        PairSet::default()
+    }
+
+    /// Add the inequality `a ≠ b`.
+    ///
+    /// # Panics
+    /// Panics if `a == b` (an unsatisfiable inequality must be handled by
+    /// the caller as a collapse, not stored).
+    pub fn insert(&mut self, a: Tuple, b: Tuple) {
+        assert_ne!(a, b, "a tuple cannot be unequal to itself");
+        let pair = (a.min(b), a.max(b));
+        if self.seen.insert(pair) {
+            self.pairs.push(pair);
+        }
+    }
+
+    /// Add every unordered pair of distinct tuples from `group` — the
+    /// paper's `addKeyIneqs` over one partition group.
+    pub fn insert_all_pairs(&mut self, group: &[Tuple]) {
+        for i in 0..group.len() {
+            for j in i + 1..group.len() {
+                self.insert(group[i], group[j]);
+            }
+        }
+    }
+
+    /// The pairs, normalized.
+    pub fn pairs(&self) -> &[(Tuple, Tuple)] {
+        &self.pairs
+    }
+
+    /// Number of inequalities.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Vacuously satisfied?
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Does the partition behind `gm` separate *every* pair?
+    pub fn satisfied_by(&self, gm: &GroupMap) -> bool {
+        self.pairs.iter().all(|&(a, b)| gm.separates(a, b))
+    }
+
+    /// The pairs `gm` does *not* separate.
+    pub fn unsatisfied_under(&self, gm: &GroupMap) -> PairSet {
+        let pairs: Vec<(Tuple, Tuple)> = self
+            .pairs
+            .iter()
+            .copied()
+            .filter(|&(a, b)| !gm.separates(a, b))
+            .collect();
+        PairSet {
+            seen: pairs.iter().copied().collect(),
+            pairs,
+        }
+    }
+
+    /// Map every pair through the tuple→parent index (`updatePT`). Pairs
+    /// that land on the same parent tuple make the target [`Collapse::Impossible`].
+    pub fn map_to_parent(&self, parent_of: &[Tuple]) -> Collapse {
+        let mut out = PairSet::new();
+        for &(a, b) in &self.pairs {
+            let pa = parent_of[a as usize];
+            let pb = parent_of[b as usize];
+            if pa == pb {
+                return Collapse::Impossible;
+            }
+            out.insert(pa, pb);
+        }
+        Collapse::Mapped(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+
+    #[test]
+    fn normalization_and_dedup() {
+        let mut p = PairSet::new();
+        p.insert(3, 1);
+        p.insert(1, 3);
+        p.insert(2, 4);
+        assert_eq!(p.pairs(), &[(1, 3), (2, 4)]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal to itself")]
+    fn reflexive_inequality_panics() {
+        PairSet::new().insert(2, 2);
+    }
+
+    #[test]
+    fn insert_all_pairs_is_complete() {
+        let mut p = PairSet::new();
+        p.insert_all_pairs(&[5, 1, 3]);
+        assert_eq!(p.pairs(), &[(1, 5), (3, 5), (1, 3)]);
+    }
+
+    #[test]
+    fn satisfaction_against_partitions() {
+        // Partition {0,1},{2,3}; pair (0,2) separated; (0,1) not.
+        let part = Partition::from_groups(vec![vec![0, 1], vec![2, 3]], 4);
+        let gm = GroupMap::new(&part);
+        let mut sat = PairSet::new();
+        sat.insert(0, 2);
+        sat.insert(1, 3);
+        assert!(sat.satisfied_by(&gm));
+        let mut unsat = PairSet::new();
+        unsat.insert(0, 2);
+        unsat.insert(0, 1);
+        assert!(!unsat.satisfied_by(&gm));
+        let remaining = unsat.unsatisfied_under(&gm);
+        assert_eq!(remaining.pairs(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn empty_set_is_vacuously_satisfied() {
+        let part = Partition::universal(4);
+        assert!(PairSet::new().satisfied_by(&GroupMap::new(&part)));
+    }
+
+    #[test]
+    fn map_to_parent_translates_pairs() {
+        // tuples 0,1 → parent 0; tuples 2,3 → parent 1.
+        let parent_of = vec![0, 0, 1, 1];
+        let mut p = PairSet::new();
+        p.insert(0, 2);
+        p.insert(1, 3);
+        match p.map_to_parent(&parent_of) {
+            Collapse::Mapped(mapped) => assert_eq!(mapped.pairs(), &[(0, 1)]),
+            Collapse::Impossible => panic!("should map"),
+        }
+    }
+
+    #[test]
+    fn collapse_when_siblings_must_differ() {
+        let parent_of = vec![0, 0, 1, 1];
+        let mut p = PairSet::new();
+        p.insert(0, 1); // same parent → impossible
+        assert_eq!(p.map_to_parent(&parent_of), Collapse::Impossible);
+    }
+}

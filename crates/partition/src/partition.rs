@@ -1,0 +1,307 @@
+//! Stripped attribute partitions and their products (Section 4.2).
+//!
+//! An *attribute partition* `Π_X` groups the tuples of a relation by their
+//! values at attribute set `X`. Following the paper's footnote 5 we use
+//! **stripped** partitions: singleton groups are dropped; they can never
+//! witness an FD violation nor a key violation.
+//!
+//! Two facts drive the discovery algorithms (Lemmas 1 and 2):
+//!
+//! * `X → A` holds iff `Π_X ⊑ Π_{X∪{A}}` iff `Π_{X∪{A}} = Π_X`;
+//! * since `Π_{X∪{A}} = Π_X · Π_{A}` always refines `Π_X`, equality can be
+//!   tested in O(1) by comparing the *error measure* `e(Π) = Σ(|g| − 1)`.
+
+/// Index of a tuple within one relation.
+pub type Tuple = u32;
+
+/// A stripped partition of a relation's tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    groups: Vec<Vec<Tuple>>,
+    n_tuples: usize,
+    error: usize,
+}
+
+impl Partition {
+    /// Build from per-tuple *value identifiers*: tuples with equal
+    /// `Some(v)` share a group; `None` (a missing element, i.e. ⊥) is
+    /// distinct from everything including other ⊥s (strong satisfaction,
+    /// Section 3.1), so those tuples are singletons and get stripped.
+    pub fn from_column(values: &[Option<u64>]) -> Partition {
+        let mut index: std::collections::HashMap<u64, Vec<Tuple>> =
+            std::collections::HashMap::new();
+        for (t, v) in values.iter().enumerate() {
+            if let Some(v) = v {
+                index.entry(*v).or_default().push(t as Tuple);
+            }
+        }
+        let mut groups: Vec<Vec<Tuple>> = index.into_values().filter(|g| g.len() >= 2).collect();
+        // Deterministic order: by first member.
+        groups.sort_by_key(|g| g[0]);
+        Partition::from_groups(groups, values.len())
+    }
+
+    /// Build from explicit groups (singletons are stripped automatically).
+    pub fn from_groups(groups: Vec<Vec<Tuple>>, n_tuples: usize) -> Partition {
+        let groups: Vec<Vec<Tuple>> = groups.into_iter().filter(|g| g.len() >= 2).collect();
+        let error = groups.iter().map(|g| g.len() - 1).sum();
+        Partition {
+            groups,
+            n_tuples,
+            error,
+        }
+    }
+
+    /// The partition `Π_∅`: all tuples in one group (or empty if the
+    /// relation has fewer than two tuples).
+    pub fn universal(n_tuples: usize) -> Partition {
+        let groups = if n_tuples >= 2 {
+            vec![(0..n_tuples as Tuple).collect()]
+        } else {
+            Vec::new()
+        };
+        Partition::from_groups(groups, n_tuples)
+    }
+
+    /// The stripped groups (each of size ≥ 2).
+    pub fn groups(&self) -> &[Vec<Tuple>] {
+        &self.groups
+    }
+
+    /// Number of tuples in the underlying relation.
+    pub fn n_tuples(&self) -> usize {
+        self.n_tuples
+    }
+
+    /// The error measure `e(Π) = Σ(|g| − 1)` over stripped groups.
+    pub fn error(&self) -> usize {
+        self.error
+    }
+
+    /// Size of the largest group (0 when stripped empty). The paper's
+    /// `maxGrpSize == 1` key test corresponds to `max_group_size() == 0`
+    /// on stripped partitions.
+    pub fn max_group_size(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Is the attribute set a key (every tuple distinguished)?
+    pub fn is_key(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Linear-time stripped-partition product `Π_self · Π_other`
+    /// (the TANE construction behind the paper's lines 9–10).
+    pub fn product(&self, other: &Partition) -> Partition {
+        debug_assert_eq!(self.n_tuples, other.n_tuples);
+        // Probe table: tuple → group index in `self`.
+        let mut t_of: Vec<u32> = vec![u32::MAX; self.n_tuples];
+        for (i, g) in self.groups.iter().enumerate() {
+            for &t in g {
+                t_of[t as usize] = i as u32;
+            }
+        }
+        let mut buckets: Vec<Vec<Tuple>> = vec![Vec::new(); self.groups.len()];
+        let mut out: Vec<Vec<Tuple>> = Vec::new();
+        let mut touched: Vec<u32> = Vec::new();
+        for g in &other.groups {
+            for &t in g {
+                let i = t_of[t as usize];
+                if i != u32::MAX {
+                    if buckets[i as usize].is_empty() {
+                        touched.push(i);
+                    }
+                    buckets[i as usize].push(t);
+                }
+            }
+            for &i in &touched {
+                let b = &mut buckets[i as usize];
+                if b.len() >= 2 {
+                    out.push(std::mem::take(b));
+                } else {
+                    b.clear();
+                }
+            }
+            touched.clear();
+        }
+        out.sort_by_key(|g| g[0]);
+        Partition::from_groups(out, self.n_tuples)
+    }
+
+    /// Does `self` refine `other` (`Π_self ⊑ Π_other`)? Every group of
+    /// `self` must be contained in one group of `other`, treating stripped
+    /// singletons as their own groups. Exact (not error-based); used as the
+    /// Lemma 1 oracle in tests and for unrelated attribute sets.
+    pub fn refines(&self, other: &Partition) -> bool {
+        debug_assert_eq!(self.n_tuples, other.n_tuples);
+        let gm = GroupMap::new(other);
+        self.groups.iter().all(|g| {
+            let first = gm.group_of(g[0]);
+            // A stripped singleton in `other` cannot contain a group of ≥2.
+            first.is_some() && g.iter().all(|&t| gm.group_of(t) == first)
+        })
+    }
+
+    /// Lemma 2 test specialized to a product: given `sup = self · Π_other`,
+    /// `self → other` holds iff the errors agree.
+    pub fn same_as_refining(&self, sup: &Partition) -> bool {
+        debug_assert!(sup.error <= self.error, "sup must refine self");
+        self.error == sup.error
+    }
+}
+
+/// Tuple → group lookup for one partition; `None` means the tuple is a
+/// stripped singleton.
+pub struct GroupMap {
+    map: Vec<u32>,
+}
+
+impl GroupMap {
+    /// Build the lookup (O(n) in the relation size).
+    pub fn new(p: &Partition) -> GroupMap {
+        let mut map = vec![u32::MAX; p.n_tuples()];
+        for (i, g) in p.groups().iter().enumerate() {
+            for &t in g {
+                map[t as usize] = i as u32;
+            }
+        }
+        GroupMap { map }
+    }
+
+    /// Group index of `t`, or `None` if `t` is in a stripped singleton.
+    pub fn group_of(&self, t: Tuple) -> Option<u32> {
+        match self.map[t as usize] {
+            u32::MAX => None,
+            g => Some(g),
+        }
+    }
+
+    /// Does the partition separate `t1` and `t2` (put them in different
+    /// groups)? Singletons are separate from everything.
+    pub fn separates(&self, t1: Tuple, t2: Tuple) -> bool {
+        debug_assert_ne!(t1, t2, "a tuple is never separated from itself");
+        match (self.group_of(t1), self.group_of(t2)) {
+            (Some(a), Some(b)) => a != b,
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(vals: &[Option<u64>]) -> Partition {
+        Partition::from_column(vals)
+    }
+
+    #[test]
+    fn from_column_groups_equal_values_and_strips_singletons() {
+        // Values: a a b c c c, null
+        let p = col(&[Some(1), Some(1), Some(2), Some(3), Some(3), Some(3), None]);
+        assert_eq!(p.groups().len(), 2);
+        assert_eq!(p.groups()[0], vec![0, 1]);
+        assert_eq!(p.groups()[1], vec![3, 4, 5]);
+        assert_eq!(p.error(), 1 + 2);
+        assert_eq!(p.max_group_size(), 3);
+        assert!(!p.is_key());
+    }
+
+    #[test]
+    fn nulls_are_distinct_from_each_other() {
+        let p = col(&[None, None, None]);
+        assert!(p.is_key(), "all-null column distinguishes every tuple");
+    }
+
+    #[test]
+    fn key_detection() {
+        assert!(col(&[Some(1), Some(2), Some(3)]).is_key());
+        assert!(!col(&[Some(1), Some(1)]).is_key());
+        assert!(Partition::universal(1).is_key());
+        assert!(!Partition::universal(2).is_key());
+    }
+
+    #[test]
+    fn product_intersects_groups() {
+        // X: {0,1,2,3} in one group; Y: {0,1} and {2,3}.
+        let x = Partition::from_groups(vec![vec![0, 1, 2, 3]], 4);
+        let y = Partition::from_groups(vec![vec![0, 1], vec![2, 3]], 4);
+        let xy = x.product(&y);
+        assert_eq!(xy.groups(), &[vec![0, 1], vec![2, 3]]);
+        // Product is commutative on the group structure.
+        let yx = y.product(&x);
+        assert_eq!(xy, yx);
+    }
+
+    #[test]
+    fn product_strips_new_singletons() {
+        let x = Partition::from_groups(vec![vec![0, 1, 2]], 3);
+        let y = Partition::from_groups(vec![vec![0, 1]], 3); // 2 is singleton
+        let xy = x.product(&y);
+        assert_eq!(xy.groups(), &[vec![0, 1]]);
+        assert_eq!(xy.error(), 1);
+    }
+
+    #[test]
+    fn product_matches_column_product() {
+        // Π_{AB} computed by product equals Π computed from paired values.
+        let a = [Some(1), Some(1), Some(2), Some(2), Some(1), None];
+        let b = [Some(9), Some(9), Some(9), Some(8), Some(8), Some(9)];
+        let pa = col(&a);
+        let pb = col(&b);
+        let prod = pa.product(&pb);
+        let paired: Vec<Option<u64>> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| match (x, y) {
+                (Some(x), Some(y)) => Some(x * 1000 + y),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(prod, col(&paired));
+    }
+
+    #[test]
+    fn refinement_oracle() {
+        let coarse = col(&[Some(1), Some(1), Some(1), Some(2), Some(2)]);
+        let fine = col(&[Some(1), Some(1), Some(3), Some(2), Some(2)]);
+        assert!(fine.refines(&coarse));
+        assert!(!coarse.refines(&fine));
+        assert!(fine.refines(&fine));
+        assert!(
+            Partition::from_groups(vec![], 5).refines(&coarse),
+            "key refines all"
+        );
+        assert!(coarse.refines(&Partition::universal(5)));
+    }
+
+    #[test]
+    fn lemma_2_error_equality_matches_exact_refinement() {
+        // X→A iff Π_X = Π_X·Π_A iff errors equal.
+        let x = col(&[Some(1), Some(1), Some(2), Some(2)]);
+        let a_held = col(&[Some(7), Some(7), Some(8), Some(8)]); // X→A holds
+        let a_viol = col(&[Some(7), Some(6), Some(8), Some(8)]); // violated by t0,t1
+        let xa1 = x.product(&a_held);
+        let xa2 = x.product(&a_viol);
+        assert!(x.same_as_refining(&xa1));
+        assert!(!x.same_as_refining(&xa2));
+    }
+
+    #[test]
+    fn group_map_separation() {
+        let p = col(&[Some(1), Some(1), Some(2), Some(2), Some(3)]);
+        let gm = GroupMap::new(&p);
+        assert!(!gm.separates(0, 1));
+        assert!(gm.separates(0, 2));
+        assert!(gm.separates(0, 4), "singleton separates from everything");
+        assert_eq!(gm.group_of(4), None);
+    }
+
+    #[test]
+    fn universal_partition_separates_nothing() {
+        let p = Partition::universal(3);
+        let gm = GroupMap::new(&p);
+        assert!(!gm.separates(0, 1));
+        assert!(!gm.separates(1, 2));
+    }
+}

@@ -1,0 +1,107 @@
+//! Algebraic laws of stripped partitions, checked on random columns.
+
+use proptest::prelude::*;
+use xfd_partition::{GroupMap, PairSet, Partition};
+
+fn column() -> impl Strategy<Value = Vec<Option<u64>>> {
+    proptest::collection::vec(
+        prop_oneof![3 => (0u64..5).prop_map(Some), 1 => Just(None)],
+        0..40,
+    )
+}
+
+/// Reference implementation: group rows by exact cell vectors.
+fn naive_product(a: &[Option<u64>], b: &[Option<u64>]) -> Partition {
+    let mut groups: std::collections::HashMap<(u64, u64), Vec<u32>> = Default::default();
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if let (Some(x), Some(y)) = (x, y) {
+            groups.entry((*x, *y)).or_default().push(i as u32);
+        }
+    }
+    let mut gs: Vec<Vec<u32>> = groups.into_values().collect();
+    gs.sort_by_key(|g| g[0]);
+    Partition::from_groups(gs, a.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn product_matches_naive(a in column(), b in column()) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let pa = Partition::from_column(a);
+        let pb = Partition::from_column(b);
+        prop_assert_eq!(pa.product(&pb), naive_product(a, b));
+    }
+
+    #[test]
+    fn product_is_commutative(a in column(), b in column()) {
+        let n = a.len().min(b.len());
+        let pa = Partition::from_column(&a[..n]);
+        let pb = Partition::from_column(&b[..n]);
+        prop_assert_eq!(pa.product(&pb), pb.product(&pa));
+    }
+
+    #[test]
+    fn product_refines_both_operands(a in column(), b in column()) {
+        let n = a.len().min(b.len());
+        let pa = Partition::from_column(&a[..n]);
+        let pb = Partition::from_column(&b[..n]);
+        let prod = pa.product(&pb);
+        prop_assert!(prod.refines(&pa));
+        prop_assert!(prod.refines(&pb));
+        prop_assert!(prod.error() <= pa.error());
+        prop_assert!(prod.error() <= pb.error());
+    }
+
+    #[test]
+    fn product_is_idempotent(a in column()) {
+        let pa = Partition::from_column(&a);
+        prop_assert_eq!(pa.product(&pa), pa);
+    }
+
+    #[test]
+    fn universal_is_identity(a in column()) {
+        let pa = Partition::from_column(&a);
+        let u = Partition::universal(a.len());
+        prop_assert_eq!(pa.product(&u), pa.clone());
+        prop_assert!(pa.refines(&u) || a.len() < 2);
+    }
+
+    #[test]
+    fn error_counts_strippable_tuples(a in column()) {
+        let pa = Partition::from_column(&a);
+        let expected: usize = pa.groups().iter().map(|g| g.len() - 1).sum();
+        prop_assert_eq!(pa.error(), expected);
+    }
+
+    #[test]
+    fn group_map_agrees_with_group_membership(a in column()) {
+        let pa = Partition::from_column(&a);
+        let gm = GroupMap::new(&pa);
+        for (gi, g) in pa.groups().iter().enumerate() {
+            for &t in g {
+                prop_assert_eq!(gm.group_of(t), Some(gi as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn pairset_satisfaction_matches_separation(a in column()) {
+        prop_assume!(a.len() >= 2);
+        let pa = Partition::from_column(&a);
+        let gm = GroupMap::new(&pa);
+        let mut all = PairSet::new();
+        for t1 in 0..a.len() as u32 {
+            for t2 in t1 + 1..a.len() as u32 {
+                all.insert(t1, t2);
+            }
+        }
+        let unsat = all.unsatisfied_under(&gm);
+        // Unsatisfied pairs are exactly the within-group pairs.
+        let within: usize = pa.groups().iter().map(|g| g.len() * (g.len() - 1) / 2).sum();
+        prop_assert_eq!(unsat.len(), within);
+        prop_assert_eq!(all.satisfied_by(&gm), within == 0);
+    }
+}

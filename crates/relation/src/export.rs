@@ -1,0 +1,146 @@
+//! CSV export of the hierarchical and flat representations — for loading
+//! into SQLite/pandas/duckdb when eyeballing what discovery saw.
+
+use std::fmt::Write as _;
+
+use crate::flat::FlatRelation;
+use crate::relation::{ColumnKind, Forest, Relation};
+
+/// RFC-4180-style field quoting (quote when needed, double inner quotes).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Export one relation as CSV: `@key,parent,<columns...>`. Cells resolve
+/// through the forest's dictionary; ⊥ becomes an empty field; complex
+/// cells render as `#<id>`, set cells as `{id}`.
+pub fn relation_to_csv(forest: &Forest, rel: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = ["@key".to_string(), "parent".to_string()]
+        .into_iter()
+        .chain(rel.columns.iter().map(|c| c.name.clone()))
+        .map(|h| csv_field(&h))
+        .collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for t in 0..rel.n_tuples() {
+        let mut row: Vec<String> = vec![
+            rel.node_keys[t].0.to_string(),
+            rel.parent_of
+                .get(t)
+                .map(|p| p.to_string())
+                .unwrap_or_default(),
+        ];
+        for c in &rel.columns {
+            row.push(match (c.cells[t], c.kind) {
+                (None, _) => String::new(),
+                (Some(v), ColumnKind::Simple) => csv_field(forest.dictionary.resolve_str(v)),
+                (Some(v), ColumnKind::Complex) => format!("#{v}"),
+                (Some(v), ColumnKind::SetValue) => format!("{{{v}}}"),
+            });
+        }
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+/// Export every relation of the forest, concatenated with `## R_<name>`
+/// separators (one logical file per relation).
+pub fn forest_to_csv(forest: &Forest) -> String {
+    let mut out = String::new();
+    for rel in &forest.relations {
+        let _ = writeln!(out, "## R_{} ({})", rel.name, rel.pivot_path);
+        out.push_str(&relation_to_csv(forest, rel));
+        out.push('\n');
+    }
+    out
+}
+
+/// Export the flat relation as CSV (column names are schema paths).
+pub fn flat_to_csv(flat: &FlatRelation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = flat.column_names.iter().map(|h| csv_field(h)).collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in 0..flat.n_rows() {
+        let mut cells: Vec<String> = Vec::with_capacity(flat.n_cols());
+        for col in 0..flat.n_cols() {
+            cells.push(match flat.column_cells(col)[row] {
+                None => String::new(),
+                Some(v) => csv_field(&format!("{v}")),
+            });
+        }
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode, EncodeConfig};
+    use crate::flat::flatten;
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    fn forest() -> Forest {
+        let t = parse(
+            "<w><store><name>A, \"quoted\"</name>\
+               <book><i>1</i></book><book><i>2</i></book></store>\
+               <store><name>B</name><book><i>1</i></book></store></w>",
+        )
+        .unwrap();
+        let schema = infer_schema(&t);
+        encode(&t, &schema, &EncodeConfig::default())
+    }
+
+    #[test]
+    fn relation_csv_has_header_and_rows() {
+        let f = forest();
+        let book = f.relations.iter().find(|r| r.name == "book").unwrap();
+        let csv = relation_to_csv(&f, book);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "@key,parent,i");
+        assert_eq!(lines.count(), 3, "three books total");
+    }
+
+    #[test]
+    fn quoting_follows_rfc_4180() {
+        let f = forest();
+        let store = f.relations.iter().find(|r| r.name == "store").unwrap();
+        let csv = relation_to_csv(&f, store);
+        assert!(csv.contains("\"A, \"\"quoted\"\"\""), "{csv}");
+    }
+
+    #[test]
+    fn forest_csv_contains_every_relation() {
+        let f = forest();
+        let csv = forest_to_csv(&f);
+        for name in ["## R_w", "## R_store", "## R_book"] {
+            assert!(csv.contains(name), "{csv}");
+        }
+    }
+
+    #[test]
+    fn flat_csv_dimensions() {
+        let t = parse("<r><a>1</a><a>2</a><b>x</b></r>").unwrap();
+        let schema = infer_schema(&t);
+        let flat = flatten(&t, &schema, 1000).unwrap();
+        let csv = flat_to_csv(&flat);
+        assert_eq!(csv.lines().count(), 1 + flat.n_rows());
+        assert!(csv.starts_with("/r,/r/a,/r/b"));
+    }
+
+    #[test]
+    fn null_cells_are_empty_fields() {
+        let t = parse("<w><book><i>1</i><p>9</p></book><book><i>2</i></book></w>").unwrap();
+        let schema = infer_schema(&t);
+        let f = encode(&t, &schema, &EncodeConfig::default());
+        let book = f.relations.iter().find(|r| r.name == "book").unwrap();
+        let csv = relation_to_csv(&f, book);
+        let last = csv.lines().last().unwrap();
+        assert!(last.ends_with(','), "missing price is empty: {last}");
+    }
+}

@@ -1,0 +1,311 @@
+//! The flat representation (Figure 5): the fully unnested single relation
+//! of tree tuples in the sense of Arenas & Libkin \[3\].
+//!
+//! Every schema element contributes one column; each row is a *tree tuple*,
+//! picking exactly one data node per schema element (or ⊥ when missing).
+//! Simple elements contribute their value, complex elements their node key
+//! (matching the `1, 10, WA, 12, 13, Borders, ...` rows of Figure 5).
+//!
+//! Rows multiply across parallel set elements — the scaling pathology
+//! Section 4.1 calls out ("if each book had two review elements, the total
+//! number of tuples would double"). [`flatten`] therefore takes a row cap
+//! and fails with [`FlatError::RowLimit`] instead of exhausting memory.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use xfd_schema::{ElemId, Schema, SchemaMap};
+use xfd_xml::{DataTree, NodeId};
+
+use crate::dictionary::Dictionary;
+
+/// Why flattening failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatError {
+    /// The cartesian expansion exceeded the row cap.
+    RowLimit {
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for FlatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlatError::RowLimit { cap } => {
+                write!(f, "flat representation exceeds the row cap of {cap} tuples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlatError {}
+
+/// The single unnested relation.
+#[derive(Debug)]
+pub struct FlatRelation {
+    /// Column names: absolute schema paths, in schema DFS order.
+    pub column_names: Vec<String>,
+    /// The schema element behind each column.
+    pub column_elems: Vec<ElemId>,
+    /// Column-major cells: `cells[col][row]`; `None` is ⊥.
+    pub cells: Vec<Vec<Option<u64>>>,
+    /// Shared dictionary for the simple-value cells.
+    pub dictionary: Dictionary,
+    n_rows: usize,
+}
+
+impl FlatRelation {
+    /// Number of rows (tree tuples).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (schema elements).
+    pub fn n_cols(&self) -> usize {
+        self.column_names.len()
+    }
+
+    /// Total cell count.
+    pub fn n_cells(&self) -> usize {
+        self.n_rows * self.n_cols()
+    }
+
+    /// Column index by absolute path string.
+    pub fn column_by_path(&self, path: &str) -> Option<usize> {
+        self.column_names.iter().position(|n| n == path)
+    }
+
+    /// The cells of one column.
+    pub fn column_cells(&self, col: usize) -> &[Option<u64>] {
+        &self.cells[col]
+    }
+}
+
+/// Flatten `tree` into the single relation of tree tuples, refusing to
+/// produce more than `max_rows` rows.
+pub fn flatten(
+    tree: &DataTree,
+    schema: &Schema,
+    max_rows: usize,
+) -> Result<FlatRelation, FlatError> {
+    let map = SchemaMap::new(schema);
+    let columns: Vec<ElemId> = map.elements().iter().map(|e| e.id).collect();
+    let col_of: HashMap<ElemId, usize> = columns.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    let mut child_elem: HashMap<(ElemId, &str), ElemId> = HashMap::new();
+    for e in map.elements() {
+        if let Some(parent) = e.parent {
+            child_elem.insert((parent, map.get(e.id).label.as_str()), e.id);
+        }
+    }
+
+    let mut dictionary = Dictionary::new();
+    let width = columns.len();
+    let ctx = FlattenCtx {
+        tree,
+        map: &map,
+        col_of: &col_of,
+        child_elem: &child_elem,
+        width,
+        max_rows,
+    };
+    let rows = ctx.rows_for(tree.root(), map.root(), &mut dictionary)?;
+
+    let n_rows = rows.len();
+    let mut cells: Vec<Vec<Option<u64>>> = vec![Vec::with_capacity(n_rows); width];
+    for row in rows {
+        for (c, v) in row.into_iter().enumerate() {
+            cells[c].push(v);
+        }
+    }
+    Ok(FlatRelation {
+        column_names: map.elements().iter().map(|e| e.path.to_string()).collect(),
+        column_elems: columns,
+        cells,
+        dictionary,
+        n_rows,
+    })
+}
+
+struct FlattenCtx<'a> {
+    tree: &'a DataTree,
+    map: &'a SchemaMap,
+    col_of: &'a HashMap<ElemId, usize>,
+    child_elem: &'a HashMap<(ElemId, &'a str), ElemId>,
+    width: usize,
+    max_rows: usize,
+}
+
+type Row = Vec<Option<u64>>;
+
+impl FlattenCtx<'_> {
+    /// All tree-tuple fragments for the subtree at `node` (columns outside
+    /// the subtree stay ⊥ and are merged by the caller).
+    fn rows_for(
+        &self,
+        node: NodeId,
+        elem: ElemId,
+        dictionary: &mut Dictionary,
+    ) -> Result<Vec<Row>, FlatError> {
+        let mut base: Row = vec![None; self.width];
+        let col = self.col_of[&elem];
+        let e = self.map.get(elem);
+        base[col] = if e.is_simple {
+            self.tree.value(node).map(|v| dictionary.intern_str(v))
+        } else {
+            Some(u64::from(node.0))
+        };
+
+        let mut result = vec![base];
+        // Group data children by schema element, preserving schema order.
+        let mut instances: HashMap<ElemId, Vec<NodeId>> = HashMap::new();
+        for &c in self.tree.children(node) {
+            if let Some(&ce) = self.child_elem.get(&(elem, self.tree.label(c))) {
+                instances.entry(ce).or_default().push(c);
+            }
+        }
+        for &ce in self.map.children_of(elem) {
+            let Some(insts) = instances.get(&ce) else {
+                continue; // missing element: its subtree columns stay ⊥
+            };
+            let mut fragments: Vec<Row> = Vec::new();
+            for &inst in insts {
+                fragments.extend(self.rows_for(inst, ce, dictionary)?);
+            }
+            // Cartesian merge.
+            if result.len().saturating_mul(fragments.len()) > self.max_rows {
+                return Err(FlatError::RowLimit { cap: self.max_rows });
+            }
+            let mut merged = Vec::with_capacity(result.len() * fragments.len());
+            for r in &result {
+                for f in &fragments {
+                    let mut row = r.clone();
+                    for (i, v) in f.iter().enumerate() {
+                        if v.is_some() {
+                            debug_assert!(row[i].is_none(), "disjoint column ranges");
+                            row[i] = *v;
+                        }
+                    }
+                    merged.push(row);
+                }
+            }
+            result = merged;
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::tests::warehouse;
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    #[test]
+    fn warehouse_flattens_to_figure_5_shape() {
+        let t = warehouse();
+        let s = infer_schema(&t);
+        let flat = flatten(&t, &s, 1_000_000).unwrap();
+        // One row per author (books with 1 author → 1 row, with 2 → 2):
+        // book(Post):1, book(R,G):2, book(R,G):2, book(R,G):2 = 7 rows.
+        assert_eq!(flat.n_rows(), 7);
+        assert_eq!(flat.n_cols(), 12);
+        let author = flat
+            .column_by_path("/warehouse/state/store/book/author")
+            .unwrap();
+        let authors: Vec<&str> = flat
+            .column_cells(author)
+            .iter()
+            .map(|c| flat.dictionary.resolve_str(c.unwrap()))
+            .collect();
+        assert_eq!(authors.iter().filter(|a| **a == "Ramakrishnan").count(), 3);
+        assert_eq!(authors.iter().filter(|a| **a == "Gehrke").count(), 3);
+        assert_eq!(authors.iter().filter(|a| **a == "Post").count(), 1);
+    }
+
+    #[test]
+    fn titles_repeat_per_author_redundantly() {
+        // The flat representation stores title once per author — the
+        // redundancy Section 4.1 attributes to it.
+        let t = warehouse();
+        let s = infer_schema(&t);
+        let flat = flatten(&t, &s, 1_000_000).unwrap();
+        let title = flat
+            .column_by_path("/warehouse/state/store/book/title")
+            .unwrap();
+        let dbms = flat
+            .column_cells(title)
+            .iter()
+            .filter(|c| {
+                c.map(|v| flat.dictionary.resolve_str(v) == "DBMS")
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(dbms, 6, "DBMS title appears once per (book, author) pair");
+    }
+
+    #[test]
+    fn parallel_sets_multiply_rows() {
+        // 2 a's and 3 b's under one parent → 6 rows.
+        let t = parse("<r><a>1</a><a>2</a><b>x</b><b>y</b><b>z</b></r>").unwrap();
+        let s = infer_schema(&t);
+        let flat = flatten(&t, &s, 1_000_000).unwrap();
+        assert_eq!(flat.n_rows(), 6);
+    }
+
+    #[test]
+    fn missing_elements_are_bottom() {
+        let t = parse("<r><item><x>1</x></item><item><y>2</y></item></r>").unwrap();
+        let s = infer_schema(&t);
+        let flat = flatten(&t, &s, 1_000_000).unwrap();
+        assert_eq!(flat.n_rows(), 2);
+        let x = flat.column_by_path("/r/item/x").unwrap();
+        let y = flat.column_by_path("/r/item/y").unwrap();
+        assert_eq!(
+            flat.column_cells(x).iter().filter(|c| c.is_none()).count(),
+            1
+        );
+        assert_eq!(
+            flat.column_cells(y).iter().filter(|c| c.is_none()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn complex_columns_hold_node_keys() {
+        let t = warehouse();
+        let s = infer_schema(&t);
+        let flat = flatten(&t, &s, 1_000_000).unwrap();
+        let contact = flat
+            .column_by_path("/warehouse/state/store/contact")
+            .unwrap();
+        let distinct: std::collections::HashSet<_> =
+            flat.column_cells(contact).iter().flatten().collect();
+        assert_eq!(distinct.len(), 3, "three stores → three contact node keys");
+    }
+
+    #[test]
+    fn row_cap_is_enforced() {
+        let t = parse("<r><a>1</a><a>2</a><a>3</a><b>x</b><b>y</b><b>z</b></r>").unwrap();
+        let s = infer_schema(&t);
+        assert_eq!(
+            flatten(&t, &s, 8).unwrap_err(),
+            FlatError::RowLimit { cap: 8 }
+        );
+        assert!(flatten(&t, &s, 9).is_ok());
+    }
+
+    #[test]
+    fn row_count_is_product_of_parallel_set_cardinalities() {
+        // Deeper: each of 2 items has 2 u's and 2 v's → per item 4 rows → 8.
+        let t = parse(
+            "<r><item><u>1</u><u>2</u><v>a</v><v>b</v></item>\
+                <item><u>3</u><u>4</u><v>c</v><v>d</v></item></r>",
+        )
+        .unwrap();
+        let s = infer_schema(&t);
+        let flat = flatten(&t, &s, 1_000_000).unwrap();
+        assert_eq!(flat.n_rows(), 8);
+    }
+}

@@ -1,0 +1,219 @@
+//! Generalized tree tuples (Definition 5), materialized.
+//!
+//! The discovery pipeline never builds tuples explicitly (the hierarchical
+//! relations *are* the tuples, per Section 4.1), but the notion itself is
+//! the paper's central definition, so this module constructs the actual
+//! projected tree `t^T_{n_p}` for a pivot node — Figure 3(B) — for
+//! inspection, teaching, and the test suite's fidelity checks:
+//!
+//! a node `n` belongs to the tuple iff
+//! 1. `n` is a descendant or ancestor of the pivot `n_p`, or
+//! 2. `n` is a non-repeatable direct descendant of an ancestor of `n_p`
+//!    (no set element between the ancestor and `n`).
+
+use std::collections::HashSet;
+
+use xfd_schema::{Schema, SchemaMap};
+use xfd_xml::builder::TreeWriter;
+use xfd_xml::{DataTree, NodeId, Path};
+
+/// Which original nodes belong to the generalized tree tuple of `pivot`.
+pub fn gtt_members(tree: &DataTree, schema: &Schema, pivot: NodeId) -> HashSet<NodeId> {
+    let map = SchemaMap::new(schema);
+    let mut members: HashSet<NodeId> = HashSet::new();
+    // Ancestors (including the root) and the pivot itself.
+    let mut ancestors = Vec::new();
+    let mut cur = Some(pivot);
+    while let Some(c) = cur {
+        ancestors.push(c);
+        members.insert(c);
+        cur = tree.parent(c);
+    }
+    // All descendants of the pivot.
+    for d in tree.descendants(pivot) {
+        members.insert(d);
+    }
+    // Non-repeatable direct descendants of every proper ancestor: walk down
+    // from each ancestor through non-set elements only (and never into the
+    // branch already covered).
+    let is_set = |n: NodeId| -> bool {
+        let path = Path::absolute(tree.label_path(n));
+        map.by_path(&path)
+            .map(|id| map.get(id).is_set)
+            .unwrap_or(false)
+    };
+    for &anc in ancestors.iter().skip(1) {
+        // BFS through non-set children.
+        let mut frontier = vec![anc];
+        while let Some(n) = frontier.pop() {
+            for &c in tree.children(n) {
+                if members.contains(&c) {
+                    continue; // the pivot branch, already included
+                }
+                if !is_set(c) {
+                    members.insert(c);
+                    frontier.push(c);
+                }
+            }
+        }
+    }
+    members
+}
+
+/// Materialize the generalized tree tuple of `pivot` as a standalone tree
+/// (the projection of Definition 5, preserving document order).
+///
+/// Membership is closed under parents, so the projection is a single
+/// connected tree rooted at the original root.
+pub fn generalized_tree_tuple(tree: &DataTree, schema: &Schema, pivot: NodeId) -> DataTree {
+    let members = gtt_members(tree, schema, pivot);
+    let mut w = TreeWriter::new(tree.label(tree.root()));
+    for &c in tree.children(tree.root()) {
+        w.copy_filtered(tree, c, &mut |n| members.contains(&n));
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    fn warehouse() -> DataTree {
+        parse(
+            "<warehouse>\
+             <state><name>WA</name>\
+               <store><contact><name>Borders</name><address>Seattle</address></contact>\
+                 <book><ISBN>i1</ISBN><author>Post</author><title>D</title><price>19</price></book>\
+                 <book><ISBN>i2</ISBN><author>R</author><author>G</author><title>DBMS</title><price>59</price></book>\
+               </store></state>\
+             <state><name>KY</name>\
+               <store><contact><name>B2</name><address>Lex</address></contact>\
+                 <book><ISBN>i2</ISBN><author>R</author><author>G</author><title>DBMS</title><price>59</price></book>\
+               </store>\
+               <store><contact><name>W</name><address>Lex</address></contact>\
+                 <book><ISBN>i2</ISBN><author>R</author><author>G</author><title>DBMS</title></book>\
+               </store></state>\
+             </warehouse>",
+        )
+        .unwrap()
+    }
+
+    /// Figure 3(B): the GTT of book 30 keeps BOTH its authors, the chain
+    /// of ancestors, and the non-repeatable direct descendants of those
+    /// ancestors (state name, store contact) — but not sibling books or
+    /// the other state.
+    #[test]
+    fn figure_3b_membership() {
+        let t = warehouse();
+        let s = infer_schema(&t);
+        let books = "/warehouse/state/store/book"
+            .parse::<Path>()
+            .unwrap()
+            .resolve_all(&t);
+        let book30 = books[1]; // the two-author WA book
+        let members = gtt_members(&t, &s, book30);
+
+        let contains_path = |p: &str, expect: usize| {
+            let nodes = p.parse::<Path>().unwrap().resolve_all(&t);
+            let got = nodes.iter().filter(|n| members.contains(n)).count();
+            (nodes, got, expect)
+        };
+        // Both authors of book 30 are in (the Definition 5 improvement
+        // over Figure 3(A)).
+        let (_, got, _) = contains_path("/warehouse/state/store/book/author", 2);
+        assert_eq!(got, 2);
+        // Exactly one book (the pivot), one store, one state.
+        let (_, got, _) = contains_path("/warehouse/state/store/book", 1);
+        assert_eq!(got, 1);
+        let (_, got, _) = contains_path("/warehouse/state/store", 1);
+        assert_eq!(got, 1);
+        let (_, got, _) = contains_path("/warehouse/state", 1);
+        assert_eq!(got, 1);
+        // The pivot's state's name and store contact come along (rule 2).
+        let (nodes, got, _) = contains_path("/warehouse/state/name", 1);
+        assert_eq!(got, 1);
+        assert!(members.contains(&nodes[0]), "WA name is the member");
+        let (_, got, _) = contains_path("/warehouse/state/store/contact/name", 1);
+        assert_eq!(got, 1);
+        // Root present.
+        assert!(members.contains(&t.root()));
+    }
+
+    /// Tuple classes (Definition 6): every pivot of a class yields a
+    /// distinct tuple; the number of tuples equals the number of pivots.
+    #[test]
+    fn one_tuple_per_pivot_node() {
+        let t = warehouse();
+        let s = infer_schema(&t);
+        let books = "/warehouse/state/store/book"
+            .parse::<Path>()
+            .unwrap()
+            .resolve_all(&t);
+        let sets: Vec<HashSet<NodeId>> = books.iter().map(|&b| gtt_members(&t, &s, b)).collect();
+        for i in 0..sets.len() {
+            for j in i + 1..sets.len() {
+                assert_ne!(sets[i], sets[j], "tuples of distinct pivots differ");
+            }
+        }
+    }
+
+    /// The materialized Figure 3(B) tree: node counts line up with the
+    /// membership set, and the projection parses/serializes cleanly.
+    #[test]
+    fn figure_3b_materialization() {
+        let t = warehouse();
+        let s = infer_schema(&t);
+        let books = "/warehouse/state/store/book"
+            .parse::<Path>()
+            .unwrap()
+            .resolve_all(&t);
+        let book30 = books[1];
+        let members = gtt_members(&t, &s, book30);
+        let tuple = generalized_tree_tuple(&t, &s, book30);
+        assert_eq!(tuple.node_count(), members.len());
+        // Both authors survive in the projection.
+        assert_eq!(
+            "/warehouse/state/store/book/author"
+                .parse::<Path>()
+                .unwrap()
+                .resolve_all(&tuple)
+                .len(),
+            2
+        );
+        // Exactly one state with its name (WA).
+        let names = "/warehouse/state/name"
+            .parse::<Path>()
+            .unwrap()
+            .resolve_all(&tuple);
+        assert_eq!(names.len(), 1);
+        assert_eq!(tuple.value(names[0]), Some("WA"));
+        // Round-trips as XML.
+        let xml = xfd_xml::to_xml_string(&tuple);
+        assert!(xfd_xml::parse(&xml).is_ok());
+    }
+
+    /// Theorem 1 on real data: a C_contact-style tuple (pivot = contact,
+    /// non-repeatable) has the same members as its lowest-repeatable-
+    /// ancestor C_store tuple minus the store's other set branches — i.e.
+    /// every contact GTT is contained in its store GTT.
+    #[test]
+    fn theorem_1_containment() {
+        let t = warehouse();
+        let s = infer_schema(&t);
+        let contacts = "/warehouse/state/store/contact"
+            .parse::<Path>()
+            .unwrap()
+            .resolve_all(&t);
+        let stores = "/warehouse/state/store"
+            .parse::<Path>()
+            .unwrap()
+            .resolve_all(&t);
+        for (c, st) in contacts.iter().zip(stores.iter()) {
+            let cm = gtt_members(&t, &s, *c);
+            let sm = gtt_members(&t, &s, *st);
+            assert!(cm.is_subset(&sm), "contact tuple ⊆ store tuple");
+        }
+    }
+}

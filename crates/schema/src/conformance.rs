@@ -1,0 +1,299 @@
+//! Conformance checking: does a data tree conform to a schema?
+//!
+//! The paper adopts the conformance notion of XML Schema and assumes all
+//! data trees conform. This module verifies that assumption and reports
+//! every violation (not just the first), so the CLI can explain why an
+//! inferred schema does or does not fit other documents.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use xfd_xml::{DataTree, NodeId};
+
+use crate::types::{ElementType, Schema};
+
+/// One conformance violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConformanceError {
+    /// The document root has a different label than the schema root.
+    RootLabelMismatch {
+        /// Label required by the schema.
+        expected: String,
+        /// Label found in the document.
+        found: String,
+    },
+    /// A node whose label is not declared under its parent's type.
+    UndeclaredElement {
+        /// Offending node.
+        node: NodeId,
+        /// Its label.
+        label: String,
+    },
+    /// Two or more same-labeled children under a parent whose type for that
+    /// label is not `SetOf`.
+    MultiplicityViolation {
+        /// The parent node.
+        parent: NodeId,
+        /// The repeated label.
+        label: String,
+        /// How many occurrences were found.
+        count: usize,
+    },
+    /// A leaf value outside its declared simple type's domain.
+    ValueTypeMismatch {
+        /// Offending node.
+        node: NodeId,
+        /// The offending value.
+        value: String,
+        /// The declared type, rendered.
+        expected: String,
+    },
+    /// A value directly on an element with a complex type that has no
+    /// `@text` field to absorb it.
+    ValueOnComplexElement {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// A `Choice` element with zero or multiple alternatives present.
+    ChoiceViolation {
+        /// The choice-typed node.
+        node: NodeId,
+        /// Number of distinct alternatives present.
+        present: usize,
+    },
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceError::RootLabelMismatch { expected, found } => {
+                write!(
+                    f,
+                    "root label mismatch: expected <{expected}>, found <{found}>"
+                )
+            }
+            ConformanceError::UndeclaredElement { node, label } => {
+                write!(f, "node {} has undeclared label {label:?}", node.0)
+            }
+            ConformanceError::MultiplicityViolation {
+                parent,
+                label,
+                count,
+            } => write!(
+                f,
+                "node {} has {count} children labeled {label:?} but the schema type is not SetOf",
+                parent.0
+            ),
+            ConformanceError::ValueTypeMismatch {
+                node,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "node {} value {value:?} is not a valid {expected}",
+                    node.0
+                )
+            }
+            ConformanceError::ValueOnComplexElement { node } => {
+                write!(f, "node {} carries a value but its type is complex", node.0)
+            }
+            ConformanceError::ChoiceViolation { node, present } => write!(
+                f,
+                "node {} is Choice-typed but {present} alternatives are present",
+                node.0
+            ),
+        }
+    }
+}
+
+/// Check `tree` against `schema`; `Ok(())` or every violation found.
+pub fn check(tree: &DataTree, schema: &Schema) -> Result<(), Vec<ConformanceError>> {
+    let mut errors = Vec::new();
+    let root = tree.root();
+    if tree.label(root) != schema.root_label() {
+        errors.push(ConformanceError::RootLabelMismatch {
+            expected: schema.root_label().to_string(),
+            found: tree.label(root).to_string(),
+        });
+        return Err(errors);
+    }
+    check_node(tree, root, &schema.root().ty, &mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn check_node(tree: &DataTree, node: NodeId, ty: &ElementType, errors: &mut Vec<ConformanceError>) {
+    let base = ty.unwrap_set();
+    match base {
+        ElementType::Simple(st) => {
+            if let Some(v) = tree.value(node) {
+                if !st.admits(v) {
+                    errors.push(ConformanceError::ValueTypeMismatch {
+                        node,
+                        value: v.to_string(),
+                        expected: st.to_string(),
+                    });
+                }
+            }
+            for &c in tree.children(node) {
+                errors.push(ConformanceError::UndeclaredElement {
+                    node: c,
+                    label: tree.label(c).to_string(),
+                });
+            }
+        }
+        ElementType::Rcd(fields) | ElementType::Choice(fields) => {
+            if tree.value(node).is_some() && !fields.iter().any(|f| f.name == "@text") {
+                errors.push(ConformanceError::ValueOnComplexElement { node });
+            }
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for &c in tree.children(node) {
+                *counts.entry(tree.label(c)).or_insert(0) += 1;
+            }
+            if matches!(base, ElementType::Choice(_)) {
+                let present = counts.len();
+                if present != 1 {
+                    errors.push(ConformanceError::ChoiceViolation { node, present });
+                }
+            }
+            for &c in tree.children(node) {
+                let label = tree.label(c);
+                match fields.iter().find(|f| f.name == label) {
+                    Some(field) => {
+                        if !field.ty.is_set() && counts[label] > 1 {
+                            // Report once per (parent, label).
+                            let already = errors.iter().any(|e| {
+                                matches!(e, ConformanceError::MultiplicityViolation { parent, label: l, .. }
+                                    if *parent == node && l == label)
+                            });
+                            if !already {
+                                errors.push(ConformanceError::MultiplicityViolation {
+                                    parent: node,
+                                    label: label.to_string(),
+                                    count: counts[label],
+                                });
+                            }
+                        }
+                        check_node(tree, c, &field.ty, errors);
+                    }
+                    None => errors.push(ConformanceError::UndeclaredElement {
+                        node: c,
+                        label: label.to_string(),
+                    }),
+                }
+            }
+        }
+        ElementType::SetOf(_) => unreachable!("unwrap_set removed the SetOf layer"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_schema;
+    use crate::types::{Field, SimpleType};
+    use xfd_xml::parse;
+
+    #[test]
+    fn inferred_schema_always_conforms() {
+        for xml in [
+            "<r><a>1</a><a>2</a></r>",
+            "<warehouse><state><name>WA</name></state></warehouse>",
+            "<r><a><b x='1'>t</b></a><a>plain</a></r>",
+        ] {
+            let t = parse(xml).unwrap();
+            let s = infer_schema(&t);
+            assert_eq!(check(&t, &s), Ok(()), "{xml}");
+        }
+    }
+
+    #[test]
+    fn root_mismatch_is_detected() {
+        let t = parse("<other/>").unwrap();
+        let s = infer_schema(&parse("<r/>").unwrap());
+        let errs = check(&t, &s).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            ConformanceError::RootLabelMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn undeclared_element_is_detected() {
+        let s = infer_schema(&parse("<r><a>1</a></r>").unwrap());
+        let t = parse("<r><zzz>1</zzz></r>").unwrap();
+        let errs = check(&t, &s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConformanceError::UndeclaredElement { .. })));
+    }
+
+    #[test]
+    fn multiplicity_violation_is_detected_once_per_parent() {
+        let s = infer_schema(&parse("<r><a>1</a></r>").unwrap());
+        let t = parse("<r><a>1</a><a>2</a><a>3</a></r>").unwrap();
+        let errs = check(&t, &s).unwrap_err();
+        let mults: Vec<_> = errs
+            .iter()
+            .filter(|e| matches!(e, ConformanceError::MultiplicityViolation { .. }))
+            .collect();
+        assert_eq!(mults.len(), 1);
+        assert!(matches!(
+            mults[0],
+            ConformanceError::MultiplicityViolation { count: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn value_type_mismatch_is_detected() {
+        let s = infer_schema(&parse("<r><n>1</n></r>").unwrap());
+        let t = parse("<r><n>abc</n></r>").unwrap();
+        let errs = check(&t, &s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConformanceError::ValueTypeMismatch { .. })));
+    }
+
+    #[test]
+    fn floats_admit_ints_but_not_words() {
+        assert!(SimpleType::Float.admits("3"));
+        assert!(SimpleType::Float.admits("3.5"));
+        assert!(!SimpleType::Float.admits("three"));
+    }
+
+    #[test]
+    fn choice_requires_exactly_one_alternative() {
+        let s = crate::Schema::new(Field::new(
+            "r",
+            ElementType::Choice(vec![
+                Field::new("a", ElementType::str()),
+                Field::new("b", ElementType::str()),
+            ]),
+        ));
+        assert!(check(&parse("<r><a>1</a></r>").unwrap(), &s).is_ok());
+        let errs = check(&parse("<r><a>1</a><b>2</b></r>").unwrap(), &s).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            ConformanceError::ChoiceViolation { present: 2, .. }
+        ));
+        let errs = check(&parse("<r/>").unwrap(), &s).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            ConformanceError::ChoiceViolation { present: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = ConformanceError::MultiplicityViolation {
+            parent: xfd_xml::NodeId(3),
+            label: "a".into(),
+            count: 2,
+        };
+        assert!(e.to_string().contains("SetOf"));
+    }
+}

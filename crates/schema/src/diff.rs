@@ -1,0 +1,199 @@
+//! Schema drift: compare two (usually inferred) schemas — which elements
+//! appeared, disappeared, changed type, or changed cardinality. Pairs with
+//! the constraint drift of `discoverxfd::diff` for version audits.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::map::SchemaMap;
+use crate::types::Schema;
+
+/// One element-level change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaChange {
+    /// Element exists only in the new schema.
+    Added {
+        /// Absolute path.
+        path: String,
+        /// Rendered type.
+        ty: String,
+    },
+    /// Element exists only in the old schema.
+    Removed {
+        /// Absolute path.
+        path: String,
+    },
+    /// Element changed between scalar kinds (e.g. `int` → `str`) or
+    /// between simple and complex.
+    TypeChanged {
+        /// Absolute path.
+        path: String,
+        /// Old rendered type.
+        old: String,
+        /// New rendered type.
+        new: String,
+    },
+    /// Element changed multiplicity (`SetOf` gained or lost).
+    CardinalityChanged {
+        /// Absolute path.
+        path: String,
+        /// Is it a set element now?
+        now_set: bool,
+    },
+}
+
+impl fmt::Display for SchemaChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaChange::Added { path, ty } => write!(f, "+ {path}: {ty}"),
+            SchemaChange::Removed { path } => write!(f, "- {path}"),
+            SchemaChange::TypeChanged { path, old, new } => {
+                write!(f, "~ {path}: {old} -> {new}")
+            }
+            SchemaChange::CardinalityChanged { path, now_set } => {
+                if *now_set {
+                    write!(f, "~ {path}: became a set element (SetOf)")
+                } else {
+                    write!(f, "~ {path}: no longer a set element")
+                }
+            }
+        }
+    }
+}
+
+/// Render an element's effective type for reporting.
+fn type_string(map: &SchemaMap, id: crate::map::ElemId) -> String {
+    let e = map.get(id);
+    let base = match e.simple_type {
+        Some(st) => st.to_string(),
+        None => "Rcd".to_string(),
+    };
+    if e.is_set {
+        format!("SetOf {base}")
+    } else {
+        base
+    }
+}
+
+/// Compute element-level changes from `old` to `new`.
+pub fn diff_schemas(old: &Schema, new: &Schema) -> Vec<SchemaChange> {
+    let old_map = SchemaMap::new(old);
+    let new_map = SchemaMap::new(new);
+    let index = |map: &SchemaMap| -> BTreeMap<String, (bool, String)> {
+        map.elements()
+            .iter()
+            .map(|e| (e.path.to_string(), (e.is_set, type_string(map, e.id))))
+            .collect()
+    };
+    let old_idx = index(&old_map);
+    let new_idx = index(&new_map);
+    let mut changes = Vec::new();
+    for (path, (old_set, old_ty)) in &old_idx {
+        match new_idx.get(path) {
+            None => changes.push(SchemaChange::Removed { path: path.clone() }),
+            Some((new_set, new_ty)) => {
+                if old_set != new_set {
+                    changes.push(SchemaChange::CardinalityChanged {
+                        path: path.clone(),
+                        now_set: *new_set,
+                    });
+                }
+                // Compare base type ignoring the SetOf wrapper (cardinality
+                // is reported separately).
+                let strip = |t: &str| t.trim_start_matches("SetOf ").to_string();
+                if strip(old_ty) != strip(new_ty) {
+                    changes.push(SchemaChange::TypeChanged {
+                        path: path.clone(),
+                        old: old_ty.clone(),
+                        new: new_ty.clone(),
+                    });
+                }
+            }
+        }
+    }
+    for (path, (_, ty)) in &new_idx {
+        if !old_idx.contains_key(path) {
+            changes.push(SchemaChange::Added {
+                path: path.clone(),
+                ty: ty.clone(),
+            });
+        }
+    }
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_schema;
+    use xfd_xml::parse;
+
+    fn schema_of(xml: &str) -> Schema {
+        infer_schema(&parse(xml).unwrap())
+    }
+
+    #[test]
+    fn identical_schemas_have_no_changes() {
+        let s = schema_of("<r><a>1</a><b><c>x</c></b></r>");
+        assert!(diff_schemas(&s, &s).is_empty());
+    }
+
+    #[test]
+    fn added_and_removed_elements() {
+        let old = schema_of("<r><a>1</a></r>");
+        let new = schema_of("<r><b>2</b></r>");
+        let changes = diff_schemas(&old, &new);
+        assert!(changes.contains(&SchemaChange::Removed {
+            path: "/r/a".into()
+        }));
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, SchemaChange::Added { path, .. } if path == "/r/b")));
+    }
+
+    #[test]
+    fn type_changes_are_detected() {
+        let old = schema_of("<r><a>1</a></r>"); // int
+        let new = schema_of("<r><a>one</a></r>"); // str
+        let changes = diff_schemas(&old, &new);
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, SchemaChange::TypeChanged { path, old, new }
+                if path == "/r/a" && old == "int" && new == "str")));
+    }
+
+    #[test]
+    fn cardinality_changes_are_detected() {
+        let old = schema_of("<r><a>1</a></r>");
+        let new = schema_of("<r><a>1</a><a>2</a></r>");
+        let changes = diff_schemas(&old, &new);
+        assert!(changes.iter().any(|c| matches!(
+            c,
+            SchemaChange::CardinalityChanged { path, now_set: true } if path == "/r/a"
+        )));
+        // Type itself (int) unchanged → no TypeChanged entry.
+        assert!(!changes
+            .iter()
+            .any(|c| matches!(c, SchemaChange::TypeChanged { .. })));
+    }
+
+    #[test]
+    fn simple_to_complex_is_a_type_change() {
+        let old = schema_of("<r><a>1</a></r>");
+        let new = schema_of("<r><a><x>1</x></a></r>");
+        let changes = diff_schemas(&old, &new);
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, SchemaChange::TypeChanged { path, new, .. }
+                if path == "/r/a" && new == "Rcd")));
+    }
+
+    #[test]
+    fn display_forms_are_compact() {
+        let c = SchemaChange::Added {
+            path: "/r/x".into(),
+            ty: "str".into(),
+        };
+        assert_eq!(c.to_string(), "+ /r/x: str");
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared schema fixtures used by tests across the workspace.
+
+use crate::types::{ElementType, Field, Schema};
+
+/// The schema of the paper's Figure 2 (the `warehouse` document).
+pub fn warehouse_schema() -> Schema {
+    Schema::new(Field::new(
+        "warehouse",
+        ElementType::Rcd(vec![Field::new(
+            "state",
+            ElementType::set_of(ElementType::Rcd(vec![
+                Field::new("name", ElementType::str()),
+                Field::new(
+                    "store",
+                    ElementType::set_of(ElementType::Rcd(vec![
+                        Field::new(
+                            "contact",
+                            ElementType::Rcd(vec![
+                                Field::new("name", ElementType::str()),
+                                Field::new("address", ElementType::str()),
+                            ]),
+                        ),
+                        Field::new(
+                            "book",
+                            ElementType::set_of(ElementType::Rcd(vec![
+                                Field::new("ISBN", ElementType::str()),
+                                Field::new("author", ElementType::set_of(ElementType::str())),
+                                Field::new("title", ElementType::str()),
+                                Field::new("price", ElementType::str()),
+                            ])),
+                        ),
+                    ])),
+                ),
+            ])),
+        )]),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warehouse_schema_is_well_formed() {
+        let s = warehouse_schema();
+        assert_eq!(s.root_label(), "warehouse");
+        assert!(s.is_repeatable_path(&"/warehouse/state/store".parse().unwrap()));
+    }
+}

@@ -1,0 +1,252 @@
+//! Schema inference from data.
+//!
+//! The paper assumes a schema is available ("we assume that all given data
+//! trees conform to their schemas"), but DiscoverXFD targets *casually
+//! designed* databases where no schema was ever written down. This module
+//! derives one from the data:
+//!
+//! * an element is a **set element** (`SetOf`) iff at least one parent
+//!   instance holds two or more children with that label;
+//! * a leaf element's simple type is the join of the types of all its
+//!   observed values (`int ⊑ float ⊑ str`), defaulting to `str` when no
+//!   value was ever seen;
+//! * an element observed with children anywhere is complex (`Rcd`); if some
+//!   instances of it also carry a direct value, a synthetic `@text` field is
+//!   added so no data is lost downstream (the relation encoder maps such
+//!   values into that column);
+//! * `Choice` types are never inferred — they are indistinguishable from
+//!   records with optional fields on the basis of positive examples alone.
+
+use std::collections::HashMap;
+
+use xfd_xml::{DataTree, NodeId, TEXT_LABEL};
+
+use crate::types::{ElementType, Field, Schema, SimpleType};
+
+#[derive(Default)]
+struct TrieNode {
+    /// Child label → trie index, in first-seen order.
+    children: Vec<(String, usize)>,
+    child_index: HashMap<String, usize>,
+    is_set: bool,
+    value_type: Option<SimpleType>,
+    has_children: bool,
+    has_value: bool,
+}
+
+/// Infer a [`Schema`] from a single data tree.
+pub fn infer_schema(tree: &DataTree) -> Schema {
+    infer_schema_from_all(std::iter::once(tree))
+}
+
+/// Infer a [`Schema`] from several documents with the same root label
+/// (their evidence is unioned).
+///
+/// # Panics
+/// Panics if the iterator is empty or root labels disagree.
+pub fn infer_schema_from_all<'a, I: IntoIterator<Item = &'a DataTree>>(trees: I) -> Schema {
+    let mut trees = trees.into_iter().peekable();
+    let first = *trees
+        .peek()
+        .expect("infer_schema_from_all requires at least one tree");
+    let root_label = first.label(first.root()).to_string();
+
+    let mut trie: Vec<TrieNode> = vec![TrieNode::default()];
+    for tree in trees {
+        assert_eq!(
+            tree.label(tree.root()),
+            root_label,
+            "all documents must share a root label"
+        );
+        collect(tree, tree.root(), 0, &mut trie);
+    }
+    let root_ty = build_type(&trie, 0);
+    let root_ty = match root_ty {
+        // Definition 1: the root cannot be a set; multiple documents never
+        // make it one, but guard anyway.
+        ElementType::SetOf(inner) => *inner,
+        other => other,
+    };
+    Schema::new(Field::new(root_label, root_ty))
+}
+
+fn collect(tree: &DataTree, node: NodeId, trie_idx: usize, trie: &mut Vec<TrieNode>) {
+    if let Some(v) = tree.value(node) {
+        let t = SimpleType::of_value(v);
+        let entry = &mut trie[trie_idx];
+        entry.has_value = true;
+        entry.value_type = Some(match entry.value_type {
+            Some(prev) => prev.join(t),
+            None => t,
+        });
+    }
+    let children: Vec<NodeId> = tree.children(node).to_vec();
+    if !children.is_empty() {
+        trie[trie_idx].has_children = true;
+    }
+    // Count per-label multiplicity under *this* parent instance.
+    let mut counts: HashMap<&str, u32> = HashMap::new();
+    for &c in &children {
+        *counts.entry(tree.label(c)).or_insert(0) += 1;
+    }
+    for &c in &children {
+        let label = tree.label(c);
+        let child_idx = match trie[trie_idx].child_index.get(label) {
+            Some(&i) => i,
+            None => {
+                let i = trie.len();
+                trie.push(TrieNode::default());
+                trie[trie_idx].children.push((label.to_string(), i));
+                trie[trie_idx].child_index.insert(label.to_string(), i);
+                i
+            }
+        };
+        if counts[label] > 1 {
+            trie[child_idx].is_set = true;
+        }
+        collect(tree, c, child_idx, trie);
+    }
+}
+
+fn build_type(trie: &[TrieNode], idx: usize) -> ElementType {
+    let node = &trie[idx];
+    let base = if node.has_children {
+        let mut fields: Vec<Field> = node
+            .children
+            .iter()
+            .map(|(name, child)| Field::new(name.clone(), build_type(trie, *child)))
+            .collect();
+        if node.has_value && !node.child_index.contains_key(TEXT_LABEL) {
+            // Heterogeneous element: complex in some instances, leaf in
+            // others. Keep the values reachable via a synthetic @text field.
+            fields.push(Field::new(
+                TEXT_LABEL,
+                ElementType::Simple(node.value_type.unwrap_or(SimpleType::Str)),
+            ));
+        }
+        ElementType::Rcd(fields)
+    } else {
+        ElementType::Simple(node.value_type.unwrap_or(SimpleType::Str))
+    };
+    if node.is_set {
+        ElementType::set_of(base)
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_xml::parse;
+    use xfd_xml::Path;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn multiplicity_induces_set_types() {
+        let t = parse("<r><a><b>1</b><b>2</b></a><a><b>3</b></a></r>").unwrap();
+        let s = infer_schema(&t);
+        assert!(s.is_repeatable_path(&p("/r/a")));
+        assert!(s.is_repeatable_path(&p("/r/a/b")));
+        assert!(!s.is_repeatable_path(&p("/r")));
+    }
+
+    #[test]
+    fn single_occurrence_everywhere_is_not_a_set() {
+        let t = parse("<r><a><b>1</b></a><a><b>2</b></a></r>").unwrap();
+        let s = infer_schema(&t);
+        assert!(!s.is_repeatable_path(&p("/r/a/b")));
+    }
+
+    #[test]
+    fn leaf_types_are_joined() {
+        let t = parse("<r><i>1</i><i>2</i><f>1</f><f>2.5</f><s>1</s><s>abc</s></r>").unwrap();
+        let s = infer_schema(&t);
+        assert_eq!(
+            s.type_at(&p("/r/i")).unwrap().unwrap_set(),
+            &ElementType::int()
+        );
+        assert_eq!(
+            s.type_at(&p("/r/f")).unwrap().unwrap_set(),
+            &ElementType::float()
+        );
+        assert_eq!(
+            s.type_at(&p("/r/s")).unwrap().unwrap_set(),
+            &ElementType::str()
+        );
+    }
+
+    #[test]
+    fn attributes_are_fields_with_at_prefix() {
+        let t = parse(r#"<r><a id="1"/><a id="2"/></r>"#).unwrap();
+        let s = infer_schema(&t);
+        assert_eq!(s.type_at(&p("/r/a/@id")).unwrap(), &ElementType::int());
+    }
+
+    #[test]
+    fn empty_elements_default_to_str() {
+        let t = parse("<r><e/></r>").unwrap();
+        let s = infer_schema(&t);
+        assert_eq!(s.type_at(&p("/r/e")).unwrap(), &ElementType::str());
+    }
+
+    #[test]
+    fn heterogeneous_element_gains_text_field() {
+        let t = parse("<r><a><b>1</b></a><a>plain</a></r>").unwrap();
+        let s = infer_schema(&t);
+        let a_ty = s.type_at(&p("/r/a")).unwrap().unwrap_set();
+        let fields = a_ty.fields().unwrap();
+        assert!(fields.iter().any(|f| f.name == "@text"));
+    }
+
+    #[test]
+    fn inference_on_warehouse_matches_figure_2() {
+        let t = crate_warehouse_tree();
+        let s = infer_schema(&t);
+        assert!(s.is_repeatable_path(&p("/warehouse/state")));
+        assert!(s.is_repeatable_path(&p("/warehouse/state/store")));
+        assert!(s.is_repeatable_path(&p("/warehouse/state/store/book")));
+        assert!(s.is_repeatable_path(&p("/warehouse/state/store/book/author")));
+        assert!(!s.is_repeatable_path(&p("/warehouse/state/store/contact")));
+        assert_eq!(
+            s.type_at(&p("/warehouse/state/store/contact/name"))
+                .unwrap(),
+            &ElementType::str()
+        );
+    }
+
+    #[test]
+    fn union_over_multiple_documents() {
+        let t1 = parse("<r><a>1</a></r>").unwrap();
+        let t2 = parse("<r><a>x</a><a>y</a></r>").unwrap();
+        let s = infer_schema_from_all([&t1, &t2]);
+        assert!(s.is_repeatable_path(&p("/r/a")));
+        assert_eq!(
+            s.type_at(&p("/r/a")).unwrap().unwrap_set(),
+            &ElementType::str()
+        );
+    }
+
+    /// A fragment of the paper's Figure 1 document, built inline to avoid a
+    /// dependency on the datagen crate.
+    fn crate_warehouse_tree() -> DataTree {
+        parse(
+            "<warehouse><state><name>WA</name><store>\
+               <contact><name>Borders</name><address>Seattle</address></contact>\
+               <book><ISBN>1-111</ISBN><author>Post</author><title>A</title><price>1</price></book>\
+               <book><ISBN>2-222</ISBN><author>R</author><author>G</author><title>B</title><price>2</price></book>\
+             </store></state>\
+             <state><name>KY</name><store>\
+               <contact><name>Borders</name><address>Lexington</address></contact>\
+               <book><ISBN>2-222</ISBN><author>R</author><author>G</author><title>B</title><price>2</price></book>\
+             </store><store>\
+               <contact><name>WHSmith</name><address>Lexington</address></contact>\
+               <book><ISBN>2-222</ISBN><author>R</author><author>G</author><title>B</title></book>\
+             </store></state></warehouse>",
+        )
+        .unwrap()
+    }
+}

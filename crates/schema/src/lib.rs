@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # xfd-schema
+//!
+//! Schema model for the DiscoverXFD system — Definition 1 of the paper:
+//! a schema `S = (E, T, r)` with element types
+//!
+//! ```text
+//! τ ::= str | int | float | SetOf τ | Rcd[e1: τ1, ..., en: τn] | Choice[...]
+//! ```
+//!
+//! rendered in the *nested relational representation* of the paper's
+//! Figure 2. The crate provides:
+//!
+//! * the type model itself ([`ElementType`], [`Schema`]);
+//! * schema inference from data trees ([`infer_schema`]) — an element
+//!   is `SetOf` iff some parent instance holds two or more children with the
+//!   same label; leaf types are the tightest of `int`/`float`/`str`;
+//! * conformance checking ([`check`]);
+//! * [`SchemaMap`]: a flattened index over all schema element paths with the
+//!   prefix structure FD discovery needs — repeatable paths, lowest
+//!   repeatable ancestors (Theorem 1) and essential pivot paths
+//!   (Section 3.2.2).
+
+pub mod conformance;
+pub mod diff;
+pub mod fixtures;
+pub mod infer;
+pub mod map;
+pub mod render;
+pub mod types;
+pub mod xsd;
+
+pub use conformance::{check, ConformanceError};
+pub use infer::infer_schema;
+pub use map::{ElemId, SchemaElement, SchemaMap};
+pub use render::nested_representation;
+pub use types::{ElementType, Field, Schema, SimpleType};

@@ -1,0 +1,380 @@
+//! [`SchemaMap`]: a flattened, indexed view of all schema elements.
+//!
+//! FD discovery needs path/prefix structure that is awkward to recompute
+//! against the recursive [`Schema`] type:
+//!
+//! * the set of **repeatable paths** (Section 2.1) — each is the pivot path
+//!   of an *essential tuple class* (Section 3.2.2) and maps to one relation
+//!   of the hierarchical representation (Figure 6);
+//! * every element's **lowest repeatable ancestor** (Theorem 1), which
+//!   decides which relation the element's data lands in;
+//! * the parent/child structure among pivots, i.e. the relation tree that
+//!   `DiscoverXFD` walks bottom-up.
+//!
+//! The document root acts as a synthetic top pivot: its (single-tuple)
+//! relation anchors root-level non-repeatable elements and gives top-level
+//! set elements a parent relation. It is *not* an essential tuple class in
+//! the paper's sense, and the discovery layer never reports FDs pivoted on
+//! it (Definition 10 filters them).
+
+use std::collections::HashMap;
+
+use xfd_xml::Path;
+
+use crate::types::{ElementType, Schema, SimpleType};
+
+/// Index of an element within a [`SchemaMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElemId(pub u32);
+
+impl ElemId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One schema element with its precomputed structure.
+#[derive(Debug, Clone)]
+pub struct SchemaElement {
+    /// This element's id.
+    pub id: ElemId,
+    /// Absolute path of the element.
+    pub path: Path,
+    /// The element label (last path component).
+    pub label: String,
+    /// Is the associated type `SetOf τ`?
+    pub is_set: bool,
+    /// Is the type (under any `SetOf`) simple?
+    pub is_simple: bool,
+    /// For simple(-ish) elements, the simple type.
+    pub simple_type: Option<SimpleType>,
+    /// Parent element (`None` for the root).
+    pub parent: Option<ElemId>,
+    /// The pivot element whose relation owns this element's data: the
+    /// element at the longest repeatable **proper** prefix of `path`, or the
+    /// root when there is none. `None` only for the root itself.
+    pub owner_pivot: Option<ElemId>,
+    /// Is the parent type a `Choice`?
+    pub in_choice: bool,
+}
+
+impl SchemaElement {
+    /// Is this element a pivot (root or set element)?
+    pub fn is_pivot(&self) -> bool {
+        self.is_set || self.parent.is_none()
+    }
+}
+
+/// Flattened schema with prefix structure; see the module docs.
+#[derive(Debug, Clone)]
+pub struct SchemaMap {
+    elements: Vec<SchemaElement>,
+    by_path: HashMap<String, ElemId>,
+    children: Vec<Vec<ElemId>>,
+}
+
+impl SchemaMap {
+    /// Build the map from a schema.
+    pub fn new(schema: &Schema) -> Self {
+        let mut map = SchemaMap {
+            elements: Vec::new(),
+            by_path: HashMap::new(),
+            children: Vec::new(),
+        };
+        let root_path = Path::absolute([schema.root_label()]);
+        let root_id = map.push(SchemaElement {
+            id: ElemId(0),
+            path: root_path,
+            label: schema.root_label().to_string(),
+            is_set: false,
+            is_simple: schema.root().ty.is_simple(),
+            simple_type: simple_of(&schema.root().ty),
+            parent: None,
+            owner_pivot: None,
+            in_choice: false,
+        });
+        map.walk(&schema.root().ty, root_id, root_id);
+        map
+    }
+
+    fn push(&mut self, mut elem: SchemaElement) -> ElemId {
+        let id = ElemId(self.elements.len() as u32);
+        elem.id = id;
+        self.by_path.insert(elem.path.to_string(), id);
+        self.elements.push(elem);
+        self.children.push(Vec::new());
+        id
+    }
+
+    fn walk(&mut self, ty: &ElementType, parent: ElemId, nearest_pivot: ElemId) {
+        let in_choice = matches!(ty.unwrap_set(), ElementType::Choice(_));
+        let Some(fields) = ty.fields() else { return };
+        let fields = fields.to_vec();
+        for field in fields {
+            let is_set = field.ty.is_set();
+            let path = self.elements[parent.index()].path.child(&field.name);
+            let id = self.push(SchemaElement {
+                id: ElemId(0),
+                path,
+                label: field.name.clone(),
+                is_set,
+                is_simple: field.ty.is_simple(),
+                simple_type: simple_of(&field.ty),
+                parent: Some(parent),
+                owner_pivot: Some(nearest_pivot),
+                in_choice,
+            });
+            self.children[parent.index()].push(id);
+            let next_pivot = if is_set { id } else { nearest_pivot };
+            self.walk(&field.ty, id, next_pivot);
+        }
+    }
+
+    /// The root element id (always `ElemId(0)`).
+    pub fn root(&self) -> ElemId {
+        ElemId(0)
+    }
+
+    /// All elements, in schema DFS order.
+    pub fn elements(&self) -> &[SchemaElement] {
+        &self.elements
+    }
+
+    /// Element by id.
+    pub fn get(&self, id: ElemId) -> &SchemaElement {
+        &self.elements[id.index()]
+    }
+
+    /// Element by absolute path.
+    pub fn by_path(&self, path: &Path) -> Option<ElemId> {
+        self.by_path.get(&path.to_string()).copied()
+    }
+
+    /// Direct schema children of an element.
+    pub fn children_of(&self, id: ElemId) -> &[ElemId] {
+        &self.children[id.index()]
+    }
+
+    /// All pivots: the root plus every set element, in DFS order (so a
+    /// pivot always precedes its descendant pivots).
+    pub fn pivots(&self) -> Vec<ElemId> {
+        self.elements
+            .iter()
+            .filter(|e| e.is_pivot())
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Essential pivots only (set elements, excluding the synthetic root
+    /// pivot) — the essential tuple classes of Section 3.2.2.
+    pub fn essential_pivots(&self) -> Vec<ElemId> {
+        self.elements
+            .iter()
+            .filter(|e| e.is_set)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// The non-set elements whose data lives in `pivot`'s relation: elements
+    /// `e ≠ root` with `owner_pivot(e) == pivot` and `e` not a set element.
+    /// These are the relation's ordinary columns (simple and complex), in
+    /// DFS order — matching Figure 6.
+    pub fn attributes_of(&self, pivot: ElemId) -> Vec<ElemId> {
+        self.elements
+            .iter()
+            .filter(|e| !e.is_set && e.parent.is_some() && e.owner_pivot == Some(pivot))
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// The set elements directly governed by `pivot`'s relation — the child
+    /// relations in the hierarchical representation.
+    pub fn child_pivots_of(&self, pivot: ElemId) -> Vec<ElemId> {
+        self.elements
+            .iter()
+            .filter(|e| e.is_set && e.owner_pivot == Some(pivot))
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// The owning pivot of an arbitrary element: itself if it is a pivot,
+    /// otherwise its lowest repeatable ancestor (or the root).
+    pub fn pivot_of(&self, id: ElemId) -> ElemId {
+        let e = self.get(id);
+        if e.is_pivot() {
+            id
+        } else {
+            e.owner_pivot
+                .expect("non-root elements have an owner pivot")
+        }
+    }
+
+    /// The relation-tree parent of a pivot: the pivot owning its data.
+    /// `None` for the root pivot.
+    pub fn parent_pivot_of(&self, pivot: ElemId) -> Option<ElemId> {
+        self.get(pivot).owner_pivot
+    }
+
+    /// Number of schema elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when the schema has no elements (impossible via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+}
+
+fn simple_of(ty: &ElementType) -> Option<SimpleType> {
+    match ty.unwrap_set() {
+        ElementType::Simple(s) => Some(*s),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::warehouse_schema;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn map() -> SchemaMap {
+        SchemaMap::new(&warehouse_schema())
+    }
+
+    #[test]
+    fn all_figure_2_elements_are_present() {
+        let m = map();
+        for path in [
+            "/warehouse",
+            "/warehouse/state",
+            "/warehouse/state/name",
+            "/warehouse/state/store",
+            "/warehouse/state/store/contact",
+            "/warehouse/state/store/contact/name",
+            "/warehouse/state/store/contact/address",
+            "/warehouse/state/store/book",
+            "/warehouse/state/store/book/ISBN",
+            "/warehouse/state/store/book/author",
+            "/warehouse/state/store/book/title",
+            "/warehouse/state/store/book/price",
+        ] {
+            assert!(m.by_path(&p(path)).is_some(), "missing {path}");
+        }
+        assert_eq!(m.len(), 12);
+    }
+
+    #[test]
+    fn pivots_are_root_plus_set_elements() {
+        let m = map();
+        let pivot_paths: Vec<String> = m
+            .pivots()
+            .iter()
+            .map(|&id| m.get(id).path.to_string())
+            .collect();
+        assert_eq!(
+            pivot_paths,
+            vec![
+                "/warehouse",
+                "/warehouse/state",
+                "/warehouse/state/store",
+                "/warehouse/state/store/book",
+                "/warehouse/state/store/book/author",
+            ]
+        );
+        // Essential pivots exclude the root.
+        assert_eq!(m.essential_pivots().len(), 4);
+    }
+
+    #[test]
+    fn attributes_match_figure_6() {
+        let m = map();
+        let store = m.by_path(&p("/warehouse/state/store")).unwrap();
+        let attrs: Vec<String> = m
+            .attributes_of(store)
+            .iter()
+            .map(|&id| m.get(id).path.to_string())
+            .collect();
+        assert_eq!(
+            attrs,
+            vec![
+                "/warehouse/state/store/contact",
+                "/warehouse/state/store/contact/name",
+                "/warehouse/state/store/contact/address",
+            ]
+        );
+        let book = m.by_path(&p("/warehouse/state/store/book")).unwrap();
+        let attrs: Vec<String> = m
+            .attributes_of(book)
+            .iter()
+            .map(|&id| m.get(id).label.clone())
+            .collect();
+        assert_eq!(attrs, vec!["ISBN", "title", "price"]);
+    }
+
+    #[test]
+    fn child_pivots_form_the_relation_tree() {
+        let m = map();
+        let root = m.root();
+        let state = m.by_path(&p("/warehouse/state")).unwrap();
+        let store = m.by_path(&p("/warehouse/state/store")).unwrap();
+        let book = m.by_path(&p("/warehouse/state/store/book")).unwrap();
+        let author = m.by_path(&p("/warehouse/state/store/book/author")).unwrap();
+        assert_eq!(m.child_pivots_of(root), vec![state]);
+        assert_eq!(m.child_pivots_of(state), vec![store]);
+        assert_eq!(m.child_pivots_of(store), vec![book]);
+        assert_eq!(m.child_pivots_of(book), vec![author]);
+        assert_eq!(m.parent_pivot_of(book), Some(store));
+        assert_eq!(m.parent_pivot_of(root), None);
+    }
+
+    #[test]
+    fn owner_pivot_is_lowest_repeatable_ancestor() {
+        let m = map();
+        let cname = m
+            .by_path(&p("/warehouse/state/store/contact/name"))
+            .unwrap();
+        let store = m.by_path(&p("/warehouse/state/store")).unwrap();
+        assert_eq!(m.pivot_of(cname), store);
+        // state/name is owned by the state pivot.
+        let sname = m.by_path(&p("/warehouse/state/name")).unwrap();
+        let state = m.by_path(&p("/warehouse/state")).unwrap();
+        assert_eq!(m.pivot_of(sname), state);
+    }
+
+    #[test]
+    fn root_level_attributes_belong_to_root_pivot() {
+        use crate::types::{ElementType, Field, Schema};
+        let s = Schema::new(Field::new(
+            "db",
+            ElementType::Rcd(vec![
+                Field::new("version", ElementType::str()),
+                Field::new("item", ElementType::set_of(ElementType::str())),
+            ]),
+        ));
+        let m = SchemaMap::new(&s);
+        let version = m.by_path(&p("/db/version")).unwrap();
+        assert_eq!(m.pivot_of(version), m.root());
+        assert_eq!(m.attributes_of(m.root()), vec![version]);
+    }
+
+    #[test]
+    fn choice_membership_is_tracked() {
+        use crate::types::{ElementType, Field, Schema};
+        let s = Schema::new(Field::new(
+            "r",
+            ElementType::Choice(vec![
+                Field::new("a", ElementType::str()),
+                Field::new("b", ElementType::str()),
+            ]),
+        ));
+        let m = SchemaMap::new(&s);
+        let a = m.by_path(&p("/r/a")).unwrap();
+        assert!(m.get(a).in_choice);
+    }
+}

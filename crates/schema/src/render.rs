@@ -1,0 +1,71 @@
+//! Rendering of a schema in the nested relational representation of the
+//! paper's Figure 2.
+
+use std::fmt::Write as _;
+
+use crate::types::{ElementType, Schema};
+
+/// Render `schema` in the paper's Figure 2 style:
+///
+/// ```text
+/// warehouse: Rcd
+///   state: SetOf Rcd
+///     name: str
+///     store: SetOf Rcd
+///       ...
+/// ```
+pub fn nested_representation(schema: &Schema) -> String {
+    let mut out = String::new();
+    render_field(&mut out, schema.root_label(), &schema.root().ty, 0);
+    out
+}
+
+fn render_field(out: &mut String, name: &str, ty: &ElementType, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = writeln!(out, "{name}: {ty}");
+    if let Some(fields) = ty.fields() {
+        for f in fields {
+            render_field(out, &f.name, &f.ty, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::warehouse_schema;
+
+    #[test]
+    fn warehouse_renders_like_figure_2() {
+        let text = nested_representation(&warehouse_schema());
+        let expected = "\
+warehouse: Rcd
+  state: SetOf Rcd
+    name: str
+    store: SetOf Rcd
+      contact: Rcd
+        name: str
+        address: str
+      book: SetOf Rcd
+        ISBN: str
+        author: SetOf str
+        title: str
+        price: str
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn choice_renders_with_keyword() {
+        use crate::types::{ElementType, Field, Schema};
+        let s = Schema::new(Field::new(
+            "r",
+            ElementType::Choice(vec![Field::new("a", ElementType::int())]),
+        ));
+        let text = nested_representation(&s);
+        assert!(text.contains("r: Choice"));
+        assert!(text.contains("  a: int"));
+    }
+}

@@ -1,0 +1,273 @@
+//! The element type model (paper Definition 1).
+
+use std::fmt;
+
+use xfd_xml::Path;
+
+/// System-defined simple types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SimpleType {
+    /// Integer values.
+    Int,
+    /// Floating-point values (also admits integers).
+    Float,
+    /// Arbitrary strings (admits everything).
+    Str,
+}
+
+impl SimpleType {
+    /// The least general simple type admitting `value`.
+    pub fn of_value(value: &str) -> SimpleType {
+        if value.parse::<i64>().is_ok() {
+            SimpleType::Int
+        } else if value.parse::<f64>().is_ok() {
+            SimpleType::Float
+        } else {
+            SimpleType::Str
+        }
+    }
+
+    /// Least upper bound of two simple types (`int ⊑ float ⊑ str`).
+    pub fn join(self, other: SimpleType) -> SimpleType {
+        use SimpleType::*;
+        match (self, other) {
+            (Int, Int) => Int,
+            (Str, _) | (_, Str) => Str,
+            _ => Float,
+        }
+    }
+
+    /// Does `value` belong to this type's domain?
+    pub fn admits(self, value: &str) -> bool {
+        match self {
+            SimpleType::Int => value.parse::<i64>().is_ok(),
+            SimpleType::Float => value.parse::<f64>().is_ok(),
+            SimpleType::Str => true,
+        }
+    }
+}
+
+impl fmt::Display for SimpleType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SimpleType::Int => "int",
+            SimpleType::Float => "float",
+            SimpleType::Str => "str",
+        })
+    }
+}
+
+/// A named child element with its type — one `e_i : τ_i` entry of a record
+/// or choice type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Element label (attributes carry their `@` prefix).
+    pub name: String,
+    /// Associated type.
+    pub ty: ElementType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, ty: ElementType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An element type `τ` (paper Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElementType {
+    /// A simple type.
+    Simple(SimpleType),
+    /// `SetOf τ`: the element may occur multiple times under one parent.
+    SetOf(Box<ElementType>),
+    /// `Rcd[e1: τ1, ...]`: a complex element with named children (the
+    /// *all*/*sequence* model-groups; order is ignored).
+    Rcd(Vec<Field>),
+    /// `Choice[e1: τ1, ...]`: exactly one of the alternatives occurs.
+    Choice(Vec<Field>),
+}
+
+impl ElementType {
+    /// Shorthand for `Simple(Str)`.
+    pub fn str() -> Self {
+        ElementType::Simple(SimpleType::Str)
+    }
+
+    /// Shorthand for `Simple(Int)`.
+    pub fn int() -> Self {
+        ElementType::Simple(SimpleType::Int)
+    }
+
+    /// Shorthand for `Simple(Float)`.
+    pub fn float() -> Self {
+        ElementType::Simple(SimpleType::Float)
+    }
+
+    /// Wrap in `SetOf`.
+    pub fn set_of(inner: ElementType) -> Self {
+        ElementType::SetOf(Box::new(inner))
+    }
+
+    /// Is this a set type (`SetOf τ`)?
+    pub fn is_set(&self) -> bool {
+        matches!(self, ElementType::SetOf(_))
+    }
+
+    /// Strip one `SetOf` layer if present.
+    pub fn unwrap_set(&self) -> &ElementType {
+        match self {
+            ElementType::SetOf(inner) => inner,
+            other => other,
+        }
+    }
+
+    /// Is this (after stripping `SetOf`) a simple type?
+    pub fn is_simple(&self) -> bool {
+        matches!(self.unwrap_set(), ElementType::Simple(_))
+    }
+
+    /// The fields of a record/choice (after stripping `SetOf`), if any.
+    pub fn fields(&self) -> Option<&[Field]> {
+        match self.unwrap_set() {
+            ElementType::Rcd(fs) | ElementType::Choice(fs) => Some(fs),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ElementType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElementType::Simple(s) => write!(f, "{s}"),
+            ElementType::SetOf(inner) => write!(f, "SetOf {inner}"),
+            ElementType::Rcd(_) => write!(f, "Rcd"),
+            ElementType::Choice(_) => write!(f, "Choice"),
+        }
+    }
+}
+
+/// A schema: a root field whose type must not be `SetOf` (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    root: Field,
+}
+
+impl Schema {
+    /// Construct a schema.
+    ///
+    /// # Panics
+    /// Panics if the root type is `SetOf` (forbidden by Definition 1).
+    pub fn new(root: Field) -> Self {
+        assert!(
+            !root.ty.is_set(),
+            "root element type cannot be SetOf (Definition 1)"
+        );
+        Schema { root }
+    }
+
+    /// The root field.
+    pub fn root(&self) -> &Field {
+        &self.root
+    }
+
+    /// The root element label.
+    pub fn root_label(&self) -> &str {
+        &self.root.name
+    }
+
+    /// Look up the type associated with an absolute path, or `None` if the
+    /// path does not denote a schema element.
+    pub fn type_at(&self, path: &Path) -> Option<&ElementType> {
+        let labels = path.labels();
+        let (&first, rest) = labels.split_first()?;
+        if first != self.root.name {
+            return None;
+        }
+        let mut ty = &self.root.ty;
+        for label in rest {
+            let fields = ty.fields()?;
+            ty = &fields.iter().find(|f| f.name == *label)?.ty;
+        }
+        Some(ty)
+    }
+
+    /// Is `path` a *repeatable path* (Section 2.1): its final element is a
+    /// set element? (Prefix set elements do not make a path repeatable.)
+    pub fn is_repeatable_path(&self, path: &Path) -> bool {
+        self.type_at(path).is_some_and(ElementType::is_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::warehouse_schema;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn simple_type_inference_and_join() {
+        assert_eq!(SimpleType::of_value("42"), SimpleType::Int);
+        assert_eq!(SimpleType::of_value("-7"), SimpleType::Int);
+        assert_eq!(SimpleType::of_value("59.99"), SimpleType::Float);
+        assert_eq!(SimpleType::of_value("abc"), SimpleType::Str);
+        assert_eq!(SimpleType::Int.join(SimpleType::Float), SimpleType::Float);
+        assert_eq!(SimpleType::Int.join(SimpleType::Str), SimpleType::Str);
+        assert_eq!(SimpleType::Int.join(SimpleType::Int), SimpleType::Int);
+    }
+
+    #[test]
+    fn type_at_walks_records_and_sets() {
+        let s = warehouse_schema();
+        assert!(s.type_at(&p("/warehouse")).is_some());
+        assert!(s.type_at(&p("/warehouse/state/store/book/ISBN")).is_some());
+        assert!(s
+            .type_at(&p("/warehouse/state/store/contact/name"))
+            .is_some());
+        assert_eq!(s.type_at(&p("/warehouse/zzz")), None);
+        assert_eq!(s.type_at(&p("/nope")), None);
+    }
+
+    #[test]
+    fn repeatable_paths_per_section_2_1() {
+        let s = warehouse_schema();
+        assert!(s.is_repeatable_path(&p("/warehouse/state")));
+        assert!(s.is_repeatable_path(&p("/warehouse/state/store/book")));
+        assert!(s.is_repeatable_path(&p("/warehouse/state/store/book/author")));
+        // name under store is not a set element, even though store is.
+        assert!(!s.is_repeatable_path(&p("/warehouse/state/name")));
+        assert!(!s.is_repeatable_path(&p("/warehouse/state/store/contact")));
+        assert!(!s.is_repeatable_path(&p("/warehouse")));
+    }
+
+    #[test]
+    #[should_panic(expected = "root element type cannot be SetOf")]
+    fn root_cannot_be_set() {
+        let _ = Schema::new(Field::new("r", ElementType::set_of(ElementType::str())));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ElementType::str().to_string(), "str");
+        assert_eq!(
+            ElementType::set_of(ElementType::str()).to_string(),
+            "SetOf str"
+        );
+        assert_eq!(
+            ElementType::set_of(ElementType::Rcd(vec![])).to_string(),
+            "SetOf Rcd"
+        );
+    }
+
+    #[test]
+    fn is_simple_sees_through_sets() {
+        assert!(ElementType::set_of(ElementType::str()).is_simple());
+        assert!(!ElementType::set_of(ElementType::Rcd(vec![])).is_simple());
+    }
+}

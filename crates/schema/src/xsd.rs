@@ -1,0 +1,185 @@
+//! Export a schema as W3C XML Schema (XSD) text — so inferred schemas can
+//! feed standard tooling. The mapping follows Definition 1's
+//! correspondence to XML Schema constructs (the paper notes its types are
+//! "the core constructs in XML Schema"):
+//!
+//! * `Rcd` → `xs:complexType` with `xs:sequence` (order was ignored, so a
+//!   sequence in first-seen order is emitted);
+//! * `Choice` → `xs:choice`;
+//! * `SetOf τ` → `maxOccurs="unbounded"` on the element;
+//! * `str`/`int`/`float` → `xs:string`/`xs:integer`/`xs:decimal`;
+//! * `@name` fields → `xs:attribute` (the inverse of the parser's
+//!   attributes-as-children encoding); the synthetic `@text` field becomes
+//!   `mixed="true"` on its parent.
+//!
+//! Inference cannot observe optionality guarantees, so every child element
+//! is emitted with `minOccurs="0"` (the weakest sound cardinality).
+
+use std::fmt::Write as _;
+
+use crate::types::{ElementType, Field, Schema, SimpleType};
+
+fn xsd_simple(st: SimpleType) -> &'static str {
+    match st {
+        SimpleType::Int => "xs:integer",
+        SimpleType::Float => "xs:decimal",
+        SimpleType::Str => "xs:string",
+    }
+}
+
+/// Render the schema as an XSD document.
+pub fn to_xsd(schema: &Schema) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n");
+    render_element(&mut out, schema.root(), false, 1);
+    out.push_str("</xs:schema>\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_element(out: &mut String, field: &Field, inside: bool, depth: usize) {
+    debug_assert!(!field.name.starts_with('@'), "attributes render separately");
+    let occurs = if field.ty.is_set() {
+        " minOccurs=\"0\" maxOccurs=\"unbounded\""
+    } else if inside {
+        " minOccurs=\"0\""
+    } else {
+        ""
+    };
+    match field.ty.unwrap_set() {
+        ElementType::Simple(st) => {
+            indent(out, depth);
+            let _ = writeln!(
+                out,
+                "<xs:element name=\"{}\" type=\"{}\"{occurs}/>",
+                field.name,
+                xsd_simple(*st)
+            );
+        }
+        ElementType::Rcd(fields) | ElementType::Choice(fields) => {
+            let is_choice = matches!(field.ty.unwrap_set(), ElementType::Choice(_));
+            let (attrs, elems): (Vec<&Field>, Vec<&Field>) =
+                fields.iter().partition(|f| f.name.starts_with('@'));
+            let mixed = attrs.iter().any(|f| f.name == "@text");
+            indent(out, depth);
+            let _ = writeln!(out, "<xs:element name=\"{}\"{occurs}>", field.name);
+            indent(out, depth + 1);
+            let _ = writeln!(
+                out,
+                "<xs:complexType{}>",
+                if mixed { " mixed=\"true\"" } else { "" }
+            );
+            if !elems.is_empty() {
+                indent(out, depth + 2);
+                let _ = writeln!(
+                    out,
+                    "<{}>",
+                    if is_choice {
+                        "xs:choice"
+                    } else {
+                        "xs:sequence"
+                    }
+                );
+                for f in &elems {
+                    render_element(out, f, true, depth + 3);
+                }
+                indent(out, depth + 2);
+                let _ = writeln!(
+                    out,
+                    "</{}>",
+                    if is_choice {
+                        "xs:choice"
+                    } else {
+                        "xs:sequence"
+                    }
+                );
+            }
+            for f in attrs.iter().filter(|f| f.name != "@text") {
+                let st = match f.ty.unwrap_set() {
+                    ElementType::Simple(st) => *st,
+                    _ => SimpleType::Str,
+                };
+                indent(out, depth + 2);
+                let _ = writeln!(
+                    out,
+                    "<xs:attribute name=\"{}\" type=\"{}\"/>",
+                    &f.name[1..],
+                    xsd_simple(st)
+                );
+            }
+            indent(out, depth + 1);
+            out.push_str("</xs:complexType>\n");
+            indent(out, depth);
+            out.push_str("</xs:element>\n");
+        }
+        ElementType::SetOf(_) => unreachable!("unwrap_set strips SetOf"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::warehouse_schema;
+    use crate::infer::infer_schema;
+    use xfd_xml::parse;
+
+    #[test]
+    fn warehouse_xsd_has_the_expected_constructs() {
+        let xsd = to_xsd(&warehouse_schema());
+        assert!(xsd.starts_with("<?xml"));
+        assert!(xsd.contains("<xs:element name=\"warehouse\">"), "{xsd}");
+        assert!(
+            xsd.contains("<xs:element name=\"state\" minOccurs=\"0\" maxOccurs=\"unbounded\">"),
+            "{xsd}"
+        );
+        assert!(
+            xsd.contains("<xs:element name=\"author\" type=\"xs:string\" minOccurs=\"0\" maxOccurs=\"unbounded\"/>"),
+            "{xsd}"
+        );
+        assert!(xsd.contains("<xs:sequence>"));
+        assert!(xsd.trim_end().ends_with("</xs:schema>"));
+    }
+
+    #[test]
+    fn xsd_is_well_formed_xml() {
+        // Our own parser can check well-formedness of our own XSD output.
+        let xsd = to_xsd(&warehouse_schema());
+        let tree = parse(&xsd).expect("XSD parses as XML");
+        assert_eq!(tree.label(tree.root()), "xs:schema");
+    }
+
+    #[test]
+    fn attributes_render_as_xs_attribute() {
+        let t = parse("<r><item id=\"1\"/><item id=\"2\"/></r>").unwrap();
+        let xsd = to_xsd(&infer_schema(&t));
+        assert!(
+            xsd.contains("<xs:attribute name=\"id\" type=\"xs:integer\"/>"),
+            "{xsd}"
+        );
+    }
+
+    #[test]
+    fn mixed_content_renders_mixed_true() {
+        let t = parse("<r><p>text <b>bold</b></p><p>x <b>y</b></p></r>").unwrap();
+        let xsd = to_xsd(&infer_schema(&t));
+        assert!(xsd.contains("mixed=\"true\""), "{xsd}");
+        assert!(
+            !xsd.contains("@text"),
+            "synthetic field must not leak: {xsd}"
+        );
+    }
+
+    #[test]
+    fn numeric_leaf_types_map_to_xsd_types() {
+        let t = parse("<r><n>1</n><n>2</n><f>1.5</f><f>2</f></r>").unwrap();
+        let xsd = to_xsd(&infer_schema(&t));
+        assert!(xsd.contains("name=\"n\" type=\"xs:integer\""), "{xsd}");
+        assert!(xsd.contains("name=\"f\" type=\"xs:decimal\""), "{xsd}");
+    }
+}

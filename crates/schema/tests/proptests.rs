@@ -1,0 +1,97 @@
+//! Property tests for schema inference: inferred schemas always admit the
+//! data they were inferred from, and inference is stable under
+//! serialization round-trips.
+
+use proptest::prelude::*;
+use xfd_schema::{check, infer_schema, nested_representation, SchemaMap};
+use xfd_xml::builder::TreeWriter;
+use xfd_xml::{parse, to_xml_string, DataTree};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(u8),
+    Inner(Vec<(u8, Node)>),
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = (0u8..6).prop_map(Node::Leaf);
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        proptest::collection::vec((0u8..3, inner), 0..4).prop_map(Node::Inner)
+    })
+}
+
+fn build(node: &Node) -> DataTree {
+    let mut w = TreeWriter::new("root");
+    fn emit(w: &mut TreeWriter, label: u8, node: &Node) {
+        match node {
+            Node::Leaf(v) => {
+                w.leaf(&format!("e{label}"), &format!("v{v}"));
+            }
+            Node::Inner(children) => {
+                w.open(&format!("e{label}"));
+                for (l, c) in children {
+                    emit(w, *l, c);
+                }
+                w.close();
+            }
+        }
+    }
+    if let Node::Inner(children) = node {
+        for (l, c) in children {
+            emit(&mut w, *l, c);
+        }
+    }
+    w.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Soundness: a document always conforms to its own inferred schema.
+    #[test]
+    fn inferred_schema_admits_its_document(node in node_strategy()) {
+        let tree = build(&node);
+        let schema = infer_schema(&tree);
+        prop_assert_eq!(check(&tree, &schema), Ok(()));
+    }
+
+    /// Stability: inference commutes with serialize∘parse.
+    #[test]
+    fn inference_stable_under_roundtrip(node in node_strategy()) {
+        let tree = build(&node);
+        let schema1 = infer_schema(&tree);
+        let reparsed = parse(&to_xml_string(&tree)).unwrap();
+        let schema2 = infer_schema(&reparsed);
+        prop_assert_eq!(
+            nested_representation(&schema1),
+            nested_representation(&schema2)
+        );
+    }
+
+    /// SchemaMap structure invariants: every element's owner pivot is an
+    /// ancestor-or-root pivot, and pivots' owners form a tree.
+    #[test]
+    fn schema_map_invariants(node in node_strategy()) {
+        let tree = build(&node);
+        let schema = infer_schema(&tree);
+        let map = SchemaMap::new(&schema);
+        for e in map.elements() {
+            if let Some(op) = e.owner_pivot {
+                let owner = map.get(op);
+                prop_assert!(owner.is_pivot());
+                prop_assert!(
+                    owner.path.is_prefix_of(&e.path),
+                    "owner {} not a prefix of {}", owner.path, e.path
+                );
+            } else {
+                prop_assert!(e.parent.is_none(), "only the root lacks an owner");
+            }
+        }
+        // attributes_of ∪ child_pivots_of partitions the non-root elements.
+        let mut covered = 0usize;
+        for p in map.pivots() {
+            covered += map.attributes_of(p).len() + map.child_pivots_of(p).len();
+        }
+        prop_assert_eq!(covered, map.len() - 1);
+    }
+}

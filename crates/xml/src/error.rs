@@ -1,0 +1,171 @@
+//! Parse-error types with precise source positions.
+
+use std::fmt;
+
+/// A position in the source text, tracked by the tokenizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Position {
+    /// 0-based byte offset into the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes within the line).
+    pub column: u32,
+}
+
+impl Position {
+    /// The start-of-input position.
+    pub fn start() -> Self {
+        Position {
+            offset: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof(&'static str),
+    /// A character that cannot appear here.
+    UnexpectedChar {
+        /// The character encountered.
+        found: char,
+        /// What the grammar expected instead.
+        expected: &'static str,
+    },
+    /// `</b>` closed `<a>`.
+    MismatchedTag {
+        /// Label of the open element.
+        open: String,
+        /// Label in the close tag.
+        close: String,
+    },
+    /// An end tag with no matching open tag.
+    UnmatchedCloseTag(String),
+    /// Content after the document element, or multiple roots.
+    TrailingContent,
+    /// The document contains no element at all.
+    NoRootElement,
+    /// An attribute appears twice on one element.
+    DuplicateAttribute(String),
+    /// `&foo;` where `foo` is not a predefined or character entity.
+    UnknownEntity(String),
+    /// A malformed `&#...;` character reference.
+    BadCharReference(String),
+    /// A name (element/attribute) that is empty or starts illegally.
+    InvalidName(String),
+    /// Invalid UTF-8 or an illegal XML character.
+    IllegalCharacter(u32),
+    /// A comment containing `--`, an unterminated CDATA section, etc.
+    MalformedMarkup(&'static str),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ParseErrorKind::*;
+        match self {
+            UnexpectedEof(what) => write!(f, "unexpected end of input while reading {what}"),
+            UnexpectedChar { found, expected } => {
+                write!(f, "unexpected character {found:?}, expected {expected}")
+            }
+            MismatchedTag { open, close } => {
+                write!(f, "mismatched tags: <{open}> closed by </{close}>")
+            }
+            UnmatchedCloseTag(name) => write!(f, "close tag </{name}> has no matching open tag"),
+            TrailingContent => write!(f, "content after the document element"),
+            NoRootElement => write!(f, "document has no root element"),
+            DuplicateAttribute(name) => write!(f, "duplicate attribute {name:?}"),
+            UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            BadCharReference(body) => write!(f, "malformed character reference &#{body};"),
+            InvalidName(name) => write!(f, "invalid XML name {name:?}"),
+            IllegalCharacter(cp) => write!(f, "illegal character U+{cp:04X}"),
+            MalformedMarkup(what) => write!(f, "malformed markup: {what}"),
+        }
+    }
+}
+
+/// A parse error: a kind plus the position where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The classified cause.
+    pub kind: ParseErrorKind,
+    /// Where in the input the problem was found.
+    pub position: Position,
+}
+
+impl ParseError {
+    /// Construct an error at a position.
+    pub fn new(kind: ParseErrorKind, position: Position) -> Self {
+        ParseError { kind, position }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}: {}", self.position, self.kind)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_kind() {
+        let e = ParseError::new(
+            ParseErrorKind::MismatchedTag {
+                open: "a".into(),
+                close: "b".into(),
+            },
+            Position {
+                offset: 10,
+                line: 2,
+                column: 5,
+            },
+        );
+        let s = e.to_string();
+        assert!(s.contains("2:5"), "{s}");
+        assert!(s.contains("<a>"), "{s}");
+        assert!(s.contains("</b>"), "{s}");
+    }
+
+    #[test]
+    fn position_default_is_zeroed_but_start_is_one_based() {
+        assert_eq!(Position::start().line, 1);
+        assert_eq!(Position::start().column, 1);
+        assert_eq!(Position::start().offset, 0);
+    }
+
+    #[test]
+    fn kind_messages_are_specific() {
+        let cases: Vec<(ParseErrorKind, &str)> = vec![
+            (ParseErrorKind::UnexpectedEof("a tag"), "end of input"),
+            (
+                ParseErrorKind::TrailingContent,
+                "after the document element",
+            ),
+            (ParseErrorKind::NoRootElement, "no root element"),
+            (
+                ParseErrorKind::DuplicateAttribute("id".into()),
+                "duplicate attribute",
+            ),
+            (ParseErrorKind::UnknownEntity("nbsp".into()), "&nbsp;"),
+            (ParseErrorKind::IllegalCharacter(0x0), "U+0000"),
+        ];
+        for (kind, needle) in cases {
+            let msg = kind.to_string();
+            assert!(msg.contains(needle), "{msg} should contain {needle}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Decoding of entity/character references and encoding for serialization.
+
+use crate::error::{ParseError, ParseErrorKind, Position};
+
+/// Decode the five predefined XML entities plus decimal/hexadecimal
+/// character references in `raw`, returning the decoded text.
+///
+/// `at` is the position of the start of `raw` in the original input and is
+/// used only for error reporting (errors inside `raw` are reported at the
+/// start of the offending reference, with offsets adjusted).
+pub fn decode_entities(raw: &str, at: Position) -> Result<String, ParseError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy a maximal run of non-'&' bytes at once.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'&' {
+                i += 1;
+            }
+            out.push_str(&raw[start..i]);
+            continue;
+        }
+        let semi = raw[i..]
+            .find(';')
+            .map(|k| i + k)
+            .ok_or_else(|| err_at(ParseErrorKind::UnexpectedEof("entity reference"), at, i))?;
+        let body = &raw[i + 1..semi];
+        if let Some(num) = body.strip_prefix('#') {
+            let cp = parse_char_reference(num)
+                .ok_or_else(|| err_at(ParseErrorKind::BadCharReference(num.to_string()), at, i))?;
+            let ch = char::from_u32(cp)
+                .filter(|c| is_xml_char(*c))
+                .ok_or_else(|| err_at(ParseErrorKind::IllegalCharacter(cp), at, i))?;
+            out.push(ch);
+        } else {
+            match body {
+                "amp" => out.push('&'),
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "apos" => out.push('\''),
+                "quot" => out.push('"'),
+                other => {
+                    return Err(err_at(
+                        ParseErrorKind::UnknownEntity(other.to_string()),
+                        at,
+                        i,
+                    ))
+                }
+            }
+        }
+        i = semi + 1;
+    }
+    Ok(out)
+}
+
+fn parse_char_reference(body: &str) -> Option<u32> {
+    if body.is_empty() {
+        return None;
+    }
+    if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        body.parse::<u32>().ok()
+    }
+}
+
+fn err_at(kind: ParseErrorKind, base: Position, extra: usize) -> ParseError {
+    let mut p = base;
+    p.offset += extra;
+    // Line/column are kept at the start of the text chunk; good enough for
+    // diagnostics without re-scanning for newlines.
+    ParseError::new(kind, p)
+}
+
+/// Is `c` a character permitted by the XML 1.0 `Char` production?
+pub fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+/// Escape text content for serialization (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for serialization with double quotes.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec(s: &str) -> String {
+        decode_entities(s, Position::start()).unwrap()
+    }
+
+    #[test]
+    fn plain_text_is_unchanged_without_allocation_churn() {
+        assert_eq!(dec("hello world"), "hello world");
+    }
+
+    #[test]
+    fn predefined_entities_decode() {
+        assert_eq!(
+            dec("a &amp; b &lt; c &gt; d &apos;e&apos; &quot;f&quot;"),
+            "a & b < c > d 'e' \"f\""
+        );
+    }
+
+    #[test]
+    fn decimal_and_hex_char_refs_decode() {
+        assert_eq!(dec("&#65;&#x42;&#x63;"), "ABc");
+        assert_eq!(dec("snowman &#9731;"), "snowman \u{2603}");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let e = decode_entities("&nbsp;", Position::start()).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownEntity("nbsp".into()));
+    }
+
+    #[test]
+    fn unterminated_entity_is_an_error() {
+        let e = decode_entities("x &amp y", Position::start()).unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::UnexpectedEof(_)));
+    }
+
+    #[test]
+    fn illegal_char_reference_is_rejected() {
+        assert!(decode_entities("&#0;", Position::start()).is_err());
+        assert!(decode_entities("&#xD800;", Position::start()).is_err());
+        assert!(decode_entities("&#xyz;", Position::start()).is_err());
+        assert!(decode_entities("&#;", Position::start()).is_err());
+    }
+
+    #[test]
+    fn escape_roundtrips_through_decode() {
+        let original = "a & b < c > \"quoted\" 'apos'";
+        assert_eq!(dec(&escape_text(original)), original);
+        assert_eq!(dec(&escape_attr(original)), original);
+    }
+
+    #[test]
+    fn error_offset_points_at_reference() {
+        let e = decode_entities("abc&bogus;", Position::start()).unwrap_err();
+        assert_eq!(e.position.offset, 3);
+    }
+
+    #[test]
+    fn xml_char_classification() {
+        assert!(is_xml_char('\t'));
+        assert!(is_xml_char('\n'));
+        assert!(is_xml_char('a'));
+        assert!(is_xml_char('\u{10FFFF}'));
+        assert!(!is_xml_char('\u{0}'));
+        assert!(!is_xml_char('\u{B}'));
+        assert!(!is_xml_char('\u{FFFE}'));
+    }
+}

@@ -1,0 +1,401 @@
+//! XPath-lite queries: a practical superset of the paper's path
+//! expressions for interactive exploration (the CLI's `select`).
+//!
+//! Supported grammar (a small XPath subset):
+//!
+//! ```text
+//! query     := '/' step ( '/' step | '//' step )*  |  '//' step ( ... )*
+//! step      := nametest predicate*
+//! nametest  := name | '@' name | '*'
+//! predicate := '[' number ']'                       positional (1-based)
+//!            | '[' relpath ']'                      existence
+//!            | '[' relpath '=' '\'' value '\'' ']'  value equality
+//! relpath   := name ( '/' name )*                   (may start with '@')
+//! ```
+//!
+//! Examples: `/site//item[category='books']/name`, `//book[@id='7']`,
+//! `/w/state/store/book[2]`, `/w//store[contact/name='Borders']/*`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::tree::{DataTree, NodeId};
+
+/// Name test of one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameTest {
+    /// A specific label (attributes keep their `@`).
+    Label(String),
+    /// `*` — any element (labels not starting with `@`).
+    Any,
+}
+
+impl NameTest {
+    fn matches(&self, label: &str) -> bool {
+        match self {
+            NameTest::Label(l) => l == label,
+            NameTest::Any => !label.starts_with('@'),
+        }
+    }
+}
+
+/// Axis of one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/step` — direct children.
+    Child,
+    /// `//step` — any strict descendant.
+    Descendant,
+}
+
+/// One predicate `[...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `\[3\]` — keep the n-th match (1-based, per context node).
+    Position(usize),
+    /// `[a/b]` — keep nodes with at least one match of the relative path.
+    Exists(Vec<String>),
+    /// `[a/b='v']` — keep nodes where some match of the path has value `v`.
+    ValueEq(Vec<String>, String),
+}
+
+/// One step of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryStep {
+    /// Child or descendant axis.
+    pub axis: Axis,
+    /// The name test.
+    pub test: NameTest,
+    /// Predicates, applied in order.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    steps: Vec<QueryStep>,
+}
+
+/// Query parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError(pub String);
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid query: {}", self.0)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+impl FromStr for Query {
+    type Err = QueryParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || QueryParseError(s.to_string());
+        if !s.starts_with('/') {
+            return Err(err());
+        }
+        let mut steps = Vec::new();
+        let mut rest = s;
+        while !rest.is_empty() {
+            let axis = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                Axis::Descendant
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                Axis::Child
+            } else {
+                return Err(err());
+            };
+            // Name test: up to '[', '/', or end.
+            let name_end = rest.find(['[', '/']).unwrap_or(rest.len());
+            let name = &rest[..name_end];
+            if name.is_empty() {
+                return Err(err());
+            }
+            let test = if name == "*" {
+                NameTest::Any
+            } else {
+                NameTest::Label(name.to_string())
+            };
+            rest = &rest[name_end..];
+            // Predicates.
+            let mut predicates = Vec::new();
+            while let Some(r) = rest.strip_prefix('[') {
+                let close = r.find(']').ok_or_else(err)?;
+                let body = &r[..close];
+                rest = &r[close + 1..];
+                predicates.push(parse_predicate(body).ok_or_else(err)?);
+            }
+            steps.push(QueryStep {
+                axis,
+                test,
+                predicates,
+            });
+        }
+        if steps.is_empty() {
+            return Err(err());
+        }
+        Ok(Query { steps })
+    }
+}
+
+fn parse_predicate(body: &str) -> Option<Predicate> {
+    let body = body.trim();
+    if body.is_empty() {
+        return None;
+    }
+    if let Ok(n) = body.parse::<usize>() {
+        return if n >= 1 {
+            Some(Predicate::Position(n))
+        } else {
+            None
+        };
+    }
+    if let Some(eq) = body.find('=') {
+        let path = parse_relpath(body[..eq].trim())?;
+        let value = body[eq + 1..].trim();
+        let value = value.strip_prefix('\'')?.strip_suffix('\'')?;
+        return Some(Predicate::ValueEq(path, value.to_string()));
+    }
+    Some(Predicate::Exists(parse_relpath(body)?))
+}
+
+fn parse_relpath(s: &str) -> Option<Vec<String>> {
+    if s.is_empty() {
+        return None;
+    }
+    let parts: Vec<String> = s.split('/').map(str::to_string).collect();
+    if parts.iter().any(String::is_empty) {
+        return None;
+    }
+    Some(parts)
+}
+
+impl Query {
+    /// Evaluate against a tree; results in document order, deduplicated.
+    pub fn select(&self, tree: &DataTree) -> Vec<NodeId> {
+        // Virtual context above the root, so `/root` matches the root.
+        let mut context: Vec<NodeId> = vec![];
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut next: Vec<NodeId> = Vec::new();
+            if i == 0 {
+                // From the virtual document node.
+                match step.axis {
+                    Axis::Child => {
+                        if step.test.matches(tree.label(tree.root())) {
+                            next.push(tree.root());
+                        }
+                    }
+                    Axis::Descendant => {
+                        for n in tree.descendants(tree.root()) {
+                            if step.test.matches(tree.label(n)) {
+                                next.push(n);
+                            }
+                        }
+                    }
+                }
+                next = apply_predicates(tree, &next, &step.predicates);
+            } else {
+                for &ctx in &context {
+                    let candidates: Vec<NodeId> = match step.axis {
+                        Axis::Child => tree
+                            .children(ctx)
+                            .iter()
+                            .copied()
+                            .filter(|&c| step.test.matches(tree.label(c)))
+                            .collect(),
+                        Axis::Descendant => tree
+                            .descendants(ctx)
+                            .skip(1)
+                            .filter(|&c| step.test.matches(tree.label(c)))
+                            .collect(),
+                    };
+                    next.extend(apply_predicates(tree, &candidates, &step.predicates));
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            context = next;
+            if context.is_empty() {
+                break;
+            }
+        }
+        context
+    }
+}
+
+fn apply_predicates(tree: &DataTree, nodes: &[NodeId], preds: &[Predicate]) -> Vec<NodeId> {
+    let mut current: Vec<NodeId> = nodes.to_vec();
+    for p in preds {
+        current = match p {
+            Predicate::Position(n) => current.iter().copied().skip(n - 1).take(1).collect(),
+            Predicate::Exists(path) => current
+                .into_iter()
+                .filter(|&n| !resolve_rel(tree, n, path).is_empty())
+                .collect(),
+            Predicate::ValueEq(path, value) => current
+                .into_iter()
+                .filter(|&n| {
+                    resolve_rel(tree, n, path)
+                        .iter()
+                        .any(|&m| tree.value(m) == Some(value.as_str()))
+                })
+                .collect(),
+        };
+    }
+    current
+}
+
+fn resolve_rel(tree: &DataTree, node: NodeId, path: &[String]) -> Vec<NodeId> {
+    let mut frontier = vec![node];
+    for label in path {
+        let mut next = Vec::new();
+        for n in frontier {
+            next.extend(tree.children_labeled(n, label));
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn doc() -> DataTree {
+        parse(
+            "<w>\
+             <store id='s1'><name>Borders</name>\
+               <book><isbn>1</isbn><title>A</title></book>\
+               <book><isbn>2</isbn><title>B</title></book></store>\
+             <store id='s2'><name>WHSmith</name>\
+               <book><isbn>1</isbn><title>A</title></book></store>\
+             </w>",
+        )
+        .unwrap()
+    }
+
+    fn q(s: &str) -> Query {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn absolute_child_paths() {
+        let t = doc();
+        assert_eq!(q("/w/store/book").select(&t).len(), 3);
+        assert_eq!(q("/w/store").select(&t).len(), 2);
+        assert_eq!(q("/nope").select(&t).len(), 0);
+    }
+
+    #[test]
+    fn descendant_axis_finds_at_any_depth() {
+        let t = doc();
+        assert_eq!(q("//book").select(&t).len(), 3);
+        assert_eq!(q("//isbn").select(&t).len(), 3);
+        assert_eq!(q("/w//title").select(&t).len(), 3);
+        assert_eq!(q("//store//isbn").select(&t).len(), 3);
+    }
+
+    #[test]
+    fn wildcard_matches_elements_not_attributes() {
+        let t = doc();
+        let all = q("/w/store/*").select(&t);
+        // name + 3 books (not @id).
+        assert_eq!(all.len(), 5);
+        assert!(all.iter().all(|&n| !t.is_attr(n)));
+    }
+
+    #[test]
+    fn value_predicates_filter() {
+        let t = doc();
+        assert_eq!(q("/w/store[name='Borders']/book").select(&t).len(), 2);
+        assert_eq!(q("//book[isbn='1']").select(&t).len(), 2);
+        assert_eq!(q("//book[isbn='1']/title").select(&t).len(), 2);
+        assert_eq!(q("//store[@id='s2']/book").select(&t).len(), 1);
+        assert_eq!(q("//book[isbn='9']").select(&t).len(), 0);
+    }
+
+    #[test]
+    fn existence_predicates_filter() {
+        let t = doc();
+        assert_eq!(q("//store[name]").select(&t).len(), 2);
+        assert_eq!(q("//book[price]").select(&t).len(), 0);
+        assert_eq!(q("//store[book/isbn]").select(&t).len(), 2);
+    }
+
+    #[test]
+    fn positional_predicates_are_per_context() {
+        let t = doc();
+        // Second book *within each store*: store 1 has one, store 2 none.
+        let second = q("/w/store/book[2]").select(&t);
+        assert_eq!(second.len(), 1);
+        assert_eq!(
+            t.value(t.child_labeled(second[0], "isbn").unwrap()),
+            Some("2")
+        );
+        // First book per store: two stores → two nodes.
+        assert_eq!(q("/w/store/book[1]").select(&t).len(), 2);
+    }
+
+    #[test]
+    fn chained_predicates() {
+        let t = doc();
+        assert_eq!(
+            q("/w/store[name='Borders']/book[isbn='2']")
+                .select(&t)
+                .len(),
+            1
+        );
+        // Positional predicates count per *context node*; a leading `//`
+        // step has the document as its single context, so [1] is global
+        // there (an intentional divergence from full XPath).
+        assert_eq!(q("//book[isbn='1'][1]").select(&t).len(), 1);
+        assert_eq!(
+            q("/w/store/book[isbn='1'][1]").select(&t).len(),
+            2,
+            "per-store"
+        );
+    }
+
+    #[test]
+    fn attribute_steps_select_attribute_nodes() {
+        let t = doc();
+        let ids = q("/w/store/@id").select(&t);
+        assert_eq!(ids.len(), 2);
+        assert!(ids.iter().all(|&n| t.is_attr(n)));
+    }
+
+    #[test]
+    fn malformed_queries_are_rejected() {
+        for s in [
+            "",
+            "w/store",
+            "/",
+            "//",
+            "/w/[x]",
+            "/w/store[",
+            "/w/store[]",
+            "/w/store[0]",
+            "/w/store[name=Borders]",
+        ] {
+            assert!(s.parse::<Query>().is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn results_are_document_ordered_and_unique() {
+        let t = doc();
+        // `//store//isbn` and `//isbn` both visit each node once.
+        let a = q("//store//isbn").select(&t);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(a, sorted);
+    }
+}

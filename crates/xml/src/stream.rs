@@ -1,0 +1,144 @@
+//! Streaming (SAX-style) processing: well-formedness validation and
+//! document statistics without materializing a tree.
+//!
+//! Large data-centric documents (the paper targets multi-hundred-MB
+//! scientific databases) can be sanity-checked in O(depth) memory before
+//! committing to a full parse. [`validate`] runs the tokenizer with a tag
+//! stack only; [`StreamStats`] reports what a parse would produce.
+
+use crate::error::{ParseError, ParseErrorKind, Position};
+use crate::tokenizer::{Token, Tokenizer};
+
+/// Statistics gathered by a streaming validation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Number of elements.
+    pub elements: usize,
+    /// Number of attributes.
+    pub attributes: usize,
+    /// Number of non-whitespace text runs (including CDATA).
+    pub text_runs: usize,
+    /// Maximum element nesting depth.
+    pub max_depth: usize,
+    /// Total decoded text bytes.
+    pub text_bytes: usize,
+}
+
+/// Validate well-formedness in one streaming pass; returns statistics.
+pub fn validate(input: &str) -> Result<StreamStats, ParseError> {
+    let mut tokens = Tokenizer::new(input);
+    let mut stack: Vec<String> = Vec::new();
+    let mut stats = StreamStats::default();
+    let mut seen_root = false;
+    let mut last_pos = Position::start();
+    while let Some(tok) = tokens.next_token()? {
+        match tok {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+                pos,
+            } => {
+                if stack.is_empty() && seen_root {
+                    return Err(ParseError::new(ParseErrorKind::TrailingContent, pos));
+                }
+                seen_root = true;
+                stats.elements += 1;
+                stats.attributes += attrs.len();
+                if !self_closing {
+                    stack.push(name);
+                    stats.max_depth = stats.max_depth.max(stack.len());
+                } else {
+                    stats.max_depth = stats.max_depth.max(stack.len() + 1);
+                }
+                last_pos = pos;
+            }
+            Token::EndTag { name, pos } => {
+                match stack.pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(ParseError::new(
+                            ParseErrorKind::MismatchedTag { open, close: name },
+                            pos,
+                        ))
+                    }
+                    None => {
+                        return Err(ParseError::new(
+                            ParseErrorKind::UnmatchedCloseTag(name),
+                            pos,
+                        ))
+                    }
+                }
+                last_pos = pos;
+            }
+            Token::Text { text, pos } | Token::CData { text, pos } => {
+                if !text.trim().is_empty() {
+                    if stack.is_empty() {
+                        return Err(ParseError::new(ParseErrorKind::TrailingContent, pos));
+                    }
+                    stats.text_runs += 1;
+                    stats.text_bytes += text.len();
+                }
+                last_pos = pos;
+            }
+        }
+    }
+    if let Some(open) = stack.pop() {
+        let _ = open;
+        return Err(ParseError::new(
+            ParseErrorKind::UnexpectedEof("document"),
+            last_pos,
+        ));
+    }
+    if !seen_root {
+        return Err(ParseError::new(
+            ParseErrorKind::NoRootElement,
+            tokens.position(),
+        ));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_a_small_document() {
+        let stats = validate("<a x='1'><b>text</b><c/><c/></a>").unwrap();
+        assert_eq!(stats.elements, 4);
+        assert_eq!(stats.attributes, 1);
+        assert_eq!(stats.text_runs, 1);
+        assert_eq!(stats.max_depth, 2);
+        assert_eq!(stats.text_bytes, 4);
+    }
+
+    #[test]
+    fn rejects_what_the_parser_rejects() {
+        for bad in ["<a><b></a></b>", "</a>", "<a>", "", "<a/><b/>", "<a/>junk"] {
+            assert!(validate(bad).is_err(), "{bad:?}");
+            assert!(crate::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn accepts_what_the_parser_accepts() {
+        for good in [
+            "<a/>",
+            "<a><!-- c --><b>1</b></a>",
+            "<?xml version='1.0'?><a><![CDATA[x]]></a>",
+        ] {
+            assert!(validate(good).is_ok(), "{good:?}");
+            assert!(crate::parse(good).is_ok(), "{good:?}");
+        }
+    }
+
+    #[test]
+    fn element_count_matches_tree_parse() {
+        let xml = "<r><a>1</a><b x='2'><c/></b></r>";
+        let stats = validate(xml).unwrap();
+        let tree = crate::parse(xml).unwrap();
+        // Tree nodes = elements + attribute nodes.
+        assert_eq!(stats.elements + stats.attributes, tree.node_count());
+    }
+}

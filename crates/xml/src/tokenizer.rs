@@ -1,0 +1,516 @@
+//! A hand-written XML tokenizer.
+//!
+//! Produces a flat stream of [`Token`]s (start tags with decoded attributes,
+//! end tags, text runs, CDATA sections). Comments, processing instructions,
+//! the XML declaration and DOCTYPE declarations (including an internal
+//! subset) are recognized and skipped. The tokenizer tracks line/column
+//! positions for error reporting.
+
+use crate::error::{ParseError, ParseErrorKind, Position};
+use crate::escape::{decode_entities, is_xml_char};
+
+/// One lexical item of the document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<name a="v" ...>` or `<name ... />`.
+    StartTag {
+        /// Element name.
+        name: String,
+        /// Attributes in document order, values entity-decoded.
+        attrs: Vec<(String, String)>,
+        /// True for `<name/>`.
+        self_closing: bool,
+        /// Position of the `<`.
+        pos: Position,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Element name.
+        name: String,
+        /// Position of the `<`.
+        pos: Position,
+    },
+    /// A run of character data with entities decoded.
+    Text {
+        /// Decoded text.
+        text: String,
+        /// Position of the first character.
+        pos: Position,
+    },
+    /// A `<![CDATA[...]]>` section (no entity decoding applies).
+    CData {
+        /// Literal contents.
+        text: String,
+        /// Position of the `<`.
+        pos: Position,
+    },
+}
+
+/// Streaming tokenizer over a UTF-8 input string.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: Position,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input,
+            bytes: input.as_bytes(),
+            pos: Position::start(),
+        }
+    }
+
+    /// Current position (start of the next unread byte).
+    pub fn position(&self) -> Position {
+        self.pos
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos.offset).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos.offset + ahead).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        // Byte-wise: self.pos.offset may sit mid-character while skipping
+        // over multi-byte content (e.g. inside a processing instruction).
+        self.bytes[self.pos.offset..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos.offset += 1;
+        if b == b'\n' {
+            self.pos.line += 1;
+            self.pos.column = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count one column per character, not per continuation byte.
+            self.pos.column += 1;
+        }
+        Some(b)
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.bump().is_none() {
+                break;
+            }
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(kind, self.pos)
+    }
+
+    fn err_at(&self, kind: ParseErrorKind, pos: Position) -> ParseError {
+        ParseError::new(kind, pos)
+    }
+
+    /// Fetch the next token, or `None` at end of input. Whitespace-only text
+    /// runs *are* emitted (the parser decides whether they are ignorable).
+    pub fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
+        loop {
+            if self.pos.offset >= self.bytes.len() {
+                return Ok(None);
+            }
+            if self.peek() == Some(b'<') {
+                if self.starts_with("<!--") {
+                    self.skip_comment()?;
+                    continue;
+                }
+                if self.starts_with("<![CDATA[") {
+                    return Ok(Some(self.read_cdata()?));
+                }
+                if self.starts_with("<?") {
+                    self.skip_pi()?;
+                    continue;
+                }
+                if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                    self.skip_doctype()?;
+                    continue;
+                }
+                if self.starts_with("</") {
+                    return Ok(Some(self.read_end_tag()?));
+                }
+                if self.starts_with("<!") {
+                    return Err(self.err(ParseErrorKind::MalformedMarkup(
+                        "unsupported <! declaration",
+                    )));
+                }
+                return Ok(Some(self.read_start_tag()?));
+            }
+            return Ok(Some(self.read_text()?));
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), ParseError> {
+        let start = self.pos;
+        self.advance(4); // <!--
+        loop {
+            if self.starts_with("-->") {
+                self.advance(3);
+                return Ok(());
+            }
+            if self.starts_with("--") {
+                return Err(self.err(ParseErrorKind::MalformedMarkup("`--` inside comment")));
+            }
+            if self.bump().is_none() {
+                return Err(self.err_at(ParseErrorKind::UnexpectedEof("comment"), start));
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<(), ParseError> {
+        let start = self.pos;
+        self.advance(2); // <?
+        loop {
+            if self.starts_with("?>") {
+                self.advance(2);
+                return Ok(());
+            }
+            if self.bump().is_none() {
+                return Err(self.err_at(
+                    ParseErrorKind::UnexpectedEof("processing instruction"),
+                    start,
+                ));
+            }
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        let start = self.pos;
+        self.advance(9); // <!DOCTYPE
+        let mut depth = 0usize; // for an internal subset [ ... ]
+        loop {
+            match self.peek() {
+                Some(b'[') => {
+                    depth += 1;
+                    self.bump();
+                }
+                Some(b']') => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                Some(b'>') if depth == 0 => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.err_at(ParseErrorKind::UnexpectedEof("DOCTYPE"), start)),
+            }
+        }
+    }
+
+    fn read_cdata(&mut self) -> Result<Token, ParseError> {
+        let pos = self.pos;
+        self.advance(9); // <![CDATA[
+        let body_start = self.pos.offset;
+        loop {
+            if self.starts_with("]]>") {
+                let text = self.input[body_start..self.pos.offset].to_string();
+                self.advance(3);
+                return Ok(Token::CData { text, pos });
+            }
+            if self.bump().is_none() {
+                return Err(self.err_at(ParseErrorKind::UnexpectedEof("CDATA section"), pos));
+            }
+        }
+    }
+
+    fn read_text(&mut self) -> Result<Token, ParseError> {
+        let pos = self.pos;
+        let start = self.pos.offset;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.bump();
+        }
+        let raw = &self.input[start..self.pos.offset];
+        for c in raw.chars() {
+            if !is_xml_char(c) {
+                return Err(self.err_at(ParseErrorKind::IllegalCharacter(c as u32), pos));
+            }
+        }
+        let text = decode_entities(raw, pos)?;
+        Ok(Token::Text { text, pos })
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos.offset;
+        let pos = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = matches!(b, b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b':' | b'-' | b'.')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.bump();
+        }
+        let name = &self.input[start..self.pos.offset];
+        if name.is_empty() || name.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '.')
+        {
+            return Err(self.err_at(ParseErrorKind::InvalidName(name.to_string()), pos));
+        }
+        Ok(name.to_string())
+    }
+
+    fn read_start_tag(&mut self) -> Result<Token, ParseError> {
+        let pos = self.pos;
+        self.bump(); // <
+        let name = self.read_name()?;
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    return Ok(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing: false,
+                        pos,
+                    });
+                }
+                Some(b'/') => {
+                    if self.peek_at(1) == Some(b'>') {
+                        self.advance(2);
+                        return Ok(Token::StartTag {
+                            name,
+                            attrs,
+                            self_closing: true,
+                            pos,
+                        });
+                    }
+                    return Err(self.err(ParseErrorKind::UnexpectedChar {
+                        found: '/',
+                        expected: "`>` after `/`",
+                    }));
+                }
+                Some(_) => {
+                    let (k, v) = self.read_attribute()?;
+                    if attrs.iter().any(|(ek, _)| *ek == k) {
+                        return Err(self.err(ParseErrorKind::DuplicateAttribute(k)));
+                    }
+                    attrs.push((k, v));
+                }
+                None => return Err(self.err_at(ParseErrorKind::UnexpectedEof("start tag"), pos)),
+            }
+        }
+    }
+
+    fn read_attribute(&mut self) -> Result<(String, String), ParseError> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'=') => {
+                self.bump();
+            }
+            Some(b) => {
+                return Err(self.err(ParseErrorKind::UnexpectedChar {
+                    found: b as char,
+                    expected: "`=` after attribute name",
+                }))
+            }
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof("attribute"))),
+        }
+        self.skip_whitespace();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump();
+                q
+            }
+            Some(b) => {
+                return Err(self.err(ParseErrorKind::UnexpectedChar {
+                    found: b as char,
+                    expected: "quoted attribute value",
+                }))
+            }
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof("attribute value"))),
+        };
+        let vpos = self.pos;
+        let start = self.pos.offset;
+        loop {
+            match self.peek() {
+                Some(b) if b == quote => break,
+                Some(b'<') => {
+                    return Err(self.err(ParseErrorKind::UnexpectedChar {
+                        found: '<',
+                        expected: "attribute value content",
+                    }))
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => {
+                    return Err(self.err_at(ParseErrorKind::UnexpectedEof("attribute value"), vpos))
+                }
+            }
+        }
+        let raw = &self.input[start..self.pos.offset];
+        self.bump(); // closing quote
+        let value = decode_entities(raw, vpos)?;
+        Ok((name, value))
+    }
+
+    fn read_end_tag(&mut self) -> Result<Token, ParseError> {
+        let pos = self.pos;
+        self.advance(2); // </
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'>') => {
+                self.bump();
+                Ok(Token::EndTag { name, pos })
+            }
+            Some(b) => Err(self.err(ParseErrorKind::UnexpectedChar {
+                found: b as char,
+                expected: "`>` in end tag",
+            })),
+            None => Err(self.err_at(ParseErrorKind::UnexpectedEof("end tag"), pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tokens(s: &str) -> Vec<Token> {
+        let mut t = Tokenizer::new(s);
+        let mut out = Vec::new();
+        while let Some(tok) = t.next_token().unwrap() {
+            out.push(tok);
+        }
+        out
+    }
+
+    #[test]
+    fn simple_element_with_text() {
+        let toks = all_tokens("<a>hi</a>");
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "a"));
+        assert!(matches!(&toks[1], Token::Text { text, .. } if text == "hi"));
+        assert!(matches!(&toks[2], Token::EndTag { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn attributes_are_decoded_in_order() {
+        let toks = all_tokens(r#"<a x="1 &amp; 2" y='three'/>"#);
+        match &toks[0] {
+            Token::StartTag {
+                attrs,
+                self_closing,
+                ..
+            } => {
+                assert!(*self_closing);
+                assert_eq!(attrs[0], ("x".to_string(), "1 & 2".to_string()));
+                assert_eq!(attrs[1], ("y".to_string(), "three".to_string()));
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_pis_doctype_are_skipped() {
+        let toks = all_tokens(
+            "<?xml version=\"1.0\"?><!DOCTYPE a [ <!ELEMENT a EMPTY> ]><!-- hello --><a/>",
+        );
+        assert_eq!(toks.len(), 1);
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let toks = all_tokens("<a><![CDATA[1 < 2 & so]]></a>");
+        assert!(matches!(&toks[1], Token::CData { text, .. } if text == "1 < 2 & so"));
+    }
+
+    #[test]
+    fn text_entities_are_decoded() {
+        let toks = all_tokens("<a>&lt;tag&gt; &#65;</a>");
+        assert!(matches!(&toks[1], Token::Text { text, .. } if text == "<tag> A"));
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let mut t = Tokenizer::new("<a>\n  <b/>\n</a>");
+        t.next_token().unwrap(); // <a>
+        t.next_token().unwrap(); // text "\n  "
+        match t.next_token().unwrap().unwrap() {
+            Token::StartTag { pos, .. } => {
+                assert_eq!(pos.line, 2);
+                assert_eq!(pos.column, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_attribute_is_rejected() {
+        let mut t = Tokenizer::new(r#"<a x="1" x="2"/>"#);
+        let e = t.next_token().unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::DuplicateAttribute("x".into()));
+    }
+
+    #[test]
+    fn bad_comment_is_rejected() {
+        let mut t = Tokenizer::new("<!-- a -- b --><a/>");
+        assert!(t.next_token().is_err());
+    }
+
+    #[test]
+    fn unterminated_constructs_are_eof_errors() {
+        for src in [
+            "<a",
+            "<a x=",
+            "<a x='1'",
+            "</a",
+            "<!-- x",
+            "<![CDATA[x",
+            "<?pi",
+        ] {
+            let mut t = Tokenizer::new(src);
+            let mut res = Ok(None);
+            for _ in 0..4 {
+                res = t.next_token();
+                if res.is_err() {
+                    break;
+                }
+            }
+            assert!(res.is_err(), "{src:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unquoted_attribute_value_is_rejected() {
+        let mut t = Tokenizer::new("<a x=1/>");
+        assert!(t.next_token().is_err());
+    }
+
+    #[test]
+    fn names_may_contain_unicode() {
+        let toks = all_tokens("<caf\u{e9}/>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "caf\u{e9}"));
+    }
+
+    #[test]
+    fn name_may_not_start_with_digit() {
+        let mut t = Tokenizer::new("<1a/>");
+        assert!(
+            matches!(t.next_token(), Err(e) if matches!(e.kind, ParseErrorKind::InvalidName(_)))
+        );
+    }
+}

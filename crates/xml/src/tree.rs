@@ -1,0 +1,358 @@
+//! The arena data tree: Definition 2 of the paper.
+//!
+//! A [`DataTree`] is a rooted labeled tree `T = (N, P, V, n_r)`:
+//!
+//! * `N` — nodes, each carrying an interned label and a *node key* that
+//!   uniquely identifies it. Node keys here are the pre-order indices
+//!   assigned at construction (exactly the bracketed keys of the paper's
+//!   Figure 1), exposed as [`NodeId`].
+//! * `P` — parent-child edges, stored both directions (`parent` pointer and
+//!   `children` list, in document order).
+//! * `V` — value assignments: every leaf node may carry a simple value.
+//! * `n_r` — the root node, always `NodeId(0)`.
+
+use crate::intern::{Interner, Symbol};
+use crate::ATTR_PREFIX;
+
+/// Identifier of a node within one [`DataTree`]; its numeric value is the
+/// node's pre-order *node key* in the sense of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: Symbol,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    value: Option<Box<str>>,
+}
+
+/// Summary statistics of a tree, used by dataset characteristic tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TreeStats {
+    /// Total number of nodes (elements + attribute nodes + `@text` nodes).
+    pub nodes: usize,
+    /// Nodes derived from XML attributes or synthesized `@text` children.
+    pub attr_nodes: usize,
+    /// Nodes carrying a simple value.
+    pub leaf_values: usize,
+    /// Maximum depth (root has depth 0).
+    pub max_depth: usize,
+    /// Number of distinct labels.
+    pub distinct_labels: usize,
+}
+
+/// An XML database instance: a rooted labeled tree with node keys and
+/// value assignments (paper Definition 2).
+#[derive(Debug, Clone)]
+pub struct DataTree {
+    nodes: Vec<NodeData>,
+    interner: Interner,
+}
+
+impl DataTree {
+    /// Create a tree consisting only of a root labeled `root_label`.
+    pub fn with_root(root_label: &str) -> Self {
+        let mut interner = Interner::new();
+        let label = interner.intern(root_label);
+        DataTree {
+            nodes: vec![NodeData {
+                label,
+                parent: None,
+                children: Vec::new(),
+                value: None,
+            }],
+            interner,
+        }
+    }
+
+    /// The root node (`n_r`), always `NodeId(0)`.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Append a new child of `parent` with the given label; returns its id.
+    /// Children keep document order. Node ids are assigned sequentially, so
+    /// building in document order yields pre-order node keys.
+    pub fn add_child(&mut self, parent: NodeId, label: &str) -> NodeId {
+        let label = self.interner.intern(label);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+            value: None,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Set (or replace) the simple value of `node`.
+    pub fn set_value(&mut self, node: NodeId, value: &str) {
+        self.nodes[node.index()].value = Some(value.into());
+    }
+
+    /// The label of `node` as a string.
+    pub fn label(&self, node: NodeId) -> &str {
+        self.interner.resolve(self.nodes[node.index()].label)
+    }
+
+    /// The interned label symbol of `node`.
+    pub fn label_sym(&self, node: NodeId) -> Symbol {
+        self.nodes[node.index()].label
+    }
+
+    /// The parent of `node` (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// The children of `node`, in document order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// The simple value of `node`, if assigned.
+    pub fn value(&self, node: NodeId) -> Option<&str> {
+        self.nodes[node.index()].value.as_deref()
+    }
+
+    /// Whether `node` was derived from an XML attribute (or synthesized
+    /// `@text`), i.e. its label starts with `@`.
+    pub fn is_attr(&self, node: NodeId) -> bool {
+        self.label(node).starts_with(ATTR_PREFIX)
+    }
+
+    /// The label interner (labels are shared across the tree).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Children of `node` whose label equals `label`, in document order.
+    pub fn children_labeled<'a>(
+        &'a self,
+        node: NodeId,
+        label: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        let sym = self.interner.get(label);
+        self.children(node)
+            .iter()
+            .copied()
+            .filter(move |&c| Some(self.label_sym(c)) == sym)
+    }
+
+    /// The first child of `node` labeled `label`, if any.
+    pub fn child_labeled(&self, node: NodeId, label: &str) -> Option<NodeId> {
+        self.children_labeled(node, label).next()
+    }
+
+    /// Depth of `node` (root = 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Pre-order traversal of the subtree rooted at `node` (inclusive).
+    pub fn descendants(&self, node: NodeId) -> Descendants<'_> {
+        Descendants {
+            tree: self,
+            stack: vec![node],
+        }
+    }
+
+    /// All node ids in pre-order (document order).
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Is `anc` an ancestor of `node` (or the node itself)?
+    pub fn is_ancestor_or_self(&self, anc: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// The absolute label path of `node` from the root, e.g.
+    /// `["warehouse", "state", "store"]`.
+    pub fn label_path(&self, node: NodeId) -> Vec<&str> {
+        let mut labels = Vec::new();
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            labels.push(self.label(c));
+            cur = self.parent(c);
+        }
+        labels.reverse();
+        labels
+    }
+
+    /// Compute summary statistics for the whole tree.
+    pub fn stats(&self) -> TreeStats {
+        let mut stats = TreeStats {
+            distinct_labels: self.interner.len(),
+            ..Default::default()
+        };
+        stats.nodes = self.nodes.len();
+        for id in self.all_nodes() {
+            if self.is_attr(id) {
+                stats.attr_nodes += 1;
+            }
+            if self.value(id).is_some() {
+                stats.leaf_values += 1;
+            }
+            let d = self.depth(id);
+            if d > stats.max_depth {
+                stats.max_depth = d;
+            }
+        }
+        stats
+    }
+}
+
+/// Pre-order iterator over a subtree; see [`DataTree::descendants`].
+pub struct Descendants<'a> {
+    tree: &'a DataTree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let next = self.stack.pop()?;
+        // Push children reversed so they pop in document order.
+        for &c in self.tree.children(next).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tree() -> DataTree {
+        // warehouse / state / (name, store / book)
+        let mut t = DataTree::with_root("warehouse");
+        let state = t.add_child(t.root(), "state");
+        let name = t.add_child(state, "name");
+        t.set_value(name, "WA");
+        let store = t.add_child(state, "store");
+        let book = t.add_child(store, "book");
+        t.set_value(book, "DBMS");
+        t
+    }
+
+    #[test]
+    fn construction_assigns_preorder_keys() {
+        let t = small_tree();
+        assert_eq!(t.node_count(), 5);
+        let order: Vec<u32> = t.descendants(t.root()).map(|n| n.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parent_child_edges_are_consistent() {
+        let t = small_tree();
+        for n in t.all_nodes() {
+            for &c in t.children(n) {
+                assert_eq!(t.parent(c), Some(n));
+            }
+        }
+        assert_eq!(t.parent(t.root()), None);
+    }
+
+    #[test]
+    fn labels_and_values() {
+        let t = small_tree();
+        assert_eq!(t.label(NodeId(0)), "warehouse");
+        assert_eq!(t.label(NodeId(2)), "name");
+        assert_eq!(t.value(NodeId(2)), Some("WA"));
+        assert_eq!(t.value(NodeId(0)), None);
+    }
+
+    #[test]
+    fn label_path_is_root_to_node() {
+        let t = small_tree();
+        assert_eq!(
+            t.label_path(NodeId(4)),
+            vec!["warehouse", "state", "store", "book"]
+        );
+    }
+
+    #[test]
+    fn depth_and_ancestry() {
+        let t = small_tree();
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.depth(NodeId(4)), 3);
+        assert!(t.is_ancestor_or_self(NodeId(1), NodeId(4)));
+        assert!(t.is_ancestor_or_self(NodeId(4), NodeId(4)));
+        assert!(!t.is_ancestor_or_self(NodeId(2), NodeId(4)));
+    }
+
+    #[test]
+    fn children_labeled_filters_by_label() {
+        let mut t = DataTree::with_root("r");
+        let a1 = t.add_child(t.root(), "a");
+        let _b = t.add_child(t.root(), "b");
+        let a2 = t.add_child(t.root(), "a");
+        let found: Vec<_> = t.children_labeled(t.root(), "a").collect();
+        assert_eq!(found, vec![a1, a2]);
+        assert_eq!(t.child_labeled(t.root(), "a"), Some(a1));
+        assert_eq!(t.child_labeled(t.root(), "zzz"), None);
+    }
+
+    #[test]
+    fn attr_detection() {
+        let mut t = DataTree::with_root("r");
+        let a = t.add_child(t.root(), "@id");
+        let e = t.add_child(t.root(), "id");
+        assert!(t.is_attr(a));
+        assert!(!t.is_attr(e));
+    }
+
+    #[test]
+    fn stats_counts() {
+        let mut t = DataTree::with_root("r");
+        let a = t.add_child(t.root(), "@id");
+        t.set_value(a, "1");
+        let c = t.add_child(t.root(), "c");
+        let d = t.add_child(c, "d");
+        t.set_value(d, "x");
+        let s = t.stats();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.attr_nodes, 1);
+        assert_eq!(s.leaf_values, 2);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.distinct_labels, 4);
+    }
+
+    #[test]
+    fn descendants_of_inner_node() {
+        let t = small_tree();
+        let sub: Vec<u32> = t.descendants(NodeId(3)).map(|n| n.0).collect();
+        assert_eq!(sub, vec![3, 4]);
+    }
+}

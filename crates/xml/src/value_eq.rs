@@ -1,0 +1,261 @@
+//! Node-value equality (Definition 3) and path-value equality (Definition 4).
+//!
+//! Two nodes are *node-value equal* iff the subtrees rooted at them are
+//! identical up to reordering of siblings — i.e. labels match, simple values
+//! match, and there is a one-to-one matching between children that are
+//! themselves node-value equal. This is **multiset** equality over children.
+//!
+//! [`EqClasses`] computes, in one bottom-up pass with hash-consing, an
+//! integer *equality class* for every node of a tree such that two nodes are
+//! node-value equal iff their classes are equal. Classes are exact (the
+//! hash-consing map is keyed on the full canonical shape, not on a hash), so
+//! there are no collisions.
+
+use std::collections::HashMap;
+
+use crate::intern::Symbol;
+use crate::tree::{DataTree, NodeId};
+
+/// Equality-class identifier: equal ids ⟺ node-value equal subtrees
+/// (within the [`EqClasses`] instance that produced them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueClassId(pub u32);
+
+/// Whether sibling order participates in value equality.
+///
+/// The paper chooses to "treat our collections as unordered sets, and to
+/// ignore order in XML" (Section 3.1, Remark 4) but reserves a discussion
+/// of "the impact of considering order" for Section 4.5; [`OrderMode::Ordered`]
+/// implements that variant: children compare as *lists*, so reordered
+/// siblings are no longer value-equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderMode {
+    /// Children compare as multisets (the paper's default).
+    #[default]
+    Unordered,
+    /// Children compare as document-order lists.
+    Ordered,
+}
+
+/// Per-node equality classes for one tree.
+#[derive(Debug, Clone)]
+pub struct EqClasses {
+    class: Vec<ValueClassId>,
+    num_classes: u32,
+}
+
+#[derive(PartialEq, Eq, Hash)]
+struct Shape {
+    label: Symbol,
+    value: Option<Box<str>>,
+    /// Sorted multiset of child classes.
+    children: Box<[ValueClassId]>,
+}
+
+impl EqClasses {
+    /// Compute equality classes for every node of `tree` with the default
+    /// unordered (multiset) semantics.
+    pub fn compute(tree: &DataTree) -> Self {
+        Self::compute_with(tree, OrderMode::Unordered)
+    }
+
+    /// Compute equality classes under an explicit [`OrderMode`].
+    pub fn compute_with(tree: &DataTree, order: OrderMode) -> Self {
+        let n = tree.node_count();
+        let mut class = vec![ValueClassId(0); n];
+        let mut cons: HashMap<Shape, ValueClassId> = HashMap::new();
+        // Parents always have smaller ids than children (arena append
+        // discipline), so a reverse scan is a valid bottom-up order.
+        for idx in (0..n).rev() {
+            let node = NodeId(idx as u32);
+            let mut kids: Vec<ValueClassId> = tree
+                .children(node)
+                .iter()
+                .map(|c| class[c.index()])
+                .collect();
+            if order == OrderMode::Unordered {
+                kids.sort_unstable();
+            }
+            let shape = Shape {
+                label: tree.label_sym(node),
+                value: tree.value(node).map(Into::into),
+                children: kids.into_boxed_slice(),
+            };
+            let next = ValueClassId(cons.len() as u32);
+            let id = *cons.entry(shape).or_insert(next);
+            class[idx] = id;
+        }
+        EqClasses {
+            class,
+            num_classes: cons.len() as u32,
+        }
+    }
+
+    /// The equality class of `node`.
+    pub fn class_of(&self, node: NodeId) -> ValueClassId {
+        self.class[node.index()]
+    }
+
+    /// Are two nodes of the same tree node-value equal (Definition 3)?
+    pub fn node_value_eq(&self, a: NodeId, b: NodeId) -> bool {
+        self.class_of(a) == self.class_of(b)
+    }
+
+    /// Number of distinct classes in the tree.
+    pub fn num_classes(&self) -> u32 {
+        self.num_classes
+    }
+}
+
+/// A fully materialized canonical form of a subtree; usable for *cross-tree*
+/// node-value equality (Definition 3 across two documents). Ordered so it
+/// can key sorted structures.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalValue {
+    /// Node label (as a string, so forms are comparable across interners).
+    pub label: String,
+    /// Simple value, if any.
+    pub value: Option<String>,
+    /// Sorted canonical forms of the children (multiset).
+    pub children: Vec<CanonicalValue>,
+}
+
+/// Build the canonical form of the subtree rooted at `node`.
+pub fn canonical_form(tree: &DataTree, node: NodeId) -> CanonicalValue {
+    let mut children: Vec<CanonicalValue> = tree
+        .children(node)
+        .iter()
+        .map(|&c| canonical_form(tree, c))
+        .collect();
+    children.sort();
+    CanonicalValue {
+        label: tree.label(node).to_string(),
+        value: tree.value(node).map(str::to_string),
+        children,
+    }
+}
+
+/// Node-value equality across (possibly different) trees — Definition 3.
+pub fn node_value_eq_cross(t1: &DataTree, n1: NodeId, t2: &DataTree, n2: NodeId) -> bool {
+    canonical_form(t1, n1) == canonical_form(t2, n2)
+}
+
+/// Path-value equality — Definition 4: the nodes matched by `p1` in `t1`
+/// and by `p2` in `t2` are in one-to-one node-value-equal correspondence.
+pub fn path_value_eq(t1: &DataTree, nodes1: &[NodeId], t2: &DataTree, nodes2: &[NodeId]) -> bool {
+    if nodes1.len() != nodes2.len() {
+        return false;
+    }
+    let mut f1: Vec<CanonicalValue> = nodes1.iter().map(|&n| canonical_form(t1, n)).collect();
+    let mut f2: Vec<CanonicalValue> = nodes2.iter().map(|&n| canonical_form(t2, n)).collect();
+    f1.sort();
+    f2.sort();
+    f1 == f2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::Path;
+
+    #[test]
+    fn identical_subtrees_share_a_class() {
+        let t = parse("<r><b><x>1</x><y>2</y></b><b><y>2</y><x>1</x></b></r>").unwrap();
+        let eq = EqClasses::compute(&t);
+        let bs = "/r/b".parse::<Path>().unwrap().resolve_all(&t);
+        assert!(
+            eq.node_value_eq(bs[0], bs[1]),
+            "sibling order must not matter"
+        );
+    }
+
+    #[test]
+    fn differing_values_split_classes() {
+        let t = parse("<r><b><x>1</x></b><b><x>2</x></b></r>").unwrap();
+        let eq = EqClasses::compute(&t);
+        let bs = "/r/b".parse::<Path>().unwrap().resolve_all(&t);
+        assert!(!eq.node_value_eq(bs[0], bs[1]));
+    }
+
+    #[test]
+    fn multiset_not_set_semantics() {
+        // {x,x} vs {x}: a one-to-one matching is impossible.
+        let t = parse("<r><b><x>1</x><x>1</x></b><b><x>1</x></b></r>").unwrap();
+        let eq = EqClasses::compute(&t);
+        let bs = "/r/b".parse::<Path>().unwrap().resolve_all(&t);
+        assert!(!eq.node_value_eq(bs[0], bs[1]));
+    }
+
+    #[test]
+    fn labels_matter() {
+        let t = parse("<r><a>1</a><b>1</b></r>").unwrap();
+        let eq = EqClasses::compute(&t);
+        let kids = t.children(t.root());
+        assert!(!eq.node_value_eq(kids[0], kids[1]));
+    }
+
+    #[test]
+    fn paper_example_books_30_and_50_are_equal() {
+        // Figure 1: book 30 and book 50 carry the same ISBN, authors
+        // (in different order), title and price.
+        let xml = "<w>\
+            <book><ISBN>1-55860-438-3</ISBN><author>Ramakrishnan</author>\
+              <author>Gehrke</author><title>DBMS</title><price>59.99</price></book>\
+            <book><ISBN>1-55860-438-3</ISBN><author>Gehrke</author>\
+              <author>Ramakrishnan</author><title>DBMS</title><price>59.99</price></book>\
+            </w>";
+        let t = parse(xml).unwrap();
+        let eq = EqClasses::compute(&t);
+        let books = "/w/book".parse::<Path>().unwrap().resolve_all(&t);
+        assert!(eq.node_value_eq(books[0], books[1]));
+    }
+
+    #[test]
+    fn cross_tree_equality_matches_within_tree_classes() {
+        let x1 = "<r><b><x>1</x><y>2</y></b></r>";
+        let x2 = "<r><b><y>2</y><x>1</x></b></r>";
+        let t1 = parse(x1).unwrap();
+        let t2 = parse(x2).unwrap();
+        let b1 = "/r/b".parse::<Path>().unwrap().resolve_all(&t1)[0];
+        let b2 = "/r/b".parse::<Path>().unwrap().resolve_all(&t2)[0];
+        assert!(node_value_eq_cross(&t1, b1, &t2, b2));
+    }
+
+    #[test]
+    fn path_value_equality_needs_one_to_one_correspondence() {
+        let t1 = parse("<r><a>1</a><a>2</a></r>").unwrap();
+        let t2 = parse("<r><a>2</a><a>1</a></r>").unwrap();
+        let t3 = parse("<r><a>1</a><a>1</a></r>").unwrap();
+        let p: Path = "/r/a".parse().unwrap();
+        let (n1, n2, n3) = (p.resolve_all(&t1), p.resolve_all(&t2), p.resolve_all(&t3));
+        assert!(path_value_eq(&t1, &n1, &t2, &n2));
+        assert!(!path_value_eq(&t1, &n1, &t3, &n3));
+    }
+
+    #[test]
+    fn ordered_mode_distinguishes_reordered_siblings() {
+        let t = parse("<r><b><x>1</x><y>2</y></b><b><y>2</y><x>1</x></b></r>").unwrap();
+        let unordered = EqClasses::compute_with(&t, OrderMode::Unordered);
+        let ordered = EqClasses::compute_with(&t, OrderMode::Ordered);
+        let bs = "/r/b".parse::<Path>().unwrap().resolve_all(&t);
+        assert!(unordered.node_value_eq(bs[0], bs[1]));
+        assert!(!ordered.node_value_eq(bs[0], bs[1]));
+    }
+
+    #[test]
+    fn ordered_mode_still_equates_identical_order() {
+        let t = parse("<r><b><x>1</x><y>2</y></b><b><x>1</x><y>2</y></b></r>").unwrap();
+        let ordered = EqClasses::compute_with(&t, OrderMode::Ordered);
+        let bs = "/r/b".parse::<Path>().unwrap().resolve_all(&t);
+        assert!(ordered.node_value_eq(bs[0], bs[1]));
+    }
+
+    #[test]
+    fn class_count_reflects_sharing() {
+        let t = parse("<r><a>1</a><a>1</a><a>1</a></r>").unwrap();
+        let eq = EqClasses::compute(&t);
+        // Classes: the leaf "a=1" (shared) and the root.
+        assert_eq!(eq.num_classes(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the XML substrate: the parser must never panic on
+//! arbitrary input, must accept everything the serializer emits, and the
+//! tokenizer's position tracking must stay within bounds.
+
+use proptest::prelude::*;
+use xfd_xml::tokenizer::Tokenizer;
+use xfd_xml::{parse, Path};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Fuzz: arbitrary strings never panic the parser (errors are fine).
+    #[test]
+    fn parser_never_panics_on_garbage(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Fuzz with XML-ish fragments: higher chance of hitting deep paths.
+    #[test]
+    fn parser_never_panics_on_xmlish(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("<b x=1>".to_string()),
+                Just("</b>".to_string()),
+                Just("<c/>".to_string()),
+                Just("text".to_string()),
+                Just("&amp;".to_string()),
+                Just("&bogus;".to_string()),
+                Just("&#x41;".to_string()),
+                Just("<!-- c -->".to_string()),
+                Just("<![CDATA[x]]>".to_string()),
+                Just("<?pi?>".to_string()),
+                Just("<!DOCTYPE a>".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("]]>".to_string()),
+            ],
+            0..20,
+        )
+    ) {
+        let input: String = parts.concat();
+        let _ = parse(&input);
+    }
+
+    /// The tokenizer's reported positions never exceed the input length.
+    #[test]
+    fn tokenizer_positions_stay_in_bounds(input in ".{0,120}") {
+        let mut t = Tokenizer::new(&input);
+        for _ in 0..200 {
+            match t.next_token() {
+                Ok(Some(_)) => prop_assert!(t.position().offset <= input.len()),
+                Ok(None) => break,
+                Err(e) => {
+                    prop_assert!(e.position.offset <= input.len() + 1);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Path parsing and display round-trip for well-formed path strings.
+    #[test]
+    fn path_roundtrip(
+        abs in proptest::bool::ANY,
+        ups in 0usize..3,
+        labels in proptest::collection::vec("[a-z][a-z0-9]{0,5}", 1..5),
+    ) {
+        let s = if abs {
+            format!("/{}", labels.join("/"))
+        } else if ups > 0 {
+            let mut parts = vec![".."; ups];
+            let owned: Vec<&str> = labels.iter().map(String::as_str).collect();
+            parts.extend(owned);
+            parts.join("/")
+        } else {
+            format!("./{}", labels.join("/"))
+        };
+        let p: Path = s.parse().unwrap();
+        prop_assert_eq!(p.to_string(), s);
+    }
+
+    /// to_absolute/relative_to are mutually inverse for in-range paths.
+    #[test]
+    fn path_absolute_relative_inverse(
+        base_labels in proptest::collection::vec("[a-z]{1,4}", 1..5),
+        target_labels in proptest::collection::vec("[a-z]{1,4}", 1..5),
+        common in 0usize..4,
+    ) {
+        let common = common.min(base_labels.len()).min(target_labels.len());
+        let base = Path::absolute(base_labels.clone());
+        let mut target_vec: Vec<String> = base_labels[..common].to_vec();
+        target_vec.extend(target_labels.iter().cloned());
+        let target = Path::absolute(target_vec);
+        let rel = target.relative_to(&base);
+        prop_assert_eq!(rel.to_absolute(&base).unwrap(), target);
+    }
+}

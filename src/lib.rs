@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # discoverxfd-suite
+//!
+//! Facade over the full DiscoverXFD system (Yu & Jagadish, VLDB 2006):
+//! re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single crate.
+//!
+//! ```
+//! use discoverxfd_suite::prelude::*;
+//!
+//! let doc = parse("<r><b><i>1</i><t>A</t></b><b><i>1</i><t>A</t></b></r>").unwrap();
+//! let report = discover(&doc, &DiscoveryConfig::default());
+//! assert!(!report.fds.is_empty());
+//! ```
+
+pub use discoverxfd as core;
+pub use xfd_datagen as datagen;
+pub use xfd_partition as partition;
+pub use xfd_relation as relation;
+pub use xfd_schema as schema;
+pub use xfd_xml as xml;
+
+/// One-stop imports for examples and quick scripts.
+pub mod prelude {
+    pub use discoverxfd::{
+        discover, discover_with_schema, DiscoveryConfig, DiscoveryReport, FdScope, Redundancy, Xfd,
+        XmlKey,
+    };
+    pub use xfd_relation::{encode, EncodeConfig};
+    pub use xfd_schema::{check, infer_schema, nested_representation, SchemaMap};
+    pub use xfd_xml::{parse, to_xml_string, DataTree, Path, TreeBuilder};
+}

@@ -1,0 +1,186 @@
+//! End-to-end behaviour across the configuration space: caps, order
+//! modes, complex-column modes, deep chains, and multi-child target
+//! routing.
+
+use discoverxfd_suite::prelude::*;
+use xfd_relation::{ComplexColumnMode, OrderMode};
+
+#[test]
+fn four_level_chain_fd_completion() {
+    // country → region → store → book; price determined by (isbn,
+    // country tax class) only — propagation through three ancestors.
+    let xml = "<w>\
+        <country><tax>A</tax>\
+          <region><store>\
+            <book><isbn>1</isbn><price>10</price></book>\
+            <book><isbn>2</isbn><price>30</price></book></store></region>\
+          <region><store>\
+            <book><isbn>1</isbn><price>10</price></book></store></region>\
+        </country>\
+        <country><tax>B</tax>\
+          <region><store>\
+            <book><isbn>1</isbn><price>13</price></book></store></region>\
+        </country>\
+        </w>";
+    let doc = parse(xml).unwrap();
+    let report = discover(&doc, &DiscoveryConfig::default());
+    let fds: Vec<String> = report.fds.iter().map(|f| f.to_string()).collect();
+    assert!(
+        fds.iter()
+            .any(|f| f.contains("../../../tax") && f.contains("-> ./price")),
+        "great-grandparent completion missing: {fds:#?}"
+    );
+}
+
+#[test]
+fn multiple_child_relations_route_targets_to_one_parent() {
+    // Books and magazines both live under stores; each contributes its
+    // own targets to the store relation.
+    let xml = "<w>\
+        <store><name>X</name>\
+          <book><bi>1</bi><bp>10</bp></book><book><bi>2</bi><bp>20</bp></book>\
+          <mag><mi>7</mi><mp>5</mp></mag><mag><mi>8</mi><mp>6</mp></mag></store>\
+        <store><name>X</name>\
+          <book><bi>1</bi><bp>10</bp></book>\
+          <mag><mi>7</mi><mp>5</mp></mag></store>\
+        <store><name>Y</name>\
+          <book><bi>1</bi><bp>12</bp></book>\
+          <mag><mi>7</mi><mp>9</mp></mag></store>\
+        </w>";
+    let doc = parse(xml).unwrap();
+    let report = discover(&doc, &DiscoveryConfig::default());
+    let fds: Vec<String> = report.fds.iter().map(|f| f.to_string()).collect();
+    assert!(
+        fds.contains(&"{./bi, ../name} -> ./bp w.r.t. C_book".to_string()),
+        "{fds:#?}"
+    );
+    assert!(
+        fds.contains(&"{./mi, ../name} -> ./mp w.r.t. C_mag".to_string()),
+        "{fds:#?}"
+    );
+}
+
+#[test]
+fn target_cap_drops_rather_than_explodes() {
+    // A relation whose every edge is a partial FD generates many targets;
+    // an absurdly low cap must degrade gracefully (counted, not crashed).
+    let mut xml = String::from("<w>");
+    for s in 0..6 {
+        xml.push_str(&format!("<store><name>n{}</name>", s % 2));
+        for b in 0..6 {
+            xml.push_str(&format!(
+                "<book><i>{}</i><p>{}</p><q>{}</q></book>",
+                b % 3,
+                (s + b) % 4,
+                (s * b) % 5
+            ));
+        }
+        xml.push_str("</store>");
+    }
+    xml.push_str("</w>");
+    let doc = parse(&xml).unwrap();
+    let capped = discover(
+        &doc,
+        &DiscoveryConfig {
+            max_partition_targets: 1,
+            ..Default::default()
+        },
+    );
+    let full = discover(&doc, &DiscoveryConfig::default());
+    assert!(capped.target_stats.created + capped.target_stats.dropped_overflow > 0);
+    assert!(capped.fds.len() <= full.fds.len());
+}
+
+#[test]
+fn ordered_mode_changes_set_fd_results_end_to_end() {
+    let xml = "<w>\
+        <book><i>1</i><a>R</a><a>G</a></book>\
+        <book><i>1</i><a>G</a><a>R</a></book>\
+        <book><i>2</i><a>R</a></book>\
+        </w>";
+    let doc = parse(xml).unwrap();
+    let unordered = discover(&doc, &DiscoveryConfig::default());
+    assert!(unordered
+        .fds
+        .iter()
+        .any(|f| f.to_string() == "{./i} -> ./a w.r.t. C_book"));
+    let mut cfg = DiscoveryConfig::default();
+    cfg.encode.order = OrderMode::Ordered;
+    let ordered = discover(&doc, &cfg);
+    assert!(
+        !ordered
+            .fds
+            .iter()
+            .any(|f| f.to_string() == "{./i} -> ./a w.r.t. C_book"),
+        "list semantics must reject the reordered author sets"
+    );
+}
+
+#[test]
+fn value_class_complex_columns_enable_subtree_fds() {
+    // contact subtrees equal ⇔ same class id: with ValueClass mode the FD
+    // {./contact} → ./name becomes discoverable.
+    let xml = "<w>\
+        <store><contact><ph>1</ph><em>a</em></contact><name>X</name></store>\
+        <store><contact><em>a</em><ph>1</ph></contact><name>X</name></store>\
+        <store><contact><ph>2</ph><em>b</em></contact><name>Y</name></store>\
+        </w>";
+    let doc = parse(xml).unwrap();
+    // Default (NodeKey): contact columns are key-like → no such FD.
+    let default = discover(&doc, &DiscoveryConfig::default());
+    assert!(!default
+        .fds
+        .iter()
+        .any(|f| f.to_string() == "{./contact} -> ./name w.r.t. C_store"));
+    let mut cfg = DiscoveryConfig::default();
+    cfg.encode.complex_columns = ComplexColumnMode::ValueClass;
+    let vc = discover(&doc, &cfg);
+    assert!(
+        vc.fds
+            .iter()
+            .any(|f| f.to_string() == "{./contact} -> ./name w.r.t. C_store"),
+        "{:#?}",
+        vc.fds.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn intra_only_config_still_finds_local_fds() {
+    let xml = "<w>\
+        <store><name>X</name><book><i>1</i><t>A</t></book>\
+          <book><i>1</i><t>A</t></book><book><i>2</i><t>B</t></book></store>\
+        </w>";
+    let doc = parse(xml).unwrap();
+    let cfg = DiscoveryConfig {
+        inter_relation: false,
+        ..Default::default()
+    };
+    let report = discover(&doc, &cfg);
+    assert!(report
+        .fds
+        .iter()
+        .any(|f| f.to_string() == "{./i} -> ./t w.r.t. C_book"));
+    assert_eq!(report.target_stats.created, 0);
+}
+
+#[test]
+fn empty_lhs_disabled_suppresses_constant_fds() {
+    let xml = "<w><b><x>1</x><y>5</y></b><b><x>1</x><y>6</y></b></w>";
+    let doc = parse(xml).unwrap();
+    let with = discover(&doc, &DiscoveryConfig::default());
+    assert!(
+        with.fds
+            .iter()
+            .any(|f| f.to_string() == "{} -> ./x w.r.t. C_b"),
+        "{:#?}",
+        with.fds.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
+    let without = discover(
+        &doc,
+        &DiscoveryConfig {
+            empty_lhs: false,
+            ..Default::default()
+        },
+    );
+    assert!(!without.fds.iter().any(|f| f.lhs.is_empty()));
+}

@@ -1,0 +1,135 @@
+//! Integration smoke over the standard dataset suite: every generator's
+//! injected dependencies must be discovered, the baseline must agree where
+//! it is able to, and set-element findings must diverge exactly where the
+//! paper says prior notions fail.
+
+use discoverxfd::baseline::{discover_flat, BaselineOptions};
+use discoverxfd_suite::prelude::*;
+use xfd_datagen::{dblp_like, standard_suite, DblpSpec};
+
+#[test]
+fn suite_runs_end_to_end_and_finds_redundancy() {
+    for ds in standard_suite() {
+        let report = discover(
+            &ds.tree,
+            &DiscoveryConfig {
+                max_lhs_size: Some(3),
+                ..Default::default()
+            },
+        );
+        assert!(
+            !report.fds.is_empty(),
+            "{}: no FDs found in a redundancy-injected dataset",
+            ds.name
+        );
+        assert!(
+            !report.redundancies.is_empty(),
+            "{}: no redundancies found",
+            ds.name
+        );
+    }
+}
+
+#[test]
+fn conformance_holds_for_all_generated_datasets() {
+    for ds in standard_suite() {
+        let schema = infer_schema(&ds.tree);
+        assert_eq!(check(&ds.tree, &schema), Ok(()), "{} conformance", ds.name);
+    }
+}
+
+#[test]
+fn dblp_key_attribute_dependencies_are_found() {
+    let tree = dblp_like(&DblpSpec::default());
+    let report = discover(&tree, &DiscoveryConfig::default());
+    let fds: Vec<String> = report.fds.iter().map(|f| f.to_string()).collect();
+    assert!(
+        fds.contains(&"{./@key} -> ./title w.r.t. C_article".to_string()),
+        "{fds:#?}"
+    );
+    assert!(
+        fds.contains(&"{./@key} -> ./author w.r.t. C_article".to_string()),
+        "missing the set-element FD: {fds:#?}"
+    );
+}
+
+#[test]
+fn flat_baseline_agrees_on_scalar_fds_and_misses_set_fds() {
+    let tree = dblp_like(&DblpSpec {
+        articles: 60,
+        inproceedings: 0,
+        ..Default::default()
+    });
+    let schema = infer_schema(&tree);
+    let report = discover(
+        &tree,
+        &DiscoveryConfig {
+            max_lhs_size: Some(2),
+            ..Default::default()
+        },
+    );
+    let flat = discover_flat(
+        &tree,
+        &schema,
+        &BaselineOptions {
+            max_lhs: 2,
+            ..Default::default()
+        },
+    )
+    .expect("dblp flattens fine (only nested sets)");
+
+    // Scalar FD found by both: @key → title.
+    assert!(report
+        .fds
+        .iter()
+        .any(|f| f.to_string() == "{./@key} -> ./title w.r.t. C_article"));
+    assert!(
+        flat.fds
+            .iter()
+            .any(|f| f.rhs == "/dblp/article/title"
+                && f.lhs == vec!["/dblp/article/@key".to_string()])
+    );
+
+    // Set FD found only by DiscoverXFD: @key → author (set).
+    assert!(report
+        .fds
+        .iter()
+        .any(|f| f.to_string() == "{./@key} -> ./author w.r.t. C_article"));
+    assert!(
+        !flat
+            .fds
+            .iter()
+            .any(|f| f.rhs == "/dblp/article/author"
+                && f.lhs == vec!["/dblp/article/@key".to_string()]),
+        "the flat notion must reject key→author on multi-author data (Sec 2.3)"
+    );
+}
+
+#[test]
+fn mondial_car_code_key_is_discovered() {
+    let tree = xfd_datagen::mondial_like(&xfd_datagen::MondialSpec::default());
+    let report = discover(&tree, &DiscoveryConfig::default());
+    let keys: Vec<String> = report.keys.iter().map(|k| k.to_string()).collect();
+    assert!(
+        keys.contains(&"Key(C_country: {./@car_code})".to_string()),
+        "{keys:#?}"
+    );
+}
+
+#[test]
+fn protein_organism_fd_is_discovered() {
+    let tree = xfd_datagen::protein_like(&xfd_datagen::ProteinSpec::default());
+    let report = discover(
+        &tree,
+        &DiscoveryConfig {
+            max_lhs_size: Some(2),
+            ..Default::default()
+        },
+    );
+    let fds: Vec<String> = report.fds.iter().map(|f| f.to_string()).collect();
+    assert!(
+        fds.iter().any(|f| f.contains("organism/source")
+            && f.contains("-> ./organism/common w.r.t. C_ProteinEntry")),
+        "{fds:#?}"
+    );
+}

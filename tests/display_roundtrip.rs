@@ -1,0 +1,71 @@
+//! System-level invariant: every FD the system reports can be parsed back
+//! from its own display string and re-verified to hold, across the whole
+//! dataset suite. (Display → parse → resolve → check is the user's
+//! copy/paste workflow; it must never disagree with discovery.)
+
+use discoverxfd::verify::{verify_fd, FdSpec};
+use discoverxfd_suite::prelude::*;
+use xfd_datagen::standard_suite;
+
+#[test]
+fn every_reported_fd_reparses_and_reverifies() {
+    for ds in standard_suite() {
+        let cfg = DiscoveryConfig {
+            max_lhs_size: Some(2),
+            ..Default::default()
+        };
+        let report = discover(&ds.tree, &cfg);
+        let (_, forest) = discoverxfd::driver::encode_only(&ds.tree, &cfg);
+        let mut ambiguous = 0usize;
+        for fd in &report.fds {
+            let spec: FdSpec = fd
+                .to_string()
+                .parse()
+                .unwrap_or_else(|e| panic!("{}: cannot reparse {fd}: {e}", ds.name));
+            match verify_fd(&forest, &spec, 3) {
+                Ok(rep) => assert!(
+                    rep.holds,
+                    "{}: reported FD fails re-verification: {fd}",
+                    ds.name
+                ),
+                // C_<label> shorthand can be ambiguous (xmark has four
+                // `item` classes); retry with the full pivot path.
+                Err(discoverxfd::verify::VerifyError::AmbiguousClass(_)) => {
+                    ambiguous += 1;
+                    let full = fd.to_string().replace(
+                        &format!("C_{}", discoverxfd::fd::class_name(&fd.tuple_class)),
+                        &format!("C_{}", fd.tuple_class),
+                    );
+                    let spec: FdSpec = full.parse().unwrap();
+                    let rep = verify_fd(&forest, &spec, 3).unwrap();
+                    assert!(rep.holds, "{}: {fd} fails with full path", ds.name);
+                }
+                Err(e) => panic!("{}: {fd}: {e}", ds.name),
+            }
+        }
+        // The ambiguity fallback only triggers where same-labeled classes
+        // exist (xmark's regional items).
+        if ds.name != "xmark-like" {
+            assert_eq!(ambiguous, 0, "{}: unexpected ambiguity", ds.name);
+        }
+    }
+}
+
+#[test]
+fn every_reported_key_lhs_is_actually_a_key() {
+    use discoverxfd::verify::{verify_key, ClassRef};
+    for ds in standard_suite() {
+        let cfg = DiscoveryConfig {
+            max_lhs_size: Some(2),
+            ..Default::default()
+        };
+        let report = discover(&ds.tree, &cfg);
+        let (_, forest) = discoverxfd::driver::encode_only(&ds.tree, &cfg);
+        for key in &report.keys {
+            let class = ClassRef::Path(key.tuple_class.clone());
+            let rep = verify_key(&forest, &class, &key.lhs, 3)
+                .unwrap_or_else(|e| panic!("{}: {key}: {e}", ds.name));
+            assert!(rep.holds, "{}: reported key fails: {key}", ds.name);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the XNF decomposition executor: applying a
+//! suggestion must never lose information and must never increase the
+//! redundancy it targets.
+
+use discoverxfd::normalize::{apply, suggest, Suggestion};
+use discoverxfd_suite::prelude::*;
+use proptest::prelude::*;
+use xfd_xml::builder::TreeWriter;
+use xfd_xml::DataTree;
+
+/// Random flat book documents: catalog-driven so `isbn → title` holds by
+/// construction, with optional missing fields.
+#[derive(Debug, Clone)]
+struct BookDoc {
+    books: Vec<(Option<u8>, bool)>, // (isbn index into catalog, include year)
+}
+
+fn doc_strategy() -> impl Strategy<Value = BookDoc> {
+    proptest::collection::vec((proptest::option::of(0u8..4), proptest::bool::ANY), 1..10)
+        .prop_map(|books| BookDoc { books })
+}
+
+fn build(doc: &BookDoc) -> DataTree {
+    let mut w = TreeWriter::new("shop");
+    for (isbn, include_year) in &doc.books {
+        w.open("book");
+        if let Some(i) = isbn {
+            w.leaf("isbn", &format!("i{i}"));
+            w.leaf("title", &format!("T{i}")); // determined by isbn
+        }
+        if *include_year {
+            w.leaf("year", "2006");
+        }
+        w.close();
+    }
+    w.finish()
+}
+
+/// Multiset of (isbn, title) associations reachable in a document — from
+/// the books themselves or from extracted `book_info` elements.
+fn associations(tree: &DataTree) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for container in ["/shop/book", "/shop/book_info"] {
+        for node in container.parse::<Path>().unwrap().resolve_all(tree) {
+            let isbn = tree.child_labeled(node, "isbn").and_then(|n| tree.value(n));
+            let title = tree
+                .child_labeled(node, "title")
+                .and_then(|n| tree.value(n));
+            if let (Some(i), Some(t)) = (isbn, title) {
+                out.push((i.to_string(), t.to_string()));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn apply_preserves_associations_and_reduces_redundancy(doc in doc_strategy()) {
+        let tree = build(&doc);
+        let sugg = Suggestion {
+            tuple_class: "/shop/book".parse().unwrap(),
+            key_paths: vec!["./isbn".parse().unwrap()],
+            moved_paths: vec!["./title".parse().unwrap()],
+            redundant_values: 0,
+        };
+        let before = associations(&tree);
+        let Ok(decomposed) = apply(&tree, &sugg) else {
+            // Only possible when the class matches nothing.
+            prop_assert!(tree.children(tree.root()).is_empty());
+            return Ok(());
+        };
+        let after = associations(&decomposed);
+        prop_assert_eq!(&before, &after, "associations changed");
+
+        // The targeted redundancy is gone: no two book_info share an isbn,
+        // and books keep no title when they have an isbn.
+        for info in "/shop/book_info".parse::<Path>().unwrap().resolve_all(&decomposed) {
+            prop_assert!(decomposed.child_labeled(info, "isbn").is_some());
+        }
+        for book in "/shop/book".parse::<Path>().unwrap().resolve_all(&decomposed) {
+            if decomposed.child_labeled(book, "isbn").is_some() {
+                prop_assert!(decomposed.child_labeled(book, "title").is_none());
+            }
+        }
+        // Node count never grows beyond the original plus one info element
+        // (key+moved copies) per distinct key.
+        prop_assert!(decomposed.node_count() <= tree.node_count() + 3 * 4 + 4);
+    }
+
+    #[test]
+    fn suggestions_from_discovery_are_always_applicable_or_inter(doc in doc_strategy()) {
+        let tree = build(&doc);
+        let report = discover(&tree, &DiscoveryConfig::default());
+        for s in suggest(&report.redundancies) {
+            let local = s
+                .key_paths
+                .iter()
+                .chain(&s.moved_paths)
+                .all(|p| !p.to_string().starts_with(".."));
+            if local {
+                prop_assert!(apply(&tree, &s).is_ok(), "local suggestion failed: {s}");
+            }
+        }
+    }
+}

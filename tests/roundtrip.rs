@@ -1,0 +1,99 @@
+//! Property-based invariants of the XML substrate: serialize∘parse
+//! preserves tree value, node keys stay pre-order, and equality classes
+//! agree with the definitional canonical forms.
+
+use proptest::prelude::*;
+use xfd_xml::builder::TreeWriter;
+use xfd_xml::{canonical_form, node_value_eq_cross, parse, to_xml_string, DataTree, EqClasses};
+
+/// Strategy: random small trees with safe labels and arbitrary text values.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(String),
+    Inner(Vec<(u8, Node)>),
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = "[ -~]{0,12}".prop_map(Node::Leaf);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        proptest::collection::vec((0u8..4, inner), 0..4).prop_map(Node::Inner)
+    })
+}
+
+fn build(node: &Node) -> DataTree {
+    let mut w = TreeWriter::new("root");
+    fn emit(w: &mut TreeWriter, label: u8, node: &Node) {
+        match node {
+            Node::Leaf(v) => {
+                // The parser trims leaf text; pre-trim so roundtrip is exact.
+                let trimmed = v.trim();
+                if trimmed.is_empty() {
+                    w.empty(&format!("e{label}"));
+                } else {
+                    w.leaf(&format!("e{label}"), trimmed);
+                }
+            }
+            Node::Inner(children) => {
+                w.open(&format!("e{label}"));
+                for (l, c) in children {
+                    emit(w, *l, c);
+                }
+                w.close();
+            }
+        }
+    }
+    if let Node::Inner(children) = node {
+        for (l, c) in children {
+            emit(&mut w, *l, c);
+        }
+    } else {
+        emit(&mut w, 0, node);
+    }
+    w.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serialize_parse_preserves_node_value(node in node_strategy()) {
+        let tree = build(&node);
+        let xml = to_xml_string(&tree);
+        let reparsed = parse(&xml).unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
+        prop_assert!(
+            node_value_eq_cross(&tree, tree.root(), &reparsed, reparsed.root()),
+            "roundtrip changed the tree:\n{}", xml
+        );
+    }
+
+    #[test]
+    fn node_keys_are_preorder(node in node_strategy()) {
+        let tree = build(&node);
+        let order: Vec<u32> = tree.descendants(tree.root()).map(|n| n.0).collect();
+        // Pre-order of an arena built in document order is ascending only
+        // if no @text reordering happened (builder never reorders).
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(order, sorted);
+        for n in tree.all_nodes() {
+            if let Some(p) = tree.parent(n) {
+                prop_assert!(p < n, "parents precede children");
+            }
+        }
+    }
+
+    #[test]
+    fn eq_classes_agree_with_canonical_forms(node in node_strategy()) {
+        let tree = build(&node);
+        let eq = EqClasses::compute(&tree);
+        let nodes: Vec<_> = tree.all_nodes().collect();
+        // Pairwise over a bounded sample.
+        for &a in nodes.iter().take(12) {
+            for &b in nodes.iter().take(12) {
+                let by_class = eq.class_of(a) == eq.class_of(b);
+                let by_form = canonical_form(&tree, a) == canonical_form(&tree, b);
+                prop_assert_eq!(by_class, by_form, "classes diverge for {:?} {:?}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Executable reproduction of the paper's Section 2.3: the three XML FD
+//! notions compared on the Figure 1 document, constraint by constraint.
+//!
+//! | Constraint | path-based [24] | tree-tuple [3] | GTT (this paper) |
+//! |---|---|---|---|
+//! | 1 (ISBN → title)            | holds    | holds    | holds |
+//! | 2 (chain name, ISBN → price)| holds    | holds    | holds |
+//! | 3 (ISBN → author *set*)     | VIOLATED | VIOLATED | holds |
+//! | 4 (author set, title → ISBN)| —        | VIOLATED | holds |
+
+use discoverxfd::pathfd::path_fd_holds;
+use discoverxfd::verify::{verify_fd, FdSpec};
+use discoverxfd_suite::prelude::*;
+use xfd_datagen::warehouse_figure1;
+use xfd_relation::flatten;
+
+fn p(s: &str) -> Path {
+    s.parse().unwrap()
+}
+
+/// Tree-tuple semantics [3]: an FD over the fully unnested relation of
+/// tree tuples, with strong null satisfaction — exactly our flat
+/// representation.
+fn tree_tuple_fd_holds(tree: &xfd_xml::DataTree, lhs: &[&str], rhs: &str) -> bool {
+    let schema = infer_schema(tree);
+    let flat = flatten(tree, &schema, 1_000_000).unwrap();
+    let lhs_cols: Vec<usize> = lhs
+        .iter()
+        .map(|p| flat.column_by_path(p).expect("lhs column"))
+        .collect();
+    let rhs_col = flat.column_by_path(rhs).expect("rhs column");
+    for r1 in 0..flat.n_rows() {
+        for r2 in r1 + 1..flat.n_rows() {
+            let agree = lhs_cols.iter().all(|&c| {
+                let a = flat.column_cells(c)[r1];
+                a.is_some() && a == flat.column_cells(c)[r2]
+            });
+            if agree {
+                let a = flat.column_cells(rhs_col)[r1];
+                let b = flat.column_cells(rhs_col)[r2];
+                if a.is_none() || a != b {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// GTT semantics (this paper): checked through the verifier.
+fn gtt_holds(tree: &xfd_xml::DataTree, spec: &str) -> bool {
+    let schema = infer_schema(tree);
+    let forest = encode(tree, &schema, &EncodeConfig::default());
+    let spec: FdSpec = spec.parse().unwrap();
+    verify_fd(&forest, &spec, 1).unwrap().holds
+}
+
+#[test]
+fn constraint_1_all_three_notions_agree() {
+    let t = warehouse_figure1();
+    assert!(
+        path_fd_holds(
+            &t,
+            &[p("/warehouse/state/store/book/ISBN")],
+            &p("/warehouse/state/store/book/title")
+        )
+        .holds
+    );
+    assert!(tree_tuple_fd_holds(
+        &t,
+        &["/warehouse/state/store/book/ISBN"],
+        "/warehouse/state/store/book/title"
+    ));
+    assert!(gtt_holds(&t, "{./ISBN} -> ./title w.r.t. C_book"));
+}
+
+#[test]
+fn constraint_2_all_three_notions_agree() {
+    let t = warehouse_figure1();
+    assert!(
+        path_fd_holds(
+            &t,
+            &[
+                p("/warehouse/state/store/contact/name"),
+                p("/warehouse/state/store/book/ISBN")
+            ],
+            &p("/warehouse/state/store/book/price")
+        )
+        .holds
+    );
+    assert!(gtt_holds(
+        &t,
+        "{../contact/name, ./ISBN} -> ./price w.r.t. C_book"
+    ));
+
+    // Tree-tuple nuance the paper glosses over: book 80's *missing* price
+    // expands into two author-tuples that agree on the LHS with ⊥ RHS, so
+    // strict strong satisfaction declares Constraint 2 violated on the
+    // unnested Figure 1 — one more artifact of tuple multiplication.
+    assert!(!tree_tuple_fd_holds(
+        &t,
+        &[
+            "/warehouse/state/store/contact/name",
+            "/warehouse/state/store/book/ISBN"
+        ],
+        "/warehouse/state/store/book/price"
+    ));
+    // On a price-complete variant all three notions agree.
+    let mut complete = warehouse_figure1();
+    let books = "/warehouse/state/store/book"
+        .parse::<Path>()
+        .unwrap()
+        .resolve_all(&complete);
+    for b in books {
+        if complete.child_labeled(b, "price").is_none() {
+            let price = complete.add_child(b, "price");
+            complete.set_value(price, "59.99");
+        }
+    }
+    assert_eq!(
+        "/warehouse/state/store/book/price"
+            .parse::<Path>()
+            .unwrap()
+            .resolve_all(&complete)
+            .len(),
+        4,
+        "the variant must fill book 80's price"
+    );
+    assert!(tree_tuple_fd_holds(
+        &complete,
+        &[
+            "/warehouse/state/store/contact/name",
+            "/warehouse/state/store/book/ISBN"
+        ],
+        "/warehouse/state/store/book/price"
+    ));
+}
+
+/// The crux of Section 2.3: Constraint 3 is *satisfied* in Figure 1
+/// ("two books with the same ISBN value always have the same set of
+/// authors") yet both prior notions declare its closest expressible form
+/// VIOLATED.
+#[test]
+fn constraint_3_separates_the_notions() {
+    let t = warehouse_figure1();
+    // Path-based [24]: "the FD is violated since book 30 has two authors
+    // of different values…"
+    assert!(
+        !path_fd_holds(
+            &t,
+            &[p("/warehouse/state/store/book/ISBN")],
+            &p("/warehouse/state/store/book/author")
+        )
+        .holds
+    );
+    // Tree-tuple [3]: "author 32 and author 33 belong to two different
+    // tree tuples… the FD is again violated."
+    assert!(!tree_tuple_fd_holds(
+        &t,
+        &["/warehouse/state/store/book/ISBN"],
+        "/warehouse/state/store/book/author"
+    ));
+    // GTT: FD 3 holds with the intended set semantics.
+    assert!(gtt_holds(&t, "{./ISBN} -> ./author w.r.t. C_book"));
+}
+
+/// Constraint 4 (author set + title → ISBN): inexpressible under the
+/// prior notions (per-author comparison is simply wrong) and provable
+/// under GTT.
+#[test]
+fn constraint_4_needs_set_semantics() {
+    // Figure 1 satisfies it; a per-author flat reading *also* happens to
+    // hold there, so use the discriminating instance from Section 2.3's
+    // logic: two books sharing one author and the title but with
+    // different author sets (hence different ISBNs — Constraint 4 holds).
+    let t = parse(
+        "<warehouse><state><name>S</name><store>\
+           <contact><name>C</name><address>A</address></contact>\
+           <book><ISBN>1</ISBN><author>R</author><author>G</author><title>T</title></book>\
+           <book><ISBN>2</ISBN><author>R</author><title>T</title></book>\
+         </store></state></warehouse>",
+    )
+    .unwrap();
+    // GTT: holds (the author sets {R,G} and {R} differ).
+    assert!(gtt_holds(&t, "{./author, ./title} -> ./ISBN w.r.t. C_book"));
+    // Flat/tree-tuple: violated (rows (R,T)→1 and (R,T)→2).
+    assert!(!tree_tuple_fd_holds(
+        &t,
+        &[
+            "/warehouse/state/store/book/author",
+            "/warehouse/state/store/book/title"
+        ],
+        "/warehouse/state/store/book/ISBN"
+    ));
+    // Path-based: likewise violated through the shared author R.
+    assert!(
+        !path_fd_holds(
+            &t,
+            &[
+                p("/warehouse/state/store/book/author"),
+                p("/warehouse/state/store/book/title")
+            ],
+            &p("/warehouse/state/store/book/ISBN")
+        )
+        .holds
+    );
+}
+
+/// And the paper's remark that FD 5 ({../ISBN} → ../title w.r.t.
+/// C_author) is structurally redundant w.r.t. FD 1 (Theorem 2): both
+/// sides of the equivalence hold on Figure 1.
+#[test]
+fn theorem_2_equivalence_on_figure_1() {
+    let t = warehouse_figure1();
+    let schema = infer_schema(&t);
+    let forest = encode(&t, &schema, &EncodeConfig::default());
+    let fd1: FdSpec = "{./ISBN} -> ./title w.r.t. C_book".parse().unwrap();
+    let fd5: FdSpec = "{../ISBN} -> ../title w.r.t. C_author".parse().unwrap();
+    let fd1_holds = verify_fd(&forest, &fd1, 1).unwrap().holds;
+    // FD 5's RHS is above the pivot; the verifier rejects it as an RHS by
+    // design (Definition 10), which *is* the paper's point: the FD is
+    // structurally redundant and never reported. Check the equivalence
+    // via path semantics instead.
+    assert!(verify_fd(&forest, &fd5, 1).is_err());
+    let fd5_path = path_fd_holds(
+        &t,
+        &[p("/warehouse/state/store/book/ISBN")],
+        &p("/warehouse/state/store/book/title"),
+    );
+    assert_eq!(fd1_holds, fd5_path.holds);
+}
