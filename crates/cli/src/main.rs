@@ -35,6 +35,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   discoverxfd discover <file.xml> [--max-lhs N] [--no-sets] [--no-inter] [--ordered]
                                   [--approx EPS] [--inds] [--cover] [--keep-uninteresting]
+                                  [--threads N] [--cache-budget BYTES]
                                   [--suggest] [--markdown|--json]
   discoverxfd schema   <file.xml> [--xsd]
   discoverxfd encode   <file.xml>
@@ -112,8 +113,14 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
         max_lhs_size: opt_value::<usize>(args, "--max-lhs")?,
         inter_relation: !flag(args, "--no-inter"),
         keep_uninteresting: flag(args, "--keep-uninteresting"),
+        cache_budget: opt_value::<usize>(args, "--cache-budget")?,
         ..Default::default()
     };
+    if let Some(threads) = opt_value::<usize>(args, "--threads")? {
+        // `--threads 1` forces sequential; `--threads 0` = auto-detect.
+        config.parallel = threads != 1;
+        config.threads = threads;
+    }
     if flag(args, "--no-sets") {
         config.encode.set_columns = SetColumnMode::None;
     }

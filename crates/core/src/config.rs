@@ -50,8 +50,16 @@ pub struct DiscoveryConfig {
     /// (reported separately for inspection).
     pub keep_uninteresting: bool,
     /// Process independent relations (same relation-tree depth) on scoped
-    /// worker threads. Results are identical to the sequential run.
+    /// worker threads, and precompute each relation's per-level partitions
+    /// on workers. Results are identical to the sequential run.
     pub parallel: bool,
+    /// Worker-thread count for the parallel passes: `0` = auto-detect from
+    /// the machine, `n` = exactly `n`. Ignored unless [`Self::parallel`].
+    pub threads: usize,
+    /// Byte budget for resident partitions per relation pass (`None` =
+    /// unbounded). Evicted partitions are refolded from the base
+    /// single-attribute partitions on demand, so results never change.
+    pub cache_budget: Option<usize>,
 }
 
 impl Default for DiscoveryConfig {
@@ -65,6 +73,8 @@ impl Default for DiscoveryConfig {
             max_partition_targets: 100_000,
             keep_uninteresting: false,
             parallel: false,
+            threads: 0,
+            cache_budget: None,
         }
     }
 }
@@ -73,6 +83,15 @@ impl DiscoveryConfig {
     /// Effective LHS-size bound as a number (∞ → `usize::MAX`).
     pub fn lhs_bound(&self) -> usize {
         self.max_lhs_size.unwrap_or(usize::MAX)
+    }
+
+    /// Worker threads the parallel passes may use: `1` when parallelism is
+    /// off, otherwise the configured count (`0` → machine parallelism).
+    pub fn effective_threads(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        crate::intra::resolve_threads(self.threads)
     }
 }
 
@@ -87,6 +106,25 @@ mod tests {
         assert!(c.empty_lhs);
         assert!(c.prune.rule1 && c.prune.rule2 && c.prune.key_prune);
         assert_eq!(c.lhs_bound(), usize::MAX);
+        assert!(!c.parallel);
+        assert_eq!(c.effective_threads(), 1, "sequential unless parallel");
+        assert_eq!(c.cache_budget, None);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        let c = DiscoveryConfig {
+            parallel: true,
+            threads: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.effective_threads(), 3);
+        let auto = DiscoveryConfig {
+            parallel: true,
+            threads: 0,
+            ..Default::default()
+        };
+        assert!(auto.effective_threads() >= 1);
     }
 
     #[test]

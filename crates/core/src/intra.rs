@@ -5,13 +5,30 @@
 //! The function is generic over "a table" (columns of nullable value ids),
 //! so the same engine drives the per-relation passes of `DiscoverXFD` *and*
 //! the flat-representation baseline of Section 4.1.
-
-use std::collections::VecDeque;
+//!
+//! ## Level structure, eviction and parallelism
+//!
+//! The traversal is explicitly level-wise: all nodes of size `k` are
+//! processed before any node of size `k+1` (node order within a level is
+//! generation order, which matches the former FIFO queue exactly). That
+//! structure buys two things:
+//!
+//! * **TANE-style eviction** — processing level `k` touches only
+//!   partitions of sizes `k` and `k−1`, so partitions of size ≤ `k−2`
+//!   (except the never-evicted bases) are dropped at each level boundary,
+//!   bounding resident partition memory.
+//! * **Intra-relation parallelism** — with `threads > 1`, each level's
+//!   partitions are speculatively precomputed on scoped workers against a
+//!   read-only view of the cache, merged in deterministic node order, and
+//!   the decision logic then replays sequentially over the warm cache.
+//!   Discovered FDs/keys are bit-identical to the sequential run (see
+//!   `crate::lattice::precompute_level` for the argument); only the work
+//!   counters may report extra speculative products.
 
 use xfd_partition::{AttrSet, Partition, PartitionCache};
 
 use crate::config::PruneConfig;
-use crate::lattice::{candidate_lhs, ensure, IntraFd};
+use crate::lattice::{candidate_lhs, ensure, precompute_level, IntraFd};
 
 /// Options for a single-table run.
 #[derive(Debug, Clone, Copy)]
@@ -24,6 +41,14 @@ pub struct IntraOptions {
     pub use_rule2: bool,
     /// Consider `∅ → a` edges (constant columns).
     pub empty_lhs: bool,
+    /// Worker threads for the per-level speculative partition precompute:
+    /// `1` = fully sequential, `0` = auto-detect. Discovered FDs/keys are
+    /// bit-identical regardless.
+    pub threads: usize,
+    /// Byte budget for resident partitions (`None` = unbounded). Eviction
+    /// never changes results: evicted partitions are refolded from the
+    /// bases on demand.
+    pub cache_budget: Option<usize>,
 }
 
 impl Default for IntraOptions {
@@ -33,7 +58,19 @@ impl Default for IntraOptions {
             prune: PruneConfig::default(),
             use_rule2: true,
             empty_lhs: true,
+            threads: 1,
+            cache_budget: None,
         }
+    }
+}
+
+/// Resolve a thread-count knob: `0` = auto-detect from the machine.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
     }
 }
 
@@ -50,6 +87,14 @@ pub struct RunStats {
     pub partitions_built: usize,
     /// Highest lattice level processed.
     pub max_level: usize,
+    /// Partition-cache hits (lookup of an already-resident partition).
+    pub cache_hits: usize,
+    /// Partition-cache misses (lookup that forced a build).
+    pub cache_misses: usize,
+    /// Partitions dropped by level eviction or the byte budget.
+    pub evictions: usize,
+    /// High-water mark of resident partition bytes.
+    pub peak_resident_bytes: usize,
 }
 
 impl RunStats {
@@ -60,6 +105,20 @@ impl RunStats {
         self.products += other.products;
         self.partitions_built += other.partitions_built;
         self.max_level = self.max_level.max(other.max_level);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.evictions += other.evictions;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
+    }
+
+    /// Copy the partition-cache counters into this run's stats.
+    pub(crate) fn adopt_cache(&mut self, cs: &xfd_partition::CacheStats) {
+        self.products = cs.products;
+        self.partitions_built = cs.partitions_built;
+        self.cache_hits = cs.hits;
+        self.cache_misses = cs.misses;
+        self.evictions = cs.evictions;
+        self.peak_resident_bytes = cs.peak_resident_bytes;
     }
 }
 
@@ -93,7 +152,7 @@ pub fn discover_intra(
     opts: &IntraOptions,
 ) -> IntraResult {
     let mut result = IntraResult::default();
-    let mut cache = PartitionCache::new();
+    let mut cache = PartitionCache::with_budget(opts.cache_budget);
     cache.insert(AttrSet::empty(), Partition::universal(n_tuples));
     if n_tuples <= 1 {
         // Every attribute set, including ∅, identifies the lone tuple.
@@ -102,62 +161,83 @@ pub fn discover_intra(
     }
     for (i, col) in columns.iter().enumerate() {
         debug_assert_eq!(col.len(), n_tuples);
-        cache.insert(AttrSet::single(i), Partition::from_column(col));
+        cache.insert_column(AttrSet::single(i), col);
     }
+    let threads = resolve_threads(opts.threads);
 
-    let mut queue: VecDeque<AttrSet> = (0..columns.len()).map(AttrSet::single).collect();
-    while let Some(a_set) = queue.pop_front() {
-        if opts.prune.key_prune && result.covered_by_key(a_set) {
-            result.stats.nodes_key_skipped += 1;
-            continue;
+    let mut current: Vec<AttrSet> = (0..columns.len()).map(AttrSet::single).collect();
+    let mut level = 1usize;
+    while !current.is_empty() {
+        // Level k touches only partitions of sizes k and k−1; everything of
+        // size ≤ k−2 (bar the bases) is dead — drop it TANE-style.
+        cache.evict_below(level.saturating_sub(2));
+        if threads > 1 && level >= 2 {
+            precompute_level(
+                &mut cache,
+                &current,
+                &result.fds,
+                &result.keys,
+                &opts.prune,
+                opts.use_rule2,
+                opts.empty_lhs,
+                threads,
+            );
         }
-        let cands = candidate_lhs(
-            a_set,
-            &result.fds,
-            &opts.prune,
-            opts.use_rule2,
-            opts.empty_lhs,
-        );
-        if a_set.len() > 1 && cands.is_empty() {
-            continue;
-        }
-        ensure(&mut cache, a_set, &cands);
-        result.stats.nodes_visited += 1;
-        result.stats.max_level = result.stats.max_level.max(a_set.len());
-
-        if cache.get(a_set).expect("ensured").is_key() {
-            result.keys.push(a_set);
-            continue;
-        }
-        // Candidate partitions are only needed on non-key nodes.
-        for &al in &cands {
-            ensure(&mut cache, al, &[]);
-        }
-        let pa = cache.get(a_set).expect("ensured");
-        for &al in &cands {
-            let pl = cache.get(al).expect("ensured");
-            if pl.same_as_refining(pa) {
-                let rhs = a_set
-                    .minus(al)
-                    .max_attr()
-                    .expect("al = a_set minus one attr");
-                result.fds.push(IntraFd { lhs: al, rhs });
+        let mut next_level: Vec<AttrSet> = Vec::new();
+        for &a_set in &current {
+            if opts.prune.key_prune && result.covered_by_key(a_set) {
+                result.stats.nodes_key_skipped += 1;
+                continue;
             }
-        }
-        if a_set.len() <= opts.max_lhs {
-            let last = a_set.max_attr().expect("non-empty lattice node");
-            for next in last + 1..columns.len() {
-                let bigger = a_set.insert(next);
-                if opts.prune.key_prune && result.covered_by_key(bigger) {
-                    continue;
+            let cands = candidate_lhs(
+                a_set,
+                &result.fds,
+                &opts.prune,
+                opts.use_rule2,
+                opts.empty_lhs,
+            );
+            if a_set.len() > 1 && cands.is_empty() {
+                continue;
+            }
+            ensure(&mut cache, a_set, &cands);
+            result.stats.nodes_visited += 1;
+            result.stats.max_level = result.stats.max_level.max(a_set.len());
+
+            if cache.get(a_set).expect("ensured").is_key() {
+                result.keys.push(a_set);
+                continue;
+            }
+            // Candidate partitions are only needed on non-key nodes. Pin
+            // `Π_{a_set}` outside the cache while they are refolded: under a
+            // byte budget those inserts could otherwise evict it mid-node.
+            let pa = cache.take(a_set).expect("ensured");
+            for &al in &cands {
+                ensure(&mut cache, al, &[]);
+                let pl = cache.get(al).expect("just ensured");
+                if pl.same_as_refining(&pa) {
+                    let rhs = a_set
+                        .minus(al)
+                        .max_attr()
+                        .expect("al = a_set minus one attr");
+                    result.fds.push(IntraFd { lhs: al, rhs });
                 }
-                queue.push_back(bigger);
+            }
+            cache.adopt(a_set, pa);
+            if a_set.len() <= opts.max_lhs {
+                let last = a_set.max_attr().expect("non-empty lattice node");
+                for next in last + 1..columns.len() {
+                    let bigger = a_set.insert(next);
+                    if opts.prune.key_prune && result.covered_by_key(bigger) {
+                        continue;
+                    }
+                    next_level.push(bigger);
+                }
             }
         }
+        current = next_level;
+        level += 1;
     }
-    let cs = cache.stats();
-    result.stats.products = cs.products;
-    result.stats.partitions_built = cs.partitions_built;
+    result.stats.adopt_cache(&cache.stats());
     result
 }
 
@@ -466,6 +546,95 @@ mod tests {
                 .collect();
             check_against_brute(cols);
         }
+    }
+
+    /// The parallel precompute and the memory-bounded cache must not change
+    /// a single emitted FD or key — not even their order.
+    #[test]
+    fn threads_and_budget_leave_results_bit_identical() {
+        let mut seed = 0x51_7C_C1B7_2722_0A95u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for &(n_cols, n_rows, domain) in
+            &[(3usize, 12usize, 2u64), (4, 16, 3), (5, 24, 3), (6, 20, 4)]
+        {
+            let cols: Vec<Vec<Option<u64>>> = (0..n_cols)
+                .map(|_| {
+                    (0..n_rows)
+                        .map(|_| {
+                            let v = next() % (domain + 1);
+                            (v != domain).then_some(v)
+                        })
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[Option<u64>]> = cols.iter().map(|c| c.as_slice()).collect();
+            let seq = discover_intra(&refs, n_rows, &IntraOptions::default());
+            for opts in [
+                IntraOptions {
+                    threads: 4,
+                    ..Default::default()
+                },
+                IntraOptions {
+                    cache_budget: Some(256),
+                    ..Default::default()
+                },
+                IntraOptions {
+                    threads: 3,
+                    cache_budget: Some(1024),
+                    ..Default::default()
+                },
+                IntraOptions {
+                    threads: 0, // auto-detect
+                    ..Default::default()
+                },
+            ] {
+                let got = discover_intra(&refs, n_rows, &opts);
+                assert_eq!(got.fds, seq.fds, "FDs drifted under {opts:?}");
+                assert_eq!(got.keys, seq.keys, "keys drifted under {opts:?}");
+                assert_eq!(
+                    got.stats.nodes_visited, seq.stats.nodes_visited,
+                    "replay visited different nodes under {opts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tight_budget_reports_evictions_and_bounded_peak() {
+        let cols: Vec<Vec<Option<u64>>> = (0..6u32)
+            .map(|c| {
+                (0..64u32)
+                    .map(|r| {
+                        Some(u64::from(
+                            r.wrapping_mul(2654435761).rotate_left(c * 5 + 3) % 4,
+                        ))
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Option<u64>]> = cols.iter().map(|c| c.as_slice()).collect();
+        let free = discover_intra(&refs, 64, &IntraOptions::default());
+        let tight = discover_intra(
+            &refs,
+            64,
+            &IntraOptions {
+                cache_budget: Some(4096),
+                ..Default::default()
+            },
+        );
+        assert_eq!(free.fds, tight.fds);
+        assert_eq!(free.keys, tight.keys);
+        assert!(
+            tight.stats.evictions > 0,
+            "a 4 KiB budget on a 6-wide lattice must evict"
+        );
+        assert!(tight.stats.peak_resident_bytes <= free.stats.peak_resident_bytes);
+        assert!(free.stats.peak_resident_bytes > 0);
     }
 
     #[test]

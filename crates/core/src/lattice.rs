@@ -1,7 +1,10 @@
 //! Shared lattice helpers: candidate-LHS pruning (the paper's
-//! `candidateLHS` / `candidateLHS2`) and partition materialization.
+//! `candidateLHS` / `candidateLHS2`), partition materialization, and the
+//! speculative level-parallel partition precompute used by both lattice
+//! passes (`discover_intra` and `DiscoverXFD`'s per-relation pass).
 
-use xfd_partition::{AttrSet, Partition, PartitionCache};
+use xfd_hash::FxHashMap;
+use xfd_partition::{AttrSet, CacheStats, Partition, PartitionCache, ProductScratch};
 
 use crate::config::PruneConfig;
 
@@ -113,6 +116,167 @@ pub fn ensure(cache: &mut PartitionCache, a_set: AttrSet, candidates: &[AttrSet]
     }
 }
 
+/// A worker-local overlay over the shared (read-only) cache: lookups fall
+/// through to the base, all writes stay local. Workers never mutate the
+/// shared cache, so several of them can run against it at once.
+struct Overlay<'a> {
+    base: &'a PartitionCache,
+    local: FxHashMap<AttrSet, Partition>,
+    /// Insertion order of `local`, so the merge is deterministic.
+    order: Vec<AttrSet>,
+    scratch: ProductScratch,
+    products: usize,
+}
+
+impl<'a> Overlay<'a> {
+    fn new(base: &'a PartitionCache) -> Self {
+        Overlay {
+            base,
+            local: FxHashMap::default(),
+            order: Vec::new(),
+            scratch: ProductScratch::new(),
+            products: 0,
+        }
+    }
+
+    fn get(&self, attrs: AttrSet) -> Option<&Partition> {
+        self.local.get(&attrs).or_else(|| self.base.get(attrs))
+    }
+
+    fn product(&mut self, a: AttrSet, b: AttrSet) {
+        let target = a.union(b);
+        if self.get(target).is_some() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let pa = self.get(a).expect("operand partition must be available");
+        let pb = self.get(b).expect("operand partition must be available");
+        let prod = pa.product_in(pb, &mut scratch);
+        self.scratch = scratch;
+        self.products += 1;
+        self.local.insert(target, prod);
+        self.order.push(target);
+    }
+
+    /// Mirror of [`ensure`] against the overlay.
+    fn ensure(&mut self, a_set: AttrSet, candidates: &[AttrSet]) {
+        if self.get(a_set).is_some() {
+            return;
+        }
+        if candidates.len() >= 2 {
+            let (c1, c2) = (candidates[0], candidates[1]);
+            if self.get(c1).is_some() && self.get(c2).is_some() {
+                debug_assert_eq!(c1.union(c2), a_set);
+                self.product(c1, c2);
+                return;
+            }
+        }
+        if let Some(&c1) = candidates.first() {
+            let rest = a_set.minus(c1);
+            if self.get(c1).is_some() && self.get(rest).is_some() {
+                self.product(c1, rest);
+                return;
+            }
+        }
+        let mut iter = a_set.iter();
+        let first = AttrSet::single(iter.next().expect("ensure on empty set"));
+        let mut acc = first;
+        for a in iter {
+            self.product(acc, AttrSet::single(a));
+            acc = acc.insert(a);
+        }
+    }
+}
+
+/// Speculatively materialize the partitions one lattice level will need, on
+/// `threads` scoped workers, and merge them into `cache` in deterministic
+/// node order.
+///
+/// Correctness argument (why the follow-up sequential replay over `nodes`
+/// is bit-identical to a run without this call): the FD and key lists only
+/// *grow* while a level is processed, and every pruning rule is monotone in
+/// them, so the candidate sets computed here from the level-*start* state
+/// are supersets of the ones the replay will compute — the replay never
+/// needs a partition this pass did not consider. And a [`Partition`] is a
+/// canonical value determined solely by its attribute set (see
+/// `xfd_partition::partition`), so it does not matter which operand pair a
+/// worker used to build it, nor which worker's duplicate wins the merge.
+/// The replay therefore sees identical partition values at every lookup and
+/// makes identical decisions; the only side effects are extra speculative
+/// products (for nodes the replay key-prunes mid-level), which show up in
+/// the work counters but never in the discovered FDs/keys.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn precompute_level(
+    cache: &mut PartitionCache,
+    nodes: &[AttrSet],
+    fds: &[IntraFd],
+    keys: &[AttrSet],
+    prune: &PruneConfig,
+    use_rule2: bool,
+    empty_lhs: bool,
+    threads: usize,
+) {
+    if threads <= 1 || nodes.len() < 2 {
+        return;
+    }
+    let n_workers = threads.min(nodes.len());
+    let chunk_size = nodes.len().div_ceil(n_workers);
+    let shared: &PartitionCache = cache;
+    let worker_results: Vec<(Vec<(AttrSet, Partition)>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = nodes
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut ov = Overlay::new(shared);
+                    for &a_set in chunk {
+                        if prune.key_prune && keys.iter().any(|k| k.is_subset_of(a_set)) {
+                            continue;
+                        }
+                        let cands = candidate_lhs(a_set, fds, prune, use_rule2, empty_lhs);
+                        if a_set.len() > 1 && cands.is_empty() {
+                            continue;
+                        }
+                        ov.ensure(a_set, &cands);
+                        if ov.get(a_set).expect("ensured").is_key() {
+                            continue;
+                        }
+                        for &al in &cands {
+                            ov.ensure(al, &[]);
+                        }
+                    }
+                    let Overlay {
+                        mut local,
+                        order,
+                        products,
+                        ..
+                    } = ov;
+                    let built: Vec<(AttrSet, Partition)> = order
+                        .into_iter()
+                        .map(|s| {
+                            let p = local.remove(&s).expect("ordered entry present");
+                            (s, p)
+                        })
+                        .collect();
+                    (built, products)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("level precompute worker"))
+            .collect()
+    });
+    let mut stats = CacheStats::default();
+    for (built, products) in worker_results {
+        stats.products += products;
+        stats.partitions_built += products;
+        for (attrs, partition) in built {
+            cache.adopt(attrs, partition);
+        }
+    }
+    cache.absorb_stats(&stats);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +362,49 @@ mod tests {
         let fds = [fd(&[1], 2)];
         let cands = candidate_lhs(AttrSet::from_iter([1, 2]), &fds, &prune, true, true);
         assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn precompute_level_warms_the_cache_for_sequential_replay() {
+        use xfd_partition::Partition;
+        let cols: Vec<Vec<Option<u64>>> = vec![
+            vec![Some(1), Some(1), Some(2), Some(2), Some(3)],
+            vec![Some(5), Some(5), Some(6), Some(6), Some(7)],
+            vec![Some(1), Some(2), Some(1), Some(2), Some(1)],
+            vec![Some(4), Some(4), Some(4), Some(9), Some(9)],
+        ];
+        let mut warm = PartitionCache::new();
+        let mut cold = PartitionCache::new();
+        for c in [&mut warm, &mut cold] {
+            c.insert(AttrSet::empty(), Partition::universal(5));
+            for (i, col) in cols.iter().enumerate() {
+                c.insert(AttrSet::single(i), Partition::from_column(col));
+            }
+        }
+        // Level 2: all pairs.
+        let nodes: Vec<AttrSet> = (0..4)
+            .flat_map(|a| (a + 1..4).map(move |b| AttrSet::from_iter([a, b])))
+            .collect();
+        let prune = PruneConfig::default();
+        precompute_level(&mut warm, &nodes, &[], &[], &prune, true, true, 3);
+        // Every node the replay will ensure is already resident, with the
+        // exact value a sequential build produces.
+        for &node in &nodes {
+            let cands = candidate_lhs(node, &[], &prune, true, true);
+            ensure(&mut cold, node, &cands);
+            assert_eq!(
+                warm.get(node).expect("precomputed"),
+                cold.get(node).expect("ensured"),
+                "partition for {node:?} differs"
+            );
+        }
+        // The replay over a warm cache computes zero further products.
+        let before = warm.stats().products;
+        for &node in &nodes {
+            let cands = candidate_lhs(node, &[], &prune, true, true);
+            ensure(&mut warm, node, &cands);
+        }
+        assert_eq!(warm.stats().products, before);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
+use xfd_partition::{Partition, ProductScratch};
 use xfd_relation::{ColumnKind, Forest};
 
 /// Statistics of one column.
@@ -27,6 +28,11 @@ pub struct ColumnProfile {
     pub unique: bool,
     /// Shortest/longest string value (simple columns only).
     pub len_range: Option<(usize, usize)>,
+    /// Heap bytes of the column's stripped base partition `Π_{column}` —
+    /// the resident floor the discovery cache pays per column, and the
+    /// yardstick for picking `--cache-budget`. Unique columns strip to a
+    /// near-empty partition (only the leading offset remains).
+    pub partition_bytes: usize,
 }
 
 impl ColumnProfile {
@@ -52,6 +58,7 @@ impl ColumnProfile {
 /// Profile every column of the forest.
 pub fn profile(forest: &Forest) -> Vec<ColumnProfile> {
     let mut out = Vec::new();
+    let mut scratch = ProductScratch::new();
     for rel in &forest.relations {
         for col in &rel.columns {
             let mut distinct: HashSet<u64> = HashSet::new();
@@ -77,6 +84,7 @@ pub fn profile(forest: &Forest) -> Vec<ColumnProfile> {
                 distinct: distinct.len(),
                 unique: distinct.len() == non_null,
                 len_range,
+                partition_bytes: Partition::from_column_in(&col.cells, &mut scratch).heap_bytes(),
             });
         }
     }
@@ -88,8 +96,8 @@ pub fn render(profiles: &[ColumnProfile]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<16} {:<20} {:>7} {:>9} {:>9} {:>7} {:>7}  len",
-        "relation", "column", "rows", "non-null", "distinct", "null%", "uniq"
+        "{:<16} {:<20} {:>7} {:>9} {:>9} {:>7} {:>7} {:>8}  len",
+        "relation", "column", "rows", "non-null", "distinct", "null%", "uniq", "Πbytes"
     );
     for p in profiles {
         let len = match p.len_range {
@@ -99,7 +107,7 @@ pub fn render(profiles: &[ColumnProfile]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<16} {:<20} {:>7} {:>9} {:>9} {:>6.1}% {:>7}  {}",
+            "{:<16} {:<20} {:>7} {:>9} {:>9} {:>6.1}% {:>7} {:>8}  {}",
             p.relation,
             p.column,
             p.rows,
@@ -107,6 +115,7 @@ pub fn render(profiles: &[ColumnProfile]) -> String {
             p.distinct,
             p.null_rate() * 100.0,
             if p.unique { "yes" } else { "no" },
+            p.partition_bytes,
             len
         );
     }
@@ -141,6 +150,9 @@ mod tests {
         assert!((t.null_rate() - 1.0 / 3.0).abs() < 1e-9);
         assert!(t.unique);
         assert_eq!(t.len_range, Some((1, 3)));
+        // `i` has a duplicated value, so its base partition is non-empty;
+        // the unique `t` strips to (almost) nothing.
+        assert!(i.partition_bytes > t.partition_bytes);
     }
 
     #[test]

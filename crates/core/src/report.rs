@@ -86,6 +86,14 @@ pub fn render_text(report: &DiscoveryReport, opts: &RenderOptions) -> String {
             report.target_stats.created,
             report.timings.total()
         );
+        let _ = writeln!(
+            out,
+            "# Cache: {} hits, {} misses, {} evictions, {} peak partition bytes",
+            report.lattice_stats.cache_hits,
+            report.lattice_stats.cache_misses,
+            report.lattice_stats.evictions,
+            report.lattice_stats.peak_resident_bytes
+        );
     }
     out
 }
@@ -121,10 +129,15 @@ pub fn render_markdown(report: &DiscoveryReport, opts: &RenderOptions) -> String
     if opts.show_stats {
         let _ = writeln!(
             out,
-            "\n---\n*{} lattice nodes · {} partitions · {} targets · {:?}*",
+            "\n---\n*{} lattice nodes · {} partitions · {} targets · \
+             {} cache hits / {} misses / {} evictions · {} peak bytes · {:?}*",
             report.lattice_stats.nodes_visited,
             report.lattice_stats.partitions_built,
             report.target_stats.created,
+            report.lattice_stats.cache_hits,
+            report.lattice_stats.cache_misses,
+            report.lattice_stats.evictions,
+            report.lattice_stats.peak_resident_bytes,
             report.timings.total()
         );
     }
@@ -216,11 +229,15 @@ pub fn render_json(report: &DiscoveryReport) -> String {
     }
     let _ = write!(
         out,
-        "\n  ],\n  \"stats\": {{\"lattice_nodes\": {}, \"partitions\": {}, \"products\": {}, \"targets_created\": {}, \"total_ms\": {:.3}}}\n}}\n",
+        "\n  ],\n  \"stats\": {{\"lattice_nodes\": {}, \"partitions\": {}, \"products\": {}, \"targets_created\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \"peak_resident_bytes\": {}, \"total_ms\": {:.3}}}\n}}\n",
         report.lattice_stats.nodes_visited,
         report.lattice_stats.partitions_built,
         report.lattice_stats.products,
         report.target_stats.created,
+        report.lattice_stats.cache_hits,
+        report.lattice_stats.cache_misses,
+        report.lattice_stats.evictions,
+        report.lattice_stats.peak_resident_bytes,
         report.timings.total().as_secs_f64() * 1e3
     );
     out
@@ -257,6 +274,7 @@ mod tests {
             "# Redundancies",
             "# Refinement",
             "# Stats",
+            "# Cache",
         ] {
             assert!(text.contains(needle), "missing {needle}:\n{text}");
         }
@@ -284,6 +302,8 @@ mod tests {
             "\"redundancies\"",
             "\"stats\"",
             "\"scope\"",
+            "\"cache_hits\"",
+            "\"peak_resident_bytes\"",
         ] {
             assert!(json.contains(key), "missing {key}:\n{json}");
         }

@@ -3,14 +3,14 @@
 //! FDs/keys by propagating partition targets from child relations to their
 //! ancestors.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use xfd_partition::{AttrSet, GroupMap, Partition, PartitionCache};
 use xfd_relation::{Forest, RelId};
 
 use crate::config::DiscoveryConfig;
 use crate::intra::RunStats;
-use crate::lattice::{candidate_lhs, ensure, IntraFd};
+use crate::lattice::{candidate_lhs, ensure, precompute_level, IntraFd};
 use crate::target::{create_target, update_target, CreateOutcome, PartitionTarget};
 
 /// A discovered inter-relation FD, in raw (relation, attribute) form.
@@ -101,10 +101,22 @@ pub fn discover_forest(forest: &Forest, config: &DiscoveryConfig) -> ForestDisco
     let mut inbox: HashMap<RelId, Vec<PartitionTarget>> = HashMap::new();
 
     // Group relations by depth in the relation tree; process deepest wave
-    // first. Relations within a wave never feed each other.
+    // first. Relations within a wave never feed each other. Depths are
+    // derived by walking each relation's parent chain, so the computation
+    // holds for any relation order (a child may be listed before its
+    // parent).
     let mut depth: HashMap<RelId, usize> = HashMap::new();
     for rel in &forest.relations {
-        let d = rel.parent.map_or(0, |p| depth[&p] + 1);
+        let mut d = 0usize;
+        let mut cursor = rel.parent;
+        while let Some(p) = cursor {
+            if let Some(&known) = depth.get(&p) {
+                d += known + 1;
+                break;
+            }
+            d += 1;
+            cursor = forest.relation(p).parent;
+        }
         depth.insert(rel.id, d);
     }
     let max_depth = depth.values().copied().max().unwrap_or(0);
@@ -113,28 +125,53 @@ pub fn discover_forest(forest: &Forest, config: &DiscoveryConfig) -> ForestDisco
         waves[depth[&rel_id]].push(rel_id);
     }
 
+    let threads = config.effective_threads();
     for wave in waves.into_iter().rev() {
         let jobs: Vec<(RelId, Vec<PartitionTarget>)> = wave
             .into_iter()
             .map(|rel_id| (rel_id, inbox.remove(&rel_id).unwrap_or_default()))
             .collect();
-        let results: Vec<RelationOutput> = if config.parallel && jobs.len() > 1 {
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = jobs
+        // Two parallelism axes sharing one thread pool: a wave with several
+        // relations splits them over at most `threads` workers (each
+        // relation pass then sequential inside); a wave with one relation
+        // runs on the caller's thread and hands all `threads` workers to
+        // the per-level partition precompute. Either way results are
+        // bit-identical to sequential, so splitting adaptively is safe.
+        let results: Vec<RelationOutput> = if threads > 1 && jobs.len() > 1 {
+            let chunk_size = jobs.len().div_ceil(threads);
+            let mut chunks: Vec<Vec<(RelId, Vec<PartitionTarget>)>> = Vec::new();
+            let mut it = jobs.into_iter();
+            loop {
+                let chunk: Vec<_> = it.by_ref().take(chunk_size).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                chunks.push(chunk);
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
                     .into_iter()
-                    .map(|(rel_id, incoming)| {
-                        scope.spawn(move |_| process_relation(forest, rel_id, incoming, config))
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .into_iter()
+                                .map(|(rel_id, incoming)| {
+                                    process_relation(forest, rel_id, incoming, config, 1)
+                                })
+                                .collect::<Vec<_>>()
+                        })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("relation worker"))
+                    .flat_map(|h| h.join().expect("relation worker"))
                     .collect()
             })
-            .expect("scoped threads")
         } else {
             jobs.into_iter()
-                .map(|(rel_id, incoming)| process_relation(forest, rel_id, incoming, config))
+                .map(|(rel_id, incoming)| {
+                    process_relation(forest, rel_id, incoming, config, threads)
+                })
                 .collect()
         };
         for mut result in results {
@@ -240,12 +277,15 @@ fn minimize_inter(out: &mut ForestDiscovery) {
 
 /// Process one relation: intra discovery, partition-target checks, target
 /// creation. Returns the targets bound for the parent relation (pairs in
-/// the parent's tuple space).
+/// the parent's tuple space). `intra_threads > 1` precomputes each lattice
+/// level's partitions on scoped workers (output is unchanged; see
+/// `crate::lattice::precompute_level`).
 fn process_relation(
     forest: &Forest,
     rel_id: RelId,
     mut incoming: Vec<PartitionTarget>,
     config: &DiscoveryConfig,
+    intra_threads: usize,
 ) -> RelationOutput {
     let rel = forest.relation(rel_id);
     let n = rel.n_tuples();
@@ -317,143 +357,174 @@ fn process_relation(
         .map(|pt| excluded_col_for(pt.origin))
         .collect();
 
-    let mut cache = PartitionCache::new();
+    let mut cache = PartitionCache::with_budget(config.cache_budget);
     cache.insert(AttrSet::empty(), Partition::universal(n));
     let columns: Vec<&[Option<u64>]> = rel.columns.iter().map(|c| c.cells.as_slice()).collect();
     for (i, col) in columns.iter().enumerate() {
-        cache.insert(AttrSet::single(i), Partition::from_column(col));
+        cache.insert_column(AttrSet::single(i), col);
     }
 
     let mut stats = RunStats::default();
-    let mut queue: VecDeque<AttrSet> = (0..columns.len()).map(AttrSet::single).collect();
-    while let Some(a_set) = queue.pop_front() {
-        if config.prune.key_prune && out.local.keys.iter().any(|k| k.is_subset_of(a_set)) {
-            stats.nodes_key_skipped += 1;
-            continue;
+    let mut current: Vec<AttrSet> = (0..columns.len()).map(AttrSet::single).collect();
+    let mut level = 1usize;
+    while !current.is_empty() {
+        // Level k touches partitions of sizes k and k−1 only; evict the
+        // rest (bar bases) at each boundary, TANE-style.
+        cache.evict_below(level.saturating_sub(2));
+        if intra_threads > 1 && level >= 2 {
+            precompute_level(
+                &mut cache,
+                &current,
+                &out.local.fds,
+                &out.local.keys,
+                &config.prune,
+                false,
+                config.empty_lhs,
+                intra_threads,
+            );
         }
-        // candidateLHS2: rule 2 off (an intra-non-minimal edge can still
-        // seed a minimal inter-relation FD).
-        let cands = candidate_lhs(
-            a_set,
-            &out.local.fds,
-            &config.prune,
-            false,
-            config.empty_lhs,
-        );
-        if a_set.len() > 1 && cands.is_empty() {
-            continue;
-        }
-        ensure(&mut cache, a_set, &cands);
-        stats.nodes_visited += 1;
-        stats.max_level = stats.max_level.max(a_set.len());
-
-        let pa = cache.get(a_set).expect("ensured");
-        if pa.is_key() {
-            out.local.keys.push(a_set);
-            // Figure 9 lines 18–25 (with the Key/FD branches un-swapped,
-            // see DESIGN.md): a local key satisfies every FD target; the
-            // key target is satisfied exactly when still valid.
-            for (i, pt) in incoming.iter_mut().enumerate() {
-                if excluded[i].is_some_and(|c| a_set.contains(c)) {
-                    continue;
-                }
-                emit_for_satisfying_set(
-                    pt,
-                    rel_id,
-                    a_set,
-                    pt.key_target.is_some(),
-                    &mut out.inter_fds,
-                    &mut out.inter_keys,
-                );
+        let mut next_level: Vec<AttrSet> = Vec::new();
+        for &a_set in &current {
+            if config.prune.key_prune && out.local.keys.iter().any(|k| k.is_subset_of(a_set)) {
+                stats.nodes_key_skipped += 1;
+                continue;
             }
-            continue;
-        }
+            // candidateLHS2: rule 2 off (an intra-non-minimal edge can still
+            // seed a minimal inter-relation FD).
+            let cands = candidate_lhs(
+                a_set,
+                &out.local.fds,
+                &config.prune,
+                false,
+                config.empty_lhs,
+            );
+            if a_set.len() > 1 && cands.is_empty() {
+                continue;
+            }
+            ensure(&mut cache, a_set, &cands);
+            stats.nodes_visited += 1;
+            stats.max_level = stats.max_level.max(a_set.len());
 
-        // Figure 9 lines 26–33: check incoming targets against Π_A.
-        if !incoming.is_empty() {
-            let gm = GroupMap::new(pa);
-            for (i, pt) in incoming.iter_mut().enumerate() {
-                if excluded[i].is_some_and(|c| a_set.contains(c)) {
-                    continue;
-                }
-                if pt.fd_target.satisfied_by(&gm) {
-                    let key_sat = pt
-                        .key_target
-                        .as_ref()
-                        .is_some_and(|kt| kt.satisfied_by(&gm));
+            let pa = cache.get(a_set).expect("ensured");
+            if pa.is_key() {
+                out.local.keys.push(a_set);
+                // Figure 9 lines 18–25 (with the Key/FD branches un-swapped,
+                // see DESIGN.md): a local key satisfies every FD target; the
+                // key target is satisfied exactly when still valid.
+                for (i, pt) in incoming.iter_mut().enumerate() {
+                    if excluded[i].is_some_and(|c| a_set.contains(c)) {
+                        continue;
+                    }
                     emit_for_satisfying_set(
                         pt,
                         rel_id,
                         a_set,
-                        key_sat,
+                        pt.key_target.is_some(),
                         &mut out.inter_fds,
                         &mut out.inter_keys,
                     );
-                } else if has_parent && config.inter_relation && !a_set.is_empty() {
-                    let remaining = pt.fd_target.unsatisfied_under(&gm);
-                    if remaining.len() < pt.fd_target.len() {
-                        // Π_A separated some pairs: propagate the extension.
-                        let rem_key = pt.key_target.as_ref().map(|kt| kt.unsatisfied_under(&gm));
-                        match update_target(pt, rel_id, a_set, remaining, rem_key, &rel.parent_of) {
-                            Some(up) => {
-                                out.targets.propagated += 1;
-                                out.outgoing.push(up);
+                }
+                continue;
+            }
+
+            // Figure 9 lines 26–33: check incoming targets against Π_A.
+            if !incoming.is_empty() {
+                let gm = GroupMap::new(pa);
+                for (i, pt) in incoming.iter_mut().enumerate() {
+                    if excluded[i].is_some_and(|c| a_set.contains(c)) {
+                        continue;
+                    }
+                    if pt.fd_target.satisfied_by(&gm) {
+                        let key_sat = pt
+                            .key_target
+                            .as_ref()
+                            .is_some_and(|kt| kt.satisfied_by(&gm));
+                        emit_for_satisfying_set(
+                            pt,
+                            rel_id,
+                            a_set,
+                            key_sat,
+                            &mut out.inter_fds,
+                            &mut out.inter_keys,
+                        );
+                    } else if has_parent && config.inter_relation && !a_set.is_empty() {
+                        let remaining = pt.fd_target.unsatisfied_under(&gm);
+                        if remaining.len() < pt.fd_target.len() {
+                            // Π_A separated some pairs: propagate the extension.
+                            let rem_key =
+                                pt.key_target.as_ref().map(|kt| kt.unsatisfied_under(&gm));
+                            match update_target(
+                                pt,
+                                rel_id,
+                                a_set,
+                                remaining,
+                                rem_key,
+                                &rel.parent_of,
+                            ) {
+                                Some(up) => {
+                                    out.targets.propagated += 1;
+                                    out.outgoing.push(up);
+                                }
+                                None => out.targets.dropped_impossible += 1,
                             }
-                            None => out.targets.dropped_impossible += 1,
                         }
                     }
                 }
             }
-        }
 
-        // Figure 9 lines 34–37: edges — satisfied intra FDs or new targets.
-        for &al in &cands {
-            ensure(&mut cache, al, &[]);
-        }
-        let pa = cache.get(a_set).expect("ensured");
-        for &al in &cands {
-            let pl = cache.get(al).expect("ensured");
-            let rhs = a_set
-                .minus(al)
-                .max_attr()
-                .expect("al = a_set minus one attribute");
-            if pl.same_as_refining(pa) {
-                out.local.fds.push(IntraFd { lhs: al, rhs });
-            } else if has_parent && config.inter_relation {
-                match create_target(
-                    rel_id,
-                    rhs,
-                    al,
-                    pl,
-                    pa,
-                    &rel.parent_of,
-                    config.max_partition_targets,
-                ) {
-                    CreateOutcome::Target(pt) => {
-                        out.targets.created += 1;
-                        out.outgoing.push(*pt);
+            // Figure 9 lines 34–37: edges — satisfied intra FDs or new targets.
+            // Pin `Π_{a_set}` outside the cache while the candidates are
+            // refolded: under a byte budget those inserts could otherwise
+            // evict it mid-node.
+            let pa = cache.take(a_set).expect("ensured");
+            for &al in &cands {
+                ensure(&mut cache, al, &[]);
+                let pl = cache.get(al).expect("just ensured");
+                let rhs = a_set
+                    .minus(al)
+                    .max_attr()
+                    .expect("al = a_set minus one attribute");
+                if pl.same_as_refining(&pa) {
+                    out.local.fds.push(IntraFd { lhs: al, rhs });
+                } else if has_parent && config.inter_relation {
+                    match create_target(
+                        rel_id,
+                        rhs,
+                        al,
+                        pl,
+                        &pa,
+                        &rel.parent_of,
+                        config.max_partition_targets,
+                    ) {
+                        CreateOutcome::Target(pt) => {
+                            out.targets.created += 1;
+                            out.outgoing.push(*pt);
+                        }
+                        CreateOutcome::Impossible => out.targets.dropped_impossible += 1,
+                        CreateOutcome::Overflow => out.targets.dropped_overflow += 1,
                     }
-                    CreateOutcome::Impossible => out.targets.dropped_impossible += 1,
-                    CreateOutcome::Overflow => out.targets.dropped_overflow += 1,
                 }
             }
-        }
+            cache.adopt(a_set, pa);
 
-        if a_set.len() <= config.lhs_bound() {
-            let last = a_set.max_attr().expect("non-empty node");
-            for next in last + 1..columns.len() {
-                let bigger = a_set.insert(next);
-                if config.prune.key_prune && out.local.keys.iter().any(|k| k.is_subset_of(bigger)) {
-                    continue;
+            if a_set.len() <= config.lhs_bound() {
+                let last = a_set.max_attr().expect("non-empty node");
+                for next in last + 1..columns.len() {
+                    let bigger = a_set.insert(next);
+                    if config.prune.key_prune
+                        && out.local.keys.iter().any(|k| k.is_subset_of(bigger))
+                    {
+                        continue;
+                    }
+                    next_level.push(bigger);
                 }
-                queue.push_back(bigger);
             }
         }
+        current = next_level;
+        level += 1;
     }
 
-    let cs = cache.stats();
-    stats.products = cs.products;
-    stats.partitions_built = cs.partitions_built;
+    stats.adopt_cache(&cache.stats());
     out.lattice = stats;
     out
 }

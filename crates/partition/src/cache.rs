@@ -1,16 +1,40 @@
-//! Memoized partitions per attribute set, with traversal counters.
+//! Memoized partitions per attribute set: sharded, memory-bounded, with
+//! traversal and residency counters.
 //!
 //! The lattice algorithms construct `Π_A` for many attribute sets `A`; the
 //! cache avoids recomputation when several lattice edges need the same
 //! partition and exposes the counters the pruning-ablation experiment
 //! (reconstructed Figure 7) reports.
+//!
+//! ## Shards
+//!
+//! Entries live in [`N_SHARDS`] independent FxHash maps selected by
+//! [`AttrSet::shard`]. Sharding keeps per-map probe chains short on wide
+//! lattices and gives the intra-relation parallel pass (which reads the
+//! cache from several workers between levels) shard-granular structure to
+//! reason about; all mutation still happens on the owning thread.
+//!
+//! ## Memory bound and eviction
+//!
+//! Every resident partition's CSR heap footprint is accounted. A level-wise
+//! traversal calls [`PartitionCache::evict_below`] after finishing level
+//! `k`, dropping partitions of size ≤ k−2 TANE-style (bases, i.e. size
+//! ≤ 1, always stay). Independently, an optional byte budget evicts
+//! shallowest-first whenever residency exceeds it. Eviction never breaks
+//! correctness: `ensure` in the traversal layer refolds any evicted
+//! partition from the bases.
 
-use std::collections::HashMap;
+use xfd_hash::FxHashMap;
 
 use crate::attrset::AttrSet;
 use crate::partition::Partition;
+use crate::scratch::ProductScratch;
 
-/// Counters describing how much work a lattice traversal did.
+/// Number of cache shards (power of two).
+pub const N_SHARDS: usize = 16;
+
+/// Counters describing how much work a lattice traversal did and how much
+/// memory its partitions held.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lattice nodes whose partition was materialized.
@@ -19,35 +43,152 @@ pub struct CacheStats {
     pub products: usize,
     /// Cache hits (partition already present).
     pub hits: usize,
+    /// Cache misses (lookup of an absent partition that forced a build).
+    pub misses: usize,
+    /// Partitions dropped by level eviction or the byte budget.
+    pub evictions: usize,
+    /// High-water mark of resident partition bytes.
+    pub peak_resident_bytes: usize,
 }
 
-/// A memo table `AttrSet → Partition`.
-#[derive(Debug, Default)]
+impl CacheStats {
+    /// Fold counters from another traversal (peak takes the max).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.partitions_built += other.partitions_built;
+        self.products += other.products;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
+    }
+}
+
+/// A sharded memo table `AttrSet → Partition` with an optional byte budget.
+#[derive(Debug)]
 pub struct PartitionCache {
-    map: HashMap<AttrSet, Partition>,
+    shards: [FxHashMap<AttrSet, Partition>; N_SHARDS],
     stats: CacheStats,
+    resident_bytes: usize,
+    budget_bytes: Option<usize>,
+    scratch: ProductScratch,
+}
+
+impl Default for PartitionCache {
+    fn default() -> Self {
+        PartitionCache {
+            shards: std::array::from_fn(|_| FxHashMap::default()),
+            stats: CacheStats::default(),
+            resident_bytes: 0,
+            budget_bytes: None,
+            scratch: ProductScratch::new(),
+        }
+    }
 }
 
 impl PartitionCache {
-    /// Empty cache.
+    /// Empty cache, unbounded.
     pub fn new() -> Self {
         PartitionCache::default()
+    }
+
+    /// Empty cache evicting down to `budget_bytes` of resident partitions
+    /// (`None` = unbounded). Bases are never evicted, so tiny budgets are
+    /// soft floors, not hard caps.
+    pub fn with_budget(budget_bytes: Option<usize>) -> Self {
+        PartitionCache {
+            budget_bytes,
+            ..PartitionCache::default()
+        }
+    }
+
+    fn shard(&self, attrs: AttrSet) -> usize {
+        attrs.shard(N_SHARDS)
     }
 
     /// Insert a base partition (single attribute or `Π_∅`).
     pub fn insert(&mut self, attrs: AttrSet, partition: Partition) {
         self.stats.partitions_built += 1;
-        self.map.insert(attrs, partition);
+        self.account_insert(attrs, partition);
+    }
+
+    /// Build `Π_{attrs}` from a value column through the reusable scratch
+    /// and cache it.
+    pub fn insert_column(&mut self, attrs: AttrSet, values: &[Option<u64>]) {
+        let p = Partition::from_column_in(values, &mut self.scratch);
+        self.insert(attrs, p);
+    }
+
+    fn account_insert(&mut self, attrs: AttrSet, partition: Partition) {
+        let shard = self.shard(attrs);
+        let bytes = partition.heap_bytes();
+        if let Some(old) = self.shards[shard].insert(attrs, partition) {
+            self.resident_bytes -= old.heap_bytes();
+        }
+        self.resident_bytes += bytes;
+        self.stats.peak_resident_bytes = self.stats.peak_resident_bytes.max(self.resident_bytes);
+        if let Some(budget) = self.budget_bytes {
+            if self.resident_bytes > budget {
+                self.enforce_budget(attrs);
+            }
+        }
+    }
+
+    /// Evict non-base partitions, shallowest level first (deterministic
+    /// tie-break on the bitset), until residency fits the budget. The
+    /// just-inserted `keep` entry is spared so an oversized insert does not
+    /// evict itself.
+    fn enforce_budget(&mut self, keep: AttrSet) {
+        let budget = self.budget_bytes.expect("called only with a budget");
+        let mut victims: Vec<(usize, u128, AttrSet)> = self
+            .shards
+            .iter()
+            .flat_map(|m| m.keys())
+            .filter(|k| k.len() >= 2 && **k != keep)
+            .map(|k| (k.len(), k.bits(), *k))
+            .collect();
+        victims.sort_unstable();
+        for (_, _, key) in victims {
+            if self.resident_bytes <= budget {
+                break;
+            }
+            let shard = self.shard(key);
+            if let Some(old) = self.shards[shard].remove(&key) {
+                self.resident_bytes -= old.heap_bytes();
+                self.stats.evictions += 1;
+            }
+        }
     }
 
     /// Lookup.
     pub fn get(&self, attrs: AttrSet) -> Option<&Partition> {
-        self.map.get(&attrs)
+        self.shards[self.shard(attrs)].get(&attrs)
+    }
+
+    /// Remove and return `Π_{attrs}`. Not an eviction: the caller takes
+    /// ownership (typically to pin the partition across inserts that could
+    /// evict it under a byte budget) and usually [`Self::adopt`]s it back.
+    pub fn take(&mut self, attrs: AttrSet) -> Option<Partition> {
+        let shard = self.shard(attrs);
+        let taken = self.shards[shard].remove(&attrs);
+        if let Some(p) = &taken {
+            self.resident_bytes -= p.heap_bytes();
+        }
+        taken
+    }
+
+    /// Adopt a partition computed elsewhere (a speculative level worker)
+    /// without bumping `partitions_built` — the worker already counted it
+    /// in the stats it hands back. No-op if `attrs` is already resident,
+    /// so merge order only decides which of two *equal* duplicates stays.
+    pub fn adopt(&mut self, attrs: AttrSet, partition: Partition) {
+        if self.get(attrs).is_none() {
+            self.account_insert(attrs, partition);
+        }
     }
 
     /// Is a partition cached for `attrs`?
     pub fn contains(&mut self, attrs: AttrSet) -> bool {
-        let hit = self.map.contains_key(&attrs);
+        let hit = self.shards[self.shard(attrs)].contains_key(&attrs);
         if hit {
             self.stats.hits += 1;
         }
@@ -60,26 +201,43 @@ impl PartitionCache {
     /// Panics if `Π_a` or `Π_b` is not already cached.
     pub fn product(&mut self, a: AttrSet, b: AttrSet) -> &Partition {
         let target = a.union(b);
-        if !self.map.contains_key(&target) {
-            let pa = self.map.get(&a).expect("operand partition must be cached");
-            let pb = self.map.get(&b).expect("operand partition must be cached");
-            let prod = pa.product(pb);
+        let shard = self.shard(target);
+        if !self.shards[shard].contains_key(&target) {
+            self.stats.misses += 1;
+            // Move the scratch out so the operand borrows (into the shard
+            // maps) and the scratch borrow don't alias through `self`.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let pa = self.get(a).expect("operand partition must be cached");
+            let pb = self.get(b).expect("operand partition must be cached");
+            let prod = pa.product_in(pb, &mut scratch);
+            self.scratch = scratch;
             self.stats.products += 1;
             self.stats.partitions_built += 1;
-            self.map.insert(target, prod);
+            self.account_insert(target, prod);
         } else {
             self.stats.hits += 1;
         }
-        self.map.get(&target).expect("just inserted")
+        self.get(target).expect("just inserted")
     }
 
     /// Drop partitions for attribute sets of size `level` or smaller except
     /// the bases (size ≤ 1); level-wise algorithms never revisit them.
     pub fn evict_below(&mut self, level: usize) {
-        self.map.retain(|k, _| {
-            let n = k.len();
-            n <= 1 || n > level
-        });
+        let mut freed = 0usize;
+        let mut evicted = 0usize;
+        for shard in &mut self.shards {
+            shard.retain(|k, v| {
+                let n = k.len();
+                let keep = n <= 1 || n > level;
+                if !keep {
+                    freed += v.heap_bytes();
+                    evicted += 1;
+                }
+                keep
+            });
+        }
+        self.resident_bytes -= freed;
+        self.stats.evictions += evicted;
     }
 
     /// Work counters so far.
@@ -87,14 +245,44 @@ impl PartitionCache {
         self.stats
     }
 
+    /// Bytes of partition payload currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// The configured byte budget, if any.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.budget_bytes
+    }
+
     /// Number of cached partitions.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards.iter().map(FxHashMap::len).sum()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.shards.iter().all(FxHashMap::is_empty)
+    }
+
+    /// Fold another traversal's counters into this cache's stats (used
+    /// when parallel workers run against scoped caches).
+    pub fn absorb_stats(&mut self, other: &CacheStats) {
+        self.stats.absorb(other);
+    }
+
+    /// Move all entries of `other` into `self` (deterministic: entries are
+    /// keyed, not ordered). Used to merge worker results after a parallel
+    /// level pass.
+    pub fn merge(&mut self, other: PartitionCache) {
+        for shard in other.shards {
+            for (attrs, partition) in shard {
+                if self.get(attrs).is_none() {
+                    self.account_insert(attrs, partition);
+                }
+            }
+        }
+        self.stats.absorb(&other.stats);
     }
 }
 
@@ -116,12 +304,14 @@ mod tests {
             Partition::from_column(&[Some(1), Some(2), Some(1), Some(1)]),
         );
         let ab = c.product(a, b).clone();
-        assert_eq!(ab.groups(), &[vec![2, 3]]);
+        assert_eq!(ab.n_groups(), 1);
+        assert_eq!(ab.group(0), &[2, 3]);
         // Second call hits the cache.
         let before = c.stats().products;
         let _ = c.product(a, b);
         assert_eq!(c.stats().products, before);
         assert!(c.stats().hits >= 1);
+        assert_eq!(c.stats().misses, 1);
     }
 
     #[test]
@@ -148,5 +338,70 @@ mod tests {
         assert_eq!(c.len(), 4);
         assert!(c.get(a.union(b)).is_none());
         assert!(c.get(a.union(b).union(d)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn residency_accounting_matches_contents() {
+        let mut c = PartitionCache::new();
+        let col: Vec<Option<u64>> = (0..100).map(|i| Some(i % 7)).collect();
+        c.insert_column(AttrSet::single(0), &col);
+        c.insert_column(AttrSet::single(1), &col);
+        let expected: usize = [AttrSet::single(0), AttrSet::single(1)]
+            .iter()
+            .map(|&s| c.get(s).unwrap().heap_bytes())
+            .sum();
+        assert_eq!(c.resident_bytes(), expected);
+        assert!(c.stats().peak_resident_bytes >= expected);
+        c.evict_below(usize::MAX);
+        // Bases survive a full eviction sweep.
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.resident_bytes(), expected);
+    }
+
+    #[test]
+    fn budget_evicts_lower_levels_first() {
+        // Budget below total forces eviction; bases and the newest entry
+        // must survive.
+        let col_a: Vec<Option<u64>> = (0..200).map(|i| Some(i % 2)).collect();
+        let col_b: Vec<Option<u64>> = (0..200).map(|i| Some(i % 4)).collect();
+        let col_c: Vec<Option<u64>> = (0..200).map(|i| Some(i % 8)).collect();
+        let a = AttrSet::single(0);
+        let b = AttrSet::single(1);
+        let d = AttrSet::single(2);
+        let mut unbounded = PartitionCache::new();
+        unbounded.insert_column(a, &col_a);
+        unbounded.insert_column(b, &col_b);
+        unbounded.insert_column(d, &col_c);
+        let base_bytes = unbounded.resident_bytes();
+
+        let mut c = PartitionCache::with_budget(Some(base_bytes + 900));
+        c.insert_column(a, &col_a);
+        c.insert_column(b, &col_b);
+        c.insert_column(d, &col_c);
+        let _ = c.product(a, b);
+        let _ = c.product(a.union(b), d);
+        // The pair {a,b} (level 2) is the designated victim once the
+        // budget trips; the level-3 result must still be present.
+        assert!(c.get(a.union(b).union(d)).is_some());
+        assert!(c.stats().evictions > 0 || c.resident_bytes() <= base_bytes + 900);
+        for s in [a, b, d] {
+            assert!(c.get(s).is_some(), "bases are never evicted");
+        }
+    }
+
+    #[test]
+    fn merge_prefers_existing_entries_and_folds_stats() {
+        let mut left = PartitionCache::new();
+        let mut right = PartitionCache::new();
+        let a = AttrSet::single(0);
+        let b = AttrSet::single(1);
+        left.insert(a, Partition::universal(4));
+        right.insert(a, Partition::universal(4));
+        right.insert(b, Partition::universal(4));
+        let right_built = right.stats().partitions_built;
+        left.merge(right);
+        assert_eq!(left.len(), 2);
+        assert_eq!(left.stats().partitions_built, 1 + right_built);
     }
 }

@@ -13,15 +13,26 @@
 //! * [`PairSet`] — sets of tuple-pair *inequalities*, the building block of
 //!   the paper's partition targets (`FDTarget` / `KeyTarget`, Figure 10),
 //!   with the parent-index mapping of `updatePT`;
-//! * [`PartitionCache`] — memoized partitions per attribute set, with the
-//!   visit/product counters used by the pruning-ablation experiment.
+//! * [`PartitionCache`] — sharded, memory-bounded memoization of
+//!   partitions per attribute set, with the visit/product/residency
+//!   counters used by the pruning-ablation experiment;
+//! * [`ProductScratch`] — reusable per-worker buffers making partition
+//!   construction and products allocation-free in steady state.
+//!
+//! Partitions are stored in a flat CSR layout (one contiguous member
+//! array plus group offsets) in a canonical order — groups by first
+//! member, members ascending — so equal partitions are representationally
+//! equal and traversals are deterministic; see the [`partition`] module
+//! docs for the layout and ordering rationale.
 
 pub mod attrset;
 pub mod cache;
 pub mod pairs;
 pub mod partition;
+pub mod scratch;
 
 pub use attrset::AttrSet;
 pub use cache::{CacheStats, PartitionCache};
 pub use pairs::{Collapse, PairSet};
-pub use partition::{GroupMap, Partition, Tuple};
+pub use partition::{GroupMap, Groups, Partition, Tuple};
+pub use scratch::ProductScratch;

@@ -10,14 +10,49 @@
 //! * `X → A` holds iff `Π_X ⊑ Π_{X∪{A}}` iff `Π_{X∪{A}} = Π_X`;
 //! * since `Π_{X∪{A}} = Π_X · Π_{A}` always refines `Π_X`, equality can be
 //!   tested in O(1) by comparing the *error measure* `e(Π) = Σ(|g| − 1)`.
+//!
+//! ## Representation
+//!
+//! A partition is stored CSR-style: one contiguous `tuples` array holding
+//! every group member back to back, plus an `offsets` array with group
+//! boundaries (`group g = tuples[offsets[g]..offsets[g+1]]`). Compared to
+//! the textbook `Vec<Vec<Tuple>>` this is one allocation instead of one
+//! per group, keeps a whole partition in two cache-friendly streams, and
+//! lets the product loop write its output with plain `extend` calls.
+//!
+//! ## Canonical group order
+//!
+//! Partitions are kept in a canonical order — groups sorted by their first
+//! (smallest) member, members ascending within a group — so structurally
+//! equal partitions are representationally equal (`==` on the CSR arrays)
+//! and every traversal order downstream is deterministic.
+//!
+//! * [`Partition::from_column`] gets this for free: groups are emitted in
+//!   first-touch order of a forward scan, which is exactly ascending
+//!   first-member order. No sort is needed.
+//! * [`Partition::product`] emits, per left-operand group, sub-groups in
+//!   first-touch order of that group's (ascending) member scan — sorted
+//!   *within* the run, but runs from different left groups interleave:
+//!   with left groups `{0,100,101}`, `{1,2}` and a right operand joining
+//!   `{100,101}` and `{1,2}`, the runs come out `[100,101]` then `[1,2]`.
+//!   The product therefore sorts *group descriptors* (start/len pairs) by
+//!   first member — O(G log G) on descriptors, never on tuples — and skips
+//!   even that when the emission happened to be globally sorted (common:
+//!   products against few-group operands).
+
+use crate::scratch::ProductScratch;
 
 /// Index of a tuple within one relation.
 pub type Tuple = u32;
 
-/// A stripped partition of a relation's tuples.
+/// A stripped partition of a relation's tuples in CSR layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
-    groups: Vec<Vec<Tuple>>,
+    /// Group members, back to back, in canonical order.
+    tuples: Vec<Tuple>,
+    /// Group boundaries: group `g` is `tuples[offsets[g]..offsets[g+1]]`.
+    /// Always non-empty; a partition with no groups stores `[0]`.
+    offsets: Vec<u32>,
     n_tuples: usize,
     error: usize,
 }
@@ -27,26 +62,102 @@ impl Partition {
     /// `Some(v)` share a group; `None` (a missing element, i.e. ⊥) is
     /// distinct from everything including other ⊥s (strong satisfaction,
     /// Section 3.1), so those tuples are singletons and get stripped.
+    ///
+    /// Allocates fresh scratch; hot paths should prefer
+    /// [`Partition::from_column_in`] with a reused [`ProductScratch`].
     pub fn from_column(values: &[Option<u64>]) -> Partition {
-        let mut index: std::collections::HashMap<u64, Vec<Tuple>> =
-            std::collections::HashMap::new();
-        for (t, v) in values.iter().enumerate() {
-            if let Some(v) = v {
-                index.entry(*v).or_default().push(t as Tuple);
+        Partition::from_column_in(values, &mut ProductScratch::new())
+    }
+
+    /// [`Partition::from_column`] against caller-owned scratch. In steady
+    /// state the only allocations are the two result arrays.
+    ///
+    /// A forward scan assigns group slots in first-touch order and counts
+    /// members; a second pass places tuples. First-touch order *is*
+    /// ascending first-member order, so the result is canonical without
+    /// sorting.
+    pub fn from_column_in(values: &[Option<u64>], scratch: &mut ProductScratch) -> Partition {
+        let n = values.len();
+        let slots = &mut scratch.column_slots;
+        let counts = &mut scratch.counts;
+        let slot_of = &mut scratch.slot_of;
+        slots.clear();
+        counts.clear();
+        slot_of.clear();
+        slot_of.reserve(n);
+
+        for v in values {
+            match v {
+                Some(v) => {
+                    let next = counts.len() as u32;
+                    let slot = *slots.entry(*v).or_insert(next);
+                    if slot == next {
+                        counts.push(0);
+                    }
+                    counts[slot as usize] += 1;
+                    slot_of.push(slot);
+                }
+                None => slot_of.push(u32::MAX),
             }
         }
-        let mut groups: Vec<Vec<Tuple>> = index.into_values().filter(|g| g.len() >= 2).collect();
-        // Deterministic order: by first member.
-        groups.sort_by_key(|g| g[0]);
-        Partition::from_groups(groups, values.len())
+
+        // Turn counts into output cursors, dropping singleton slots.
+        let mut n_members = 0usize;
+        let mut n_groups = 0usize;
+        for c in counts.iter() {
+            if *c >= 2 {
+                n_members += *c as usize;
+                n_groups += 1;
+            }
+        }
+        let mut tuples: Vec<Tuple> = vec![0; n_members];
+        let mut offsets: Vec<u32> = Vec::with_capacity(n_groups + 1);
+        offsets.push(0);
+        let mut cursor = 0u32;
+        for c in counts.iter_mut() {
+            let size = *c;
+            if size >= 2 {
+                *c = cursor; // slot's write cursor
+                cursor += size;
+                offsets.push(cursor);
+            } else {
+                *c = u32::MAX; // stripped singleton slot
+            }
+        }
+        for (t, &slot) in slot_of.iter().enumerate() {
+            if slot != u32::MAX {
+                let cur = counts[slot as usize];
+                if cur != u32::MAX {
+                    tuples[cur as usize] = t as Tuple;
+                    counts[slot as usize] = cur + 1;
+                }
+            }
+        }
+        let error = n_members - n_groups;
+        Partition {
+            tuples,
+            offsets,
+            n_tuples: n,
+            error,
+        }
     }
 
     /// Build from explicit groups (singletons are stripped automatically).
+    /// Group order is preserved; pass groups in canonical order if the
+    /// partition will be compared with `==`.
     pub fn from_groups(groups: Vec<Vec<Tuple>>, n_tuples: usize) -> Partition {
-        let groups: Vec<Vec<Tuple>> = groups.into_iter().filter(|g| g.len() >= 2).collect();
-        let error = groups.iter().map(|g| g.len() - 1).sum();
+        let mut tuples = Vec::new();
+        let mut offsets = vec![0u32];
+        for g in groups {
+            if g.len() >= 2 {
+                tuples.extend_from_slice(&g);
+                offsets.push(tuples.len() as u32);
+            }
+        }
+        let error = tuples.len() - (offsets.len() - 1);
         Partition {
-            groups,
+            tuples,
+            offsets,
             n_tuples,
             error,
         }
@@ -55,17 +166,46 @@ impl Partition {
     /// The partition `Π_∅`: all tuples in one group (or empty if the
     /// relation has fewer than two tuples).
     pub fn universal(n_tuples: usize) -> Partition {
-        let groups = if n_tuples >= 2 {
-            vec![(0..n_tuples as Tuple).collect()]
+        if n_tuples >= 2 {
+            Partition {
+                tuples: (0..n_tuples as Tuple).collect(),
+                offsets: vec![0, n_tuples as u32],
+                n_tuples,
+                error: n_tuples - 1,
+            }
         } else {
-            Vec::new()
-        };
-        Partition::from_groups(groups, n_tuples)
+            Partition {
+                tuples: Vec::new(),
+                offsets: vec![0],
+                n_tuples,
+                error: 0,
+            }
+        }
     }
 
-    /// The stripped groups (each of size ≥ 2).
-    pub fn groups(&self) -> &[Vec<Tuple>] {
-        &self.groups
+    /// Number of stripped groups.
+    pub fn n_groups(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The `i`-th stripped group (size ≥ 2).
+    pub fn group(&self, i: usize) -> &[Tuple] {
+        &self.tuples[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterate the stripped groups (each of size ≥ 2) in canonical order.
+    pub fn groups(&self) -> Groups<'_> {
+        Groups {
+            tuples: &self.tuples,
+            offsets: &self.offsets,
+            front: 0,
+            back: self.offsets.len() - 1,
+        }
+    }
+
+    /// All group members, back to back (CSR payload).
+    pub fn members(&self) -> &[Tuple] {
+        &self.tuples
     }
 
     /// Number of tuples in the underlying relation.
@@ -78,54 +218,111 @@ impl Partition {
         self.error
     }
 
+    /// Heap footprint of the CSR arrays, for cache budget accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.tuples.capacity() * std::mem::size_of::<Tuple>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Size of the largest group (0 when stripped empty). The paper's
     /// `maxGrpSize == 1` key test corresponds to `max_group_size() == 0`
     /// on stripped partitions.
     pub fn max_group_size(&self) -> usize {
-        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+        self.groups().map(<[Tuple]>::len).max().unwrap_or(0)
     }
 
     /// Is the attribute set a key (every tuple distinguished)?
     pub fn is_key(&self) -> bool {
-        self.groups.is_empty()
+        self.tuples.is_empty()
     }
 
     /// Linear-time stripped-partition product `Π_self · Π_other`
     /// (the TANE construction behind the paper's lines 9–10).
+    ///
+    /// Allocates fresh scratch; hot paths should prefer
+    /// [`Partition::product_in`] with a reused [`ProductScratch`].
     pub fn product(&self, other: &Partition) -> Partition {
+        self.product_in(other, &mut ProductScratch::new())
+    }
+
+    /// [`Partition::product`] against caller-owned scratch. In steady
+    /// state the only allocations are the two result arrays.
+    pub fn product_in(&self, other: &Partition, scratch: &mut ProductScratch) -> Partition {
         debug_assert_eq!(self.n_tuples, other.n_tuples);
-        // Probe table: tuple → group index in `self`.
-        let mut t_of: Vec<u32> = vec![u32::MAX; self.n_tuples];
-        for (i, g) in self.groups.iter().enumerate() {
+        // Probe table: tuple → group index in `self`. Entries are reset
+        // after the scan (only `self`'s members were written), so the
+        // buffer carries over between products without a full clear.
+        let probe = &mut scratch.probe;
+        if probe.len() < self.n_tuples {
+            probe.resize(self.n_tuples, u32::MAX);
+        }
+        for (i, g) in self.groups().enumerate() {
             for &t in g {
-                t_of[t as usize] = i as u32;
+                probe[t as usize] = i as u32;
             }
         }
-        let mut buckets: Vec<Vec<Tuple>> = vec![Vec::new(); self.groups.len()];
-        let mut out: Vec<Vec<Tuple>> = Vec::new();
-        let mut touched: Vec<u32> = Vec::new();
-        for g in &other.groups {
+        if scratch.buckets.len() < self.n_groups() {
+            scratch.buckets.resize_with(self.n_groups(), Vec::new);
+        }
+        let out_tuples = &mut scratch.out_tuples;
+        let out_groups = &mut scratch.out_groups;
+        out_tuples.clear();
+        out_groups.clear();
+        let mut sorted = true;
+        let mut prev_first = 0 as Tuple;
+        for g in other.groups() {
             for &t in g {
-                let i = t_of[t as usize];
+                let i = probe[t as usize];
                 if i != u32::MAX {
-                    if buckets[i as usize].is_empty() {
-                        touched.push(i);
+                    let bucket = &mut scratch.buckets[i as usize];
+                    if bucket.is_empty() {
+                        scratch.touched.push(i);
                     }
-                    buckets[i as usize].push(t);
+                    bucket.push(t);
                 }
             }
-            for &i in &touched {
-                let b = &mut buckets[i as usize];
-                if b.len() >= 2 {
-                    out.push(std::mem::take(b));
-                } else {
-                    b.clear();
+            // Touch order is first-member-ascending *within* this group's
+            // scan (members ascend), so each run lands sorted; see the
+            // module docs for why runs can interleave across groups.
+            for &i in &scratch.touched {
+                let bucket = &mut scratch.buckets[i as usize];
+                if bucket.len() >= 2 {
+                    let first = bucket[0];
+                    if out_groups.is_empty() || first > prev_first {
+                        prev_first = first;
+                    } else {
+                        sorted = false;
+                    }
+                    let start = out_tuples.len() as u32;
+                    out_tuples.extend_from_slice(bucket);
+                    out_groups.push((start, bucket.len() as u32));
                 }
+                bucket.clear();
             }
-            touched.clear();
+            scratch.touched.clear();
         }
-        out.sort_by_key(|g| g[0]);
-        Partition::from_groups(out, self.n_tuples)
+        // Reset only the probe entries this product wrote.
+        for &t in &self.tuples {
+            probe[t as usize] = u32::MAX;
+        }
+        if !sorted {
+            out_groups.sort_unstable_by_key(|&(start, _)| out_tuples[start as usize]);
+        }
+        // Materialize: exactly two allocations.
+        let mut tuples: Vec<Tuple> = Vec::with_capacity(out_tuples.len());
+        let mut offsets: Vec<u32> = Vec::with_capacity(out_groups.len() + 1);
+        offsets.push(0);
+        for &(start, len) in out_groups.iter() {
+            tuples.extend_from_slice(&out_tuples[start as usize..(start + len) as usize]);
+            offsets.push(tuples.len() as u32);
+        }
+        let error = tuples.len() - (offsets.len() - 1);
+        Partition {
+            tuples,
+            offsets,
+            n_tuples: self.n_tuples,
+            error,
+        }
     }
 
     /// Does `self` refine `other` (`Π_self ⊑ Π_other`)? Every group of
@@ -135,7 +332,7 @@ impl Partition {
     pub fn refines(&self, other: &Partition) -> bool {
         debug_assert_eq!(self.n_tuples, other.n_tuples);
         let gm = GroupMap::new(other);
-        self.groups.iter().all(|g| {
+        self.groups().all(|g| {
             let first = gm.group_of(g[0]);
             // A stripped singleton in `other` cannot contain a group of ≥2.
             first.is_some() && g.iter().all(|&t| gm.group_of(t) == first)
@@ -150,6 +347,46 @@ impl Partition {
     }
 }
 
+/// Iterator over a partition's groups as slices.
+#[derive(Debug, Clone)]
+pub struct Groups<'a> {
+    tuples: &'a [Tuple],
+    offsets: &'a [u32],
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Iterator for Groups<'a> {
+    type Item = &'a [Tuple];
+
+    fn next(&mut self) -> Option<&'a [Tuple]> {
+        if self.front == self.back {
+            return None;
+        }
+        let g =
+            &self.tuples[self.offsets[self.front] as usize..self.offsets[self.front + 1] as usize];
+        self.front += 1;
+        Some(g)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Groups<'_> {}
+
+impl<'a> DoubleEndedIterator for Groups<'a> {
+    fn next_back(&mut self) -> Option<&'a [Tuple]> {
+        if self.front == self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(&self.tuples[self.offsets[self.back] as usize..self.offsets[self.back + 1] as usize])
+    }
+}
+
 /// Tuple → group lookup for one partition; `None` means the tuple is a
 /// stripped singleton.
 pub struct GroupMap {
@@ -160,7 +397,7 @@ impl GroupMap {
     /// Build the lookup (O(n) in the relation size).
     pub fn new(p: &Partition) -> GroupMap {
         let mut map = vec![u32::MAX; p.n_tuples()];
-        for (i, g) in p.groups().iter().enumerate() {
+        for (i, g) in p.groups().enumerate() {
             for &t in g {
                 map[t as usize] = i as u32;
             }
@@ -195,13 +432,17 @@ mod tests {
         Partition::from_column(vals)
     }
 
+    fn group_vecs(p: &Partition) -> Vec<Vec<Tuple>> {
+        p.groups().map(<[Tuple]>::to_vec).collect()
+    }
+
     #[test]
     fn from_column_groups_equal_values_and_strips_singletons() {
         // Values: a a b c c c, null
         let p = col(&[Some(1), Some(1), Some(2), Some(3), Some(3), Some(3), None]);
-        assert_eq!(p.groups().len(), 2);
-        assert_eq!(p.groups()[0], vec![0, 1]);
-        assert_eq!(p.groups()[1], vec![3, 4, 5]);
+        assert_eq!(p.n_groups(), 2);
+        assert_eq!(p.group(0), &[0, 1]);
+        assert_eq!(p.group(1), &[3, 4, 5]);
         assert_eq!(p.error(), 1 + 2);
         assert_eq!(p.max_group_size(), 3);
         assert!(!p.is_key());
@@ -227,7 +468,7 @@ mod tests {
         let x = Partition::from_groups(vec![vec![0, 1, 2, 3]], 4);
         let y = Partition::from_groups(vec![vec![0, 1], vec![2, 3]], 4);
         let xy = x.product(&y);
-        assert_eq!(xy.groups(), &[vec![0, 1], vec![2, 3]]);
+        assert_eq!(group_vecs(&xy), vec![vec![0, 1], vec![2, 3]]);
         // Product is commutative on the group structure.
         let yx = y.product(&x);
         assert_eq!(xy, yx);
@@ -238,7 +479,7 @@ mod tests {
         let x = Partition::from_groups(vec![vec![0, 1, 2]], 3);
         let y = Partition::from_groups(vec![vec![0, 1]], 3); // 2 is singleton
         let xy = x.product(&y);
-        assert_eq!(xy.groups(), &[vec![0, 1]]);
+        assert_eq!(group_vecs(&xy), vec![vec![0, 1]]);
         assert_eq!(xy.error(), 1);
     }
 
@@ -259,6 +500,52 @@ mod tests {
             })
             .collect();
         assert_eq!(prod, col(&paired));
+    }
+
+    #[test]
+    fn product_restores_canonical_order_across_runs() {
+        // Left groups {0,100,101} and {1,2}; the right operand keeps
+        // {100,101} and {1,2} together. The raw emission order is
+        // [100,101] then [1,2] (runs per left group); the canonical
+        // result must list [1,2] first.
+        let left = Partition::from_groups(vec![vec![0, 100, 101], vec![1, 2]], 102);
+        let mut right_groups = vec![vec![100, 101], vec![1, 2]];
+        right_groups.sort_by_key(|g| g[0]);
+        let right = Partition::from_groups(right_groups, 102);
+        let prod = left.product(&right);
+        assert_eq!(group_vecs(&prod), vec![vec![1, 2], vec![100, 101]]);
+        // And the canonical forms compare equal regardless of operand
+        // order.
+        assert_eq!(prod, right.product(&left));
+    }
+
+    #[test]
+    fn from_column_is_first_member_sorted_without_sorting() {
+        // Values deliberately interleaved: group of value 7 starts at
+        // tuple 0, group of value 3 at tuple 1.
+        let p = col(&[Some(7), Some(3), Some(7), Some(3), Some(7)]);
+        assert_eq!(group_vecs(&p), vec![vec![0, 2, 4], vec![1, 3]]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent() {
+        let mut scratch = ProductScratch::new();
+        let cols: Vec<Vec<Option<u64>>> = vec![
+            vec![Some(1), Some(1), Some(2), Some(2), None],
+            vec![Some(5), Some(6), Some(5), Some(5), Some(5)],
+            vec![Some(9), Some(9), Some(9), Some(8), Some(8)],
+        ];
+        let fresh: Vec<Partition> = cols.iter().map(|c| Partition::from_column(c)).collect();
+        let reused: Vec<Partition> = cols
+            .iter()
+            .map(|c| Partition::from_column_in(c, &mut scratch))
+            .collect();
+        assert_eq!(fresh, reused);
+        for a in &fresh {
+            for b in &fresh {
+                assert_eq!(a.product(b), a.product_in(b, &mut scratch));
+            }
+        }
     }
 
     #[test]
@@ -303,5 +590,22 @@ mod tests {
         let gm = GroupMap::new(&p);
         assert!(!gm.separates(0, 1));
         assert!(!gm.separates(1, 2));
+    }
+
+    #[test]
+    fn groups_iterator_is_exact_size_and_double_ended() {
+        let p = col(&[Some(1), Some(1), Some(2), Some(2), Some(3), Some(3)]);
+        assert_eq!(p.groups().len(), 3);
+        let forward: Vec<_> = p.groups().collect();
+        let mut backward: Vec<_> = p.groups().rev().collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn heap_bytes_tracks_payload() {
+        let p = col(&[Some(1), Some(1), Some(2), Some(2)]);
+        // 4 members + 3 offsets, 4 bytes each; capacity may round up.
+        assert!(p.heap_bytes() >= (4 + 3) * 4);
     }
 }

@@ -1,0 +1,92 @@
+//! Reusable workspace for partition construction and products.
+//!
+//! [`Partition::product_in`](crate::Partition::product_in) and
+//! [`Partition::from_column_in`](crate::Partition::from_column_in) do all
+//! their temporary work inside a [`ProductScratch`]: the probe table
+//! (tuple → left-group), the per-group member buckets, the touched-group
+//! list and the staging buffers for the result. The buffers keep their
+//! capacity between calls, so a lattice traversal that computes thousands
+//! of products allocates only the two CSR arrays of each *result* —
+//! everything else is reused. One scratch per worker thread; scratches are
+//! never shared.
+
+use xfd_hash::FxHashMap;
+
+use crate::partition::Tuple;
+
+/// Reusable buffers for partition products and column builds.
+///
+/// Contents between calls are unspecified except for one invariant the
+/// product relies on: every `probe` entry is `u32::MAX` on entry and is
+/// restored to `u32::MAX` before returning (only the left operand's
+/// members are ever written, and exactly those are reset).
+#[derive(Debug, Default)]
+pub struct ProductScratch {
+    /// tuple → group index in the product's left operand; `u32::MAX`
+    /// outside a product call.
+    pub(crate) probe: Vec<u32>,
+    /// Per-left-group accumulation buckets (capacity retained).
+    pub(crate) buckets: Vec<Vec<Tuple>>,
+    /// Left groups with a non-empty bucket for the current right group.
+    pub(crate) touched: Vec<u32>,
+    /// Staging area for result members before canonical reordering.
+    pub(crate) out_tuples: Vec<Tuple>,
+    /// Staged `(start, len)` group descriptors over `out_tuples`.
+    pub(crate) out_groups: Vec<(u32, u32)>,
+    /// value → group slot for `from_column_in`.
+    pub(crate) column_slots: FxHashMap<u64, u32>,
+    /// Per-slot member counts, then per-slot write cursors.
+    pub(crate) counts: Vec<u32>,
+    /// Per-tuple slot assignment (`u32::MAX` for ⊥).
+    pub(crate) slot_of: Vec<u32>,
+}
+
+impl ProductScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        ProductScratch::default()
+    }
+
+    /// Resident heap footprint of the scratch buffers.
+    pub fn heap_bytes(&self) -> usize {
+        let words = self.probe.capacity()
+            + self.touched.capacity()
+            + self.out_tuples.capacity()
+            + self.counts.capacity()
+            + self.slot_of.capacity()
+            + self.buckets.iter().map(Vec::capacity).sum::<usize>();
+        words * std::mem::size_of::<u32>()
+            + self.out_groups.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.column_slots.capacity() * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+
+    #[test]
+    fn probe_invariant_holds_after_products() {
+        let mut scratch = ProductScratch::new();
+        let a = Partition::from_column(&[Some(1), Some(1), Some(2), Some(2), Some(3), Some(3)]);
+        let b = Partition::from_column(&[Some(1), Some(2), Some(1), Some(2), Some(1), Some(2)]);
+        let _ = a.product_in(&b, &mut scratch);
+        assert!(scratch.probe.iter().all(|&x| x == u32::MAX));
+        let _ = b.product_in(&a, &mut scratch);
+        assert!(scratch.probe.iter().all(|&x| x == u32::MAX));
+    }
+
+    #[test]
+    fn capacity_is_retained_between_calls() {
+        let mut scratch = ProductScratch::new();
+        let vals: Vec<Option<u64>> = (0..1000).map(|i| Some(i % 10)).collect();
+        let p = Partition::from_column_in(&vals, &mut scratch);
+        let _ = p.product_in(&p, &mut scratch);
+        let probe_cap = scratch.probe.capacity();
+        let out_cap = scratch.out_tuples.capacity();
+        let _ = p.product_in(&p, &mut scratch);
+        assert_eq!(scratch.probe.capacity(), probe_cap);
+        assert_eq!(scratch.out_tuples.capacity(), out_cap);
+    }
+}

@@ -1,7 +1,7 @@
 //! Algebraic laws of stripped partitions, checked on random columns.
 
 use proptest::prelude::*;
-use xfd_partition::{GroupMap, PairSet, Partition};
+use xfd_partition::{GroupMap, PairSet, Partition, ProductScratch};
 
 fn column() -> impl Strategy<Value = Vec<Option<u64>>> {
     proptest::collection::vec(
@@ -72,7 +72,7 @@ proptest! {
     #[test]
     fn error_counts_strippable_tuples(a in column()) {
         let pa = Partition::from_column(&a);
-        let expected: usize = pa.groups().iter().map(|g| g.len() - 1).sum();
+        let expected: usize = pa.groups().map(|g| g.len() - 1).sum();
         prop_assert_eq!(pa.error(), expected);
     }
 
@@ -80,11 +80,75 @@ proptest! {
     fn group_map_agrees_with_group_membership(a in column()) {
         let pa = Partition::from_column(&a);
         let gm = GroupMap::new(&pa);
-        for (gi, g) in pa.groups().iter().enumerate() {
+        for (gi, g) in pa.groups().enumerate() {
             for &t in g {
                 prop_assert_eq!(gm.group_of(t), Some(gi as u32));
             }
         }
+    }
+
+    /// Canonical-order regression: every constructor output lists groups
+    /// by ascending first member with ascending members inside.
+    #[test]
+    fn canonical_group_order_is_pinned(a in column(), b in column()) {
+        let n = a.len().min(b.len());
+        let pa = Partition::from_column(&a[..n]);
+        let pb = Partition::from_column(&b[..n]);
+        for p in [&pa, &pb, &pa.product(&pb)] {
+            let mut prev_first: Option<u32> = None;
+            for g in p.groups() {
+                prop_assert!(g.windows(2).all(|w| w[0] < w[1]),
+                    "members not ascending: {:?}", g);
+                if let Some(pf) = prev_first {
+                    prop_assert!(pf < g[0], "groups not sorted by first member");
+                }
+                prev_first = Some(g[0]);
+            }
+        }
+    }
+
+    /// Scratch reuse never changes results: a long chain of mixed
+    /// column-builds and products through one scratch matches fresh
+    /// allocations.
+    #[test]
+    fn scratch_reuse_matches_fresh(cols in proptest::collection::vec(column(), 2..5)) {
+        let n = cols.iter().map(Vec::len).min().unwrap_or(0);
+        let mut scratch = ProductScratch::new();
+        let fresh: Vec<Partition> =
+            cols.iter().map(|c| Partition::from_column(&c[..n])).collect();
+        let reused: Vec<Partition> = cols
+            .iter()
+            .map(|c| Partition::from_column_in(&c[..n], &mut scratch))
+            .collect();
+        prop_assert_eq!(&fresh, &reused);
+        for x in &fresh {
+            for y in &fresh {
+                prop_assert_eq!(x.product(y), x.product_in(y, &mut scratch));
+            }
+        }
+    }
+
+    /// CSR product over a chain of attributes equals the partition built
+    /// directly from the combined column values (Π over the union of the
+    /// attribute sets).
+    #[test]
+    fn chained_product_matches_union_column(cols in proptest::collection::vec(column(), 2..5)) {
+        let n = cols.iter().map(Vec::len).min().unwrap_or(0);
+        let mut scratch = ProductScratch::new();
+        let mut acc = Partition::universal(n);
+        for c in &cols {
+            let p = Partition::from_column_in(&c[..n], &mut scratch);
+            acc = acc.product_in(&p, &mut scratch);
+        }
+        // Combined key per tuple: None if any attribute is ⊥.
+        let combined: Vec<Option<u64>> = (0..n)
+            .map(|t| {
+                cols.iter().try_fold(0u64, |h, c| {
+                    c[t].map(|v| h.wrapping_mul(1_000_003).wrapping_add(v + 1))
+                })
+            })
+            .collect();
+        prop_assert_eq!(acc, Partition::from_column(&combined));
     }
 
     #[test]
@@ -100,7 +164,7 @@ proptest! {
         }
         let unsat = all.unsatisfied_under(&gm);
         // Unsatisfied pairs are exactly the within-group pairs.
-        let within: usize = pa.groups().iter().map(|g| g.len() * (g.len() - 1) / 2).sum();
+        let within: usize = pa.groups().map(|g| g.len() * (g.len() - 1) / 2).sum();
         prop_assert_eq!(unsat.len(), within);
         prop_assert_eq!(all.satisfied_by(&gm), within == 0);
     }

@@ -5,7 +5,7 @@
 //! multiset) once. Identifiers are dense and deterministic (insertion
 //! order), which keeps runs reproducible.
 
-use std::collections::HashMap;
+use xfd_hash::FxHashMap;
 
 /// Interns strings and multisets of `u64` identifiers into dense `u64` ids.
 ///
@@ -13,9 +13,12 @@ use std::collections::HashMap;
 /// ever holds ids from one namespace, so they never mix.
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
-    strings: HashMap<Box<str>, u64>,
+    // Every cell of every tuple passes through these maps during
+    // encoding; the deterministic multiply-rotate hasher keeps that
+    // cheap and reproducible.
+    strings: FxHashMap<Box<str>, u64>,
     string_list: Vec<Box<str>>,
-    multisets: HashMap<Box<[u64]>, u64>,
+    multisets: FxHashMap<Box<[u64]>, u64>,
     multiset_list: Vec<Box<[u64]>>,
 }
 

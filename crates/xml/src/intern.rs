@@ -4,7 +4,7 @@
 //! the label `book`), so the tree stores a `Symbol` (u32) per node and the
 //! interner owns each distinct string exactly once.
 
-use std::collections::HashMap;
+use xfd_hash::FxHashMap;
 
 /// An interned label. Cheap to copy, hash and compare; resolves to a `&str`
 /// through the [`Interner`] that produced it.
@@ -21,7 +21,9 @@ impl Symbol {
 /// Owns distinct label strings and hands out [`Symbol`]s for them.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    map: HashMap<Box<str>, Symbol>,
+    // Label lookups dominate tree construction; the deterministic
+    // multiply-rotate hasher halves their cost vs. SipHash.
+    map: FxHashMap<Box<str>, Symbol>,
     strings: Vec<Box<str>>,
 }
 

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Quick partition-machinery benchmark: sweeps the warehouse, XMark-like
+# SF=1 and wide synthetic datasets through the sequential / parallel /
+# byte-budgeted discovery configurations and writes wall-time, cache
+# counters and the product-hot-path allocation comparison to
+# BENCH_partitions.json (pass a different path as $1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p xfd-bench --bin bench_partitions
+./target/release/bench_partitions "${1:-BENCH_partitions.json}"

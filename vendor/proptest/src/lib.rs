@@ -1,0 +1,825 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of proptest's API its property tests use: the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!` and `prop_assume!`
+//! macros, the [`Strategy`] trait with `prop_map`/`prop_recursive`,
+//! `Just`, integer-range strategies, a mini regex string strategy,
+//! `collection::vec`, `option::of` and `bool::ANY`.
+//!
+//! Semantics differ from upstream in two deliberate ways: there is no
+//! shrinking (a failing case reports its seed instead of a minimal input),
+//! and generation is driven by a deterministic SplitMix64 stream seeded
+//! from the test's name, so failures reproduce across runs and platforms.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies during a test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction; the runner derives seeds from the test name.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[lo, hi)`; the range must be nonempty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value from the RNG stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case and `recurse`
+    /// wraps a strategy for subtrees into one for a node. The `depth`
+    /// parameter bounds nesting; the size parameters exist for source
+    /// compatibility with proptest and are not used by the stand-in.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = BoxedStrategy::new(self);
+        let mut current = base.clone();
+        // Each layer chooses leaf vs. one-more-level; the innermost layer
+        // is always leaves, so total nesting is bounded by `depth`.
+        for _ in 0..depth {
+            let deeper = BoxedStrategy::new(recurse(current.clone()));
+            current = BoxedStrategy::new(Union {
+                arms: vec![(1, base.clone()), (2, deeper)],
+            });
+        }
+        current
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(self)
+    }
+}
+
+/// Clonable type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Erase a concrete strategy.
+    pub fn new<S>(strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| strategy.generate(rng)))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy producing a constant (cloned) value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Construct from `(weight, strategy)` arms. Panics if empty or all
+    /// weights are zero.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights summed during construction")
+    }
+}
+
+// Integer ranges: `0u8..6`, `0usize..3`, ... Slightly edge-biased so
+// boundary values show up more often than uniform sampling would give.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                if rng.chance(1, 8) {
+                    // Boundary bias: emit an endpoint.
+                    if rng.chance(1, 2) {
+                        self.start
+                    } else {
+                        self.start + (span - 1) as $t
+                    }
+                } else {
+                    self.start + rng.below(span) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+// Tuples generate left to right.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// Mini regex string strategy: `".{0,200}"`, `"[a-z][a-z0-9]{0,5}"`, ...
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable char, with occasional newlines/markup chars.
+    Any,
+    /// `[...]` — inclusive char ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, u32, u32)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars.next().expect("unterminated char class");
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(']') | None => {
+                                // Trailing '-' is a literal.
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                            }
+                            Some(_) => {
+                                let hi = chars.next().unwrap();
+                                assert!(lo <= hi, "inverted class range");
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty char class");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Lit(chars.next().expect("dangling escape")),
+            other => Atom::Lit(other),
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut lo = 0u32;
+                let mut hi = None::<u32>;
+                let mut cur = 0u32;
+                let mut saw_comma = false;
+                for q in chars.by_ref() {
+                    match q {
+                        '0'..='9' => cur = cur * 10 + (q as u32 - '0' as u32),
+                        ',' => {
+                            lo = cur;
+                            cur = 0;
+                            saw_comma = true;
+                        }
+                        '}' => {
+                            if saw_comma {
+                                hi = Some(cur);
+                            } else {
+                                lo = cur;
+                                hi = Some(cur);
+                            }
+                            break;
+                        }
+                        _ => panic!("bad quantifier in pattern {pattern:?}"),
+                    }
+                }
+                let hi = hi.expect("unterminated quantifier");
+                (lo, hi)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(lo <= hi, "inverted quantifier in pattern {pattern:?}");
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Any => {
+            if rng.chance(1, 16) {
+                // Sprinkle chars that exercise escaping and line handling.
+                const SPICE: &[char] = &['\n', '\t', '<', '>', '&', '\'', '"', '\u{e9}'];
+                SPICE[rng.below(SPICE.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap()
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = *hi as u64 - *lo as u64 + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32)
+                        .expect("class ranges must not span surrogates");
+                }
+                pick -= span;
+            }
+            unreachable!()
+        }
+        Atom::Lit(c) => *c,
+    }
+}
+
+/// String literals are regex-lite strategies producing `String`s.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let count = *lo + rng.below(*hi as u64 - *lo as u64 + 1) as u32;
+            for _ in 0..count {
+                out.push(generate_atom(atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection / option / bool modules
+// ---------------------------------------------------------------------------
+
+/// `proptest::collection`: sized containers of generated elements.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Half-open element-count range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Result of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option`: optional values.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>`: `None` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Result of [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.chance(1, 2) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `proptest::bool`: boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Fair coin.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::bool {
+            rng.chance(1, 2)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+    /// `prop_assume!` filtered the input; the runner retries.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Assertion failure with a rendered message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Input filtered by an assumption.
+    pub fn reject(msg: String) -> Self {
+        TestCaseError::Reject(msg)
+    }
+}
+
+/// Per-test configuration (`cases` is the only knob the stand-in honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive one property: run `f` until `config.cases` cases pass, retrying
+/// rejected cases, panicking on the first failure with a reproducible seed.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut accepted = 0u32;
+    let mut attempt = 0u64;
+    let max_attempts = config.cases as u64 * 64 + 256;
+    while accepted < config.cases {
+        attempt += 1;
+        if attempt > max_attempts {
+            panic!(
+                "proptest '{name}': too many rejected cases \
+                 ({accepted} accepted of {} wanted)",
+                config.cases
+            );
+        }
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::new(seed);
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed (case {accepted}, seed {seed:#018x}): {msg}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that generates inputs and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategies = ($($strategy,)*);
+            $crate::run_proptest(config, stringify!($name), |rng| {
+                let ($($arg,)*) = $crate::Strategy::generate(&strategies, rng);
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+}
+
+/// Weighted (`w => strat`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $(($weight as u32, $crate::BoxedStrategy::new($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $((1u32, $crate::BoxedStrategy::new($strategy))),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (retried, not failed) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..10_000 {
+            let v = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_classes_generate_matching_strings() {
+        let mut rng = crate::TestRng::new(2);
+        for _ in 0..1_000 {
+            let s = Strategy::generate(&"[a-z][a-z0-9]{0,5}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 6, "bad len: {s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn regex_space_tilde_class() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..1_000 {
+            let s = Strategy::generate(&"[ -~]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_and_bool() {
+        let mut rng = crate::TestRng::new(4);
+        let strat = crate::collection::vec((crate::option::of(0u8..4), crate::bool::ANY), 1..10);
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((1..10).contains(&v.len()));
+            for (o, _b) in &v {
+                match o {
+                    Some(x) => {
+                        assert!(*x < 4);
+                        saw_some = true;
+                    }
+                    None => saw_none = true,
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Node {
+            Leaf(u8),
+            Inner(Vec<(u8, Node)>),
+        }
+        fn depth(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 0,
+                Node::Inner(cs) => 1 + cs.iter().map(|(_, c)| depth(c)).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..6)
+            .prop_map(Node::Leaf)
+            .prop_recursive(3, 20, 4, |inner| {
+                crate::collection::vec((0u8..3, inner), 0..4).prop_map(Node::Inner)
+            });
+        let mut rng = crate::TestRng::new(5);
+        let mut max_depth = 0;
+        for _ in 0..500 {
+            max_depth = max_depth.max(depth(&Strategy::generate(&strat, &mut rng)));
+        }
+        assert!(max_depth >= 1, "recursion never taken");
+        assert!(max_depth <= 4, "depth bound exceeded: {max_depth}");
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        let strat = prop_oneof![3 => (0u64..5).prop_map(Some), 1 => Just(None)];
+        let mut rng = crate::TestRng::new(6);
+        let nones = (0..10_000)
+            .filter(|_| Strategy::generate(&strat, &mut rng).is_none())
+            .count();
+        assert!((1_800..3_200).contains(&nones), "nones = {nones}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// The macro pipeline itself: patterns, assume, assert.
+        #[test]
+        fn macro_roundtrip((a, b) in (0u32..50, 0u32..50), flip in crate::bool::ANY) {
+            prop_assume!(a != 49 || b != 49);
+            let sum = a + b;
+            prop_assert!(sum < 100, "sum out of range: {}", sum);
+            prop_assert_eq!(sum, if flip { b + a } else { a + b });
+        }
+    }
+}
