@@ -88,13 +88,13 @@ fn run_config(
     RunResult {
         config: label,
         ms: best,
-        nodes: r.lattice_stats.nodes_visited,
-        partitions: r.lattice_stats.partitions_built,
-        products: r.lattice_stats.products,
-        cache_hits: r.lattice_stats.cache_hits,
-        cache_misses: r.lattice_stats.cache_misses,
-        evictions: r.lattice_stats.evictions,
-        peak_resident_bytes: r.lattice_stats.peak_resident_bytes,
+        nodes: r.stats.lattice.nodes_visited,
+        partitions: r.stats.lattice.partitions_built,
+        products: r.stats.lattice.products,
+        cache_hits: r.stats.lattice.cache_hits,
+        cache_misses: r.stats.lattice.cache_misses,
+        evictions: r.stats.lattice.evictions,
+        peak_resident_bytes: r.stats.lattice.peak_resident_bytes,
         fds: r.fds.len(),
         keys: r.keys.len(),
     }
@@ -148,18 +148,18 @@ fn sweep(name: &str, tree: &DataTree, budget: usize, out: &mut String) -> (f64, 
         );
     }
     let stats = tree.stats();
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "    {{\"name\": \"{name}\", \"nodes\": {}, \"runs\": [\n",
+        "    {{\"name\": \"{name}\", \"nodes\": {}, \"runs\": [",
         stats.nodes
     );
     for (i, r) in results.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             out,
             "      {{\"config\": \"{}\", \"ms\": {:.2}, \"fds\": {}, \"keys\": {}, \
              \"lattice_nodes\": {}, \"partitions\": {}, \"products\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \
-             \"peak_resident_bytes\": {}}}{}\n",
+             \"peak_resident_bytes\": {}}}{}",
             r.config,
             r.ms,
             r.fds,

@@ -1,0 +1,187 @@
+//! Serving-mode benchmark (`scripts/bench_quick.sh`).
+//!
+//! Starts an in-process discovery daemon on an ephemeral port and drives
+//! it with concurrent raw-TCP clients through two phases: a *cold* sweep
+//! where every request carries a distinct configuration fingerprint (all
+//! cache misses, every request runs the full pipeline) and a *warm* sweep
+//! replaying one digest (all result-cache hits). Reports throughput and
+//! p50/p99 latency per phase to `BENCH_server.json` (or the path given as
+//! the first argument).
+//!
+//! ```sh
+//! cargo run --release -p xfd-bench --bin bench_server [-- out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use xfd_datagen::{warehouse_scaled, WarehouseSpec};
+use xfd_server::{Server, ServerConfig};
+use xfd_xml::to_xml_string;
+
+struct Phase {
+    label: &'static str,
+    requests: usize,
+    clients: usize,
+    wall: Duration,
+    latencies: Vec<Duration>,
+    cache_hits: usize,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn one_request(addr: SocketAddr, path: &str, body: &str) -> (u16, bool) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status");
+    (status, response.contains("X-Cache: hit"))
+}
+
+/// Fire `requests` POSTs from `clients` threads; `path_of(i)` varies the
+/// query string per request (distinct digests for the cold phase).
+fn run_phase(
+    label: &'static str,
+    addr: SocketAddr,
+    body: &str,
+    requests: usize,
+    clients: usize,
+    path_of: impl Fn(usize) -> String + Send + Sync,
+) -> Phase {
+    let started = Instant::now();
+    let mut all_latencies = Vec::with_capacity(requests);
+    let mut cache_hits = 0usize;
+    std::thread::scope(|scope| {
+        let path_of = &path_of;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut hits = 0usize;
+                    let mut i = c;
+                    while i < requests {
+                        let path = path_of(i);
+                        let t0 = Instant::now();
+                        let (status, hit) = one_request(addr, &path, body);
+                        assert_eq!(status, 200, "request {i} failed");
+                        latencies.push(t0.elapsed());
+                        hits += hit as usize;
+                        i += clients;
+                    }
+                    (latencies, hits)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (latencies, hits) = h.join().expect("client thread");
+            all_latencies.extend(latencies);
+            cache_hits += hits;
+        }
+    });
+    let wall = started.elapsed();
+    all_latencies.sort_unstable();
+    Phase {
+        label,
+        requests,
+        clients,
+        wall,
+        latencies: all_latencies,
+        cache_hits,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_server.json".into());
+
+    let spec = WarehouseSpec {
+        states: 6,
+        stores_per_state: 3,
+        books_per_store: 12,
+        ..Default::default()
+    };
+    let body = to_xml_string(&warehouse_scaled(&spec));
+    eprintln!("document: {} bytes", body.len());
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_depth: 256,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Cold: each request a unique config fingerprint → full pipeline runs.
+    let cold = run_phase("cold", addr, &body, 64, 8, |i| {
+        format!("/v1/discover?cache-budget={}", 100_000_000 + i)
+    });
+    // Warm: one fixed digest; first request populated it during the warmup
+    // below, so every timed request is a cache hit.
+    let (status, _) = one_request(addr, "/v1/discover", &body);
+    assert_eq!(status, 200);
+    let warm = run_phase("warm", addr, &body, 256, 8, |_| "/v1/discover".into());
+
+    handle.shutdown();
+    server_thread.join().expect("join").expect("run");
+
+    assert_eq!(cold.cache_hits, 0, "cold phase must not hit the cache");
+    assert_eq!(
+        warm.cache_hits, warm.requests,
+        "warm phase must be all cache hits"
+    );
+
+    let mut json = String::from("{\n  \"server\": {\n");
+    for (i, phase) in [&cold, &warm].into_iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let rps = phase.requests as f64 / phase.wall.as_secs_f64();
+        let _ = write!(
+            json,
+            "    \"{}\": {{\"requests\": {}, \"clients\": {}, \"wall_ms\": {:.1}, \"rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}}}",
+            phase.label,
+            phase.requests,
+            phase.clients,
+            phase.wall.as_secs_f64() * 1e3,
+            rps,
+            percentile(&phase.latencies, 0.50),
+            percentile(&phase.latencies, 0.99),
+            phase.cache_hits,
+        );
+        eprintln!(
+            "{}: {} requests, {:.1} req/s, p50 {:.3} ms, p99 {:.3} ms",
+            phase.label,
+            phase.requests,
+            rps,
+            percentile(&phase.latencies, 0.50),
+            percentile(&phase.latencies, 0.99),
+        );
+    }
+    json.push_str("\n  }\n}\n");
+    std::fs::write(&out_path, json).expect("write results");
+    eprintln!("wrote {out_path}");
+}

@@ -123,8 +123,8 @@ pub fn table2() -> Section {
             report.keys.len().to_string(),
             report.redundancies.len().to_string(),
             redundant.to_string(),
-            report.lattice_stats.nodes_visited.to_string(),
-            ms(report.timings.total()),
+            report.stats.lattice.nodes_visited.to_string(),
+            ms(report.profile.total()),
         ]);
     }
     Section {
@@ -264,7 +264,7 @@ pub fn fig2() -> Section {
         let flat_t = t1.elapsed();
         rows.push(vec![
             width.to_string(),
-            report.lattice_stats.nodes_visited.to_string(),
+            report.stats.lattice.nodes_visited.to_string(),
             ms(xfd_t),
             flat.stats.nodes_visited.to_string(),
             ms(flat_t),
@@ -292,7 +292,7 @@ pub fn fig3() -> Section {
         let report = discover(&tree, &cfg);
         rows.push(vec![
             level.to_string(),
-            report.lattice_stats.nodes_visited.to_string(),
+            report.stats.lattice.nodes_visited.to_string(),
             report.fds.len().to_string(),
             report.keys.len().to_string(),
             ms(t0.elapsed()),
@@ -386,7 +386,7 @@ pub fn fig6() -> Section {
     for &scale in &[0.5f64, 1.0, 2.0, 4.0] {
         let tree = xmark_like(&XmarkSpec::with_scale(scale));
         let report = discover(&tree, &DiscoveryConfig::default());
-        let t = report.timings;
+        let t = report.profile;
         rows.push(vec![
             format!("{scale}"),
             tree.node_count().to_string(),
@@ -448,8 +448,8 @@ pub fn fig7() -> Section {
         let report = discover(&tree, &cfg);
         rows.push(vec![
             label.to_string(),
-            report.lattice_stats.nodes_visited.to_string(),
-            report.lattice_stats.products.to_string(),
+            report.stats.lattice.nodes_visited.to_string(),
+            report.stats.lattice.products.to_string(),
             report.fds.len().to_string(),
             ms(t0.elapsed()),
         ]);

@@ -46,7 +46,10 @@ const USAGE: &str = "usage:
   discoverxfd dot      <file.xml> [--fds]             (Graphviz of the forest, or the FD graph)
   discoverxfd diff     <old.xml> <new.xml>            (constraint drift between versions)
   discoverxfd select   <file.xml> \"/site//item[category='books']/name\"
-  discoverxfd profile  <file.xml>                     (column statistics)";
+  discoverxfd profile  <file.xml>                     (column statistics)
+  discoverxfd serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                       [--result-cache-budget BYTES] [--body-limit BYTES]
+                       [--request-timeout SECS]      (HTTP discovery daemon)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -65,6 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "diff" => cmd_diff(rest),
         "select" => cmd_select(rest),
         "profile" => cmd_profile(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -97,6 +101,17 @@ fn opt_value<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option
     Ok(None)
 }
 
+/// Reject any `--option` the subcommand does not know; a typo in a flag
+/// must be a hard error, not a silently ignored no-op.
+fn check_flags(args: &[String], allowed: &[&str]) -> Result<(), String> {
+    for a in args {
+        if a.starts_with("--") && !allowed.contains(&a.as_str()) {
+            return Err(format!("unknown option {a:?}"));
+        }
+    }
+    Ok(())
+}
+
 fn positional(args: &[String], idx: usize) -> Result<&str, String> {
     args.iter()
         .filter(|a| !a.starts_with("--"))
@@ -108,6 +123,24 @@ fn positional(args: &[String], idx: usize) -> Result<&str, String> {
 }
 
 fn cmd_discover(args: &[String]) -> Result<(), String> {
+    check_flags(
+        args,
+        &[
+            "--max-lhs",
+            "--no-sets",
+            "--no-inter",
+            "--ordered",
+            "--approx",
+            "--inds",
+            "--cover",
+            "--keep-uninteresting",
+            "--threads",
+            "--cache-budget",
+            "--suggest",
+            "--markdown",
+            "--json",
+        ],
+    )?;
     let tree = load(positional(args, 0)?)?;
     let mut config = DiscoveryConfig {
         max_lhs_size: opt_value::<usize>(args, "--max-lhs")?,
@@ -180,6 +213,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_schema(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--xsd"])?;
     let tree = load(positional(args, 0)?)?;
     let schema = infer_schema(&tree);
     if flag(args, "--xsd") {
@@ -191,6 +225,7 @@ fn cmd_schema(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_encode(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
     let tree = load(positional(args, 0)?)?;
     let schema = infer_schema(&tree);
     let forest = encode(&tree, &schema, &EncodeConfig::default());
@@ -204,6 +239,7 @@ fn cmd_encode(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_flat(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--max-rows", "--max-lhs"])?;
     let tree = load(positional(args, 0)?)?;
     let schema = infer_schema(&tree);
     let options = BaselineOptions {
@@ -260,6 +296,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_profile(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
     use discoverxfd::profile::{profile, render};
     let tree = load(positional(args, 0)?)?;
     let schema = infer_schema(&tree);
@@ -294,6 +331,7 @@ fn cmd_select(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_diff(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
     use discoverxfd::diff::diff_reports;
     let old_tree = load(positional(args, 0)?)?;
     let new_tree = load(positional(args, 1)?)?;
@@ -315,6 +353,7 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_dot(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--fds"])?;
     use discoverxfd::graphviz::{fds_to_dot, forest_to_dot};
     let tree = load(positional(args, 0)?)?;
     let schema = infer_schema(&tree);
@@ -329,6 +368,7 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_normalize(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--max-rounds"])?;
     use discoverxfd::normalize::normalize_fully;
     let tree = load(positional(args, 0)?)?;
     let rounds = opt_value::<usize>(args, "--max-rounds")?.unwrap_or(10);
@@ -350,6 +390,7 @@ fn cmd_normalize(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--scale", "--seed"])?;
     let which = positional(args, 0)?;
     let scale = opt_value::<f64>(args, "--scale")?.unwrap_or(1.0);
     let seed = opt_value::<u64>(args, "--seed")?;
@@ -412,4 +453,44 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     };
     print!("{}", to_xml_string(&tree));
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    check_flags(
+        args,
+        &[
+            "--addr",
+            "--workers",
+            "--queue-depth",
+            "--result-cache-budget",
+            "--body-limit",
+            "--request-timeout",
+        ],
+    )?;
+    let mut config = xfd_server::ServerConfig::default();
+    if let Some(addr) = opt_value::<String>(args, "--addr")? {
+        config.addr = addr;
+    }
+    if let Some(workers) = opt_value::<usize>(args, "--workers")? {
+        config.workers = workers;
+    }
+    if let Some(depth) = opt_value::<usize>(args, "--queue-depth")? {
+        config.queue_depth = depth;
+    }
+    if let Some(budget) = opt_value::<usize>(args, "--result-cache-budget")? {
+        config.result_cache_budget = budget;
+    }
+    if let Some(limit) = opt_value::<u64>(args, "--body-limit")? {
+        config.max_body_bytes = limit;
+    }
+    if let Some(secs) = opt_value::<u64>(args, "--request-timeout")? {
+        config.request_timeout = std::time::Duration::from_secs(secs);
+    }
+    let server = xfd_server::Server::bind(config.clone())
+        .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    xfd_server::install_signal_handlers();
+    // Parsed by scripts and tests: keep this line format stable.
+    println!("listening on http://{addr}");
+    server.run().map_err(|e| e.to_string())
 }

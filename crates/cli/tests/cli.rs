@@ -253,3 +253,107 @@ fn missing_file_is_a_clean_error() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("cannot read"), "{err}");
 }
+
+#[test]
+fn unknown_flag_is_a_clean_error() {
+    let file = write_warehouse();
+    for args in [
+        vec!["discover", file.0.to_str().unwrap(), "--bogus"],
+        vec!["schema", file.0.to_str().unwrap(), "--max-lhs"],
+        vec!["serve", "--no-such-option"],
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.starts_with("error: unknown option"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn bad_flag_value_is_a_clean_error() {
+    let file = write_warehouse();
+    let out = bin()
+        .args(["discover", file.0.to_str().unwrap(), "--max-lhs", "many"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("invalid value for --max-lhs"), "{err}");
+
+    let dangling = bin()
+        .args(["discover", file.0.to_str().unwrap(), "--max-lhs"])
+        .output()
+        .unwrap();
+    assert!(!dangling.status.success());
+    let err = String::from_utf8(dangling.stderr).unwrap();
+    assert!(err.contains("--max-lhs requires a value"), "{err}");
+}
+
+#[test]
+fn serve_with_unbindable_address_fails_fast() {
+    let out = bin()
+        .args(["serve", "--addr", "256.0.0.1:1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot bind"), "{err}");
+}
+
+#[test]
+fn serve_answers_requests_and_drains_on_sigterm() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let mut child = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    // One round-trip through the daemon.
+    let body = "<shop><book><isbn>1</isbn><t>A</t></book>\
+                <book><isbn>1</isbn><t>A</t></book></shop>";
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "POST /v1/discover HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(response.contains("\"fds\""), "{response}");
+
+    // SIGTERM must drain and exit cleanly (status 0).
+    let kill = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "serve did not exit after SIGTERM"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    assert!(status.success(), "clean exit after drain: {status:?}");
+}

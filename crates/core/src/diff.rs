@@ -114,7 +114,7 @@ mod tests {
     use crate::driver::discover;
     use xfd_xml::parse;
 
-    fn report(xml: &str) -> DiscoveryReport {
+    fn report(xml: &str) -> crate::driver::RunOutcome {
         discover(&parse(xml).unwrap(), &DiscoveryConfig::default())
     }
 

@@ -35,7 +35,9 @@ impl PhaseTimings {
     }
 }
 
-/// Everything the system discovered about one document.
+/// Everything the system *discovered* about one document — the artifacts
+/// only. Work counters and timings live beside it in [`RunOutcome`], so
+/// two runs over the same data compare equal on the parts that matter.
 #[derive(Debug)]
 pub struct DiscoveryReport {
     /// The schema used (inferred unless supplied).
@@ -51,24 +53,49 @@ pub struct DiscoveryReport {
     pub uninteresting_keys: Vec<XmlKey>,
     /// Redundancies (Definition 11) with magnitudes.
     pub redundancies: Vec<Redundancy>,
-    /// Lattice work counters summed over relations.
-    pub lattice_stats: RunStats,
-    /// Partition-target counters.
-    pub target_stats: TargetStats,
+}
+
+/// Work counters of one pipeline run, grouped by origin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStatsBundle {
+    /// Lattice work counters summed over relations (including the
+    /// partition-cache hit/miss/eviction/residency counters).
+    pub lattice: RunStats,
+    /// Partition-target counters of the inter-relation pass.
+    pub targets: TargetStats,
     /// Size of the hierarchical representation.
-    pub forest_stats: ForestStats,
-    /// Per-phase timings.
-    pub timings: PhaseTimings,
+    pub forest: ForestStats,
+}
+
+/// One full pipeline run: the discovered artifacts plus the counters and
+/// per-phase timings describing how the run went. Derefs to its
+/// [`DiscoveryReport`] so artifact access stays terse (`outcome.fds`).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// What was discovered.
+    pub report: DiscoveryReport,
+    /// How much work it took.
+    pub stats: RunStatsBundle,
+    /// Where the time went.
+    pub profile: PhaseTimings,
+}
+
+impl std::ops::Deref for RunOutcome {
+    type Target = DiscoveryReport;
+
+    fn deref(&self) -> &DiscoveryReport {
+        &self.report
+    }
 }
 
 /// Run the full pipeline, inferring the schema from the document.
-pub fn discover(tree: &DataTree, config: &DiscoveryConfig) -> DiscoveryReport {
+pub fn discover(tree: &DataTree, config: &DiscoveryConfig) -> RunOutcome {
     let t0 = Instant::now();
     let schema = infer_schema(tree);
     let infer = t0.elapsed();
-    let mut report = discover_with_schema(tree, &schema, config);
-    report.timings.infer = infer;
-    report
+    let mut outcome = discover_with_schema(tree, &schema, config);
+    outcome.profile.infer = infer;
+    outcome
 }
 
 /// Run the full pipeline against a known schema (the document must
@@ -77,7 +104,7 @@ pub fn discover_with_schema(
     tree: &DataTree,
     schema: &Schema,
     config: &DiscoveryConfig,
-) -> DiscoveryReport {
+) -> RunOutcome {
     let t0 = Instant::now();
     let forest = encode(tree, schema, &config.encode);
     let encode_t = t0.elapsed();
@@ -91,17 +118,21 @@ pub fn discover_with_schema(
     let redundancy_t = t2.elapsed();
 
     let classified = classify(&forest, &disc, config.keep_uninteresting);
-    DiscoveryReport {
-        schema: schema.clone(),
-        fds: classified.fds,
-        keys: classified.keys,
-        uninteresting_fds: classified.uninteresting_fds,
-        uninteresting_keys: classified.uninteresting_keys,
-        redundancies,
-        lattice_stats: disc.lattice_stats,
-        target_stats: disc.target_stats,
-        forest_stats: forest.stats(),
-        timings: PhaseTimings {
+    RunOutcome {
+        report: DiscoveryReport {
+            schema: schema.clone(),
+            fds: classified.fds,
+            keys: classified.keys,
+            uninteresting_fds: classified.uninteresting_fds,
+            uninteresting_keys: classified.uninteresting_keys,
+            redundancies,
+        },
+        stats: RunStatsBundle {
+            lattice: disc.lattice_stats,
+            targets: disc.target_stats,
+            forest: forest.stats(),
+        },
+        profile: PhaseTimings {
             infer: Duration::ZERO,
             encode: encode_t,
             discover: discover_t,
@@ -124,7 +155,7 @@ pub fn encode_only(tree: &DataTree, config: &DiscoveryConfig) -> (Schema, Forest
 /// `<collection>` root, which turns their (same-labeled) roots into a set
 /// element; every original tuple class deepens by one level and discovery
 /// proceeds unchanged. Pivot-relative FD paths are unaffected.
-pub fn discover_collection(trees: &[&DataTree], config: &DiscoveryConfig) -> DiscoveryReport {
+pub fn discover_collection(trees: &[&DataTree], config: &DiscoveryConfig) -> RunOutcome {
     use xfd_xml::builder::TreeWriter;
     let mut w = TreeWriter::new("collection");
     for t in trees {
@@ -210,10 +241,10 @@ mod tests {
     #[test]
     fn timings_are_recorded() {
         let t = parse("<r><a><x>1</x></a><a><x>1</x></a></r>").unwrap();
-        let report = discover(&t, &DiscoveryConfig::default());
+        let outcome = discover(&t, &DiscoveryConfig::default());
         // Inference ran; all phases have defined (possibly tiny) durations.
-        assert!(report.timings.total() >= report.timings.discover);
-        assert!(report.forest_stats.relations >= 2);
+        assert!(outcome.profile.total() >= outcome.profile.discover);
+        assert!(outcome.stats.forest.relations >= 2);
     }
 
     #[test]

@@ -114,7 +114,7 @@ mod tests {
     use xfd_schema::infer_schema;
     use xfd_xml::parse;
 
-    fn sample() -> (Forest, DiscoveryReport) {
+    fn sample() -> (Forest, crate::driver::RunOutcome) {
         let t = parse(
             "<w><store><name>X</name>\
                <book><i>1</i><t>A</t></book><book><i>1</i><t>A</t></book>\

@@ -552,7 +552,7 @@ mod tests {
     /// a single emitted FD or key — not even their order.
     #[test]
     fn threads_and_budget_leave_results_bit_identical() {
-        let mut seed = 0x51_7C_C1B7_2722_0A95u64;
+        let mut seed = 0x517C_C1B7_2722_0A95_u64;
         let mut next = move || {
             seed = seed
                 .wrapping_mul(6364136223846793005)

@@ -71,7 +71,8 @@ pub mod xfd;
 
 pub use config::{DiscoveryConfig, PruneConfig};
 pub use driver::{
-    discover, discover_collection, discover_with_schema, DiscoveryReport, PhaseTimings,
+    discover, discover_collection, discover_with_schema, DiscoveryReport, PhaseTimings, RunOutcome,
+    RunStatsBundle,
 };
 pub use fd::{FdScope, Xfd, XmlKey};
 pub use redundancy::Redundancy;

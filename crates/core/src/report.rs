@@ -3,7 +3,7 @@
 
 use std::fmt::Write as _;
 
-use crate::driver::DiscoveryReport;
+use crate::driver::RunOutcome;
 use crate::normalize::suggest;
 
 /// Rendering options.
@@ -29,7 +29,7 @@ impl RenderOptions {
 }
 
 /// Render as plain text (the CLI's `discover` output body).
-pub fn render_text(report: &DiscoveryReport, opts: &RenderOptions) -> String {
+pub fn render_text(report: &RunOutcome, opts: &RenderOptions) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Interesting XML FDs ({})", report.fds.len());
     for fd in &report.fds {
@@ -80,26 +80,26 @@ pub fn render_text(report: &DiscoveryReport, opts: &RenderOptions) -> String {
         let _ = writeln!(
             out,
             "\n# Stats: {} lattice nodes, {} partitions, {} products, {} targets, {:?} total",
-            report.lattice_stats.nodes_visited,
-            report.lattice_stats.partitions_built,
-            report.lattice_stats.products,
-            report.target_stats.created,
-            report.timings.total()
+            report.stats.lattice.nodes_visited,
+            report.stats.lattice.partitions_built,
+            report.stats.lattice.products,
+            report.stats.targets.created,
+            report.profile.total()
         );
         let _ = writeln!(
             out,
             "# Cache: {} hits, {} misses, {} evictions, {} peak partition bytes",
-            report.lattice_stats.cache_hits,
-            report.lattice_stats.cache_misses,
-            report.lattice_stats.evictions,
-            report.lattice_stats.peak_resident_bytes
+            report.stats.lattice.cache_hits,
+            report.stats.lattice.cache_misses,
+            report.stats.lattice.evictions,
+            report.stats.lattice.peak_resident_bytes
         );
     }
     out
 }
 
 /// Render as a Markdown document (for reports/CI artifacts).
-pub fn render_markdown(report: &DiscoveryReport, opts: &RenderOptions) -> String {
+pub fn render_markdown(report: &RunOutcome, opts: &RenderOptions) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## Interesting XML FDs\n");
     let _ = writeln!(out, "| # | FD |\n|---|---|");
@@ -131,14 +131,14 @@ pub fn render_markdown(report: &DiscoveryReport, opts: &RenderOptions) -> String
             out,
             "\n---\n*{} lattice nodes · {} partitions · {} targets · \
              {} cache hits / {} misses / {} evictions · {} peak bytes · {:?}*",
-            report.lattice_stats.nodes_visited,
-            report.lattice_stats.partitions_built,
-            report.target_stats.created,
-            report.lattice_stats.cache_hits,
-            report.lattice_stats.cache_misses,
-            report.lattice_stats.evictions,
-            report.lattice_stats.peak_resident_bytes,
-            report.timings.total()
+            report.stats.lattice.nodes_visited,
+            report.stats.lattice.partitions_built,
+            report.stats.targets.created,
+            report.stats.lattice.cache_hits,
+            report.stats.lattice.cache_misses,
+            report.stats.lattice.evictions,
+            report.stats.lattice.peak_resident_bytes,
+            report.profile.total()
         );
     }
     out
@@ -174,7 +174,7 @@ fn json_escape(s: &str) -> String {
 ///   "stats": {...}
 /// }
 /// ```
-pub fn render_json(report: &DiscoveryReport) -> String {
+pub fn render_json(report: &RunOutcome) -> String {
     let mut out = String::from("{\n  \"fds\": [");
     for (i, fd) in report.fds.iter().enumerate() {
         if i > 0 {
@@ -230,15 +230,15 @@ pub fn render_json(report: &DiscoveryReport) -> String {
     let _ = write!(
         out,
         "\n  ],\n  \"stats\": {{\"lattice_nodes\": {}, \"partitions\": {}, \"products\": {}, \"targets_created\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \"peak_resident_bytes\": {}, \"total_ms\": {:.3}}}\n}}\n",
-        report.lattice_stats.nodes_visited,
-        report.lattice_stats.partitions_built,
-        report.lattice_stats.products,
-        report.target_stats.created,
-        report.lattice_stats.cache_hits,
-        report.lattice_stats.cache_misses,
-        report.lattice_stats.evictions,
-        report.lattice_stats.peak_resident_bytes,
-        report.timings.total().as_secs_f64() * 1e3
+        report.stats.lattice.nodes_visited,
+        report.stats.lattice.partitions_built,
+        report.stats.lattice.products,
+        report.stats.targets.created,
+        report.stats.lattice.cache_hits,
+        report.stats.lattice.cache_misses,
+        report.stats.lattice.evictions,
+        report.stats.lattice.peak_resident_bytes,
+        report.profile.total().as_secs_f64() * 1e3
     );
     out
 }
@@ -250,7 +250,7 @@ mod tests {
     use crate::driver::discover;
     use xfd_xml::parse;
 
-    fn sample() -> DiscoveryReport {
+    fn sample() -> RunOutcome {
         let t = parse(
             "<w><book><i>1</i><t>A</t></book><book><i>1</i><t>A</t></book>\
                 <book><i>2</i><t>B</t></book></w>",

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # xfd-server
+//!
+//! Serving mode for the DiscoverXFD system: a dependency-free HTTP/1.1
+//! discovery daemon built directly on `std::net::TcpListener`.
+//!
+//! Endpoints:
+//!
+//! * `POST /v1/discover` — run discovery synchronously on the XML body and
+//!   return the JSON report (byte-identical to `discoverxfd discover
+//!   --json`); configuration knobs ride as query parameters.
+//! * `POST /v1/jobs` + `GET /v1/jobs/{id}` — asynchronous submission with
+//!   polling.
+//! * `GET /v1/results/{digest}` — fetch a cached report by content digest.
+//! * `GET /healthz`, `GET /metrics` — liveness and Prometheus-style
+//!   metrics.
+//!
+//! The daemon is structured as connection threads feeding a bounded MPMC
+//! [`queue`] consumed by a worker pool ([`server`]); rendered reports land
+//! in a byte-budgeted, digest-keyed [`rescache`]. A full queue sheds load
+//! with `503` + `Retry-After` rather than buffering unboundedly, and
+//! SIGTERM drains queued jobs before exit.
+
+pub mod digest;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod queue;
+pub mod rescache;
+pub mod server;
+
+pub use server::{install_signal_handlers, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,405 @@
+//! Server metrics registry with Prometheus text exposition.
+//!
+//! Scalar counters live in atomics; the few labeled families
+//! (endpoint×status request counts, rejection reasons, job outcomes) live
+//! in mutexed `BTreeMap`s so `/metrics` renders with a deterministic label
+//! order. Gauges owned by other subsystems (queue depth, in-flight jobs,
+//! result-cache residency) are sampled at render time rather than
+//! duplicated here.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use discoverxfd::RunOutcome;
+
+use crate::rescache::ResultCacheStats;
+
+/// Point-in-time gauges sampled by the render path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GaugeSnapshot {
+    /// Jobs waiting in the queue.
+    pub queue_depth: u64,
+    /// Configured queue capacity.
+    pub queue_capacity: u64,
+    /// Jobs queued or running.
+    pub jobs_inflight: u64,
+    /// Result-cache counters.
+    pub cache: ResultCacheStats,
+}
+
+/// The daemon's metrics registry.
+pub struct Metrics {
+    started: Instant,
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    rejected: Mutex<BTreeMap<&'static str, u64>>,
+    jobs_finished: Mutex<BTreeMap<&'static str, u64>>,
+    runs: AtomicU64,
+    // Per-stage wall time, accumulated in microseconds.
+    stage_infer_us: AtomicU64,
+    stage_encode_us: AtomicU64,
+    stage_discover_us: AtomicU64,
+    stage_redundancy_us: AtomicU64,
+    // Lattice totals over all runs.
+    lattice_nodes: AtomicU64,
+    lattice_partitions: AtomicU64,
+    lattice_products: AtomicU64,
+    lattice_cache_hits: AtomicU64,
+    lattice_cache_misses: AtomicU64,
+    lattice_evictions: AtomicU64,
+    lattice_peak_bytes: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// A fresh registry; `started` anchors the uptime gauge.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests: Mutex::new(BTreeMap::new()),
+            rejected: Mutex::new(BTreeMap::new()),
+            jobs_finished: Mutex::new(BTreeMap::new()),
+            runs: AtomicU64::new(0),
+            stage_infer_us: AtomicU64::new(0),
+            stage_encode_us: AtomicU64::new(0),
+            stage_discover_us: AtomicU64::new(0),
+            stage_redundancy_us: AtomicU64::new(0),
+            lattice_nodes: AtomicU64::new(0),
+            lattice_partitions: AtomicU64::new(0),
+            lattice_products: AtomicU64::new(0),
+            lattice_cache_hits: AtomicU64::new(0),
+            lattice_cache_misses: AtomicU64::new(0),
+            lattice_evictions: AtomicU64::new(0),
+            lattice_peak_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one handled request by endpoint pattern and status code.
+    pub fn observe_request(&self, endpoint: &str, status: u16) {
+        *self
+            .requests
+            .lock()
+            .unwrap()
+            .entry((endpoint.to_string(), status))
+            .or_insert(0) += 1;
+    }
+
+    /// Count one shed request (`reason`: `queue_full`, `body_too_large`,
+    /// `timeout`, ...).
+    pub fn observe_rejection(&self, reason: &'static str) {
+        *self.rejected.lock().unwrap().entry(reason).or_insert(0) += 1;
+    }
+
+    /// Count one finished job by terminal status name.
+    pub fn observe_job_finished(&self, status: &'static str) {
+        *self
+            .jobs_finished
+            .lock()
+            .unwrap()
+            .entry(status)
+            .or_insert(0) += 1;
+    }
+
+    /// Fold one completed discovery run's timings and lattice counters in.
+    pub fn observe_outcome(&self, outcome: &RunOutcome) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        let p = &outcome.profile;
+        self.stage_infer_us
+            .fetch_add(p.infer.as_micros() as u64, Ordering::Relaxed);
+        self.stage_encode_us
+            .fetch_add(p.encode.as_micros() as u64, Ordering::Relaxed);
+        self.stage_discover_us
+            .fetch_add(p.discover.as_micros() as u64, Ordering::Relaxed);
+        self.stage_redundancy_us
+            .fetch_add(p.redundancy.as_micros() as u64, Ordering::Relaxed);
+        let l = &outcome.stats.lattice;
+        self.lattice_nodes
+            .fetch_add(l.nodes_visited as u64, Ordering::Relaxed);
+        self.lattice_partitions
+            .fetch_add(l.partitions_built as u64, Ordering::Relaxed);
+        self.lattice_products
+            .fetch_add(l.products as u64, Ordering::Relaxed);
+        self.lattice_cache_hits
+            .fetch_add(l.cache_hits as u64, Ordering::Relaxed);
+        self.lattice_cache_misses
+            .fetch_add(l.cache_misses as u64, Ordering::Relaxed);
+        self.lattice_evictions
+            .fetch_add(l.evictions as u64, Ordering::Relaxed);
+        self.lattice_peak_bytes
+            .fetch_max(l.peak_resident_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Render the Prometheus text exposition, merging in gauges sampled
+    /// from the queue, job table, and result cache.
+    pub fn render(&self, gauges: &GaugeSnapshot) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut metric = |name: &str, help: &str, kind: &str, body: &str| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{body}"
+            ));
+        };
+
+        let requests = self.requests.lock().unwrap();
+        let mut body = String::new();
+        for ((endpoint, code), count) in requests.iter() {
+            body.push_str(&format!(
+                "discoverxfd_http_requests_total{{endpoint=\"{endpoint}\",code=\"{code}\"}} {count}\n"
+            ));
+        }
+        drop(requests);
+        metric(
+            "discoverxfd_http_requests_total",
+            "HTTP requests handled, by endpoint pattern and status code.",
+            "counter",
+            &body,
+        );
+
+        let rejected = self.rejected.lock().unwrap();
+        let mut body = String::new();
+        for (reason, count) in rejected.iter() {
+            body.push_str(&format!(
+                "discoverxfd_http_rejected_total{{reason=\"{reason}\"}} {count}\n"
+            ));
+        }
+        drop(rejected);
+        metric(
+            "discoverxfd_http_rejected_total",
+            "Requests shed by backpressure or limits, by reason.",
+            "counter",
+            &body,
+        );
+
+        metric(
+            "discoverxfd_queue_depth",
+            "Jobs currently waiting in the queue.",
+            "gauge",
+            &format!("discoverxfd_queue_depth {}\n", gauges.queue_depth),
+        );
+        metric(
+            "discoverxfd_queue_capacity",
+            "Configured queue capacity.",
+            "gauge",
+            &format!("discoverxfd_queue_capacity {}\n", gauges.queue_capacity),
+        );
+        metric(
+            "discoverxfd_jobs_inflight",
+            "Jobs queued or running.",
+            "gauge",
+            &format!("discoverxfd_jobs_inflight {}\n", gauges.jobs_inflight),
+        );
+
+        let finished = self.jobs_finished.lock().unwrap();
+        let mut body = String::new();
+        for (status, count) in finished.iter() {
+            body.push_str(&format!(
+                "discoverxfd_jobs_finished_total{{status=\"{status}\"}} {count}\n"
+            ));
+        }
+        drop(finished);
+        metric(
+            "discoverxfd_jobs_finished_total",
+            "Jobs finished, by terminal status.",
+            "counter",
+            &body,
+        );
+
+        let cache = &gauges.cache;
+        metric(
+            "discoverxfd_result_cache_hits_total",
+            "Result-cache lookups that found a rendered report.",
+            "counter",
+            &format!("discoverxfd_result_cache_hits_total {}\n", cache.hits),
+        );
+        metric(
+            "discoverxfd_result_cache_misses_total",
+            "Result-cache lookups that missed.",
+            "counter",
+            &format!("discoverxfd_result_cache_misses_total {}\n", cache.misses),
+        );
+        metric(
+            "discoverxfd_result_cache_evictions_total",
+            "Result-cache entries evicted by the byte budget.",
+            "counter",
+            &format!(
+                "discoverxfd_result_cache_evictions_total {}\n",
+                cache.evictions
+            ),
+        );
+        metric(
+            "discoverxfd_result_cache_resident_bytes",
+            "Bytes of rendered reports currently cached.",
+            "gauge",
+            &format!(
+                "discoverxfd_result_cache_resident_bytes {}\n",
+                cache.resident_bytes
+            ),
+        );
+        metric(
+            "discoverxfd_result_cache_entries",
+            "Rendered reports currently cached.",
+            "gauge",
+            &format!("discoverxfd_result_cache_entries {}\n", cache.entries),
+        );
+
+        metric(
+            "discoverxfd_runs_total",
+            "Discovery pipeline runs completed.",
+            "counter",
+            &format!(
+                "discoverxfd_runs_total {}\n",
+                self.runs.load(Ordering::Relaxed)
+            ),
+        );
+
+        let stages = [
+            ("infer", &self.stage_infer_us),
+            ("encode", &self.stage_encode_us),
+            ("discover", &self.stage_discover_us),
+            ("redundancy", &self.stage_redundancy_us),
+        ];
+        let mut body = String::new();
+        for (stage, us) in stages {
+            body.push_str(&format!(
+                "discoverxfd_stage_seconds_total{{stage=\"{stage}\"}} {:.6}\n",
+                us.load(Ordering::Relaxed) as f64 / 1e6
+            ));
+        }
+        metric(
+            "discoverxfd_stage_seconds_total",
+            "Wall time spent per pipeline stage across all runs.",
+            "counter",
+            &body,
+        );
+
+        let lattice = [
+            ("nodes_visited", &self.lattice_nodes),
+            ("partitions_built", &self.lattice_partitions),
+            ("products", &self.lattice_products),
+            ("cache_hits", &self.lattice_cache_hits),
+            ("cache_misses", &self.lattice_cache_misses),
+            ("evictions", &self.lattice_evictions),
+        ];
+        let mut body = String::new();
+        for (counter, value) in lattice {
+            body.push_str(&format!(
+                "discoverxfd_lattice_total{{counter=\"{counter}\"}} {}\n",
+                value.load(Ordering::Relaxed)
+            ));
+        }
+        metric(
+            "discoverxfd_lattice_total",
+            "DiscoverXFD lattice work counters summed across runs.",
+            "counter",
+            &body,
+        );
+        metric(
+            "discoverxfd_lattice_peak_resident_bytes",
+            "Largest partition-cache residency seen in any single run.",
+            "gauge",
+            &format!(
+                "discoverxfd_lattice_peak_resident_bytes {}\n",
+                self.lattice_peak_bytes.load(Ordering::Relaxed)
+            ),
+        );
+
+        metric(
+            "discoverxfd_uptime_seconds",
+            "Seconds since the server started.",
+            "gauge",
+            &format!(
+                "discoverxfd_uptime_seconds {:.3}\n",
+                self.started.elapsed().as_secs_f64()
+            ),
+        );
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(m: &Metrics) -> String {
+        m.render(&GaugeSnapshot::default())
+    }
+
+    #[test]
+    fn request_counters_render_with_sorted_labels() {
+        let m = Metrics::new();
+        m.observe_request("/v1/discover", 200);
+        m.observe_request("/v1/discover", 200);
+        m.observe_request("/healthz", 200);
+        m.observe_request("/v1/discover", 503);
+        let text = render(&m);
+        assert!(text.contains(
+            "discoverxfd_http_requests_total{endpoint=\"/v1/discover\",code=\"200\"} 2\n"
+        ));
+        assert!(text.contains(
+            "discoverxfd_http_requests_total{endpoint=\"/v1/discover\",code=\"503\"} 1\n"
+        ));
+        assert!(text
+            .contains("discoverxfd_http_requests_total{endpoint=\"/healthz\",code=\"200\"} 1\n"));
+    }
+
+    #[test]
+    fn every_family_has_help_and_type_lines() {
+        let m = Metrics::new();
+        let text = render(&m);
+        for family in [
+            "discoverxfd_http_requests_total",
+            "discoverxfd_http_rejected_total",
+            "discoverxfd_queue_depth",
+            "discoverxfd_jobs_inflight",
+            "discoverxfd_jobs_finished_total",
+            "discoverxfd_result_cache_hits_total",
+            "discoverxfd_runs_total",
+            "discoverxfd_stage_seconds_total",
+            "discoverxfd_lattice_total",
+            "discoverxfd_uptime_seconds",
+        ] {
+            assert!(text.contains(&format!("# HELP {family} ")), "{family}");
+            assert!(text.contains(&format!("# TYPE {family} ")), "{family}");
+        }
+    }
+
+    #[test]
+    fn outcome_observation_accumulates_stage_time_and_lattice_work() {
+        let m = Metrics::new();
+        let xml = "<r><t><a>1</a><b>x</b></t><t><a>2</a><b>x</b></t></r>";
+        let tree = xfd_xml::parse(xml).unwrap();
+        let outcome = discoverxfd::discover(&tree, &discoverxfd::DiscoveryConfig::default());
+        m.observe_outcome(&outcome);
+        m.observe_outcome(&outcome);
+        let text = render(&m);
+        assert!(text.contains("discoverxfd_runs_total 2\n"), "{text}");
+        let expected = outcome.stats.lattice.nodes_visited as u64 * 2;
+        assert!(
+            text.contains(&format!(
+                "discoverxfd_lattice_total{{counter=\"nodes_visited\"}} {expected}\n"
+            )),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn rejections_and_job_outcomes_render() {
+        let m = Metrics::new();
+        m.observe_rejection("queue_full");
+        m.observe_rejection("queue_full");
+        m.observe_rejection("body_too_large");
+        m.observe_job_finished("done");
+        m.observe_job_finished("failed");
+        let text = render(&m);
+        assert!(text.contains("discoverxfd_http_rejected_total{reason=\"queue_full\"} 2\n"));
+        assert!(text.contains("discoverxfd_http_rejected_total{reason=\"body_too_large\"} 1\n"));
+        assert!(text.contains("discoverxfd_jobs_finished_total{status=\"done\"} 1\n"));
+        assert!(text.contains("discoverxfd_jobs_finished_total{status=\"failed\"} 1\n"));
+    }
+}

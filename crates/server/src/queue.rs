@@ -1,0 +1,200 @@
+//! A bounded multi-producer multi-consumer job queue on `Mutex` +
+//! `Condvar`.
+//!
+//! `std::sync::mpsc` is single-consumer and unbounded in its default form;
+//! the daemon needs the opposite on both axes: several worker threads pop
+//! from one queue, and a full queue must *reject* (backpressure → 503)
+//! rather than buffer without limit. Push never blocks; pop blocks until an
+//! item arrives or the queue is closed and drained, which is exactly the
+//! shutdown-drain semantic: `close()` wakes every idle worker, workers
+//! finish whatever is still queued, then `pop()` returns `None` and they
+//! exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue at capacity — caller should shed load (503 + Retry-After).
+    Full,
+    /// Queue closed — the server is draining; no new work accepted.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue. Share via `Arc`.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue without blocking; errors communicate backpressure/shutdown.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available or the queue is closed and empty
+    /// (then `None`: time for the worker to exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Stop accepting work and wake all blocked consumers. Items already
+    /// queued still drain through `pop`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued (for `/metrics`).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn push_pop_round_trips_in_order() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let q = JobQueue::new(0);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full));
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_queued_items() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: usize = 200;
+        let q = Arc::new(JobQueue::new(8));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let item = p * PER_PRODUCER + i;
+                    loop {
+                        match q.try_push(item) {
+                            Ok(()) => break,
+                            Err(PushError::Full) => std::thread::yield_now(),
+                            Err(PushError::Closed) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(item) = q.pop() {
+                    seen.push(item);
+                }
+                seen
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,206 @@
+//! Byte-budgeted, sharded result cache keyed by content digest.
+//!
+//! Mirrors the shape of `xfd-partition`'s partition cache: fixed shard
+//! array of mutexed maps, a per-shard byte budget carved from the total,
+//! insertion-sequence eviction (oldest first — rendered reports for the
+//! same document are equally likely to be re-requested, so FIFO beats the
+//! bookkeeping cost of LRU here), and monotonic hit/miss/eviction counters
+//! that feed `/metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use xfd_hash::FxHashMap;
+
+const N_SHARDS: usize = 8;
+
+struct Entry {
+    body: Arc<String>,
+    seq: u64,
+}
+
+struct Shard {
+    map: FxHashMap<u128, Entry>,
+    resident_bytes: usize,
+    clock: u64,
+}
+
+/// Cache counters, all monotonic except `resident_bytes`/`entries`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ResultCacheStats {
+    /// Lookups that found a report.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to stay within budget.
+    pub evictions: u64,
+    /// Bytes of report text currently resident.
+    pub resident_bytes: u64,
+    /// Reports currently resident.
+    pub entries: u64,
+}
+
+/// Sharded digest-keyed cache of rendered JSON reports.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    budget_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache bounded by `budget_bytes` of report text overall.
+    pub fn new(budget_bytes: usize) -> Self {
+        let shards = (0..N_SHARDS)
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: FxHashMap::default(),
+                    resident_bytes: 0,
+                    clock: 0,
+                })
+            })
+            .collect();
+        ResultCache {
+            shards,
+            budget_per_shard: (budget_bytes / N_SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, digest: u128) -> &Mutex<Shard> {
+        // High bits select the shard; FNV's low bits already key the map.
+        &self.shards[(digest >> 125) as usize % N_SHARDS]
+    }
+
+    /// Look up a report, counting the hit or miss.
+    pub fn get(&self, digest: u128) -> Option<Arc<String>> {
+        let shard = self.shard_for(digest).lock().unwrap();
+        match shard.map.get(&digest) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.body))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a report, evicting oldest entries in the shard while over
+    /// budget. A single report larger than the shard budget is not cached.
+    pub fn put(&self, digest: u128, body: Arc<String>) {
+        if body.len() > self.budget_per_shard {
+            return;
+        }
+        let mut shard = self.shard_for(digest).lock().unwrap();
+        if let Some(old) = shard.map.remove(&digest) {
+            shard.resident_bytes -= old.body.len();
+        }
+        while shard.resident_bytes + body.len() > self.budget_per_shard && !shard.map.is_empty() {
+            let oldest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(&k, _)| k)
+                .expect("non-empty shard has a minimum");
+            let evicted = shard.map.remove(&oldest).unwrap();
+            shard.resident_bytes -= evicted.body.len();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.clock += 1;
+        let seq = shard.clock;
+        shard.resident_bytes += body.len();
+        shard.map.insert(digest, Entry { body, seq });
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ResultCacheStats {
+        let mut resident_bytes = 0u64;
+        let mut entries = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            resident_bytes += shard.resident_bytes as u64;
+            entries += shard.map.len() as u64;
+        }
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn get_after_put_hits() {
+        let cache = ResultCache::new(1 << 20);
+        assert!(cache.get(42).is_none());
+        cache.put(42, body("{\"report\":1}"));
+        assert_eq!(
+            cache.get(42).as_deref().map(|s| s.as_str()),
+            Some("{\"report\":1}")
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.resident_bytes, 12);
+    }
+
+    #[test]
+    fn reinserting_a_digest_replaces_without_leaking_bytes() {
+        let cache = ResultCache::new(1 << 20);
+        cache.put(7, body("aaaa"));
+        cache.put(7, body("bb"));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.resident_bytes, 2);
+        assert_eq!(cache.get(7).unwrap().as_str(), "bb");
+    }
+
+    #[test]
+    fn budget_overflow_evicts_oldest_first() {
+        // One shard holds at most budget/8 bytes; use digests that land in
+        // the same shard (identical top bits).
+        let cache = ResultCache::new(8 * 10);
+        let d = |i: u128| i; // top 3 bits zero → all in shard 0
+        cache.put(d(1), body("aaaa")); // 4 bytes
+        cache.put(d(2), body("bbbb")); // 8 bytes total
+        cache.put(d(3), body("cccc")); // would be 12 → evict oldest (1)
+        assert!(cache.get(d(1)).is_none());
+        assert!(cache.get(d(2)).is_some());
+        assert!(cache.get(d(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_bodies_are_not_cached() {
+        let cache = ResultCache::new(8 * 4);
+        cache.put(1, body("way too large for a 4-byte shard"));
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn shards_spread_the_key_space() {
+        let cache = ResultCache::new(1 << 20);
+        for i in 0u128..64 {
+            cache.put(i << 121, body("x"));
+        }
+        assert_eq!(cache.stats().entries, 64);
+    }
+}

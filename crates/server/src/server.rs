@@ -1,0 +1,576 @@
+//! The discovery daemon: listener, router, worker pool, and shutdown.
+//!
+//! Request flow for `POST /v1/discover` and `POST /v1/jobs`:
+//!
+//! 1. the connection thread parses the head, builds a [`DiscoveryConfig`]
+//!    from query parameters, and streams the body through a digesting
+//!    reader straight into the incremental XML parser — the raw document is
+//!    never buffered whole;
+//! 2. the content digest (config fingerprint + body bytes) is checked
+//!    against the result cache; a hit answers immediately (`X-Cache: hit`);
+//! 3. on a miss, a job is registered and pushed onto the bounded queue; a
+//!    full queue sheds the request with `503` + `Retry-After` instead of
+//!    buffering unbounded work;
+//! 4. worker threads pop jobs, run `core::driver` discovery (panics are
+//!    contained per job), render the JSON report once, and publish it to
+//!    the cache, the job table, and the metrics registry.
+//!
+//! Shutdown (SIGTERM/SIGINT or [`ServerHandle::shutdown`]) stops the
+//! accept loop, closes the queue — which rejects new work but lets workers
+//! drain what is already queued — and joins every thread before `run`
+//! returns.
+
+use std::io::{BufReader, Read};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use discoverxfd::report::render_json;
+use discoverxfd::{discover, DiscoveryConfig};
+use xfd_xml::parse_reader;
+
+use crate::digest::{format_digest, parse_digest, ContentDigest, DigestReader};
+use crate::http::{read_request, HttpError, Limits, Request, Response};
+use crate::jobs::{JobStatus, JobTable};
+use crate::metrics::{GaugeSnapshot, Metrics};
+use crate::queue::{JobQueue, PushError};
+use crate::rescache::ResultCache;
+
+/// Global flag set by the signal handler; polled by every accept loop.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: set a flag, nothing else.
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+}
+
+/// Route SIGTERM and SIGINT into a graceful drain. Call once from the
+/// binary before [`Server::run`]; in-process test servers skip this and
+/// use [`ServerHandle::shutdown`] instead.
+pub fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7700` (port `0` picks an ephemeral
+    /// port; see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads running discovery; `0` = one per available core.
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it get `503`.
+    pub queue_depth: usize,
+    /// Byte budget of the rendered-report cache.
+    pub result_cache_budget: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: u64,
+    /// Deadline for synchronous `/v1/discover` requests; slower runs get
+    /// `504` with a job id to poll.
+    pub request_timeout: Duration,
+    /// Base discovery configuration; query parameters override per request.
+    pub discovery: DiscoveryConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7700".into(),
+            workers: 0,
+            queue_depth: 64,
+            result_cache_budget: 32 << 20,
+            max_body_bytes: 64 << 20,
+            request_timeout: Duration::from_secs(30),
+            discovery: DiscoveryConfig::default(),
+        }
+    }
+}
+
+/// A unit of discovery work flowing from connection threads to workers.
+struct Job {
+    id: u64,
+    digest: u128,
+    tree: xfd_xml::DataTree,
+    config: DiscoveryConfig,
+}
+
+struct ServerState {
+    config: ServerConfig,
+    queue: JobQueue<Job>,
+    jobs: JobTable,
+    cache: ResultCache,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst)
+    }
+
+    fn gauges(&self) -> GaugeSnapshot {
+        GaugeSnapshot {
+            queue_depth: self.queue.depth() as u64,
+            queue_capacity: self.queue.capacity() as u64,
+            jobs_inflight: self.jobs.inflight(),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+/// Remote control for a running server (shut it down from another thread).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Ask the server to drain and exit; `run` returns once workers and
+    /// connections have finished.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind the listener (nonblocking, so the accept loop can poll the
+    /// shutdown flag) and set up queue, cache, job table, and metrics.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState {
+            queue: JobQueue::new(config.queue_depth),
+            jobs: JobTable::new(),
+            cache: ResultCache::new(config.result_cache_budget),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The actual bound address (resolves port `0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serve until shutdown is requested, then drain and join everything.
+    pub fn run(self) -> std::io::Result<()> {
+        let worker_count = if self.state.config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+        } else {
+            self.state.config.workers
+        };
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let state = Arc::clone(&self.state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("xfd-worker-{i}"))
+                    .spawn(move || worker_loop(&state))?,
+            );
+        }
+
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.state.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    connections.push(
+                        std::thread::Builder::new()
+                            .name("xfd-conn".into())
+                            .spawn(move || handle_connection(&state, stream))?,
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    connections.retain(|c| !c.is_finished());
+                    // The poll interval is the idle-accept latency floor;
+                    // 1 ms keeps tail latency flat at negligible idle cost.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: no new connections or jobs; queued jobs still complete.
+        self.state.queue.close();
+        for c in connections {
+            let _ = c.join();
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Worker: pop jobs until the queue closes and drains, containing any
+/// panic from the discovery pipeline to the job that caused it.
+fn worker_loop(state: &ServerState) {
+    while let Some(job) = state.queue.pop() {
+        state.jobs.mark_running(job.id);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let outcome = discover(&job.tree, &job.config);
+            let body = render_json(&outcome);
+            (outcome, body)
+        }));
+        match run {
+            Ok((outcome, body)) => {
+                let body = Arc::new(body);
+                state.metrics.observe_outcome(&outcome);
+                state.cache.put(job.digest, Arc::clone(&body));
+                state.jobs.mark_done(job.id, body);
+                state.metrics.observe_job_finished("done");
+            }
+            Err(_) => {
+                state
+                    .jobs
+                    .mark_failed(job.id, "discovery panicked on this document".into());
+                state.metrics.observe_job_finished("failed");
+            }
+        }
+    }
+}
+
+/// Per-connection: parse one request, route it, write one response, close.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.config.request_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.request_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+
+    let (endpoint, response) = match read_request(&mut reader, &Limits::default()) {
+        Ok(request) => route(state, &request, &mut reader),
+        Err(HttpError::ConnectionClosed) => return,
+        Err(e) => ("bad_request", error_response(&e)),
+    };
+    state.metrics.observe_request(endpoint, response.status);
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn error_response(e: &HttpError) -> Response {
+    let status = match e {
+        HttpError::BadRequest(_) => 400,
+        HttpError::UriTooLong => 414,
+        HttpError::HeadersTooLarge => 431,
+        HttpError::NotImplemented(_) => 501,
+        HttpError::ConnectionClosed => 400,
+        HttpError::Io(ioe) if ioe.kind() == std::io::ErrorKind::WouldBlock => 408,
+        HttpError::Io(ioe) if ioe.kind() == std::io::ErrorKind::TimedOut => 408,
+        HttpError::Io(_) => 400,
+    };
+    Response::error(status, &e.to_string())
+}
+
+/// Dispatch on method + path; returns the endpoint label used in metrics.
+fn route(state: &ServerState, request: &Request, body: &mut impl Read) -> (&'static str, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            "/healthz",
+            Response::json(200, "{\"status\": \"ok\"}\n".as_bytes().to_vec()),
+        ),
+        ("GET", "/metrics") => (
+            "/metrics",
+            Response::text(200, state.metrics.render(&state.gauges()).into_bytes()),
+        ),
+        ("POST", "/v1/discover") => ("/v1/discover", discover_sync(state, request, body)),
+        ("POST", "/v1/jobs") => ("/v1/jobs", submit_job(state, request, body)),
+        ("GET", path) if path.starts_with("/v1/jobs/") => (
+            "/v1/jobs/{id}",
+            job_status(state, &path["/v1/jobs/".len()..]),
+        ),
+        ("GET", path) if path.starts_with("/v1/results/") => (
+            "/v1/results/{digest}",
+            result_lookup(state, &path["/v1/results/".len()..]),
+        ),
+        (_, "/healthz") | (_, "/metrics") => (
+            "method_not_allowed",
+            Response::error(405, "method not allowed").with_header("Allow", "GET"),
+        ),
+        (_, "/v1/discover") | (_, "/v1/jobs") => (
+            "method_not_allowed",
+            Response::error(405, "method not allowed").with_header("Allow", "POST"),
+        ),
+        (_, path) if path.starts_with("/v1/jobs/") || path.starts_with("/v1/results/") => (
+            "method_not_allowed",
+            Response::error(405, "method not allowed").with_header("Allow", "GET"),
+        ),
+        _ => ("not_found", Response::error(404, "no such endpoint")),
+    }
+}
+
+/// Parse the per-request discovery configuration from query parameters and
+/// render the canonical fingerprint that goes into the content digest.
+fn config_from_query(
+    base: &DiscoveryConfig,
+    request: &Request,
+) -> Result<(DiscoveryConfig, String), String> {
+    use xfd_relation::{OrderMode, SetColumnMode};
+
+    let mut config = base.clone();
+    for (key, value) in &request.query {
+        match key.as_str() {
+            "max-lhs" => {
+                config.max_lhs_size = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("max-lhs: expected an integer, got {value:?}"))?,
+                );
+            }
+            "inter" => config.inter_relation = parse_bool(key, value)?,
+            "keep-uninteresting" => config.keep_uninteresting = parse_bool(key, value)?,
+            "cache-budget" => {
+                config.cache_budget = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("cache-budget: expected bytes, got {value:?}"))?,
+                );
+            }
+            "threads" => {
+                let threads = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("threads: expected an integer, got {value:?}"))?;
+                // Same convention as the CLI: 1 = sequential, 0 = auto.
+                config.parallel = threads != 1;
+                config.threads = threads;
+            }
+            "sets" => {
+                config.encode.set_columns = if parse_bool(key, value)? {
+                    SetColumnMode::All
+                } else {
+                    SetColumnMode::None
+                };
+            }
+            "ordered" => {
+                config.encode.order = if parse_bool(key, value)? {
+                    OrderMode::Ordered
+                } else {
+                    OrderMode::Unordered
+                };
+            }
+            other => return Err(format!("unknown query parameter {other:?}")),
+        }
+    }
+    let fingerprint = format!(
+        "cfg1|max_lhs={:?}|inter={}|keep={}|budget={:?}|parallel={}|threads={}|encode={:?}|prune=({},{},{})|targets={}|empty={}",
+        config.max_lhs_size,
+        config.inter_relation,
+        config.keep_uninteresting,
+        config.cache_budget,
+        config.parallel,
+        config.threads,
+        config.encode,
+        config.prune.rule1,
+        config.prune.rule2,
+        config.prune.key_prune,
+        config.max_partition_targets,
+        config.empty_lhs,
+    );
+    Ok((config, fingerprint))
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "true" | "1" => Ok(true),
+        "false" | "0" => Ok(false),
+        other => Err(format!("{key}: expected true/false, got {other:?}")),
+    }
+}
+
+/// Outcome of the shared intake path (config, digest, parse, cache, push).
+enum Intake {
+    /// The digest was already cached.
+    CacheHit { digest: u128, body: Arc<String> },
+    /// A job was accepted onto the queue.
+    Enqueued { id: u64, digest: u128 },
+    /// The request was answered early (error or backpressure).
+    Rejected(Response),
+}
+
+/// Everything `POST /v1/discover` and `POST /v1/jobs` share: validate the
+/// body frame, stream-parse while digesting, consult the cache, enqueue.
+fn intake(state: &ServerState, request: &Request, body: &mut impl Read) -> Intake {
+    if state.shutting_down() {
+        return Intake::Rejected(
+            Response::error(503, "server is draining").with_header("Retry-After", "5"),
+        );
+    }
+    let (config, fingerprint) = match config_from_query(&state.config.discovery, request) {
+        Ok(pair) => pair,
+        Err(message) => return Intake::Rejected(Response::error(400, &message)),
+    };
+    let Some(content_length) = request.content_length else {
+        return Intake::Rejected(Response::error(
+            411,
+            "Content-Length is required (chunked bodies are not supported)",
+        ));
+    };
+    if content_length > state.config.max_body_bytes {
+        state.metrics.observe_rejection("body_too_large");
+        return Intake::Rejected(Response::error(
+            413,
+            &format!(
+                "body of {content_length} bytes exceeds the {} byte limit",
+                state.config.max_body_bytes
+            ),
+        ));
+    }
+
+    // Stream the body into the parser, digesting config + bytes as they
+    // pass; the raw document is never held in memory.
+    let mut seed = ContentDigest::new();
+    seed.update(fingerprint.as_bytes());
+    let mut digesting = DigestReader::with_seed(body.take(content_length), seed);
+    let tree = match parse_reader(&mut digesting) {
+        Ok(tree) => tree,
+        Err(e) => {
+            return Intake::Rejected(Response::error(400, &format!("invalid XML: {e}")));
+        }
+    };
+    if digesting.digest().len() != fingerprint.len() as u64 + content_length {
+        // The parser stopped before the advertised end (trailing garbage is
+        // a parse error, so this means a short body).
+        return Intake::Rejected(Response::error(400, "body shorter than Content-Length"));
+    }
+    let digest = digesting.digest().finish();
+
+    if let Some(cached) = state.cache.get(digest) {
+        return Intake::CacheHit {
+            digest,
+            body: cached,
+        };
+    }
+
+    let id = state.jobs.create(digest);
+    match state.queue.try_push(Job {
+        id,
+        digest,
+        tree,
+        config,
+    }) {
+        Ok(()) => Intake::Enqueued { id, digest },
+        Err(PushError::Full) => {
+            state.metrics.observe_rejection("queue_full");
+            state.jobs.mark_failed(id, "shed by backpressure".into());
+            Intake::Rejected(
+                Response::error(503, "queue full, retry shortly").with_header("Retry-After", "1"),
+            )
+        }
+        Err(PushError::Closed) => Intake::Rejected(
+            Response::error(503, "server is draining").with_header("Retry-After", "5"),
+        ),
+    }
+}
+
+/// `POST /v1/discover`: block until the report is ready (or time out with
+/// a pollable job id).
+fn discover_sync(state: &ServerState, request: &Request, body: &mut impl Read) -> Response {
+    let (id, digest) = match intake(state, request, body) {
+        Intake::CacheHit { body, .. } => {
+            return Response::json(200, body.as_bytes().to_vec()).with_header("X-Cache", "hit");
+        }
+        Intake::Enqueued { id, digest } => (id, digest),
+        Intake::Rejected(response) => return response,
+    };
+    let deadline = Instant::now() + state.config.request_timeout;
+    match state.jobs.wait_finished(id, deadline) {
+        Some(job) => match job.status {
+            JobStatus::Done => {
+                let body = job.result.expect("done job carries its result");
+                Response::json(200, body.as_bytes().to_vec()).with_header("X-Cache", "miss")
+            }
+            JobStatus::Failed(message) => Response::error(500, &message),
+            _ => unreachable!("wait_finished only returns finished jobs"),
+        },
+        None => {
+            state.metrics.observe_rejection("timeout");
+            Response::json(
+                504,
+                format!(
+                    "{{\"error\": \"discovery exceeded the request deadline\", \"job\": {id}, \"poll\": \"/v1/jobs/{id}\", \"result\": \"/v1/results/{}\"}}\n",
+                    format_digest(digest)
+                ),
+            )
+        }
+    }
+}
+
+/// `POST /v1/jobs`: accept and return immediately with polling URLs. A
+/// cache hit still materializes a (finished) job so clients can treat both
+/// paths uniformly.
+fn submit_job(state: &ServerState, request: &Request, body: &mut impl Read) -> Response {
+    let (id, digest) = match intake(state, request, body) {
+        Intake::CacheHit { digest, body } => {
+            let id = state.jobs.create(digest);
+            state.jobs.mark_done(id, body);
+            (id, digest)
+        }
+        Intake::Enqueued { id, digest } => (id, digest),
+        Intake::Rejected(response) => return response,
+    };
+    Response::json(
+        202,
+        format!(
+            "{{\"job\": {id}, \"status\": \"{}\", \"poll\": \"/v1/jobs/{id}\", \"result\": \"/v1/results/{}\"}}\n",
+            state
+                .jobs
+                .get(id)
+                .map(|j| j.status.name())
+                .unwrap_or("queued"),
+            format_digest(digest)
+        ),
+    )
+}
+
+/// `GET /v1/jobs/{id}`.
+fn job_status(state: &ServerState, id_text: &str) -> Response {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("malformed job id {id_text:?}"));
+    };
+    match state.jobs.get(id) {
+        Some(job) => Response::json(200, job.render_json().into_bytes()),
+        None => Response::error(404, "no such job (finished jobs are pruned eventually)"),
+    }
+}
+
+/// `GET /v1/results/{digest}`.
+fn result_lookup(state: &ServerState, digest_text: &str) -> Response {
+    let Some(digest) = parse_digest(digest_text) else {
+        return Response::error(400, "malformed digest (expected 32 hex digits)");
+    };
+    match state.cache.get(digest) {
+        Some(body) => Response::json(200, body.as_bytes().to_vec()).with_header("X-Cache", "hit"),
+        None => Response::error(404, "result not cached (re-run discovery)"),
+    }
+}

@@ -1,0 +1,384 @@
+//! End-to-end tests: a real server on an ephemeral port, raw TCP clients.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use xfd_server::{Server, ServerConfig, ServerHandle};
+
+/// A parsed raw HTTP response.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn spawn_server(
+    mut config: ServerConfig,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    config.addr = "127.0.0.1:0".into();
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+/// Send raw request bytes, read the full `Connection: close` response.
+fn raw_request(addr: SocketAddr, raw: &[u8]) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(raw).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8(response).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("head/body split");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .map(|l| {
+            let (k, v) = l.split_once(':').expect("header colon");
+            (k.trim().to_string(), v.trim().to_string())
+        })
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn get(addr: SocketAddr, path: &str) -> Reply {
+    raw_request(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
+    raw_request(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// The one volatile field in the JSON report is the total wall time;
+/// replace its value so byte comparison is meaningful.
+fn normalize_total_ms(s: &str) -> String {
+    let Some(start) = s.find("\"total_ms\": ") else {
+        return s.to_string();
+    };
+    let value_start = start + "\"total_ms\": ".len();
+    let value_len = s[value_start..]
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(0);
+    format!("{}X{}", &s[..value_start], &s[value_start + value_len..])
+}
+
+const BOOKSTORE: &str = "<shop>\
+    <book><isbn>1</isbn><title>DBMS</title><author>R</author></book>\
+    <book><isbn>1</isbn><title>DBMS</title><author>G</author></book>\
+    <book><isbn>2</isbn><title>TCP/IP</title><author>S</author></book>\
+  </shop>";
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let (addr, handle, join) = spawn_server(ServerConfig::default());
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "{\"status\": \"ok\"}\n");
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("discoverxfd_uptime_seconds"));
+    assert!(metrics
+        .body
+        .contains("# TYPE discoverxfd_queue_depth gauge"));
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn discover_matches_the_batch_pipeline_byte_for_byte() {
+    let (addr, handle, join) = spawn_server(ServerConfig::default());
+    let reply = post(addr, "/v1/discover", BOOKSTORE);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(reply.header("X-Cache"), Some("miss"));
+    assert_eq!(reply.header("Content-Type"), Some("application/json"));
+
+    let tree = xfd_xml::parse(BOOKSTORE).unwrap();
+    let outcome = discoverxfd::discover(&tree, &discoverxfd::DiscoveryConfig::default());
+    let expected = discoverxfd::report::render_json(&outcome);
+    assert_eq!(
+        normalize_total_ms(&reply.body),
+        normalize_total_ms(&expected)
+    );
+    // The report is not degenerate: the isbn redundancy is in there.
+    assert!(reply.body.contains("isbn"));
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn repeated_documents_are_served_from_the_result_cache() {
+    let (addr, handle, join) = spawn_server(ServerConfig::default());
+    let first = post(addr, "/v1/discover", BOOKSTORE);
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("X-Cache"), Some("miss"));
+    let second = post(addr, "/v1/discover", BOOKSTORE);
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("X-Cache"), Some("hit"));
+    assert_eq!(second.body, first.body);
+
+    // A different config must not hit the same cache entry.
+    let other = post(addr, "/v1/discover?max-lhs=1", BOOKSTORE);
+    assert_eq!(other.status, 200);
+    assert_eq!(other.header("X-Cache"), Some("miss"));
+
+    let metrics = get(addr, "/metrics").body;
+    assert!(
+        metrics.contains("discoverxfd_result_cache_hits_total 1"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("discoverxfd_runs_total 2"), "{metrics}");
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn async_jobs_poll_to_completion_and_results_are_fetchable() {
+    let (addr, handle, join) = spawn_server(ServerConfig::default());
+    let accepted = post(addr, "/v1/jobs", BOOKSTORE);
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let job_id: u64 = field_u64(&accepted.body, "\"job\": ");
+    let result_path = field_str(&accepted.body, "\"result\": \"");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let final_status = loop {
+        let poll = get(addr, &format!("/v1/jobs/{job_id}"));
+        assert_eq!(poll.status, 200, "{}", poll.body);
+        if poll.body.contains("\"status\": \"done\"") {
+            break poll;
+        }
+        assert!(
+            !poll.body.contains("\"status\": \"failed\""),
+            "{}",
+            poll.body
+        );
+        assert!(Instant::now() < deadline, "job never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(final_status.body.contains("\"result\": \"/v1/results/"));
+
+    let result = raw_request(
+        addr,
+        format!("GET {result_path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    );
+    assert_eq!(result.status, 200);
+    let sync = post(addr, "/v1/discover", BOOKSTORE);
+    assert_eq!(sync.header("X-Cache"), Some("hit"));
+    assert_eq!(result.body, sync.body);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn saturated_queue_sheds_load_with_retry_after() {
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    });
+    // A document big enough that one run occupies the single worker while
+    // the flood arrives.
+    let spec = xfd_datagen::XmarkSpec::with_scale(1.0);
+    let doc = xfd_xml::to_xml_string(&xfd_datagen::xmark_like(&spec));
+
+    // Vary a config knob per request: distinct digests (no cache hits),
+    // identical parse/discovery work.
+    let mut statuses = Vec::new();
+    let mut retry_after_seen = false;
+    for i in 0..12 {
+        let reply = post(
+            addr,
+            &format!("/v1/jobs?cache-budget={}", 50_000_000 + i),
+            &doc,
+        );
+        if reply.status == 503 {
+            retry_after_seen |= reply.header("Retry-After").is_some();
+        }
+        statuses.push(reply.status);
+    }
+    assert!(
+        statuses.contains(&202),
+        "at least one job accepted: {statuses:?}"
+    );
+    assert!(
+        statuses.contains(&503),
+        "backpressure must shed some of the flood: {statuses:?}"
+    );
+    assert!(retry_after_seen, "503 responses carry Retry-After");
+    let metrics = get(addr, "/metrics").body;
+    assert!(
+        metrics.contains("discoverxfd_http_rejected_total{reason=\"queue_full\"}"),
+        "{metrics}"
+    );
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn slow_discoveries_time_out_with_a_pollable_job() {
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        request_timeout: Duration::from_millis(1),
+        ..ServerConfig::default()
+    });
+    let spec = xfd_datagen::XmarkSpec::with_scale(1.0);
+    let doc = xfd_xml::to_xml_string(&xfd_datagen::xmark_like(&spec));
+    let reply = post(addr, "/v1/discover", &doc);
+    assert_eq!(reply.status, 504, "{}", reply.body);
+    let job_id: u64 = field_u64(&reply.body, "\"job\": ");
+
+    // The job keeps running in the background; poll it to completion.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let poll = get(addr, &format!("/v1/jobs/{job_id}"));
+        if poll.body.contains("\"status\": \"done\"") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job never finished: {}",
+            poll.body
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_requests_get_clean_errors() {
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        max_body_bytes: 512,
+        ..ServerConfig::default()
+    });
+
+    // Unknown endpoint and wrong methods.
+    assert_eq!(get(addr, "/nope").status, 404);
+    let wrong = raw_request(addr, b"DELETE /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(wrong.status, 405);
+    assert_eq!(wrong.header("Allow"), Some("GET"));
+    assert_eq!(get(addr, "/v1/discover").status, 405);
+
+    // Body framing.
+    let no_length = raw_request(addr, b"POST /v1/discover HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(no_length.status, 411);
+    let huge = raw_request(
+        addr,
+        b"POST /v1/discover HTTP/1.1\r\nHost: t\r\nContent-Length: 1024\r\n\r\n",
+    );
+    assert_eq!(huge.status, 413);
+    let chunked = raw_request(
+        addr,
+        b"POST /v1/discover HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+    );
+    assert_eq!(chunked.status, 501);
+
+    // Bad content.
+    let bad_xml = post(addr, "/v1/discover", "<open><unclosed>");
+    assert_eq!(bad_xml.status, 400);
+    assert!(bad_xml.body.contains("invalid XML"), "{}", bad_xml.body);
+    let bad_param = post(addr, "/v1/discover?bogus=1", "<a/>");
+    assert_eq!(bad_param.status, 400);
+    assert!(bad_param.body.contains("bogus"), "{}", bad_param.body);
+    let bad_value = post(addr, "/v1/discover?max-lhs=many", "<a/>");
+    assert_eq!(bad_value.status, 400);
+
+    // Bad identifiers.
+    assert_eq!(get(addr, "/v1/jobs/notanumber").status, 400);
+    assert_eq!(get(addr, "/v1/jobs/123456").status, 404);
+    assert_eq!(get(addr, "/v1/results/deadbeef").status, 400);
+    assert_eq!(
+        get(addr, &format!("/v1/results/{}", "0".repeat(32))).status,
+        404
+    );
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_queued_jobs_before_exit() {
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    });
+    // Queue several jobs, then immediately request shutdown.
+    let mut jobs = Vec::new();
+    for i in 0..3 {
+        let reply = post(
+            addr,
+            &format!("/v1/jobs?cache-budget={}", 10_000_000 + i),
+            BOOKSTORE,
+        );
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        jobs.push(field_u64(&reply.body, "\"job\": "));
+    }
+    handle.shutdown();
+    // run() returning means: accept loop stopped, queue closed, workers
+    // drained every accepted job, all threads joined.
+    join.join().unwrap().unwrap();
+    // And the server really is gone.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // Accepting sockets may linger in the OS backlog; a write/read must
+            // fail or return nothing.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(200)))
+                .unwrap();
+            s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).map(|n| n == 0).unwrap_or(true)
+        }
+    );
+}
+
+fn field_u64(json: &str, prefix: &str) -> u64 {
+    let start = json.find(prefix).expect(prefix) + prefix.len();
+    json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+fn field_str(json: &str, prefix: &str) -> String {
+    let start = json.find(prefix).expect(prefix) + prefix.len();
+    json[start..].chars().take_while(|&c| c != '"').collect()
+}

@@ -36,6 +36,7 @@ pub mod escape;
 pub mod intern;
 pub mod path;
 pub mod query;
+pub mod reader;
 pub mod serialize;
 pub mod stream;
 pub mod tokenizer;
@@ -50,6 +51,7 @@ pub use intern::{Interner, Symbol};
 pub use parser::{parse, parse_with_options, ParseOptions};
 pub use path::{Path, Step};
 pub use query::Query;
+pub use reader::{parse_reader, parse_reader_with_options, ReadError};
 pub use serialize::{to_xml_string, to_xml_string_with, SerializeOptions};
 pub use tree::{DataTree, NodeId, TreeStats};
 pub use value_eq::{

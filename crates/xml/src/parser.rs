@@ -40,7 +40,12 @@ pub fn parse(input: &str) -> Result<DataTree, ParseError> {
 /// skipped.
 pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<DataTree, ParseError> {
     let input = input.strip_prefix('\u{FEFF}').unwrap_or(input);
-    Parser::new(input, options).run()
+    let mut tokens = Tokenizer::new(input);
+    let mut assembler = TreeAssembler::new(options);
+    while let Some(tok) = tokens.next_token()? {
+        assembler.push(tok)?;
+    }
+    assembler.finish(tokens.position())
 }
 
 struct OpenElement {
@@ -52,18 +57,19 @@ struct OpenElement {
     pos: Position,
 }
 
-struct Parser<'a> {
-    tokens: Tokenizer<'a>,
+/// The token → data-tree state machine, shared by the in-memory parser and
+/// the chunked [`crate::reader`] entry point: feed tokens with [`Self::push`]
+/// (in document order, from any tokenization strategy), then [`Self::finish`].
+pub(crate) struct TreeAssembler {
     options: ParseOptions,
     tree: Option<DataTree>,
     stack: Vec<OpenElement>,
     root_done: bool,
 }
 
-impl<'a> Parser<'a> {
-    fn new(input: &'a str, options: ParseOptions) -> Self {
-        Parser {
-            tokens: Tokenizer::new(input),
+impl TreeAssembler {
+    pub(crate) fn new(options: ParseOptions) -> Self {
+        TreeAssembler {
             options,
             tree: None,
             stack: Vec::new(),
@@ -71,70 +77,74 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn run(mut self) -> Result<DataTree, ParseError> {
-        while let Some(tok) = self.tokens.next_token()? {
-            match tok {
-                Token::StartTag {
-                    name,
-                    attrs,
-                    self_closing,
-                    pos,
-                } => {
-                    self.open(&name, &attrs, pos)?;
-                    if self_closing {
-                        self.close_top();
-                    }
-                }
-                Token::EndTag { name, pos } => {
-                    let top = self.stack.last().ok_or_else(|| {
-                        ParseError::new(ParseErrorKind::UnmatchedCloseTag(name.clone()), pos)
-                    })?;
-                    let tree = self.tree.as_ref().expect("open element implies tree");
-                    let open_label = tree.label(top.node).to_string();
-                    if open_label != name {
-                        return Err(ParseError::new(
-                            ParseErrorKind::MismatchedTag {
-                                open: open_label,
-                                close: name,
-                            },
-                            pos,
-                        ));
-                    }
+    /// Incorporate the next token.
+    pub(crate) fn push(&mut self, tok: Token) -> Result<(), ParseError> {
+        match tok {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+                pos,
+            } => {
+                self.open(&name, &attrs, pos)?;
+                if self_closing {
                     self.close_top();
                 }
-                Token::Text { text, pos } | Token::CData { text, pos } => {
-                    if self.stack.is_empty() {
-                        if !text.trim().is_empty() {
-                            return Err(ParseError::new(ParseErrorKind::TrailingContent, pos));
-                        }
-                        continue;
-                    }
+            }
+            Token::EndTag { name, pos } => {
+                let top = self.stack.last().ok_or_else(|| {
+                    ParseError::new(ParseErrorKind::UnmatchedCloseTag(name.clone()), pos)
+                })?;
+                let tree = self.tree.as_ref().expect("open element implies tree");
+                let open_label = tree.label(top.node).to_string();
+                if open_label != name {
+                    return Err(ParseError::new(
+                        ParseErrorKind::MismatchedTag {
+                            open: open_label,
+                            close: name,
+                        },
+                        pos,
+                    ));
+                }
+                self.close_top();
+            }
+            Token::Text { text, pos } | Token::CData { text, pos } => {
+                if self.stack.is_empty() {
                     if !text.trim().is_empty() {
-                        let chunk = if self.options.trim_text {
-                            text.trim().to_string()
-                        } else {
-                            text
-                        };
-                        self.stack
-                            .last_mut()
-                            .expect("non-empty stack")
-                            .text_chunks
-                            .push(chunk);
+                        return Err(ParseError::new(ParseErrorKind::TrailingContent, pos));
                     }
+                    return Ok(());
+                }
+                if !text.trim().is_empty() {
+                    let chunk = if self.options.trim_text {
+                        text.trim().to_string()
+                    } else {
+                        text
+                    };
+                    self.stack
+                        .last_mut()
+                        .expect("non-empty stack")
+                        .text_chunks
+                        .push(chunk);
                 }
             }
         }
-        if let Some(open) = self.stack.last() {
+        Ok(())
+    }
+
+    /// Consume the assembler at end of input (`end` positions EOF errors).
+    pub(crate) fn finish(mut self, end: Position) -> Result<DataTree, ParseError> {
+        if let Some(open) = self.stack.pop() {
             return Err(ParseError::new(
                 ParseErrorKind::UnexpectedEof("document"),
                 Position {
-                    offset: self.tokens.position().offset,
+                    offset: end.offset,
                     ..open.pos
                 },
             ));
         }
         self.tree
-            .ok_or_else(|| ParseError::new(ParseErrorKind::NoRootElement, self.tokens.position()))
+            .ok_or_else(|| ParseError::new(ParseErrorKind::NoRootElement, end))
     }
 
     fn open(

@@ -62,7 +62,7 @@ fn main() {
     println!(
         "\n{} FDs total, {:?} end to end.",
         report.fds.len(),
-        report.timings.total()
+        report.profile.total()
     );
 
     // Cross-snapshot audit: two exports of the bibliography, checked as one

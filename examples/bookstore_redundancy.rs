@@ -59,7 +59,7 @@ fn main() {
     }
 }
 
-fn summarize(report: &DiscoveryReport) {
+fn summarize(report: &RunOutcome) {
     println!(
         "  {} interesting FDs, {} keys, {} redundancy findings",
         report.fds.len(),
@@ -73,5 +73,5 @@ fn summarize(report: &DiscoveryReport) {
     for r in top.iter().take(5) {
         println!("    {}  [{} redundant]", r.fd, r.redundant_values);
     }
-    println!("  discovery time: {:?}", report.timings.total());
+    println!("  discovery time: {:?}", report.profile.total());
 }

@@ -40,9 +40,9 @@ fn main() {
 
     println!(
         "\nDiscovery visited {} lattice nodes, built {} partitions, created {} partition targets in {:?}.",
-        report.lattice_stats.nodes_visited,
-        report.lattice_stats.partitions_built,
-        report.target_stats.created,
-        report.timings.total(),
+        report.stats.lattice.nodes_visited,
+        report.stats.lattice.partitions_built,
+        report.stats.targets.created,
+        report.profile.total(),
     );
 }

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Quick partition-machinery benchmark: sweeps the warehouse, XMark-like
-# SF=1 and wide synthetic datasets through the sequential / parallel /
-# byte-budgeted discovery configurations and writes wall-time, cache
-# counters and the product-hot-path allocation comparison to
-# BENCH_partitions.json (pass a different path as $1).
+# Quick benchmarks:
+#  * partition machinery — sweeps the warehouse, XMark-like SF=1 and wide
+#    synthetic datasets through the sequential / parallel / byte-budgeted
+#    discovery configurations; writes wall-time, cache counters and the
+#    product-hot-path allocation comparison to BENCH_partitions.json
+#    (pass a different path as $1);
+#  * serving mode — drives an in-process daemon with concurrent clients
+#    through a cold (all cache misses) and warm (all cache hits) phase;
+#    writes rps and p50/p99 latency to BENCH_server.json (or $2).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cargo build --release -p xfd-bench --bin bench_partitions
+cargo build --release -p xfd-bench --bin bench_partitions --bin bench_server
 ./target/release/bench_partitions "${1:-BENCH_partitions.json}"
+./target/release/bench_server "${2:-BENCH_server.json}"

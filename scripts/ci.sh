@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints, release build, test suite, and a
+# serving-mode smoke test (ephemeral port, one discovery round-trip
+# checked against the batch CLI, metrics probe, SIGTERM drain).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+# Vendored stand-in crates (vendor/*) are exempt from the lint gate.
+cargo clippy --workspace --all-targets \
+  --exclude rand --exclude proptest --exclude criterion \
+  -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test --workspace -q"
+# The root manifest is a package + workspace; bare `cargo test` would only
+# run the facade crate's suites.
+cargo test --workspace -q
+
+echo "== server smoke test"
+BIN=./target/release/discoverxfd
+DOC=$(mktemp /tmp/ci-doc-XXXXXX.xml)
+BANNER=$(mktemp /tmp/ci-banner-XXXXXX)
+trap 'rm -f "$DOC" "$BANNER"; [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null || true' EXIT
+
+"$BIN" gen warehouse > "$DOC"
+
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 > "$BANNER" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$BANNER" 2>/dev/null && break
+  sleep 0.05
+done
+ADDR=$(sed -n 's#listening on http://##p' "$BANNER")
+[ -n "$ADDR" ] || { echo "server did not start"; exit 1; }
+echo "   serving on $ADDR"
+
+# The served report must match the batch CLI byte-for-byte once the one
+# volatile field (total wall time) is normalized on both sides.
+normalize() { sed 's/"total_ms": [0-9.]*/"total_ms": X/'; }
+curl -sS -X POST --data-binary @"$DOC" "http://$ADDR/v1/discover" | normalize > /tmp/ci-served.json
+"$BIN" discover "$DOC" --json | normalize > /tmp/ci-batch.json
+cmp /tmp/ci-served.json /tmp/ci-batch.json || { echo "served report differs from batch CLI"; exit 1; }
+echo "   served report matches batch CLI"
+
+# Second POST of the same document must be answered from the result cache.
+curl -sS -X POST --data-binary @"$DOC" "http://$ADDR/v1/discover" -o /dev/null -D /tmp/ci-headers.txt
+grep -qi '^X-Cache: hit' /tmp/ci-headers.txt \
+  || { echo "expected X-Cache: hit on the repeat request"; exit 1; }
+curl -sS "http://$ADDR/metrics" | grep -q "discoverxfd_result_cache_hits_total 1" \
+  || { echo "expected a result-cache hit in /metrics"; exit 1; }
+echo "   repeat request served from cache"
+
+curl -sS "http://$ADDR/healthz" | grep -q '"ok"' || { echo "healthz failed"; exit 1; }
+
+# SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+DRAIN=0
+if wait "$SERVER_PID"; then DRAIN=1; fi
+[ "$DRAIN" = 1 ] || { echo "server did not exit cleanly on SIGTERM"; exit 1; }
+SERVER_PID=""
+echo "   clean SIGTERM drain"
+
+echo "CI OK"

@@ -23,8 +23,8 @@ pub use xfd_xml as xml;
 /// One-stop imports for examples and quick scripts.
 pub mod prelude {
     pub use discoverxfd::{
-        discover, discover_with_schema, DiscoveryConfig, DiscoveryReport, FdScope, Redundancy, Xfd,
-        XmlKey,
+        discover, discover_with_schema, DiscoveryConfig, DiscoveryReport, FdScope, Redundancy,
+        RunOutcome, Xfd, XmlKey,
     };
     pub use xfd_relation::{encode, EncodeConfig};
     pub use xfd_schema::{check, infer_schema, nested_representation, SchemaMap};

@@ -87,7 +87,7 @@ fn target_cap_drops_rather_than_explodes() {
         },
     );
     let full = discover(&doc, &DiscoveryConfig::default());
-    assert!(capped.target_stats.created + capped.target_stats.dropped_overflow > 0);
+    assert!(capped.stats.targets.created + capped.stats.targets.dropped_overflow > 0);
     assert!(capped.fds.len() <= full.fds.len());
 }
 
@@ -160,7 +160,7 @@ fn intra_only_config_still_finds_local_fds() {
         .fds
         .iter()
         .any(|f| f.to_string() == "{./i} -> ./t w.r.t. C_book"));
-    assert_eq!(report.target_stats.created, 0);
+    assert_eq!(report.stats.targets.created, 0);
 }
 
 #[test]

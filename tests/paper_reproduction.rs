@@ -5,11 +5,11 @@
 use discoverxfd_suite::prelude::*;
 use xfd_datagen::warehouse_figure1;
 
-fn report() -> DiscoveryReport {
+fn report() -> RunOutcome {
     discover(&warehouse_figure1(), &DiscoveryConfig::default())
 }
 
-fn fd_strings(r: &DiscoveryReport) -> Vec<String> {
+fn fd_strings(r: &RunOutcome) -> Vec<String> {
     r.fds.iter().map(Xfd::to_string).collect()
 }
 

@@ -18,7 +18,7 @@ fn xmark_scale_4_end_to_end() {
     );
     assert!(!report.fds.is_empty());
     assert!(
-        report.target_stats.dropped_overflow == 0,
+        report.stats.targets.dropped_overflow == 0,
         "caps must not trigger at this scale"
     );
     // Serialization round-trip at scale.
@@ -76,7 +76,7 @@ fn deep_synthetic_nesting() {
             ..Default::default()
         },
     );
-    assert!(report.forest_stats.relations >= 7);
+    assert!(report.stats.forest.relations >= 7);
     // Sanity: every reported FD re-verifies.
     let (_, forest) = discoverxfd::driver::encode_only(&tree, &DiscoveryConfig::default());
     for fd in report.fds.iter().take(20) {
