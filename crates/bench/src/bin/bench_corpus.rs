@@ -1,0 +1,174 @@
+//! Corpus-store benchmark (`scripts/bench_quick.sh`).
+//!
+//! Builds a 32-document corpus spread over 8 distinct schema categories,
+//! warms the per-relation memo with one discovery pass, then measures the
+//! cost of ingesting one more document two ways: *incremental* (the corpus
+//! handle replays memoised relations whose partitions are unchanged) and
+//! *full* (a from-scratch `discover_collection` over all 33 trees). The two
+//! reports must be byte-identical modulo the `total_ms` stat, and the
+//! incremental path must be at least 3x faster. Results go to
+//! `BENCH_corpus.json` (or the path given as the first argument).
+//!
+//! ```sh
+//! cargo run --release -p xfd-bench --bin bench_corpus [-- out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use discoverxfd::report::render_json;
+use discoverxfd::{discover_collection, DiscoveryConfig};
+use xfd_corpus::CorpusStore;
+use xfd_xml::{parse_reader, DataTree};
+
+fn parse_str(xml: &str) -> Result<DataTree, xfd_xml::ReadError> {
+    parse_reader(xml.as_bytes())
+}
+
+const CATEGORIES: usize = 8;
+const DOCS_PER_CATEGORY: usize = 4;
+/// Category 0 — the one the incremental phase touches — stays small; the
+/// other seven carry the bulk of the lattice work. That is the workload
+/// incremental discovery exists for: a small update must not pay for the
+/// large unchanged relations.
+fn rows_per_doc(cat: usize) -> usize {
+    if cat == 0 {
+        250
+    } else {
+        4000
+    }
+}
+
+/// Distinct prime moduli: no column set is a key (or yields an FD) until
+/// the residues jointly distinguish every row, which by CRT needs the
+/// modulus product to exceed the relation's row count. With 2600+ rows per
+/// relation no column *pair* is a key, so the lattice search runs to level
+/// 3–5 on a 16-wide schema — the combinatorial work that makes per-relation
+/// memoisation worth measuring, since merge/infer/encode stay linear.
+const MODULI: [usize; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+
+/// One document of schema category `cat`. Every category gets its own
+/// element names so the merged corpus holds disjoint relation sets — the
+/// shape where incremental discovery pays off.
+fn synthetic_doc(cat: usize, doc: usize) -> String {
+    let rows = rows_per_doc(cat);
+    let mut xml = format!("<cat{cat}_data>");
+    for i in 0..rows {
+        let row = doc * rows + i;
+        let _ = write!(xml, "<rec{cat}>");
+        for (col, modulus) in MODULI.iter().enumerate() {
+            let _ = write!(xml, "<f{col}x{cat}>{}</f{col}x{cat}>", row % modulus);
+        }
+        let _ = write!(xml, "</rec{cat}>");
+    }
+    let _ = write!(xml, "</cat{cat}_data>");
+    xml
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_corpus.json".into());
+    let config = DiscoveryConfig::default();
+
+    let root = std::env::temp_dir().join(format!("xfd-bench-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = CorpusStore::new(&root);
+    let mut handle = store.create("bench").expect("create corpus");
+
+    let mut trees: Vec<DataTree> = Vec::new();
+    for doc in 0..DOCS_PER_CATEGORY {
+        for cat in 0..CATEGORIES {
+            let tree = parse_str(&synthetic_doc(cat, doc)).expect("parse synthetic doc");
+            handle
+                .add_doc(&format!("cat{cat}-doc{doc}"), &tree)
+                .expect("add doc");
+            trees.push(tree);
+        }
+    }
+    eprintln!(
+        "corpus: {} docs, {} categories, {} rows/doc ({} for the hot category)",
+        handle.len(),
+        CATEGORIES,
+        rows_per_doc(1),
+        rows_per_doc(0)
+    );
+
+    // Warm pass: populates the per-relation memo for all 32 documents.
+    let t0 = Instant::now();
+    handle.discover(&config);
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("warm-up discovery: {warm_ms:.1} ms");
+
+    // Ingest one more category-0 document; only category 0's relations
+    // change, the other 7 categories replay from the memo.
+    let extra = parse_str(&synthetic_doc(0, DOCS_PER_CATEGORY)).expect("parse extra doc");
+    handle.add_doc("cat0-extra", &extra).expect("add extra doc");
+    trees.push(extra);
+
+    let t0 = Instant::now();
+    let incremental = handle.discover(&config);
+    let incremental_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let p = &incremental.profile;
+    eprintln!(
+        "incremental phases: infer {:.1} ms, encode {:.1} ms, discover {:.1} ms, redundancy {:.1} ms",
+        p.infer.as_secs_f64() * 1e3,
+        p.encode.as_secs_f64() * 1e3,
+        p.discover.as_secs_f64() * 1e3,
+        p.redundancy.as_secs_f64() * 1e3
+    );
+
+    let refs: Vec<&DataTree> = trees.iter().collect();
+    let t0 = Instant::now();
+    let full = discover_collection(&refs, &config);
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Byte-identity modulo the one volatile stat.
+    let normalize = |report: &str| -> String {
+        let Some(start) = report.find("\"total_ms\": ") else {
+            return report.to_string();
+        };
+        let value_start = start + "\"total_ms\": ".len();
+        let value_len = report[value_start..]
+            .find(|c: char| !c.is_ascii_digit() && c != '.')
+            .unwrap_or(0);
+        format!(
+            "{}X{}",
+            &report[..value_start],
+            &report[value_start + value_len..]
+        )
+    };
+    let inc_report = render_json(&incremental);
+    let full_report = render_json(&full);
+    if normalize(&inc_report) != normalize(&full_report) {
+        let _ = std::fs::write("/tmp/bench_corpus_incremental.json", &inc_report);
+        let _ = std::fs::write("/tmp/bench_corpus_full.json", &full_report);
+        panic!("incremental report must be byte-identical to a from-scratch run");
+    }
+
+    let speedup = full_ms / incremental_ms;
+    eprintln!("full recompute:       {full_ms:.1} ms");
+    eprintln!("incremental discover: {incremental_ms:.1} ms ({speedup:.1}x faster)");
+    assert!(
+        speedup >= 3.0,
+        "incremental discovery must be at least 3x faster than full \
+         recompute (got {speedup:.2}x)"
+    );
+
+    let docs = handle.len();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut json = String::from("{\n  \"corpus\": {\n");
+    let _ = write!(
+        json,
+        "    \"docs\": {docs},\n    \"categories\": {CATEGORIES},\n    \
+         \"rows_per_doc\": {},\n    \"hot_rows_per_doc\": {},\n    \"warm_ms\": {warm_ms:.1},\n    \
+         \"full_ms\": {full_ms:.1},\n    \"incremental_ms\": {incremental_ms:.1},\n    \
+         \"speedup\": {speedup:.2}\n",
+        rows_per_doc(1),
+        rows_per_doc(0)
+    );
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write results");
+    eprintln!("wrote {out_path}");
+}

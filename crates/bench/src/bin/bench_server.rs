@@ -43,7 +43,7 @@ fn one_request(addr: SocketAddr, path: &str, body: &str) -> (u16, bool) {
     stream
         .write_all(
             format!(
-                "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                "POST {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),

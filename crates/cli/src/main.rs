@@ -49,7 +49,17 @@ const USAGE: &str = "usage:
   discoverxfd profile  <file.xml>                     (column statistics)
   discoverxfd serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
                        [--result-cache-budget BYTES] [--body-limit BYTES]
-                       [--request-timeout SECS]      (HTTP discovery daemon)";
+                       [--request-timeout SECS] [--corpus-root DIR]
+                                                    (HTTP discovery daemon)
+  discoverxfd corpus create <corpus> [--root DIR]
+  discoverxfd corpus add <corpus> <file.xml> [--name DOC] [--root DIR]
+  discoverxfd corpus rm <corpus> <doc> [--root DIR]
+  discoverxfd corpus discover <corpus> [--root DIR] [--json|--markdown] [--progress]
+                              [--max-lhs N] [--no-inter] [--keep-uninteresting]
+                              [--threads N] [--cache-budget BYTES]
+  discoverxfd corpus status <corpus> [--root DIR]
+  discoverxfd corpus list [--root DIR]
+                       (persistent multi-document corpora; default root ./corpora)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -69,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "select" => cmd_select(rest),
         "profile" => cmd_profile(rest),
         "serve" => cmd_serve(rest),
+        "corpus" => cmd_corpus(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -465,6 +476,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--result-cache-budget",
             "--body-limit",
             "--request-timeout",
+            "--corpus-root",
         ],
     )?;
     let mut config = xfd_server::ServerConfig::default();
@@ -486,6 +498,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(secs) = opt_value::<u64>(args, "--request-timeout")? {
         config.request_timeout = std::time::Duration::from_secs(secs);
     }
+    if let Some(root) = opt_value::<String>(args, "--corpus-root")? {
+        config.corpus_root = Some(root.into());
+    }
     let server = xfd_server::Server::bind(config.clone())
         .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -493,4 +508,167 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // Parsed by scripts and tests: keep this line format stable.
     println!("listening on http://{addr}");
     server.run().map_err(|e| e.to_string())
+}
+
+/// Positional arguments with the *string-valued* options' values skipped
+/// (the shared [`positional`] helper only has to dodge numeric values).
+fn corpus_positional<'a>(
+    args: &'a [String],
+    value_opts: &[&str],
+    idx: usize,
+) -> Result<&'a str, String> {
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if value_opts.contains(&a.as_str()) {
+                i += 1; // skip the option's value
+            }
+        } else {
+            positionals.push(a.as_str());
+        }
+        i += 1;
+    }
+    positionals
+        .get(idx)
+        .copied()
+        .ok_or_else(|| "missing argument".to_string())
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    use discoverxfd::report::render_json;
+    use xfd_corpus::CorpusStore;
+
+    let Some(action) = args.first() else {
+        return Err("corpus: missing action (create|add|rm|discover|status|list)".into());
+    };
+    let rest = &args[1..];
+    let root = opt_value::<String>(rest, "--root")?.unwrap_or_else(|| "corpora".into());
+    let store = CorpusStore::new(&root);
+    let pos = |idx| corpus_positional(rest, &["--root", "--name"], idx);
+
+    match action.as_str() {
+        "create" => {
+            check_flags(rest, &["--root"])?;
+            let corpus = pos(0)?;
+            store.create(corpus).map_err(|e| e.to_string())?;
+            eprintln!("created corpus {corpus:?} under {root}/");
+            Ok(())
+        }
+        "add" => {
+            check_flags(rest, &["--root", "--name", "--crash-after-wal"])?;
+            let corpus = pos(0)?;
+            let file = pos(1)?;
+            let doc_name = match opt_value::<String>(rest, "--name")? {
+                Some(name) => name,
+                None => std::path::Path::new(file)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .ok_or_else(|| format!("cannot derive a document name from {file:?}"))?
+                    .to_string(),
+            };
+            let tree = load(file)?;
+            let mut handle = store.open(corpus).map_err(|e| e.to_string())?;
+            if flag(rest, "--crash-after-wal") {
+                // Crash injection for recovery tests: the segment and WAL
+                // record are durable, the manifest commit never happens —
+                // exactly the state a kill -9 mid-ingest leaves behind.
+                handle
+                    .stage_doc(&doc_name, &tree)
+                    .map_err(|e| e.to_string())?;
+                eprintln!("staged {doc_name:?}; crashing before the manifest commit");
+                std::process::exit(42);
+            }
+            handle
+                .add_doc(&doc_name, &tree)
+                .map_err(|e| e.to_string())?;
+            eprintln!("added {doc_name:?} to {corpus:?} ({} docs)", handle.len());
+            Ok(())
+        }
+        "rm" => {
+            check_flags(rest, &["--root"])?;
+            let corpus = pos(0)?;
+            let doc = pos(1)?;
+            let mut handle = store.open(corpus).map_err(|e| e.to_string())?;
+            handle.remove_doc(doc).map_err(|e| e.to_string())?;
+            eprintln!("removed {doc:?} from {corpus:?} ({} docs)", handle.len());
+            Ok(())
+        }
+        "discover" => {
+            check_flags(
+                rest,
+                &[
+                    "--root",
+                    "--json",
+                    "--markdown",
+                    "--progress",
+                    "--max-lhs",
+                    "--no-inter",
+                    "--keep-uninteresting",
+                    "--threads",
+                    "--cache-budget",
+                ],
+            )?;
+            let corpus = pos(0)?;
+            let mut config = DiscoveryConfig {
+                max_lhs_size: opt_value::<usize>(rest, "--max-lhs")?,
+                inter_relation: !flag(rest, "--no-inter"),
+                keep_uninteresting: flag(rest, "--keep-uninteresting"),
+                cache_budget: opt_value::<usize>(rest, "--cache-budget")?,
+                ..Default::default()
+            };
+            if let Some(threads) = opt_value::<usize>(rest, "--threads")? {
+                config.parallel = threads != 1;
+                config.threads = threads;
+            }
+            let mut handle = store.open(corpus).map_err(|e| e.to_string())?;
+            let progress = flag(rest, "--progress");
+            let outcome = handle.discover_with_progress(&config, |p| {
+                if progress {
+                    let cached = if p.cached { " (cached)" } else { "" };
+                    eprintln!("[depth {}] {}{cached}", p.depth, p.name);
+                }
+            });
+            let opts = RenderOptions {
+                show_uninteresting: config.keep_uninteresting,
+                show_suggestions: false,
+                show_stats: true,
+            };
+            if flag(rest, "--json") {
+                print!("{}", render_json(&outcome));
+            } else if flag(rest, "--markdown") {
+                print!("{}", render_markdown(&outcome, &opts));
+            } else {
+                print!("{}", render_text(&outcome, &opts));
+            }
+            Ok(())
+        }
+        "status" => {
+            check_flags(rest, &["--root"])?;
+            let corpus = pos(0)?;
+            let handle = store.open(corpus).map_err(|e| e.to_string())?;
+            let status = handle.status();
+            println!(
+                "corpus {} — {} document(s), {} segment bytes",
+                status.name,
+                status.docs.len(),
+                status.segment_bytes
+            );
+            for (name, digest, nodes) in &status.docs {
+                println!("  {name}  {digest}  {nodes} nodes");
+            }
+            Ok(())
+        }
+        "list" => {
+            check_flags(rest, &["--root"])?;
+            for name in store.list().map_err(|e| e.to_string())? {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown corpus action {other:?} (create|add|rm|discover|status|list)"
+        )),
+    }
 }

@@ -156,13 +156,73 @@ pub fn encode_only(tree: &DataTree, config: &DiscoveryConfig) -> (Schema, Forest
 /// element; every original tuple class deepens by one level and discovery
 /// proceeds unchanged. Pivot-relative FD paths are unaffected.
 pub fn discover_collection(trees: &[&DataTree], config: &DiscoveryConfig) -> RunOutcome {
+    let merged = merge_collection(trees);
+    discover(&merged, config)
+}
+
+/// Graft `trees` under the synthetic `<collection>` root (the exact merge
+/// [`discover_collection`] performs — shared so the corpus store's
+/// incremental path sees byte-identical input).
+pub fn merge_collection(trees: &[&DataTree]) -> DataTree {
     use xfd_xml::builder::TreeWriter;
     let mut w = TreeWriter::new("collection");
     for t in trees {
         w.copy_subtree(t, t.root());
     }
-    let merged = w.finish();
-    discover(&merged, config)
+    w.finish()
+}
+
+/// [`discover_collection`] with a relation-pass memo and per-relation
+/// progress callback: documents merge, the schema is re-inferred and the
+/// forest re-encoded every time (cheap, linear), but relation passes whose
+/// fingerprints are unchanged replay from `memo` instead of re-running the
+/// lattice traversal. Output is identical to [`discover_collection`] on
+/// the same documents and configuration, timings aside.
+pub fn discover_trees_with_memo(
+    trees: &[&DataTree],
+    config: &DiscoveryConfig,
+    memo: &mut crate::memo::RelationMemo,
+    progress: impl FnMut(crate::memo::RelationProgress<'_>),
+) -> RunOutcome {
+    let merged = merge_collection(trees);
+    let t0 = Instant::now();
+    let schema = infer_schema(&merged);
+    let infer = t0.elapsed();
+
+    let t1 = Instant::now();
+    let forest = encode(&merged, &schema, &config.encode);
+    let encode_t = t1.elapsed();
+
+    let t2 = Instant::now();
+    let disc = crate::memo::discover_forest_memo(&forest, config, memo, progress);
+    let discover_t = t2.elapsed();
+
+    let t3 = Instant::now();
+    let redundancies = analyze(&forest, &disc);
+    let redundancy_t = t3.elapsed();
+
+    let classified = classify(&forest, &disc, config.keep_uninteresting);
+    RunOutcome {
+        report: DiscoveryReport {
+            schema,
+            fds: classified.fds,
+            keys: classified.keys,
+            uninteresting_fds: classified.uninteresting_fds,
+            uninteresting_keys: classified.uninteresting_keys,
+            redundancies,
+        },
+        stats: RunStatsBundle {
+            lattice: disc.lattice_stats,
+            targets: disc.target_stats,
+            forest: forest.stats(),
+        },
+        profile: PhaseTimings {
+            infer,
+            encode: encode_t,
+            discover: discover_t,
+            redundancy: redundancy_t,
+        },
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ pub mod inclusion;
 pub mod interesting;
 pub mod intra;
 pub mod lattice;
+pub mod memo;
 pub mod mvd;
 pub mod normalize;
 pub mod pathfd;
@@ -71,8 +72,9 @@ pub mod xfd;
 
 pub use config::{DiscoveryConfig, PruneConfig};
 pub use driver::{
-    discover, discover_collection, discover_with_schema, DiscoveryReport, PhaseTimings, RunOutcome,
-    RunStatsBundle,
+    discover, discover_collection, discover_trees_with_memo, discover_with_schema,
+    merge_collection, DiscoveryReport, PhaseTimings, RunOutcome, RunStatsBundle,
 };
 pub use fd::{FdScope, Xfd, XmlKey};
+pub use memo::{RelationMemo, RelationProgress};
 pub use redundancy::Redundancy;

@@ -1,0 +1,455 @@
+//! Memoized `DiscoverXFD`: incremental re-discovery for a changing corpus.
+//!
+//! A corpus mutates one document at a time, but re-running discovery from
+//! scratch repeats the full lattice traversal of every relation — including
+//! the many whose tuples did not change. This module caches each
+//! *relation pass* (`process_relation`) keyed by a 128-bit fingerprint of
+//! everything the pass reads:
+//!
+//! * the discovery configuration (pruning rules, LHS bound, target caps),
+//! * the forest skeleton (relation ids, parents, pivots — what the
+//!   self-reference guard walks),
+//! * the relation's own content: tuple count, `parent_of` index, and every
+//!   column's schema element, kind and raw cells,
+//! * the incoming partition targets, pair sets included.
+//!
+//! Soundness rests on two properties of the underlying engine. First,
+//! `process_relation` never resolves dictionary strings — it compares
+//! interned cell identifiers only — so equal raw cells imply an identical
+//! pass. Second, the hierarchical encoding is *prefix-stable*: appending a
+//! document appends tuples and dictionary entries without renumbering
+//! existing ones, so an unchanged relation re-encodes to byte-identical
+//! cells and its cached pass replays verbatim. A fingerprint mismatch
+//! merely forces a recompute; output never differs from
+//! [`discover_forest`](crate::xfd::discover_forest) on the same forest
+//! (waves merge in the same order, then the same minimization runs).
+
+use std::collections::HashMap;
+
+use xfd_hash::{ContentDigest, FxHashMap};
+use xfd_partition::{AttrSet, PairSet};
+use xfd_relation::{ColumnKind, Forest, RelId};
+
+use crate::config::DiscoveryConfig;
+use crate::intra::RunStats;
+use crate::target::PartitionTarget;
+use crate::xfd::{
+    minimize_inter, process_relation, relation_waves, ForestDiscovery, RelationOutput, TargetStats,
+};
+
+/// One line of discovery progress: a relation pass finished (possibly from
+/// cache). The corpus server streams these as NDJSON.
+#[derive(Debug, Clone)]
+pub struct RelationProgress<'a> {
+    /// The relation.
+    pub rel: RelId,
+    /// Its tuple-class name (e.g. `C_book`).
+    pub name: &'a str,
+    /// Depth in the relation tree (waves run deepest-first).
+    pub depth: usize,
+    /// Whether the pass was replayed from the memo.
+    pub cached: bool,
+    /// Intra-relation FDs found in this relation.
+    pub fds: usize,
+    /// Intra-relation keys found.
+    pub keys: usize,
+    /// Inter-relation FDs completed at this relation.
+    pub inter_fds: usize,
+    /// Inter-relation keys completed here.
+    pub inter_keys: usize,
+}
+
+/// Cache of relation passes, keyed by content fingerprint. Owned by a
+/// [`CorpusHandle`-style](crate::driver::discover_trees_with_memo) caller
+/// and carried across discover runs.
+#[derive(Default)]
+pub struct RelationMemo {
+    entries: FxHashMap<u128, (u64, RelationOutput)>,
+    generation: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl RelationMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached relation passes currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime cache hits (relation passes replayed).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime cache misses (relation passes computed).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop entries not touched by the most recent discover run, bounding
+    /// memory across document adds/removes (stale fingerprints can never
+    /// hit again unless the exact same corpus state recurs).
+    pub fn prune_stale(&mut self) {
+        let current = self.generation;
+        self.entries.retain(|_, (gen, _)| *gen == current);
+    }
+
+    /// Forget everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+fn update_u128(d: &mut ContentDigest, v: u128) {
+    d.update_u64(v as u64);
+    d.update_u64((v >> 64) as u64);
+}
+
+fn update_attrset(d: &mut ContentDigest, s: AttrSet) {
+    update_u128(d, s.bits());
+}
+
+fn update_pairs(d: &mut ContentDigest, pairs: &PairSet) {
+    d.update_u64(pairs.pairs().len() as u64);
+    for &(a, b) in pairs.pairs() {
+        d.update_u64(a as u64);
+        d.update_u64(b as u64);
+    }
+}
+
+/// Absorb every configuration field `process_relation` reads.
+fn config_fingerprint(config: &DiscoveryConfig, d: &mut ContentDigest) {
+    d.update_u64(config.lhs_bound() as u64);
+    d.update_u64(config.inter_relation as u64);
+    d.update_u64(config.empty_lhs as u64);
+    d.update_u64(config.prune.rule1 as u64);
+    d.update_u64(config.prune.rule2 as u64);
+    d.update_u64(config.prune.key_prune as u64);
+    d.update_u64(config.max_partition_targets as u64);
+    d.update_u64(config.cache_budget.map_or(u64::MAX, |b| b as u64));
+    // Thread count never changes *discovered* FDs/keys, but speculative
+    // level-precompute does show in the work counters the report renders;
+    // keying on it keeps replayed stats byte-identical too.
+    d.update_u64(config.effective_threads() as u64);
+}
+
+/// Absorb the forest skeleton: ids, parent edges and pivots of every
+/// relation. The self-reference guard inside `process_relation` walks an
+/// origin's parent chain and compares pivots, so the *whole* skeleton is
+/// part of every relation's key.
+fn skeleton_fingerprint(forest: &Forest, d: &mut ContentDigest) {
+    d.update_u64(forest.relations.len() as u64);
+    for rel in &forest.relations {
+        d.update_u64(rel.id.0 as u64);
+        d.update_u64(rel.parent.map_or(u64::MAX, |p| p.0 as u64));
+        d.update_u64(rel.pivot.0 as u64);
+    }
+}
+
+/// Fingerprint one relation pass: `base` (config + skeleton) extended with
+/// the relation's content and its incoming partition targets.
+fn relation_fingerprint(
+    forest: &Forest,
+    rel_id: RelId,
+    incoming: &[PartitionTarget],
+    base: ContentDigest,
+) -> u128 {
+    let rel = forest.relation(rel_id);
+    let mut d = base;
+    d.update_u64(rel.id.0 as u64);
+    d.update_u64(rel.n_tuples() as u64);
+    for &p in &rel.parent_of {
+        d.update_u64(p as u64);
+    }
+    d.update_u64(rel.columns.len() as u64);
+    for col in &rel.columns {
+        d.update_u64(col.elem.0 as u64);
+        d.update_u64(match col.kind {
+            ColumnKind::Simple => 0,
+            ColumnKind::Complex => 1,
+            ColumnKind::SetValue => 2,
+        });
+        d.update_u64(col.cells.len() as u64);
+        for cell in &col.cells {
+            // Prefix-free cell encoding: None is one word (MAX), Some is a
+            // tag word then the id, so cell sequences cannot alias.
+            match cell {
+                None => d.update_u64(u64::MAX),
+                Some(v) => {
+                    d.update_u64(1);
+                    d.update_u64(*v);
+                }
+            }
+        }
+    }
+    d.update_u64(incoming.len() as u64);
+    for pt in incoming {
+        d.update_u64(pt.origin.0 as u64);
+        d.update_u64(pt.rhs as u64);
+        d.update_u64(pt.lhs_levels.len() as u64);
+        for &(r, s) in &pt.lhs_levels {
+            d.update_u64(r.0 as u64);
+            update_attrset(&mut d, s);
+        }
+        update_pairs(&mut d, &pt.fd_target);
+        match &pt.key_target {
+            None => d.update_u64(u64::MAX),
+            Some(kt) => {
+                d.update_u64(1);
+                update_pairs(&mut d, kt);
+            }
+        }
+        d.update_u64(pt.satisfied_fd.len() as u64);
+        for &s in &pt.satisfied_fd {
+            update_attrset(&mut d, s);
+        }
+        d.update_u64(pt.satisfied_key.len() as u64);
+        for &s in &pt.satisfied_key {
+            update_attrset(&mut d, s);
+        }
+    }
+    d.finish()
+}
+
+/// [`discover_forest`](crate::xfd::discover_forest) with a relation-pass
+/// memo and a progress callback. Waves run sequentially (the memo is a
+/// single mutable map) with the thread budget handed to each relation's
+/// intra-level precompute instead — an arrangement the engine's
+/// parallel-equals-sequential invariant keeps byte-identical. The callback
+/// fires once per relation, deepest wave first.
+pub fn discover_forest_memo(
+    forest: &Forest,
+    config: &DiscoveryConfig,
+    memo: &mut RelationMemo,
+    mut progress: impl FnMut(RelationProgress<'_>),
+) -> ForestDiscovery {
+    memo.generation += 1;
+    let mut base = ContentDigest::new();
+    config_fingerprint(config, &mut base);
+    skeleton_fingerprint(forest, &mut base);
+
+    let mut out = ForestDiscovery {
+        relations: Vec::with_capacity(forest.relations.len()),
+        inter_fds: Vec::new(),
+        inter_keys: Vec::new(),
+        lattice_stats: RunStats::default(),
+        target_stats: TargetStats::default(),
+    };
+    let mut inbox: HashMap<RelId, Vec<PartitionTarget>> = HashMap::new();
+    let (depth, waves) = relation_waves(forest);
+    let threads = config.effective_threads();
+
+    for wave in waves.into_iter().rev() {
+        // Mirror `discover_forest`'s thread split: a multi-relation wave
+        // hands each relation pass one thread (there, they run in
+        // parallel), a single-relation wave hands all threads to the
+        // intra-level precompute. Matching it exactly keeps even the work
+        // counters identical to the unmemoized traversal.
+        let intra_threads = if threads > 1 && wave.len() > 1 {
+            1
+        } else {
+            threads
+        };
+        for rel_id in wave {
+            let incoming = inbox.remove(&rel_id).unwrap_or_default();
+            let key = relation_fingerprint(forest, rel_id, &incoming, base);
+            let (mut result, cached) = match memo.entries.get_mut(&key) {
+                Some(entry) => {
+                    entry.0 = memo.generation;
+                    memo.hits += 1;
+                    (entry.1.clone(), true)
+                }
+                None => {
+                    memo.misses += 1;
+                    let r = process_relation(forest, rel_id, incoming, config, intra_threads);
+                    memo.entries.insert(key, (memo.generation, r.clone()));
+                    (r, false)
+                }
+            };
+            progress(RelationProgress {
+                rel: rel_id,
+                name: &forest.relation(rel_id).name,
+                depth: depth[&rel_id],
+                cached,
+                fds: result.local.fds.len(),
+                keys: result.local.keys.len(),
+                inter_fds: result.inter_fds.len(),
+                inter_keys: result.inter_keys.len(),
+            });
+            out.inter_fds.append(&mut result.inter_fds);
+            out.inter_keys.append(&mut result.inter_keys);
+            out.lattice_stats.absorb(&result.lattice);
+            out.target_stats.created += result.targets.created;
+            out.target_stats.propagated += result.targets.propagated;
+            out.target_stats.dropped_impossible += result.targets.dropped_impossible;
+            out.target_stats.dropped_overflow += result.targets.dropped_overflow;
+            out.relations.push(result.local);
+            if let Some(parent) = forest.relation(rel_id).parent {
+                let mut outgoing = result.outgoing;
+                let room = config
+                    .max_partition_targets
+                    .saturating_sub(inbox.get(&parent).map_or(0, Vec::len));
+                if outgoing.len() > room {
+                    out.target_stats.dropped_overflow += outgoing.len() - room;
+                    outgoing.truncate(room);
+                }
+                inbox.entry(parent).or_default().extend(outgoing);
+            }
+        }
+    }
+    out.relations.sort_by_key(|r| r.rel);
+    minimize_inter(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xfd::discover_forest;
+    use xfd_relation::{encode, EncodeConfig};
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    const DOC: &str = "<w>\
+        <state><sname>WA</sname>\
+          <store><book><isbn>1</isbn><price>10</price></book>\
+            <book><isbn>2</isbn><price>30</price></book>\
+            <mag><m>1</m></mag><mag><m>2</m></mag></store>\
+          <store><book><isbn>1</isbn><price>10</price></book>\
+            <mag><m>1</m></mag></store>\
+        </state>\
+        <state><sname>KY</sname>\
+          <store><book><isbn>1</isbn><price>12</price></book>\
+            <mag><m>3</m></mag></store>\
+        </state>\
+        </w>";
+
+    fn forest_of(xml: &str) -> Forest {
+        let t = parse(xml).unwrap();
+        let schema = infer_schema(&t);
+        encode(&t, &schema, &EncodeConfig::default())
+    }
+
+    fn assert_same(a: &ForestDiscovery, b: &ForestDiscovery) {
+        assert_eq!(a.inter_fds, b.inter_fds);
+        assert_eq!(a.inter_keys, b.inter_keys);
+        assert_eq!(a.relations.len(), b.relations.len());
+        for (x, y) in a.relations.iter().zip(b.relations.iter()) {
+            assert_eq!(x.rel, y.rel);
+            assert_eq!(x.fds, y.fds);
+            assert_eq!(x.keys, y.keys);
+        }
+        assert_eq!(a.lattice_stats, b.lattice_stats);
+        assert_eq!(a.target_stats, b.target_stats);
+    }
+
+    #[test]
+    fn memoized_run_matches_plain_discover_forest() {
+        let forest = forest_of(DOC);
+        let config = DiscoveryConfig::default();
+        let plain = discover_forest(&forest, &config);
+        let mut memo = RelationMemo::new();
+        let cold = discover_forest_memo(&forest, &config, &mut memo, |_| {});
+        assert_same(&plain, &cold);
+        assert_eq!(memo.hits(), 0);
+        assert!(memo.misses() > 0);
+    }
+
+    #[test]
+    fn second_run_hits_on_every_relation_and_matches() {
+        let forest = forest_of(DOC);
+        let config = DiscoveryConfig::default();
+        let mut memo = RelationMemo::new();
+        let first = discover_forest_memo(&forest, &config, &mut memo, |_| {});
+        let misses = memo.misses();
+        let mut events = 0usize;
+        let second = discover_forest_memo(&forest, &config, &mut memo, |p| {
+            assert!(p.cached, "relation {} recomputed on warm run", p.name);
+            events += 1;
+        });
+        assert_same(&first, &second);
+        assert_eq!(memo.misses(), misses, "no new misses on identical forest");
+        assert_eq!(events, forest.relations.len());
+    }
+
+    #[test]
+    fn memoized_parallel_config_matches_plain_run_including_stats() {
+        let forest = forest_of(DOC);
+        let config = DiscoveryConfig {
+            parallel: true,
+            threads: 2,
+            ..Default::default()
+        };
+        let plain = discover_forest(&forest, &config);
+        let mut memo = RelationMemo::new();
+        let out = discover_forest_memo(&forest, &config, &mut memo, |_| {});
+        assert_same(&plain, &out);
+    }
+
+    #[test]
+    fn changed_value_forces_partial_recompute() {
+        let config = DiscoveryConfig::default();
+        let mut memo = RelationMemo::new();
+        let forest = forest_of(DOC);
+        discover_forest_memo(&forest, &config, &mut memo, |_| {});
+        // Same shape, one magazine id changed: the mag relation (and its
+        // ancestors, whose incoming targets differ) recompute; the book
+        // relation replays from cache.
+        let dirty = forest_of(&DOC.replace("<m>3</m>", "<m>9</m>"));
+        let mut cached_names: Vec<String> = Vec::new();
+        let out = discover_forest_memo(&dirty, &config, &mut memo, |p| {
+            if p.cached {
+                cached_names.push(p.name.to_string());
+            }
+        });
+        assert!(
+            cached_names.iter().any(|n| n.contains("book")),
+            "book relation should replay from cache, got {cached_names:?}"
+        );
+        assert_same(&out, &discover_forest(&dirty, &config));
+    }
+
+    #[test]
+    fn different_config_never_replays_stale_entries() {
+        let forest = forest_of(DOC);
+        let mut memo = RelationMemo::new();
+        discover_forest_memo(&forest, &DiscoveryConfig::default(), &mut memo, |_| {});
+        let bounded = DiscoveryConfig {
+            max_lhs_size: Some(1),
+            ..Default::default()
+        };
+        let out = discover_forest_memo(&forest, &bounded, &mut memo, |p| {
+            assert!(!p.cached, "config change must invalidate {}", p.name);
+        });
+        assert_same(&out, &discover_forest(&forest, &bounded));
+    }
+
+    #[test]
+    fn prune_stale_keeps_only_the_latest_generation() {
+        let forest = forest_of(DOC);
+        let config = DiscoveryConfig::default();
+        let mut memo = RelationMemo::new();
+        discover_forest_memo(&forest, &config, &mut memo, |_| {});
+        let n = memo.len();
+        // Note: a pure *rename* (WA → OR) would change nothing — dictionary
+        // ids are positional, so the cells stay identical and every pass
+        // replays. Collapsing two distinct values changes the id structure.
+        let dirty = forest_of(&DOC.replace("<sname>WA</sname>", "<sname>KY</sname>"));
+        discover_forest_memo(&dirty, &config, &mut memo, |_| {});
+        assert!(memo.len() > n, "both generations resident before pruning");
+        memo.prune_stale();
+        assert_eq!(memo.len(), n, "exactly the latest run's entries survive");
+        // And the pruned memo still replays the latest forest fully.
+        discover_forest_memo(&dirty, &config, &mut memo, |p| assert!(p.cached));
+    }
+}

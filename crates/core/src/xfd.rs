@@ -74,14 +74,15 @@ pub struct ForestDiscovery {
 }
 
 /// Everything one relation's pass produces (kept local so relation passes
-/// can run on worker threads).
-struct RelationOutput {
-    local: RelationDiscovery,
-    inter_fds: Vec<RawInterFd>,
-    inter_keys: Vec<RawInterKey>,
-    lattice: RunStats,
-    targets: TargetStats,
-    outgoing: Vec<PartitionTarget>,
+/// can run on worker threads, and cloneable so `crate::memo` can cache it).
+#[derive(Clone)]
+pub(crate) struct RelationOutput {
+    pub(crate) local: RelationDiscovery,
+    pub(crate) inter_fds: Vec<RawInterFd>,
+    pub(crate) inter_keys: Vec<RawInterKey>,
+    pub(crate) lattice: RunStats,
+    pub(crate) targets: TargetStats,
+    pub(crate) outgoing: Vec<PartitionTarget>,
 }
 
 /// Run `DiscoverXFD` over an encoded forest. With
@@ -100,30 +101,7 @@ pub fn discover_forest(forest: &Forest, config: &DiscoveryConfig) -> ForestDisco
     // tuple space.
     let mut inbox: HashMap<RelId, Vec<PartitionTarget>> = HashMap::new();
 
-    // Group relations by depth in the relation tree; process deepest wave
-    // first. Relations within a wave never feed each other. Depths are
-    // derived by walking each relation's parent chain, so the computation
-    // holds for any relation order (a child may be listed before its
-    // parent).
-    let mut depth: HashMap<RelId, usize> = HashMap::new();
-    for rel in &forest.relations {
-        let mut d = 0usize;
-        let mut cursor = rel.parent;
-        while let Some(p) = cursor {
-            if let Some(&known) = depth.get(&p) {
-                d += known + 1;
-                break;
-            }
-            d += 1;
-            cursor = forest.relation(p).parent;
-        }
-        depth.insert(rel.id, d);
-    }
-    let max_depth = depth.values().copied().max().unwrap_or(0);
-    let mut waves: Vec<Vec<RelId>> = vec![Vec::new(); max_depth + 1];
-    for rel_id in forest.bottom_up() {
-        waves[depth[&rel_id]].push(rel_id);
-    }
+    let (_, waves) = relation_waves(forest);
 
     let threads = config.effective_threads();
     for wave in waves.into_iter().rev() {
@@ -203,6 +181,34 @@ pub fn discover_forest(forest: &Forest, config: &DiscoveryConfig) -> ForestDisco
     out
 }
 
+/// Group relations by depth in the relation tree into processing waves
+/// (deepest wave last in the returned vector; callers iterate in reverse).
+/// Relations within a wave never feed each other. Depths are derived by
+/// walking each relation's parent chain, so the computation holds for any
+/// relation order (a child may be listed before its parent).
+pub(crate) fn relation_waves(forest: &Forest) -> (HashMap<RelId, usize>, Vec<Vec<RelId>>) {
+    let mut depth: HashMap<RelId, usize> = HashMap::new();
+    for rel in &forest.relations {
+        let mut d = 0usize;
+        let mut cursor = rel.parent;
+        while let Some(p) = cursor {
+            if let Some(&known) = depth.get(&p) {
+                d += known + 1;
+                break;
+            }
+            d += 1;
+            cursor = forest.relation(p).parent;
+        }
+        depth.insert(rel.id, d);
+    }
+    let max_depth = depth.values().copied().max().unwrap_or(0);
+    let mut waves: Vec<Vec<RelId>> = vec![Vec::new(); max_depth + 1];
+    for rel_id in forest.bottom_up() {
+        waves[depth[&rel_id]].push(rel_id);
+    }
+    (depth, waves)
+}
+
 /// Canonical sorted attribute list of an LHS spanning levels.
 fn attr_list(levels: &[(RelId, AttrSet)]) -> Vec<(u32, usize)> {
     let mut v: Vec<(u32, usize)> = levels
@@ -224,7 +230,7 @@ fn is_sub(a: &[(u32, usize)], b: &[(u32, usize)]) -> bool {
 /// Canonicalized LHS of one inter-relation FD: `(origin, rhs, attrs)`.
 type FdSignature = (RelId, usize, Vec<(u32, usize)>);
 
-fn minimize_inter(out: &mut ForestDiscovery) {
+pub(crate) fn minimize_inter(out: &mut ForestDiscovery) {
     let fd_lists: Vec<FdSignature> = out
         .inter_fds
         .iter()
@@ -280,7 +286,7 @@ fn minimize_inter(out: &mut ForestDiscovery) {
 /// the parent's tuple space). `intra_threads > 1` precomputes each lattice
 /// level's partitions on scoped workers (output is unchanged; see
 /// `crate::lattice::precompute_level`).
-fn process_relation(
+pub(crate) fn process_relation(
     forest: &Forest,
     rel_id: RelId,
     mut incoming: Vec<PartitionTarget>,

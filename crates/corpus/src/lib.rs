@@ -1,0 +1,544 @@
+#![warn(missing_docs)]
+//! # xfd-corpus
+//!
+//! A named, durable, multi-document corpus store with incremental XFD
+//! discovery — the stateful layer that turns DiscoverXFD from a
+//! run-per-request function into a discovery *service*.
+//!
+//! * **On disk** each corpus is an append-only segment directory: one
+//!   [`TreeTuple`](xfd_relation::treetuple) block per ingested document, a
+//!   `MANIFEST` carrying per-segment 128-bit FNV-1a digests, and a small
+//!   WAL so a crash mid-ingest never corrupts the manifest (see
+//!   [`store`] for the exact protocol).
+//! * **In memory** a [`CorpusHandle`] keeps the decoded documents plus a
+//!   [`RelationMemo`](discoverxfd::RelationMemo): re-running
+//!   [`CorpusHandle::discover`] after adding or removing one document
+//!   replays every relation pass whose partition inputs did not change and
+//!   recomputes only the rest — output byte-identical to a from-scratch
+//!   run over the same documents.
+//!
+//! ```no_run
+//! use xfd_corpus::CorpusStore;
+//! use discoverxfd::DiscoveryConfig;
+//!
+//! let store = CorpusStore::new("./corpora");
+//! let mut corpus = store.create("orders").unwrap();
+//! let doc = xfd_xml::parse("<shop><book><i>1</i></book></shop>").unwrap();
+//! corpus.add_doc("day-1", &doc).unwrap();
+//! let outcome = corpus.discover(&DiscoveryConfig::default());
+//! println!("{} FDs", outcome.fds.len());
+//! ```
+
+pub mod names;
+pub mod store;
+
+pub use names::{validate_name, NameError};
+pub use store::{DocMeta, StoreDir, StoreError, WalRecord};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use discoverxfd::memo::{RelationMemo, RelationProgress};
+use discoverxfd::{discover_trees_with_memo, DiscoveryConfig, RunOutcome};
+use xfd_relation::treetuple::{decode_tree, encode_tree, DecodeError};
+use xfd_xml::DataTree;
+
+/// Errors from the corpus layer.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A corpus or document name failed [`validate_name`].
+    BadName(NameError),
+    /// `create` on an existing corpus.
+    CorpusExists(String),
+    /// `open`/`delete` on a missing corpus.
+    CorpusNotFound(String),
+    /// `add_doc` with a name already in the corpus.
+    DocExists(String),
+    /// `remove_doc` with an unknown name.
+    DocNotFound(String),
+    /// On-disk state failed verification (manifest, WAL, or a segment
+    /// whose bytes no longer match their manifest digest).
+    Corrupt(String),
+    /// A segment failed to decode.
+    Decode(DecodeError),
+}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+impl From<StoreError> for CorpusError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(e) => CorpusError::Io(e),
+            StoreError::Corrupt(what) => CorpusError::Corrupt(what),
+        }
+    }
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "i/o error: {e}"),
+            CorpusError::BadName(e) => write!(f, "invalid name: {e}"),
+            CorpusError::CorpusExists(n) => write!(f, "corpus '{n}' already exists"),
+            CorpusError::CorpusNotFound(n) => write!(f, "corpus '{n}' not found"),
+            CorpusError::DocExists(n) => write!(f, "document '{n}' already exists"),
+            CorpusError::DocNotFound(n) => write!(f, "document '{n}' not found"),
+            CorpusError::Corrupt(what) => write!(f, "corrupt corpus: {what}"),
+            CorpusError::Decode(e) => write!(f, "segment decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// A root directory holding corpora, one subdirectory each.
+#[derive(Debug, Clone)]
+pub struct CorpusStore {
+    root: PathBuf,
+}
+
+impl CorpusStore {
+    /// A store rooted at `root` (created lazily on first `create`).
+    pub fn new(root: impl Into<PathBuf>) -> CorpusStore {
+        CorpusStore { root: root.into() }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn corpus_dir(&self, name: &str) -> Result<PathBuf, CorpusError> {
+        validate_name(name).map_err(CorpusError::BadName)?;
+        Ok(self.root.join(name))
+    }
+
+    /// Whether a corpus of that name exists (invalid names simply don't).
+    pub fn exists(&self, name: &str) -> bool {
+        validate_name(name).is_ok() && self.root.join(name).join("MANIFEST").is_file()
+    }
+
+    /// Create a new empty corpus.
+    pub fn create(&self, name: &str) -> Result<CorpusHandle, CorpusError> {
+        let dir = self.corpus_dir(name)?;
+        if dir.exists() {
+            return Err(CorpusError::CorpusExists(name.to_string()));
+        }
+        StoreDir::init(&dir)?;
+        CorpusHandle::load(name, &dir)
+    }
+
+    /// Open an existing corpus, replaying its WAL and verifying every
+    /// segment digest.
+    pub fn open(&self, name: &str) -> Result<CorpusHandle, CorpusError> {
+        let dir = self.corpus_dir(name)?;
+        if !dir.join("MANIFEST").is_file() {
+            return Err(CorpusError::CorpusNotFound(name.to_string()));
+        }
+        CorpusHandle::load(name, &dir)
+    }
+
+    /// Open the corpus, creating it first if missing.
+    pub fn open_or_create(&self, name: &str) -> Result<CorpusHandle, CorpusError> {
+        if self.exists(name) {
+            self.open(name)
+        } else {
+            self.create(name)
+        }
+    }
+
+    /// Delete a corpus and everything under it.
+    pub fn delete(&self, name: &str) -> Result<(), CorpusError> {
+        let dir = self.corpus_dir(name)?;
+        if !dir.exists() {
+            return Err(CorpusError::CorpusNotFound(name.to_string()));
+        }
+        fs::remove_dir_all(&dir)?;
+        Ok(())
+    }
+
+    /// Names of all corpora under the root, sorted.
+    pub fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(names),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                if validate_name(name).is_ok() && entry.path().join("MANIFEST").is_file() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+struct Doc {
+    meta: DocMeta,
+    tree: DataTree,
+}
+
+/// Point-in-time description of a corpus, for `corpus status` and the
+/// server's `GET /v1/corpora/{name}`.
+#[derive(Debug, Clone)]
+pub struct CorpusStatus {
+    /// Corpus name.
+    pub name: String,
+    /// Per document: name, segment digest (hex), node count.
+    pub docs: Vec<(String, String, usize)>,
+    /// Total bytes across segment files.
+    pub segment_bytes: u64,
+    /// Cached relation passes currently held.
+    pub memo_entries: usize,
+    /// Lifetime relation passes replayed from cache.
+    pub memo_hits: u64,
+    /// Lifetime relation passes computed.
+    pub memo_misses: u64,
+}
+
+/// An open corpus: committed documents decoded in memory, plus the
+/// relation-pass memo that makes repeat discovery incremental. One handle
+/// assumes exclusive ownership of its directory (the server keeps one per
+/// corpus; the CLI opens, mutates, exits).
+pub struct CorpusHandle {
+    name: String,
+    store: StoreDir,
+    docs: Vec<Doc>,
+    next_seg: u64,
+    memo: RelationMemo,
+}
+
+impl CorpusHandle {
+    fn load(name: &str, dir: &Path) -> Result<CorpusHandle, CorpusError> {
+        let (store, metas) = StoreDir::open(dir)?;
+        let mut docs = Vec::with_capacity(metas.len());
+        let mut next_seg = 0u64;
+        for meta in metas {
+            let bytes = store.read_segment(meta.seg)?;
+            if xfd_hash::digest_bytes(&bytes) != meta.digest {
+                return Err(CorpusError::Corrupt(format!(
+                    "segment {} of document '{}' does not match its manifest digest",
+                    meta.seg, meta.name
+                )));
+            }
+            let tree = decode_tree(&bytes).map_err(CorpusError::Decode)?;
+            next_seg = next_seg.max(meta.seg + 1);
+            docs.push(Doc { meta, tree });
+        }
+        Ok(CorpusHandle {
+            name: name.to_string(),
+            store,
+            docs,
+            next_seg,
+            memo: RelationMemo::new(),
+        })
+    }
+
+    /// Corpus name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Document names in ingest order.
+    pub fn doc_names(&self) -> Vec<&str> {
+        self.docs.iter().map(|d| d.meta.name.as_str()).collect()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The decoded documents, in ingest order.
+    pub fn trees(&self) -> Vec<&DataTree> {
+        self.docs.iter().map(|d| &d.tree).collect()
+    }
+
+    /// Stage a document without committing it: segment written and fsynced,
+    /// WAL record appended and fsynced, manifest **not** rewritten and the
+    /// in-memory state **not** updated. This is the state an ingest crash
+    /// leaves behind; reopening the corpus replays the WAL and surfaces the
+    /// document. Exists for crash-injection tests (`--crash-after-wal`).
+    pub fn stage_doc(&mut self, doc_name: &str, tree: &DataTree) -> Result<(), CorpusError> {
+        let meta = self.stage(doc_name, tree)?;
+        self.next_seg = meta.seg + 1;
+        Ok(())
+    }
+
+    fn stage(&self, doc_name: &str, tree: &DataTree) -> Result<DocMeta, CorpusError> {
+        validate_name(doc_name).map_err(CorpusError::BadName)?;
+        if self.docs.iter().any(|d| d.meta.name == doc_name) {
+            return Err(CorpusError::DocExists(doc_name.to_string()));
+        }
+        let bytes = encode_tree(tree);
+        let meta = DocMeta {
+            name: doc_name.to_string(),
+            seg: self.next_seg,
+            digest: xfd_hash::digest_bytes(&bytes),
+        };
+        self.store.write_segment(meta.seg, &bytes)?;
+        self.store.append_wal(&WalRecord::Add(meta.clone()))?;
+        Ok(meta)
+    }
+
+    /// Ingest a document: segment → WAL → manifest, then update the
+    /// in-memory state. Fails with [`CorpusError::DocExists`] if the name
+    /// is taken.
+    pub fn add_doc(&mut self, doc_name: &str, tree: &DataTree) -> Result<(), CorpusError> {
+        let meta = self.stage(doc_name, tree)?;
+        self.next_seg = meta.seg + 1;
+        let mut metas: Vec<DocMeta> = self.docs.iter().map(|d| d.meta.clone()).collect();
+        metas.push(meta.clone());
+        self.store.commit(&metas)?;
+        self.docs.push(Doc {
+            meta,
+            tree: tree.clone(),
+        });
+        Ok(())
+    }
+
+    /// Remove a document: WAL → manifest → segment unlink.
+    pub fn remove_doc(&mut self, doc_name: &str) -> Result<(), CorpusError> {
+        let idx = self
+            .docs
+            .iter()
+            .position(|d| d.meta.name == doc_name)
+            .ok_or_else(|| CorpusError::DocNotFound(doc_name.to_string()))?;
+        self.store
+            .append_wal(&WalRecord::Remove(doc_name.to_string()))?;
+        let removed = self.docs.remove(idx);
+        let metas: Vec<DocMeta> = self.docs.iter().map(|d| d.meta.clone()).collect();
+        self.store.commit(&metas)?;
+        let _ = fs::remove_file(self.store.seg_path(removed.meta.seg));
+        Ok(())
+    }
+
+    /// Run discovery over the whole corpus. Relation passes unchanged since
+    /// the previous `discover` on this handle replay from the memo; the
+    /// result is byte-identical to a from-scratch
+    /// [`discover_collection`](discoverxfd::discover_collection) over the
+    /// same documents (timings aside).
+    pub fn discover(&mut self, config: &DiscoveryConfig) -> RunOutcome {
+        self.discover_with_progress(config, |_| {})
+    }
+
+    /// [`discover`](CorpusHandle::discover) with a per-relation progress
+    /// callback (the server's NDJSON stream).
+    pub fn discover_with_progress(
+        &mut self,
+        config: &DiscoveryConfig,
+        progress: impl FnMut(RelationProgress<'_>),
+    ) -> RunOutcome {
+        let trees: Vec<&DataTree> = self.docs.iter().map(|d| &d.tree).collect();
+        let outcome = discover_trees_with_memo(&trees, config, &mut self.memo, progress);
+        // Entries from superseded corpus states can never hit again.
+        self.memo.prune_stale();
+        outcome
+    }
+
+    /// Current on-disk and cache state.
+    pub fn status(&self) -> CorpusStatus {
+        let mut segment_bytes = 0u64;
+        for d in &self.docs {
+            if let Ok(md) = fs::metadata(self.store.seg_path(d.meta.seg)) {
+                segment_bytes += md.len();
+            }
+        }
+        CorpusStatus {
+            name: self.name.clone(),
+            docs: self
+                .docs
+                .iter()
+                .map(|d| {
+                    (
+                        d.meta.name.clone(),
+                        xfd_hash::format_digest(d.meta.digest),
+                        d.tree.node_count(),
+                    )
+                })
+                .collect(),
+            segment_bytes,
+            memo_entries: self.memo.len(),
+            memo_hits: self.memo.hits(),
+            memo_misses: self.memo.misses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_xml::parse;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xfd-corpus-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Rendered report with the one wall-clock field (`total_ms`) dropped;
+    /// everything else — FDs, keys, redundancies, work counters — must be
+    /// byte-identical between incremental and from-scratch runs.
+    fn render_stable(r: &RunOutcome) -> String {
+        let json = discoverxfd::report::render_json(r);
+        json.split("\"total_ms\"").next().unwrap().to_string()
+    }
+
+    fn doc(i: u64) -> DataTree {
+        parse(&format!(
+            "<shop><book><i>{i}</i><t>T{}</t></book><book><i>{i}</i><t>T{}</t></book></shop>",
+            i % 3,
+            i % 3
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn create_open_delete_lifecycle() {
+        let root = tmp_root("lifecycle");
+        let store = CorpusStore::new(&root);
+        assert!(store.list().unwrap().is_empty());
+        let mut c = store.create("orders").unwrap();
+        assert!(matches!(
+            store.create("orders"),
+            Err(CorpusError::CorpusExists(_))
+        ));
+        c.add_doc("d1", &doc(1)).unwrap();
+        drop(c);
+        assert_eq!(store.list().unwrap(), vec!["orders".to_string()]);
+        let reopened = store.open("orders").unwrap();
+        assert_eq!(reopened.doc_names(), vec!["d1"]);
+        store.delete("orders").unwrap();
+        assert!(matches!(
+            store.open("orders"),
+            Err(CorpusError::CorpusNotFound(_))
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn documents_round_trip_through_reopen() {
+        let root = tmp_root("roundtrip");
+        let store = CorpusStore::new(&root);
+        let mut c = store.create("c").unwrap();
+        c.add_doc("a", &doc(1)).unwrap();
+        c.add_doc("b", &doc(2)).unwrap();
+        assert!(matches!(
+            c.add_doc("a", &doc(3)),
+            Err(CorpusError::DocExists(_))
+        ));
+        drop(c);
+        let c = store.open("c").unwrap();
+        assert_eq!(c.doc_names(), vec!["a", "b"]);
+        assert!(xfd_relation::trees_equal(c.trees()[0], &doc(1)));
+        assert!(xfd_relation::trees_equal(c.trees()[1], &doc(2)));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn removal_persists_and_unlinks_the_segment() {
+        let root = tmp_root("removal");
+        let store = CorpusStore::new(&root);
+        let mut c = store.create("c").unwrap();
+        c.add_doc("a", &doc(1)).unwrap();
+        c.add_doc("b", &doc(2)).unwrap();
+        c.remove_doc("a").unwrap();
+        assert!(matches!(
+            c.remove_doc("a"),
+            Err(CorpusError::DocNotFound(_))
+        ));
+        drop(c);
+        let c = store.open("c").unwrap();
+        assert_eq!(c.doc_names(), vec!["b"]);
+        assert_eq!(c.status().docs.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bad_names_never_touch_the_filesystem() {
+        let root = tmp_root("badnames");
+        let store = CorpusStore::new(&root);
+        for bad in ["../evil", "a/b", ".", "..", "", "café"] {
+            assert!(matches!(store.create(bad), Err(CorpusError::BadName(_))));
+            assert!(matches!(store.open(bad), Err(CorpusError::BadName(_))));
+            assert!(matches!(store.delete(bad), Err(CorpusError::BadName(_))));
+        }
+        assert!(!root.exists(), "no directory may be created for bad names");
+        let mut c = store.create("ok").unwrap();
+        assert!(matches!(
+            c.add_doc("../traversal", &doc(1)),
+            Err(CorpusError::BadName(_))
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn incremental_discover_matches_from_scratch() {
+        let root = tmp_root("parity");
+        let store = CorpusStore::new(&root);
+        let mut c = store.create("c").unwrap();
+        let config = DiscoveryConfig::default();
+        for i in 0..4 {
+            c.add_doc(&format!("d{i}"), &doc(i)).unwrap();
+        }
+        let warm_base = c.discover(&config);
+        assert!(c.status().memo_hits == 0);
+        // Add one more document; the warm handle reuses cached passes…
+        c.add_doc("d4", &doc(4)).unwrap();
+        let incremental = c.discover(&config);
+        assert!(
+            c.status().memo_hits > 0,
+            "warm discover must replay some relation passes"
+        );
+        // …and matches (1) a cold handle over the same directory and
+        // (2) plain discover_collection over the same trees.
+        let mut cold = store.open("c").unwrap();
+        let scratch = cold.discover(&config);
+        let via_collection = {
+            let trees: Vec<DataTree> = (0..5).map(doc).collect();
+            let refs: Vec<&DataTree> = trees.iter().collect();
+            discoverxfd::discover_collection(&refs, &config)
+        };
+        assert_eq!(render_stable(&incremental), render_stable(&scratch));
+        assert_eq!(render_stable(&incremental), render_stable(&via_collection));
+        drop(warm_base);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn removal_invalidates_only_what_changed() {
+        let root = tmp_root("rm-incr");
+        let store = CorpusStore::new(&root);
+        let mut c = store.create("c").unwrap();
+        let config = DiscoveryConfig::default();
+        for i in 0..4 {
+            c.add_doc(&format!("d{i}"), &doc(i)).unwrap();
+        }
+        c.discover(&config);
+        c.remove_doc("d3").unwrap();
+        let after_rm = c.discover(&config);
+        let mut cold = store.open("c").unwrap();
+        assert_eq!(
+            render_stable(&after_rm),
+            render_stable(&cold.discover(&config))
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,100 @@
+//! The shared name guard for corpus and document names.
+//!
+//! Names become path components under the corpus root *and* path segments
+//! in server URLs, so they are validated identically everywhere — CLI and
+//! server — **before** any filesystem access. The rules are deliberately
+//! strict: ASCII letters, digits, `.`, `_`, `-`; no leading dot (which
+//! also kills `.` and `..` traversal); at most 128 bytes. Everything else
+//! (slashes, backslashes, NULs, non-ASCII, percent-escapes left undecoded)
+//! fails the character test.
+
+/// Why a name was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameError {
+    /// Empty string.
+    Empty,
+    /// More than 128 bytes.
+    TooLong,
+    /// Starts with `.` (covers `.`, `..`, and hidden files).
+    LeadingDot,
+    /// Contains a byte outside `[A-Za-z0-9._-]`.
+    BadChar,
+}
+
+impl std::fmt::Display for NameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NameError::Empty => write!(f, "name is empty"),
+            NameError::TooLong => write!(f, "name exceeds 128 bytes"),
+            NameError::LeadingDot => write!(f, "name may not start with '.'"),
+            NameError::BadChar => {
+                write!(
+                    f,
+                    "name may only contain ASCII letters, digits, '.', '_', '-'"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// Validate a corpus or document name. `Ok(())` means the name is safe to
+/// join onto a directory path and to embed in a URL path segment.
+pub fn validate_name(name: &str) -> Result<(), NameError> {
+    if name.is_empty() {
+        return Err(NameError::Empty);
+    }
+    if name.len() > 128 {
+        return Err(NameError::TooLong);
+    }
+    if name.starts_with('.') {
+        return Err(NameError::LeadingDot);
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+    {
+        return Err(NameError::BadChar);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_ordinary_names() {
+        for ok in ["a", "orders", "corpus-2024", "v1.2_final", "A-b.C_9"] {
+            assert_eq!(validate_name(ok), Ok(()), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_traversal_and_separators() {
+        assert_eq!(validate_name("."), Err(NameError::LeadingDot));
+        assert_eq!(validate_name(".."), Err(NameError::LeadingDot));
+        assert_eq!(validate_name("..evil"), Err(NameError::LeadingDot));
+        assert_eq!(validate_name(".hidden"), Err(NameError::LeadingDot));
+        assert_eq!(validate_name("a/b"), Err(NameError::BadChar));
+        assert_eq!(validate_name("../x"), Err(NameError::LeadingDot));
+        assert_eq!(validate_name("a\\b"), Err(NameError::BadChar));
+        assert_eq!(validate_name("a\0b"), Err(NameError::BadChar));
+    }
+
+    #[test]
+    fn rejects_non_ascii_and_spaces() {
+        assert_eq!(validate_name("café"), Err(NameError::BadChar));
+        assert_eq!(validate_name("名前"), Err(NameError::BadChar));
+        assert_eq!(validate_name("a b"), Err(NameError::BadChar));
+        assert_eq!(validate_name("a%2e%2e"), Err(NameError::BadChar));
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized() {
+        assert_eq!(validate_name(""), Err(NameError::Empty));
+        assert_eq!(validate_name(&"x".repeat(128)), Ok(()));
+        assert_eq!(validate_name(&"x".repeat(129)), Err(NameError::TooLong));
+    }
+}

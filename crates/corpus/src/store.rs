@@ -1,0 +1,453 @@
+//! On-disk corpus layout: manifest, write-ahead log, segment files.
+//!
+//! One directory per corpus:
+//!
+//! ```text
+//! <root>/<corpus>/MANIFEST          committed document list
+//! <root>/<corpus>/wal               redo log between manifest rewrites
+//! <root>/<corpus>/segments/seg-N.xtt   one TreeTuple block per document
+//! ```
+//!
+//! The `MANIFEST` is a line-oriented text file — a `xfdcorpus v1` header,
+//! then one `doc <seg-id> <digest> <name>` line per document in ingest
+//! order. It is only ever replaced atomically (write `MANIFEST.tmp`,
+//! fsync, rename, fsync the directory).
+//!
+//! ## WAL protocol
+//!
+//! Every mutation follows *segment → WAL → manifest*:
+//!
+//! 1. the segment file is fully written and fsynced (adds only);
+//! 2. a WAL record is appended and fsynced — `[u32 LE length][payload]
+//!    [16-byte LE checksum]`, the checksum being the shared dual-lane
+//!    FNV-1a digest of the payload, the same 128-bit lane the manifest
+//!    uses for segment digests;
+//! 3. the manifest is atomically rewritten and the WAL truncated.
+//!
+//! Replay-on-open applies every complete, checksum-verified record in
+//! order (an `add` additionally requires its segment to exist with a
+//! matching digest), drops the torn tail, rewrites the manifest, and
+//! truncates the WAL. A crash at *any* byte therefore yields either the
+//! pre-mutation or the post-mutation document set — never a torn one.
+//! Unreferenced segment files left by pre-WAL crashes are garbage-collected
+//! on open.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use xfd_hash::{digest_bytes, format_digest, parse_digest};
+
+/// Magic first line of a manifest.
+const MANIFEST_HEADER: &str = "xfdcorpus v1";
+/// Largest WAL payload replay will consider sane (a record holds one
+/// mutation line, nowhere near this).
+const MAX_WAL_PAYLOAD: usize = 1 << 20;
+
+/// One committed document: its name, segment id and segment digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocMeta {
+    /// Document name (validated by [`crate::validate_name`]).
+    pub name: String,
+    /// Segment id (`segments/seg-<id>.xtt`).
+    pub seg: u64,
+    /// Digest of the segment file's bytes.
+    pub digest: u128,
+}
+
+/// A WAL mutation record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A document was ingested (its segment is already on disk).
+    Add(DocMeta),
+    /// A document was removed.
+    Remove(String),
+}
+
+impl WalRecord {
+    /// Text payload of the record.
+    pub fn payload(&self) -> String {
+        match self {
+            WalRecord::Add(d) => {
+                format!("add {} {} {}", d.seg, format_digest(d.digest), d.name)
+            }
+            WalRecord::Remove(name) => format!("rm {name}"),
+        }
+    }
+
+    /// Parse a payload back; `None` for unknown or malformed payloads.
+    pub fn parse(payload: &str) -> Option<WalRecord> {
+        let mut parts = payload.splitn(4, ' ');
+        match parts.next()? {
+            "add" => {
+                let seg: u64 = parts.next()?.parse().ok()?;
+                let digest = parse_digest(parts.next()?)?;
+                let name = parts.next()?;
+                if name.is_empty() {
+                    return None;
+                }
+                Some(WalRecord::Add(DocMeta {
+                    name: name.to_string(),
+                    seg,
+                    digest,
+                }))
+            }
+            "rm" => {
+                let name = parts.next()?;
+                if name.is_empty() || parts.next().is_some() {
+                    return None;
+                }
+                Some(WalRecord::Remove(name.to_string()))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Low-level handle on one corpus directory. Higher layers
+/// ([`crate::CorpusHandle`]) own the in-memory state; this type owns the
+/// bytes and the crash-safety discipline.
+#[derive(Debug)]
+pub struct StoreDir {
+    dir: PathBuf,
+}
+
+impl StoreDir {
+    /// Create the directory structure for a new, empty corpus. Fails if
+    /// `dir` already exists.
+    pub fn init(dir: &Path) -> io::Result<StoreDir> {
+        fs::create_dir_all(dir.parent().unwrap_or(Path::new(".")))?;
+        fs::create_dir(dir)?;
+        fs::create_dir(dir.join("segments"))?;
+        let store = StoreDir {
+            dir: dir.to_path_buf(),
+        };
+        store.commit(&[])?;
+        Ok(store)
+    }
+
+    /// Attach to an existing corpus directory (no replay; see
+    /// [`StoreDir::open`]).
+    pub fn attach(dir: &Path) -> StoreDir {
+        StoreDir {
+            dir: dir.to_path_buf(),
+        }
+    }
+
+    /// Open an existing corpus: load the manifest, replay the WAL, rewrite
+    /// the manifest if the WAL held anything, and garbage-collect
+    /// unreferenced segments. Returns the committed document list.
+    pub fn open(dir: &Path) -> Result<(StoreDir, Vec<DocMeta>), StoreError> {
+        let store = StoreDir::attach(dir);
+        if !store.manifest_path().is_file() {
+            return Err(StoreError::Corrupt("missing MANIFEST".into()));
+        }
+        let mut docs = store.load_manifest()?;
+        let replayed = store.replay_wal(&mut docs)?;
+        if replayed {
+            store.commit(&docs)?;
+        }
+        store.collect_garbage(&docs)?;
+        Ok((store, docs))
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("MANIFEST")
+    }
+
+    /// Path of the WAL file.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal")
+    }
+
+    /// Path of segment `seg`.
+    pub fn seg_path(&self, seg: u64) -> PathBuf {
+        self.dir.join("segments").join(format!("seg-{seg}.xtt"))
+    }
+
+    /// Write and fsync a segment file. Step 1 of an ingest: runs *before*
+    /// the WAL record referencing it.
+    pub fn write_segment(&self, seg: u64, bytes: &[u8]) -> io::Result<()> {
+        let path = self.seg_path(seg);
+        let mut f = File::create(&path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Read a segment file whole.
+    pub fn read_segment(&self, seg: u64) -> io::Result<Vec<u8>> {
+        fs::read(self.seg_path(seg))
+    }
+
+    /// Append one record to the WAL and fsync it. Step 2 of a mutation:
+    /// after this returns, the mutation survives any crash.
+    pub fn append_wal(&self, record: &WalRecord) -> io::Result<()> {
+        let payload = record.payload();
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.wal_path())?;
+        let mut frame = Vec::with_capacity(payload.len() + 20);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload.as_bytes());
+        frame.extend_from_slice(&digest_bytes(payload.as_bytes()).to_le_bytes());
+        f.write_all(&frame)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Atomically rewrite the manifest to `docs` and truncate the WAL.
+    /// Step 3 of a mutation.
+    pub fn commit(&self, docs: &[DocMeta]) -> io::Result<()> {
+        let mut text = String::from(MANIFEST_HEADER);
+        text.push('\n');
+        for d in docs {
+            text.push_str(&format!(
+                "doc {} {} {}\n",
+                d.seg,
+                format_digest(d.digest),
+                d.name
+            ));
+        }
+        let tmp = self.dir.join("MANIFEST.tmp");
+        let mut f = File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+        fs::rename(&tmp, self.manifest_path())?;
+        // fsync the directory so the rename itself is durable.
+        File::open(&self.dir)?.sync_all()?;
+        // The manifest now covers everything the WAL recorded.
+        if self.wal_path().exists() {
+            File::create(self.wal_path())?.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn load_manifest(&self) -> Result<Vec<DocMeta>, StoreError> {
+        let text = fs::read_to_string(self.manifest_path())?;
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(StoreError::Corrupt("bad MANIFEST header".into()));
+        }
+        let mut docs = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("doc ")
+                .ok_or_else(|| StoreError::Corrupt(format!("bad MANIFEST line: {line}")))?;
+            let mut parts = rest.splitn(3, ' ');
+            let bad = || StoreError::Corrupt(format!("bad MANIFEST line: {line}"));
+            let seg: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let digest = parse_digest(parts.next().ok_or_else(bad)?).ok_or_else(bad)?;
+            let name = parts.next().ok_or_else(bad)?.to_string();
+            docs.push(DocMeta { name, seg, digest });
+        }
+        Ok(docs)
+    }
+
+    /// Apply complete, verified WAL records to `docs`; stop at the first
+    /// torn or invalid record. Returns whether the WAL held any bytes (in
+    /// which case the caller must re-commit).
+    fn replay_wal(&self, docs: &mut Vec<DocMeta>) -> Result<bool, StoreError> {
+        let bytes = match fs::read(self.wal_path()) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.is_empty() {
+            return Ok(false);
+        }
+        let mut pos = 0usize;
+        while bytes.len() - pos >= 4 {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            if len > MAX_WAL_PAYLOAD || bytes.len() - pos - 4 < len + 16 {
+                break; // torn tail
+            }
+            let payload = &bytes[pos + 4..pos + 4 + len];
+            let checksum =
+                u128::from_le_bytes(bytes[pos + 4 + len..pos + 20 + len].try_into().unwrap());
+            if digest_bytes(payload) != checksum {
+                break; // torn or corrupted record
+            }
+            let Some(record) = std::str::from_utf8(payload).ok().and_then(WalRecord::parse) else {
+                break;
+            };
+            match record {
+                WalRecord::Add(meta) => {
+                    // The protocol wrote and fsynced the segment before this
+                    // record; verify that actually holds before trusting it.
+                    match self.read_segment(meta.seg) {
+                        Ok(seg_bytes) if digest_bytes(&seg_bytes) == meta.digest => {
+                            docs.retain(|d| d.name != meta.name);
+                            docs.push(meta);
+                        }
+                        _ => break,
+                    }
+                }
+                WalRecord::Remove(name) => docs.retain(|d| d.name != name),
+            }
+            pos += 20 + len;
+        }
+        Ok(true)
+    }
+
+    /// Delete segment files no committed document references (left behind
+    /// by crashes between segment write and WAL append, or by removals).
+    fn collect_garbage(&self, docs: &[DocMeta]) -> io::Result<()> {
+        let live: Vec<PathBuf> = docs.iter().map(|d| self.seg_path(d.seg)).collect();
+        for entry in fs::read_dir(self.dir.join("segments"))? {
+            let path = entry?.path();
+            if !live.contains(&path) {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The on-disk state is not a corpus (bad header, unparseable line,
+    /// digest mismatch).
+    Corrupt(String),
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt corpus: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Read a file and digest it in one pass (used by status reporting).
+pub fn digest_file(path: &Path) -> io::Result<u128> {
+    let mut f = File::open(path)?;
+    let mut buf = [0u8; 64 * 1024];
+    let mut d = xfd_hash::ContentDigest::new();
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            return Ok(d.finish());
+        }
+        d.update(&buf[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("xfd-corpus-store-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn meta(name: &str, seg: u64, bytes: &[u8]) -> DocMeta {
+        DocMeta {
+            name: name.into(),
+            seg,
+            digest: digest_bytes(bytes),
+        }
+    }
+
+    #[test]
+    fn wal_record_payloads_round_trip() {
+        let add = WalRecord::Add(meta("orders-3", 7, b"abc"));
+        assert_eq!(WalRecord::parse(&add.payload()), Some(add.clone()));
+        let rm = WalRecord::Remove("orders-3".into());
+        assert_eq!(WalRecord::parse(&rm.payload()), Some(rm));
+        assert_eq!(WalRecord::parse("nonsense 1 2 3"), None);
+        assert_eq!(WalRecord::parse("add x y z"), None);
+        assert_eq!(WalRecord::parse("rm"), None);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_commit_and_open() {
+        let dir = tmp_dir("manifest");
+        let store = StoreDir::init(&dir).unwrap();
+        store.write_segment(0, b"seg zero").unwrap();
+        store.write_segment(1, b"seg one").unwrap();
+        let docs = vec![meta("a", 0, b"seg zero"), meta("b", 1, b"seg one")];
+        store.commit(&docs).unwrap();
+        let (_, loaded) = StoreDir::open(&dir).unwrap();
+        assert_eq!(loaded, docs);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_replay_applies_complete_records() {
+        let dir = tmp_dir("replay");
+        let store = StoreDir::init(&dir).unwrap();
+        store.write_segment(0, b"first").unwrap();
+        store
+            .append_wal(&WalRecord::Add(meta("a", 0, b"first")))
+            .unwrap();
+        // Crash here: manifest never rewritten. Reopen must surface doc a.
+        let (_, docs) = StoreDir::open(&dir).unwrap();
+        assert_eq!(docs, vec![meta("a", 0, b"first")]);
+        // And the replay committed: the WAL is now empty.
+        assert_eq!(fs::read(store.wal_path()).unwrap(), Vec::<u8>::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_add_without_segment_is_dropped() {
+        let dir = tmp_dir("noseg");
+        let store = StoreDir::init(&dir).unwrap();
+        store
+            .append_wal(&WalRecord::Add(meta("ghost", 9, b"never written")))
+            .unwrap();
+        let (_, docs) = StoreDir::open(&dir).unwrap();
+        assert!(docs.is_empty(), "{docs:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_segments_are_collected_on_open() {
+        let dir = tmp_dir("gc");
+        let store = StoreDir::init(&dir).unwrap();
+        store
+            .write_segment(5, b"orphan from a pre-WAL crash")
+            .unwrap();
+        let (store, docs) = StoreDir::open(&dir).unwrap();
+        assert!(docs.is_empty());
+        assert!(!store.seg_path(5).exists(), "orphan must be collected");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_a_missing_or_mangled_manifest() {
+        let dir = tmp_dir("mangled");
+        assert!(matches!(
+            StoreDir::open(&dir),
+            Err(StoreError::Io(_)) | Err(StoreError::Corrupt(_))
+        ));
+        let store = StoreDir::init(&dir).unwrap();
+        fs::write(store.dir().join("MANIFEST"), "not a manifest\n").unwrap();
+        assert!(matches!(StoreDir::open(&dir), Err(StoreError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! Crash-point injection: a corpus interrupted at *any* byte of its WAL
+//! must reopen as either the pre-ingest or the post-ingest document set —
+//! never a torn one, never a failure to open.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use discoverxfd::DiscoveryConfig;
+use xfd_corpus::CorpusStore;
+use xfd_xml::{parse, DataTree};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xfd-wal-crash-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn doc(i: u32) -> DataTree {
+    parse(&format!(
+        "<shop><book><i>{i}</i><t>T{i}</t></book><book><i>{i}</i><t>T{i}</t></book></shop>"
+    ))
+    .unwrap()
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+/// Build the canonical mid-ingest state: doc `a` committed, doc `b` staged
+/// (segment + WAL record on disk, manifest untouched). Returns the corpus
+/// root and the staged WAL bytes.
+fn mid_ingest_state(tag: &str) -> (PathBuf, Vec<u8>) {
+    let root = tmp(tag);
+    let store = CorpusStore::new(&root);
+    let mut c = store.create("c").unwrap();
+    c.add_doc("a", &doc(1)).unwrap();
+    c.stage_doc("b", &doc(2)).unwrap();
+    let wal = fs::read(root.join("c").join("wal")).unwrap();
+    assert!(wal.len() > 20, "one framed record expected");
+    (root, wal)
+}
+
+#[test]
+fn truncation_at_every_byte_yields_pre_or_post_state() {
+    let (root, wal) = mid_ingest_state("truncate");
+    let snapshot = tmp("truncate-snapshot");
+    copy_dir(&root, &snapshot);
+
+    for cut in 0..=wal.len() {
+        let _ = fs::remove_dir_all(&root);
+        copy_dir(&snapshot, &root);
+        fs::write(root.join("c").join("wal"), &wal[..cut]).unwrap();
+
+        let store = CorpusStore::new(&root);
+        let c = store
+            .open("c")
+            .unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
+        let names = c.doc_names();
+        if cut == wal.len() {
+            assert_eq!(names, vec!["a", "b"], "full WAL must surface the ingest");
+        } else {
+            assert_eq!(names, vec!["a"], "cut {cut} must roll back to pre-ingest");
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+    let _ = fs::remove_dir_all(&snapshot);
+}
+
+#[test]
+fn corruption_of_any_byte_never_tears_the_corpus() {
+    let (root, wal) = mid_ingest_state("flip");
+    let snapshot = tmp("flip-snapshot");
+    copy_dir(&root, &snapshot);
+
+    for pos in 0..wal.len() {
+        let _ = fs::remove_dir_all(&root);
+        copy_dir(&snapshot, &root);
+        let mut dirty = wal.clone();
+        dirty[pos] ^= 0x5a;
+        fs::write(root.join("c").join("wal"), &dirty).unwrap();
+
+        let store = CorpusStore::new(&root);
+        let c = store
+            .open("c")
+            .unwrap_or_else(|e| panic!("open failed at flipped byte {pos}: {e}"));
+        let names = c.doc_names();
+        assert!(
+            names == vec!["a"] || names == vec!["a", "b"],
+            "flipped byte {pos} produced torn set {names:?}"
+        );
+    }
+    let _ = fs::remove_dir_all(&root);
+    let _ = fs::remove_dir_all(&snapshot);
+}
+
+/// The crash-recovered corpus must not just open — discovery over it must
+/// be byte-identical to a corpus built without any crash.
+#[test]
+fn recovered_corpus_discovers_identically_to_a_clean_one() {
+    let (root, _) = mid_ingest_state("parity");
+    let store = CorpusStore::new(&root);
+    let mut recovered = store.open("c").unwrap(); // replays the staged add
+    assert_eq!(recovered.doc_names(), vec!["a", "b"]);
+
+    let clean_root = tmp("parity-clean");
+    let clean_store = CorpusStore::new(&clean_root);
+    let mut clean = clean_store.create("c").unwrap();
+    clean.add_doc("a", &doc(1)).unwrap();
+    clean.add_doc("b", &doc(2)).unwrap();
+
+    let config = DiscoveryConfig::default();
+    let stable = |r: &discoverxfd::RunOutcome| {
+        discoverxfd::report::render_json(r)
+            .split("\"total_ms\"")
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(
+        stable(&recovered.discover(&config)),
+        stable(&clean.discover(&config))
+    );
+    let _ = fs::remove_dir_all(&root);
+    let _ = fs::remove_dir_all(&clean_root);
+}

@@ -12,6 +12,10 @@
 //! deterministic across runs and platforms (important for reproducible
 //! discovery statistics and stable shard assignment).
 
+pub mod content;
+
+pub use content::{digest_bytes, format_digest, parse_digest, ContentDigest, DigestReader};
+
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiply-rotate hasher over native words (the rustc/Firefox "FxHash").

@@ -27,9 +27,11 @@ pub mod flat;
 pub mod gtt;
 pub mod relation;
 pub mod setvalue;
+pub mod treetuple;
 
 pub use dictionary::Dictionary;
 pub use encode::{encode, ComplexColumnMode, EncodeConfig, SetColumnMode};
 pub use flat::{flatten, FlatError, FlatRelation};
 pub use relation::{Column, ColumnKind, Forest, ForestStats, RelId, Relation, TupleIdx};
+pub use treetuple::{decode_tree, encode_tree, trees_equal, DecodeError};
 pub use xfd_xml::OrderMode;

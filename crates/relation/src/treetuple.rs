@@ -1,0 +1,285 @@
+//! `TreeTuple` segments: a compact binary codec for [`DataTree`]s.
+//!
+//! The corpus store persists each ingested document as one *segment*: a
+//! self-contained block holding a local string table (the document's
+//! value-dictionary delta — exactly the distinct labels and values it
+//! uses, in first-use order) followed by the tree tuples, one fixed-width
+//! record per node in pre-order. Decoding replays the records through
+//! [`DataTree::add_child`], which reassigns the same sequential pre-order
+//! node keys, so `decode(encode(t))` reproduces `t` exactly: labels,
+//! values, parent edges, sibling order and node ids.
+//!
+//! Layout (all integers little-endian `u32`):
+//!
+//! ```text
+//! magic "XTT1"
+//! n_strings, then per string: byte length + UTF-8 bytes
+//! n_nodes,   then per node:   label index | parent id (!0 for the root)
+//!                             | value index (!0 for "no value")
+//! ```
+//!
+//! The format is strict: bad magic, out-of-range indices, a non-root
+//! parent that does not precede its child, or trailing bytes are all
+//! decode errors — a torn or corrupted segment never yields a tree.
+
+use xfd_hash::FxHashMap;
+use xfd_xml::{DataTree, NodeId};
+
+/// Magic prefix of every segment ("XML tree tuples, version 1").
+pub const TREETUPLE_MAGIC: [u8; 4] = *b"XTT1";
+
+/// Sentinel index meaning "absent" (no parent / no value).
+const NONE: u32 = u32::MAX;
+
+/// Why a segment could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic prefix is missing or wrong.
+    BadMagic,
+    /// The block ends before the advertised content does.
+    Truncated,
+    /// A string table entry is not valid UTF-8.
+    BadUtf8,
+    /// A label/value index or parent id is out of range.
+    BadIndex(&'static str),
+    /// The segment has no nodes (every tree has at least a root).
+    Empty,
+    /// Bytes remain after the last record.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a TreeTuple segment (bad magic)"),
+            DecodeError::Truncated => write!(f, "segment truncated"),
+            DecodeError::BadUtf8 => write!(f, "segment string table is not UTF-8"),
+            DecodeError::BadIndex(what) => write!(f, "segment has an out-of-range {what}"),
+            DecodeError::Empty => write!(f, "segment contains no nodes"),
+            DecodeError::TrailingBytes => write!(f, "segment has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode `tree` into a self-contained segment block.
+pub fn encode_tree(tree: &DataTree) -> Vec<u8> {
+    // First-use-order local string table over labels and values.
+    fn intern<'a>(
+        table: &mut Vec<&'a str>,
+        index: &mut FxHashMap<&'a str, u32>,
+        s: &'a str,
+    ) -> u32 {
+        if let Some(&i) = index.get(s) {
+            return i;
+        }
+        let i = table.len() as u32;
+        table.push(s);
+        index.insert(s, i);
+        i
+    }
+    let mut table: Vec<&str> = Vec::new();
+    let mut index: FxHashMap<&str, u32> = FxHashMap::default();
+    struct Record {
+        label: u32,
+        parent: u32,
+        value: u32,
+    }
+    let mut records: Vec<Record> = Vec::with_capacity(tree.node_count());
+    for node in tree.all_nodes() {
+        records.push(Record {
+            label: intern(&mut table, &mut index, tree.label(node)),
+            parent: tree.parent(node).map_or(NONE, |p| p.0),
+            value: tree
+                .value(node)
+                .map_or(NONE, |v| intern(&mut table, &mut index, v)),
+        });
+    }
+
+    let mut out = Vec::with_capacity(16 + table.len() * 8 + records.len() * 12);
+    out.extend_from_slice(&TREETUPLE_MAGIC);
+    out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+    for s in &table {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for r in &records {
+        out.extend_from_slice(&r.label.to_le_bytes());
+        out.extend_from_slice(&r.parent.to_le_bytes());
+        out.extend_from_slice(&r.value.to_le_bytes());
+    }
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+/// Decode a segment block back into the [`DataTree`] it encodes.
+pub fn decode_tree(bytes: &[u8]) -> Result<DataTree, DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    if c.take(4)? != TREETUPLE_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+
+    let n_strings = c.u32()? as usize;
+    // Each string needs at least a 4-byte length; bound before allocating.
+    if n_strings > bytes.len() / 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut table: Vec<&str> = Vec::with_capacity(n_strings);
+    for _ in 0..n_strings {
+        let len = c.u32()? as usize;
+        let s = std::str::from_utf8(c.take(len)?).map_err(|_| DecodeError::BadUtf8)?;
+        table.push(s);
+    }
+    let string_at = |i: u32| -> Result<&str, DecodeError> {
+        table
+            .get(i as usize)
+            .copied()
+            .ok_or(DecodeError::BadIndex("string index"))
+    };
+
+    let n_nodes = c.u32()? as usize;
+    if n_nodes == 0 {
+        return Err(DecodeError::Empty);
+    }
+    if n_nodes > (bytes.len() - c.pos) / 12 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut tree: Option<DataTree> = None;
+    for id in 0..n_nodes as u32 {
+        let label = c.u32()?;
+        let parent = c.u32()?;
+        let value = c.u32()?;
+        let node = match (&mut tree, parent) {
+            (None, NONE) => {
+                tree = Some(DataTree::with_root(string_at(label)?));
+                NodeId(0)
+            }
+            (None, _) => return Err(DecodeError::BadIndex("root parent")),
+            (Some(_), NONE) => return Err(DecodeError::BadIndex("second root")),
+            (Some(t), p) => {
+                // Pre-order: a parent always precedes its children.
+                if p >= id {
+                    return Err(DecodeError::BadIndex("parent id"));
+                }
+                t.add_child(NodeId(p), string_at(label)?)
+            }
+        };
+        if value != NONE {
+            let v = string_at(value)?;
+            tree.as_mut().expect("tree exists").set_value(node, v);
+        }
+    }
+    if c.pos != bytes.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(tree.expect("n_nodes >= 1"))
+}
+
+/// Structural equality of two trees: same nodes in the same pre-order with
+/// the same labels, values and parent edges. (`DataTree` deliberately does
+/// not implement `PartialEq`; interner internals may differ.)
+pub fn trees_equal(a: &DataTree, b: &DataTree) -> bool {
+    if a.node_count() != b.node_count() {
+        return false;
+    }
+    a.all_nodes().zip(b.all_nodes()).all(|(x, y)| {
+        a.label(x) == b.label(y)
+            && a.value(x) == b.value(y)
+            && a.parent(x).map(|p| p.0) == b.parent(y).map(|p| p.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd_xml::parse;
+
+    fn roundtrip(xml: &str) {
+        let t = parse(xml).unwrap();
+        let bytes = encode_tree(&t);
+        let back = decode_tree(&bytes).unwrap();
+        assert!(trees_equal(&t, &back), "round-trip mismatch for {xml}");
+    }
+
+    #[test]
+    fn encodes_and_decodes_small_documents() {
+        roundtrip("<r/>");
+        roundtrip("<r><a>1</a><a>1</a><b x='y'>2</b></r>");
+        roundtrip("<w><s><n>WA</n><b><i>1</i></b></s><s><n>KY</n></s></w>");
+    }
+
+    #[test]
+    fn string_table_deduplicates_repeated_values() {
+        let t = parse("<r><a>dup</a><a>dup</a><a>dup</a></r>").unwrap();
+        let bytes = encode_tree(&t);
+        // "dup" must appear exactly once in the block.
+        let needle = b"dup";
+        let count = bytes.windows(needle.len()).filter(|w| w == needle).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let t = parse("<r><a>1</a></r>").unwrap();
+        let bytes = encode_tree(&t);
+        assert_eq!(decode_tree(b"nope").err(), Some(DecodeError::BadMagic));
+        assert_eq!(decode_tree(&bytes[..3]).err(), Some(DecodeError::Truncated));
+        // Every strict prefix fails; none panics or yields a tree.
+        for cut in 0..bytes.len() {
+            assert!(decode_tree(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let t = parse("<r/>").unwrap();
+        let mut bytes = encode_tree(&t);
+        bytes.push(0);
+        assert_eq!(decode_tree(&bytes).err(), Some(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn rejects_corrupt_indices() {
+        let t = parse("<r><a>1</a></r>").unwrap();
+        let bytes = encode_tree(&t);
+        // Flip bytes one at a time; decode must never panic (errors or a
+        // different-but-valid tree are both acceptable outcomes).
+        for i in 0..bytes.len() {
+            let mut dirty = bytes.clone();
+            dirty[i] ^= 0xff;
+            let _ = decode_tree(&dirty);
+        }
+    }
+
+    #[test]
+    fn decoded_tree_preserves_preorder_node_keys() {
+        let t = parse("<w><s><n>WA</n></s><s><n>KY</n></s></w>").unwrap();
+        let back = decode_tree(&encode_tree(&t)).unwrap();
+        for (a, b) in t.all_nodes().zip(back.all_nodes()) {
+            assert_eq!(a, b);
+            assert_eq!(t.children(a), back.children(b));
+        }
+    }
+}

@@ -48,6 +48,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Parsed `Content-Length`, if present.
     pub content_length: Option<u64>,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub http11: bool,
 }
 
 impl Request {
@@ -65,6 +67,23 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client expects the connection to stay open after this
+    /// request: HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 only keeps alive on an explicit `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        let connection = self.header("connection").unwrap_or("");
+        let says = |token: &str| {
+            connection
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case(token))
+        };
+        if self.http11 {
+            !says("close")
+        } else {
+            says("keep-alive")
+        }
     }
 }
 
@@ -244,6 +263,7 @@ pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Reques
         query,
         headers,
         content_length,
+        http11: version == "HTTP/1.1",
     })
 }
 
@@ -277,9 +297,10 @@ fn percent_decode(s: &str) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
-/// An outgoing response. `write_to` adds `Content-Length` and
-/// `Connection: close` (the daemon does not do keep-alive: connections are
-/// short-lived and closing keeps the accept loop's drain logic trivial).
+/// An outgoing response. `write_to` adds `Content-Length` and a
+/// `Connection` header: `keep-alive` by default (HTTP/1.1 connections are
+/// reused up to the server's per-connection request cap and idle timeout),
+/// `close` when [`Response::close`] is set by the connection loop.
 #[derive(Debug)]
 pub struct Response {
     /// Status code.
@@ -288,6 +309,8 @@ pub struct Response {
     pub headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Whether the connection closes after this response.
+    pub close: bool,
 }
 
 impl Response {
@@ -297,6 +320,7 @@ impl Response {
             status,
             headers: vec![("Content-Type".into(), "application/json".into())],
             body: body.into(),
+            close: false,
         }
     }
 
@@ -306,6 +330,7 @@ impl Response {
             status,
             headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
             body: body.into(),
+            close: false,
         }
     }
 
@@ -323,6 +348,12 @@ impl Response {
         self
     }
 
+    /// Mark the connection to close after this response.
+    pub fn with_close(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
     /// Serialize onto the wire.
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
         write!(
@@ -335,7 +366,8 @@ impl Response {
             write!(w, "{k}: {v}\r\n")?;
         }
         write!(w, "Content-Length: {}\r\n", self.body.len())?;
-        write!(w, "Connection: close\r\n\r\n")?;
+        let connection = if self.close { "close" } else { "keep-alive" };
+        write!(w, "Connection: {connection}\r\n\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -362,11 +394,13 @@ pub fn json_escape(s: &str) -> String {
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
         414 => "URI Too Long",
@@ -521,7 +555,7 @@ mod tests {
     }
 
     #[test]
-    fn responses_carry_length_and_close() {
+    fn responses_carry_length_and_connection_disposition() {
         let mut out = Vec::new();
         Response::json(200, "{}".as_bytes().to_vec())
             .with_header("X-Cache", "hit")
@@ -530,9 +564,39 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 2\r\n"));
-        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.contains("X-Cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        Response::text(200, "x")
+            .with_close()
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+    }
+
+    #[test]
+    fn http11_defaults_to_keep_alive_and_honors_close() {
+        let r = parse_head("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r.http11);
+        assert!(r.wants_keep_alive());
+        let r = parse_head("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive());
+        let r = parse_head("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive(), "token match is case-insensitive");
+        let r = parse_head("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive(), "close anywhere in the list wins");
+    }
+
+    #[test]
+    fn http10_requires_explicit_keep_alive() {
+        let r = parse_head("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.http11);
+        assert!(!r.wants_keep_alive());
+        let r = parse_head("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.wants_keep_alive());
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //!
 //! Mirrors the shape of `xfd-partition`'s partition cache: fixed shard
 //! array of mutexed maps, a per-shard byte budget carved from the total,
-//! insertion-sequence eviction (oldest first — rendered reports for the
-//! same document are equally likely to be re-requested, so FIFO beats the
-//! bookkeeping cost of LRU here), and monotonic hit/miss/eviction counters
-//! that feed `/metrics`.
+//! least-recently-used eviction (every hit bumps the entry's sequence to
+//! the shard clock, so a hot report survives a stream of one-shot
+//! documents flowing through), and monotonic hit/miss/eviction counters
+//! that feed `/metrics`. The LRU bookkeeping is a single `u64` store per
+//! hit under the shard lock the lookup already holds.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -75,11 +76,15 @@ impl ResultCache {
         &self.shards[(digest >> 125) as usize % N_SHARDS]
     }
 
-    /// Look up a report, counting the hit or miss.
+    /// Look up a report, counting the hit or miss. A hit refreshes the
+    /// entry's recency so eviction is least-recently-used.
     pub fn get(&self, digest: u128) -> Option<Arc<String>> {
-        let shard = self.shard_for(digest).lock().unwrap();
-        match shard.map.get(&digest) {
+        let mut shard = self.shard_for(digest).lock().unwrap();
+        shard.clock += 1;
+        let now = shard.clock;
+        match shard.map.get_mut(&digest) {
             Some(entry) => {
+                entry.seq = now;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&entry.body))
             }
@@ -90,8 +95,9 @@ impl ResultCache {
         }
     }
 
-    /// Insert a report, evicting oldest entries in the shard while over
-    /// budget. A single report larger than the shard budget is not cached.
+    /// Insert a report, evicting least-recently-used entries in the shard
+    /// while over budget. A single report larger than the shard budget is
+    /// not cached.
     pub fn put(&self, digest: u128, body: Arc<String>) {
         if body.len() > self.budget_per_shard {
             return;
@@ -101,13 +107,13 @@ impl ResultCache {
             shard.resident_bytes -= old.body.len();
         }
         while shard.resident_bytes + body.len() > self.budget_per_shard && !shard.map.is_empty() {
-            let oldest = shard
+            let coldest = shard
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.seq)
                 .map(|(&k, _)| k)
                 .expect("non-empty shard has a minimum");
-            let evicted = shard.map.remove(&oldest).unwrap();
+            let evicted = shard.map.remove(&coldest).unwrap();
             shard.resident_bytes -= evicted.body.len();
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -172,18 +178,45 @@ mod tests {
     }
 
     #[test]
-    fn budget_overflow_evicts_oldest_first() {
+    fn budget_overflow_evicts_least_recently_used() {
         // One shard holds at most budget/8 bytes; use digests that land in
         // the same shard (identical top bits).
         let cache = ResultCache::new(8 * 10);
         let d = |i: u128| i; // top 3 bits zero → all in shard 0
         cache.put(d(1), body("aaaa")); // 4 bytes
         cache.put(d(2), body("bbbb")); // 8 bytes total
-        cache.put(d(3), body("cccc")); // would be 12 → evict oldest (1)
+        cache.put(d(3), body("cccc")); // would be 12 → evict LRU (1)
         assert!(cache.get(d(1)).is_none());
         assert!(cache.get(d(2)).is_some());
         assert!(cache.get(d(3)).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn a_hit_refreshes_recency() {
+        let cache = ResultCache::new(8 * 10);
+        let d = |i: u128| i;
+        cache.put(d(1), body("aaaa"));
+        cache.put(d(2), body("bbbb"));
+        // Touch 1 so 2 becomes the LRU entry, then overflow the shard.
+        assert!(cache.get(d(1)).is_some());
+        cache.put(d(3), body("cccc"));
+        assert!(cache.get(d(1)).is_some(), "recently-read entry survives");
+        assert!(cache.get(d(2)).is_none(), "LRU entry was evicted");
+        assert!(cache.get(d(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsertion_also_counts_as_a_touch() {
+        let cache = ResultCache::new(8 * 10);
+        let d = |i: u128| i;
+        cache.put(d(1), body("aaaa"));
+        cache.put(d(2), body("bbbb"));
+        cache.put(d(1), body("AAAA")); // refresh 1 by overwrite
+        cache.put(d(3), body("cccc"));
+        assert!(cache.get(d(1)).is_some());
+        assert!(cache.get(d(2)).is_none());
     }
 
     #[test]

@@ -15,24 +15,37 @@
 //!    contained per job), render the JSON report once, and publish it to
 //!    the cache, the job table, and the metrics registry.
 //!
+//! Connections speak HTTP/1.1 keep-alive: one connection serves up to
+//! [`ServerConfig::keep_alive_max_requests`] requests, closing after an
+//! idle gap of [`ServerConfig::keep_alive_timeout`] or on
+//! `Connection: close`.
+//!
+//! When started with a corpus root, `/v1/corpora/{name}` endpoints manage
+//! named persistent corpora ([`xfd_corpus`]) and run *incremental*
+//! discovery over them; `POST .../discover` with
+//! `Accept: application/x-ndjson` streams one progress line per relation.
+//!
 //! Shutdown (SIGTERM/SIGINT or [`ServerHandle::shutdown`]) stops the
 //! accept loop, closes the queue — which rejects new work but lets workers
 //! drain what is already queued — and joins every thread before `run`
 //! returns.
 
-use std::io::{BufReader, Read};
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use discoverxfd::report::render_json;
 use discoverxfd::{discover, DiscoveryConfig};
+use xfd_corpus::{validate_name, CorpusError, CorpusHandle, CorpusStore};
 use xfd_xml::parse_reader;
 
 use crate::digest::{format_digest, parse_digest, ContentDigest, DigestReader};
-use crate::http::{read_request, HttpError, Limits, Request, Response};
+use crate::http::{json_escape, read_request, HttpError, Limits, Request, Response};
 use crate::jobs::{JobStatus, JobTable};
 use crate::metrics::{GaugeSnapshot, Metrics};
 use crate::queue::{JobQueue, PushError};
@@ -79,6 +92,12 @@ pub struct ServerConfig {
     /// Deadline for synchronous `/v1/discover` requests; slower runs get
     /// `504` with a job id to poll.
     pub request_timeout: Duration,
+    /// Requests served over one keep-alive connection before it closes.
+    pub keep_alive_max_requests: usize,
+    /// Idle time allowed between requests on a keep-alive connection.
+    pub keep_alive_timeout: Duration,
+    /// Root directory of named corpora; `None` disables `/v1/corpora`.
+    pub corpus_root: Option<PathBuf>,
     /// Base discovery configuration; query parameters override per request.
     pub discovery: DiscoveryConfig,
 }
@@ -92,6 +111,9 @@ impl Default for ServerConfig {
             result_cache_budget: 32 << 20,
             max_body_bytes: 64 << 20,
             request_timeout: Duration::from_secs(30),
+            keep_alive_max_requests: 100,
+            keep_alive_timeout: Duration::from_secs(5),
+            corpus_root: None,
             discovery: DiscoveryConfig::default(),
         }
     }
@@ -105,12 +127,37 @@ struct Job {
     config: DiscoveryConfig,
 }
 
+/// Lazily-opened corpus handles keyed by name. One mutex serializes all
+/// corpus operations: ingest and discovery both mutate the shared
+/// per-corpus memo state, and corpora are few compared to documents.
+struct CorpusRegistry {
+    store: CorpusStore,
+    handles: Mutex<HashMap<String, CorpusHandle>>,
+}
+
+impl CorpusRegistry {
+    /// Run `f` on the (possibly freshly opened) handle for `name`.
+    fn with_handle<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut CorpusHandle) -> T,
+    ) -> Result<T, CorpusError> {
+        let mut handles = self.handles.lock().unwrap();
+        if !handles.contains_key(name) {
+            let handle = self.store.open(name)?;
+            handles.insert(name.to_string(), handle);
+        }
+        Ok(f(handles.get_mut(name).expect("just inserted")))
+    }
+}
+
 struct ServerState {
     config: ServerConfig,
     queue: JobQueue<Job>,
     jobs: JobTable,
     cache: ResultCache,
     metrics: Metrics,
+    corpus: Option<CorpusRegistry>,
     shutdown: AtomicBool,
 }
 
@@ -155,11 +202,22 @@ impl Server {
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        let corpus = match &config.corpus_root {
+            Some(root) => {
+                std::fs::create_dir_all(root)?;
+                Some(CorpusRegistry {
+                    store: CorpusStore::new(root),
+                    handles: Mutex::new(HashMap::new()),
+                })
+            }
+            None => None,
+        };
         let state = Arc::new(ServerState {
             queue: JobQueue::new(config.queue_depth),
             jobs: JobTable::new(),
             cache: ResultCache::new(config.result_cache_budget),
             metrics: Metrics::new(),
+            corpus,
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -259,23 +317,85 @@ fn worker_loop(state: &ServerState) {
     }
 }
 
-/// Per-connection: parse one request, route it, write one response, close.
+/// Per-connection loop: parse a request, route it, write the response, and
+/// reuse the connection (HTTP/1.1 keep-alive) until the client asks to
+/// close, the per-connection request cap is reached, the idle timeout
+/// expires, or the server starts draining.
 fn handle_connection(state: &ServerState, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(state.config.request_timeout));
-    let _ = stream.set_write_timeout(Some(state.config.request_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(state.config.request_timeout));
+    let max_requests = state.config.keep_alive_max_requests.max(1);
+    let mut served = 0usize;
 
-    let (endpoint, response) = match read_request(&mut reader, &Limits::default()) {
-        Ok(request) => route(state, &request, &mut reader),
-        Err(HttpError::ConnectionClosed) => return,
-        Err(e) => ("bad_request", error_response(&e)),
-    };
-    state.metrics.observe_request(endpoint, response.status);
-    let _ = response.write_to(&mut stream);
+    loop {
+        // The first request gets the full request timeout; between
+        // keep-alive requests the shorter idle timeout applies.
+        let read_deadline = if served == 0 {
+            state.config.request_timeout
+        } else {
+            state.config.keep_alive_timeout
+        };
+        let _ = stream.set_read_timeout(Some(read_deadline));
+
+        let request = match read_request(&mut reader, &Limits::default()) {
+            Ok(request) => request,
+            Err(HttpError::ConnectionClosed) => break,
+            Err(HttpError::Io(ref e))
+                if served > 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                // An idle keep-alive connection timed out: close quietly.
+                break;
+            }
+            Err(e) => {
+                let response = error_response(&e).with_close();
+                state
+                    .metrics
+                    .observe_request("bad_request", response.status);
+                let _ = response.write_to(&mut stream);
+                break;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(state.config.request_timeout));
+        served += 1;
+
+        let content_length = request.content_length.unwrap_or(0);
+        let mut body = reader.by_ref().take(content_length);
+        match route(state, &request, &mut body) {
+            Routed::Plain(endpoint, mut response) => {
+                // Reuse requires the whole body consumed off the wire.
+                // Handlers that reject early leave bytes behind, and
+                // draining them could block on a slow client — close
+                // instead of reading megabytes to save a reconnect.
+                response.close = response.close
+                    || body.limit() > 0
+                    || !request.wants_keep_alive()
+                    || served >= max_requests
+                    || state.shutting_down();
+                let close = response.close;
+                state.metrics.observe_request(endpoint, response.status);
+                if response.write_to(&mut stream).is_err() || close {
+                    break;
+                }
+            }
+            Routed::CorpusStream { corpus, config } => {
+                let status = stream_corpus_discover(state, &corpus, &config, &mut stream);
+                state
+                    .metrics
+                    .observe_request("/v1/corpora/{name}/discover", status);
+                // A streamed response carries no Content-Length; the
+                // closed connection is the frame.
+                break;
+            }
+        }
+    }
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
@@ -293,41 +413,353 @@ fn error_response(e: &HttpError) -> Response {
     Response::error(status, &e.to_string())
 }
 
-/// Dispatch on method + path; returns the endpoint label used in metrics.
-fn route(state: &ServerState, request: &Request, body: &mut impl Read) -> (&'static str, Response) {
+/// What the router decided. Streaming responses are executed by the
+/// connection loop, which owns the raw stream.
+enum Routed {
+    /// A buffered response plus its metrics endpoint label.
+    Plain(&'static str, Response),
+    /// Stream NDJSON discovery progress for a corpus.
+    CorpusStream {
+        corpus: String,
+        config: DiscoveryConfig,
+    },
+}
+
+impl Routed {
+    fn plain(endpoint: &'static str, response: Response) -> Routed {
+        Routed::Plain(endpoint, response)
+    }
+}
+
+/// Dispatch on method + path.
+fn route(state: &ServerState, request: &Request, body: &mut impl Read) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (
+        ("GET", "/healthz") => Routed::plain(
             "/healthz",
             Response::json(200, "{\"status\": \"ok\"}\n".as_bytes().to_vec()),
         ),
-        ("GET", "/metrics") => (
+        ("GET", "/metrics") => Routed::plain(
             "/metrics",
             Response::text(200, state.metrics.render(&state.gauges()).into_bytes()),
         ),
-        ("POST", "/v1/discover") => ("/v1/discover", discover_sync(state, request, body)),
-        ("POST", "/v1/jobs") => ("/v1/jobs", submit_job(state, request, body)),
-        ("GET", path) if path.starts_with("/v1/jobs/") => (
+        ("POST", "/v1/discover") => {
+            Routed::plain("/v1/discover", discover_sync(state, request, body))
+        }
+        ("POST", "/v1/jobs") => Routed::plain("/v1/jobs", submit_job(state, request, body)),
+        ("GET", path) if path.starts_with("/v1/jobs/") => Routed::plain(
             "/v1/jobs/{id}",
             job_status(state, &path["/v1/jobs/".len()..]),
         ),
-        ("GET", path) if path.starts_with("/v1/results/") => (
+        ("GET", path) if path.starts_with("/v1/results/") => Routed::plain(
             "/v1/results/{digest}",
             result_lookup(state, &path["/v1/results/".len()..]),
         ),
-        (_, "/healthz") | (_, "/metrics") => (
+        (_, path) if path.starts_with("/v1/corpora/") => route_corpus(state, request, body),
+        (_, "/healthz") | (_, "/metrics") => Routed::plain(
             "method_not_allowed",
             Response::error(405, "method not allowed").with_header("Allow", "GET"),
         ),
-        (_, "/v1/discover") | (_, "/v1/jobs") => (
+        (_, "/v1/discover") | (_, "/v1/jobs") => Routed::plain(
             "method_not_allowed",
             Response::error(405, "method not allowed").with_header("Allow", "POST"),
         ),
-        (_, path) if path.starts_with("/v1/jobs/") || path.starts_with("/v1/results/") => (
-            "method_not_allowed",
-            Response::error(405, "method not allowed").with_header("Allow", "GET"),
-        ),
-        _ => ("not_found", Response::error(404, "no such endpoint")),
+        (_, path) if path.starts_with("/v1/jobs/") || path.starts_with("/v1/results/") => {
+            Routed::plain(
+                "method_not_allowed",
+                Response::error(405, "method not allowed").with_header("Allow", "GET"),
+            )
+        }
+        _ => Routed::plain("not_found", Response::error(404, "no such endpoint")),
     }
+}
+
+/// Routes under `/v1/corpora/{name}`: corpus lifecycle, document ingest,
+/// and incremental discovery. Names are validated *before* any filesystem
+/// access — traversal-shaped names never reach a path join.
+fn route_corpus(state: &ServerState, request: &Request, body: &mut impl Read) -> Routed {
+    let rest = &request.path["/v1/corpora/".len()..];
+    let (name, tail) = match rest.split_once('/') {
+        Some((n, t)) => (n, Some(t)),
+        None => (rest, None),
+    };
+    if let Err(e) = validate_name(name) {
+        return Routed::plain(
+            "/v1/corpora/{name}",
+            Response::error(400, &format!("bad corpus name: {e}")),
+        );
+    }
+    let Some(registry) = &state.corpus else {
+        return Routed::plain(
+            "/v1/corpora/{name}",
+            Response::error(
+                503,
+                "corpus store disabled (start the server with --corpus-root)",
+            ),
+        );
+    };
+    match (request.method.as_str(), tail) {
+        ("PUT", None) => Routed::plain("/v1/corpora/{name}", corpus_create(registry, name)),
+        ("GET", None) => Routed::plain("/v1/corpora/{name}", corpus_status(registry, name)),
+        ("DELETE", None) => Routed::plain("/v1/corpora/{name}", corpus_delete(registry, name)),
+        ("POST", Some("docs")) => Routed::plain(
+            "/v1/corpora/{name}/docs",
+            corpus_add_doc(state, registry, name, request, body),
+        ),
+        ("DELETE", Some(t)) if t.starts_with("docs/") => Routed::plain(
+            "/v1/corpora/{name}/docs/{doc}",
+            corpus_remove_doc(registry, name, &t["docs/".len()..]),
+        ),
+        ("POST", Some("discover")) => {
+            let config = match config_from_query(&state.config.discovery, request) {
+                Ok((config, _)) => config,
+                Err(message) => {
+                    return Routed::plain(
+                        "/v1/corpora/{name}/discover",
+                        Response::error(400, &message),
+                    )
+                }
+            };
+            let ndjson = request
+                .header("accept")
+                .is_some_and(|a| a.contains("application/x-ndjson"));
+            if ndjson {
+                Routed::CorpusStream {
+                    corpus: name.to_string(),
+                    config,
+                }
+            } else {
+                Routed::plain(
+                    "/v1/corpora/{name}/discover",
+                    corpus_discover(state, registry, name, &config),
+                )
+            }
+        }
+        (_, None) => Routed::plain(
+            "method_not_allowed",
+            Response::error(405, "method not allowed").with_header("Allow", "GET, PUT, DELETE"),
+        ),
+        (_, Some("docs")) | (_, Some("discover")) => Routed::plain(
+            "method_not_allowed",
+            Response::error(405, "method not allowed").with_header("Allow", "POST"),
+        ),
+        _ => Routed::plain("not_found", Response::error(404, "no such corpus endpoint")),
+    }
+}
+
+/// Map a corpus error onto an HTTP status.
+fn corpus_error_response(e: &CorpusError) -> Response {
+    let status = match e {
+        CorpusError::BadName(_) => 400,
+        CorpusError::CorpusNotFound(_) | CorpusError::DocNotFound(_) => 404,
+        CorpusError::CorpusExists(_) | CorpusError::DocExists(_) => 409,
+        _ => 500,
+    };
+    Response::error(status, &e.to_string())
+}
+
+/// `PUT /v1/corpora/{name}`.
+fn corpus_create(registry: &CorpusRegistry, name: &str) -> Response {
+    match registry.store.create(name) {
+        Ok(handle) => {
+            let body = format!("{{\"corpus\": \"{}\", \"docs\": 0}}\n", json_escape(name));
+            registry
+                .handles
+                .lock()
+                .unwrap()
+                .insert(name.to_string(), handle);
+            Response::json(201, body)
+        }
+        Err(e) => corpus_error_response(&e),
+    }
+}
+
+/// `GET /v1/corpora/{name}`.
+fn corpus_status(registry: &CorpusRegistry, name: &str) -> Response {
+    match registry.with_handle(name, |h| render_corpus_status(&h.status())) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => corpus_error_response(&e),
+    }
+}
+
+fn render_corpus_status(status: &xfd_corpus::CorpusStatus) -> String {
+    let mut out = format!(
+        "{{\"corpus\": \"{}\", \"segment_bytes\": {}, \"memo\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}}}, \"docs\": [",
+        json_escape(&status.name),
+        status.segment_bytes,
+        status.memo_entries,
+        status.memo_hits,
+        status.memo_misses,
+    );
+    for (i, (name, digest, nodes)) in status.docs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"digest\": \"{digest}\", \"nodes\": {nodes}}}",
+            json_escape(name)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// `DELETE /v1/corpora/{name}`.
+fn corpus_delete(registry: &CorpusRegistry, name: &str) -> Response {
+    let mut handles = registry.handles.lock().unwrap();
+    handles.remove(name);
+    match registry.store.delete(name) {
+        Ok(()) => Response::json(200, format!("{{\"deleted\": \"{}\"}}\n", json_escape(name))),
+        Err(e) => corpus_error_response(&e),
+    }
+}
+
+/// `POST /v1/corpora/{name}/docs?name={doc}`: ingest one XML document.
+fn corpus_add_doc(
+    state: &ServerState,
+    registry: &CorpusRegistry,
+    corpus: &str,
+    request: &Request,
+    body: &mut impl Read,
+) -> Response {
+    let Some(doc_name) = request.query_param("name") else {
+        return Response::error(400, "missing ?name= query parameter for the document");
+    };
+    if let Err(e) = validate_name(doc_name) {
+        return Response::error(400, &format!("bad document name: {e}"));
+    }
+    let Some(content_length) = request.content_length else {
+        return Response::error(411, "Content-Length is required");
+    };
+    if content_length > state.config.max_body_bytes {
+        state.metrics.observe_rejection("body_too_large");
+        return Response::error(
+            413,
+            &format!(
+                "body of {content_length} bytes exceeds the {} byte limit",
+                state.config.max_body_bytes
+            ),
+        );
+    }
+    let tree = match parse_reader(&mut body.take(content_length)) {
+        Ok(tree) => tree,
+        Err(e) => return Response::error(400, &format!("invalid XML: {e}")),
+    };
+    let doc_name = doc_name.to_string();
+    match registry.with_handle(corpus, move |h| {
+        h.add_doc(&doc_name, &tree).map(|()| h.len())
+    }) {
+        Ok(Ok(docs)) => Response::json(
+            201,
+            format!(
+                "{{\"corpus\": \"{}\", \"docs\": {docs}}}\n",
+                json_escape(corpus)
+            ),
+        ),
+        Ok(Err(e)) | Err(e) => corpus_error_response(&e),
+    }
+}
+
+/// `DELETE /v1/corpora/{name}/docs/{doc}`.
+fn corpus_remove_doc(registry: &CorpusRegistry, corpus: &str, doc: &str) -> Response {
+    if let Err(e) = validate_name(doc) {
+        return Response::error(400, &format!("bad document name: {e}"));
+    }
+    match registry.with_handle(corpus, |h| h.remove_doc(doc).map(|()| h.len())) {
+        Ok(Ok(docs)) => Response::json(
+            200,
+            format!(
+                "{{\"corpus\": \"{}\", \"docs\": {docs}}}\n",
+                json_escape(corpus)
+            ),
+        ),
+        Ok(Err(e)) | Err(e) => corpus_error_response(&e),
+    }
+}
+
+/// `POST /v1/corpora/{name}/discover`: run memoized discovery over the
+/// merged corpus and return the full JSON report.
+fn corpus_discover(
+    state: &ServerState,
+    registry: &CorpusRegistry,
+    corpus: &str,
+    config: &DiscoveryConfig,
+) -> Response {
+    match registry.with_handle(corpus, |h| {
+        let outcome = h.discover(config);
+        let body = render_json(&outcome);
+        (body, outcome, h.len())
+    }) {
+        Ok((body, outcome, docs)) => {
+            state.metrics.observe_outcome(&outcome);
+            Response::json(200, body).with_header("X-Corpus-Docs", &docs.to_string())
+        }
+        Err(e) => corpus_error_response(&e),
+    }
+}
+
+/// `POST /v1/corpora/{name}/discover` with `Accept: application/x-ndjson`:
+/// write one JSON line per relation as the memoized discovery visits it,
+/// then a summary line. Returns the status code for metrics.
+fn stream_corpus_discover(
+    state: &ServerState,
+    corpus: &str,
+    config: &DiscoveryConfig,
+    stream: &mut TcpStream,
+) -> u16 {
+    let Some(registry) = &state.corpus else {
+        // Unreachable in practice: the router only streams with a registry.
+        let _ = Response::error(503, "corpus store disabled")
+            .with_close()
+            .write_to(stream);
+        return 503;
+    };
+    let mut handles = registry.handles.lock().unwrap();
+    if !handles.contains_key(corpus) {
+        match registry.store.open(corpus) {
+            Ok(handle) => {
+                handles.insert(corpus.to_string(), handle);
+            }
+            Err(e) => {
+                let response = corpus_error_response(&e).with_close();
+                let status = response.status;
+                let _ = response.write_to(stream);
+                return status;
+            }
+        }
+    }
+    let handle = handles.get_mut(corpus).expect("just inserted");
+    let _ = stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+    );
+    let sink = &mut *stream;
+    let outcome = handle.discover_with_progress(config, |p| {
+        let line = format!(
+            "{{\"relation\": \"{}\", \"depth\": {}, \"cached\": {}, \"fds\": {}, \"keys\": {}, \"inter_fds\": {}, \"inter_keys\": {}}}\n",
+            json_escape(p.name),
+            p.depth,
+            p.cached,
+            p.fds,
+            p.keys,
+            p.inter_fds,
+            p.inter_keys,
+        );
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.flush();
+    });
+    state.metrics.observe_outcome(&outcome);
+    let status = handle.status();
+    let summary = format!(
+        "{{\"done\": true, \"docs\": {}, \"fds\": {}, \"keys\": {}, \"redundancies\": {}, \"memo_hits\": {}, \"memo_misses\": {}}}\n",
+        handle.len(),
+        outcome.report.fds.len(),
+        outcome.report.keys.len(),
+        outcome.report.redundancies.len(),
+        status.memo_hits,
+        status.memo_misses,
+    );
+    let _ = stream.write_all(summary.as_bytes());
+    let _ = stream.flush();
+    200
 }
 
 /// Parse the per-request discovery configuration from query parameters and

@@ -69,18 +69,32 @@ fn raw_request(addr: SocketAddr, raw: &[u8]) -> Reply {
     }
 }
 
+// The helpers ask for `Connection: close` so `read_to_end` framing works;
+// keep-alive reuse has dedicated tests below.
 fn get(addr: SocketAddr, path: &str) -> Reply {
     raw_request(
         addr,
-        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
     )
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
+    request_with_body(addr, "POST", path, body)
+}
+
+fn put(addr: SocketAddr, path: &str) -> Reply {
+    request_with_body(addr, "PUT", path, "")
+}
+
+fn delete(addr: SocketAddr, path: &str) -> Reply {
+    request_with_body(addr, "DELETE", path, "")
+}
+
+fn request_with_body(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
     raw_request(
         addr,
         format!(
-            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
@@ -194,10 +208,7 @@ fn async_jobs_poll_to_completion_and_results_are_fetchable() {
     };
     assert!(final_status.body.contains("\"result\": \"/v1/results/"));
 
-    let result = raw_request(
-        addr,
-        format!("GET {result_path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
-    );
+    let result = get(addr, &result_path);
     assert_eq!(result.status, 200);
     let sync = post(addr, "/v1/discover", BOOKSTORE);
     assert_eq!(sync.header("X-Cache"), Some("hit"));
@@ -290,17 +301,20 @@ fn malformed_requests_get_clean_errors() {
 
     // Unknown endpoint and wrong methods.
     assert_eq!(get(addr, "/nope").status, 404);
-    let wrong = raw_request(addr, b"DELETE /healthz HTTP/1.1\r\n\r\n");
+    let wrong = delete(addr, "/healthz");
     assert_eq!(wrong.status, 405);
     assert_eq!(wrong.header("Allow"), Some("GET"));
     assert_eq!(get(addr, "/v1/discover").status, 405);
 
     // Body framing.
-    let no_length = raw_request(addr, b"POST /v1/discover HTTP/1.1\r\nHost: t\r\n\r\n");
+    let no_length = raw_request(
+        addr,
+        b"POST /v1/discover HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
     assert_eq!(no_length.status, 411);
     let huge = raw_request(
         addr,
-        b"POST /v1/discover HTTP/1.1\r\nHost: t\r\nContent-Length: 1024\r\n\r\n",
+        b"POST /v1/discover HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: 1024\r\n\r\n",
     );
     assert_eq!(huge.status, 413);
     let chunked = raw_request(
@@ -366,6 +380,304 @@ fn shutdown_drains_queued_jobs_before_exit() {
             s.read_to_end(&mut buf).map(|n| n == 0).unwrap_or(true)
         }
     );
+}
+
+/// Read one framed (`Content-Length`) response off a keep-alive
+/// connection without waiting for EOF.
+fn read_framed_reply(reader: &mut impl std::io::BufRead) -> Reply {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read head line");
+        if line == "\r\n" || line.is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .expect("status line")
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .map(|l| {
+            let (k, v) = l.split_once(':').expect("header colon");
+            (k.trim().to_string(), v.trim().to_string())
+        })
+        .collect();
+    let length: usize = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .expect("framed response has Content-Length")
+        .1
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("read body");
+    Reply {
+        status,
+        headers,
+        body: String::from_utf8(body).expect("utf-8 body"),
+    }
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_for_many_requests() {
+    let (addr, handle, join) = spawn_server(ServerConfig::default());
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+
+    for _ in 0..3 {
+        writer
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let reply = read_framed_reply(&mut reader);
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("Connection"), Some("keep-alive"));
+        assert_eq!(reply.body, "{\"status\": \"ok\"}\n");
+    }
+
+    // A POST whose body is fully consumed also keeps the connection.
+    writer
+        .write_all(
+            format!(
+                "POST /v1/discover HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{BOOKSTORE}",
+                BOOKSTORE.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let reply = read_framed_reply(&mut reader);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(reply.header("Connection"), Some("keep-alive"));
+
+    // An explicit close is honored: the response says close and the
+    // server EOFs the connection.
+    writer
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let reply = read_framed_reply(&mut reader);
+    assert_eq!(reply.header("Connection"), Some("close"));
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server closed after Connection: close");
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn keep_alive_request_cap_closes_the_connection() {
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        keep_alive_max_requests: 2,
+        ..ServerConfig::default()
+    });
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    writer
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    assert_eq!(
+        read_framed_reply(&mut reader).header("Connection"),
+        Some("keep-alive")
+    );
+    writer
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let second = read_framed_reply(&mut reader);
+    assert_eq!(
+        second.header("Connection"),
+        Some("close"),
+        "request cap reached"
+    );
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+fn corpus_server(
+    tag: &str,
+) -> (
+    std::path::PathBuf,
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let root = std::env::temp_dir().join(format!("xfd-e2e-corpus-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        corpus_root: Some(root.clone()),
+        ..ServerConfig::default()
+    });
+    (root, addr, handle, join)
+}
+
+const D1: &str = "<shop><book><isbn>1</isbn><title>A</title><price>7</price></book>\
+    <book><isbn>1</isbn><title>A</title><price>7</price></book></shop>";
+const D2: &str = "<shop><book><isbn>2</isbn><title>B</title><price>9</price></book></shop>";
+
+#[test]
+fn corpus_lifecycle_over_http() {
+    let (root, addr, handle, join) = corpus_server("lifecycle");
+
+    assert_eq!(put(addr, "/v1/corpora/shop").status, 201);
+    assert_eq!(put(addr, "/v1/corpora/shop").status, 409);
+
+    assert_eq!(post(addr, "/v1/corpora/shop/docs?name=d1", D1).status, 201);
+    assert_eq!(post(addr, "/v1/corpora/shop/docs?name=d2", D2).status, 201);
+    assert_eq!(post(addr, "/v1/corpora/shop/docs?name=d1", D1).status, 409);
+    assert_eq!(
+        post(addr, "/v1/corpora/shop/docs?name=bad", "<open>").status,
+        400
+    );
+
+    let status = get(addr, "/v1/corpora/shop");
+    assert_eq!(status.status, 200, "{}", status.body);
+    assert!(
+        status.body.contains("\"d1\"") && status.body.contains("\"d2\""),
+        "{}",
+        status.body
+    );
+
+    let report = post(addr, "/v1/corpora/shop/discover", "");
+    assert_eq!(report.status, 200, "{}", report.body);
+    assert_eq!(report.header("X-Corpus-Docs"), Some("2"));
+    // Byte-identical to the batch pipeline over the same documents.
+    let trees = [xfd_xml::parse(D1).unwrap(), xfd_xml::parse(D2).unwrap()];
+    let refs: Vec<&xfd_xml::DataTree> = trees.iter().collect();
+    let outcome = discoverxfd::discover_collection(&refs, &discoverxfd::DiscoveryConfig::default());
+    assert_eq!(
+        normalize_total_ms(&report.body),
+        normalize_total_ms(&discoverxfd::report::render_json(&outcome))
+    );
+
+    assert_eq!(get(addr, "/v1/corpora/ghost").status, 404);
+    assert_eq!(delete(addr, "/v1/corpora/shop/docs/d2").status, 200);
+    assert_eq!(delete(addr, "/v1/corpora/shop/docs/d2").status, 404);
+    assert_eq!(delete(addr, "/v1/corpora/shop").status, 200);
+    assert_eq!(get(addr, "/v1/corpora/shop").status, 404);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corpora_persist_across_restarts_with_identical_reports() {
+    let (root, addr, handle, join) = corpus_server("restart");
+    assert_eq!(put(addr, "/v1/corpora/shop").status, 201);
+    assert_eq!(post(addr, "/v1/corpora/shop/docs?name=d1", D1).status, 201);
+    assert_eq!(post(addr, "/v1/corpora/shop/docs?name=d2", D2).status, 201);
+    let warm = post(addr, "/v1/corpora/shop/discover", "");
+    assert_eq!(warm.status, 200);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+
+    // A fresh server over the same root sees the same corpus and produces
+    // a byte-identical report from a cold memo.
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        corpus_root: Some(root.clone()),
+        ..ServerConfig::default()
+    });
+    let cold = post(addr, "/v1/corpora/shop/discover", "");
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(
+        normalize_total_ms(&cold.body),
+        normalize_total_ms(&warm.body)
+    );
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn traversal_shaped_names_never_touch_the_filesystem() {
+    let (root, addr, handle, join) = corpus_server("traversal");
+    // First segment decodes to a forbidden name → 400 before any fs access.
+    for path in [
+        "/v1/corpora/..",
+        "/v1/corpora/%2e%2e",
+        "/v1/corpora/.hidden",
+        "/v1/corpora/caf%C3%A9",
+        "/v1/corpora/a%20b",
+    ] {
+        assert_eq!(put(addr, path).status, 400, "{path}");
+        assert_eq!(get(addr, path).status, 400, "{path}");
+    }
+    // Document names go through the same guard.
+    assert_eq!(put(addr, "/v1/corpora/ok").status, 201);
+    for doc in ["..", "%2e%2e%2fx", "a%2fb", "caf%C3%A9"] {
+        let r = post(addr, &format!("/v1/corpora/ok/docs?name={doc}"), "<a/>");
+        assert_eq!(r.status, 400, "{doc}");
+    }
+    // Digest lookups reject traversal-shaped ids the same way.
+    assert_eq!(get(addr, "/v1/results/%2e%2e%2fsecret").status, 400);
+    // Only the corpus created through the guard exists on disk.
+    let entries: Vec<String> = std::fs::read_dir(&root)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(entries, vec!["ok"]);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn ndjson_discover_streams_one_line_per_relation() {
+    let (root, addr, handle, join) = corpus_server("ndjson");
+    assert_eq!(put(addr, "/v1/corpora/shop").status, 201);
+    assert_eq!(post(addr, "/v1/corpora/shop/docs?name=d1", D1).status, 201);
+
+    let stream_request = "POST /v1/corpora/shop/discover HTTP/1.1\r\nHost: t\r\n\
+         Accept: application/x-ndjson\r\nContent-Length: 0\r\n\r\n";
+    let reply = raw_request(addr, stream_request.as_bytes());
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("Content-Type"), Some("application/x-ndjson"));
+    assert_eq!(reply.header("Connection"), Some("close"));
+    let lines: Vec<&str> = reply.body.lines().collect();
+    assert!(lines.len() >= 2, "progress lines + summary: {:?}", lines);
+    for line in &lines[..lines.len() - 1] {
+        assert!(line.starts_with("{\"relation\": "), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+    let summary = lines.last().unwrap();
+    assert!(summary.contains("\"done\": true"), "{summary}");
+    assert!(summary.contains("\"docs\": 1"), "{summary}");
+
+    // Streaming again replays every relation from the memo.
+    let reply = raw_request(addr, stream_request.as_bytes());
+    for line in reply
+        .body
+        .lines()
+        .filter(|l| l.starts_with("{\"relation\""))
+    {
+        assert!(line.contains("\"cached\": true"), "{line}");
+    }
+
+    // A missing corpus still gets a clean framed error.
+    let missing = raw_request(
+        addr,
+        b"POST /v1/corpora/ghost/discover HTTP/1.1\r\nHost: t\r\n\
+          Accept: application/x-ndjson\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(missing.status, 404);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 fn field_u64(json: &str, prefix: &str) -> u64 {
