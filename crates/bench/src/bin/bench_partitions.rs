@@ -12,6 +12,8 @@
 //! cargo run --release -p xfd-bench --bin bench_partitions [-- out.json]
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -34,15 +36,21 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged from our caller, which
+        // upholds GlobalAlloc's contract (non-zero size, valid alignment).
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from our caller's matching `alloc`,
+        // which delegated to `System` with this same layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: arguments are forwarded unchanged from our caller, which
+        // upholds GlobalAlloc's realloc contract for the `System` block.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

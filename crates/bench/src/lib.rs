@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! # xfd-bench
 //!
 //! The experiment harness: one function per table/figure of the

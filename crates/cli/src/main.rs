@@ -510,30 +510,45 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     server.run().map_err(|e| e.to_string())
 }
 
-/// Positional arguments with the *string-valued* options' values skipped
-/// (the shared [`positional`] helper only has to dodge numeric values).
-fn corpus_positional<'a>(
-    args: &'a [String],
+/// Strictly parse a corpus action's arguments. Anything dash-prefixed that
+/// is not a known flag — `-x` single-dash spellings included — is a hard
+/// error, as is any positional beyond the ones the action expects; a typo
+/// must never be a silently ignored no-op. Returns exactly
+/// `expect.len()` positionals on success.
+fn corpus_args(
+    args: &[String],
+    bool_flags: &[&str],
     value_opts: &[&str],
-    idx: usize,
-) -> Result<&'a str, String> {
+    expect: &[&str],
+) -> Result<Vec<String>, String> {
     let mut positionals = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if a.starts_with("--") {
-            if value_opts.contains(&a.as_str()) {
-                i += 1; // skip the option's value
-            }
-        } else {
-            positionals.push(a.as_str());
+        if value_opts.contains(&a.as_str()) {
+            i += 2; // the value itself is validated by opt_value
+            continue;
         }
+        if bool_flags.contains(&a.as_str()) {
+            i += 1;
+            continue;
+        }
+        if a.len() > 1 && a.starts_with('-') {
+            return Err(format!("unknown option {a:?}"));
+        }
+        positionals.push(a.clone());
         i += 1;
     }
-    positionals
-        .get(idx)
-        .copied()
-        .ok_or_else(|| "missing argument".to_string())
+    if let Some(extra) = positionals.get(expect.len()) {
+        return Err(format!("unexpected argument {extra:?}"));
+    }
+    if positionals.len() < expect.len() {
+        return Err(format!(
+            "missing {}",
+            expect.get(positionals.len()).copied().unwrap_or("argument")
+        ));
+    }
+    Ok(positionals)
 }
 
 fn cmd_corpus(args: &[String]) -> Result<(), String> {
@@ -546,20 +561,23 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
     let rest = &args[1..];
     let root = opt_value::<String>(rest, "--root")?.unwrap_or_else(|| "corpora".into());
     let store = CorpusStore::new(&root);
-    let pos = |idx| corpus_positional(rest, &["--root", "--name"], idx);
 
     match action.as_str() {
         "create" => {
-            check_flags(rest, &["--root"])?;
-            let corpus = pos(0)?;
+            let p = corpus_args(rest, &[], &["--root"], &["corpus name"])?;
+            let corpus = p[0].as_str();
             store.create(corpus).map_err(|e| e.to_string())?;
             eprintln!("created corpus {corpus:?} under {root}/");
             Ok(())
         }
         "add" => {
-            check_flags(rest, &["--root", "--name", "--crash-after-wal"])?;
-            let corpus = pos(0)?;
-            let file = pos(1)?;
+            let p = corpus_args(
+                rest,
+                &["--crash-after-wal"],
+                &["--root", "--name"],
+                &["corpus name", "xml file"],
+            )?;
+            let (corpus, file) = (p[0].as_str(), p[1].as_str());
             let doc_name = match opt_value::<String>(rest, "--name")? {
                 Some(name) => name,
                 None => std::path::Path::new(file)
@@ -587,30 +605,27 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "rm" => {
-            check_flags(rest, &["--root"])?;
-            let corpus = pos(0)?;
-            let doc = pos(1)?;
+            let p = corpus_args(rest, &[], &["--root"], &["corpus name", "document name"])?;
+            let (corpus, doc) = (p[0].as_str(), p[1].as_str());
             let mut handle = store.open(corpus).map_err(|e| e.to_string())?;
             handle.remove_doc(doc).map_err(|e| e.to_string())?;
             eprintln!("removed {doc:?} from {corpus:?} ({} docs)", handle.len());
             Ok(())
         }
         "discover" => {
-            check_flags(
+            let p = corpus_args(
                 rest,
                 &[
-                    "--root",
                     "--json",
                     "--markdown",
                     "--progress",
-                    "--max-lhs",
                     "--no-inter",
                     "--keep-uninteresting",
-                    "--threads",
-                    "--cache-budget",
                 ],
+                &["--root", "--max-lhs", "--threads", "--cache-budget"],
+                &["corpus name"],
             )?;
-            let corpus = pos(0)?;
+            let corpus = p[0].as_str();
             let mut config = DiscoveryConfig {
                 max_lhs_size: opt_value::<usize>(rest, "--max-lhs")?,
                 inter_relation: !flag(rest, "--no-inter"),
@@ -645,8 +660,8 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "status" => {
-            check_flags(rest, &["--root"])?;
-            let corpus = pos(0)?;
+            let p = corpus_args(rest, &[], &["--root"], &["corpus name"])?;
+            let corpus = p[0].as_str();
             let handle = store.open(corpus).map_err(|e| e.to_string())?;
             let status = handle.status();
             println!(
@@ -661,7 +676,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "list" => {
-            check_flags(rest, &["--root"])?;
+            corpus_args(rest, &[], &["--root"], &[])?;
             for name in store.list().map_err(|e| e.to_string())? {
                 println!("{name}");
             }

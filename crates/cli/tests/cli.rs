@@ -270,6 +270,34 @@ fn unknown_flag_is_a_clean_error() {
 }
 
 #[test]
+fn corpus_rejects_unknown_flags_and_excess_positionals() {
+    // Single-dash spellings used to be swallowed as positionals; every
+    // malformed invocation must be a one-line hard error, never a no-op.
+    for (args, want) in [
+        (vec!["corpus", "list", "-root"], "unknown option"),
+        (vec!["corpus", "create", "c", "-v"], "unknown option"),
+        (vec!["corpus", "status", "c", "--bogus"], "unknown option"),
+        (vec!["corpus", "create", "a", "b"], "unexpected argument"),
+        (vec!["corpus", "list", "stray"], "unexpected argument"),
+        (
+            vec!["corpus", "discover", "c", "extra", "--json"],
+            "unexpected argument",
+        ),
+        (vec!["corpus", "create"], "missing corpus name"),
+        (vec!["corpus", "add", "c"], "missing xml file"),
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        let first = err.lines().next().unwrap_or("");
+        assert!(
+            first.starts_with("error:") && first.contains(want),
+            "{args:?}: {first}"
+        );
+    }
+}
+
+#[test]
 fn bad_flag_value_is_a_clean_error() {
     let file = write_warehouse();
     let out = bin()

@@ -279,7 +279,7 @@ pub fn discover_forest_memo(
             progress(RelationProgress {
                 rel: rel_id,
                 name: &forest.relation(rel_id).name,
-                depth: depth[&rel_id],
+                depth: depth.get(&rel_id).copied().unwrap_or(0),
                 cached,
                 fds: result.local.fds.len(),
                 keys: result.local.keys.len(),

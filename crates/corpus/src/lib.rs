@@ -64,6 +64,10 @@ pub enum CorpusError {
     Corrupt(String),
     /// A segment failed to decode.
     Decode(DecodeError),
+    /// The in-memory handle was abandoned after a panic mid-operation
+    /// (e.g. a poisoned server-side lock); durable state is intact and the
+    /// corpus reopens from the manifest + WAL on the next request.
+    Poisoned(String),
 }
 
 impl From<io::Error> for CorpusError {
@@ -92,6 +96,10 @@ impl std::fmt::Display for CorpusError {
             CorpusError::DocNotFound(n) => write!(f, "document '{n}' not found"),
             CorpusError::Corrupt(what) => write!(f, "corrupt corpus: {what}"),
             CorpusError::Decode(e) => write!(f, "segment decode failed: {e}"),
+            CorpusError::Poisoned(n) => write!(
+                f,
+                "corpus '{n}' was abandoned after a panic; retry to reopen it"
+            ),
         }
     }
 }
@@ -326,6 +334,7 @@ impl CorpusHandle {
         let removed = self.docs.remove(idx);
         let metas: Vec<DocMeta> = self.docs.iter().map(|d| d.meta.clone()).collect();
         self.store.commit(&metas)?;
+        // xfdlint:allow(error_hygiene, reason = "the manifest no longer references this segment; a failed unlink only leaves an orphan for GC on the next open")
         let _ = fs::remove_file(self.store.seg_path(removed.meta.seg));
         Ok(())
     }

@@ -266,14 +266,27 @@ impl StoreDir {
             return Ok(false);
         }
         let mut pos = 0usize;
-        while bytes.len() - pos >= 4 {
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            if len > MAX_WAL_PAYLOAD || bytes.len() - pos - 4 < len + 16 {
-                break; // torn tail
+        // Every short or out-of-range read below is the torn tail a crash
+        // mid-append leaves behind: stop replaying, keep what is already
+        // applied.
+        while let Some(header) = bytes
+            .get(pos..pos + 4)
+            .and_then(|b| <[u8; 4]>::try_from(b).ok())
+        {
+            let len = u32::from_le_bytes(header) as usize;
+            if len > MAX_WAL_PAYLOAD {
+                break;
             }
-            let payload = &bytes[pos + 4..pos + 4 + len];
-            let checksum =
-                u128::from_le_bytes(bytes[pos + 4 + len..pos + 20 + len].try_into().unwrap());
+            let Some(payload) = bytes.get(pos + 4..pos + 4 + len) else {
+                break;
+            };
+            let Some(checksum) = bytes
+                .get(pos + 4 + len..pos + 20 + len)
+                .and_then(|b| <[u8; 16]>::try_from(b).ok())
+                .map(u128::from_le_bytes)
+            else {
+                break;
+            };
             if digest_bytes(payload) != checksum {
                 break; // torn or corrupted record
             }
@@ -306,6 +319,7 @@ impl StoreDir {
         for entry in fs::read_dir(self.dir.join("segments"))? {
             let path = entry?.path();
             if !live.contains(&path) {
+                // xfdlint:allow(error_hygiene, reason = "orphan-segment GC is opportunistic; a file that cannot be unlinked now is retried on the next open")
                 let _ = fs::remove_file(&path);
             }
         }
@@ -350,7 +364,13 @@ pub fn digest_file(path: &Path) -> io::Result<u128> {
         if n == 0 {
             return Ok(d.finish());
         }
-        d.update(&buf[..n]);
+        let Some(chunk) = buf.get(..n) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "reader reported more bytes than the buffer holds",
+            ));
+        };
+        d.update(chunk);
     }
 }
 

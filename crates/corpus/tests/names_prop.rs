@@ -1,0 +1,115 @@
+//! Property tests for the shared name guard: every rejected class maps to
+//! its typed [`NameError`], and every accepted name survives a round trip
+//! through the filesystem as a literal path component.
+
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use xfd_corpus::{validate_name, NameError};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xfd-names-prop-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A name that passes the guard: first byte avoids the leading-dot rule,
+/// the rest draw from the full allowed alphabet, total length <= 128.
+const VALID: &str = "[A-Za-z0-9_-][A-Za-z0-9._-]{0,127}";
+
+/// Allowed-alphabet fragment that is safe anywhere in a name, including
+/// position zero — used to pad rejected inputs without tripping a
+/// *different* rule than the one under test.
+const SAFE_FRAG: &str = "[A-Za-z0-9_-]{0,10}";
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn valid_names_are_accepted(name in VALID) {
+        prop_assert!(name.len() <= 128);
+        prop_assert_eq!(validate_name(&name), Ok(()), "{:?}", name);
+    }
+
+    #[test]
+    fn oversized_names_are_rejected(name in "[A-Za-z0-9_-][A-Za-z0-9._-]{128,200}") {
+        prop_assert!(name.len() > 128);
+        prop_assert_eq!(validate_name(&name), Err(NameError::TooLong), "{:?}", name);
+    }
+
+    #[test]
+    fn leading_dots_are_rejected(suffix in "[A-Za-z0-9._-]{0,20}", dots in 1usize..4) {
+        // Covers `.`, `..`, `.hidden`, `..evil`, `../x`-style prefixes
+        // (the slash variant is additionally a BadChar, but the dot rule
+        // fires first because it is positional).
+        let name = format!("{}{}", ".".repeat(dots), suffix);
+        prop_assert_eq!(validate_name(&name), Err(NameError::LeadingDot), "{:?}", name);
+    }
+
+    #[test]
+    fn separators_are_rejected(
+        prefix in SAFE_FRAG,
+        suffix in SAFE_FRAG,
+        sep in prop_oneof![Just('/'), Just('\\'), Just('\0')],
+    ) {
+        let name = format!("{prefix}{sep}{suffix}");
+        prop_assert_eq!(validate_name(&name), Err(NameError::BadChar), "{:?}", name);
+    }
+
+    #[test]
+    fn non_ascii_is_rejected(
+        prefix in SAFE_FRAG,
+        suffix in SAFE_FRAG,
+        cp in 0x80u32..0xD800,
+    ) {
+        let c = char::from_u32(cp).expect("below surrogate range");
+        let name = format!("{prefix}{c}{suffix}");
+        prop_assert_eq!(validate_name(&name), Err(NameError::BadChar), "{:?}", name);
+    }
+
+    #[test]
+    fn ascii_outside_the_alphabet_is_rejected(
+        prefix in SAFE_FRAG,
+        suffix in SAFE_FRAG,
+        // The printable-ASCII complement of [A-Za-z0-9._-]: spaces,
+        // punctuation, shell metacharacters, percent signs, and so on.
+        bad in "[ -,/:-@[-^`{-~]",
+    ) {
+        let name = format!("{prefix}{bad}{suffix}");
+        prop_assert_eq!(validate_name(&name), Err(NameError::BadChar), "{:?}", name);
+    }
+
+}
+
+#[test]
+fn empty_name_is_rejected() {
+    assert_eq!(validate_name(""), Err(NameError::Empty));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// An accepted name is usable verbatim as a single path component: the
+    /// file lands inside the directory (no traversal), directory listing
+    /// returns the same name, and the contents read back intact.
+    #[test]
+    fn accepted_names_round_trip_through_the_filesystem(name in VALID, payload in 0u32..1_000_000) {
+        prop_assert_eq!(validate_name(&name), Ok(()));
+        let dir = tmp("roundtrip");
+        let path = dir.join(&name);
+        // The joined path must still be *inside* the temp dir — a name that
+        // validated cannot escape via `..` or absolute components.
+        prop_assert!(path.starts_with(&dir), "{:?} escaped {:?}", path, dir);
+        fs::write(&path, payload.to_le_bytes()).expect("write named file");
+        let listed: Vec<String> = fs::read_dir(&dir)
+            .expect("list dir")
+            .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        prop_assert_eq!(&listed, &vec![name.clone()], "directory echoes the name back");
+        let back = fs::read(&path).expect("read named file");
+        prop_assert_eq!(back, payload.to_le_bytes().to_vec());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -124,13 +124,17 @@ impl<'a> Cursor<'a> {
         if end > self.bytes.len() {
             return Err(DecodeError::Truncated);
         }
-        let slice = &self.bytes[self.pos..end];
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated)?;
         self.pos = end;
         Ok(slice)
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = <[u8; 4]>::try_from(self.take(4)?).map_err(|_| DecodeError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 }
 
@@ -188,13 +192,17 @@ pub fn decode_tree(bytes: &[u8]) -> Result<DataTree, DecodeError> {
         };
         if value != NONE {
             let v = string_at(value)?;
-            tree.as_mut().expect("tree exists").set_value(node, v);
+            match tree.as_mut() {
+                Some(t) => t.set_value(node, v),
+                // Every arm above either installed a root or returned.
+                None => return Err(DecodeError::BadIndex("value before root")),
+            }
         }
     }
     if c.pos != bytes.len() {
         return Err(DecodeError::TrailingBytes);
     }
-    Ok(tree.expect("n_nodes >= 1"))
+    tree.ok_or(DecodeError::Empty)
 }
 
 /// Structural equality of two trees: same nodes in the same pre-order with

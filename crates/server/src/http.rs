@@ -276,8 +276,8 @@ fn percent_decode(s: &str) -> Option<String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'%' => {
                 let hi = char::from(*bytes.get(i + 1)?).to_digit(16)?;
                 let lo = char::from(*bytes.get(i + 2)?).to_digit(16)?;
@@ -288,8 +288,8 @@ fn percent_decode(s: &str) -> Option<String> {
                 out.push(b' ');
                 i += 1;
             }
-            b => {
-                out.push(b);
+            other => {
+                out.push(other);
                 i += 1;
             }
         }

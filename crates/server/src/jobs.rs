@@ -7,13 +7,14 @@
 //! result; the canonical long-term home of a result is the digest-keyed
 //! result cache, which the job record points into.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::digest::format_digest;
 use crate::http::json_escape;
+use crate::sync::{lock_recover, wait_timeout_recover};
 
 /// Finished-job history cap; oldest completed records are pruned past it.
 const MAX_FINISHED: usize = 256;
@@ -94,7 +95,7 @@ impl JobRecord {
 struct Inner {
     jobs: HashMap<u64, JobRecord>,
     /// Completed ids in finish order, for pruning oldest-first.
-    finished_order: Vec<u64>,
+    finished_order: VecDeque<u64>,
 }
 
 /// Concurrent job table shared by the HTTP layer and the worker pool.
@@ -118,7 +119,7 @@ impl JobTable {
             next_id: AtomicU64::new(1),
             inner: Mutex::new(Inner {
                 jobs: HashMap::new(),
-                finished_order: Vec::new(),
+                finished_order: VecDeque::new(),
             }),
             completed: Condvar::new(),
         }
@@ -135,18 +136,18 @@ impl JobTable {
             created: Instant::now(),
             finished_at: None,
         };
-        self.inner.lock().unwrap().jobs.insert(id, record);
+        lock_recover(&self.inner).jobs.insert(id, record);
         id
     }
 
     /// Snapshot a job's record.
     pub fn get(&self, id: u64) -> Option<JobRecord> {
-        self.inner.lock().unwrap().jobs.get(&id).cloned()
+        lock_recover(&self.inner).jobs.get(&id).cloned()
     }
 
     /// Mark a job running.
     pub fn mark_running(&self, id: u64) {
-        if let Some(job) = self.inner.lock().unwrap().jobs.get_mut(&id) {
+        if let Some(job) = lock_recover(&self.inner).jobs.get_mut(&id) {
             job.status = JobStatus::Running;
         }
     }
@@ -162,17 +163,18 @@ impl JobTable {
     }
 
     fn finish(&self, id: u64, status: JobStatus, result: Option<Arc<String>>) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         if let Some(job) = inner.jobs.get_mut(&id) {
             job.status = status;
             job.result = result;
             job.finished_at = Some(Instant::now());
-            inner.finished_order.push(id);
+            inner.finished_order.push_back(id);
         }
         // Prune the oldest finished records beyond the history cap.
         while inner.finished_order.len() > MAX_FINISHED {
-            let oldest = inner.finished_order.remove(0);
-            inner.jobs.remove(&oldest);
+            if let Some(oldest) = inner.finished_order.pop_front() {
+                inner.jobs.remove(&oldest);
+            }
         }
         drop(inner);
         self.completed.notify_all();
@@ -181,7 +183,7 @@ impl JobTable {
     /// Block until job `id` finishes or `deadline` passes; returns the
     /// final record, or `None` on timeout / unknown id.
     pub fn wait_finished(&self, id: u64, deadline: Instant) -> Option<JobRecord> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         loop {
             match inner.jobs.get(&id) {
                 Some(job) if job.status.finished() => return Some(job.clone()),
@@ -192,9 +194,9 @@ impl JobTable {
             if now >= deadline {
                 return None;
             }
-            let (guard, timeout) = self.completed.wait_timeout(inner, deadline - now).unwrap();
+            let (guard, timed_out) = wait_timeout_recover(&self.completed, inner, deadline - now);
             inner = guard;
-            if timeout.timed_out() {
+            if timed_out {
                 let job = inner.jobs.get(&id).cloned();
                 return job.filter(|j| j.status.finished());
             }
@@ -203,9 +205,7 @@ impl JobTable {
 
     /// Jobs currently queued or running (for `/metrics`).
     pub fn inflight(&self) -> u64 {
-        self.inner
-            .lock()
-            .unwrap()
+        lock_recover(&self.inner)
             .jobs
             .values()
             .filter(|j| !j.status.finished())

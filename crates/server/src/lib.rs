@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! # xfd-server
 //!
 //! Serving mode for the DiscoverXFD system: a dependency-free HTTP/1.1
@@ -28,5 +29,6 @@ pub mod metrics;
 pub mod queue;
 pub mod rescache;
 pub mod server;
+pub mod sync;
 
 pub use server::{install_signal_handlers, Server, ServerConfig, ServerHandle};

@@ -15,6 +15,7 @@ use std::time::Instant;
 use discoverxfd::RunOutcome;
 
 use crate::rescache::ResultCacheStats;
+use crate::sync::lock_recover;
 
 /// Point-in-time gauges sampled by the render path.
 #[derive(Debug, Default, Clone, Copy)]
@@ -36,6 +37,8 @@ pub struct Metrics {
     rejected: Mutex<BTreeMap<&'static str, u64>>,
     jobs_finished: Mutex<BTreeMap<&'static str, u64>>,
     runs: AtomicU64,
+    /// Worker panics contained by `catch_unwind` — should stay 0.
+    worker_panics: AtomicU64,
     // Per-stage wall time, accumulated in microseconds.
     stage_infer_us: AtomicU64,
     stage_encode_us: AtomicU64,
@@ -66,6 +69,7 @@ impl Metrics {
             rejected: Mutex::new(BTreeMap::new()),
             jobs_finished: Mutex::new(BTreeMap::new()),
             runs: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             stage_infer_us: AtomicU64::new(0),
             stage_encode_us: AtomicU64::new(0),
             stage_discover_us: AtomicU64::new(0),
@@ -82,10 +86,7 @@ impl Metrics {
 
     /// Count one handled request by endpoint pattern and status code.
     pub fn observe_request(&self, endpoint: &str, status: u16) {
-        *self
-            .requests
-            .lock()
-            .unwrap()
+        *lock_recover(&self.requests)
             .entry((endpoint.to_string(), status))
             .or_insert(0) += 1;
     }
@@ -93,17 +94,22 @@ impl Metrics {
     /// Count one shed request (`reason`: `queue_full`, `body_too_large`,
     /// `timeout`, ...).
     pub fn observe_rejection(&self, reason: &'static str) {
-        *self.rejected.lock().unwrap().entry(reason).or_insert(0) += 1;
+        *lock_recover(&self.rejected).entry(reason).or_insert(0) += 1;
     }
 
     /// Count one finished job by terminal status name.
     pub fn observe_job_finished(&self, status: &'static str) {
-        *self
-            .jobs_finished
-            .lock()
-            .unwrap()
-            .entry(status)
-            .or_insert(0) += 1;
+        *lock_recover(&self.jobs_finished).entry(status).or_insert(0) += 1;
+    }
+
+    /// Count one worker panic contained by the pool's `catch_unwind`.
+    pub fn observe_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker panics contained so far (tests assert this stays 0).
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
     }
 
     /// Fold one completed discovery run's timings and lattice counters in.
@@ -145,7 +151,7 @@ impl Metrics {
             ));
         };
 
-        let requests = self.requests.lock().unwrap();
+        let requests = lock_recover(&self.requests);
         let mut body = String::new();
         for ((endpoint, code), count) in requests.iter() {
             body.push_str(&format!(
@@ -160,7 +166,7 @@ impl Metrics {
             &body,
         );
 
-        let rejected = self.rejected.lock().unwrap();
+        let rejected = lock_recover(&self.rejected);
         let mut body = String::new();
         for (reason, count) in rejected.iter() {
             body.push_str(&format!(
@@ -194,7 +200,7 @@ impl Metrics {
             &format!("discoverxfd_jobs_inflight {}\n", gauges.jobs_inflight),
         );
 
-        let finished = self.jobs_finished.lock().unwrap();
+        let finished = lock_recover(&self.jobs_finished);
         let mut body = String::new();
         for (status, count) in finished.iter() {
             body.push_str(&format!(
@@ -245,6 +251,16 @@ impl Metrics {
             "Rendered reports currently cached.",
             "gauge",
             &format!("discoverxfd_result_cache_entries {}\n", cache.entries),
+        );
+
+        metric(
+            "discoverxfd_worker_panics_total",
+            "Worker panics contained by catch_unwind; anything above 0 is a bug.",
+            "counter",
+            &format!(
+                "discoverxfd_worker_panics_total {}\n",
+                self.worker_panics.load(Ordering::Relaxed)
+            ),
         );
 
         metric(
@@ -359,6 +375,7 @@ mod tests {
             "discoverxfd_jobs_inflight",
             "discoverxfd_jobs_finished_total",
             "discoverxfd_result_cache_hits_total",
+            "discoverxfd_worker_panics_total",
             "discoverxfd_runs_total",
             "discoverxfd_stage_seconds_total",
             "discoverxfd_lattice_total",

@@ -13,6 +13,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use crate::sync::{lock_recover, wait_recover};
+
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PushError {
@@ -49,7 +51,7 @@ impl<T> JobQueue<T> {
 
     /// Enqueue without blocking; errors communicate backpressure/shutdown.
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -65,7 +67,7 @@ impl<T> JobQueue<T> {
     /// Block until an item is available or the queue is closed and empty
     /// (then `None`: time for the worker to exit).
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -73,14 +75,14 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).unwrap();
+            inner = wait_recover(&self.ready, inner);
         }
     }
 
     /// Stop accepting work and wake all blocked consumers. Items already
     /// queued still drain through `pop`.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         inner.closed = true;
         drop(inner);
         self.ready.notify_all();
@@ -88,7 +90,7 @@ impl<T> JobQueue<T> {
 
     /// Items currently queued (for `/metrics`).
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        lock_recover(&self.inner).items.len()
     }
 
     /// Configured capacity.

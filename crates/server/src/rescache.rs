@@ -13,6 +13,8 @@ use std::sync::{Arc, Mutex};
 
 use xfd_hash::FxHashMap;
 
+use crate::sync::lock_recover;
+
 const N_SHARDS: usize = 8;
 
 struct Entry {
@@ -73,13 +75,14 @@ impl ResultCache {
 
     fn shard_for(&self, digest: u128) -> &Mutex<Shard> {
         // High bits select the shard; FNV's low bits already key the map.
+        // xfdlint:allow(panic_freedom, reason = "index is `% N_SHARDS` into a vec constructed with exactly N_SHARDS shards")
         &self.shards[(digest >> 125) as usize % N_SHARDS]
     }
 
     /// Look up a report, counting the hit or miss. A hit refreshes the
     /// entry's recency so eviction is least-recently-used.
     pub fn get(&self, digest: u128) -> Option<Arc<String>> {
-        let mut shard = self.shard_for(digest).lock().unwrap();
+        let mut shard = lock_recover(self.shard_for(digest));
         shard.clock += 1;
         let now = shard.clock;
         match shard.map.get_mut(&digest) {
@@ -102,20 +105,22 @@ impl ResultCache {
         if body.len() > self.budget_per_shard {
             return;
         }
-        let mut shard = self.shard_for(digest).lock().unwrap();
+        let mut shard = lock_recover(self.shard_for(digest));
         if let Some(old) = shard.map.remove(&digest) {
-            shard.resident_bytes -= old.body.len();
+            shard.resident_bytes = shard.resident_bytes.saturating_sub(old.body.len());
         }
         while shard.resident_bytes + body.len() > self.budget_per_shard && !shard.map.is_empty() {
-            let coldest = shard
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.seq)
-                .map(|(&k, _)| k)
-                .expect("non-empty shard has a minimum");
-            let evicted = shard.map.remove(&coldest).unwrap();
-            shard.resident_bytes -= evicted.body.len();
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            let coldest = shard.map.iter().min_by_key(|(_, e)| e.seq).map(|(&k, _)| k);
+            match coldest.and_then(|k| shard.map.remove(&k)) {
+                Some(evicted) => {
+                    shard.resident_bytes = shard.resident_bytes.saturating_sub(evicted.body.len());
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // The map was checked non-empty, so a missing minimum can
+                // only mean the guard recovered from a poisoned state with
+                // drifted accounting; stop evicting rather than spin.
+                None => break,
+            }
         }
         shard.clock += 1;
         let seq = shard.clock;
@@ -128,7 +133,7 @@ impl ResultCache {
         let mut resident_bytes = 0u64;
         let mut entries = 0u64;
         for shard in &self.shards {
-            let shard = shard.lock().unwrap();
+            let shard = lock_recover(shard);
             resident_bytes += shard.resident_bytes as u64;
             entries += shard.map.len() as u64;
         }

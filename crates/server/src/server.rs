@@ -50,6 +50,7 @@ use crate::jobs::{JobStatus, JobTable};
 use crate::metrics::{GaugeSnapshot, Metrics};
 use crate::queue::{JobQueue, PushError};
 use crate::rescache::ResultCache;
+use crate::sync::lock_recover;
 
 /// Global flag set by the signal handler; polled by every accept loop.
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
@@ -69,6 +70,9 @@ extern "C" {
 pub fn install_signal_handlers() {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is the libc prototype declared above; `on_signal` is
+    // `extern "C"`, never unwinds, and only performs the async-signal-safe
+    // store of an `AtomicBool`. Called once, before any thread is spawned.
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);
@@ -127,27 +131,57 @@ struct Job {
     config: DiscoveryConfig,
 }
 
-/// Lazily-opened corpus handles keyed by name. One mutex serializes all
-/// corpus operations: ingest and discovery both mutate the shared
-/// per-corpus memo state, and corpora are few compared to documents.
+/// Lazily-opened corpus handles keyed by name. The registry `handles` map
+/// lock is held only for lookups, inserts, and evictions; each handle
+/// carries its *own* mutex that serializes ingest and discovery on that
+/// corpus (both mutate the per-corpus memo state), so a long discovery on
+/// one corpus never blocks requests for another.
+///
+/// Lock order (enforced by xfdlint's `lock_discipline.order`): the
+/// registry map lock may wrap a per-corpus acquisition, never the reverse.
+///
+/// A per-corpus mutex poisons when a worker panics mid-operation — the
+/// in-memory docs/memo may then be torn, so the handle is *evicted* and
+/// the next request reopens it from the durable manifest + WAL
+/// ([`CorpusError::Poisoned`], surfaced as a retryable 503).
 struct CorpusRegistry {
     store: CorpusStore,
-    handles: Mutex<HashMap<String, CorpusHandle>>,
+    handles: Mutex<HashMap<String, Arc<Mutex<CorpusHandle>>>>,
 }
 
 impl CorpusRegistry {
+    /// Get (or open and cache) the shared handle for `name`.
+    fn shared_handle(&self, name: &str) -> Result<Arc<Mutex<CorpusHandle>>, CorpusError> {
+        let mut handles = lock_recover(&self.handles);
+        if let Some(handle) = handles.get(name) {
+            return Ok(Arc::clone(handle));
+        }
+        // xfdlint:allow(lock_discipline, reason = "open() must run under the registry lock so two racing requests cannot double-open one corpus WAL; every other registry critical section is map-only")
+        let handle = Arc::new(Mutex::new(self.store.open(name)?));
+        handles.insert(name.to_string(), Arc::clone(&handle));
+        Ok(handle)
+    }
+
     /// Run `f` on the (possibly freshly opened) handle for `name`.
     fn with_handle<T>(
         &self,
         name: &str,
         f: impl FnOnce(&mut CorpusHandle) -> T,
     ) -> Result<T, CorpusError> {
-        let mut handles = self.handles.lock().unwrap();
-        if !handles.contains_key(name) {
-            let handle = self.store.open(name)?;
-            handles.insert(name.to_string(), handle);
-        }
-        Ok(f(handles.get_mut(name).expect("just inserted")))
+        let handle = self.shared_handle(name)?;
+        let mut guard = match handle.lock() {
+            Ok(guard) => guard,
+            Err(_) => return Err(self.evict_poisoned(name)),
+        };
+        Ok(f(&mut guard))
+    }
+
+    /// A panic poisoned `name`'s handle mid-operation: its in-memory state
+    /// may be torn, so drop it and let the next request reopen the corpus
+    /// from the durable manifest + WAL.
+    fn evict_poisoned(&self, name: &str) -> CorpusError {
+        lock_recover(&self.handles).remove(name);
+        CorpusError::Poisoned(name.to_string())
     }
 }
 
@@ -280,9 +314,11 @@ impl Server {
         // Drain: no new connections or jobs; queued jobs still complete.
         self.state.queue.close();
         for c in connections {
+            // xfdlint:allow(error_hygiene, reason = "join errs only for a thread that already panicked; drain must still reap the remaining threads")
             let _ = c.join();
         }
         for w in workers {
+            // xfdlint:allow(error_hygiene, reason = "worker panics are contained by catch_unwind and counted in metrics; a join error here cannot carry new information")
             let _ = w.join();
         }
         Ok(())
@@ -308,6 +344,7 @@ fn worker_loop(state: &ServerState) {
                 state.metrics.observe_job_finished("done");
             }
             Err(_) => {
+                state.metrics.observe_worker_panic();
                 state
                     .jobs
                     .mark_failed(job.id, "discovery panicked on this document".into());
@@ -327,6 +364,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     };
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
+    // xfdlint:allow(error_hygiene, reason = "set_write_timeout fails only for a zero duration, which ServerConfig cannot produce; a missing timeout degrades to blocking writes")
     let _ = stream.set_write_timeout(Some(state.config.request_timeout));
     let max_requests = state.config.keep_alive_max_requests.max(1);
     let mut served = 0usize;
@@ -339,6 +377,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         } else {
             state.config.keep_alive_timeout
         };
+        // xfdlint:allow(error_hygiene, reason = "set_read_timeout fails only for a zero duration, which ServerConfig cannot produce; a missing timeout degrades to blocking reads")
         let _ = stream.set_read_timeout(Some(read_deadline));
 
         let request = match read_request(&mut reader, &Limits::default()) {
@@ -359,10 +398,12 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
                 state
                     .metrics
                     .observe_request("bad_request", response.status);
+                // xfdlint:allow(error_hygiene, reason = "best-effort error reply to a client that already broke framing; the connection closes either way")
                 let _ = response.write_to(&mut stream);
                 break;
             }
         };
+        // xfdlint:allow(error_hygiene, reason = "set_read_timeout fails only for a zero duration, which ServerConfig cannot produce; a missing timeout degrades to blocking reads")
         let _ = stream.set_read_timeout(Some(state.config.request_timeout));
         served += 1;
 
@@ -396,6 +437,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
             }
         }
     }
+    // xfdlint:allow(error_hygiene, reason = "best-effort FIN on a connection being dropped; the peer may already have closed")
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
@@ -448,11 +490,11 @@ fn route(state: &ServerState, request: &Request, body: &mut impl Read) -> Routed
         ("POST", "/v1/jobs") => Routed::plain("/v1/jobs", submit_job(state, request, body)),
         ("GET", path) if path.starts_with("/v1/jobs/") => Routed::plain(
             "/v1/jobs/{id}",
-            job_status(state, &path["/v1/jobs/".len()..]),
+            job_status(state, path.strip_prefix("/v1/jobs/").unwrap_or(path)),
         ),
         ("GET", path) if path.starts_with("/v1/results/") => Routed::plain(
             "/v1/results/{digest}",
-            result_lookup(state, &path["/v1/results/".len()..]),
+            result_lookup(state, path.strip_prefix("/v1/results/").unwrap_or(path)),
         ),
         (_, path) if path.starts_with("/v1/corpora/") => route_corpus(state, request, body),
         (_, "/healthz") | (_, "/metrics") => Routed::plain(
@@ -477,7 +519,10 @@ fn route(state: &ServerState, request: &Request, body: &mut impl Read) -> Routed
 /// and incremental discovery. Names are validated *before* any filesystem
 /// access — traversal-shaped names never reach a path join.
 fn route_corpus(state: &ServerState, request: &Request, body: &mut impl Read) -> Routed {
-    let rest = &request.path["/v1/corpora/".len()..];
+    let Some(rest) = request.path.strip_prefix("/v1/corpora/") else {
+        // route() only dispatches here for matching prefixes.
+        return Routed::plain("not_found", Response::error(404, "no such endpoint"));
+    };
     let (name, tail) = match rest.split_once('/') {
         Some((n, t)) => (n, Some(t)),
         None => (rest, None),
@@ -507,7 +552,7 @@ fn route_corpus(state: &ServerState, request: &Request, body: &mut impl Read) ->
         ),
         ("DELETE", Some(t)) if t.starts_with("docs/") => Routed::plain(
             "/v1/corpora/{name}/docs/{doc}",
-            corpus_remove_doc(registry, name, &t["docs/".len()..]),
+            corpus_remove_doc(registry, name, t.strip_prefix("docs/").unwrap_or(t)),
         ),
         ("POST", Some("discover")) => {
             let config = match config_from_query(&state.config.discovery, request) {
@@ -552,6 +597,9 @@ fn corpus_error_response(e: &CorpusError) -> Response {
         CorpusError::BadName(_) => 400,
         CorpusError::CorpusNotFound(_) | CorpusError::DocNotFound(_) => 404,
         CorpusError::CorpusExists(_) | CorpusError::DocExists(_) => 409,
+        // The poisoned handle was evicted; the next attempt reopens from
+        // disk, so tell the client the condition is temporary.
+        CorpusError::Poisoned(_) => 503,
         _ => 500,
     };
     Response::error(status, &e.to_string())
@@ -562,11 +610,7 @@ fn corpus_create(registry: &CorpusRegistry, name: &str) -> Response {
     match registry.store.create(name) {
         Ok(handle) => {
             let body = format!("{{\"corpus\": \"{}\", \"docs\": 0}}\n", json_escape(name));
-            registry
-                .handles
-                .lock()
-                .unwrap()
-                .insert(name.to_string(), handle);
+            lock_recover(&registry.handles).insert(name.to_string(), Arc::new(Mutex::new(handle)));
             Response::json(201, body)
         }
         Err(e) => corpus_error_response(&e),
@@ -605,7 +649,9 @@ fn render_corpus_status(status: &xfd_corpus::CorpusStatus) -> String {
 
 /// `DELETE /v1/corpora/{name}`.
 fn corpus_delete(registry: &CorpusRegistry, name: &str) -> Response {
-    let mut handles = registry.handles.lock().unwrap();
+    // Hold the registry lock across the delete so a concurrent request
+    // cannot reopen the corpus between eviction and directory removal.
+    let mut handles = lock_recover(&registry.handles);
     handles.remove(name);
     match registry.store.delete(name) {
         Ok(()) => Response::json(200, format!("{{\"deleted\": \"{}\"}}\n", json_escape(name))),
@@ -697,9 +743,28 @@ fn corpus_discover(
     }
 }
 
+/// Best-effort write + flush of one streaming chunk. A failed write means
+/// the peer went away mid-stream; discovery still runs to completion so
+/// the memo state commits, so the error is deliberately dropped.
+fn send_best_effort(stream: &mut TcpStream, bytes: &[u8]) {
+    // xfdlint:allow(error_hygiene, reason = "peer disconnect mid-stream is expected; discovery must still complete so the corpus memo commits")
+    let _ = stream.write_all(bytes).and_then(|()| stream.flush());
+}
+
+/// Best-effort write of a full (error) response on a streaming connection,
+/// which closes right after either way.
+fn send_response_best_effort(stream: &mut TcpStream, response: Response) {
+    // xfdlint:allow(error_hygiene, reason = "the error reply on a streaming connection is a courtesy; the close itself is the signal the client acts on")
+    let _ = response.write_to(stream);
+}
+
 /// `POST /v1/corpora/{name}/discover` with `Accept: application/x-ndjson`:
 /// write one JSON line per relation as the memoized discovery visits it,
 /// then a summary line. Returns the status code for metrics.
+///
+/// Only this corpus's own lock is held while streaming — requests for
+/// other corpora (and the registry map itself) stay unblocked for the
+/// duration of the discovery.
 fn stream_corpus_discover(
     state: &ServerState,
     corpus: &str,
@@ -708,31 +773,36 @@ fn stream_corpus_discover(
 ) -> u16 {
     let Some(registry) = &state.corpus else {
         // Unreachable in practice: the router only streams with a registry.
-        let _ = Response::error(503, "corpus store disabled")
-            .with_close()
-            .write_to(stream);
+        send_response_best_effort(
+            stream,
+            Response::error(503, "corpus store disabled").with_close(),
+        );
         return 503;
     };
-    let mut handles = registry.handles.lock().unwrap();
-    if !handles.contains_key(corpus) {
-        match registry.store.open(corpus) {
-            Ok(handle) => {
-                handles.insert(corpus.to_string(), handle);
-            }
-            Err(e) => {
-                let response = corpus_error_response(&e).with_close();
-                let status = response.status;
-                let _ = response.write_to(stream);
-                return status;
-            }
+    let handle = match registry.shared_handle(corpus) {
+        Ok(handle) => handle,
+        Err(e) => {
+            let response = corpus_error_response(&e).with_close();
+            let status = response.status;
+            send_response_best_effort(stream, response);
+            return status;
         }
-    }
-    let handle = handles.get_mut(corpus).expect("just inserted");
-    let _ = stream.write_all(
+    };
+    let mut guard = match handle.lock() {
+        Ok(guard) => guard,
+        Err(_) => {
+            let response = corpus_error_response(&registry.evict_poisoned(corpus)).with_close();
+            let status = response.status;
+            send_response_best_effort(stream, response);
+            return status;
+        }
+    };
+    send_best_effort(
+        stream,
         b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
     );
     let sink = &mut *stream;
-    let outcome = handle.discover_with_progress(config, |p| {
+    let outcome = guard.discover_with_progress(config, |p| {
         let line = format!(
             "{{\"relation\": \"{}\", \"depth\": {}, \"cached\": {}, \"fds\": {}, \"keys\": {}, \"inter_fds\": {}, \"inter_keys\": {}}}\n",
             json_escape(p.name),
@@ -743,22 +813,20 @@ fn stream_corpus_discover(
             p.inter_fds,
             p.inter_keys,
         );
-        let _ = sink.write_all(line.as_bytes());
-        let _ = sink.flush();
+        send_best_effort(sink, line.as_bytes());
     });
     state.metrics.observe_outcome(&outcome);
-    let status = handle.status();
+    let status = guard.status();
     let summary = format!(
         "{{\"done\": true, \"docs\": {}, \"fds\": {}, \"keys\": {}, \"redundancies\": {}, \"memo_hits\": {}, \"memo_misses\": {}}}\n",
-        handle.len(),
+        guard.len(),
         outcome.report.fds.len(),
         outcome.report.keys.len(),
         outcome.report.redundancies.len(),
         status.memo_hits,
         status.memo_misses,
     );
-    let _ = stream.write_all(summary.as_bytes());
-    let _ = stream.flush();
+    send_best_effort(stream, summary.as_bytes());
     200
 }
 
@@ -938,12 +1006,18 @@ fn discover_sync(state: &ServerState, request: &Request, body: &mut impl Read) -
     let deadline = Instant::now() + state.config.request_timeout;
     match state.jobs.wait_finished(id, deadline) {
         Some(job) => match job.status {
-            JobStatus::Done => {
-                let body = job.result.expect("done job carries its result");
-                Response::json(200, body.as_bytes().to_vec()).with_header("X-Cache", "miss")
-            }
+            JobStatus::Done => match job.result {
+                Some(body) => {
+                    Response::json(200, body.as_bytes().to_vec()).with_header("X-Cache", "miss")
+                }
+                // A done job always carries its body; surface a table bug
+                // as a 500 instead of panicking the connection thread.
+                None => Response::error(500, "internal error: finished job lost its result"),
+            },
             JobStatus::Failed(message) => Response::error(500, &message),
-            _ => unreachable!("wait_finished only returns finished jobs"),
+            // wait_finished only returns finished jobs; anything else is a
+            // job-table bug, answered rather than panicked on.
+            _ => Response::error(500, "internal error: job in unexpected state"),
         },
         None => {
             state.metrics.observe_rejection("timeout");
@@ -1004,5 +1078,61 @@ fn result_lookup(state: &ServerState, digest_text: &str) -> Response {
     match state.cache.get(digest) {
         Some(body) => Response::json(200, body.as_bytes().to_vec()).with_header("X-Cache", "hit"),
         None => Response::error(404, "result not cached (re-run discovery)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_registry(tag: &str) -> CorpusRegistry {
+        let root =
+            std::env::temp_dir().join(format!("xfd-server-registry-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        CorpusRegistry {
+            store: CorpusStore::new(root),
+            handles: Mutex::new(HashMap::new()),
+        }
+    }
+
+    #[test]
+    fn poisoned_corpus_handle_is_evicted_and_reopens_from_disk() {
+        let registry = tmp_registry("poison");
+        let mut handle = registry.store.create("c").unwrap();
+        let tree = xfd_xml::parse("<a><b><x>1</x></b><b><x>1</x></b></a>").unwrap();
+        handle.add_doc("d1", &tree).unwrap();
+        drop(handle);
+
+        // Panic a thread while it holds the per-corpus lock.
+        let shared = registry.shared_handle("c").unwrap();
+        let victim = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || {
+            let _guard = victim.lock().unwrap();
+            panic!("injected worker panic");
+        });
+        assert!(worker.join().is_err(), "worker must have panicked");
+
+        // The next access reports the typed, retryable error and evicts.
+        match registry.with_handle("c", |h| h.len()) {
+            Err(CorpusError::Poisoned(name)) => assert_eq!(name, "c"),
+            Err(other) => panic!("expected Poisoned, got {other}"),
+            Ok(_) => panic!("poisoned handle served a request"),
+        }
+
+        // The retry reopens from the durable manifest: the document is back.
+        let docs = registry
+            .with_handle("c", |h| h.doc_names().join(","))
+            .unwrap();
+        assert_eq!(docs, "d1");
+    }
+
+    #[test]
+    fn corpus_error_statuses_are_typed() {
+        let poisoned = corpus_error_response(&CorpusError::Poisoned("c".into()));
+        assert_eq!(poisoned.status, 503);
+        let missing = corpus_error_response(&CorpusError::CorpusNotFound("c".into()));
+        assert_eq!(missing.status, 404);
+        let corrupt = corpus_error_response(&CorpusError::Corrupt("seg".into()));
+        assert_eq!(corrupt.status, 500);
     }
 }

@@ -1,0 +1,81 @@
+//! Poison-tolerant lock helpers.
+//!
+//! A `std` mutex is *poisoned* when a thread panics while holding it; every
+//! later `lock()` then returns `Err`, and the idiomatic `.unwrap()` converts
+//! one contained panic into a panic in every thread that ever touches the
+//! lock — exactly the cascade the serve mode's `catch_unwind` containment is
+//! supposed to prevent.
+//!
+//! Recovery via [`PoisonError::into_inner`] is sound for the structures the
+//! server guards with these helpers (queues, counters, caches, job tables):
+//! each critical section leaves the collection itself valid between
+//! individual operations (std collections never tear), so the worst a
+//! mid-section panic can leave behind is drifted *accounting* — a cache
+//! size counter slightly off, a metrics sample missing. For a cache or a
+//! gauge that is strictly preferable to a process-wide cascade. Durable
+//! state is NOT protected this way: corpus handles detect poisoning and are
+//! evicted and reopened from the WAL instead (see `CorpusRegistry`).
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait` with the same poison recovery as [`lock_recover`].
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait_timeout` with poison recovery; the boolean is
+/// `timed_out()`.
+pub fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Poison `m` by panicking a thread that holds it.
+    fn poison<T: Send + 'static>(m: &Arc<Mutex<T>>) {
+        let m2 = Arc::clone(m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("first lock cannot be poisoned");
+            panic!("poison the lock");
+        })
+        .join();
+    }
+
+    #[test]
+    fn lock_recover_survives_poisoning() {
+        let m = Arc::new(Mutex::new(vec![1, 2]));
+        poison(&m);
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        let mut guard = lock_recover(&m);
+        guard.push(3);
+        assert_eq!(*guard, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wait_timeout_recover_reports_timeout() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let guard = lock_recover(&m);
+        let (_guard, timed_out) = wait_timeout_recover(&cv, guard, Duration::from_millis(5));
+        assert!(timed_out);
+    }
+}

@@ -179,6 +179,11 @@ fn repeated_documents_are_served_from_the_result_cache() {
         "{metrics}"
     );
     assert!(metrics.contains("discoverxfd_runs_total 2"), "{metrics}");
+    // Nothing in the smoke traffic may have panicked a worker.
+    assert!(
+        metrics.contains("discoverxfd_worker_panics_total 0"),
+        "{metrics}"
+    );
     handle.shutdown();
     join.join().unwrap().unwrap();
 }

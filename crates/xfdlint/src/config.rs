@@ -1,0 +1,291 @@
+//! `xfdlint.toml` parsing: a hand-rolled subset of TOML, in line with the
+//! workspace's no-external-dependencies policy.
+//!
+//! Supported syntax — exactly what the checked-in config uses:
+//!
+//! ```toml
+//! # comment
+//! [rule_name]
+//! paths = ["crates/server/src", "crates/core/src/memo.rs"]
+//! order = ["registry->handle"]   # lock_discipline only
+//! ```
+//!
+//! Arrays may span lines. Every key is validated; an unknown key or rule
+//! name is a configuration error (exit code 2), so a typo cannot silently
+//! disable a rule.
+
+use std::collections::BTreeMap;
+
+/// Names of the rules xfdlint knows, in report order.
+pub const RULE_NAMES: [&str; 4] = [
+    "panic_freedom",
+    "lock_discipline",
+    "unsafe_audit",
+    "error_hygiene",
+];
+
+/// Per-rule configuration section.
+#[derive(Debug, Clone, Default)]
+pub struct RuleCfg {
+    /// Workspace-relative path prefixes the rule applies to. A file is in
+    /// scope when its path equals a prefix or extends one at a `/` boundary.
+    pub paths: Vec<String>,
+    /// `lock_discipline` only: permitted nested acquisitions, as
+    /// `outer->inner` receiver pairs. Any nesting not listed is a violation.
+    pub order: Vec<(String, String)>,
+    /// `lock_discipline` only: extra guard-returning helper functions
+    /// (method receivers are always scanned for `.lock(`).
+    pub lock_helpers: Vec<String>,
+}
+
+/// The parsed config: one section per enabled rule.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Rule name → its configuration, in file order.
+    pub rules: BTreeMap<String, RuleCfg>,
+}
+
+impl Config {
+    /// Parse a config file. Errors carry the offending line number.
+    pub fn parse(src: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut current: Option<String> = None;
+        let mut lines = src.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim();
+                if !RULE_NAMES.contains(&name) {
+                    return Err(format!("line {lineno}: unknown rule section [{name}]"));
+                }
+                if cfg.rules.contains_key(name) {
+                    return Err(format!("line {lineno}: duplicate section [{name}]"));
+                }
+                cfg.rules.insert(name.to_string(), RuleCfg::default());
+                current = Some(name.to_string());
+                continue;
+            }
+            let Some((key, mut value)) = split_key_value(&line) else {
+                return Err(format!("line {lineno}: expected `key = value`"));
+            };
+            let Some(section) = current.as_ref() else {
+                return Err(format!(
+                    "line {lineno}: key `{key}` outside any [rule] section"
+                ));
+            };
+            // Arrays may continue over following lines until brackets close.
+            while bracket_balance(&value) > 0 {
+                match lines.next() {
+                    Some((_, more)) => {
+                        value.push(' ');
+                        value.push_str(strip_comment(more).trim());
+                    }
+                    None => return Err(format!("line {lineno}: unterminated array for `{key}`")),
+                }
+            }
+            let items = parse_string_array(&value)
+                .map_err(|e| format!("line {lineno}: value of `{key}`: {e}"))?;
+            let Some(rule) = cfg.rules.get_mut(section) else {
+                return Err(format!("line {lineno}: section [{section}] vanished"));
+            };
+            match key {
+                "paths" => rule.paths = items,
+                "order" if section == "lock_discipline" => {
+                    rule.order = items
+                        .iter()
+                        .map(|pair| {
+                            pair.split_once("->")
+                                .map(|(a, b)| (a.trim().to_string(), b.trim().to_string()))
+                                .ok_or_else(|| {
+                                    format!(
+                                        "line {lineno}: order entry `{pair}` is not `outer->inner`"
+                                    )
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "lock_helpers" if section == "lock_discipline" => rule.lock_helpers = items,
+                _ => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{key}` in section [{section}]"
+                    ))
+                }
+            }
+        }
+        for (name, rule) in &cfg.rules {
+            if rule.paths.is_empty() {
+                return Err(format!("section [{name}] has no `paths`"));
+            }
+        }
+        if cfg.rules.is_empty() {
+            return Err("config enables no rules".to_string());
+        }
+        Ok(cfg)
+    }
+
+    /// True when `rel_path` (workspace-relative, `/`-separated) is in scope
+    /// for the rule, i.e. equals or extends one of its path prefixes.
+    pub fn in_scope(&self, rule: &str, rel_path: &str) -> bool {
+        self.rules.get(rule).is_some_and(|r| {
+            r.paths.iter().any(|p| {
+                rel_path == p
+                    || rel_path
+                        .strip_prefix(p.as_str())
+                        .is_some_and(|rest| rest.starts_with('/'))
+            })
+        })
+    }
+}
+
+/// Drop a `#` comment, ignoring `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn split_key_value(line: &str) -> Option<(&str, String)> {
+    let (key, value) = line.split_once('=')?;
+    let key = key.trim();
+    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some((key, value.trim().to_string()))
+}
+
+fn bracket_balance(s: &str) -> i64 {
+    let mut balance = 0i64;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => balance += 1,
+            ']' if !in_str => balance -= 1,
+            _ => {}
+        }
+    }
+    balance
+}
+
+/// Parse `["a", "b"]` (or a single `"a"`, promoted to a one-item list).
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(single) = parse_string(value) {
+        return Ok(vec![single]);
+    }
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a string or [array], got `{value}`"))?;
+    let mut items = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        items.push(parse_string(part).ok_or_else(|| format!("expected a string, got `{part}`"))?);
+    }
+    Ok(items)
+}
+
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    if inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+/// Split on commas that are outside quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_order_pairs() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[panic_freedom]
+paths = [
+  "crates/server/src",   # hot path
+  "crates/core/src/memo.rs",
+]
+
+[lock_discipline]
+paths = "crates/server/src"
+order = ["registry->handle"]
+lock_helpers = ["lock_recover"]
+"#,
+        )
+        .expect("config parses");
+        let pf = &cfg.rules["panic_freedom"];
+        assert_eq!(
+            pf.paths,
+            vec!["crates/server/src", "crates/core/src/memo.rs"]
+        );
+        let ld = &cfg.rules["lock_discipline"];
+        assert_eq!(
+            ld.order,
+            vec![("registry".to_string(), "handle".to_string())]
+        );
+        assert_eq!(ld.lock_helpers, vec!["lock_recover"]);
+    }
+
+    #[test]
+    fn scope_matches_on_path_boundaries() {
+        let cfg = Config::parse("[panic_freedom]\npaths = [\"crates/server/src\"]\n")
+            .expect("config parses");
+        assert!(cfg.in_scope("panic_freedom", "crates/server/src/http.rs"));
+        assert!(cfg.in_scope("panic_freedom", "crates/server/src"));
+        assert!(!cfg.in_scope("panic_freedom", "crates/server/srcfoo/x.rs"));
+        assert!(!cfg.in_scope("panic_freedom", "crates/server/tests/e2e.rs"));
+        assert!(!cfg.in_scope("lock_discipline", "crates/server/src/http.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_keys() {
+        assert!(Config::parse("[no_such_rule]\npaths=[\"x\"]\n").is_err());
+        assert!(Config::parse("[panic_freedom]\nfrobnicate = [\"x\"]\n").is_err());
+        assert!(Config::parse("paths = [\"x\"]\n").is_err());
+        assert!(Config::parse("[panic_freedom]\n").is_err());
+        assert!(Config::parse("[error_hygiene]\norder = [\"a->b\"]\n").is_err());
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let cfg = Config::parse("[panic_freedom]\npaths = [\"cr#ates\"] # real comment\n")
+            .expect("config parses");
+        assert_eq!(cfg.rules["panic_freedom"].paths, vec!["cr#ates"]);
+    }
+}

@@ -1,0 +1,404 @@
+//! A minimal Rust lexer: just enough token structure for xfdlint's rules.
+//!
+//! The goal is not a faithful grammar but a stream in which quoted text can
+//! never be mistaken for code. Comments are kept as tokens because the allow
+//! annotations and the `// SAFETY:` audit live in them; strings, chars and
+//! lifetimes are disambiguated so that `".unwrap("` inside a string literal
+//! or a `'a` lifetime never trips a rule.
+
+/// Coarse token classes; rules only ever look at `Ident`, `Punct` and
+/// `Comment` text, but the literal classes must exist so their contents are
+/// opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (including raw identifiers and `_`).
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String, raw string, byte string or C string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Any single punctuation byte.
+    Punct,
+    /// Line or (nested) block comment, text included.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: Kind,
+    /// Source text of the token (for `Punct`, a single byte).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for a punct token of exactly `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for an ident token of exactly `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == Kind::Ident && self.text == name
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a token stream. The lexer never fails: malformed input
+/// (unterminated literals and the like) degrades to best-effort tokens,
+/// which is acceptable because the workspace it scans must already compile.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                b if b.is_ascii_digit() => self.number(),
+                b if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    let end = next_char_boundary(self.src, self.pos);
+                    self.emit(Kind::Punct, self.pos, end, self.line);
+                    self.pos = end;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: Kind, start: usize, end: usize, line: usize) {
+        self.out.push(Token {
+            kind,
+            text: self.src[start..end].to_string(),
+            line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.emit(Kind::Comment, start, self.pos, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        let mut depth = 1u32;
+        self.pos += 2;
+        while depth > 0 {
+            match (self.bytes.get(self.pos), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(&b), _) => {
+                    if b == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+                (None, _) => break,
+            }
+        }
+        self.emit(Kind::Comment, start, self.pos, start_line);
+    }
+
+    /// Plain string literal starting at the current `"`; `start` is where the
+    /// token began (possibly at a `b`/`c` prefix).
+    fn string(&mut self, start: usize) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let end = self.pos.min(self.bytes.len());
+        self.emit(Kind::Str, start, end, start_line);
+    }
+
+    /// Raw string body: current position is at the opening `#`s or `"`;
+    /// `start` is the token start (at the `r`/`br` prefix).
+    fn raw_string(&mut self, start: usize) {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.bytes.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if b == b'"' {
+                let tail = &self.bytes[self.pos + 1..];
+                if tail.len() >= hashes && tail[..hashes].iter().all(|&h| h == b'#') {
+                    self.pos += 1 + hashes;
+                    break;
+                }
+            }
+            self.pos += 1;
+        }
+        let end = self.pos.min(self.bytes.len());
+        self.emit(Kind::Str, start, end, start_line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        // `'X'` (and only that form, or an escape) is a char literal; a tick
+        // followed by an ident that is not closed by a quote is a lifetime.
+        let second = self.peek(1);
+        let third = self.peek(2);
+        let is_char = match second {
+            Some(b'\\') => true,
+            Some(b) if is_ident_continue(b) => third == Some(b'\''),
+            Some(_) => true, // e.g. '(' or '.' — punctuation char literal
+            None => false,
+        };
+        if is_char {
+            self.pos += 1;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                match b {
+                    b'\\' => self.pos += 2,
+                    b'\'' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    b'\n' => break, // stray tick; bail out
+                    _ => self.pos += 1,
+                }
+            }
+            let end = self.pos.min(self.bytes.len());
+            self.emit(Kind::Char, start, end, self.line);
+        } else {
+            self.pos += 1;
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|&b| is_ident_continue(b))
+            {
+                self.pos += 1;
+            }
+            self.emit(Kind::Lifetime, start, self.pos, self.line);
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut prev = 0u8;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let take = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.'
+                    && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                    && !self.src[start..self.pos].contains('.'))
+                || ((b == b'+' || b == b'-') && (prev == b'e' || prev == b'E'));
+            if !take {
+                break;
+            }
+            prev = b;
+            self.pos += 1;
+        }
+        self.emit(Kind::Num, start, self.pos, self.line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| is_ident_continue(b))
+        {
+            self.pos += 1;
+        }
+        let ident = &self.src[start..self.pos];
+        match (ident, self.bytes.get(self.pos)) {
+            // Raw strings and byte strings: r"..", r#".."#, br".."…
+            ("r" | "br" | "cr", Some(b'"')) => self.raw_string(start),
+            ("b" | "c", Some(b'"')) => self.string(start),
+            ("r" | "br" | "cr", Some(b'#')) => {
+                // Either a raw string `r#"…"#` or a raw identifier `r#ident`.
+                if ident == "r" && self.peek(1).is_some_and(is_ident_start) {
+                    self.pos += 1; // the '#'
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| is_ident_continue(b))
+                    {
+                        self.pos += 1;
+                    }
+                    self.emit(Kind::Ident, start, self.pos, self.line);
+                } else {
+                    self.raw_string(start);
+                }
+            }
+            // Byte char b'x'.
+            ("b", Some(b'\'')) => {
+                self.char_or_lifetime();
+                // Re-tag: char_or_lifetime emitted starting at the tick.
+                if let Some(last) = self.out.last_mut() {
+                    last.text.insert(0, 'b');
+                }
+            }
+            _ => self.emit(Kind::Ident, start, self.pos, self.line),
+        }
+    }
+}
+
+fn next_char_boundary(src: &str, pos: usize) -> usize {
+    let mut end = pos + 1;
+    while end < src.len() && !src.is_char_boundary(end) {
+        end += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let x = ".unwrap(" ;"#);
+        assert_eq!(
+            toks,
+            vec![
+                (Kind::Ident, "let".into()),
+                (Kind::Ident, "x".into()),
+                (Kind::Punct, "=".into()),
+                (Kind::Str, "\".unwrap(\"".into()),
+                (Kind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"r#"panic!("x")"# ; br"y""###);
+        assert_eq!(toks[0].0, Kind::Str);
+        assert_eq!(toks[0].1, r##"r#"panic!("x")"#"##);
+        assert_eq!(toks[1], (Kind::Punct, ";".into()));
+        assert_eq!(toks[2].0, Kind::Str);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { 'x'; b'y'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == Kind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == Kind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'x'");
+        assert_eq!(chars[1].1, "b'y'");
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let toks = lex("a /* one /* two */ still */ b\n// tail\nc");
+        assert_eq!(toks.len(), 5);
+        assert_eq!(toks[1].kind, Kind::Comment);
+        assert_eq!(toks[2].text, "b");
+        assert_eq!(toks[3].kind, Kind::Comment);
+        assert_eq!(toks[4].text, "c");
+        assert_eq!(toks[4].line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_stay_idents() {
+        let toks = kinds("r#type = 1");
+        assert_eq!(toks[0], (Kind::Ident, "r#type".into()));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let toks = kinds(r"let q = '\''; let n = 0;");
+        assert_eq!(toks[3].0, Kind::Char);
+        assert_eq!(toks.iter().filter(|t| t.0 == Kind::Ident).count(), 4);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_floats() {
+        let toks = kinds("1_000u64 + 3.25e-2 + 0xFFusize + 1..4");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == Kind::Num)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1_000u64", "3.25e-2", "0xFFusize", "1", "4"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let toks = lex("let s = \"a\nb\nc\";\nlet t = 1;");
+        let t_tok = toks.iter().find(|t| t.text == "t").expect("t token");
+        assert_eq!(t_tok.line, 4);
+    }
+}

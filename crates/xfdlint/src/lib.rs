@@ -1,0 +1,340 @@
+//! xfdlint: workspace-native static analysis for the DiscoverXFD codebase.
+//!
+//! Four rules guard the hot and durable paths (see `xfdlint.toml` at the
+//! workspace root for the scoped paths and DESIGN.md for the philosophy):
+//!
+//! * `panic_freedom` — no `unwrap`/`expect`, panic-family macros,
+//!   `unchecked` operations or index expressions where a panic would tear
+//!   down a worker mid-job or mid-WAL-commit.
+//! * `lock_discipline` — no file/socket I/O while a `Mutex` guard is live,
+//!   and nested lock acquisitions must match the configured order pairs.
+//! * `unsafe_audit` — every `unsafe` block carries a `// SAFETY:` comment.
+//! * `error_hygiene` — no `let _ =` discards in non-test code.
+//!
+//! Sites that are deliberate carry
+//! `// xfdlint:allow(<rule>, reason = "...")`; the reason is mandatory and
+//! a stale allow (one that no longer suppresses anything) is itself an
+//! error, so the allowlist can never drift from the code.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use rules::Violation;
+use scan::SourceScan;
+
+/// Pseudo-rule under which malformed and stale allow annotations report.
+pub const ALLOW_RULE: &str = "allow-annotation";
+
+/// A violation bound to the file it occurred in.
+#[derive(Debug, Clone)]
+pub struct FileViolation {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// The underlying rule hit.
+    pub violation: Violation,
+}
+
+/// Per-rule tallies for the summary table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleStats {
+    /// Violations that survived allow-filtering.
+    pub violations: usize,
+    /// Violations suppressed by a justified allow annotation.
+    pub allowed: usize,
+}
+
+/// Result of linting a tree.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Surviving violations, ordered by path then line.
+    pub violations: Vec<FileViolation>,
+    /// Per-rule statistics (every configured rule has an entry).
+    pub stats: BTreeMap<String, RuleStats>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lint the workspace rooted at `root`, reading `<root>/xfdlint.toml`.
+pub fn run_root(root: &Path) -> Result<Outcome, String> {
+    let cfg_path = root.join("xfdlint.toml");
+    let cfg_src = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
+    let cfg = Config::parse(&cfg_src).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    run_with_config(root, &cfg)
+}
+
+/// Lint the tree at `root` with an already-parsed config.
+pub fn run_with_config(root: &Path, cfg: &Config) -> Result<Outcome, String> {
+    let mut outcome = Outcome::default();
+    for name in cfg.rules.keys() {
+        outcome.stats.insert(name.clone(), RuleStats::default());
+    }
+    outcome
+        .stats
+        .insert(ALLOW_RULE.to_string(), RuleStats::default());
+
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    for rel in files {
+        let scoped: Vec<&str> = cfg
+            .rules
+            .keys()
+            .map(String::as_str)
+            .filter(|rule| cfg.in_scope(rule, &rel))
+            .collect();
+        if scoped.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        lint_file(&rel, &src, &scoped, cfg, &mut outcome);
+        outcome.files_scanned += 1;
+    }
+    outcome
+        .violations
+        .sort_by(|a, b| (&a.path, a.violation.line).cmp(&(&b.path, b.violation.line)));
+    Ok(outcome)
+}
+
+fn lint_file(rel: &str, src: &str, scoped: &[&str], cfg: &Config, outcome: &mut Outcome) {
+    let scan = SourceScan::new(src);
+    let mut raw: Vec<Violation> = Vec::new();
+    for &rule in scoped {
+        match rule {
+            "panic_freedom" => raw.extend(rules::panic_freedom(&scan)),
+            "lock_discipline" => {
+                if let Some(rule_cfg) = cfg.rules.get(rule) {
+                    raw.extend(rules::lock_discipline(&scan, rule_cfg));
+                }
+            }
+            "unsafe_audit" => raw.extend(rules::unsafe_audit(&scan)),
+            "error_hygiene" => raw.extend(rules::error_hygiene(&scan)),
+            _ => {}
+        }
+    }
+
+    let mut allow_used = vec![false; scan.allows.len()];
+    for v in raw {
+        let suppressed = scan
+            .allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.rule == v.rule && a.covers.contains(&v.line));
+        match suppressed {
+            Some((i, _)) => {
+                allow_used[i] = true;
+                bump(outcome, v.rule, |s| s.allowed += 1);
+            }
+            None => {
+                bump(outcome, v.rule, |s| s.violations += 1);
+                outcome.violations.push(FileViolation {
+                    path: rel.to_string(),
+                    violation: v,
+                });
+            }
+        }
+    }
+    for (i, a) in scan.allows.iter().enumerate() {
+        // An allow for a rule this file is not even in scope of is as stale
+        // as one whose violation was fixed.
+        if !allow_used[i] {
+            bump(outcome, ALLOW_RULE, |s| s.violations += 1);
+            outcome.violations.push(FileViolation {
+                path: rel.to_string(),
+                violation: Violation {
+                    rule: ALLOW_RULE,
+                    line: a.line,
+                    message: format!(
+                        "stale xfdlint:allow({}) — no violation left to suppress; remove it",
+                        a.rule
+                    ),
+                },
+            });
+        }
+    }
+    for bad in &scan.bad_allows {
+        bump(outcome, ALLOW_RULE, |s| s.violations += 1);
+        outcome.violations.push(FileViolation {
+            path: rel.to_string(),
+            violation: Violation {
+                rule: ALLOW_RULE,
+                line: bad.line,
+                message: bad.message.clone(),
+            },
+        });
+    }
+}
+
+fn bump(outcome: &mut Outcome, rule: &str, f: impl FnOnce(&mut RuleStats)) {
+    f(outcome.stats.entry(rule.to_string()).or_default());
+}
+
+/// Recursively collect workspace-relative paths of `.rs` files, skipping
+/// build output, VCS metadata and the vendored stand-in crates (they mirror
+/// external APIs and are not held to this workspace's rules).
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Render the per-rule summary table shown in CI logs.
+pub fn render_summary(outcome: &Outcome) -> String {
+    let mut s = String::new();
+    let width = outcome
+        .stats
+        .keys()
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(4)
+        .max("rule".len());
+    push_row(&mut s, width, "rule", "violations", "allowed");
+    for (rule, st) in &outcome.stats {
+        push_row(
+            &mut s,
+            width,
+            rule,
+            &st.violations.to_string(),
+            &st.allowed.to_string(),
+        );
+    }
+    s.push_str(&format!(
+        "{} file(s) scanned, {} violation(s)\n",
+        outcome.files_scanned,
+        outcome.violations.len()
+    ));
+    s
+}
+
+fn push_row(s: &mut String, width: usize, rule: &str, violations: &str, allowed: &str) {
+    s.push_str(&format!("{rule:<width$}  {violations:>10}  {allowed:>7}\n"));
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` (inclusive)
+/// containing `xfdlint.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("xfdlint.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xfdlint-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/demo/src")).expect("mkdir");
+        dir
+    }
+
+    fn write(dir: &Path, rel: &str, content: &str) {
+        std::fs::write(dir.join(rel), content).expect("write fixture");
+    }
+
+    #[test]
+    fn end_to_end_allow_filtering_and_stale_detection() {
+        let dir = tmpdir("e2e");
+        write(
+            &dir,
+            "xfdlint.toml",
+            "[panic_freedom]\npaths = [\"crates/demo/src\"]\n",
+        );
+        write(
+            &dir,
+            "crates/demo/src/lib.rs",
+            "pub fn f(v: &[u8]) -> u8 {\n\
+             // xfdlint:allow(panic_freedom, reason = \"demo: index is bounded above\")\n\
+             let a = v[0];\n\
+             let b = v[1];\n\
+             a + b\n\
+             }\n\
+             // xfdlint:allow(panic_freedom, reason = \"nothing here\")\n\
+             pub fn clean() {}\n",
+        );
+        let outcome = run_root(&dir).expect("lint runs");
+        // v[1] survives; the allow on v[0] is consumed; the trailing allow
+        // is stale.
+        assert_eq!(outcome.stats["panic_freedom"].violations, 1);
+        assert_eq!(outcome.stats["panic_freedom"].allowed, 1);
+        assert_eq!(outcome.stats[ALLOW_RULE].violations, 1);
+        assert_eq!(outcome.violations.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let dir = tmpdir("scope");
+        write(
+            &dir,
+            "xfdlint.toml",
+            "[error_hygiene]\npaths = [\"crates/demo/src/hot.rs\"]\n",
+        );
+        write(&dir, "crates/demo/src/hot.rs", "fn f() { let _ = g(); }\n");
+        write(&dir, "crates/demo/src/cold.rs", "fn f() { let _ = g(); }\n");
+        let outcome = run_root(&dir).expect("lint runs");
+        assert_eq!(outcome.files_scanned, 1);
+        assert_eq!(outcome.stats["error_hygiene"].violations, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_table_lists_every_rule() {
+        let dir = tmpdir("summary");
+        write(
+            &dir,
+            "xfdlint.toml",
+            "[unsafe_audit]\npaths = [\"crates\"]\n",
+        );
+        write(&dir, "crates/demo/src/lib.rs", "pub fn ok() {}\n");
+        let outcome = run_root(&dir).expect("lint runs");
+        let table = render_summary(&outcome);
+        assert!(table.contains("unsafe_audit"));
+        assert!(table.contains("violations"));
+        assert!(table.contains("1 file(s) scanned, 0 violation(s)"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,78 @@
+//! CLI for xfdlint. Run from anywhere inside the workspace:
+//!
+//! ```text
+//! cargo run -p xfdlint -- --check
+//! ```
+//!
+//! Exit codes: 0 clean (or advisory mode without `--check`), 1 violations
+//! found under `--check`, 2 usage or configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: xfdlint [--check] [--root DIR]\n\n\
+  --check      exit nonzero when violations are found (CI mode)\n\
+  --root DIR   workspace root (default: nearest ancestor with xfdlint.toml)\n";
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match xfdlint::find_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!("error: no xfdlint.toml found from {} upward", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match xfdlint::run_root(&root) {
+        Ok(outcome) => {
+            for fv in &outcome.violations {
+                println!(
+                    "{}:{}: [{}] {}",
+                    fv.path, fv.violation.line, fv.violation.rule, fv.violation.message
+                );
+            }
+            if !outcome.violations.is_empty() {
+                println!();
+            }
+            print!("{}", xfdlint::render_summary(&outcome));
+            if check && !outcome.is_clean() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

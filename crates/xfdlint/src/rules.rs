@@ -1,0 +1,577 @@
+//! The four lint rules. Each walks a [`SourceScan`] and yields raw
+//! violations; allow-annotation matching happens in the driver so that
+//! stale allows can be detected globally.
+
+use crate::config::RuleCfg;
+use crate::lexer::Kind;
+use crate::scan::SourceScan;
+
+/// One rule hit, before allow-filtering.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description of the site.
+    pub message: String,
+}
+
+fn hit(rule: &'static str, line: usize, message: String) -> Violation {
+    Violation {
+        rule,
+        line,
+        message,
+    }
+}
+
+/// Keywords that legitimately precede `[` without forming an index
+/// expression (array literals, slice patterns, type positions).
+const NON_INDEX_KEYWORDS: [&str; 24] = [
+    "let", "mut", "ref", "in", "as", "return", "break", "continue", "match", "if", "else", "while",
+    "loop", "for", "move", "fn", "pub", "where", "use", "mod", "impl", "dyn", "box", "yield",
+];
+
+/// Panic-freedom: no `unwrap`/`expect`, panic-family macros, `unchecked`
+/// operations, or indexing/slicing expressions in designated paths.
+pub fn panic_freedom(scan: &SourceScan) -> Vec<Violation> {
+    const RULE: &str = "panic_freedom";
+    let mut out = Vec::new();
+    for ci in 0..scan.code.len() {
+        let (_, in_test, in_attr) = scan.code_ctx(ci);
+        if in_test || in_attr {
+            continue;
+        }
+        let tok = scan.code_tok(ci);
+        let prev = ci.checked_sub(1).map(|p| scan.code_tok(p));
+        let next = scan.code.get(ci + 1).map(|_| scan.code_tok(ci + 1));
+        match tok.kind {
+            Kind::Ident => {
+                let name = tok.text.as_str();
+                let called = next.is_some_and(|n| n.is_punct('('));
+                let after_dot = prev.is_some_and(|p| p.is_punct('.'));
+                let after_path = prev.is_some_and(|p| p.is_punct(':'));
+                if (name == "unwrap" || name == "expect") && after_dot && called {
+                    out.push(hit(
+                        RULE,
+                        tok.line,
+                        format!(".{name}() may panic on a hot/durable path"),
+                    ));
+                } else if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                    && next.is_some_and(|n| n.is_punct('!'))
+                {
+                    out.push(hit(
+                        RULE,
+                        tok.line,
+                        format!("{name}! on a hot/durable path"),
+                    ));
+                } else if name.contains("unchecked") && (after_dot || after_path) {
+                    out.push(hit(
+                        RULE,
+                        tok.line,
+                        format!("`{name}` skips the checked variant's guarantees"),
+                    ));
+                }
+            }
+            Kind::Punct if tok.is_punct('[') => {
+                let indexes = prev.is_some_and(|p| {
+                    (p.kind == Kind::Ident && !NON_INDEX_KEYWORDS.contains(&p.text.as_str()))
+                        || p.is_punct(')')
+                        || p.is_punct(']')
+                });
+                if indexes && !is_full_range(scan, ci) {
+                    out.push(hit(
+                        RULE,
+                        tok.line,
+                        "index/slice expression may panic (use .get()/.get_mut())".to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `x[..]` reslices the whole length and cannot panic; everything else can.
+fn is_full_range(scan: &SourceScan, open: usize) -> bool {
+    let dots =
+        |k: usize| scan.code.get(open + k).is_some() && scan.code_tok(open + k).is_punct('.');
+    let close = scan.code.get(open + 3).is_some() && scan.code_tok(open + 3).is_punct(']');
+    dots(1) && dots(2) && close
+}
+
+/// Unsafe audit: every `unsafe { ... }` block needs a `// SAFETY:` comment
+/// within the three lines above it (or trailing on the same line).
+pub fn unsafe_audit(scan: &SourceScan) -> Vec<Violation> {
+    const RULE: &str = "unsafe_audit";
+    let mut out = Vec::new();
+    for ci in 0..scan.code.len() {
+        let (_, in_test, in_attr) = scan.code_ctx(ci);
+        if in_test || in_attr {
+            continue;
+        }
+        let tok = scan.code_tok(ci);
+        if tok.is_ident("unsafe")
+            && scan.code.get(ci + 1).is_some()
+            && scan.code_tok(ci + 1).is_punct('{')
+            && !scan.comment_nearby(tok.line, 3, "SAFETY:")
+        {
+            out.push(hit(
+                RULE,
+                tok.line,
+                "unsafe block without a // SAFETY: comment".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Error-path hygiene: `let _ = expr;` silently discards a value — on
+/// monitored paths the discarded value is almost always a `Result`.
+pub fn error_hygiene(scan: &SourceScan) -> Vec<Violation> {
+    const RULE: &str = "error_hygiene";
+    let mut out = Vec::new();
+    for ci in 0..scan.code.len() {
+        let (_, in_test, in_attr) = scan.code_ctx(ci);
+        if in_test || in_attr {
+            continue;
+        }
+        if scan.code_tok(ci).is_ident("let")
+            && scan.code.get(ci + 2).is_some()
+            && scan.code_tok(ci + 1).is_ident("_")
+            && scan.code_tok(ci + 2).is_punct('=')
+        {
+            out.push(hit(
+                RULE,
+                scan.code_tok(ci).line,
+                "`let _ =` discards a value (likely a Result) on a monitored path".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// File or socket operations that must not run under a held lock guard.
+/// Bare `read`/`write` are deliberately absent: they collide with
+/// `RwLock::read`/`write` and in-memory writers, and every real I/O site in
+/// this workspace goes through one of the listed calls.
+const IO_CALLS: [&str; 27] = [
+    "write_all",
+    "write_fmt",
+    "flush",
+    "sync_all",
+    "sync_data",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "open",
+    "create",
+    "create_new",
+    "create_dir",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "rename",
+    "copy",
+    "metadata",
+    "read_dir",
+    "set_len",
+    "canonicalize",
+    "accept",
+    "connect",
+    "set_read_timeout",
+    "shutdown",
+];
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    recv: String,
+    depth: u32,
+    line: usize,
+}
+
+/// Lock discipline: flag I/O performed while a `Mutex` guard is live, and
+/// nested acquisitions that do not match the configured `outer->inner`
+/// order pairs.
+pub fn lock_discipline(scan: &SourceScan, cfg: &RuleCfg) -> Vec<Violation> {
+    const RULE: &str = "lock_discipline";
+    let mut out = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    // Acquisition sites already credited to a `let` binding, so the generic
+    // walk does not double-report them.
+    let mut handled: Vec<usize> = Vec::new();
+    for ci in 0..scan.code.len() {
+        let (depth, in_test, _) = scan.code_ctx(ci);
+        let tok = scan.code_tok(ci);
+        if tok.is_punct('}') {
+            guards.retain(|g| g.depth < depth);
+            continue;
+        }
+        if in_test {
+            continue;
+        }
+        if tok.is_ident("drop")
+            && scan.code.get(ci + 2).is_some()
+            && scan.code_tok(ci + 1).is_punct('(')
+        {
+            let victim = scan.code_tok(ci + 2).text.clone();
+            guards.retain(|g| g.name != victim);
+            continue;
+        }
+        if tok.is_ident("let") {
+            if let Some((name, acq_ci, recv)) = binding_acquisition(scan, ci, cfg) {
+                check_order(RULE, scan, acq_ci, &recv, &guards, cfg, &mut out);
+                handled.push(acq_ci);
+                guards.push(Guard {
+                    name,
+                    recv,
+                    depth,
+                    line: tok.line,
+                });
+            }
+            continue;
+        }
+        if let Some(recv) = acquisition_at(scan, ci, cfg) {
+            if !handled.contains(&ci) {
+                check_order(RULE, scan, ci, &recv, &guards, cfg, &mut out);
+            }
+            continue;
+        }
+        if tok.kind == Kind::Ident
+            && IO_CALLS.contains(&tok.text.as_str())
+            && scan.code.get(ci + 1).is_some()
+            && scan.code_tok(ci + 1).is_punct('(')
+        {
+            if let Some(g) = guards.last() {
+                out.push(hit(
+                    RULE,
+                    tok.line,
+                    format!(
+                        "`{}()` performs I/O while lock guard `{}` (bound line {}) is live",
+                        tok.text, g.name, g.line
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn check_order(
+    rule: &'static str,
+    scan: &SourceScan,
+    acq_ci: usize,
+    recv: &str,
+    guards: &[Guard],
+    cfg: &RuleCfg,
+    out: &mut Vec<Violation>,
+) {
+    for g in guards {
+        let allowed = cfg
+            .order
+            .iter()
+            .any(|(outer, inner)| outer == &g.recv && inner == recv);
+        if !allowed {
+            out.push(hit(
+                rule,
+                scan.code_tok(acq_ci).line,
+                format!(
+                    "lock `{recv}` acquired while holding `{}` (line {}); nesting not in configured order",
+                    g.recv, g.line
+                ),
+            ));
+        }
+    }
+}
+
+/// If the `let` at `ci` binds a lock guard, return (binding name, code index
+/// of the acquisition ident, receiver name).
+fn binding_acquisition(
+    scan: &SourceScan,
+    let_ci: usize,
+    cfg: &RuleCfg,
+) -> Option<(String, usize, String)> {
+    let mut ni = let_ci + 1;
+    if scan.code.get(ni).is_some() && scan.code_tok(ni).is_ident("mut") {
+        ni += 1;
+    }
+    let name_tok = scan.code.get(ni).map(|_| scan.code_tok(ni))?;
+    if name_tok.kind != Kind::Ident {
+        return None; // destructuring pattern; not a trackable guard binding
+    }
+    let name = name_tok.text.clone();
+    // Scan the statement for an acquisition, stopping at its `;`.
+    let mut nesting = 0i64;
+    let mut ci = ni + 1;
+    while let Some(&fi) = scan.code.get(ci) {
+        let tok = &scan.tokens[fi];
+        if tok.is_punct('{') && nesting == 0 {
+            // `while let …` / `if let …` body, or a block-expression RHS —
+            // either way, past the binding's own acquisition chain.
+            return None;
+        }
+        if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+            nesting += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+            nesting -= 1;
+        } else if tok.is_punct(';') && nesting <= 0 {
+            return None;
+        }
+        if let Some(recv) = acquisition_at(scan, ci, cfg) {
+            return Some((name, ci, recv));
+        }
+        ci += 1;
+    }
+    None
+}
+
+/// If the code token at `ci` is a lock acquisition (`.lock(` or a
+/// configured helper call), return the receiver name.
+fn acquisition_at(scan: &SourceScan, ci: usize, cfg: &RuleCfg) -> Option<String> {
+    let tok = scan.code_tok(ci);
+    if tok.kind != Kind::Ident {
+        return None;
+    }
+    let called = scan.code.get(ci + 1).is_some() && scan.code_tok(ci + 1).is_punct('(');
+    if !called {
+        return None;
+    }
+    if tok.is_ident("lock") && ci >= 1 && scan.code_tok(ci - 1).is_punct('.') {
+        return Some(receiver_before(scan, ci - 1));
+    }
+    if cfg.lock_helpers.iter().any(|h| tok.is_ident(h)) {
+        return Some(last_ident_in_parens(scan, ci + 1));
+    }
+    None
+}
+
+/// Receiver name for `<recv>.lock()`: the ident before the dot, looking
+/// through a trailing call or index (`shard_for(d).lock()` → `shard_for`).
+fn receiver_before(scan: &SourceScan, dot_ci: usize) -> String {
+    let mut ci = dot_ci.checked_sub(1);
+    if let Some(c) = ci {
+        let tok = scan.code_tok(c);
+        if tok.is_punct(')') || tok.is_punct(']') {
+            let closer = if tok.is_punct(')') { ')' } else { ']' };
+            let opener = if closer == ')' { '(' } else { '[' };
+            let mut nesting = 0i64;
+            let mut k = c;
+            loop {
+                let t = scan.code_tok(k);
+                if t.is_punct(closer) {
+                    nesting += 1;
+                } else if t.is_punct(opener) {
+                    nesting -= 1;
+                    if nesting == 0 {
+                        break;
+                    }
+                }
+                match k.checked_sub(1) {
+                    Some(p) => k = p,
+                    None => return "?".to_string(),
+                }
+            }
+            ci = k.checked_sub(1);
+        }
+    }
+    match ci {
+        Some(c) if scan.code_tok(c).kind == Kind::Ident => scan.code_tok(c).text.clone(),
+        _ => "?".to_string(),
+    }
+}
+
+/// Receiver name for `helper(&self.handles)`: the last ident inside the
+/// argument list.
+fn last_ident_in_parens(scan: &SourceScan, open_ci: usize) -> String {
+    let mut nesting = 0i64;
+    let mut ci = open_ci;
+    let mut last = "?".to_string();
+    while let Some(&fi) = scan.code.get(ci) {
+        let tok = &scan.tokens[fi];
+        if tok.is_punct('(') {
+            nesting += 1;
+        } else if tok.is_punct(')') {
+            nesting -= 1;
+            if nesting == 0 {
+                break;
+            }
+        } else if tok.kind == Kind::Ident {
+            last = tok.text.clone();
+        }
+        ci += 1;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuleCfg;
+
+    fn scan(src: &str) -> SourceScan {
+        SourceScan::new(src)
+    }
+
+    fn lock_cfg(order: &[(&str, &str)]) -> RuleCfg {
+        RuleCfg {
+            paths: vec!["x".into()],
+            order: order
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+            lock_helpers: vec!["lock_recover".into()],
+        }
+    }
+
+    #[test]
+    fn panic_rule_flags_unwrap_expect_macros_unchecked() {
+        let v = panic_freedom(&scan(
+            "fn f(m: &M) {\n\
+             let a = m.x.unwrap();\n\
+             let b = m.y.expect(\"y\");\n\
+             panic!(\"boom\");\n\
+             unreachable!();\n\
+             let c = unsafe { p.add_unchecked(1) };\n\
+             }\n",
+        ));
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|x| x.rule == "panic_freedom"));
+    }
+
+    #[test]
+    fn panic_rule_ignores_unwrap_or_and_strings_and_tests() {
+        let v = panic_freedom(&scan(
+            "fn f() {\n\
+             let a = x.unwrap_or(0);\n\
+             let b = x.unwrap_or_else(|| 0);\n\
+             let s = \".unwrap()\";\n\
+             }\n\
+             #[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); v[0]; } \n}\n",
+        ));
+        assert!(v.is_empty(), "false positives: {v:?}");
+    }
+
+    #[test]
+    fn panic_rule_flags_indexing_but_not_types_or_patterns() {
+        let flagged = panic_freedom(&scan(
+            "fn f(v: &[u8], m: &Map) { let a = v[0]; let b = &v[1..3]; let c = m[&k]; }\n",
+        ));
+        assert_eq!(flagged.len(), 3, "{flagged:?}");
+        let clean = panic_freedom(&scan(
+            "fn f(x: [u8; 4], v: &Vec<u8>) -> [u8; 2] {\n\
+             let [a, b] = pair;\n\
+             let w = vec![1, 2];\n\
+             let all = &v[..];\n\
+             let arr = [0u8; 16];\n\
+             [a, b]\n\
+             }\n\
+             #[derive(Debug)] struct S;\n",
+        ));
+        assert!(clean.is_empty(), "false positives: {clean:?}");
+    }
+
+    #[test]
+    fn unsafe_rule_demands_safety_comment() {
+        let v = unsafe_audit(&scan("fn f() { unsafe { danger() } }\n"));
+        assert_eq!(v.len(), 1);
+        let ok = unsafe_audit(&scan(
+            "fn f() {\n    // SAFETY: the pointer outlives the call.\n    unsafe { danger() }\n}\n",
+        ));
+        assert!(ok.is_empty());
+        // `unsafe fn`/`unsafe impl` headers are not blocks.
+        let hdr = unsafe_audit(&scan("unsafe fn g() {} unsafe impl T for U {}\n"));
+        assert!(hdr.is_empty());
+    }
+
+    #[test]
+    fn hygiene_rule_flags_let_underscore_only() {
+        let v = error_hygiene(&scan(
+            "fn f() { let _ = fallible(); let _x = fallible(); let y = 1; }\n",
+        ));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "error_hygiene");
+    }
+
+    #[test]
+    fn lock_rule_flags_io_under_guard() {
+        let cfg = lock_cfg(&[]);
+        let v = lock_discipline(
+            &scan(
+                "fn f(&self) {\n\
+                 let mut g = self.state.lock();\n\
+                 file.write_all(b\"x\");\n\
+                 }\n",
+            ),
+            &cfg,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("write_all"));
+        assert!(v[0].message.contains('g'));
+    }
+
+    #[test]
+    fn lock_rule_respects_drop_and_block_end() {
+        let cfg = lock_cfg(&[]);
+        let v = lock_discipline(
+            &scan(
+                "fn f(&self) {\n\
+                 let g = self.state.lock();\n\
+                 drop(g);\n\
+                 file.write_all(b\"x\");\n\
+                 { let h = self.other.lock(); }\n\
+                 file.flush();\n\
+                 }\n",
+            ),
+            &cfg,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lock_rule_checks_nesting_order() {
+        let src = "fn f(&self) {\n\
+                   let a = self.registry.lock();\n\
+                   let b = self.handle.lock();\n\
+                   }\n";
+        let bad = lock_discipline(&scan(src), &lock_cfg(&[]));
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].message.contains("registry"));
+        let ok = lock_discipline(&scan(src), &lock_cfg(&[("registry", "handle")]));
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn lock_rule_sees_helper_acquisitions() {
+        let cfg = lock_cfg(&[]);
+        let v = lock_discipline(
+            &scan(
+                "fn f(&self) {\n\
+                 let g = lock_recover(&self.handles);\n\
+                 store.open(name);\n\
+                 }\n",
+            ),
+            &cfg,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("open"));
+    }
+
+    #[test]
+    fn lock_rule_ignores_io_outside_guard_scope() {
+        let cfg = lock_cfg(&[]);
+        let v = lock_discipline(
+            &scan(
+                "fn f(&self) {\n\
+                 if x { let g = self.state.lock(); g.push(1); }\n\
+                 file.sync_all();\n\
+                 }\n",
+            ),
+            &cfg,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,367 @@
+//! Source scanning: turns a token stream into per-token context (brace
+//! depth, `#[cfg(test)]`/`#[test]` regions, attribute interiors) and parses
+//! `// xfdlint:allow(rule, reason = "...")` annotations.
+
+use crate::lexer::{lex, Kind, Token};
+
+/// A parsed allow annotation. An allow suppresses violations of `rule` on
+/// the comment's own line or on the next line that carries code, and MUST
+/// be consumed by a real violation — a stale allow is itself an error.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule the annotation suppresses.
+    pub rule: String,
+    /// Mandatory human-readable justification.
+    pub reason: String,
+    /// Line of the comment itself.
+    pub line: usize,
+    /// Lines the allow covers: the comment line and the next code line.
+    pub covers: [usize; 2],
+}
+
+/// A malformed allow annotation (reported as a violation by the driver).
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    /// Line of the comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Token stream plus the per-token context every rule needs.
+#[derive(Debug)]
+pub struct SourceScan {
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Brace depth before each token (parallel to `tokens`).
+    pub depth: Vec<u32>,
+    /// Whether each token sits inside a `#[test]`/`#[cfg(test)]` item body.
+    pub in_test: Vec<bool>,
+    /// Whether each token sits inside a `#[...]` attribute.
+    pub in_attr: Vec<bool>,
+    /// Well-formed allow annotations found in comments.
+    pub allows: Vec<Allow>,
+    /// Malformed allow annotations.
+    pub bad_allows: Vec<BadAllow>,
+}
+
+impl SourceScan {
+    /// Lex and scan one source file.
+    pub fn new(src: &str) -> SourceScan {
+        let tokens = lex(src);
+        let n = tokens.len();
+        let mut depth_at = vec![0u32; n];
+        let mut in_test = vec![false; n];
+        let mut in_attr = vec![false; n];
+        let mut code = Vec::with_capacity(n);
+
+        let mut depth = 0u32;
+        let mut test_stack: Vec<u32> = Vec::new();
+        let mut pending_test = false;
+        // Paren/bracket depth since the attr, so a `;` inside `[u8; 4]` or a
+        // signature does not cancel a pending test attribute.
+        let mut pending_parens = 0i64;
+        let mut i = 0;
+        while i < n {
+            depth_at[i] = depth;
+            in_test[i] = !test_stack.is_empty();
+            let tok = &tokens[i];
+            if tok.kind == Kind::Comment {
+                i += 1;
+                continue;
+            }
+            code.push(i);
+            if tok.is_punct('#') {
+                if let Some(end) = scan_attribute(&tokens, i) {
+                    let inner = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+                    let mut mentions_test = false;
+                    for j in i + 1..=end {
+                        depth_at[j] = depth;
+                        in_test[j] = !test_stack.is_empty();
+                        in_attr[j] = true;
+                        if tokens[j].kind != Kind::Comment {
+                            code.push(j);
+                        }
+                        if tokens[j].is_ident("test") && !negated_in_attr(&tokens, i, j) {
+                            mentions_test = true;
+                        }
+                    }
+                    in_attr[i] = true;
+                    if mentions_test && !inner {
+                        pending_test = true;
+                        pending_parens = 0;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            if tok.is_punct('{') {
+                if pending_test {
+                    test_stack.push(depth);
+                    pending_test = false;
+                    // The opening brace belongs to the region too.
+                    in_test[i] = true;
+                }
+                depth += 1;
+            } else if tok.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if test_stack.last() == Some(&depth) {
+                    test_stack.pop();
+                }
+            } else if pending_test {
+                if tok.is_punct('(') || tok.is_punct('[') {
+                    pending_parens += 1;
+                } else if tok.is_punct(')') || tok.is_punct(']') {
+                    pending_parens -= 1;
+                } else if tok.is_punct(';') && pending_parens == 0 {
+                    // Item ended without a body (e.g. `#[cfg(test)] mod t;`).
+                    pending_test = false;
+                }
+            }
+            i += 1;
+        }
+
+        let (allows, bad_allows) = collect_allows(&tokens);
+        SourceScan {
+            tokens,
+            code,
+            depth: depth_at,
+            in_test,
+            in_attr,
+            allows,
+            bad_allows,
+        }
+    }
+
+    /// The code token at `code[ci]`.
+    pub fn code_tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Context lookups for the `ci`-th code token.
+    pub fn code_ctx(&self, ci: usize) -> (u32, bool, bool) {
+        let fi = self.code[ci];
+        (self.depth[fi], self.in_test[fi], self.in_attr[fi])
+    }
+
+    /// True if any comment whose line falls in `[line - within, line]`
+    /// contains `needle` (used for the `// SAFETY:` audit).
+    pub fn comment_nearby(&self, line: usize, within: usize, needle: &str) -> bool {
+        self.tokens.iter().any(|t| {
+            t.kind == Kind::Comment
+                && t.line <= line
+                && t.line + within >= line
+                && t.text.contains(needle)
+        })
+    }
+}
+
+/// If `tokens[start]` opens an attribute (`#[...]` or `#![...]`), return the
+/// index of its closing `]`.
+fn scan_attribute(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut j = start + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    let mut brackets = 0i64;
+    while let Some(tok) = tokens.get(j) {
+        if tok.is_punct('[') {
+            brackets += 1;
+        } else if tok.is_punct(']') {
+            brackets -= 1;
+            if brackets == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True when the `test` ident at `j` inside the attribute starting at
+/// `attr_start` is wrapped as `not(... test ...)` — i.e. `#[cfg(not(test))]`
+/// marks production-only code, not a test region.
+fn negated_in_attr(tokens: &[Token], attr_start: usize, j: usize) -> bool {
+    let mut k = attr_start;
+    while k < j {
+        if tokens[k].is_ident("not") && tokens.get(k + 1).is_some_and(|t| t.is_punct('(')) {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+fn collect_allows(tokens: &[Token]) -> (Vec<Allow>, Vec<BadAllow>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != Kind::Comment || !tok.text.contains("xfdlint:allow") {
+            continue;
+        }
+        // Annotations are plain `//` comments; doc comments merely *talk*
+        // about the grammar (as this one does) and are never annotations.
+        if tok.text.starts_with("///") || tok.text.starts_with("//!") || !tok.text.starts_with("//")
+        {
+            continue;
+        }
+        let next_code_line = tokens[i + 1..]
+            .iter()
+            .find(|t| t.kind != Kind::Comment)
+            .map_or(tok.line, |t| t.line);
+        match parse_allow(&tok.text) {
+            Ok((rule, reason)) => allows.push(Allow {
+                rule,
+                reason,
+                line: tok.line,
+                covers: [tok.line, next_code_line],
+            }),
+            Err(message) => bad.push(BadAllow {
+                line: tok.line,
+                message,
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parse `xfdlint:allow(<rule>, reason = "...")` out of a comment.
+fn parse_allow(comment: &str) -> Result<(String, String), String> {
+    let after = comment
+        .split_once("xfdlint:allow")
+        .map(|(_, rest)| rest)
+        .unwrap_or("");
+    let body = after
+        .strip_prefix('(')
+        .and_then(|rest| rest.rfind(')').map(|end| &rest[..end]))
+        .ok_or_else(|| {
+            "malformed xfdlint:allow — expected `xfdlint:allow(rule, reason = \"...\")`".to_string()
+        })?;
+    let (rule, rest) = body.split_once(',').ok_or_else(|| {
+        "xfdlint:allow needs a reason: `xfdlint:allow(rule, reason = \"...\")`".to_string()
+    })?;
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("xfdlint:allow has a malformed rule name `{rule}`"));
+    }
+    if !crate::config::RULE_NAMES.contains(&rule) {
+        return Err(format!("xfdlint:allow names unknown rule `{rule}`"));
+    }
+    let rest = rest.trim();
+    let reason = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.rfind('"').map(|end| &r[..end]))
+        .ok_or_else(|| "xfdlint:allow reason must be `reason = \"...\"`".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("xfdlint:allow reason must not be empty".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_fn_and_mod_bodies() {
+        let scan = SourceScan::new(
+            "fn prod() { a(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() { b(); }\n}\n\
+             fn prod2() { c(); }\n",
+        );
+        let flag = |name: &str| {
+            let fi = scan
+                .tokens
+                .iter()
+                .position(|t| t.is_ident(name))
+                .expect("token present");
+            scan.in_test[fi]
+        };
+        assert!(!flag("a"));
+        assert!(flag("b"));
+        assert!(!flag("c"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let scan = SourceScan::new("#[cfg(not(test))]\nfn prod() { a(); }\n");
+        let fi = scan
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("a"))
+            .expect("token present");
+        assert!(!scan.in_test[fi]);
+    }
+
+    #[test]
+    fn attr_tokens_are_marked() {
+        let scan = SourceScan::new("#[derive(Debug)]\nstruct S;\n");
+        let derive = scan
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("Debug"))
+            .expect("token present");
+        let s = scan
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("S"))
+            .expect("token present");
+        assert!(scan.in_attr[derive]);
+        assert!(!scan.in_attr[s]);
+    }
+
+    #[test]
+    fn allow_annotations_parse_and_cover_next_code_line() {
+        let scan = SourceScan::new(
+            "// xfdlint:allow(panic_freedom, reason = \"bounded by loop guard\")\n\
+             let x = v[0];\n",
+        );
+        assert_eq!(scan.allows.len(), 1);
+        let a = &scan.allows[0];
+        assert_eq!(a.rule, "panic_freedom");
+        assert_eq!(a.reason, "bounded by loop guard");
+        assert_eq!(a.covers, [1, 2]);
+        assert!(scan.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        for bad in [
+            "// xfdlint:allow(panic_freedom)\nlet x = 1;\n",
+            "// xfdlint:allow(panic_freedom, reason = \"\")\nlet x = 1;\n",
+            "// xfdlint:allow(no_such_rule, reason = \"r\")\nlet x = 1;\n",
+            "// xfdlint:allow panic_freedom\nlet x = 1;\n",
+        ] {
+            let scan = SourceScan::new(bad);
+            assert!(scan.allows.is_empty(), "parsed: {bad}");
+            assert_eq!(scan.bad_allows.len(), 1, "not flagged: {bad}");
+        }
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let scan =
+            SourceScan::new("let x = v[0]; // xfdlint:allow(panic_freedom, reason = \"why\")\n");
+        assert_eq!(scan.allows[0].covers, [1, 1]);
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let scan = SourceScan::new("fn f() { if x { y(); } }\n");
+        let yi = scan
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("y"))
+            .expect("token present");
+        assert_eq!(scan.depth[yi], 2);
+    }
+}

@@ -14,6 +14,12 @@ cargo clippy --workspace --all-targets \
   --exclude rand --exclude proptest --exclude criterion \
   -- -D warnings
 
+echo "== xfdlint --check"
+# Workspace-native static analysis: panic-freedom, lock discipline,
+# unsafe audit, error hygiene. Exits nonzero on any violation, including
+# stale allow annotations; prints the per-rule summary table either way.
+cargo run -q -p xfdlint -- --check
+
 echo "== cargo build --release"
 # The root manifest is a package + workspace; a bare `cargo build` would
 # only build the facade crate, leaving ./target/release/discoverxfd stale.
@@ -54,9 +60,16 @@ echo "   served report matches batch CLI"
 curl -sS -X POST --data-binary @"$DOC" "http://$ADDR/v1/discover" -o /dev/null -D /tmp/ci-headers.txt
 grep -qi '^X-Cache: hit' /tmp/ci-headers.txt \
   || { echo "expected X-Cache: hit on the repeat request"; exit 1; }
-curl -sS "http://$ADDR/metrics" | grep -q "discoverxfd_result_cache_hits_total 1" \
+curl -sS "http://$ADDR/metrics" > /tmp/ci-metrics.txt
+grep -q "discoverxfd_result_cache_hits_total 1" /tmp/ci-metrics.txt \
   || { echo "expected a result-cache hit in /metrics"; exit 1; }
 echo "   repeat request served from cache"
+
+# No worker panicked while handling the smoke traffic: the panic counter
+# both exists and reads zero.
+grep -q "^discoverxfd_worker_panics_total 0$" /tmp/ci-metrics.txt \
+  || { echo "expected discoverxfd_worker_panics_total 0 in /metrics"; exit 1; }
+echo "   zero worker panics"
 
 curl -sS "http://$ADDR/healthz" | grep -q '"ok"' || { echo "healthz failed"; exit 1; }
 
