@@ -56,7 +56,7 @@ const USAGE: &str = "usage:
   discoverxfd corpus rm <corpus> <doc> [--root DIR]
   discoverxfd corpus discover <corpus> [--root DIR] [--json|--markdown] [--progress]
                               [--max-lhs N] [--no-inter] [--keep-uninteresting]
-                              [--threads N] [--cache-budget BYTES]
+                              [--threads N] [--cache-budget BYTES] [--memo-budget BYTES]
   discoverxfd corpus status <corpus> [--root DIR]
   discoverxfd corpus list [--root DIR]
                        (persistent multi-document corpora; default root ./corpora)";
@@ -622,7 +622,13 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
                     "--no-inter",
                     "--keep-uninteresting",
                 ],
-                &["--root", "--max-lhs", "--threads", "--cache-budget"],
+                &[
+                    "--root",
+                    "--max-lhs",
+                    "--threads",
+                    "--cache-budget",
+                    "--memo-budget",
+                ],
                 &["corpus name"],
             )?;
             let corpus = p[0].as_str();
@@ -638,6 +644,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
                 config.threads = threads;
             }
             let mut handle = store.open(corpus).map_err(|e| e.to_string())?;
+            handle.set_memo_budget(opt_value::<usize>(rest, "--memo-budget")?);
             let progress = flag(rest, "--progress");
             let outcome = handle.discover_with_progress(&config, |p| {
                 if progress {

@@ -18,6 +18,10 @@ use crate::xfd::{discover_forest, TargetStats};
 /// Wall-clock time spent in each phase.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimings {
+    /// Collection merge: grafting documents under the synthetic root, or
+    /// (on the sharded corpus path) merging per-segment partial relations
+    /// into the global forest. Zero for single-document runs.
+    pub merge: Duration,
     /// Schema inference (zero when a schema was supplied).
     pub infer: Duration,
     /// Hierarchical encoding (including set-valued columns).
@@ -31,7 +35,7 @@ pub struct PhaseTimings {
 impl PhaseTimings {
     /// Total across phases.
     pub fn total(&self) -> Duration {
-        self.infer + self.encode + self.discover + self.redundancy
+        self.merge + self.infer + self.encode + self.discover + self.redundancy
     }
 }
 
@@ -65,6 +69,10 @@ pub struct RunStatsBundle {
     pub targets: TargetStats,
     /// Size of the hierarchical representation.
     pub forest: ForestStats,
+    /// Relation-memo counters for this run (hits/misses/evictions are the
+    /// run's deltas; entries/residency the state afterwards). All zero for
+    /// unmemoized runs.
+    pub memo: crate::memo::MemoStats,
 }
 
 /// One full pipeline run: the discovered artifacts plus the counters and
@@ -131,8 +139,10 @@ pub fn discover_with_schema(
             lattice: disc.lattice_stats,
             targets: disc.target_stats,
             forest: forest.stats(),
+            memo: crate::memo::MemoStats::default(),
         },
         profile: PhaseTimings {
+            merge: Duration::ZERO,
             infer: Duration::ZERO,
             encode: encode_t,
             discover: discover_t,
@@ -156,8 +166,12 @@ pub fn encode_only(tree: &DataTree, config: &DiscoveryConfig) -> (Schema, Forest
 /// element; every original tuple class deepens by one level and discovery
 /// proceeds unchanged. Pivot-relative FD paths are unaffected.
 pub fn discover_collection(trees: &[&DataTree], config: &DiscoveryConfig) -> RunOutcome {
+    let t0 = Instant::now();
     let merged = merge_collection(trees);
-    discover(&merged, config)
+    let merge_t = t0.elapsed();
+    let mut outcome = discover(&merged, config);
+    outcome.profile.merge = merge_t;
+    outcome
 }
 
 /// Graft `trees` under the synthetic `<collection>` root (the exact merge
@@ -184,7 +198,9 @@ pub fn discover_trees_with_memo(
     memo: &mut crate::memo::RelationMemo,
     progress: impl FnMut(crate::memo::RelationProgress<'_>),
 ) -> RunOutcome {
+    let tm = Instant::now();
     let merged = merge_collection(trees);
+    let merge_t = tm.elapsed();
     let t0 = Instant::now();
     let schema = infer_schema(&merged);
     let infer = t0.elapsed();
@@ -193,18 +209,39 @@ pub fn discover_trees_with_memo(
     let forest = encode(&merged, &schema, &config.encode);
     let encode_t = t1.elapsed();
 
+    let mut outcome = discover_prepared(&schema, &forest, config, memo, progress);
+    outcome.profile.merge = merge_t;
+    outcome.profile.infer = infer;
+    outcome.profile.encode = encode_t;
+    outcome
+}
+
+/// The back half of the memoized pipeline: discovery + redundancy analysis
+/// over an *already encoded* forest. The sharded corpus path prepares the
+/// schema and forest itself (from per-segment caches, possibly in
+/// parallel) and calls this; `infer`/`encode` timings are left zero for
+/// the caller to fill.
+pub fn discover_prepared(
+    schema: &Schema,
+    forest: &Forest,
+    config: &DiscoveryConfig,
+    memo: &mut crate::memo::RelationMemo,
+    progress: impl FnMut(crate::memo::RelationProgress<'_>),
+) -> RunOutcome {
+    let before = memo.stats();
     let t2 = Instant::now();
-    let disc = crate::memo::discover_forest_memo(&forest, config, memo, progress);
+    let disc = crate::memo::discover_forest_memo(forest, config, memo, progress);
     let discover_t = t2.elapsed();
 
     let t3 = Instant::now();
-    let redundancies = analyze(&forest, &disc);
+    let redundancies = analyze(forest, &disc);
     let redundancy_t = t3.elapsed();
 
-    let classified = classify(&forest, &disc, config.keep_uninteresting);
+    let after = memo.stats();
+    let classified = classify(forest, &disc, config.keep_uninteresting);
     RunOutcome {
         report: DiscoveryReport {
-            schema,
+            schema: schema.clone(),
             fds: classified.fds,
             keys: classified.keys,
             uninteresting_fds: classified.uninteresting_fds,
@@ -215,10 +252,18 @@ pub fn discover_trees_with_memo(
             lattice: disc.lattice_stats,
             targets: disc.target_stats,
             forest: forest.stats(),
+            memo: crate::memo::MemoStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+                evictions: after.evictions - before.evictions,
+                entries: after.entries,
+                resident_bytes: after.resident_bytes,
+            },
         },
         profile: PhaseTimings {
-            infer,
-            encode: encode_t,
+            merge: Duration::ZERO,
+            infer: Duration::ZERO,
+            encode: Duration::ZERO,
             discover: discover_t,
             redundancy: redundancy_t,
         },

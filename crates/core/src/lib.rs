@@ -72,9 +72,10 @@ pub mod xfd;
 
 pub use config::{DiscoveryConfig, PruneConfig};
 pub use driver::{
-    discover, discover_collection, discover_trees_with_memo, discover_with_schema,
-    merge_collection, DiscoveryReport, PhaseTimings, RunOutcome, RunStatsBundle,
+    discover, discover_collection, discover_prepared, discover_trees_with_memo,
+    discover_with_schema, merge_collection, DiscoveryReport, PhaseTimings, RunOutcome,
+    RunStatsBundle,
 };
 pub use fd::{FdScope, Xfd, XmlKey};
-pub use memo::{RelationMemo, RelationProgress};
+pub use memo::{MemoStats, RelationMemo, RelationProgress};
 pub use redundancy::Redundancy;

@@ -25,6 +25,7 @@
 //! (waves merge in the same order, then the same minimization runs).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use xfd_hash::{ContentDigest, FxHashMap};
 use xfd_partition::{AttrSet, PairSet};
@@ -59,21 +60,74 @@ pub struct RelationProgress<'a> {
     pub inter_keys: usize,
 }
 
+/// Counters of a [`RelationMemo`] — either lifetime totals
+/// ([`RelationMemo::stats`]) or a single run's deltas
+/// (`RunStatsBundle::memo`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Relation passes replayed from cache.
+    pub hits: u64,
+    /// Relation passes computed (and inserted).
+    pub misses: u64,
+    /// Entries dropped by the byte-budget LRU sweep (generation pruning
+    /// via `prune_stale` is not counted).
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate bytes currently resident.
+    pub resident_bytes: usize,
+}
+
+struct MemoEntry {
+    generation: u64,
+    last_used: u64,
+    bytes: usize,
+    output: RelationOutput,
+}
+
 /// Cache of relation passes, keyed by content fingerprint. Owned by a
 /// [`CorpusHandle`-style](crate::driver::discover_trees_with_memo) caller
 /// and carried across discover runs.
+///
+/// The memo is size-bounded: give it a byte budget
+/// ([`RelationMemo::with_budget`]) and a least-recently-used sweep runs
+/// after every wave, preferring entries *not* touched by the current run.
+/// Eviction only ever costs future hits — a miss recomputes the pass.
 #[derive(Default)]
 pub struct RelationMemo {
-    entries: FxHashMap<u128, (u64, RelationOutput)>,
+    entries: FxHashMap<u128, MemoEntry>,
     generation: u64,
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    resident_bytes: usize,
+    budget: Option<usize>,
 }
 
 impl RelationMemo {
-    /// An empty memo.
+    /// An empty, unbounded memo.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty memo bounded to roughly `bytes` of cached pass output.
+    pub fn with_budget(bytes: usize) -> Self {
+        RelationMemo {
+            budget: Some(bytes),
+            ..Default::default()
+        }
+    }
+
+    /// Change (or remove) the byte budget. Shrinking takes effect at the
+    /// next discover run's sweep.
+    pub fn set_budget(&mut self, bytes: Option<usize>) {
+        self.budget = bytes;
+    }
+
+    /// The configured byte budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
     }
 
     /// Cached relation passes currently held.
@@ -96,18 +150,104 @@ impl RelationMemo {
         self.misses
     }
 
+    /// Lifetime LRU evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Approximate bytes of cached pass output currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Lifetime counters plus current residency, as one snapshot.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            resident_bytes: self.resident_bytes,
+        }
+    }
+
     /// Drop entries not touched by the most recent discover run, bounding
     /// memory across document adds/removes (stale fingerprints can never
     /// hit again unless the exact same corpus state recurs).
     pub fn prune_stale(&mut self) {
         let current = self.generation;
-        self.entries.retain(|_, (gen, _)| *gen == current);
+        let mut freed = 0usize;
+        self.entries.retain(|_, e| {
+            if e.generation == current {
+                true
+            } else {
+                freed += e.bytes;
+                false
+            }
+        });
+        self.resident_bytes = self.resident_bytes.saturating_sub(freed);
     }
 
     /// Forget everything.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.resident_bytes = 0;
     }
+
+    /// Evict least-recently-used entries until the budget is met. Entries
+    /// of generations before the current run go first (they can only hit
+    /// again if the exact corpus state recurs); current-generation entries
+    /// follow, oldest use first.
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        if self.resident_bytes <= budget {
+            return;
+        }
+        let current = self.generation;
+        let mut order: Vec<(bool, u64, u128)> = self
+            .entries
+            .iter()
+            .map(|(key, e)| (e.generation == current, e.last_used, *key))
+            .collect();
+        order.sort_unstable();
+        for (_, _, key) in order {
+            if self.resident_bytes <= budget {
+                break;
+            }
+            if let Some(e) = self.entries.remove(&key) {
+                self.resident_bytes = self.resident_bytes.saturating_sub(e.bytes);
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+/// Rough heap footprint of one cached pass, for budget accounting. Counts
+/// the variable-size payloads with fixed per-item overheads; exactness is
+/// not required — the budget is advisory, not an allocator limit.
+fn approx_output_bytes(out: &RelationOutput) -> usize {
+    fn pair_bytes(p: &PairSet) -> usize {
+        std::mem::size_of_val(p.pairs()) + 32
+    }
+    let mut b = std::mem::size_of::<RelationOutput>() + std::mem::size_of::<MemoEntry>() + 16;
+    b += out.local.fds.len() * std::mem::size_of::<crate::lattice::IntraFd>();
+    b += out.local.keys.len() * std::mem::size_of::<AttrSet>();
+    for fd in &out.inter_fds {
+        b += 32 + fd.lhs_levels.len() * 24;
+    }
+    for key in &out.inter_keys {
+        b += 24 + key.lhs_levels.len() * 24;
+    }
+    for t in &out.outgoing {
+        b += std::mem::size_of::<PartitionTarget>()
+            + t.lhs_levels.len() * 24
+            + pair_bytes(&t.fd_target)
+            + t.key_target.as_ref().map_or(0, pair_bytes)
+            + (t.satisfied_fd.len() + t.satisfied_key.len()) * std::mem::size_of::<AttrSet>();
+    }
+    b
 }
 
 fn update_u128(d: &mut ContentDigest, v: u128) {
@@ -221,12 +361,71 @@ fn relation_fingerprint(
     d.finish()
 }
 
+/// One relation of the current wave, fingerprinted up front.
+struct WaveItem {
+    rel: RelId,
+    key: u128,
+    /// Replayed output for memo hits; filled in later for misses.
+    result: Option<RelationOutput>,
+    cached: bool,
+}
+
+/// A memo miss queued for computation.
+struct WaveJob {
+    /// Index into the wave's `WaveItem` list.
+    item: usize,
+    rel: RelId,
+    incoming: Vec<PartitionTarget>,
+}
+
+/// Run the queued misses of one wave on a scoped worker pool, one thread
+/// per pass (mirroring `discover_forest`'s split), and return each output
+/// keyed by its wave-item index. A panicking pass propagates out of the
+/// scope exactly like a panicking `discover_forest` worker would.
+fn run_jobs_pooled(
+    forest: &Forest,
+    config: &DiscoveryConfig,
+    jobs: &[WaveJob],
+    workers: usize,
+) -> HashMap<usize, RelationOutput> {
+    let queue = AtomicUsize::new(0);
+    let mut computed: HashMap<usize, RelationOutput> = HashMap::with_capacity(jobs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, RelationOutput)> = Vec::new();
+                    loop {
+                        let j = queue.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(j) else { break };
+                        let out =
+                            process_relation(forest, job.rel, job.incoming.clone(), config, 1);
+                        done.push((job.item, out));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(done) => computed.extend(done),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    computed
+}
+
 /// [`discover_forest`](crate::xfd::discover_forest) with a relation-pass
-/// memo and a progress callback. Waves run sequentially (the memo is a
-/// single mutable map) with the thread budget handed to each relation's
-/// intra-level precompute instead — an arrangement the engine's
-/// parallel-equals-sequential invariant keeps byte-identical. The callback
-/// fires once per relation, deepest wave first.
+/// memo and a progress callback. Each wave is fingerprinted up front (a
+/// wave member's parent lies in a shallower wave, so its incoming targets
+/// are final when the wave starts); memo hits replay immediately and
+/// bypass the queue, while the misses of a multi-relation wave drain from
+/// a shared work queue on a `std::thread::scope` pool, one thread per pass
+/// — the same split `discover_forest` uses, which its
+/// parallel-equals-sequential invariant keeps byte-identical. Results
+/// merge in wave order, so output and work counters never depend on the
+/// thread count. The callback fires once per relation, deepest wave first.
 pub fn discover_forest_memo(
     forest: &Forest,
     config: &DiscoveryConfig,
@@ -251,36 +450,93 @@ pub fn discover_forest_memo(
 
     for wave in waves.into_iter().rev() {
         // Mirror `discover_forest`'s thread split: a multi-relation wave
-        // hands each relation pass one thread (there, they run in
-        // parallel), a single-relation wave hands all threads to the
-        // intra-level precompute. Matching it exactly keeps even the work
-        // counters identical to the unmemoized traversal.
-        let intra_threads = if threads > 1 && wave.len() > 1 {
-            1
-        } else {
-            threads
-        };
+        // hands each relation pass one thread (they run in parallel), a
+        // single-relation wave hands all threads to the intra-level
+        // precompute. Matching it exactly keeps even the work counters
+        // identical to the unmemoized traversal.
+        let parallel_wave = threads > 1 && wave.len() > 1;
+        let intra_threads = if parallel_wave { 1 } else { threads };
+
+        // Fingerprint the whole wave, replaying hits as they surface.
+        let mut items: Vec<WaveItem> = Vec::with_capacity(wave.len());
+        let mut jobs: Vec<WaveJob> = Vec::new();
         for rel_id in wave {
             let incoming = inbox.remove(&rel_id).unwrap_or_default();
             let key = relation_fingerprint(forest, rel_id, &incoming, base);
-            let (mut result, cached) = match memo.entries.get_mut(&key) {
-                Some(entry) => {
-                    entry.0 = memo.generation;
-                    memo.hits += 1;
-                    (entry.1.clone(), true)
-                }
+            match memo.entries.get(&key) {
+                Some(entry) => items.push(WaveItem {
+                    rel: rel_id,
+                    key,
+                    result: Some(entry.output.clone()),
+                    cached: true,
+                }),
                 None => {
-                    memo.misses += 1;
-                    let r = process_relation(forest, rel_id, incoming, config, intra_threads);
-                    memo.entries.insert(key, (memo.generation, r.clone()));
-                    (r, false)
+                    jobs.push(WaveJob {
+                        item: items.len(),
+                        rel: rel_id,
+                        incoming,
+                    });
+                    items.push(WaveItem {
+                        rel: rel_id,
+                        key,
+                        result: None,
+                        cached: false,
+                    });
                 }
+            }
+        }
+
+        // Compute the misses — pooled when the wave itself would have run
+        // in parallel and there is more than one pass to run.
+        let mut computed: HashMap<usize, RelationOutput> = if parallel_wave && jobs.len() > 1 {
+            run_jobs_pooled(forest, config, &jobs, threads.min(jobs.len()))
+        } else {
+            jobs.drain(..)
+                .map(|job| {
+                    let out =
+                        process_relation(forest, job.rel, job.incoming, config, intra_threads);
+                    (job.item, out)
+                })
+                .collect()
+        };
+
+        // Merge in wave order: memo updates, progress events, target
+        // routing and counters are all independent of how (and on how many
+        // threads) the passes ran.
+        for (idx, item) in items.into_iter().enumerate() {
+            let rel_id = item.rel;
+            memo.tick += 1;
+            let mut result = match item.result.or_else(|| computed.remove(&idx)) {
+                Some(r) => r,
+                // Unreachable: every item is either a replayed hit or a
+                // queued job whose output landed under its index.
+                None => continue,
             };
+            if item.cached {
+                memo.hits += 1;
+                if let Some(entry) = memo.entries.get_mut(&item.key) {
+                    entry.generation = memo.generation;
+                    entry.last_used = memo.tick;
+                }
+            } else {
+                memo.misses += 1;
+                let bytes = approx_output_bytes(&result);
+                memo.resident_bytes += bytes;
+                memo.entries.insert(
+                    item.key,
+                    MemoEntry {
+                        generation: memo.generation,
+                        last_used: memo.tick,
+                        bytes,
+                        output: result.clone(),
+                    },
+                );
+            }
             progress(RelationProgress {
                 rel: rel_id,
                 name: &forest.relation(rel_id).name,
                 depth: depth.get(&rel_id).copied().unwrap_or(0),
-                cached,
+                cached: item.cached,
                 fds: result.local.fds.len(),
                 keys: result.local.keys.len(),
                 inter_fds: result.inter_fds.len(),
@@ -306,6 +562,7 @@ pub fn discover_forest_memo(
                 inbox.entry(parent).or_default().extend(outgoing);
             }
         }
+        memo.enforce_budget();
     }
     out.relations.sort_by_key(|r| r.rel);
     minimize_inter(&mut out);
@@ -432,6 +689,93 @@ mod tests {
             assert!(!p.cached, "config change must invalidate {}", p.name);
         });
         assert_same(&out, &discover_forest(&forest, &bounded));
+    }
+
+    #[test]
+    fn pooled_wave_scheduling_matches_serial_for_every_thread_count() {
+        let forest = forest_of(DOC);
+        let serial_cfg = DiscoveryConfig::default();
+        let mut serial_memo = RelationMemo::new();
+        let serial = discover_forest_memo(&forest, &serial_cfg, &mut serial_memo, |_| {});
+        for threads in [2usize, 8] {
+            let config = DiscoveryConfig {
+                parallel: true,
+                threads,
+                ..Default::default()
+            };
+            let plain = discover_forest(&forest, &config);
+            let mut memo = RelationMemo::new();
+            let cold = discover_forest_memo(&forest, &config, &mut memo, |_| {});
+            assert_same(&plain, &cold);
+            let warm = discover_forest_memo(&forest, &config, &mut memo, |p| {
+                assert!(p.cached, "{} recomputed on warm pooled run", p.name);
+            });
+            assert_same(&cold, &warm);
+            // Discovered artifacts are thread-count independent.
+            assert_eq!(serial.inter_fds, cold.inter_fds);
+            assert_eq!(serial.inter_keys, cold.inter_keys);
+            for (a, b) in serial.relations.iter().zip(cold.relations.iter()) {
+                assert_eq!(a.fds, b.fds);
+                assert_eq!(a.keys, b.keys);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_tracks_residency() {
+        let forest = forest_of(DOC);
+        let config = DiscoveryConfig::default();
+        // Measure an unbounded run first.
+        let mut unbounded = RelationMemo::new();
+        discover_forest_memo(&forest, &config, &mut unbounded, |_| {});
+        let full = unbounded.resident_bytes();
+        assert!(full > 0, "passes have nonzero footprint");
+
+        // A budget below the working set forces evictions mid-run and
+        // keeps residency bounded, without changing the output.
+        let mut tight = RelationMemo::with_budget(full / 2);
+        let out = discover_forest_memo(&forest, &config, &mut tight, |_| {});
+        assert_same(&out, &discover_forest(&forest, &config));
+        assert!(tight.evictions() > 0, "tight budget must evict");
+        assert!(
+            tight.resident_bytes() <= full / 2,
+            "residency {} exceeds budget {}",
+            tight.resident_bytes(),
+            full / 2
+        );
+        let stats = tight.stats();
+        assert_eq!(stats.evictions, tight.evictions());
+        assert_eq!(stats.entries, tight.len());
+
+        // Zero budget: everything evicts, every run is all misses, output
+        // still correct.
+        let mut zero = RelationMemo::with_budget(0);
+        let first = discover_forest_memo(&forest, &config, &mut zero, |_| {});
+        let second = discover_forest_memo(&forest, &config, &mut zero, |p| {
+            assert!(!p.cached, "zero budget cannot hit");
+        });
+        assert_same(&first, &second);
+        assert_eq!(zero.len(), 0);
+        assert_eq!(zero.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn stale_generations_evict_before_current_ones() {
+        let config = DiscoveryConfig::default();
+        let forest = forest_of(DOC);
+        let mut memo = RelationMemo::new();
+        discover_forest_memo(&forest, &config, &mut memo, |_| {});
+        let resident = memo.resident_bytes();
+        // Allow the old generation plus a sliver: re-running on a changed
+        // forest must evict *stale* entries first, so the warm rerun on
+        // the new forest still hits everywhere.
+        memo.set_budget(Some(resident + resident / 4));
+        let dirty = forest_of(&DOC.replace("<sname>WA</sname>", "<sname>KY</sname>"));
+        discover_forest_memo(&dirty, &config, &mut memo, |_| {});
+        assert!(memo.evictions() > 0, "budget forces stale evictions");
+        discover_forest_memo(&dirty, &config, &mut memo, |p| {
+            assert!(p.cached, "{} should survive the stale-first sweep", p.name);
+        });
     }
 
     #[test]

@@ -229,7 +229,7 @@ pub fn render_json(report: &RunOutcome) -> String {
     }
     let _ = write!(
         out,
-        "\n  ],\n  \"stats\": {{\"lattice_nodes\": {}, \"partitions\": {}, \"products\": {}, \"targets_created\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \"peak_resident_bytes\": {}, \"total_ms\": {:.3}}}\n}}\n",
+        "\n  ],\n  \"stats\": {{\"lattice_nodes\": {}, \"partitions\": {}, \"products\": {}, \"targets_created\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \"peak_resident_bytes\": {}, \"total_ms\": {:.3}, \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evictions\": {}, \"memo_resident_bytes\": {}}}\n}}\n",
         report.stats.lattice.nodes_visited,
         report.stats.lattice.partitions_built,
         report.stats.lattice.products,
@@ -238,7 +238,11 @@ pub fn render_json(report: &RunOutcome) -> String {
         report.stats.lattice.cache_misses,
         report.stats.lattice.evictions,
         report.stats.lattice.peak_resident_bytes,
-        report.profile.total().as_secs_f64() * 1e3
+        report.profile.total().as_secs_f64() * 1e3,
+        report.stats.memo.hits,
+        report.stats.memo.misses,
+        report.stats.memo.evictions,
+        report.stats.memo.resident_bytes
     );
     out
 }

@@ -35,13 +35,18 @@ pub mod store;
 pub use names::{validate_name, NameError};
 pub use store::{DocMeta, StoreDir, StoreError, WalRecord};
 
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use discoverxfd::memo::{RelationMemo, RelationProgress};
-use discoverxfd::{discover_trees_with_memo, DiscoveryConfig, RunOutcome};
+use discoverxfd::{discover_prepared, DiscoveryConfig, RunOutcome};
 use xfd_relation::treetuple::{decode_tree, encode_tree, DecodeError};
+use xfd_relation::{build_partials, merge_partials, Forest, SegmentPartial};
+use xfd_schema::{infer_schema_from_summaries, summarize, Schema, SchemaMap, SchemaSummary};
 use xfd_xml::DataTree;
 
 /// Errors from the corpus layer.
@@ -214,6 +219,37 @@ pub struct CorpusStatus {
     pub memo_hits: u64,
     /// Lifetime relation passes computed.
     pub memo_misses: u64,
+    /// Lifetime relation passes evicted under the memo byte budget.
+    pub memo_evictions: u64,
+    /// Approximate bytes of memoized relation passes currently resident.
+    pub memo_resident_bytes: usize,
+    /// Whether the merged forest for the current corpus state is cached
+    /// (the next same-config `discover` skips merge+infer+encode).
+    pub forest_cached: bool,
+}
+
+/// Per-segment derived state, keyed by the segment's content digest so
+/// identical documents (and re-ingested ones) share one entry.
+struct SegCacheEntry {
+    /// Schema trie of the segment, valid for any configuration.
+    summary: Arc<SchemaSummary>,
+    /// Encoded partial, valid only for the plan fingerprint it was built
+    /// under (collection schema + encode configuration).
+    partial: Option<(u128, Arc<SegmentPartial>)>,
+}
+
+/// The merged collection forest of one corpus state under one plan.
+struct ForestCache {
+    generation: u64,
+    plan_fp: u128,
+    schema: Arc<Schema>,
+    forest: Arc<Forest>,
+}
+
+/// Everything a [`SegmentPartial`] depends on besides the document bytes:
+/// the collection schema and the encode configuration.
+fn plan_fingerprint(schema: &Schema, config: &DiscoveryConfig) -> u128 {
+    xfd_hash::digest_bytes(format!("{schema:?}|{:?}", config.encode).as_bytes())
 }
 
 /// An open corpus: committed documents decoded in memory, plus the
@@ -226,6 +262,11 @@ pub struct CorpusHandle {
     docs: Vec<Doc>,
     next_seg: u64,
     memo: RelationMemo,
+    /// Bumped on every add/remove; cached forests from older generations
+    /// can never be reused.
+    generation: u64,
+    seg_cache: HashMap<u128, SegCacheEntry>,
+    forest_cache: Option<ForestCache>,
 }
 
 impl CorpusHandle {
@@ -251,6 +292,9 @@ impl CorpusHandle {
             docs,
             next_seg,
             memo: RelationMemo::new(),
+            generation: 0,
+            seg_cache: HashMap::new(),
+            forest_cache: None,
         })
     }
 
@@ -319,6 +363,7 @@ impl CorpusHandle {
             meta,
             tree: tree.clone(),
         });
+        self.generation += 1;
         Ok(())
     }
 
@@ -336,7 +381,15 @@ impl CorpusHandle {
         self.store.commit(&metas)?;
         // xfdlint:allow(error_hygiene, reason = "the manifest no longer references this segment; a failed unlink only leaves an orphan for GC on the next open")
         let _ = fs::remove_file(self.store.seg_path(removed.meta.seg));
+        self.generation += 1;
         Ok(())
+    }
+
+    /// Bound the relation-pass memo to roughly `bytes` of retained output
+    /// (`None` = unbounded). Over budget, stale entries evict first, then
+    /// least-recently-used current ones.
+    pub fn set_memo_budget(&mut self, bytes: Option<usize>) {
+        self.memo.set_budget(bytes);
     }
 
     /// Run discovery over the whole corpus. Relation passes unchanged since
@@ -350,13 +403,120 @@ impl CorpusHandle {
 
     /// [`discover`](CorpusHandle::discover) with a per-relation progress
     /// callback (the server's NDJSON stream).
+    ///
+    /// The pipeline never materializes the grafted collection tree:
+    ///
+    /// 1. **Infer** — per-segment schema tries (cached by segment digest)
+    ///    are merged into the collection schema.
+    /// 2. **Encode** — per-segment [`SegmentPartial`]s (cached by digest +
+    ///    plan fingerprint; missing ones built on a scoped worker pool of
+    ///    [`DiscoveryConfig::effective_threads`] threads) are merged into
+    ///    the collection forest, which is itself cached per corpus
+    ///    generation so a repeat same-config `discover` skips straight to
+    ///    the relation passes.
+    /// 3. **Discover** — the memoized wave traversal; under
+    ///    `config.parallel`, relation passes of one wave run on the worker
+    ///    pool with memo hits bypassing the queue.
+    ///
+    /// Every stage is deterministic in the thread count.
     pub fn discover_with_progress(
         &mut self,
         config: &DiscoveryConfig,
         progress: impl FnMut(RelationProgress<'_>),
     ) -> RunOutcome {
-        let trees: Vec<&DataTree> = self.docs.iter().map(|d| &d.tree).collect();
-        let outcome = discover_trees_with_memo(&trees, config, &mut self.memo, progress);
+        let threads = config.effective_threads();
+
+        // Drop derived state of segments no longer in the corpus.
+        let live: HashSet<u128> = self.docs.iter().map(|d| d.meta.digest).collect();
+        self.seg_cache.retain(|digest, _| live.contains(digest));
+
+        // Phase 1: collection schema from per-segment summaries.
+        let t0 = Instant::now();
+        for d in &self.docs {
+            self.seg_cache
+                .entry(d.meta.digest)
+                .or_insert_with(|| SegCacheEntry {
+                    summary: Arc::new(summarize(&d.tree)),
+                    partial: None,
+                });
+        }
+        let summaries: Vec<Arc<SchemaSummary>> = self
+            .docs
+            .iter()
+            .filter_map(|d| {
+                self.seg_cache
+                    .get(&d.meta.digest)
+                    .map(|e| e.summary.clone())
+            })
+            .collect();
+        let schema = infer_schema_from_summaries("collection", summaries.iter().map(Arc::as_ref));
+        let infer_t = t0.elapsed();
+
+        // Phase 2: collection forest, from the generation cache when the
+        // corpus and plan are unchanged, else merged from per-segment
+        // partials (missing ones built on the worker pool).
+        let t1 = Instant::now();
+        let plan_fp = plan_fingerprint(&schema, config);
+        let cached = self
+            .forest_cache
+            .as_ref()
+            .filter(|fc| fc.generation == self.generation && fc.plan_fp == plan_fp)
+            .map(|fc| (fc.schema.clone(), fc.forest.clone()));
+        let mut merge_t = std::time::Duration::ZERO;
+        let (schema, forest) = match cached {
+            Some(hit) => hit,
+            None => {
+                let map = SchemaMap::new(&schema);
+                let mut to_build: Vec<(u128, &DataTree)> = Vec::new();
+                let mut queued: HashSet<u128> = HashSet::new();
+                for d in &self.docs {
+                    let hit = self
+                        .seg_cache
+                        .get(&d.meta.digest)
+                        .and_then(|e| e.partial.as_ref())
+                        .is_some_and(|(fp, _)| *fp == plan_fp);
+                    if !hit && queued.insert(d.meta.digest) {
+                        to_build.push((d.meta.digest, &d.tree));
+                    }
+                }
+                let trees: Vec<&DataTree> = to_build.iter().map(|(_, t)| *t).collect();
+                let built = build_partials(&trees, &map, &config.encode, threads);
+                for ((digest, _), partial) in to_build.iter().zip(built) {
+                    if let Some(entry) = self.seg_cache.get_mut(digest) {
+                        entry.partial = Some((plan_fp, Arc::new(partial)));
+                    }
+                }
+                let parts: Vec<Arc<SegmentPartial>> = self
+                    .docs
+                    .iter()
+                    .filter_map(|d| {
+                        self.seg_cache
+                            .get(&d.meta.digest)
+                            .and_then(|e| e.partial.as_ref())
+                            .map(|(_, p)| p.clone())
+                    })
+                    .collect();
+                let refs: Vec<&SegmentPartial> = parts.iter().map(Arc::as_ref).collect();
+                let tm = Instant::now();
+                let forest = Arc::new(merge_partials(map, &config.encode, &refs));
+                merge_t = tm.elapsed();
+                let schema = Arc::new(schema);
+                self.forest_cache = Some(ForestCache {
+                    generation: self.generation,
+                    plan_fp,
+                    schema: schema.clone(),
+                    forest: forest.clone(),
+                });
+                (schema, forest)
+            }
+        };
+        let encode_t = t1.elapsed().saturating_sub(merge_t);
+
+        // Phase 3: memoized (and, under `config.parallel`, pooled) waves.
+        let mut outcome = discover_prepared(&schema, &forest, config, &mut self.memo, progress);
+        outcome.profile.merge = merge_t;
+        outcome.profile.infer = infer_t;
+        outcome.profile.encode = encode_t;
         // Entries from superseded corpus states can never hit again.
         self.memo.prune_stale();
         outcome
@@ -387,6 +547,12 @@ impl CorpusHandle {
             memo_entries: self.memo.len(),
             memo_hits: self.memo.hits(),
             memo_misses: self.memo.misses(),
+            memo_evictions: self.memo.evictions(),
+            memo_resident_bytes: self.memo.resident_bytes(),
+            forest_cached: self
+                .forest_cache
+                .as_ref()
+                .is_some_and(|fc| fc.generation == self.generation),
         }
     }
 }

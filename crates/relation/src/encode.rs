@@ -59,22 +59,82 @@ pub struct EncodeConfig {
     pub numeric_values: bool,
 }
 
+/// Does `config` require subtree value-equality classes?
+pub(crate) fn need_classes(config: &EncodeConfig) -> bool {
+    config.set_columns != SetColumnMode::None
+        || config.complex_columns == ComplexColumnMode::ValueClass
+}
+
+/// The schema-derived frame of a forest: empty relations (one per pivot, in
+/// schema DFS order) plus the lookup tables the tree walk needs. Building
+/// it is independent of any data tree, so the sharded collection encoder
+/// re-derives the identical skeleton for every segment.
+pub(crate) struct Skeleton<'a> {
+    pub(crate) relations: Vec<Relation>,
+    /// elem -> (relation, column) for non-pivot columns.
+    pub(crate) column_of_elem: HashMap<ElemId, (RelId, usize)>,
+    /// Child-element lookup by (parent elem, label).
+    pub(crate) child_elem: HashMap<(ElemId, &'a str), ElemId>,
+}
+
 /// Encode `tree` (assumed to conform to `schema`) into a [`Forest`].
 pub fn encode(tree: &DataTree, schema: &Schema, config: &EncodeConfig) -> Forest {
     let map = SchemaMap::new(schema);
-    let need_classes = config.set_columns != SetColumnMode::None
-        || config.complex_columns == ComplexColumnMode::ValueClass;
-    let classes = if need_classes {
+    let classes = if need_classes(config) {
         Some(EqClasses::compute_with(tree, config.order))
     } else {
         None
     };
 
+    let Skeleton {
+        mut relations,
+        column_of_elem,
+        child_elem,
+    } = build_skeleton(&map, config);
+
+    // --- Single pass over the data tree. ---------------------------------
+    let mut dictionary = Dictionary::new();
+    let mut encoder = Encoder {
+        tree,
+        map: &map,
+        config,
+        classes: classes.as_ref(),
+        rank: None,
+        relations: &mut relations,
+        column_of_elem: &column_of_elem,
+        child_elem: &child_elem,
+        dictionary: &mut dictionary,
+    };
+    let root_rel = RelId(0);
+    let root_tuple = encoder.new_tuple(root_rel, tree.root(), 0);
+    encoder.set_pivot_value(root_rel, root_tuple, tree.root(), map.root());
+    encoder.visit_children(tree.root(), map.root(), root_rel, root_tuple);
+    // The root relation has no parent; drop the placeholder parent pointer.
+    relations[0].parent_of.clear();
+
+    // --- Set-valued columns (Section 4.4 reconstruction). ----------------
+    if let Some(classes) = &classes {
+        if config.set_columns != SetColumnMode::None {
+            add_set_columns(
+                &mut relations,
+                &map,
+                classes,
+                &mut dictionary,
+                config.set_columns,
+                config.order,
+            );
+        }
+    }
+
+    Forest::new(relations, dictionary, map)
+}
+
+/// Build the empty relation skeleton and lookup tables for `map`.
+pub(crate) fn build_skeleton<'a>(map: &'a SchemaMap, config: &EncodeConfig) -> Skeleton<'a> {
     // --- Create one relation per pivot, in schema DFS order. -------------
     let pivots = map.pivots();
     let mut rel_of_pivot: HashMap<ElemId, RelId> = HashMap::new();
     let mut relations: Vec<Relation> = Vec::with_capacity(pivots.len());
-    // elem -> (relation, column) for non-pivot columns.
     let mut column_of_elem: HashMap<ElemId, (RelId, usize)> = HashMap::new();
 
     for &pivot in &pivots {
@@ -135,59 +195,48 @@ pub fn encode(tree: &DataTree, schema: &Schema, config: &EncodeConfig) -> Forest
         }
     }
 
-    // --- Single pass over the data tree. ---------------------------------
-    let mut dictionary = Dictionary::new();
-    let mut encoder = Encoder {
-        tree,
-        map: &map,
-        config,
-        classes: classes.as_ref(),
-        relations: &mut relations,
-        column_of_elem: &column_of_elem,
-        child_elem: &child_elem,
-        dictionary: &mut dictionary,
-    };
-    let root_rel = RelId(0);
-    let root_tuple = encoder.new_tuple(root_rel, tree.root(), 0);
-    encoder.set_pivot_value(root_rel, root_tuple, tree.root(), map.root());
-    encoder.visit_children(tree.root(), map.root(), root_rel, root_tuple);
-    // The root relation has no parent; drop the placeholder parent pointer.
-    relations[0].parent_of.clear();
-
-    // --- Set-valued columns (Section 4.4 reconstruction). ----------------
-    if let Some(classes) = &classes {
-        if config.set_columns != SetColumnMode::None {
-            add_set_columns(
-                &mut relations,
-                &map,
-                classes,
-                &mut dictionary,
-                config.set_columns,
-                config.order,
-            );
-        }
+    Skeleton {
+        relations,
+        column_of_elem,
+        child_elem,
     }
-
-    Forest::new(relations, dictionary, map)
 }
 
-struct Encoder<'a> {
-    tree: &'a DataTree,
-    map: &'a SchemaMap,
-    config: &'a EncodeConfig,
-    classes: Option<&'a EqClasses>,
-    relations: &'a mut Vec<Relation>,
-    column_of_elem: &'a HashMap<ElemId, (RelId, usize)>,
-    child_elem: &'a HashMap<(ElemId, &'a str), ElemId>,
-    dictionary: &'a mut Dictionary,
+pub(crate) struct Encoder<'a> {
+    pub(crate) tree: &'a DataTree,
+    pub(crate) map: &'a SchemaMap,
+    pub(crate) config: &'a EncodeConfig,
+    pub(crate) classes: Option<&'a EqClasses>,
+    /// When encoding a collection *segment*: the tree's pre-order rank
+    /// table. Node keys and `NodeKey` cells are then recorded as pre-order
+    /// ranks (segment-relative), which the merge shifts into the grafted
+    /// tree's node-id space by adding the segment's node offset.
+    pub(crate) rank: Option<&'a [u32]>,
+    pub(crate) relations: &'a mut Vec<Relation>,
+    pub(crate) column_of_elem: &'a HashMap<ElemId, (RelId, usize)>,
+    pub(crate) child_elem: &'a HashMap<(ElemId, &'a str), ElemId>,
+    pub(crate) dictionary: &'a mut Dictionary,
 }
 
 impl Encoder<'_> {
+    fn key_of(&self, node: NodeId) -> NodeId {
+        match self.rank {
+            Some(rank) => NodeId(rank[node.index()]),
+            None => node,
+        }
+    }
+
     /// Append a fresh all-⊥ tuple to `rel`.
-    fn new_tuple(&mut self, rel: RelId, node: NodeId, parent_tuple: TupleIdx) -> TupleIdx {
+    pub(crate) fn new_tuple(
+        &mut self,
+        rel: RelId,
+        node: NodeId,
+        parent_tuple: TupleIdx,
+    ) -> TupleIdx {
+        let key = self.key_of(node);
         let r = &mut self.relations[rel.index()];
         let t = r.n_tuples() as TupleIdx;
-        r.node_keys.push(node);
+        r.node_keys.push(key);
         r.parent_of.push(parent_tuple);
         for c in &mut r.columns {
             c.cells.push(None);
@@ -242,43 +291,51 @@ impl Encoder<'_> {
                 // conformance checker reports it.
                 continue;
             };
-            let ce = self.map.get(celem);
-            if ce.is_set {
-                let crel = RelId(
-                    self.relations
-                        .iter()
-                        .position(|r| r.pivot == celem)
-                        .expect("pivot relation") as u32,
-                );
-                let ct = self.new_tuple(crel, c, tuple);
+            self.visit_child(c, celem, rel, tuple);
+        }
+    }
+
+    /// Encode one child node `c` (whose schema element is `celem`) owned by
+    /// `tuple` of `rel`, then recurse. Entry point for the sharded
+    /// collection encoder, which starts at a segment's document root with
+    /// `(rel, tuple)` = the placeholder root-relation tuple.
+    pub(crate) fn visit_child(&mut self, c: NodeId, celem: ElemId, rel: RelId, tuple: TupleIdx) {
+        let ce = self.map.get(celem);
+        if ce.is_set {
+            let crel = RelId(
+                self.relations
+                    .iter()
+                    .position(|r| r.pivot == celem)
+                    .expect("pivot relation") as u32,
+            );
+            let ct = self.new_tuple(crel, c, tuple);
+            if ce.is_simple {
+                self.set_pivot_value(crel, ct, c, celem);
+            }
+            self.visit_children(c, celem, crel, ct);
+        } else {
+            if let Some(&(r, col)) = self.column_of_elem.get(&celem) {
+                debug_assert_eq!(r, rel, "non-set element lands in the owning relation");
                 if ce.is_simple {
-                    self.set_pivot_value(crel, ct, c, celem);
-                }
-                self.visit_children(c, celem, crel, ct);
-            } else {
-                if let Some(&(r, col)) = self.column_of_elem.get(&celem) {
-                    debug_assert_eq!(r, rel, "non-set element lands in the owning relation");
-                    if ce.is_simple {
-                        if let Some(v) = self.tree.value(c) {
-                            let id = self.intern_value(celem, v);
-                            self.set_cell(rel, col, tuple, id);
-                        }
-                    } else {
-                        let id = match self.config.complex_columns {
-                            ComplexColumnMode::NodeKey => u64::from(c.0),
-                            ComplexColumnMode::ValueClass => u64::from(
-                                self.classes
-                                    .expect("classes computed for ValueClass")
-                                    .class_of(c)
-                                    .0,
-                            ),
-                            ComplexColumnMode::Omit => unreachable!("omitted columns are skipped"),
-                        };
+                    if let Some(v) = self.tree.value(c) {
+                        let id = self.intern_value(celem, v);
                         self.set_cell(rel, col, tuple, id);
                     }
+                } else {
+                    let id = match self.config.complex_columns {
+                        ComplexColumnMode::NodeKey => u64::from(self.key_of(c).0),
+                        ComplexColumnMode::ValueClass => u64::from(
+                            self.classes
+                                .expect("classes computed for ValueClass")
+                                .class_of(c)
+                                .0,
+                        ),
+                        ComplexColumnMode::Omit => unreachable!("omitted columns are skipped"),
+                    };
+                    self.set_cell(rel, col, tuple, id);
                 }
-                self.visit_children(c, celem, rel, tuple);
             }
+            self.visit_children(c, celem, rel, tuple);
         }
     }
 }

@@ -27,11 +27,13 @@ pub mod flat;
 pub mod gtt;
 pub mod relation;
 pub mod setvalue;
+pub mod shard;
 pub mod treetuple;
 
 pub use dictionary::Dictionary;
 pub use encode::{encode, ComplexColumnMode, EncodeConfig, SetColumnMode};
 pub use flat::{flatten, FlatError, FlatRelation};
 pub use relation::{Column, ColumnKind, Forest, ForestStats, RelId, Relation, TupleIdx};
+pub use shard::{build_partial, build_partials, encode_collection, merge_partials, SegmentPartial};
 pub use treetuple::{decode_tree, encode_tree, trees_equal, DecodeError};
 pub use xfd_xml::OrderMode;

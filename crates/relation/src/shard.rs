@@ -1,0 +1,561 @@
+//! Segment-sharded collection encoding.
+//!
+//! Collection discovery grafts every document under a synthetic
+//! `<collection>` root and encodes the grafted tree in one serial pass.
+//! This module produces the **byte-identical** [`Forest`] without ever
+//! materializing the merged tree: each document (*segment*) is encoded
+//! independently into a [`SegmentPartial`] — embarrassingly parallel and
+//! cacheable per segment — and the partials are merged deterministically.
+//!
+//! Determinism rests on three alignment facts, each mirrored from the
+//! serial pipeline:
+//!
+//! * **Node keys.** `TreeWriter::copy_subtree` assigns pre-order ids, so a
+//!   node's merged id is its segment-local pre-order rank plus the
+//!   segment's node offset (`1 +` the sizes of all earlier segments).
+//!   Partials record ranks; the merge adds offsets.
+//! * **Value classes.** `EqClasses` assigns class ids by first appearance
+//!   in a reverse arena scan, which on the grafted tree visits segments in
+//!   *reverse* order (each in reverse pre-order) and the collection root
+//!   last. Re-consing per-segment [`ClassTable`]s in exactly that order
+//!   reproduces the merged ids verbatim.
+//! * **Dictionary ids.** The serial walk interns strings in document DFS
+//!   order, segment by segment; re-interning each partial's local
+//!   dictionary in id order, in segment order, yields the same dense ids.
+//!   Multiset ids are only created afterwards by
+//!   [`add_set_columns`], which both pipelines share.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use xfd_schema::{Schema, SchemaMap};
+use xfd_xml::{preorder_of, ClassTable, DataTree, EqClasses, NodeId, OrderMode, ValueClassId};
+
+use crate::dictionary::Dictionary;
+use crate::encode::{
+    build_skeleton, need_classes, ComplexColumnMode, EncodeConfig, Encoder, SetColumnMode, Skeleton,
+};
+use crate::relation::{ColumnKind, Forest, RelId, Relation, TupleIdx};
+use crate::setvalue::add_set_columns;
+
+/// One document's contribution to the collection forest, expressed in
+/// segment-local coordinates: node keys and `NodeKey` cells are pre-order
+/// ranks, `ValueClass` cells are local class-table ids, and simple cells
+/// are local dictionary ids. All coordinates are shifted or remapped by
+/// [`merge_partials`]; a partial is therefore valid for *any* position in
+/// *any* collection encoded under the same schema and configuration.
+pub struct SegmentPartial {
+    relations: Vec<Relation>,
+    dictionary: Dictionary,
+    table: Option<ClassTable>,
+    node_count: usize,
+}
+
+impl SegmentPartial {
+    /// Number of nodes in the source segment.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Rough heap footprint, for cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        for r in &self.relations {
+            bytes += r.node_keys.len() * 4 + r.parent_of.len() * 4;
+            for c in &r.columns {
+                bytes += c.cells.len() * std::mem::size_of::<Option<u64>>();
+            }
+        }
+        for id in 0..self.dictionary.num_strings() {
+            bytes += self.dictionary.resolve_str(id as u64).len() + 24;
+        }
+        if let Some(t) = &self.table {
+            bytes += t.class_by_rank.len() * 4;
+            for s in &t.shapes {
+                bytes += s.label.len()
+                    + s.value.as_ref().map_or(0, |v| v.len())
+                    + s.children.len() * 4
+                    + 48;
+            }
+        }
+        bytes
+    }
+}
+
+/// Encode one segment of a collection against the collection schema.
+///
+/// `map` must be the schema map of the *collection* schema (root =
+/// the synthetic collection element whose children are document roots).
+pub fn build_partial(tree: &DataTree, map: &SchemaMap, config: &EncodeConfig) -> SegmentPartial {
+    let (preorder, rank) = preorder_of(tree);
+    let table = if need_classes(config) {
+        Some(ClassTable::compute(tree, config.order, &preorder, &rank))
+    } else {
+        None
+    };
+    // The encoder consumes classes indexed by arena id; re-index the
+    // rank-indexed table.
+    let classes = table.as_ref().map(|t| {
+        let mut by_arena = vec![ValueClassId(0); tree.node_count()];
+        for (idx, slot) in by_arena.iter_mut().enumerate() {
+            *slot = ValueClassId(t.class_by_rank[rank[idx] as usize]);
+        }
+        EqClasses::from_raw(by_arena, t.num_classes() as u32)
+    });
+
+    let Skeleton {
+        mut relations,
+        column_of_elem,
+        child_elem,
+    } = build_skeleton(map, config);
+    let mut dictionary = Dictionary::new();
+    let mut encoder = Encoder {
+        tree,
+        map,
+        config,
+        classes: classes.as_ref(),
+        rank: Some(&rank),
+        relations: &mut relations,
+        column_of_elem: &column_of_elem,
+        child_elem: &child_elem,
+        dictionary: &mut dictionary,
+    };
+    // Placeholder for the collection root's single tuple; its cells hold
+    // this segment's contribution (non-⊥ only where this segment's
+    // document root owns the column) and are overlaid at merge time.
+    let root_tuple = encoder.new_tuple(RelId(0), tree.root(), 0);
+    debug_assert_eq!(root_tuple, 0);
+    let label = tree.label(tree.root());
+    if let Some(&celem) = child_elem.get(&(map.root(), label)) {
+        encoder.visit_child(tree.root(), celem, RelId(0), 0);
+    }
+    SegmentPartial {
+        relations,
+        dictionary,
+        table,
+        node_count: tree.node_count(),
+    }
+}
+
+/// Global shape key for re-consing per-segment class tables; labels are
+/// strings because interner symbols are per-tree.
+type GlobalShape = (Box<str>, Option<Box<str>>, Box<[u32]>);
+
+/// Merge segment partials into the collection [`Forest`], byte-identical
+/// to serially encoding the grafted collection tree. `parts` must be in
+/// segment (document) order and all encoded under `map`'s schema and the
+/// same `config`.
+pub fn merge_partials(map: SchemaMap, config: &EncodeConfig, parts: &[&SegmentPartial]) -> Forest {
+    let Skeleton { mut relations, .. } = build_skeleton(&map, config);
+    let nrel = relations.len();
+    for part in parts {
+        debug_assert_eq!(part.relations.len(), nrel, "partials share the schema");
+    }
+
+    // Node offsets: collection root is node 0, segments follow in order.
+    let mut node_off: Vec<u32> = Vec::with_capacity(parts.len());
+    let mut total_nodes = 1usize;
+    for part in parts {
+        node_off.push(total_nodes as u32);
+        total_nodes += part.node_count;
+    }
+
+    // Global value classes: cons segment tables in reverse segment order
+    // (each table already lists classes in reverse pre-order first-use
+    // order), then the collection root, mirroring the reverse arena scan
+    // of `EqClasses::compute_with` on the grafted tree.
+    let mut class_maps: Vec<Vec<u32>> = vec![Vec::new(); parts.len()];
+    let mut num_global_classes = 0u32;
+    let mut root_class = 0u32;
+    if need_classes(config) {
+        let mut cons: HashMap<GlobalShape, u32> = HashMap::new();
+        for (i, part) in parts.iter().enumerate().rev() {
+            let table = part.table.as_ref().expect("partials built with classes");
+            let mut local_to_global = vec![0u32; table.num_classes()];
+            for (local, shape) in table.shapes.iter().enumerate() {
+                // Children have strictly smaller local ids, so they are
+                // already remapped; re-sort because the remap is not
+                // monotone across segments.
+                let mut kids: Vec<u32> = shape
+                    .children
+                    .iter()
+                    .map(|&c| local_to_global[c as usize])
+                    .collect();
+                if config.order == OrderMode::Unordered {
+                    kids.sort_unstable();
+                }
+                let key: GlobalShape = (shape.label.clone(), shape.value.clone(), kids.into());
+                let next = cons.len() as u32;
+                local_to_global[local] = *cons.entry(key).or_insert(next);
+            }
+            class_maps[i] = local_to_global;
+        }
+        let mut kids: Vec<u32> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, part)| {
+                let table = part.table.as_ref().expect("partials built with classes");
+                class_maps[i][table.class_by_rank[0] as usize]
+            })
+            .collect();
+        if config.order == OrderMode::Unordered {
+            kids.sort_unstable();
+        }
+        let root_label: Box<str> = map.get(map.root()).label.as_str().into();
+        let key: GlobalShape = (root_label, None, kids.into());
+        let next = cons.len() as u32;
+        root_class = *cons.entry(key).or_insert(next);
+        num_global_classes = cons.len() as u32;
+    }
+
+    // Dictionary: re-intern each segment's strings in local-id order,
+    // segment order — the order the serial DFS walk first meets them.
+    let mut dictionary = Dictionary::new();
+    let string_maps: Vec<Vec<u64>> = parts
+        .iter()
+        .map(|part| {
+            (0..part.dictionary.num_strings())
+                .map(|id| dictionary.intern_str(part.dictionary.resolve_str(id as u64)))
+                .collect()
+        })
+        .collect();
+
+    let remap_cell = |kind: ColumnKind, v: u64, seg: usize| -> u64 {
+        match kind {
+            ColumnKind::Simple => string_maps[seg][v as usize],
+            ColumnKind::Complex => match config.complex_columns {
+                ComplexColumnMode::NodeKey => v + u64::from(node_off[seg]),
+                ComplexColumnMode::ValueClass => u64::from(class_maps[seg][v as usize]),
+                ComplexColumnMode::Omit => unreachable!("omitted columns are skipped"),
+            },
+            ColumnKind::SetValue => unreachable!("set columns are added after the merge"),
+        }
+    };
+
+    // Root relation: the collection root's single tuple. A non-set
+    // document root (label unique across the collection) lands its columns
+    // here; at most one segment contributes a non-⊥ value per column.
+    relations[0].node_keys.push(NodeId(0));
+    for c in &mut relations[0].columns {
+        c.cells.push(None);
+    }
+    for (i, part) in parts.iter().enumerate() {
+        for (c, col) in part.relations[0].columns.iter().enumerate() {
+            if let Some(v) = col.cells.first().copied().flatten() {
+                let kind = relations[0].columns[c].kind;
+                let mapped = remap_cell(kind, v, i);
+                let dst = &mut relations[0].columns[c].cells[0];
+                debug_assert!(dst.is_none(), "root columns are single-segment");
+                *dst = Some(mapped);
+            }
+        }
+    }
+
+    // Child relations: concatenate per-segment tuples in segment order
+    // (the serial DFS meets each segment's tuples as a contiguous block).
+    // Parent pointers shift by the parent relation's tuple count over
+    // earlier segments — zero when the parent is the root relation, whose
+    // placeholder tuple 0 is shared.
+    let mut prefix: Vec<TupleIdx> = vec![0; nrel];
+    for (i, part) in parts.iter().enumerate() {
+        for (r, rel) in relations.iter_mut().enumerate().skip(1) {
+            let src = &part.relations[r];
+            let parent = rel.parent.expect("non-root relation has a parent");
+            let parent_shift = if parent.index() == 0 {
+                0
+            } else {
+                prefix[parent.index()]
+            };
+            rel.node_keys
+                .extend(src.node_keys.iter().map(|k| NodeId(k.0 + node_off[i])));
+            rel.parent_of
+                .extend(src.parent_of.iter().map(|&p| p + parent_shift));
+            for (c, col) in src.columns.iter().enumerate() {
+                let kind = rel.columns[c].kind;
+                rel.columns[c].cells.extend(
+                    col.cells
+                        .iter()
+                        .map(|cell| cell.map(|v| remap_cell(kind, v, i))),
+                );
+            }
+        }
+        for (r, p) in prefix.iter_mut().enumerate().skip(1) {
+            *p += part.relations[r].n_tuples() as TupleIdx;
+        }
+    }
+
+    // Set-valued columns, over the synthesized global classes.
+    if need_classes(config) && config.set_columns != SetColumnMode::None {
+        let mut class = vec![ValueClassId(0); total_nodes];
+        class[0] = ValueClassId(root_class);
+        for (i, part) in parts.iter().enumerate() {
+            let table = part.table.as_ref().expect("partials built with classes");
+            let off = node_off[i] as usize;
+            for (k, &local) in table.class_by_rank.iter().enumerate() {
+                class[off + k] = ValueClassId(class_maps[i][local as usize]);
+            }
+        }
+        let classes = EqClasses::from_raw(class, num_global_classes);
+        add_set_columns(
+            &mut relations,
+            &map,
+            &classes,
+            &mut dictionary,
+            config.set_columns,
+            config.order,
+        );
+    }
+
+    Forest::new(relations, dictionary, map)
+}
+
+/// Encode a document collection by sharding over segments: build one
+/// [`SegmentPartial`] per document — on a `std::thread::scope` pool when
+/// `threads > 1` — and merge. Produces the same forest as serially
+/// encoding the grafted collection tree, for every thread count.
+pub fn encode_collection(
+    trees: &[&DataTree],
+    schema: &Schema,
+    config: &EncodeConfig,
+    threads: usize,
+) -> Forest {
+    let map = SchemaMap::new(schema);
+    let parts = build_partials(trees, &map, config, threads);
+    let refs: Vec<&SegmentPartial> = parts.iter().collect();
+    merge_partials(map, config, &refs)
+}
+
+/// Build one partial per tree, fanning out over a scoped worker pool.
+pub fn build_partials(
+    trees: &[&DataTree],
+    map: &SchemaMap,
+    config: &EncodeConfig,
+    threads: usize,
+) -> Vec<SegmentPartial> {
+    let workers = threads.min(trees.len());
+    if workers <= 1 {
+        return trees
+            .iter()
+            .map(|t| build_partial(t, map, config))
+            .collect();
+    }
+    let slots: Vec<OnceLock<SegmentPartial>> = (0..trees.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(tree) = trees.get(i) else { break };
+                let partial = build_partial(tree, map, config);
+                let _ = slots[i].set(partial);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use xfd_schema::infer_schema;
+    use xfd_xml::parse;
+
+    /// Graft documents under a synthetic `<collection>` root exactly as
+    /// the core driver's `merge_collection` does.
+    fn grafted(trees: &[&DataTree]) -> DataTree {
+        let mut w = xfd_xml::builder::TreeWriter::new("collection");
+        for t in trees {
+            w.copy_subtree(t, t.root());
+        }
+        w.finish()
+    }
+
+    fn assert_forest_eq(a: &Forest, b: &Forest) {
+        assert_eq!(a.relations.len(), b.relations.len(), "relation count");
+        for (ra, rb) in a.relations.iter().zip(&b.relations) {
+            assert_eq!(ra.id, rb.id);
+            assert_eq!(ra.name, rb.name, "relation name");
+            assert_eq!(ra.pivot_path, rb.pivot_path);
+            assert_eq!(ra.parent, rb.parent);
+            assert_eq!(ra.node_keys, rb.node_keys, "node keys of {}", ra.name);
+            assert_eq!(ra.parent_of, rb.parent_of, "parents of {}", ra.name);
+            assert_eq!(ra.columns.len(), rb.columns.len(), "columns of {}", ra.name);
+            for (ca, cb) in ra.columns.iter().zip(&rb.columns) {
+                assert_eq!(ca.name, cb.name);
+                assert_eq!(ca.rel_path, cb.rel_path);
+                assert_eq!(ca.kind, cb.kind);
+                assert_eq!(ca.cells, cb.cells, "cells of {}.{}", ra.name, ca.name);
+            }
+        }
+        assert_eq!(a.dictionary.num_strings(), b.dictionary.num_strings());
+        for id in 0..a.dictionary.num_strings() as u64 {
+            assert_eq!(a.dictionary.resolve_str(id), b.dictionary.resolve_str(id));
+        }
+        assert_eq!(a.dictionary.num_multisets(), b.dictionary.num_multisets());
+        for id in 0..a.dictionary.num_multisets() as u64 {
+            assert_eq!(
+                a.dictionary.resolve_multiset(id),
+                b.dictionary.resolve_multiset(id)
+            );
+        }
+    }
+
+    fn check_parity(docs: &[&str], config: &EncodeConfig) {
+        let trees: Vec<DataTree> = docs.iter().map(|d| parse(d).unwrap()).collect();
+        let refs: Vec<&DataTree> = trees.iter().collect();
+        let merged = grafted(&refs);
+        let schema = infer_schema(&merged);
+        let serial = encode(&merged, &schema, config);
+        for threads in [1, 4] {
+            let sharded = encode_collection(&refs, &schema, config, threads);
+            assert_forest_eq(&sharded, &serial);
+        }
+    }
+
+    const STORES: &[&str] = &[
+        "<store><contact><name>Borders</name><address>Seattle</address></contact>\
+         <book><ISBN>1-0676-7</ISBN><author>Post</author><title>Dreams</title><price>19.99</price></book>\
+         <book><ISBN>1-55860-438-3</ISBN><author>Ramakrishnan</author><author>Gehrke</author><title>DBMS</title><price>59.99</price></book>\
+         </store>",
+        "<store><contact><name>Borders</name><address>Lexington</address></contact>\
+         <book><ISBN>1-55860-438-3</ISBN><author>Ramakrishnan</author><author>Gehrke</author><title>DBMS</title><price>59.99</price></book>\
+         </store>",
+        "<store><contact><name>WHSmith</name><address>Lexington</address></contact>\
+         <book><ISBN>1-55860-438-3</ISBN><author>Gehrke</author><author>Ramakrishnan</author><title>DBMS</title></book>\
+         </store>",
+    ];
+
+    #[test]
+    fn parity_default_config() {
+        check_parity(STORES, &EncodeConfig::default());
+    }
+
+    #[test]
+    fn parity_value_class_mode() {
+        check_parity(
+            STORES,
+            &EncodeConfig {
+                complex_columns: ComplexColumnMode::ValueClass,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn parity_ordered_mode() {
+        check_parity(
+            STORES,
+            &EncodeConfig {
+                order: OrderMode::Ordered,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn parity_ordered_value_class() {
+        check_parity(
+            STORES,
+            &EncodeConfig {
+                order: OrderMode::Ordered,
+                complex_columns: ComplexColumnMode::ValueClass,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn parity_numeric_values() {
+        check_parity(
+            &["<r><n>01</n><n>1</n></r>", "<r><n>1.50</n><n>2</n></r>"],
+            &EncodeConfig {
+                numeric_values: true,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn parity_no_classes_needed() {
+        check_parity(
+            STORES,
+            &EncodeConfig {
+                set_columns: SetColumnMode::None,
+                complex_columns: ComplexColumnMode::Omit,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn parity_simple_only_set_columns() {
+        check_parity(
+            STORES,
+            &EncodeConfig {
+                set_columns: SetColumnMode::SimpleOnly,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn parity_mixed_root_labels_non_set_roots_land_on_root_relation() {
+        // `r` and `s` each appear once: both document roots are non-set
+        // complex children of the collection root, exercising the root
+        // tuple overlay for Complex (NodeKey) and nested Simple columns.
+        check_parity(
+            &["<r><a>1</a><c><d>x</d></c></r>", "<s><b>2</b><b>3</b></s>"],
+            &EncodeConfig::default(),
+        );
+        check_parity(
+            &["<r><a>1</a><c><d>x</d></c></r>", "<s><b>2</b><b>3</b></s>"],
+            &EncodeConfig {
+                complex_columns: ComplexColumnMode::ValueClass,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn parity_identical_segments_share_classes() {
+        let doc = "<store><book><ISBN>X</ISBN><author>A</author><author>B</author></book></store>";
+        check_parity(&[doc, doc, doc], &EncodeConfig::default());
+    }
+
+    #[test]
+    fn parity_single_segment() {
+        check_parity(&[STORES[0]], &EncodeConfig::default());
+    }
+
+    #[test]
+    fn parity_empty_collection() {
+        check_parity(&[], &EncodeConfig::default());
+    }
+
+    #[test]
+    fn partials_merge_identically_regardless_of_build_order() {
+        // Partials are position-independent: building them separately and
+        // merging in a different arrangement matches serial encoding of
+        // the rearranged collection.
+        let trees: Vec<DataTree> = STORES.iter().map(|d| parse(d).unwrap()).collect();
+        let refs: Vec<&DataTree> = trees.iter().collect();
+        let schema = infer_schema(&grafted(&refs));
+        let map = SchemaMap::new(&schema);
+        let config = EncodeConfig::default();
+        let parts: Vec<SegmentPartial> = refs
+            .iter()
+            .map(|t| build_partial(t, &map, &config))
+            .collect();
+
+        let rearranged: Vec<&DataTree> = vec![&trees[2], &trees[0], &trees[1]];
+        let serial = encode(&grafted(&rearranged), &schema, &config);
+        let picked: Vec<&SegmentPartial> = vec![&parts[2], &parts[0], &parts[1]];
+        let sharded = merge_partials(SchemaMap::new(&schema), &config, &picked);
+        assert_forest_eq(&sharded, &serial);
+    }
+}

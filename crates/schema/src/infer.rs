@@ -23,7 +23,7 @@ use xfd_xml::{DataTree, NodeId, TEXT_LABEL};
 
 use crate::types::{ElementType, Field, Schema, SimpleType};
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct TrieNode {
     /// Child label → trie index, in first-seen order.
     children: Vec<(String, usize)>,
@@ -68,6 +68,113 @@ pub fn infer_schema_from_all<'a, I: IntoIterator<Item = &'a DataTree>>(trees: I)
         other => other,
     };
     Schema::new(Field::new(root_label, root_ty))
+}
+
+/// A condensed, document-independent summary of one data tree's schema
+/// evidence: the same trie that [`infer_schema`] builds internally, detached
+/// from the tree. Summaries are cheap to keep around (proportional to the
+/// number of *distinct* label paths, not nodes) and can be merged without
+/// re-walking the documents, which is what lets corpus discovery infer the
+/// collection schema from per-segment caches.
+#[derive(Clone)]
+pub struct SchemaSummary {
+    root_label: String,
+    trie: Vec<TrieNode>,
+}
+
+impl SchemaSummary {
+    /// The root label of the summarized document.
+    pub fn root_label(&self) -> &str {
+        &self.root_label
+    }
+}
+
+/// Summarize a single document's schema evidence for later merging with
+/// [`infer_schema_from_summaries`].
+pub fn summarize(tree: &DataTree) -> SchemaSummary {
+    let mut trie: Vec<TrieNode> = vec![TrieNode::default()];
+    collect(tree, tree.root(), 0, &mut trie);
+    SchemaSummary {
+        root_label: tree.label(tree.root()).to_string(),
+        trie,
+    }
+}
+
+/// Infer the schema of a synthetic collection whose root (labeled
+/// `collection_label`) holds each summarized document as a child, in order.
+///
+/// This replicates `infer_schema` applied to the grafted collection tree
+/// exactly: document-root labels seen more than once across the collection
+/// become set elements, per-label evidence is unioned in segment order, and
+/// an empty collection yields a bare `Simple(Str)` root.
+pub fn infer_schema_from_summaries<'a, I>(collection_label: &str, parts: I) -> Schema
+where
+    I: IntoIterator<Item = &'a SchemaSummary>,
+{
+    let mut trie: Vec<TrieNode> = vec![TrieNode::default()];
+    let mut root_counts: HashMap<&str, u32> = HashMap::new();
+    let parts: Vec<&SchemaSummary> = parts.into_iter().collect();
+    for part in &parts {
+        *root_counts.entry(part.root_label.as_str()).or_insert(0) += 1;
+    }
+    if !parts.is_empty() {
+        trie[0].has_children = true;
+    }
+    for part in &parts {
+        let label = part.root_label.as_str();
+        let child_idx = match trie[0].child_index.get(label) {
+            Some(&i) => i,
+            None => {
+                let i = trie.len();
+                trie.push(TrieNode::default());
+                trie[0].children.push((label.to_string(), i));
+                trie[0].child_index.insert(label.to_string(), i);
+                i
+            }
+        };
+        if root_counts[label] > 1 {
+            trie[child_idx].is_set = true;
+        }
+        merge_trie(&mut trie, child_idx, &part.trie, 0);
+    }
+    let root_ty = build_type(&trie, 0);
+    let root_ty = match root_ty {
+        ElementType::SetOf(inner) => *inner,
+        other => other,
+    };
+    Schema::new(Field::new(collection_label.to_string(), root_ty))
+}
+
+/// Union the evidence of `src[src_idx]` (and its subtree) into
+/// `dst[dst_idx]`, preserving first-seen child order. Set-ness, value
+/// presence, and child presence are monotone flags, and the value-type join
+/// is associative and commutative, so merging per-document tries in segment
+/// order reproduces a single pass over the grafted tree.
+fn merge_trie(dst: &mut Vec<TrieNode>, dst_idx: usize, src: &[TrieNode], src_idx: usize) {
+    let s = &src[src_idx];
+    {
+        let d = &mut dst[dst_idx];
+        d.is_set |= s.is_set;
+        d.has_children |= s.has_children;
+        d.has_value |= s.has_value;
+        d.value_type = match (d.value_type, s.value_type) {
+            (Some(a), Some(b)) => Some(a.join(b)),
+            (a, b) => a.or(b),
+        };
+    }
+    for (label, src_child) in &src[src_idx].children {
+        let child_idx = match dst[dst_idx].child_index.get(label.as_str()) {
+            Some(&i) => i,
+            None => {
+                let i = dst.len();
+                dst.push(TrieNode::default());
+                dst[dst_idx].children.push((label.clone(), i));
+                dst[dst_idx].child_index.insert(label.clone(), i);
+                i
+            }
+        };
+        merge_trie(dst, child_idx, src, *src_child);
+    }
 }
 
 fn collect(tree: &DataTree, node: NodeId, trie_idx: usize, trie: &mut Vec<TrieNode>) {
@@ -226,6 +333,62 @@ mod tests {
         assert!(s.is_repeatable_path(&p("/r/a")));
         assert_eq!(
             s.type_at(&p("/r/a")).unwrap().unwrap_set(),
+            &ElementType::str()
+        );
+    }
+
+    /// Graft documents under a synthetic `<collection>` root, exactly as
+    /// the core driver's `merge_collection` does.
+    fn merged(trees: &[&DataTree]) -> DataTree {
+        let mut w = xfd_xml::builder::TreeWriter::new("collection");
+        for t in trees {
+            w.copy_subtree(t, t.root());
+        }
+        w.finish()
+    }
+
+    fn assert_summaries_match(trees: &[&DataTree]) {
+        let expected = infer_schema(&merged(trees));
+        let summaries: Vec<SchemaSummary> = trees.iter().map(|t| summarize(t)).collect();
+        let actual = infer_schema_from_summaries("collection", summaries.iter());
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn summaries_match_merged_inference_on_homogeneous_docs() {
+        let t1 = parse("<r><a>1</a><b x='q'><c>2</c></b></r>").unwrap();
+        let t2 = parse("<r><a>zz</a><a>3</a><b><c>4.5</c><d/></b></r>").unwrap();
+        assert_summaries_match(&[&t1, &t2]);
+    }
+
+    #[test]
+    fn summaries_match_merged_inference_on_mixed_roots() {
+        let t1 = parse("<r><a>1</a></r>").unwrap();
+        let t2 = parse("<s><b>2</b></s>").unwrap();
+        let t3 = parse("<r><a>x</a></r>").unwrap();
+        assert_summaries_match(&[&t1, &t2, &t3]);
+    }
+
+    #[test]
+    fn summaries_match_merged_inference_on_single_doc() {
+        let t = crate_warehouse_tree();
+        assert_summaries_match(&[&t]);
+    }
+
+    #[test]
+    fn summaries_match_merged_inference_with_heterogeneous_leaves() {
+        let t1 = parse("<r><a><b>1</b></a></r>").unwrap();
+        let t2 = parse("<r><a>plain</a></r>").unwrap();
+        assert_summaries_match(&[&t1, &t2]);
+    }
+
+    #[test]
+    fn empty_collection_is_bare_str_root() {
+        let expected = infer_schema(&merged(&[]));
+        let actual = infer_schema_from_summaries("collection", std::iter::empty());
+        assert_eq!(actual, expected);
+        assert_eq!(
+            actual.type_at(&p("/collection")).unwrap(),
             &ElementType::str()
         );
     }

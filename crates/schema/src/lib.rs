@@ -31,7 +31,7 @@ pub mod types;
 pub mod xsd;
 
 pub use conformance::{check, ConformanceError};
-pub use infer::infer_schema;
+pub use infer::{infer_schema, infer_schema_from_summaries, summarize, SchemaSummary};
 pub use map::{ElemId, SchemaElement, SchemaMap};
 pub use render::nested_representation;
 pub use types::{ElementType, Field, Schema, SimpleType};

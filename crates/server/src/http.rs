@@ -3,12 +3,16 @@
 //! Hand-rolled on purpose: the serving mode must not add external
 //! dependencies to the vendored offline build. The parser covers the
 //! subset the daemon speaks — request line, headers (including RFC 7230
-//! `obs-fold` continuation lines), `Content-Length`-delimited bodies — and
-//! is hardened against the classic malformed-request failure modes:
-//! oversized request lines and header blocks, header-count blowup,
+//! `obs-fold` continuation lines), `Content-Length`-delimited bodies, and
+//! `Transfer-Encoding: chunked` bodies (decoded by
+//! [`read_chunked_body`] under the same byte cap as the length-delimited
+//! path) — and is hardened against the classic malformed-request failure
+//! modes: oversized request lines and header blocks, header-count blowup,
 //! duplicate conflicting `Content-Length`, non-numeric or overflowing
-//! lengths, truncated requests, and `Transfer-Encoding` (which the daemon
-//! deliberately refuses rather than mis-framing).
+//! lengths, truncated requests, requests carrying both `Content-Length`
+//! and `Transfer-Encoding` (a smuggling vector), and transfer codings
+//! other than `chunked` (which the daemon deliberately refuses rather
+//! than mis-framing).
 
 use std::io::{BufRead, Read, Write};
 
@@ -48,6 +52,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Parsed `Content-Length`, if present.
     pub content_length: Option<u64>,
+    /// `true` when the body arrives `Transfer-Encoding: chunked`; the
+    /// caller decodes it with [`read_chunked_body`].
+    pub chunked: bool,
     /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
     pub http11: bool,
 }
@@ -98,6 +105,8 @@ pub enum HttpError {
     HeadersTooLarge,
     /// `Transfer-Encoding` framing we do not implement (→ 501).
     NotImplemented(String),
+    /// A chunked body grew past the configured byte cap (→ 413).
+    PayloadTooLarge(u64),
     /// The peer closed the connection before a full head arrived; nothing
     /// to respond to.
     ConnectionClosed,
@@ -112,6 +121,9 @@ impl std::fmt::Display for HttpError {
             HttpError::UriTooLong => write!(f, "request line too long"),
             HttpError::HeadersTooLarge => write!(f, "header block too large"),
             HttpError::NotImplemented(m) => write!(f, "not implemented: {m}"),
+            HttpError::PayloadTooLarge(limit) => {
+                write!(f, "chunked body exceeds the {limit} byte limit")
+            }
             HttpError::ConnectionClosed => write!(f, "connection closed"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -211,11 +223,20 @@ pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Reques
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    if let Some(te) = headers.iter().find(|(k, _)| k == "transfer-encoding") {
-        return Err(HttpError::NotImplemented(format!(
-            "transfer-encoding {:?}",
-            te.1
-        )));
+    // Transfer-Encoding: only `chunked` is implemented; any other coding
+    // is refused rather than mis-framed.
+    let mut chunked = false;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "transfer-encoding") {
+        for token in v.split(',') {
+            let token = token.trim();
+            if token.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            } else if !token.is_empty() {
+                return Err(HttpError::NotImplemented(format!(
+                    "transfer-encoding {token:?}"
+                )));
+            }
+        }
     }
 
     // All Content-Length values (multiple headers or a comma-joined list)
@@ -237,6 +258,15 @@ pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Reques
                 }
             }
         }
+    }
+
+    // A request carrying both framings is a smuggling vector (RFC 7230
+    // §3.3.3 says Transfer-Encoding wins, but intermediaries disagree
+    // often enough that rejecting outright is the safe answer).
+    if chunked && content_length.is_some() {
+        return Err(HttpError::BadRequest(
+            "both Transfer-Encoding and Content-Length present".into(),
+        ));
     }
 
     let (path_raw, query_raw) = match target.split_once('?') {
@@ -263,8 +293,93 @@ pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Reques
         query,
         headers,
         content_length,
+        chunked,
         http11: version == "HTTP/1.1",
     })
+}
+
+/// Decode a `Transfer-Encoding: chunked` body into memory.
+///
+/// Enforces the same byte cap as the `Content-Length` path (`max_bytes` →
+/// [`HttpError::PayloadTooLarge`]) plus the head limits on chunk-size
+/// lines and trailer count. Consumes the terminating zero-size chunk and
+/// the trailer section, leaving the connection aligned on the next
+/// request head so keep-alive reuse stays sound.
+pub fn read_chunked_body(
+    reader: &mut impl BufRead,
+    max_bytes: u64,
+    limits: &Limits,
+) -> Result<Vec<u8>, HttpError> {
+    fn eof_as_truncation(e: std::io::Error, what: &str) -> HttpError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::BadRequest(format!("truncated chunked body ({what})"))
+        } else {
+            HttpError::Io(e)
+        }
+    }
+
+    let mut body: Vec<u8> = Vec::new();
+    loop {
+        let line = match read_line(reader, limits.max_header_line)? {
+            Some(l) => l,
+            None => return Err(HttpError::BadRequest("truncated chunked body".into())),
+        };
+        // Chunk extensions (`;name=value`) are permitted and ignored.
+        let size_text = line.split(';').next().unwrap_or("").trim();
+        if size_text.is_empty() || !size_text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(HttpError::BadRequest(format!(
+                "bad chunk size {size_text:?}"
+            )));
+        }
+        let size = u64::from_str_radix(size_text, 16)
+            .map_err(|_| HttpError::BadRequest(format!("overflowing chunk size {size_text:?}")))?;
+        if size == 0 {
+            break;
+        }
+        if (body.len() as u64).saturating_add(size) > max_bytes {
+            return Err(HttpError::PayloadTooLarge(max_bytes));
+        }
+        let start = body.len();
+        body.resize(start + size as usize, 0);
+        let Some(chunk) = body.get_mut(start..) else {
+            return Err(HttpError::BadRequest("chunk bookkeeping overflow".into()));
+        };
+        reader
+            .read_exact(chunk)
+            .map_err(|e| eof_as_truncation(e, "chunk data"))?;
+        // The CRLF after the chunk data (a bare LF is tolerated, matching
+        // the leniency of the head parser).
+        let mut b = [0u8; 1];
+        reader
+            .read_exact(&mut b)
+            .map_err(|e| eof_as_truncation(e, "chunk terminator"))?;
+        if b == [b'\r'] {
+            reader
+                .read_exact(&mut b)
+                .map_err(|e| eof_as_truncation(e, "chunk terminator"))?;
+        }
+        if b != [b'\n'] {
+            return Err(HttpError::BadRequest(
+                "missing CRLF after chunk data".into(),
+            ));
+        }
+    }
+    // Trailer section: skipped, but bounded like the header block.
+    let mut trailers = 0usize;
+    loop {
+        let line = match read_line(reader, limits.max_header_line)? {
+            Some(l) => l,
+            None => return Err(HttpError::BadRequest("truncated chunked trailer".into())),
+        };
+        if line.is_empty() {
+            break;
+        }
+        trailers += 1;
+        if trailers > limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+    }
+    Ok(body)
 }
 
 /// Decode `%XX` escapes and `+` (as space); `None` on malformed escapes or
@@ -497,11 +612,91 @@ mod tests {
     }
 
     #[test]
-    fn transfer_encoding_is_refused() {
+    fn chunked_transfer_encoding_is_accepted_and_flagged() {
+        let r = parse_head("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap();
+        assert!(r.chunked);
+        assert_eq!(r.content_length, None);
+        let r = parse_head("POST / HTTP/1.1\r\nTransfer-Encoding: Chunked\r\n\r\n").unwrap();
+        assert!(r.chunked, "coding names are case-insensitive");
+    }
+
+    #[test]
+    fn non_chunked_transfer_encodings_are_refused() {
+        for coding in ["gzip", "gzip, chunked", "chunked, gzip"] {
+            let head = format!("POST / HTTP/1.1\r\nTransfer-Encoding: {coding}\r\n\r\n");
+            assert!(
+                matches!(parse_head(&head), Err(HttpError::NotImplemented(_))),
+                "{coding}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_with_content_length_is_a_smuggling_error() {
         assert!(matches!(
-            parse_head("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
-            Err(HttpError::NotImplemented(_))
+            parse_head(
+                "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 5\r\n\r\n"
+            ),
+            Err(HttpError::BadRequest(_))
         ));
+    }
+
+    fn decode_chunked(raw: &[u8], max: u64) -> Result<Vec<u8>, HttpError> {
+        read_chunked_body(&mut BufReader::new(raw), max, &Limits::default())
+    }
+
+    #[test]
+    fn chunked_bodies_decode_across_chunk_boundaries() {
+        let raw = b"5\r\nhello\r\n1\r\n \r\n6\r\nworld!\r\n0\r\n\r\n";
+        assert_eq!(decode_chunked(raw, 1024).unwrap(), b"hello world!");
+    }
+
+    #[test]
+    fn chunk_extensions_and_trailers_are_skipped() {
+        let raw = b"5;ext=1;other\r\nhello\r\n0\r\nX-Trailer: v\r\nX-More: w\r\n\r\n";
+        assert_eq!(decode_chunked(raw, 1024).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn chunked_body_over_the_cap_is_payload_too_large() {
+        let raw = b"5\r\nhello\r\n5\r\nworld\r\n0\r\n\r\n";
+        assert!(matches!(
+            decode_chunked(raw, 8),
+            Err(HttpError::PayloadTooLarge(8))
+        ));
+        // A single huge declared chunk is rejected before any allocation.
+        let raw = b"ffffffffffffffff\r\n";
+        assert!(matches!(
+            decode_chunked(raw, 1024),
+            Err(HttpError::PayloadTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_and_truncated_chunked_bodies_are_clean_errors() {
+        for raw in [
+            b"zz\r\nhello\r\n0\r\n\r\n".to_vec(), // non-hex size
+            b"\r\nhello\r\n0\r\n\r\n".to_vec(),   // empty size line
+            b"5\r\nhel".to_vec(),                 // EOF mid-chunk
+            b"5\r\nhelloXX".to_vec(),             // bad terminator
+            b"5\r\nhello\r\n".to_vec(),           // EOF before final chunk
+            b"0\r\nX-Trailer: v\r\n".to_vec(),    // EOF mid-trailer
+        ] {
+            assert!(
+                matches!(decode_chunked(&raw, 1024), Err(HttpError::BadRequest(_))),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_decode_leaves_the_reader_aligned_for_keep_alive() {
+        let wire = b"5\r\nhello\r\n0\r\n\r\nGET /next HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&wire[..]);
+        let body = read_chunked_body(&mut reader, 1024, &Limits::default()).unwrap();
+        assert_eq!(body, b"hello");
+        let next = read_request(&mut reader, &Limits::default()).unwrap();
+        assert_eq!(next.path, "/next");
     }
 
     #[test]

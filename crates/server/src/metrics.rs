@@ -39,6 +39,8 @@ pub struct Metrics {
     runs: AtomicU64,
     /// Worker panics contained by `catch_unwind` — should stay 0.
     worker_panics: AtomicU64,
+    /// Result-cache hits answered from raw body bytes, XML parse skipped.
+    parse_free_hits: AtomicU64,
     // Per-stage wall time, accumulated in microseconds.
     stage_infer_us: AtomicU64,
     stage_encode_us: AtomicU64,
@@ -52,6 +54,11 @@ pub struct Metrics {
     lattice_cache_misses: AtomicU64,
     lattice_evictions: AtomicU64,
     lattice_peak_bytes: AtomicU64,
+    // Relation-pass memo totals over all corpus discoveries.
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    memo_evictions: AtomicU64,
+    memo_resident_bytes: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -70,6 +77,7 @@ impl Metrics {
             jobs_finished: Mutex::new(BTreeMap::new()),
             runs: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            parse_free_hits: AtomicU64::new(0),
             stage_infer_us: AtomicU64::new(0),
             stage_encode_us: AtomicU64::new(0),
             stage_discover_us: AtomicU64::new(0),
@@ -81,7 +89,16 @@ impl Metrics {
             lattice_cache_misses: AtomicU64::new(0),
             lattice_evictions: AtomicU64::new(0),
             lattice_peak_bytes: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+            memo_evictions: AtomicU64::new(0),
+            memo_resident_bytes: AtomicU64::new(0),
         }
+    }
+
+    /// Count one result-cache hit that skipped XML parsing entirely.
+    pub fn observe_parse_free_hit(&self) {
+        self.parse_free_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one handled request by endpoint pattern and status code.
@@ -139,6 +156,13 @@ impl Metrics {
             .fetch_add(l.evictions as u64, Ordering::Relaxed);
         self.lattice_peak_bytes
             .fetch_max(l.peak_resident_bytes as u64, Ordering::Relaxed);
+        let m = &outcome.stats.memo;
+        self.memo_hits.fetch_add(m.hits, Ordering::Relaxed);
+        self.memo_misses.fetch_add(m.misses, Ordering::Relaxed);
+        self.memo_evictions
+            .fetch_add(m.evictions, Ordering::Relaxed);
+        self.memo_resident_bytes
+            .store(m.resident_bytes as u64, Ordering::Relaxed);
     }
 
     /// Render the Prometheus text exposition, merging in gauges sampled
@@ -251,6 +275,44 @@ impl Metrics {
             "Rendered reports currently cached.",
             "gauge",
             &format!("discoverxfd_result_cache_entries {}\n", cache.entries),
+        );
+
+        metric(
+            "discoverxfd_parse_free_hits_total",
+            "Result-cache hits answered from raw body bytes without parsing XML.",
+            "counter",
+            &format!(
+                "discoverxfd_parse_free_hits_total {}\n",
+                self.parse_free_hits.load(Ordering::Relaxed)
+            ),
+        );
+
+        let memo = [
+            ("hits", &self.memo_hits),
+            ("misses", &self.memo_misses),
+            ("evictions", &self.memo_evictions),
+        ];
+        let mut body = String::new();
+        for (counter, value) in memo {
+            body.push_str(&format!(
+                "discoverxfd_memo_total{{counter=\"{counter}\"}} {}\n",
+                value.load(Ordering::Relaxed)
+            ));
+        }
+        metric(
+            "discoverxfd_memo_total",
+            "Relation-pass memo hits, misses, and budget evictions across corpus discoveries.",
+            "counter",
+            &body,
+        );
+        metric(
+            "discoverxfd_memo_resident_bytes",
+            "Approximate bytes of memoized relation passes after the latest corpus discovery.",
+            "gauge",
+            &format!(
+                "discoverxfd_memo_resident_bytes {}\n",
+                self.memo_resident_bytes.load(Ordering::Relaxed)
+            ),
         );
 
         metric(

@@ -93,6 +93,10 @@ pub struct ServerConfig {
     pub result_cache_budget: usize,
     /// Largest accepted request body.
     pub max_body_bytes: u64,
+    /// Bodies up to this size are spilled into a buffer and digested
+    /// *before* XML parsing, so result-cache hits skip the parse entirely;
+    /// larger bodies keep the streaming parse-while-digesting path.
+    pub spill_buffer_bytes: u64,
     /// Deadline for synchronous `/v1/discover` requests; slower runs get
     /// `504` with a job id to poll.
     pub request_timeout: Duration,
@@ -114,6 +118,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             result_cache_budget: 32 << 20,
             max_body_bytes: 64 << 20,
+            spill_buffer_bytes: 8 << 20,
             request_timeout: Duration::from_secs(30),
             keep_alive_max_requests: 100,
             keep_alive_timeout: Duration::from_secs(5),
@@ -407,16 +412,56 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         let _ = stream.set_read_timeout(Some(state.config.request_timeout));
         served += 1;
 
+        // A chunked body is decoded off the wire up front (bounded by the
+        // same byte cap as the Content-Length path); handlers then see it
+        // as an ordinary length-delimited body.
+        let mut request = request;
+        let mut chunked_body: Option<std::io::Cursor<Vec<u8>>> = None;
+        if request.chunked {
+            match crate::http::read_chunked_body(
+                &mut reader,
+                state.config.max_body_bytes,
+                &Limits::default(),
+            ) {
+                Ok(bytes) => {
+                    request.content_length = Some(bytes.len() as u64);
+                    chunked_body = Some(std::io::Cursor::new(bytes));
+                }
+                Err(e) => {
+                    if matches!(e, HttpError::PayloadTooLarge(_)) {
+                        state.metrics.observe_rejection("body_too_large");
+                    }
+                    let response = error_response(&e).with_close();
+                    state
+                        .metrics
+                        .observe_request("bad_request", response.status);
+                    // xfdlint:allow(error_hygiene, reason = "best-effort error reply on a connection whose body framing already failed; it closes either way")
+                    let _ = response.write_to(&mut stream);
+                    break;
+                }
+            }
+        }
+
         let content_length = request.content_length.unwrap_or(0);
-        let mut body = reader.by_ref().take(content_length);
-        match route(state, &request, &mut body) {
+        let (routed, body_left_on_wire) = match chunked_body.as_mut() {
+            // A decoded chunked body is already fully off the wire, so an
+            // unread remainder cannot break keep-alive framing.
+            Some(cursor) => (route(state, &request, cursor), false),
+            None => {
+                let mut body = reader.by_ref().take(content_length);
+                let routed = route(state, &request, &mut body);
+                let left = body.limit() > 0;
+                (routed, left)
+            }
+        };
+        match routed {
             Routed::Plain(endpoint, mut response) => {
                 // Reuse requires the whole body consumed off the wire.
                 // Handlers that reject early leave bytes behind, and
                 // draining them could block on a slow client — close
                 // instead of reading megabytes to save a reconnect.
                 response.close = response.close
-                    || body.limit() > 0
+                    || body_left_on_wire
                     || !request.wants_keep_alive()
                     || served >= max_requests
                     || state.shutting_down();
@@ -447,6 +492,7 @@ fn error_response(e: &HttpError) -> Response {
         HttpError::UriTooLong => 414,
         HttpError::HeadersTooLarge => 431,
         HttpError::NotImplemented(_) => 501,
+        HttpError::PayloadTooLarge(_) => 413,
         HttpError::ConnectionClosed => 400,
         HttpError::Io(ioe) if ioe.kind() == std::io::ErrorKind::WouldBlock => 408,
         HttpError::Io(ioe) if ioe.kind() == std::io::ErrorKind::TimedOut => 408,
@@ -602,7 +648,12 @@ fn corpus_error_response(e: &CorpusError) -> Response {
         CorpusError::Poisoned(_) => 503,
         _ => 500,
     };
-    Response::error(status, &e.to_string())
+    let response = Response::error(status, &e.to_string());
+    if matches!(e, CorpusError::Poisoned(_)) {
+        response.with_header("Retry-After", "1")
+    } else {
+        response
+    }
 }
 
 /// `PUT /v1/corpora/{name}`.
@@ -627,12 +678,15 @@ fn corpus_status(registry: &CorpusRegistry, name: &str) -> Response {
 
 fn render_corpus_status(status: &xfd_corpus::CorpusStatus) -> String {
     let mut out = format!(
-        "{{\"corpus\": \"{}\", \"segment_bytes\": {}, \"memo\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}}}, \"docs\": [",
+        "{{\"corpus\": \"{}\", \"segment_bytes\": {}, \"forest_cached\": {}, \"memo\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"resident_bytes\": {}}}, \"docs\": [",
         json_escape(&status.name),
         status.segment_bytes,
+        status.forest_cached,
         status.memo_entries,
         status.memo_hits,
         status.memo_misses,
+        status.memo_evictions,
+        status.memo_resident_bytes,
     );
     for (i, (name, digest, nodes)) in status.docs.iter().enumerate() {
         if i > 0 {
@@ -947,29 +1001,58 @@ fn intake(state: &ServerState, request: &Request, body: &mut impl Read) -> Intak
         ));
     }
 
-    // Stream the body into the parser, digesting config + bytes as they
-    // pass; the raw document is never held in memory.
     let mut seed = ContentDigest::new();
     seed.update(fingerprint.as_bytes());
-    let mut digesting = DigestReader::with_seed(body.take(content_length), seed);
-    let tree = match parse_reader(&mut digesting) {
-        Ok(tree) => tree,
-        Err(e) => {
-            return Intake::Rejected(Response::error(400, &format!("invalid XML: {e}")));
-        }
-    };
-    if digesting.digest().len() != fingerprint.len() as u64 + content_length {
-        // The parser stopped before the advertised end (trailing garbage is
-        // a parse error, so this means a short body).
-        return Intake::Rejected(Response::error(400, "body shorter than Content-Length"));
-    }
-    let digest = digesting.digest().finish();
 
-    if let Some(cached) = state.cache.get(digest) {
-        return Intake::CacheHit {
-            digest,
-            body: cached,
+    // Small bodies spill into a bounded buffer and are digested *before*
+    // any XML parsing, so a result-cache hit never touches the parser.
+    // Bodies past the spill cap keep the streaming path: digest config +
+    // bytes as they flow into the parser, never buffering the document.
+    let tree;
+    let digest;
+    if content_length <= state.config.spill_buffer_bytes {
+        let mut buf = Vec::with_capacity(content_length as usize);
+        if let Err(e) = body.take(content_length).read_to_end(&mut buf) {
+            return Intake::Rejected(Response::error(400, &format!("body read failed: {e}")));
+        }
+        if (buf.len() as u64) < content_length {
+            return Intake::Rejected(Response::error(400, "body shorter than Content-Length"));
+        }
+        seed.update(&buf);
+        digest = seed.finish();
+        if let Some(cached) = state.cache.get(digest) {
+            state.metrics.observe_parse_free_hit();
+            return Intake::CacheHit {
+                digest,
+                body: cached,
+            };
+        }
+        tree = match parse_reader(&mut buf.as_slice()) {
+            Ok(tree) => tree,
+            Err(e) => {
+                return Intake::Rejected(Response::error(400, &format!("invalid XML: {e}")));
+            }
         };
+    } else {
+        let mut digesting = DigestReader::with_seed(body.take(content_length), seed);
+        tree = match parse_reader(&mut digesting) {
+            Ok(tree) => tree,
+            Err(e) => {
+                return Intake::Rejected(Response::error(400, &format!("invalid XML: {e}")));
+            }
+        };
+        if digesting.digest().len() != fingerprint.len() as u64 + content_length {
+            // The parser stopped before the advertised end (trailing
+            // garbage is a parse error, so this means a short body).
+            return Intake::Rejected(Response::error(400, "body shorter than Content-Length"));
+        }
+        digest = digesting.digest().finish();
+        if let Some(cached) = state.cache.get(digest) {
+            return Intake::CacheHit {
+                digest,
+                body: cached,
+            };
+        }
     }
 
     let id = state.jobs.create(digest);
@@ -1130,6 +1213,13 @@ mod tests {
     fn corpus_error_statuses_are_typed() {
         let poisoned = corpus_error_response(&CorpusError::Poisoned("c".into()));
         assert_eq!(poisoned.status, 503);
+        assert!(
+            poisoned
+                .headers
+                .iter()
+                .any(|(k, v)| k == "Retry-After" && v == "1"),
+            "poisoned-handle 503 must be marked retryable"
+        );
         let missing = corpus_error_response(&CorpusError::CorpusNotFound("c".into()));
         assert_eq!(missing.status, 404);
         let corrupt = corpus_error_response(&CorpusError::Corrupt("seg".into()));

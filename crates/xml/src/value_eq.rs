@@ -59,6 +59,14 @@ impl EqClasses {
         Self::compute_with(tree, OrderMode::Unordered)
     }
 
+    /// Assemble an `EqClasses` from an externally computed class vector
+    /// (indexed by node arena index). Used by the sharded collection
+    /// encoder, which unifies per-segment [`ClassTable`]s into one global
+    /// class space and then needs the ordinary `class_of` interface.
+    pub fn from_raw(class: Vec<ValueClassId>, num_classes: u32) -> Self {
+        EqClasses { class, num_classes }
+    }
+
     /// Compute equality classes under an explicit [`OrderMode`].
     pub fn compute_with(tree: &DataTree, order: OrderMode) -> Self {
         let n = tree.node_count();
@@ -105,6 +113,108 @@ impl EqClasses {
     pub fn num_classes(&self) -> u32 {
         self.num_classes
     }
+}
+
+/// One hash-consed shape of a [`ClassTable`], exported so shapes can be
+/// re-consed into a *global* class space across several trees. `children`
+/// are local class ids of the same table (always smaller than the shape's
+/// own id, so tables are topologically ordered by construction).
+#[derive(Debug, Clone)]
+pub struct ShapeExport {
+    /// Node label, resolved to a string (symbols are per-tree).
+    pub label: Box<str>,
+    /// Simple value, if any.
+    pub value: Option<Box<str>>,
+    /// Child classes: sorted multiset under [`OrderMode::Unordered`],
+    /// document-order list under [`OrderMode::Ordered`].
+    pub children: Box<[u32]>,
+}
+
+/// Per-tree equality classes in exportable form: class ids are assigned by
+/// first appearance in a **reverse pre-order** scan, and every distinct
+/// class carries its [`ShapeExport`]. Two properties make this the shard
+/// unit of the collection encoder:
+///
+/// * grafting trees under a fresh root (`TreeWriter::copy_subtree`) assigns
+///   pre-order node ids, so the merged tree's reverse arena scan visits
+///   exactly these nodes in exactly this order, segment blocks reversed;
+/// * re-consing the tables segment-by-segment in reverse segment order
+///   therefore reproduces the merged tree's [`EqClasses`] ids *verbatim*.
+#[derive(Debug, Clone)]
+pub struct ClassTable {
+    /// Local class id per node, indexed by pre-order rank.
+    pub class_by_rank: Vec<u32>,
+    /// Shape of each local class, indexed by class id.
+    pub shapes: Vec<ShapeExport>,
+}
+
+impl ClassTable {
+    /// Compute the class table of `tree` under `order`.
+    ///
+    /// `preorder` and `rank` must be the tree's pre-order enumeration and
+    /// its inverse (`rank[node.index()]` = pre-order position); callers
+    /// that already hold them avoid a recompute, see [`preorder_of`].
+    pub fn compute(tree: &DataTree, order: OrderMode, preorder: &[NodeId], rank: &[u32]) -> Self {
+        let n = tree.node_count();
+        debug_assert_eq!(preorder.len(), n);
+        let mut class_by_rank = vec![0u32; n];
+        let mut cons: HashMap<Shape, u32> = HashMap::new();
+        let mut shapes: Vec<ShapeExport> = Vec::new();
+        // Children have strictly larger pre-order ranks than their parent,
+        // so the reverse scan is a valid bottom-up order.
+        for r in (0..n).rev() {
+            let node = preorder[r];
+            let mut kids: Vec<ValueClassId> = tree
+                .children(node)
+                .iter()
+                .map(|c| ValueClassId(class_by_rank[rank[c.index()] as usize]))
+                .collect();
+            if order == OrderMode::Unordered {
+                kids.sort_unstable();
+            }
+            let shape = Shape {
+                label: tree.label_sym(node),
+                value: tree.value(node).map(Into::into),
+                children: kids.into_boxed_slice(),
+            };
+            let next = shapes.len() as u32;
+            let id = match cons.entry(shape) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let key = e.key();
+                    shapes.push(ShapeExport {
+                        label: tree.label(node).into(),
+                        value: key.value.clone(),
+                        children: key.children.iter().map(|c| c.0).collect(),
+                    });
+                    *e.insert(next)
+                }
+            };
+            class_by_rank[r] = id;
+        }
+        ClassTable {
+            class_by_rank,
+            shapes,
+        }
+    }
+
+    /// Number of distinct local classes.
+    pub fn num_classes(&self) -> usize {
+        self.shapes.len()
+    }
+}
+
+/// Pre-order enumeration of `tree` plus its inverse: `(preorder, rank)`
+/// with `preorder[rank[n.index()]] == n`. Trees built in document order
+/// (the parser, `TreeWriter`) have `rank[i] == i`, but nothing here
+/// assumes it.
+pub fn preorder_of(tree: &DataTree) -> (Vec<NodeId>, Vec<u32>) {
+    let preorder: Vec<NodeId> = tree.descendants(tree.root()).collect();
+    let mut rank = vec![0u32; tree.node_count()];
+    for (r, node) in preorder.iter().enumerate() {
+        rank[node.index()] = r as u32;
+    }
+    (preorder, rank)
 }
 
 /// A fully materialized canonical form of a subtree; usable for *cross-tree*
@@ -249,6 +359,39 @@ mod tests {
         let ordered = EqClasses::compute_with(&t, OrderMode::Ordered);
         let bs = "/r/b".parse::<Path>().unwrap().resolve_all(&t);
         assert!(ordered.node_value_eq(bs[0], bs[1]));
+    }
+
+    #[test]
+    fn class_table_matches_eqclasses_ids_verbatim() {
+        for order in [OrderMode::Unordered, OrderMode::Ordered] {
+            let t = parse("<r><b><x>1</x><y>2</y></b><b><y>2</y><x>1</x></b><b><x>1</x></b></r>")
+                .unwrap();
+            let eq = EqClasses::compute_with(&t, order);
+            let (preorder, rank) = preorder_of(&t);
+            let table = ClassTable::compute(&t, order, &preorder, &rank);
+            // Parser trees are built in document order, so arena order is
+            // pre-order and the ids must line up one-to-one.
+            for node in t.all_nodes() {
+                assert_eq!(
+                    eq.class_of(node).0,
+                    table.class_by_rank[rank[node.index()] as usize],
+                    "class of node {node:?} under {order:?}"
+                );
+            }
+            assert_eq!(eq.num_classes() as usize, table.num_classes());
+        }
+    }
+
+    #[test]
+    fn class_table_shapes_are_topologically_ordered() {
+        let t = parse("<r><a><b>1</b></a><a><b>1</b></a><c>2</c></r>").unwrap();
+        let (preorder, rank) = preorder_of(&t);
+        let table = ClassTable::compute(&t, OrderMode::Unordered, &preorder, &rank);
+        for (id, shape) in table.shapes.iter().enumerate() {
+            for &child in shape.children.iter() {
+                assert!((child as usize) < id, "child class precedes parent");
+            }
+        }
     }
 
     #[test]

@@ -8,11 +8,13 @@
 #  * serving mode — drives an in-process daemon with concurrent clients
 #    through a cold (all cache misses) and warm (all cache hits) phase;
 #    writes rps and p50/p99 latency to BENCH_server.json (or $2);
-#  * corpus store — builds a 32-document multi-schema corpus, then compares
-#    incremental re-discovery after one small document add (memoised
-#    relation passes replay) against a from-scratch discover_collection;
-#    asserts byte-identical reports and a >= 3x speedup, and writes both
-#    timings to BENCH_corpus.json (or $3).
+#  * corpus store — builds a 32-document multi-schema corpus and runs the
+#    sharded pipeline serially and on an 8-thread pool, cold and after one
+#    small document add (cached partials + memoised relation passes
+#    replay), against a from-scratch discover_collection baseline; asserts
+#    byte-identical reports and a >= 3x incremental speedup, and writes
+#    per-phase (merge/infer/encode/passes) timings to BENCH_corpus.json
+#    (or $3).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release -p xfd-bench --bin bench_partitions --bin bench_server --bin bench_corpus

@@ -116,4 +116,19 @@ cmp /tmp/ci-corpus-recovered.json /tmp/ci-corpus-clean.json \
   || { echo "recovered corpus report differs from a clean one"; exit 1; }
 echo "   recovered report matches a never-crashed corpus"
 
+echo "== bench corpus smoke"
+# Scaled-down bench_corpus run: same 33-doc / 8-category shape, smaller
+# relations. The binary itself asserts byte-identical serial / parallel /
+# from-scratch reports; CI re-checks the two headline numbers from the
+# JSON it writes.
+BENCH_OUT=$(mktemp /tmp/ci-bench-corpus-XXXXXX.json)
+trap 'rm -f "$DOC" "$DOC2" "$DOC3" "$BANNER" "$BENCH_OUT"; rm -rf "$CORPUS_ROOT"; [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null || true' EXIT
+./target/release/bench_corpus "$BENCH_OUT" --smoke
+grep -q '"worker_panics": 0' "$BENCH_OUT" \
+  || { echo "expected zero worker panics in $BENCH_OUT"; exit 1; }
+SPEEDUP=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' "$BENCH_OUT")
+awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 3.0) }' \
+  || { echo "incremental speedup $SPEEDUP below the 3x floor"; exit 1; }
+echo "   incremental speedup ${SPEEDUP}x, zero worker panics"
+
 echo "CI OK"
