@@ -50,16 +50,23 @@ const USAGE: &str = "usage:
   discoverxfd serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
                        [--result-cache-budget BYTES] [--body-limit BYTES]
                        [--request-timeout SECS] [--corpus-root DIR]
-                                                    (HTTP discovery daemon)
+                       [--cluster-workers N]        (HTTP discovery daemon)
   discoverxfd corpus create <corpus> [--root DIR]
   discoverxfd corpus add <corpus> <file.xml> [--name DOC] [--root DIR]
   discoverxfd corpus rm <corpus> <doc> [--root DIR]
   discoverxfd corpus discover <corpus> [--root DIR] [--json|--markdown] [--progress]
                               [--max-lhs N] [--no-inter] [--keep-uninteresting]
                               [--threads N] [--cache-budget BYTES] [--memo-budget BYTES]
+  discoverxfd corpus compact <corpus> [--root DIR]    (merge segments into one)
   discoverxfd corpus status <corpus> [--root DIR]
   discoverxfd corpus list [--root DIR]
-                       (persistent multi-document corpora; default root ./corpora)";
+                       (persistent multi-document corpora; default root ./corpora)
+  discoverxfd cluster discover <corpus> [--root DIR] [--workers N] [--worker-timeout SECS]
+                               [--json|--markdown] [--max-lhs N] [--no-inter]
+                               [--keep-uninteresting] [--threads N] [--cache-budget BYTES]
+                               [--memo-budget BYTES]
+                       (corpus discovery sharded over worker subprocesses)
+  discoverxfd worker   --socket <path> [--index N]    (cluster worker; spawned internally)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -80,6 +87,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "profile" => cmd_profile(rest),
         "serve" => cmd_serve(rest),
         "corpus" => cmd_corpus(rest),
+        "cluster" => cmd_cluster(rest),
+        "worker" => cmd_worker(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -477,6 +486,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--body-limit",
             "--request-timeout",
             "--corpus-root",
+            "--cluster-workers",
         ],
     )?;
     let mut config = xfd_server::ServerConfig::default();
@@ -500,6 +510,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(root) = opt_value::<String>(args, "--corpus-root")? {
         config.corpus_root = Some(root.into());
+    }
+    if let Some(n) = opt_value::<usize>(args, "--cluster-workers")? {
+        config.cluster_workers = n;
     }
     let server = xfd_server::Server::bind(config.clone())
         .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
@@ -666,6 +679,25 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "compact" => {
+            let p = corpus_args(rest, &["--crash-after-wal"], &["--root"], &["corpus name"])?;
+            let corpus = p[0].as_str();
+            let mut handle = store.open(corpus).map_err(|e| e.to_string())?;
+            if flag(rest, "--crash-after-wal") {
+                // Crash injection for recovery tests, mirroring `add`: the
+                // merged segment and WAL record are durable, the manifest
+                // commit never happens.
+                handle.stage_compact().map_err(|e| e.to_string())?;
+                eprintln!("staged compaction; crashing before the manifest commit");
+                std::process::exit(42);
+            }
+            let stats = handle.compact().map_err(|e| e.to_string())?;
+            eprintln!(
+                "compacted {corpus:?}: {} doc(s), {} segment(s) -> 1 ({} bytes)",
+                stats.docs, stats.segments_before, stats.bytes
+            );
+            Ok(())
+        }
         "status" => {
             let p = corpus_args(rest, &[], &["--root"], &["corpus name"])?;
             let corpus = p[0].as_str();
@@ -690,7 +722,99 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown corpus action {other:?} (create|add|rm|discover|status|list)"
+            "unknown corpus action {other:?} (create|add|rm|discover|compact|status|list)"
         )),
     }
+}
+
+/// `discoverxfd cluster discover <corpus>` — corpus discovery sharded
+/// over worker subprocesses (re-invocations of this binary's `worker`
+/// subcommand). The report is byte-identical to `corpus discover`; a
+/// stable `cluster: ...` summary line goes to stderr for scripts.
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    use discoverxfd::report::render_json;
+    use xfd_corpus::CorpusStore;
+
+    let Some(action) = args.first() else {
+        return Err("cluster: missing action (discover)".into());
+    };
+    if action != "discover" {
+        return Err(format!("unknown cluster action {action:?} (discover)"));
+    }
+    let rest = &args[1..];
+    let p = corpus_args(
+        rest,
+        &[
+            "--json",
+            "--markdown",
+            "--no-inter",
+            "--keep-uninteresting",
+            "--corrupt-plan",
+        ],
+        &[
+            "--root",
+            "--workers",
+            "--worker-timeout",
+            "--kill-worker-after",
+            "--max-lhs",
+            "--threads",
+            "--cache-budget",
+            "--memo-budget",
+        ],
+        &["corpus name"],
+    )?;
+    let corpus = p[0].as_str();
+    let root = opt_value::<String>(rest, "--root")?.unwrap_or_else(|| "corpora".into());
+    let mut config = DiscoveryConfig {
+        max_lhs_size: opt_value::<usize>(rest, "--max-lhs")?,
+        inter_relation: !flag(rest, "--no-inter"),
+        keep_uninteresting: flag(rest, "--keep-uninteresting"),
+        cache_budget: opt_value::<usize>(rest, "--cache-budget")?,
+        ..Default::default()
+    };
+    if let Some(threads) = opt_value::<usize>(rest, "--threads")? {
+        config.parallel = threads != 1;
+        config.threads = threads;
+    }
+    let mut opts = xfd_cluster::ClusterOptions::default();
+    if let Some(workers) = opt_value::<usize>(rest, "--workers")? {
+        opts.workers = workers;
+    }
+    if let Some(secs) = opt_value::<u64>(rest, "--worker-timeout")? {
+        opts.worker_timeout = std::time::Duration::from_secs(secs);
+    }
+    // Fault injection, used by the CI smoke test: SIGKILL the worker
+    // that received the Nth relation pass, mid-run.
+    opts.kill_worker_after = opt_value::<u64>(rest, "--kill-worker-after")?;
+    opts.corrupt_plan = flag(rest, "--corrupt-plan");
+
+    let mut handle = CorpusStore::new(&root)
+        .open(corpus)
+        .map_err(|e| e.to_string())?;
+    handle.set_memo_budget(opt_value::<usize>(rest, "--memo-budget")?);
+    let (outcome, stats) =
+        xfd_cluster::cluster_discover(&mut handle, &config, &opts).map_err(|e| e.to_string())?;
+    // Parsed by scripts and tests: keep this line format stable.
+    eprintln!("{}", stats.summary());
+    let ropts = RenderOptions {
+        show_uninteresting: config.keep_uninteresting,
+        show_suggestions: false,
+        show_stats: true,
+    };
+    if flag(rest, "--json") {
+        print!("{}", render_json(&outcome));
+    } else if flag(rest, "--markdown") {
+        print!("{}", render_markdown(&outcome, &ropts));
+    } else {
+        print!("{}", render_text(&outcome, &ropts));
+    }
+    Ok(())
+}
+
+/// `discoverxfd worker` — a cluster worker process. Spawned by the
+/// coordinator, never by hand; connects back over the given socket and
+/// serves encode/merge/pass requests until told to shut down.
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let opts = xfd_cluster::worker::parse_worker_args(args)?;
+    xfd_cluster::run_worker(&opts).map_err(|e| e.to_string())
 }

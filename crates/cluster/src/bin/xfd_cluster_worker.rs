@@ -1,0 +1,21 @@
+//! Standalone cluster worker, used by this crate's integration tests and
+//! the bench harness (production deployments use `discoverxfd worker`,
+//! which is the same code behind a subcommand).
+
+use xfd_cluster::worker::{parse_worker_args, run_worker};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_worker_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("xfd-cluster-worker: {msg}");
+            eprintln!("usage: xfd-cluster-worker --socket <path> [--index N] [--corrupt-plan] [--exit-after-tasks N]");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run_worker(&opts) {
+        eprintln!("xfd-cluster-worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,779 @@
+//! The coordinator: spawn workers, handshake them against the plan
+//! fingerprint, drive the encode / forest / pass phases, and keep the
+//! run deterministic no matter what the workers do.
+//!
+//! Concurrency model: the coordinator thread owns every socket's write
+//! half and all bookkeeping; one reader thread per worker owns a cloned
+//! read half and funnels frames into a single event channel. No mutex
+//! guards any I/O.
+//!
+//! Failure model: a worker is *lost* when its socket closes, a write to
+//! it fails, it answers a forest build with the wrong fingerprint, or it
+//! stays silent past the liveness timeout (a `Ping` halfway through the
+//! window gives a busy-but-healthy worker the chance to answer from its
+//! reader thread). Losing a worker reassigns its in-flight tasks to the
+//! survivors — a bounded number of times per task — and anything still
+//! unanswered falls back to local computation, so the result bytes never
+//! depend on worker health.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use discoverxfd::{encode_config, DiscoveryConfig, PassRunner, WaveTask};
+use xfd_corpus::{CorpusHandle, CorpusPlan};
+use xfd_relation::{decode_partial, encode_partial, Forest};
+use xfd_schema::SchemaMap;
+
+use crate::frame::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use crate::{ClusterError, ClusterOptions, ClusterStats};
+
+/// Event-loop tick: bounds how stale liveness checks can get while
+/// waiting for frames.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Distinguishes concurrent clusters of one process in socket names.
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn socket_path() -> PathBuf {
+    let n = SOCKET_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("xfd-cluster-{}-{n}.sock", std::process::id()))
+}
+
+/// One admitted worker, from the coordinator's side.
+struct WorkerConn {
+    child: Child,
+    /// Write half; the paired reader thread owns a clone of the fd.
+    stream: UnixStream,
+    alive: bool,
+    reaped: bool,
+    last_seen: Instant,
+    /// A `Ping` is outstanding; don't send another until a frame arrives.
+    pinged: bool,
+    /// Acked the forest build — eligible for pass tasks.
+    forest_ready: bool,
+    /// Segment digests this worker holds a partial for.
+    has: HashSet<u128>,
+}
+
+enum Event {
+    Frame(usize, Frame),
+    Gone(usize),
+}
+
+fn reader_loop(mut stream: UnixStream, slot: usize, tx: Sender<Event>) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) => {
+                if tx.send(Event::Frame(slot, frame)).is_err() {
+                    break;
+                }
+            }
+            Ok(None) | Err(_) => {
+                tx.send(Event::Gone(slot)).ok();
+                break;
+            }
+        }
+    }
+}
+
+/// A running worker pool, after handshake. Drives the three remote
+/// phases and implements [`PassRunner`] so the memoized wave traversal
+/// can offload relation passes; memo hits never reach it.
+pub struct Cluster {
+    workers: Vec<WorkerConn>,
+    readers: Vec<JoinHandle<()>>,
+    events: Receiver<Event>,
+    stats: ClusterStats,
+    worker_timeout: Duration,
+    max_task_retries: usize,
+    /// Fault injection: kill the worker that received the Nth pass task.
+    kill_after: Option<u64>,
+    assigned_passes: u64,
+    next_task_id: u64,
+    rr: usize,
+    socket_path: PathBuf,
+}
+
+impl Cluster {
+    /// Spawn and handshake `opts.workers` subprocesses. Only returns
+    /// `Err` when there is nothing sane to continue with; a partially
+    /// (or completely) dead pool that at least agreed on the plan — or
+    /// never claimed otherwise — yields a working `Cluster` that
+    /// degrades to local computation.
+    pub(crate) fn spawn(
+        opts: &ClusterOptions,
+        plan_fp: u128,
+        corpus_dir: &Path,
+        config: &DiscoveryConfig,
+    ) -> Result<Cluster, ClusterError> {
+        let dir_str = corpus_dir
+            .to_str()
+            .ok_or_else(|| ClusterError::Config("corpus path is not valid UTF-8".into()))?
+            .to_string();
+        let command = if opts.worker_command.is_empty() {
+            let exe = std::env::current_exe()?;
+            let exe = exe
+                .to_str()
+                .ok_or_else(|| ClusterError::Config("executable path is not valid UTF-8".into()))?
+                .to_string();
+            vec![exe, "worker".to_string()]
+        } else {
+            opts.worker_command.clone()
+        };
+        let Some((program, prefix_args)) = command.split_first() else {
+            return Err(ClusterError::Config("empty worker command".into()));
+        };
+
+        let socket_path = socket_path();
+        std::fs::remove_file(&socket_path).ok();
+        let listener = UnixListener::bind(&socket_path)?;
+        listener.set_nonblocking(true)?;
+
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(opts.workers);
+        let mut spawn_err = None;
+        for i in 0..opts.workers {
+            let mut cmd = Command::new(program);
+            cmd.args(prefix_args)
+                .arg("--socket")
+                .arg(&socket_path)
+                .arg("--index")
+                .arg(i.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null());
+            if opts.corrupt_plan {
+                cmd.arg("--corrupt-plan");
+            }
+            match cmd.spawn() {
+                Ok(child) => children.push(Some(child)),
+                Err(e) => spawn_err = Some(e),
+            }
+        }
+        if children.is_empty() {
+            std::fs::remove_file(&socket_path).ok();
+            let detail =
+                spawn_err.map_or_else(|| "no workers requested".to_string(), |e| e.to_string());
+            return Err(ClusterError::Config(format!(
+                "failed to spawn any worker ('{program}'): {detail}"
+            )));
+        }
+        let mut stats = ClusterStats {
+            workers_spawned: children.len() as u64,
+            ..ClusterStats::default()
+        };
+
+        // Accept until every still-running child has connected, bounded
+        // by the handshake deadline.
+        let handshake_timeout = opts.worker_timeout.max(Duration::from_secs(10));
+        let deadline = Instant::now() + handshake_timeout;
+        let mut conns: Vec<UnixStream> = Vec::new();
+        while conns.len() < children.len() && Instant::now() < deadline {
+            match listener.accept() {
+                Ok((stream, _)) => conns.push(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    let mut exited = 0;
+                    for child in children.iter_mut().flatten() {
+                        if matches!(child.try_wait(), Ok(Some(_))) {
+                            exited += 1;
+                        }
+                    }
+                    if children.len() - exited <= conns.len() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    for child in children.iter_mut().flatten() {
+                        child.kill().ok();
+                        child.wait().ok();
+                    }
+                    std::fs::remove_file(&socket_path).ok();
+                    return Err(e.into());
+                }
+            }
+        }
+
+        // Handshake each connection: Join → Plan → PlanAck. Rejections
+        // and silence both count as handshake failures.
+        let config_bytes = encode_config(config);
+        let mut admitted: Vec<(u32, UnixStream)> = Vec::new();
+        let mut mismatch_fp = None;
+        for mut stream in conns {
+            stream.set_read_timeout(Some(handshake_timeout)).ok();
+            let index = match read_frame(&mut stream) {
+                Ok(Some(Frame::Join { version, index })) if version == PROTOCOL_VERSION => index,
+                _ => {
+                    stats.handshake_failures += 1;
+                    continue;
+                }
+            };
+            let plan = Frame::Plan {
+                plan_fp,
+                corpus_dir: dir_str.clone(),
+                config: config_bytes.clone(),
+            };
+            if write_frame(&mut stream, &plan).is_err() {
+                stats.handshake_failures += 1;
+                continue;
+            }
+            match read_frame(&mut stream) {
+                Ok(Some(Frame::PlanAck { plan_fp: got })) if got == plan_fp => {
+                    stream.set_read_timeout(None).ok();
+                    admitted.push((index, stream));
+                }
+                Ok(Some(Frame::PlanAck { plan_fp: got })) => {
+                    stats.handshake_failures += 1;
+                    mismatch_fp = Some(got);
+                    write_frame(&mut stream, &Frame::Shutdown).ok();
+                }
+                _ => stats.handshake_failures += 1,
+            }
+        }
+
+        // Children that never made it through the handshake are dead
+        // weight: reap them now.
+        let admitted_idx: HashSet<u32> = admitted.iter().map(|(i, _)| *i).collect();
+        let mut claimed: Vec<Option<Child>> = children;
+        for (i, slot) in claimed.iter_mut().enumerate() {
+            if !admitted_idx.contains(&(i as u32)) {
+                if let Some(mut child) = slot.take() {
+                    stats.handshake_failures += 1;
+                    child.kill().ok();
+                    child.wait().ok();
+                }
+            }
+        }
+
+        if admitted.is_empty() {
+            std::fs::remove_file(&socket_path).ok();
+            if let Some(got) = mismatch_fp {
+                return Err(ClusterError::PlanMismatch {
+                    expected: plan_fp,
+                    got,
+                });
+            }
+        }
+
+        let (tx, events) = channel();
+        let mut workers = Vec::with_capacity(admitted.len());
+        let mut readers = Vec::with_capacity(admitted.len());
+        for (index, stream) in admitted {
+            let Some(child) = claimed.get_mut(index as usize).and_then(Option::take) else {
+                // A worker claimed an index we never spawned: drop it.
+                stats.handshake_failures += 1;
+                continue;
+            };
+            let slot = workers.len();
+            let read_half = stream.try_clone()?;
+            let tx = tx.clone();
+            readers.push(std::thread::spawn(move || reader_loop(read_half, slot, tx)));
+            workers.push(WorkerConn {
+                child,
+                stream,
+                alive: true,
+                reaped: false,
+                last_seen: Instant::now(),
+                pinged: false,
+                forest_ready: false,
+                has: HashSet::new(),
+            });
+        }
+
+        Ok(Cluster {
+            workers,
+            readers,
+            events,
+            stats,
+            worker_timeout: opts.worker_timeout,
+            max_task_retries: opts.max_task_retries,
+            kill_after: opts.kill_worker_after,
+            assigned_passes: 0,
+            next_task_id: 0,
+            rr: 0,
+            socket_path,
+        })
+    }
+
+    fn live_count(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    fn ready_count(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.alive && w.forest_ready)
+            .count()
+    }
+
+    /// Next live worker round-robin; `need_forest` restricts to workers
+    /// that acked the forest build.
+    fn pick_live(&mut self, need_forest: bool) -> Option<usize> {
+        let n = self.workers.len();
+        for step in 0..n {
+            let i = (self.rr + step) % n.max(1);
+            let ok = self
+                .workers
+                .get(i)
+                .is_some_and(|w| w.alive && (!need_forest || w.forest_ready));
+            if ok {
+                self.rr = (i + 1) % n.max(1);
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn mark_dead(&mut self, slot: usize) {
+        if let Some(w) = self.workers.get_mut(slot) {
+            if w.alive {
+                w.alive = false;
+                w.child.kill().ok();
+                self.stats.workers_lost += 1;
+            }
+        }
+    }
+
+    /// A frame arrived from `slot`: it is alive and owes no ping.
+    fn touch(&mut self, slot: usize) {
+        if let Some(w) = self.workers.get_mut(slot) {
+            w.last_seen = Instant::now();
+            w.pinged = false;
+        }
+    }
+
+    /// Reset liveness clocks at a phase boundary (the coordinator may
+    /// have spent arbitrary time computing locally in between, which
+    /// must not count against the workers).
+    fn touch_all(&mut self) {
+        for w in &mut self.workers {
+            w.last_seen = Instant::now();
+            w.pinged = false;
+        }
+    }
+
+    /// Write one frame to a live worker; a failed write loses it.
+    fn send_to(&mut self, slot: usize, frame: &Frame) -> bool {
+        let Some(w) = self.workers.get_mut(slot) else {
+            return false;
+        };
+        if !w.alive {
+            return false;
+        }
+        if write_frame(&mut w.stream, frame).is_ok() {
+            true
+        } else {
+            self.mark_dead(slot);
+            false
+        }
+    }
+
+    /// Liveness sweep: ping workers idle past half the window, lose
+    /// workers idle past the whole window. Returns the newly lost slots
+    /// so the calling phase can reassign their work.
+    fn heartbeat(&mut self) -> Vec<usize> {
+        let mut dead = Vec::new();
+        let mut ping = Vec::new();
+        for (i, w) in self.workers.iter().enumerate() {
+            if !w.alive {
+                continue;
+            }
+            let idle = w.last_seen.elapsed();
+            if idle >= self.worker_timeout {
+                dead.push(i);
+            } else if idle * 2 >= self.worker_timeout && !w.pinged {
+                ping.push(i);
+            }
+        }
+        for &i in &ping {
+            if let Some(w) = self.workers.get_mut(i) {
+                w.pinged = true;
+            }
+            self.send_to(i, &Frame::Ping);
+        }
+        for &i in &dead {
+            self.mark_dead(i);
+        }
+        dead
+    }
+
+    /// Phase 1: farm the pending segment-encode work list out to the
+    /// pool. Workers answer with encoded partials which are cached into
+    /// `handle`; anything lost to worker deaths (or undecodable) is
+    /// simply left for [`CorpusHandle::merged_forest`] to build locally.
+    pub(crate) fn encode_phase(
+        &mut self,
+        handle: &mut CorpusHandle,
+        config: &DiscoveryConfig,
+        plan: &CorpusPlan,
+    ) {
+        let digests = handle.pending_partials(plan.plan_fp());
+        self.stats.encode_tasks = digests.len() as u64;
+        if digests.is_empty() || self.live_count() == 0 {
+            return;
+        }
+        self.touch_all();
+        let map = SchemaMap::new(plan.schema().as_ref());
+        let mut owner: HashMap<u128, usize> = HashMap::new();
+        for digest in digests {
+            if let Some(slot) = self.pick_live(false) {
+                if self.send_to(slot, &Frame::Encode { digest }) {
+                    owner.insert(digest, slot);
+                }
+            }
+        }
+        while !owner.is_empty() {
+            match self.events.recv_timeout(TICK) {
+                Ok(Event::Frame(slot, Frame::Partial { digest, bytes })) => {
+                    self.touch(slot);
+                    if owner.remove(&digest).is_some() && !bytes.is_empty() {
+                        if let Ok(partial) = decode_partial(&bytes, &map, &config.encode) {
+                            if handle.store_partial(plan.plan_fp(), digest, partial) {
+                                self.stats.encode_remote += 1;
+                                if let Some(w) = self.workers.get_mut(slot) {
+                                    w.has.insert(digest);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(Event::Frame(slot, _)) => self.touch(slot),
+                Ok(Event::Gone(slot)) => {
+                    self.mark_dead(slot);
+                    self.reassign_encodes(slot, &mut owner);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    for slot in self.heartbeat() {
+                        self.reassign_encodes(slot, &mut owner);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Hand the lost worker's outstanding encodes to the survivors (or
+    /// drop them to the local build).
+    fn reassign_encodes(&mut self, lost: usize, owner: &mut HashMap<u128, usize>) {
+        let orphaned: Vec<u128> = owner
+            .iter()
+            .filter(|&(_, &slot)| slot == lost)
+            .map(|(&digest, _)| digest)
+            .collect();
+        for digest in orphaned {
+            owner.remove(&digest);
+            if let Some(slot) = self.pick_live(false) {
+                if self.send_to(slot, &Frame::Encode { digest }) {
+                    owner.insert(digest, slot);
+                    self.stats.tasks_retried += 1;
+                }
+            }
+        }
+    }
+
+    /// Phase 2: bring every worker up to the merged forest. Partials a
+    /// worker did not build itself are pushed over the socket; then each
+    /// worker merges in the coordinator's exact document order and must
+    /// ack with the same forest fingerprint to stay eligible for passes.
+    pub(crate) fn distribute_forest(
+        &mut self,
+        handle: &CorpusHandle,
+        plan: &CorpusPlan,
+        forest_fp: u128,
+    ) {
+        if self.live_count() == 0 {
+            return;
+        }
+        self.touch_all();
+        let digests = handle.doc_digests();
+        let mut distinct = Vec::new();
+        let mut seen = HashSet::new();
+        for &d in &digests {
+            if seen.insert(d) {
+                distinct.push(d);
+            }
+        }
+        let mut waiting: HashSet<usize> = HashSet::new();
+        for slot in 0..self.workers.len() {
+            if !self.workers.get(slot).is_some_and(|w| w.alive) {
+                continue;
+            }
+            let mut writable = true;
+            for &digest in &distinct {
+                if self
+                    .workers
+                    .get(slot)
+                    .is_some_and(|w| w.has.contains(&digest))
+                {
+                    continue;
+                }
+                // No cached partial (cold forest cache): the worker
+                // rebuilds from its own tree during Build.
+                let Some(partial) = handle.partial(plan.plan_fp(), digest) else {
+                    continue;
+                };
+                let bytes = encode_partial(&partial);
+                if self.send_to(slot, &Frame::Push { digest, bytes }) {
+                    if let Some(w) = self.workers.get_mut(slot) {
+                        w.has.insert(digest);
+                    }
+                } else {
+                    writable = false;
+                    break;
+                }
+            }
+            let build = Frame::Build {
+                forest_fp,
+                digests: digests.clone(),
+            };
+            if writable && self.send_to(slot, &build) {
+                waiting.insert(slot);
+            }
+        }
+        while !waiting.is_empty() {
+            match self.events.recv_timeout(TICK) {
+                Ok(Event::Frame(slot, Frame::ForestAck { forest_fp: got })) => {
+                    self.touch(slot);
+                    if waiting.remove(&slot) {
+                        if got == forest_fp {
+                            if let Some(w) = self.workers.get_mut(slot) {
+                                w.forest_ready = true;
+                            }
+                        } else {
+                            // Divergent forest: results from this worker
+                            // could corrupt the run. Cut it loose.
+                            self.mark_dead(slot);
+                        }
+                    }
+                }
+                Ok(Event::Frame(slot, _)) => self.touch(slot),
+                Ok(Event::Gone(slot)) => {
+                    self.mark_dead(slot);
+                    waiting.remove(&slot);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    for slot in self.heartbeat() {
+                        waiting.remove(&slot);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Fault injection: SIGKILL the worker that just received a pass
+    /// task, leaving the task in flight. Death is then *discovered* the
+    /// honest way (EOF or liveness timeout), exactly like a real crash.
+    fn kill_injected(&mut self, slot: usize) {
+        self.kill_after = None;
+        if let Some(w) = self.workers.get_mut(slot) {
+            w.child.kill().ok();
+        }
+    }
+
+    /// Reassign (bounded) or abandon one in-flight pass task.
+    fn retry_or_fallback(
+        &mut self,
+        task_idx: usize,
+        retries: &mut HashMap<usize, usize>,
+        queue: &mut VecDeque<usize>,
+        outstanding: &mut usize,
+    ) {
+        let tried = retries.entry(task_idx).or_insert(0);
+        if *tried < self.max_task_retries && self.ready_count() > 0 {
+            *tried += 1;
+            self.stats.tasks_retried += 1;
+            queue.push_back(task_idx);
+        } else {
+            self.stats.tasks_fallback += 1;
+            *outstanding -= 1;
+        }
+    }
+
+    /// Graceful teardown: `Shutdown` to every survivor, close write
+    /// halves, reap children (killing any that linger), join readers.
+    pub(crate) fn shutdown(&mut self) -> ClusterStats {
+        self.stats.workers_live = self.live_count() as u64;
+        for slot in 0..self.workers.len() {
+            self.send_to(slot, &Frame::Shutdown);
+        }
+        for w in &mut self.workers {
+            w.stream.shutdown(std::net::Shutdown::Write).ok();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for w in &mut self.workers {
+            loop {
+                match w.child.try_wait() {
+                    Ok(Some(_)) => {
+                        w.reaped = true;
+                        break;
+                    }
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10))
+                    }
+                    _ => {
+                        w.child.kill().ok();
+                        w.child.wait().ok();
+                        w.reaped = true;
+                        break;
+                    }
+                }
+            }
+        }
+        for handle in self.readers.drain(..) {
+            handle.join().ok();
+        }
+        std::fs::remove_file(&self.socket_path).ok();
+        self.stats
+    }
+
+    /// Final counters (identical to what [`Cluster::shutdown`] returns).
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            if !w.reaped {
+                w.child.kill().ok();
+                w.child.wait().ok();
+            }
+        }
+        std::fs::remove_file(&self.socket_path).ok();
+    }
+}
+
+impl PassRunner for Cluster {
+    /// Phase 3, once per wave: round-robin the wave's memo misses over
+    /// forest-ready workers and collect answers. `None` entries (lost
+    /// workers, exhausted retries, workers that declined) are computed
+    /// locally by the memo layer, which also validates every answer —
+    /// so this function affects *when* work happens, never *what* the
+    /// result is.
+    fn run_wave(
+        &mut self,
+        _forest: &Forest,
+        _config: &DiscoveryConfig,
+        tasks: &[WaveTask],
+    ) -> Vec<Option<Vec<u8>>> {
+        self.stats.pass_tasks += tasks.len() as u64;
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; tasks.len()];
+        if self.ready_count() == 0 {
+            self.stats.tasks_fallback += tasks.len() as u64;
+            return results;
+        }
+        self.touch_all();
+        let mut queue: VecDeque<usize> = (0..tasks.len()).collect();
+        let mut in_flight: HashMap<u64, (usize, usize)> = HashMap::new();
+        let mut retries: HashMap<usize, usize> = HashMap::new();
+        let mut outstanding = tasks.len();
+        loop {
+            while let Some(task_idx) = queue.pop_front() {
+                let Some(slot) = self.pick_live(true) else {
+                    // Pool is gone: this and everything still queued
+                    // falls back to local computation.
+                    self.stats.tasks_fallback += 1;
+                    outstanding -= 1;
+                    continue;
+                };
+                let Some(task) = tasks.get(task_idx) else {
+                    outstanding -= 1;
+                    continue;
+                };
+                let task_id = self.next_task_id;
+                self.next_task_id += 1;
+                let frame = Frame::Pass {
+                    task_id,
+                    task: task.encode_bytes(),
+                };
+                if self.send_to(slot, &frame) {
+                    in_flight.insert(task_id, (slot, task_idx));
+                    self.assigned_passes += 1;
+                    if self.kill_after == Some(self.assigned_passes) {
+                        self.kill_injected(slot);
+                    }
+                } else {
+                    // The write lost the worker; try the next one.
+                    queue.push_front(task_idx);
+                }
+            }
+            if outstanding == 0 {
+                break;
+            }
+            match self.events.recv_timeout(TICK) {
+                Ok(Event::Frame(slot, Frame::TaskResult { task_id, output })) => {
+                    self.touch(slot);
+                    if let Some((_, task_idx)) = in_flight.remove(&task_id) {
+                        if output.is_empty() {
+                            // The worker answered "can't": same path as
+                            // losing it, minus the funeral.
+                            self.retry_or_fallback(
+                                task_idx,
+                                &mut retries,
+                                &mut queue,
+                                &mut outstanding,
+                            );
+                        } else if let Some(r) = results.get_mut(task_idx) {
+                            *r = Some(output);
+                            self.stats.pass_remote += 1;
+                            outstanding -= 1;
+                        }
+                    }
+                }
+                Ok(Event::Frame(slot, _)) => self.touch(slot),
+                Ok(Event::Gone(slot)) => {
+                    self.mark_dead(slot);
+                    self.reassign_passes(
+                        slot,
+                        &mut in_flight,
+                        &mut retries,
+                        &mut queue,
+                        &mut outstanding,
+                    );
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    for slot in self.heartbeat() {
+                        self.reassign_passes(
+                            slot,
+                            &mut in_flight,
+                            &mut retries,
+                            &mut queue,
+                            &mut outstanding,
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        results
+    }
+}
+
+impl Cluster {
+    /// Route every in-flight task of a lost worker through
+    /// [`Cluster::retry_or_fallback`].
+    fn reassign_passes(
+        &mut self,
+        lost: usize,
+        in_flight: &mut HashMap<u64, (usize, usize)>,
+        retries: &mut HashMap<usize, usize>,
+        queue: &mut VecDeque<usize>,
+        outstanding: &mut usize,
+    ) {
+        let orphaned: Vec<(u64, usize)> = in_flight
+            .iter()
+            .filter(|&(_, &(slot, _))| slot == lost)
+            .map(|(&id, &(_, task_idx))| (id, task_idx))
+            .collect();
+        for (id, task_idx) in orphaned {
+            in_flight.remove(&id);
+            self.retry_or_fallback(task_idx, retries, queue, outstanding);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+#![warn(missing_docs)]
+//! # xfd-cluster
+//!
+//! Multi-process sharded discovery: a coordinator that drives corpus
+//! discovery by farming the two parallelizable stages — per-segment
+//! partial encoding and the relation passes — out to worker subprocesses
+//! over Unix domain sockets.
+//!
+//! The workers are instances of the same binary (`discoverxfd worker
+//! --socket <path>`, or the `xfd-cluster-worker` helper this crate
+//! ships for its own tests), so there is nothing to deploy beyond the one
+//! executable. The protocol is the hand-rolled frame codec in [`frame`]
+//! — dependency-free, versioned, and fingerprint-checked: a worker
+//! re-derives the plan fingerprint (collection schema + encode config)
+//! from its own read-only view of the corpus directory and is only
+//! admitted when it matches the coordinator's.
+//!
+//! Determinism is the design center: results merge in the same wave order
+//! as single-process discovery, memo hits never leave the coordinator,
+//! and any worker failure — death mid-task, a torn frame, a forged
+//! answer — degrades to computing that piece locally. The final report is
+//! therefore **byte-identical** to `discover` at any worker count,
+//! including after a mid-run `kill -9`.
+//!
+//! ```text
+//! coordinator                                worker (×N)
+//! ───────────                                ───────────
+//!            ◄─ Join{version, index} ──────
+//!            ── Plan{fp, dir, config} ─────►  opens corpus read-only,
+//!            ◄─ PlanAck{fp} ────────────────  re-derives fp
+//!   [encode] ── Encode{digest} ─────────────►
+//!            ◄─ Partial{digest, bytes} ─────
+//!   [forest] ── Push{digest, bytes}* ───────►  fills partial gaps
+//!            ── Build{forest_fp, digests} ──►  merges, fingerprints
+//!            ◄─ ForestAck{forest_fp} ───────
+//!   [passes] ── Pass{task_id, wave task} ───►
+//!            ◄─ TaskResult{task_id, bytes} ─
+//!            ── Ping ───────────────────────►  (any time; liveness)
+//!            ◄─ Pong ───────────────────────
+//!            ── Shutdown ───────────────────►
+//! ```
+
+pub mod coordinator;
+pub mod frame;
+pub mod worker;
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+use discoverxfd::{DiscoveryConfig, RunOutcome};
+use xfd_corpus::{CorpusError, CorpusHandle};
+use xfd_relation::forest_fingerprint;
+
+pub use coordinator::Cluster;
+pub use frame::{Frame, PROTOCOL_VERSION};
+pub use worker::{run_worker, WorkerOptions};
+
+/// Everything that can go wrong setting up or driving a cluster. Worker
+/// deaths mid-run are *not* errors — they degrade to local computation —
+/// so this only covers failures that leave nothing to run.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Socket/spawn-level failure.
+    Io(io::Error),
+    /// The corpus could not be opened or read.
+    Corpus(CorpusError),
+    /// A configuration problem (bad worker command, unencodable path).
+    Config(String),
+    /// A peer spoke the protocol wrong.
+    Protocol(String),
+    /// Every worker derived a different plan fingerprint than the
+    /// coordinator: the worker pool is looking at a different corpus
+    /// state or running an incompatible build. Nothing was assigned.
+    PlanMismatch {
+        /// The coordinator's fingerprint.
+        expected: u128,
+        /// A fingerprint reported by a rejected worker.
+        got: u128,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "cluster i/o: {e}"),
+            ClusterError::Corpus(e) => write!(f, "cluster corpus: {e}"),
+            ClusterError::Config(m) => write!(f, "cluster config: {m}"),
+            ClusterError::Protocol(m) => write!(f, "cluster protocol: {m}"),
+            ClusterError::PlanMismatch { expected, got } => write!(
+                f,
+                "plan fingerprint mismatch: coordinator {expected:032x}, workers reported \
+                 {got:032x}; refusing to assign work"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<io::Error> for ClusterError {
+    fn from(e: io::Error) -> ClusterError {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<CorpusError> for ClusterError {
+    fn from(e: CorpusError) -> ClusterError {
+        ClusterError::Corpus(e)
+    }
+}
+
+/// Knobs for one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Worker subprocesses to spawn. `0` runs everything in-process.
+    pub workers: usize,
+    /// A worker silent for this long (no frame, no heartbeat answer) is
+    /// declared dead, killed, and its in-flight tasks reassigned.
+    pub worker_timeout: Duration,
+    /// How many times one pass task may be reassigned after worker deaths
+    /// before the coordinator computes it locally instead.
+    pub max_task_retries: usize,
+    /// Command prefix to launch a worker; `--socket`/`--index` are
+    /// appended. Empty means "this executable, `worker` subcommand".
+    pub worker_command: Vec<String>,
+    /// Fault injection: `kill -9` the worker that received the Nth pass
+    /// task, right after assigning it (so the task is in flight when the
+    /// worker dies). Exercised by tests and the CI smoke script.
+    pub kill_worker_after: Option<u64>,
+    /// Fault injection: spawn workers with `--corrupt-plan` so every
+    /// handshake reports a wrong fingerprint.
+    pub corrupt_plan: bool,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> ClusterOptions {
+        ClusterOptions {
+            workers: 2,
+            worker_timeout: Duration::from_secs(30),
+            max_task_retries: 2,
+            worker_command: Vec::new(),
+            kill_worker_after: None,
+            corrupt_plan: false,
+        }
+    }
+}
+
+/// Counters from one cluster run, for the CLI summary line, the server's
+/// `/metrics` families and the bench harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterStats {
+    /// Workers successfully spawned.
+    pub workers_spawned: u64,
+    /// Workers still alive when the run finished.
+    pub workers_live: u64,
+    /// Workers lost mid-run (died, timed out, or spoke garbage).
+    pub workers_lost: u64,
+    /// Workers rejected during the handshake (version or fingerprint).
+    pub handshake_failures: u64,
+    /// Segment-encode tasks in the work list.
+    pub encode_tasks: u64,
+    /// Segment-encode tasks completed by workers (the rest were built
+    /// locally).
+    pub encode_remote: u64,
+    /// Relation-pass tasks handed to the runner across all waves.
+    pub pass_tasks: u64,
+    /// Relation-pass tasks completed by workers.
+    pub pass_remote: u64,
+    /// Tasks reassigned after a worker death.
+    pub tasks_retried: u64,
+    /// Tasks abandoned to local computation (retries exhausted or no
+    /// workers left).
+    pub tasks_fallback: u64,
+}
+
+impl ClusterStats {
+    /// One stable line for scripts to grep:
+    /// `cluster: workers=2 live=2 lost=0 handshake_failures=0 ...`.
+    pub fn summary(&self) -> String {
+        format!(
+            "cluster: workers={} live={} lost={} handshake_failures={} encode_tasks={} \
+             encode_remote={} pass_tasks={} pass_remote={} retried={} fallback={}",
+            self.workers_spawned,
+            self.workers_live,
+            self.workers_lost,
+            self.handshake_failures,
+            self.encode_tasks,
+            self.encode_remote,
+            self.pass_tasks,
+            self.pass_remote,
+            self.tasks_retried,
+            self.tasks_fallback,
+        )
+    }
+}
+
+/// Run corpus discovery across `opts.workers` subprocesses.
+///
+/// The output [`RunOutcome`] is byte-identical (timings aside) to
+/// [`CorpusHandle::discover_with_progress`] on the same handle: the
+/// coordinator plans, farms out encoding and passes, and merges results
+/// in the deterministic single-process order. Any failure after a
+/// successful handshake degrades to local computation; the only
+/// run-aborting errors are setup problems and a unanimous
+/// [`ClusterError::PlanMismatch`].
+pub fn cluster_discover(
+    handle: &mut CorpusHandle,
+    config: &DiscoveryConfig,
+    opts: &ClusterOptions,
+) -> Result<(RunOutcome, ClusterStats), ClusterError> {
+    let plan = handle.plan(config);
+    if opts.workers == 0 {
+        let prepared = handle.merged_forest(config, &plan);
+        let outcome = handle.finish_discover(config, &prepared, |_| {}, None);
+        return Ok((outcome, ClusterStats::default()));
+    }
+    let mut cluster = Cluster::spawn(opts, plan.plan_fp(), handle.dir(), config)?;
+    cluster.encode_phase(handle, config, &plan);
+    let prepared = handle.merged_forest(config, &plan);
+    let forest_fp = forest_fingerprint(prepared.forest());
+    cluster.distribute_forest(handle, &plan, forest_fp);
+    let outcome = handle.finish_discover(config, &prepared, |_| {}, Some(&mut cluster));
+    let stats = cluster.shutdown();
+    Ok((outcome, stats))
+}

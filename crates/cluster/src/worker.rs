@@ -1,0 +1,281 @@
+//! The worker side: connect to the coordinator's socket, re-derive the
+//! plan from a read-only view of the corpus, then serve encode / merge /
+//! pass requests until `Shutdown` or EOF.
+//!
+//! Three threads, no shared locks:
+//!
+//! * the **main** thread reads frames and dispatches — heartbeats are
+//!   answered here so liveness holds even while a merge is running;
+//! * a **compute** thread owns the corpus handle and works the queue in
+//!   FIFO order;
+//! * a **writer** thread owns the write half of the socket, serializing
+//!   whole frames from one channel (answers and `Pong`s interleave at
+//!   frame boundaries, never inside one).
+
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Duration;
+
+use discoverxfd::{decode_config, run_task, task_in_bounds, DiscoveryConfig, WaveTask};
+use xfd_corpus::{CorpusHandle, CorpusPlan, CorpusStore, PreparedCorpus};
+use xfd_relation::{build_partial, encode_partial, forest_fingerprint};
+use xfd_schema::SchemaMap;
+
+use crate::frame::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use crate::ClusterError;
+
+/// How a worker process was invoked.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// The coordinator's Unix socket.
+    pub socket: PathBuf,
+    /// This worker's index, echoed in the `Join` frame.
+    pub index: u32,
+    /// Fault injection: report a deliberately wrong plan fingerprint in
+    /// the handshake (exercises the coordinator's typed rejection).
+    pub corrupt_plan: bool,
+    /// Fault injection: die with `exit(9)` upon receiving pass task
+    /// number N+1, leaving it unanswered (exercises retry/reassignment).
+    pub exit_after_tasks: Option<u64>,
+}
+
+/// Parse worker flags (`--socket <path> [--index N] [--corrupt-plan]
+/// [--exit-after-tasks N]`), shared by the `discoverxfd worker`
+/// subcommand and the `xfd-cluster-worker` test binary.
+pub fn parse_worker_args(args: &[String]) -> Result<WorkerOptions, String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut index = 0u32;
+    let mut corrupt_plan = false;
+    let mut exit_after_tasks = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                let v = it.next().ok_or("--socket needs a path")?;
+                socket = Some(PathBuf::from(v));
+            }
+            "--index" => {
+                let v = it.next().ok_or("--index needs a number")?;
+                index = v.parse().map_err(|_| format!("bad --index '{v}'"))?;
+            }
+            "--corrupt-plan" => corrupt_plan = true,
+            "--exit-after-tasks" => {
+                let v = it.next().ok_or("--exit-after-tasks needs a number")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --exit-after-tasks '{v}'"))?;
+                exit_after_tasks = Some(n);
+            }
+            other => return Err(format!("unknown worker option '{other}'")),
+        }
+    }
+    Ok(WorkerOptions {
+        socket: socket.ok_or("--socket is required")?,
+        index,
+        corrupt_plan,
+        exit_after_tasks,
+    })
+}
+
+/// Work items the reader forwards to the compute thread, in arrival
+/// order.
+enum Work {
+    Encode(u128),
+    Push(u128, Vec<u8>),
+    Build(Vec<u128>),
+    Pass(u64, Vec<u8>),
+}
+
+/// Run the worker protocol to completion. Returns when the coordinator
+/// sends `Shutdown` or closes the socket; errors cover only the phase
+/// before any work is accepted (connect, handshake, corpus open).
+pub fn run_worker(opts: &WorkerOptions) -> Result<(), ClusterError> {
+    let mut reader = std::os::unix::net::UnixStream::connect(&opts.socket)?;
+    let write_half = reader.try_clone()?;
+    let (out_tx, out_rx) = channel::<Frame>();
+    let writer = std::thread::spawn(move || writer_loop(write_half, out_rx));
+
+    // Handshake: announce ourselves, receive the job, re-derive the plan
+    // fingerprint from our own read-only view and report it back.
+    out_tx
+        .send(Frame::Join {
+            version: PROTOCOL_VERSION,
+            index: opts.index,
+        })
+        .ok();
+    let (plan_fp, corpus_dir, config_bytes) = match read_frame(&mut reader)? {
+        Some(Frame::Plan {
+            plan_fp,
+            corpus_dir,
+            config,
+        }) => (plan_fp, corpus_dir, config),
+        Some(_) => return Err(ClusterError::Protocol("expected a Plan frame".into())),
+        None => return Ok(()), // coordinator went away before assigning anything
+    };
+    let config = decode_config(&config_bytes)
+        .map_err(|e| ClusterError::Protocol(format!("undecodable config: {e}")))?;
+    let dir = PathBuf::from(&corpus_dir);
+    let name = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| ClusterError::Config(format!("bad corpus dir '{corpus_dir}'")))?
+        .to_string();
+    let root = dir
+        .parent()
+        .ok_or_else(|| ClusterError::Config(format!("corpus dir '{corpus_dir}' has no parent")))?
+        .to_path_buf();
+    let mut handle = CorpusStore::new(root).open_readonly(&name)?;
+    let plan = handle.plan(&config);
+    let mut my_fp = plan.plan_fp();
+    if opts.corrupt_plan {
+        my_fp ^= 0xDEAD_BEEF;
+    }
+    out_tx.send(Frame::PlanAck { plan_fp: my_fp }).ok();
+    if my_fp != plan_fp {
+        // Rejected: wait for the coordinator's Shutdown (or EOF) so the
+        // frame above is not lost to a racing close.
+        wait_for_shutdown(&mut reader);
+        drop(out_tx);
+        writer.join().ok();
+        return Ok(());
+    }
+
+    // Admitted: hand the corpus to the compute thread and keep reading.
+    let (work_tx, work_rx) = channel::<Work>();
+    let compute_out = out_tx.clone();
+    let exit_after = opts.exit_after_tasks;
+    let compute = std::thread::spawn(move || {
+        compute_loop(handle, config, plan, work_rx, compute_out, exit_after)
+    });
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(Frame::Ping)) => {
+                out_tx.send(Frame::Pong).ok();
+            }
+            Ok(Some(Frame::Encode { digest })) => {
+                work_tx.send(Work::Encode(digest)).ok();
+            }
+            Ok(Some(Frame::Push { digest, bytes })) => {
+                work_tx.send(Work::Push(digest, bytes)).ok();
+            }
+            Ok(Some(Frame::Build { digests, .. })) => {
+                work_tx.send(Work::Build(digests)).ok();
+            }
+            Ok(Some(Frame::Pass { task_id, task })) => {
+                work_tx.send(Work::Pass(task_id, task)).ok();
+            }
+            Ok(Some(Frame::Shutdown)) | Ok(None) => break,
+            Ok(Some(_)) => {
+                out_tx
+                    .send(Frame::WorkerError {
+                        message: "unexpected frame from coordinator".into(),
+                    })
+                    .ok();
+            }
+            Err(_) => break,
+        }
+    }
+    drop(work_tx);
+    compute.join().ok();
+    drop(out_tx);
+    writer.join().ok();
+    Ok(())
+}
+
+/// Drain frames until `Shutdown` or EOF (post-rejection limbo).
+fn wait_for_shutdown(reader: &mut std::os::unix::net::UnixStream) {
+    reader.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    loop {
+        match read_frame(reader) {
+            Ok(Some(Frame::Shutdown)) | Ok(None) | Err(_) => break,
+            Ok(Some(_)) => {}
+        }
+    }
+}
+
+/// Sole owner of the socket's write half: serialize whole frames from
+/// the channel, stop on the first failed write (coordinator gone).
+fn writer_loop(mut stream: std::os::unix::net::UnixStream, rx: Receiver<Frame>) {
+    while let Ok(frame) = rx.recv() {
+        if write_frame(&mut stream, &frame).is_err() {
+            break;
+        }
+    }
+}
+
+/// Sole owner of the corpus handle: work the queue in FIFO order. Every
+/// request gets an answer frame (possibly an empty one meaning "could
+/// not"), so the coordinator never waits on silence from a live worker.
+fn compute_loop(
+    mut handle: CorpusHandle,
+    config: DiscoveryConfig,
+    plan: CorpusPlan,
+    work: Receiver<Work>,
+    out: Sender<Frame>,
+    exit_after: Option<u64>,
+) {
+    let map = SchemaMap::new(plan.schema().as_ref());
+    let plan_fp = plan.plan_fp();
+    let mut prepared: Option<PreparedCorpus> = None;
+    let mut passes_done = 0u64;
+    while let Ok(item) = work.recv() {
+        match item {
+            Work::Encode(digest) => {
+                let built = handle.tree_by_digest(digest).map(|tree| {
+                    let partial = build_partial(tree, &map, &config.encode);
+                    let bytes = encode_partial(&partial);
+                    (partial, bytes)
+                });
+                let bytes = match built {
+                    Some((partial, bytes)) => {
+                        handle.store_partial(plan_fp, digest, partial);
+                        bytes
+                    }
+                    // Our view lacks that segment (corpus changed under
+                    // us): an empty Partial tells the coordinator to
+                    // build it locally.
+                    None => Vec::new(),
+                };
+                out.send(Frame::Partial { digest, bytes }).ok();
+            }
+            Work::Push(digest, bytes) => {
+                // A prebuilt partial from the coordinator; a block that
+                // fails to decode is simply not cached (we rebuild from
+                // the tree during Build instead).
+                if let Ok(partial) = xfd_relation::decode_partial(&bytes, &map, &config.encode) {
+                    handle.store_partial(plan_fp, digest, partial);
+                }
+            }
+            Work::Build(digests) => {
+                if digests != handle.doc_digests() {
+                    // Different document view — our forest could never
+                    // match. Ack with fingerprint 0 so the coordinator
+                    // drops us instead of waiting.
+                    out.send(Frame::ForestAck { forest_fp: 0 }).ok();
+                    continue;
+                }
+                let p = handle.merged_forest(&config, &plan);
+                let my_fp = forest_fingerprint(p.forest());
+                prepared = Some(p);
+                out.send(Frame::ForestAck { forest_fp: my_fp }).ok();
+            }
+            Work::Pass(task_id, bytes) => {
+                if exit_after.is_some_and(|limit| passes_done >= limit) {
+                    // Fault injection: die hard with the task unanswered,
+                    // exactly like a crash mid-pass.
+                    std::process::exit(9);
+                }
+                passes_done += 1;
+                let output = match (WaveTask::decode_bytes(&bytes), prepared.as_ref()) {
+                    (Ok(task), Some(p)) if task_in_bounds(p.forest(), &task) => {
+                        run_task(p.forest(), &config, &task)
+                    }
+                    // No forest yet or an undecodable/out-of-range task:
+                    // an empty answer routes it back to local compute.
+                    _ => Vec::new(),
+                };
+                out.send(Frame::TaskResult { task_id, output }).ok();
+            }
+        }
+    }
+}

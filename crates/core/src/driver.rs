@@ -228,9 +228,26 @@ pub fn discover_prepared(
     memo: &mut crate::memo::RelationMemo,
     progress: impl FnMut(crate::memo::RelationProgress<'_>),
 ) -> RunOutcome {
+    discover_prepared_with(schema, forest, config, memo, progress, None)
+}
+
+/// [`discover_prepared`] with an optional external
+/// [`PassRunner`](crate::memo::PassRunner) executing the relation passes
+/// that miss the memo (the cluster
+/// coordinator's hook); `None` computes every pass in process. A runner
+/// answer that fails to decode falls back to local computation, so the
+/// output never depends on who computed a pass.
+pub fn discover_prepared_with(
+    schema: &Schema,
+    forest: &Forest,
+    config: &DiscoveryConfig,
+    memo: &mut crate::memo::RelationMemo,
+    progress: impl FnMut(crate::memo::RelationProgress<'_>),
+    runner: Option<&mut dyn crate::memo::PassRunner>,
+) -> RunOutcome {
     let before = memo.stats();
     let t2 = Instant::now();
-    let disc = crate::memo::discover_forest_memo(forest, config, memo, progress);
+    let disc = crate::memo::discover_forest_memo_with(forest, config, memo, progress, runner);
     let discover_t = t2.elapsed();
 
     let t3 = Instant::now();

@@ -361,6 +361,102 @@ fn relation_fingerprint(
     d.finish()
 }
 
+/// One queued relation pass of a wave in dispatchable form: everything a
+/// process holding a byte-identical forest needs to run the pass exactly
+/// as this one would. Produced by
+/// [`discover_forest_memo_with`] for its [`PassRunner`], shipped over the
+/// wire via [`WaveTask::encode_bytes`]/[`WaveTask::decode_bytes`], and
+/// executed by [`run_task`].
+pub struct WaveTask {
+    /// The relation to pass.
+    pub rel: RelId,
+    /// The pass's memo fingerprint (config + skeleton + relation content +
+    /// incoming targets): a globally stable task identity the cluster
+    /// layer partitions and logs by.
+    pub key: u128,
+    /// Threads handed to the intra-level precompute (1 inside parallel
+    /// waves). Part of the task because the precompute split shows in the
+    /// pass's work counters, which the report renders.
+    pub intra_threads: usize,
+    incoming: Vec<PartitionTarget>,
+}
+
+impl WaveTask {
+    /// Serialize for dispatch to another process.
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        crate::wire::put_u32(&mut out, self.rel.0);
+        crate::wire::put_u128(&mut out, self.key);
+        crate::wire::put_usize(&mut out, self.intra_threads);
+        crate::wire::put_usize(&mut out, self.incoming.len());
+        for t in &self.incoming {
+            crate::wire::put_target(&mut out, t);
+        }
+        out
+    }
+
+    /// Decode a task encoded by [`WaveTask::encode_bytes`].
+    pub fn decode_bytes(bytes: &[u8]) -> Result<WaveTask, crate::wire::WireError> {
+        let mut r = crate::wire::Reader::new(bytes);
+        let rel = RelId(r.u32()?);
+        let key = r.u128()?;
+        let intra_threads = r.usize()?;
+        let n = r.len(20)?;
+        let mut incoming = Vec::with_capacity(n);
+        for _ in 0..n {
+            incoming.push(crate::wire::read_target(&mut r)?);
+        }
+        r.finish()?;
+        Ok(WaveTask {
+            rel,
+            key,
+            intra_threads,
+            incoming,
+        })
+    }
+}
+
+/// Execute one [`WaveTask`] against a forest and return the encoded pass
+/// output — the worker side of a cluster dispatch, and the reference
+/// implementation a [`PassRunner`] must match: the coordinator falls back
+/// to exactly this call (minus the codec round-trip) whenever a runner's
+/// answer is missing or undecodable.
+///
+/// The relation id must be in range — callers validate tasks against the
+/// forest they hold (the cluster worker checks `rel` before dispatch).
+pub fn run_task(forest: &Forest, config: &DiscoveryConfig, task: &WaveTask) -> Vec<u8> {
+    let out = process_relation(
+        forest,
+        task.rel,
+        task.incoming.clone(),
+        config,
+        task.intra_threads,
+    );
+    crate::wire::encode_output(&out)
+}
+
+/// True when `task.rel` names a relation of `forest` — the bound
+/// [`run_task`] requires.
+pub fn task_in_bounds(forest: &Forest, task: &WaveTask) -> bool {
+    (task.rel.index()) < forest.relations.len()
+}
+
+/// Executor hook for the misses of one wave: [`discover_forest_memo_with`]
+/// hands every queued pass of the wave to the runner at once (they are
+/// independent — same relation-tree depth) and decodes the answers in task
+/// order. Entries that are `None` or fail to decode are recomputed in
+/// process, so a runner can shed load or die without changing the output.
+pub trait PassRunner {
+    /// Run every task, returning encoded outputs ([`run_task`]'s bytes) in
+    /// task order.
+    fn run_wave(
+        &mut self,
+        forest: &Forest,
+        config: &DiscoveryConfig,
+        tasks: &[WaveTask],
+    ) -> Vec<Option<Vec<u8>>>;
+}
+
 /// One relation of the current wave, fingerprinted up front.
 struct WaveItem {
     rel: RelId,
@@ -375,6 +471,7 @@ struct WaveJob {
     /// Index into the wave's `WaveItem` list.
     item: usize,
     rel: RelId,
+    key: u128,
     incoming: Vec<PartitionTarget>,
 }
 
@@ -430,7 +527,24 @@ pub fn discover_forest_memo(
     forest: &Forest,
     config: &DiscoveryConfig,
     memo: &mut RelationMemo,
+    progress: impl FnMut(RelationProgress<'_>),
+) -> ForestDiscovery {
+    discover_forest_memo_with(forest, config, memo, progress, None)
+}
+
+/// [`discover_forest_memo`] with an optional [`PassRunner`] executing each
+/// wave's memo misses — the cluster coordinator's entry point. With
+/// `runner = None` the misses run on the in-process pool, byte-identically
+/// to [`discover_forest_memo`]; with a runner they are dispatched as
+/// [`WaveTask`]s and any answer that is missing or undecodable is
+/// recomputed in process, so the output never depends on who computed a
+/// pass. Memo hits always replay locally and never reach the runner.
+pub fn discover_forest_memo_with(
+    forest: &Forest,
+    config: &DiscoveryConfig,
+    memo: &mut RelationMemo,
     mut progress: impl FnMut(RelationProgress<'_>),
+    mut runner: Option<&mut dyn PassRunner>,
 ) -> ForestDiscovery {
     memo.generation += 1;
     let mut base = ContentDigest::new();
@@ -474,6 +588,7 @@ pub fn discover_forest_memo(
                     jobs.push(WaveJob {
                         item: items.len(),
                         rel: rel_id,
+                        key,
                         incoming,
                     });
                     items.push(WaveItem {
@@ -486,18 +601,58 @@ pub fn discover_forest_memo(
             }
         }
 
-        // Compute the misses — pooled when the wave itself would have run
-        // in parallel and there is more than one pass to run.
-        let mut computed: HashMap<usize, RelationOutput> = if parallel_wave && jobs.len() > 1 {
-            run_jobs_pooled(forest, config, &jobs, threads.min(jobs.len()))
-        } else {
-            jobs.drain(..)
+        // Compute the misses — dispatched to the runner when one is
+        // installed, else pooled when the wave itself would have run in
+        // parallel and there is more than one pass to run.
+        let mut computed: HashMap<usize, RelationOutput> = match runner.as_deref_mut() {
+            Some(r) if !jobs.is_empty() => {
+                let item_of: Vec<usize> = jobs.iter().map(|j| j.item).collect();
+                let tasks: Vec<WaveTask> = jobs
+                    .drain(..)
+                    .map(|job| WaveTask {
+                        rel: job.rel,
+                        key: job.key,
+                        intra_threads,
+                        incoming: job.incoming,
+                    })
+                    .collect();
+                let answers = r.run_wave(forest, config, &tasks);
+                let mut done = HashMap::with_capacity(tasks.len());
+                for (i, task) in tasks.into_iter().enumerate() {
+                    let decoded = answers
+                        .get(i)
+                        .and_then(|a| a.as_deref())
+                        .and_then(|bytes| crate::wire::decode_output(bytes).ok())
+                        // A forged relation id could route results to the
+                        // wrong pass; recompute instead.
+                        .filter(|out| out.local.rel == task.rel);
+                    let out = match decoded {
+                        Some(out) => out,
+                        None => process_relation(
+                            forest,
+                            task.rel,
+                            task.incoming,
+                            config,
+                            task.intra_threads,
+                        ),
+                    };
+                    if let Some(&item) = item_of.get(i) {
+                        done.insert(item, out);
+                    }
+                }
+                done
+            }
+            _ if parallel_wave && jobs.len() > 1 => {
+                run_jobs_pooled(forest, config, &jobs, threads.min(jobs.len()))
+            }
+            _ => jobs
+                .drain(..)
                 .map(|job| {
                     let out =
                         process_relation(forest, job.rel, job.incoming, config, intra_threads);
                     (job.item, out)
                 })
-                .collect()
+                .collect(),
         };
 
         // Merge in wave order: memo updates, progress events, target
@@ -776,6 +931,122 @@ mod tests {
         discover_forest_memo(&dirty, &config, &mut memo, |p| {
             assert!(p.cached, "{} should survive the stale-first sweep", p.name);
         });
+    }
+
+    #[test]
+    fn pass_runner_roundtrip_matches_local_run() {
+        // A runner that executes every task through the wire codec — the
+        // moral equivalent of a remote worker on a verified forest.
+        struct WireRunner {
+            waves: usize,
+            tasks: usize,
+        }
+        impl PassRunner for WireRunner {
+            fn run_wave(
+                &mut self,
+                forest: &Forest,
+                config: &DiscoveryConfig,
+                tasks: &[WaveTask],
+            ) -> Vec<Option<Vec<u8>>> {
+                self.waves += 1;
+                self.tasks += tasks.len();
+                tasks
+                    .iter()
+                    .map(|t| {
+                        let reparsed =
+                            WaveTask::decode_bytes(&t.encode_bytes()).expect("task codec");
+                        assert_eq!(reparsed.rel, t.rel);
+                        assert_eq!(reparsed.key, t.key);
+                        assert!(task_in_bounds(forest, &reparsed));
+                        Some(run_task(forest, config, &reparsed))
+                    })
+                    .collect()
+            }
+        }
+        let forest = forest_of(DOC);
+        for config in [
+            DiscoveryConfig::default(),
+            DiscoveryConfig {
+                parallel: true,
+                threads: 4,
+                ..Default::default()
+            },
+        ] {
+            let mut local_memo = RelationMemo::new();
+            let local = discover_forest_memo_with(&forest, &config, &mut local_memo, |_| {}, None);
+            let mut runner = WireRunner { waves: 0, tasks: 0 };
+            let mut memo = RelationMemo::new();
+            let remote =
+                discover_forest_memo_with(&forest, &config, &mut memo, |_| {}, Some(&mut runner));
+            assert_same(&local, &remote);
+            assert_eq!(
+                runner.tasks,
+                forest.relations.len(),
+                "all misses dispatched"
+            );
+            assert_eq!(memo.misses(), local_memo.misses());
+            // Warm rerun: hits replay locally, the runner sees nothing.
+            let mut idle = WireRunner { waves: 0, tasks: 0 };
+            let warm =
+                discover_forest_memo_with(&forest, &config, &mut memo, |_| {}, Some(&mut idle));
+            assert_same(&remote, &warm);
+            assert_eq!(idle.tasks, 0, "memo hits never reach the runner");
+        }
+    }
+
+    #[test]
+    fn pass_runner_failures_fall_back_to_local_compute() {
+        // A runner that sheds every other task and garbles the rest in
+        // rotation: None, garbage bytes, a wrong-relation forgery.
+        struct FlakyRunner {
+            n: usize,
+        }
+        impl PassRunner for FlakyRunner {
+            fn run_wave(
+                &mut self,
+                forest: &Forest,
+                config: &DiscoveryConfig,
+                tasks: &[WaveTask],
+            ) -> Vec<Option<Vec<u8>>> {
+                tasks
+                    .iter()
+                    .map(|t| {
+                        self.n += 1;
+                        match self.n % 3 {
+                            0 => None,
+                            1 => Some(b"not an output".to_vec()),
+                            _ => {
+                                // Valid bytes for the *wrong* relation.
+                                let mut other = forest.relations.len() - 1;
+                                if other == t.rel.index() {
+                                    other = 0;
+                                }
+                                if other == t.rel.index() {
+                                    return None;
+                                }
+                                let forged = WaveTask {
+                                    rel: RelId(other as u32),
+                                    key: 0,
+                                    intra_threads: 1,
+                                    incoming: Vec::new(),
+                                };
+                                Some(run_task(forest, config, &forged))
+                            }
+                        }
+                    })
+                    .collect()
+            }
+        }
+        let forest = forest_of(DOC);
+        let config = DiscoveryConfig::default();
+        let mut memo_a = RelationMemo::new();
+        let local = discover_forest_memo_with(&forest, &config, &mut memo_a, |_| {}, None);
+        let mut flaky = FlakyRunner { n: 0 };
+        let mut memo_b = RelationMemo::new();
+        let out =
+            discover_forest_memo_with(&forest, &config, &mut memo_b, |_| {}, Some(&mut flaky));
+        assert_same(&local, &out);
+        assert_eq!(memo_a.misses(), memo_b.misses());
     }
 
     #[test]

@@ -40,10 +40,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use discoverxfd::memo::{RelationMemo, RelationProgress};
-use discoverxfd::{discover_prepared, DiscoveryConfig, RunOutcome};
+use discoverxfd::memo::{PassRunner, RelationMemo, RelationProgress};
+use discoverxfd::{discover_prepared_with, DiscoveryConfig, RunOutcome};
 use xfd_relation::treetuple::{decode_tree, encode_tree, DecodeError};
 use xfd_relation::{build_partials, merge_partials, Forest, SegmentPartial};
 use xfd_schema::{infer_schema_from_summaries, summarize, Schema, SchemaMap, SchemaSummary};
@@ -73,6 +73,9 @@ pub enum CorpusError {
     /// (e.g. a poisoned server-side lock); durable state is intact and the
     /// corpus reopens from the manifest + WAL on the next request.
     Poisoned(String),
+    /// A mutation was attempted through a handle opened with
+    /// [`CorpusStore::open_readonly`] (a cluster worker's view).
+    ReadOnly(String),
 }
 
 impl From<io::Error> for CorpusError {
@@ -105,6 +108,12 @@ impl std::fmt::Display for CorpusError {
                 f,
                 "corpus '{n}' was abandoned after a panic; retry to reopen it"
             ),
+            CorpusError::ReadOnly(n) => {
+                write!(
+                    f,
+                    "corpus '{n}' was opened read-only; mutations are rejected"
+                )
+            }
         }
     }
 }
@@ -156,6 +165,19 @@ impl CorpusStore {
             return Err(CorpusError::CorpusNotFound(name.to_string()));
         }
         CorpusHandle::load(name, &dir)
+    }
+
+    /// Open an existing corpus **without mutating its directory**: the WAL
+    /// is replayed in memory only — no manifest rewrite, no WAL truncation,
+    /// no garbage collection. This is the view cluster workers take on a
+    /// corpus the coordinator owns; mutations through the returned handle
+    /// fail with [`CorpusError::ReadOnly`].
+    pub fn open_readonly(&self, name: &str) -> Result<CorpusHandle, CorpusError> {
+        let dir = self.corpus_dir(name)?;
+        if !dir.join("MANIFEST").is_file() {
+            return Err(CorpusError::CorpusNotFound(name.to_string()));
+        }
+        CorpusHandle::load_inner(name, &dir, true)
     }
 
     /// Open the corpus, creating it first if missing.
@@ -252,6 +274,67 @@ fn plan_fingerprint(schema: &Schema, config: &DiscoveryConfig) -> u128 {
     xfd_hash::digest_bytes(format!("{schema:?}|{:?}", config.encode).as_bytes())
 }
 
+/// The inferred collection schema plus the fingerprint everything encoded
+/// under it depends on. Produced by [`CorpusHandle::plan`]; a cluster
+/// worker re-derives it independently from its read-only view of the same
+/// directory and the two fingerprints must agree before any work is
+/// assigned.
+pub struct CorpusPlan {
+    schema: Arc<Schema>,
+    plan_fp: u128,
+    infer: Duration,
+}
+
+impl CorpusPlan {
+    /// The collection schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Fingerprint of (collection schema, encode configuration).
+    pub fn plan_fp(&self) -> u128 {
+        self.plan_fp
+    }
+}
+
+/// The encoded collection under one plan, ready for the relation passes.
+/// Produced by [`CorpusHandle::merged_forest`]; consumed by
+/// [`CorpusHandle::finish_discover`].
+pub struct PreparedCorpus {
+    schema: Arc<Schema>,
+    forest: Arc<Forest>,
+    infer: Duration,
+    merge: Duration,
+    encode: Duration,
+}
+
+impl PreparedCorpus {
+    /// The collection schema the forest was encoded under.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The merged collection forest.
+    pub fn forest(&self) -> &Arc<Forest> {
+        &self.forest
+    }
+}
+
+/// Outcome of a [`CorpusHandle::compact`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactStats {
+    /// Documents packed into the shared segment.
+    pub docs: usize,
+    /// Distinct segment files before compaction.
+    pub segments_before: usize,
+    /// Bytes of the new shared segment.
+    pub bytes: u64,
+}
+
+/// Staged compaction output: the new segment id, the concatenated
+/// tuple-block blob, and the rewritten per-document metas.
+type CompactLayout = (u64, Vec<u8>, Vec<DocMeta>);
+
 /// An open corpus: committed documents decoded in memory, plus the
 /// relation-pass memo that makes repeat discovery incremental. One handle
 /// assumes exclusive ownership of its directory (the server keeps one per
@@ -267,15 +350,24 @@ pub struct CorpusHandle {
     generation: u64,
     seg_cache: HashMap<u128, SegCacheEntry>,
     forest_cache: Option<ForestCache>,
+    readonly: bool,
 }
 
 impl CorpusHandle {
     fn load(name: &str, dir: &Path) -> Result<CorpusHandle, CorpusError> {
-        let (store, metas) = StoreDir::open(dir)?;
+        CorpusHandle::load_inner(name, dir, false)
+    }
+
+    fn load_inner(name: &str, dir: &Path, readonly: bool) -> Result<CorpusHandle, CorpusError> {
+        let (store, metas) = if readonly {
+            StoreDir::open_readonly(dir)?
+        } else {
+            StoreDir::open(dir)?
+        };
         let mut docs = Vec::with_capacity(metas.len());
         let mut next_seg = 0u64;
         for meta in metas {
-            let bytes = store.read_segment(meta.seg)?;
+            let bytes = store.read_doc(&meta)?;
             if xfd_hash::digest_bytes(&bytes) != meta.digest {
                 return Err(CorpusError::Corrupt(format!(
                     "segment {} of document '{}' does not match its manifest digest",
@@ -295,12 +387,27 @@ impl CorpusHandle {
             generation: 0,
             seg_cache: HashMap::new(),
             forest_cache: None,
+            readonly,
         })
+    }
+
+    fn guard_writable(&self) -> Result<(), CorpusError> {
+        if self.readonly {
+            return Err(CorpusError::ReadOnly(self.name.clone()));
+        }
+        Ok(())
     }
 
     /// Corpus name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The corpus directory (what a cluster coordinator hands to the
+    /// workers it spawns, which reopen it with
+    /// [`CorpusStore::open_readonly`]).
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
     }
 
     /// Document names in ingest order.
@@ -335,6 +442,7 @@ impl CorpusHandle {
     }
 
     fn stage(&self, doc_name: &str, tree: &DataTree) -> Result<DocMeta, CorpusError> {
+        self.guard_writable()?;
         validate_name(doc_name).map_err(CorpusError::BadName)?;
         if self.docs.iter().any(|d| d.meta.name == doc_name) {
             return Err(CorpusError::DocExists(doc_name.to_string()));
@@ -344,6 +452,7 @@ impl CorpusHandle {
             name: doc_name.to_string(),
             seg: self.next_seg,
             digest: xfd_hash::digest_bytes(&bytes),
+            span: None,
         };
         self.store.write_segment(meta.seg, &bytes)?;
         self.store.append_wal(&WalRecord::Add(meta.clone()))?;
@@ -367,8 +476,10 @@ impl CorpusHandle {
         Ok(())
     }
 
-    /// Remove a document: WAL → manifest → segment unlink.
+    /// Remove a document: WAL → manifest → segment unlink (skipped when
+    /// other documents still live in the same compacted segment).
     pub fn remove_doc(&mut self, doc_name: &str) -> Result<(), CorpusError> {
+        self.guard_writable()?;
         let idx = self
             .docs
             .iter()
@@ -379,10 +490,90 @@ impl CorpusHandle {
         let removed = self.docs.remove(idx);
         let metas: Vec<DocMeta> = self.docs.iter().map(|d| d.meta.clone()).collect();
         self.store.commit(&metas)?;
-        // xfdlint:allow(error_hygiene, reason = "the manifest no longer references this segment; a failed unlink only leaves an orphan for GC on the next open")
-        let _ = fs::remove_file(self.store.seg_path(removed.meta.seg));
+        if !self.docs.iter().any(|d| d.meta.seg == removed.meta.seg) {
+            // xfdlint:allow(error_hygiene, reason = "the manifest no longer references this segment; a failed unlink only leaves an orphan for GC on the next open")
+            let _ = fs::remove_file(self.store.seg_path(removed.meta.seg));
+        }
         self.generation += 1;
         Ok(())
+    }
+
+    /// Pack every document's bytes into one new shared segment, replacing
+    /// the document-per-file layout built up by ingest. The protocol is
+    /// the same *segment → WAL → manifest* discipline as ingest, so a
+    /// crash at any byte leaves either the old layout or the new one.
+    /// Document bytes, digests and order are unchanged — discovery output
+    /// and every derived cache (summaries, partials, memo, forest) remain
+    /// valid, which the tests assert by report byte-parity.
+    pub fn compact(&mut self) -> Result<CompactStats, CorpusError> {
+        self.guard_writable()?;
+        let Some((new_seg, blob, metas)) = self.build_compact()? else {
+            return Ok(CompactStats::default());
+        };
+        let segments_before: HashSet<u64> = self.docs.iter().map(|d| d.meta.seg).collect();
+        self.store.write_segment(new_seg, &blob)?;
+        self.store.append_wal(&WalRecord::Compact(metas.clone()))?;
+        self.store.commit(&metas)?;
+        for seg in &segments_before {
+            if *seg != new_seg {
+                // xfdlint:allow(error_hygiene, reason = "the manifest no longer references the old segments; a failed unlink only leaves an orphan for GC on the next open")
+                let _ = fs::remove_file(self.store.seg_path(*seg));
+            }
+        }
+        for (d, meta) in self.docs.iter_mut().zip(metas) {
+            d.meta = meta;
+        }
+        self.next_seg = new_seg + 1;
+        Ok(CompactStats {
+            docs: self.docs.len(),
+            segments_before: segments_before.len(),
+            bytes: blob.len() as u64,
+        })
+    }
+
+    /// Stage a compaction without committing it: shared segment written
+    /// and fsynced, WAL record appended and fsynced, manifest **not**
+    /// rewritten and the in-memory metas **not** updated — the state a
+    /// compaction crash leaves behind. Exists for crash-injection tests
+    /// (`corpus compact --crash-after-wal`).
+    pub fn stage_compact(&mut self) -> Result<(), CorpusError> {
+        self.guard_writable()?;
+        let Some((new_seg, blob, metas)) = self.build_compact()? else {
+            return Ok(());
+        };
+        self.store.write_segment(new_seg, &blob)?;
+        self.store.append_wal(&WalRecord::Compact(metas))?;
+        self.next_seg = new_seg + 1;
+        Ok(())
+    }
+
+    /// The compacted layout: one concatenated blob plus span metas, or
+    /// `None` for an empty corpus.
+    fn build_compact(&self) -> Result<Option<CompactLayout>, CorpusError> {
+        if self.docs.is_empty() {
+            return Ok(None);
+        }
+        let new_seg = self.next_seg;
+        let mut blob = Vec::new();
+        let mut metas = Vec::with_capacity(self.docs.len());
+        for d in &self.docs {
+            let bytes = encode_tree(&d.tree);
+            if xfd_hash::digest_bytes(&bytes) != d.meta.digest {
+                return Err(CorpusError::Corrupt(format!(
+                    "document '{}' re-encoded with a different digest",
+                    d.meta.name
+                )));
+            }
+            let off = blob.len() as u64;
+            blob.extend_from_slice(&bytes);
+            metas.push(DocMeta {
+                name: d.meta.name.clone(),
+                seg: new_seg,
+                digest: d.meta.digest,
+                span: Some((off, bytes.len() as u64)),
+            });
+        }
+        Ok(Some((new_seg, blob, metas)))
     }
 
     /// Bound the relation-pass memo to roughly `bytes` of retained output
@@ -424,14 +615,19 @@ impl CorpusHandle {
         config: &DiscoveryConfig,
         progress: impl FnMut(RelationProgress<'_>),
     ) -> RunOutcome {
-        let threads = config.effective_threads();
+        let plan = self.plan(config);
+        let prepared = self.merged_forest(config, &plan);
+        self.finish_discover(config, &prepared, progress, None)
+    }
 
+    /// Stage 1 of [`discover_with_progress`](CorpusHandle::discover_with_progress):
+    /// the collection schema from per-segment summaries (cached by segment
+    /// digest), plus the plan fingerprint.
+    pub fn plan(&mut self, config: &DiscoveryConfig) -> CorpusPlan {
+        let t0 = Instant::now();
         // Drop derived state of segments no longer in the corpus.
         let live: HashSet<u128> = self.docs.iter().map(|d| d.meta.digest).collect();
         self.seg_cache.retain(|digest, _| live.contains(digest));
-
-        // Phase 1: collection schema from per-segment summaries.
-        let t0 = Instant::now();
         for d in &self.docs {
             self.seg_cache
                 .entry(d.meta.digest)
@@ -450,23 +646,99 @@ impl CorpusHandle {
             })
             .collect();
         let schema = infer_schema_from_summaries("collection", summaries.iter().map(Arc::as_ref));
-        let infer_t = t0.elapsed();
-
-        // Phase 2: collection forest, from the generation cache when the
-        // corpus and plan are unchanged, else merged from per-segment
-        // partials (missing ones built on the worker pool).
-        let t1 = Instant::now();
         let plan_fp = plan_fingerprint(&schema, config);
+        CorpusPlan {
+            schema: Arc::new(schema),
+            plan_fp,
+            infer: t0.elapsed(),
+        }
+    }
+
+    /// Digests (deduplicated, in ingest order) of segments that still lack
+    /// a [`SegmentPartial`] for `plan_fp` — the cluster coordinator's
+    /// encode work list. Empty when the merged forest for the current
+    /// corpus state is already cached.
+    pub fn pending_partials(&self, plan_fp: u128) -> Vec<u128> {
+        let forest_hit = self
+            .forest_cache
+            .as_ref()
+            .is_some_and(|fc| fc.generation == self.generation && fc.plan_fp == plan_fp);
+        if forest_hit {
+            return Vec::new();
+        }
+        let mut queued: HashSet<u128> = HashSet::new();
+        let mut out = Vec::new();
+        for d in &self.docs {
+            let hit = self
+                .seg_cache
+                .get(&d.meta.digest)
+                .and_then(|e| e.partial.as_ref())
+                .is_some_and(|(fp, _)| *fp == plan_fp);
+            if !hit && queued.insert(d.meta.digest) {
+                out.push(d.meta.digest);
+            }
+        }
+        out
+    }
+
+    /// The decoded document whose segment has `digest`, if still in the
+    /// corpus (what a worker encodes when assigned that digest).
+    pub fn tree_by_digest(&self, digest: u128) -> Option<&DataTree> {
+        self.docs
+            .iter()
+            .find(|d| d.meta.digest == digest)
+            .map(|d| &d.tree)
+    }
+
+    /// Store a partial built elsewhere (a cluster worker, across the
+    /// socket boundary) for `plan_fp`. Returns `false` — and drops the
+    /// partial — when the segment is no longer live.
+    pub fn store_partial(&mut self, plan_fp: u128, digest: u128, partial: SegmentPartial) -> bool {
+        match self.seg_cache.get_mut(&digest) {
+            Some(entry) => {
+                entry.partial = Some((plan_fp, Arc::new(partial)));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The cached partial of segment `digest` under `plan_fp`, if present
+    /// (what the coordinator broadcasts to workers that lack it).
+    pub fn partial(&self, plan_fp: u128, digest: u128) -> Option<Arc<SegmentPartial>> {
+        self.seg_cache
+            .get(&digest)
+            .and_then(|e| e.partial.as_ref())
+            .filter(|(fp, _)| *fp == plan_fp)
+            .map(|(_, p)| p.clone())
+    }
+
+    /// Per-document segment digests in ingest order, duplicates preserved
+    /// — the merge consumes one partial per document, so this is the exact
+    /// order a worker must replay to reconstruct the coordinator's forest.
+    pub fn doc_digests(&self) -> Vec<u128> {
+        self.docs.iter().map(|d| d.meta.digest).collect()
+    }
+
+    /// Stage 2: the collection forest, from the generation cache when the
+    /// corpus and plan are unchanged, else merged from per-segment
+    /// partials. Partials not prefilled via
+    /// [`store_partial`](CorpusHandle::store_partial) are built here on
+    /// the in-process worker pool, so a cluster run degrades gracefully to
+    /// local encoding when workers die.
+    pub fn merged_forest(&mut self, config: &DiscoveryConfig, plan: &CorpusPlan) -> PreparedCorpus {
+        let threads = config.effective_threads();
+        let t1 = Instant::now();
         let cached = self
             .forest_cache
             .as_ref()
-            .filter(|fc| fc.generation == self.generation && fc.plan_fp == plan_fp)
+            .filter(|fc| fc.generation == self.generation && fc.plan_fp == plan.plan_fp)
             .map(|fc| (fc.schema.clone(), fc.forest.clone()));
-        let mut merge_t = std::time::Duration::ZERO;
+        let mut merge_t = Duration::ZERO;
         let (schema, forest) = match cached {
             Some(hit) => hit,
             None => {
-                let map = SchemaMap::new(&schema);
+                let map = SchemaMap::new(&plan.schema);
                 let mut to_build: Vec<(u128, &DataTree)> = Vec::new();
                 let mut queued: HashSet<u128> = HashSet::new();
                 for d in &self.docs {
@@ -474,7 +746,7 @@ impl CorpusHandle {
                         .seg_cache
                         .get(&d.meta.digest)
                         .and_then(|e| e.partial.as_ref())
-                        .is_some_and(|(fp, _)| *fp == plan_fp);
+                        .is_some_and(|(fp, _)| *fp == plan.plan_fp);
                     if !hit && queued.insert(d.meta.digest) {
                         to_build.push((d.meta.digest, &d.tree));
                     }
@@ -483,7 +755,7 @@ impl CorpusHandle {
                 let built = build_partials(&trees, &map, &config.encode, threads);
                 for ((digest, _), partial) in to_build.iter().zip(built) {
                     if let Some(entry) = self.seg_cache.get_mut(digest) {
-                        entry.partial = Some((plan_fp, Arc::new(partial)));
+                        entry.partial = Some((plan.plan_fp, Arc::new(partial)));
                     }
                 }
                 let parts: Vec<Arc<SegmentPartial>> = self
@@ -498,25 +770,50 @@ impl CorpusHandle {
                     .collect();
                 let refs: Vec<&SegmentPartial> = parts.iter().map(Arc::as_ref).collect();
                 let tm = Instant::now();
-                let forest = Arc::new(merge_partials(map, &config.encode, &refs));
+                let forest = Arc::new(merge_partials(map, &config.encode, &refs, threads));
                 merge_t = tm.elapsed();
-                let schema = Arc::new(schema);
+                let schema = plan.schema.clone();
                 self.forest_cache = Some(ForestCache {
                     generation: self.generation,
-                    plan_fp,
+                    plan_fp: plan.plan_fp,
                     schema: schema.clone(),
                     forest: forest.clone(),
                 });
                 (schema, forest)
             }
         };
-        let encode_t = t1.elapsed().saturating_sub(merge_t);
+        PreparedCorpus {
+            schema,
+            forest,
+            infer: plan.infer,
+            merge: merge_t,
+            encode: t1.elapsed().saturating_sub(merge_t),
+        }
+    }
 
-        // Phase 3: memoized (and, under `config.parallel`, pooled) waves.
-        let mut outcome = discover_prepared(&schema, &forest, config, &mut self.memo, progress);
-        outcome.profile.merge = merge_t;
-        outcome.profile.infer = infer_t;
-        outcome.profile.encode = encode_t;
+    /// Stage 3: the memoized (and, under `config.parallel`, pooled) wave
+    /// traversal plus redundancy analysis. `runner` optionally executes
+    /// memo-missing relation passes out of process (the cluster
+    /// coordinator); `None` keeps everything local. Output is identical
+    /// either way, timings aside.
+    pub fn finish_discover(
+        &mut self,
+        config: &DiscoveryConfig,
+        prepared: &PreparedCorpus,
+        progress: impl FnMut(RelationProgress<'_>),
+        runner: Option<&mut dyn PassRunner>,
+    ) -> RunOutcome {
+        let mut outcome = discover_prepared_with(
+            &prepared.schema,
+            &prepared.forest,
+            config,
+            &mut self.memo,
+            progress,
+            runner,
+        );
+        outcome.profile.merge = prepared.merge;
+        outcome.profile.infer = prepared.infer;
+        outcome.profile.encode = prepared.encode;
         // Entries from superseded corpus states can never hit again.
         self.memo.prune_stale();
         outcome
@@ -525,8 +822,9 @@ impl CorpusHandle {
     /// Current on-disk and cache state.
     pub fn status(&self) -> CorpusStatus {
         let mut segment_bytes = 0u64;
-        for d in &self.docs {
-            if let Ok(md) = fs::metadata(self.store.seg_path(d.meta.seg)) {
+        let segs: HashSet<u64> = self.docs.iter().map(|d| d.meta.seg).collect();
+        for seg in &segs {
+            if let Ok(md) = fs::metadata(self.store.seg_path(*seg)) {
                 segment_bytes += md.len();
             }
         }
@@ -694,6 +992,153 @@ mod tests {
         assert_eq!(render_stable(&incremental), render_stable(&scratch));
         assert_eq!(render_stable(&incremental), render_stable(&via_collection));
         drop(warm_base);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compact_preserves_reports_and_survives_reopen() {
+        let root = tmp_root("compact");
+        let store = CorpusStore::new(&root);
+        let mut c = store.create("c").unwrap();
+        let config = DiscoveryConfig::default();
+        for i in 0..4 {
+            c.add_doc(&format!("d{i}"), &doc(i)).unwrap();
+        }
+        let before = c.discover(&config);
+        let stats = c.compact().unwrap();
+        assert_eq!(stats.docs, 4);
+        assert_eq!(stats.segments_before, 4);
+        assert!(stats.bytes > 0);
+        // Same handle: every derived cache stays valid (the forest cache
+        // in particular — compaction must not bump the generation).
+        assert!(c.status().forest_cached);
+        let after = c.discover(&config);
+        assert_eq!(render_stable(&before), render_stable(&after));
+        // Exactly one segment file remains on disk.
+        let seg_files = fs::read_dir(root.join("c").join("segments"))
+            .unwrap()
+            .count();
+        assert_eq!(seg_files, 1);
+        // Reopen from disk: same documents, byte-identical report.
+        drop(c);
+        let mut cold = store.open("c").unwrap();
+        assert_eq!(cold.doc_names(), vec!["d0", "d1", "d2", "d3"]);
+        assert_eq!(
+            render_stable(&before),
+            render_stable(&cold.discover(&config))
+        );
+        // Removing one document must not unlink the shared segment…
+        cold.remove_doc("d1").unwrap();
+        assert_eq!(
+            fs::read_dir(root.join("c").join("segments"))
+                .unwrap()
+                .count(),
+            1
+        );
+        // …and the survivors still load.
+        drop(cold);
+        let survivors = store.open("c").unwrap();
+        assert_eq!(survivors.doc_names(), vec!["d0", "d2", "d3"]);
+        // Compacting an empty corpus is a no-op.
+        let mut empty = store.create("empty").unwrap();
+        let stats = empty.compact().unwrap();
+        assert_eq!(stats.docs, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn staged_compaction_completes_on_reopen() {
+        let root = tmp_root("compact-crash");
+        let store = CorpusStore::new(&root);
+        let mut c = store.create("c").unwrap();
+        let config = DiscoveryConfig::default();
+        for i in 0..3 {
+            c.add_doc(&format!("d{i}"), &doc(i)).unwrap();
+        }
+        let before = c.discover(&config);
+        // Crash between WAL append and manifest rewrite.
+        c.stage_compact().unwrap();
+        drop(c);
+        let mut reopened = store.open("c").unwrap();
+        assert_eq!(reopened.doc_names(), vec!["d0", "d1", "d2"]);
+        assert_eq!(
+            fs::read_dir(root.join("c").join("segments"))
+                .unwrap()
+                .count(),
+            1,
+            "replay must finish the compaction and GC the old segments"
+        );
+        assert_eq!(
+            render_stable(&before),
+            render_stable(&reopened.discover(&config))
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn readonly_handle_reads_but_rejects_mutation() {
+        let root = tmp_root("readonly");
+        let store = CorpusStore::new(&root);
+        let mut owner = store.create("c").unwrap();
+        let config = DiscoveryConfig::default();
+        for i in 0..3 {
+            owner.add_doc(&format!("d{i}"), &doc(i)).unwrap();
+        }
+        let baseline = owner.discover(&config);
+        let mut ro = store.open_readonly("c").unwrap();
+        assert_eq!(ro.doc_names(), vec!["d0", "d1", "d2"]);
+        assert_eq!(
+            render_stable(&baseline),
+            render_stable(&ro.discover(&config))
+        );
+        assert!(matches!(
+            ro.add_doc("d3", &doc(3)),
+            Err(CorpusError::ReadOnly(_))
+        ));
+        assert!(matches!(ro.remove_doc("d0"), Err(CorpusError::ReadOnly(_))));
+        assert!(matches!(ro.compact(), Err(CorpusError::ReadOnly(_))));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// The staged pipeline (`plan` → `pending_partials` → `store_partial`
+    /// → `merged_forest` → `finish_discover`) with partials built "out of
+    /// process" must be byte-identical to the one-shot `discover` — this
+    /// is exactly what a cluster run does over the socket.
+    #[test]
+    fn staged_discovery_matches_the_one_shot_path() {
+        let root = tmp_root("staged");
+        let store = CorpusStore::new(&root);
+        let mut c = store.create("c").unwrap();
+        let config = DiscoveryConfig::default();
+        for i in 0..4 {
+            c.add_doc(&format!("d{i}"), &doc(i)).unwrap();
+        }
+        let plan = c.plan(&config);
+        let pending = c.pending_partials(plan.plan_fp());
+        assert!(!pending.is_empty());
+        // Build each pending partial the way a worker would: from the
+        // document tree under the shared plan, then ship it back.
+        let map = SchemaMap::new(plan.schema());
+        for digest in pending {
+            let part = xfd_relation::build_partial(
+                c.tree_by_digest(digest).unwrap(),
+                &map,
+                &config.encode,
+            );
+            assert!(c.store_partial(plan.plan_fp(), digest, part));
+        }
+        assert!(c.pending_partials(plan.plan_fp()).is_empty());
+        let prepared = c.merged_forest(&config, &plan);
+        let staged = c.finish_discover(&config, &prepared, |_| {}, None);
+        // The coordinator can fetch every partial back for broadcast.
+        for digest in c.doc_digests() {
+            assert!(c.partial(plan.plan_fp(), digest).is_some());
+        }
+        let mut cold = store.open("c").unwrap();
+        assert_eq!(
+            render_stable(&staged),
+            render_stable(&cold.discover(&config))
+        );
         let _ = fs::remove_dir_all(&root);
     }
 

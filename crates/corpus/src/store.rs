@@ -51,8 +51,13 @@ pub struct DocMeta {
     pub name: String,
     /// Segment id (`segments/seg-<id>.xtt`).
     pub seg: u64,
-    /// Digest of the segment file's bytes.
+    /// Digest of the document's bytes (the whole segment file, or its
+    /// `span` of a shared compacted segment).
     pub digest: u128,
+    /// `(offset, length)` within the segment file for documents packed
+    /// into a shared segment by `corpus compact`; `None` means the
+    /// document owns the whole file.
+    pub span: Option<(u64, u64)>,
 }
 
 /// A WAL mutation record.
@@ -62,6 +67,10 @@ pub enum WalRecord {
     Add(DocMeta),
     /// A document was removed.
     Remove(String),
+    /// Every document was rewritten into one shared segment (the new
+    /// segment is already on disk); carries the full post-compaction
+    /// document list, which *replaces* the committed one on replay.
+    Compact(Vec<DocMeta>),
 }
 
 impl WalRecord {
@@ -72,11 +81,50 @@ impl WalRecord {
                 format!("add {} {} {}", d.seg, format_digest(d.digest), d.name)
             }
             WalRecord::Remove(name) => format!("rm {name}"),
+            WalRecord::Compact(metas) => {
+                let mut text = format!("compact {}", metas.len());
+                for d in metas {
+                    let (off, len) = d.span.unwrap_or((0, 0));
+                    text.push_str(&format!(
+                        "\n{} {off} {len} {} {}",
+                        d.seg,
+                        format_digest(d.digest),
+                        d.name
+                    ));
+                }
+                text
+            }
         }
     }
 
     /// Parse a payload back; `None` for unknown or malformed payloads.
     pub fn parse(payload: &str) -> Option<WalRecord> {
+        if let Some(rest) = payload.strip_prefix("compact ") {
+            let mut lines = rest.lines();
+            let count: usize = lines.next()?.trim().parse().ok()?;
+            let mut metas = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                let mut parts = lines.next()?.splitn(5, ' ');
+                let seg: u64 = parts.next()?.parse().ok()?;
+                let off: u64 = parts.next()?.parse().ok()?;
+                let len: u64 = parts.next()?.parse().ok()?;
+                let digest = parse_digest(parts.next()?)?;
+                let name = parts.next()?;
+                if name.is_empty() {
+                    return None;
+                }
+                metas.push(DocMeta {
+                    name: name.to_string(),
+                    seg,
+                    digest,
+                    span: Some((off, len)),
+                });
+            }
+            if lines.next().is_some() {
+                return None;
+            }
+            return Some(WalRecord::Compact(metas));
+        }
         let mut parts = payload.splitn(4, ' ');
         match parts.next()? {
             "add" => {
@@ -90,6 +138,7 @@ impl WalRecord {
                     name: name.to_string(),
                     seg,
                     digest,
+                    span: None,
                 }))
             }
             "rm" => {
@@ -151,6 +200,20 @@ impl StoreDir {
         Ok((store, docs))
     }
 
+    /// Open an existing corpus without mutating its directory: the WAL is
+    /// replayed *in memory* only — the manifest is not rewritten, the WAL
+    /// is not truncated and no garbage collection runs. For processes that
+    /// read a corpus another process owns (cluster workers).
+    pub fn open_readonly(dir: &Path) -> Result<(StoreDir, Vec<DocMeta>), StoreError> {
+        let store = StoreDir::attach(dir);
+        if !store.manifest_path().is_file() {
+            return Err(StoreError::Corrupt("missing MANIFEST".into()));
+        }
+        let mut docs = store.load_manifest()?;
+        store.replay_wal(&mut docs)?;
+        Ok((store, docs))
+    }
+
     /// The corpus directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -185,6 +248,13 @@ impl StoreDir {
         fs::read(self.seg_path(seg))
     }
 
+    /// Read one document's bytes: the whole segment file, or its span of a
+    /// shared compacted segment.
+    pub fn read_doc(&self, meta: &DocMeta) -> Result<Vec<u8>, StoreError> {
+        let bytes = self.read_segment(meta.seg)?;
+        Ok(slice_span(&bytes, meta)?.to_vec())
+    }
+
     /// Append one record to the WAL and fsync it. Step 2 of a mutation:
     /// after this returns, the mutation survives any crash.
     pub fn append_wal(&self, record: &WalRecord) -> io::Result<()> {
@@ -208,12 +278,20 @@ impl StoreDir {
         let mut text = String::from(MANIFEST_HEADER);
         text.push('\n');
         for d in docs {
-            text.push_str(&format!(
-                "doc {} {} {}\n",
-                d.seg,
-                format_digest(d.digest),
-                d.name
-            ));
+            match d.span {
+                None => text.push_str(&format!(
+                    "doc {} {} {}\n",
+                    d.seg,
+                    format_digest(d.digest),
+                    d.name
+                )),
+                Some((off, len)) => text.push_str(&format!(
+                    "part {} {off} {len} {} {}\n",
+                    d.seg,
+                    format_digest(d.digest),
+                    d.name
+                )),
+            }
         }
         let tmp = self.dir.join("MANIFEST.tmp");
         let mut f = File::create(&tmp)?;
@@ -240,15 +318,34 @@ impl StoreDir {
             if line.is_empty() {
                 continue;
             }
-            let rest = line
-                .strip_prefix("doc ")
-                .ok_or_else(|| StoreError::Corrupt(format!("bad MANIFEST line: {line}")))?;
-            let mut parts = rest.splitn(3, ' ');
             let bad = || StoreError::Corrupt(format!("bad MANIFEST line: {line}"));
-            let seg: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-            let digest = parse_digest(parts.next().ok_or_else(bad)?).ok_or_else(bad)?;
-            let name = parts.next().ok_or_else(bad)?.to_string();
-            docs.push(DocMeta { name, seg, digest });
+            if let Some(rest) = line.strip_prefix("doc ") {
+                let mut parts = rest.splitn(3, ' ');
+                let seg: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let digest = parse_digest(parts.next().ok_or_else(bad)?).ok_or_else(bad)?;
+                let name = parts.next().ok_or_else(bad)?.to_string();
+                docs.push(DocMeta {
+                    name,
+                    seg,
+                    digest,
+                    span: None,
+                });
+            } else if let Some(rest) = line.strip_prefix("part ") {
+                let mut parts = rest.splitn(5, ' ');
+                let seg: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let off: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let len: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let digest = parse_digest(parts.next().ok_or_else(bad)?).ok_or_else(bad)?;
+                let name = parts.next().ok_or_else(bad)?.to_string();
+                docs.push(DocMeta {
+                    name,
+                    seg,
+                    digest,
+                    span: Some((off, len)),
+                });
+            } else {
+                return Err(bad());
+            }
         }
         Ok(docs)
     }
@@ -306,6 +403,36 @@ impl StoreDir {
                     }
                 }
                 WalRecord::Remove(name) => docs.retain(|d| d.name != name),
+                WalRecord::Compact(metas) => {
+                    // Compaction wrote and fsynced the shared segment before
+                    // this record; every span must digest-match, else the
+                    // record is torn and the pre-compaction list stands.
+                    let mut seg_bytes: Option<(u64, Vec<u8>)> = None;
+                    let mut all_ok = true;
+                    for meta in &metas {
+                        if seg_bytes.as_ref().map(|(s, _)| *s) != Some(meta.seg) {
+                            match self.read_segment(meta.seg) {
+                                Ok(b) => seg_bytes = Some((meta.seg, b)),
+                                Err(_) => {
+                                    all_ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        let ok = seg_bytes
+                            .as_ref()
+                            .and_then(|(_, b)| slice_span(b, meta).ok())
+                            .is_some_and(|doc| digest_bytes(doc) == meta.digest);
+                        if !ok {
+                            all_ok = false;
+                            break;
+                        }
+                    }
+                    if !all_ok {
+                        break;
+                    }
+                    *docs = metas;
+                }
             }
             pos += 20 + len;
         }
@@ -324,6 +451,23 @@ impl StoreDir {
             }
         }
         Ok(())
+    }
+}
+
+/// Slice a document's span out of its segment bytes (the whole slice for
+/// whole-file documents), bounds-checked.
+fn slice_span<'a>(bytes: &'a [u8], meta: &DocMeta) -> Result<&'a [u8], StoreError> {
+    match meta.span {
+        None => Ok(bytes),
+        Some((off, len)) => (off as usize)
+            .checked_add(len as usize)
+            .and_then(|end| bytes.get(off as usize..end))
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "span of document '{}' exceeds segment {}",
+                    meta.name, meta.seg
+                ))
+            }),
     }
 }
 
@@ -390,6 +534,16 @@ mod tests {
             name: name.into(),
             seg,
             digest: digest_bytes(bytes),
+            span: None,
+        }
+    }
+
+    fn part(name: &str, seg: u64, off: u64, bytes: &[u8]) -> DocMeta {
+        DocMeta {
+            name: name.into(),
+            seg,
+            digest: digest_bytes(bytes),
+            span: Some((off, bytes.len() as u64)),
         }
     }
 
@@ -399,9 +553,92 @@ mod tests {
         assert_eq!(WalRecord::parse(&add.payload()), Some(add.clone()));
         let rm = WalRecord::Remove("orders-3".into());
         assert_eq!(WalRecord::parse(&rm.payload()), Some(rm));
+        let compact = WalRecord::Compact(vec![part("a", 4, 0, b"one"), part("b", 4, 3, b"two")]);
+        assert_eq!(WalRecord::parse(&compact.payload()), Some(compact));
         assert_eq!(WalRecord::parse("nonsense 1 2 3"), None);
         assert_eq!(WalRecord::parse("add x y z"), None);
         assert_eq!(WalRecord::parse("rm"), None);
+        assert_eq!(WalRecord::parse("compact x"), None);
+        assert_eq!(WalRecord::parse("compact 2\n0 0 3 00 a"), None);
+    }
+
+    #[test]
+    fn manifest_round_trips_span_documents() {
+        let dir = tmp_dir("spans");
+        let store = StoreDir::init(&dir).unwrap();
+        store.write_segment(3, b"onetwo").unwrap();
+        let docs = vec![part("a", 3, 0, b"one"), part("b", 3, 3, b"two")];
+        store.commit(&docs).unwrap();
+        let (store, loaded) = StoreDir::open(&dir).unwrap();
+        assert_eq!(loaded, docs);
+        assert_eq!(store.read_doc(&loaded[0]).unwrap(), b"one");
+        assert_eq!(store.read_doc(&loaded[1]).unwrap(), b"two");
+        // A span past the end of the segment is corruption, not a panic.
+        let bogus = part("c", 3, 5, b"xx");
+        assert!(matches!(
+            store.read_doc(&bogus),
+            Err(StoreError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_compact_replay_replaces_the_document_list() {
+        let dir = tmp_dir("compact-replay");
+        let store = StoreDir::init(&dir).unwrap();
+        store.write_segment(0, b"one").unwrap();
+        store.write_segment(1, b"two").unwrap();
+        let before = vec![meta("a", 0, b"one"), meta("b", 1, b"two")];
+        store.commit(&before).unwrap();
+        // Compaction crashed between WAL append and manifest rewrite.
+        store.write_segment(2, b"onetwo").unwrap();
+        let after = vec![part("a", 2, 0, b"one"), part("b", 2, 3, b"two")];
+        store
+            .append_wal(&WalRecord::Compact(after.clone()))
+            .unwrap();
+        let (store, docs) = StoreDir::open(&dir).unwrap();
+        assert_eq!(docs, after);
+        // Replay committed: old whole-file segments are garbage now.
+        assert!(!store.seg_path(0).exists());
+        assert!(!store.seg_path(1).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_compact_without_segment_is_dropped() {
+        let dir = tmp_dir("compact-noseg");
+        let store = StoreDir::init(&dir).unwrap();
+        store.write_segment(0, b"one").unwrap();
+        let before = vec![meta("a", 0, b"one")];
+        store.commit(&before).unwrap();
+        // Crash before the compacted segment reached disk: record is torn.
+        store
+            .append_wal(&WalRecord::Compact(vec![part("a", 9, 0, b"one")]))
+            .unwrap();
+        let (_, docs) = StoreDir::open(&dir).unwrap();
+        assert_eq!(docs, before);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_readonly_leaves_the_directory_untouched() {
+        let dir = tmp_dir("readonly");
+        let store = StoreDir::init(&dir).unwrap();
+        store.write_segment(0, b"first").unwrap();
+        store
+            .append_wal(&WalRecord::Add(meta("a", 0, b"first")))
+            .unwrap();
+        store.write_segment(7, b"orphan").unwrap();
+        let wal_before = fs::read(store.wal_path()).unwrap();
+        let manifest_before = fs::read(dir.join("MANIFEST")).unwrap();
+        let (ro, docs) = StoreDir::open_readonly(&dir).unwrap();
+        // The replayed view surfaces the staged document…
+        assert_eq!(docs, vec![meta("a", 0, b"first")]);
+        // …but nothing on disk moved: WAL, manifest and orphans intact.
+        assert_eq!(fs::read(ro.wal_path()).unwrap(), wal_before);
+        assert_eq!(fs::read(dir.join("MANIFEST")).unwrap(), manifest_before);
+        assert!(ro.seg_path(7).exists());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

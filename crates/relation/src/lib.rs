@@ -34,6 +34,9 @@ pub use dictionary::Dictionary;
 pub use encode::{encode, ComplexColumnMode, EncodeConfig, SetColumnMode};
 pub use flat::{flatten, FlatError, FlatRelation};
 pub use relation::{Column, ColumnKind, Forest, ForestStats, RelId, Relation, TupleIdx};
-pub use shard::{build_partial, build_partials, encode_collection, merge_partials, SegmentPartial};
+pub use shard::{
+    build_partial, build_partials, decode_partial, encode_collection, encode_partial,
+    forest_fingerprint, merge_partials, SegmentPartial, PARTIAL_MAGIC,
+};
 pub use treetuple::{decode_tree, encode_tree, trees_equal, DecodeError};
 pub use xfd_xml::OrderMode;

@@ -38,6 +38,7 @@ use crate::encode::{
 };
 use crate::relation::{ColumnKind, Forest, RelId, Relation, TupleIdx};
 use crate::setvalue::add_set_columns;
+use crate::treetuple::DecodeError;
 
 /// One document's contribution to the collection forest, expressed in
 /// segment-local coordinates: node keys and `NodeKey` cells are pre-order
@@ -145,8 +146,15 @@ type GlobalShape = (Box<str>, Option<Box<str>>, Box<[u32]>);
 /// Merge segment partials into the collection [`Forest`], byte-identical
 /// to serially encoding the grafted collection tree. `parts` must be in
 /// segment (document) order and all encoded under `map`'s schema and the
-/// same `config`.
-pub fn merge_partials(map: SchemaMap, config: &EncodeConfig, parts: &[&SegmentPartial]) -> Forest {
+/// same `config`. With `threads > 1` the per-relation concatenation runs
+/// on scoped workers (each relation is filled whole by one worker, so the
+/// output is identical at any thread count).
+pub fn merge_partials(
+    map: SchemaMap,
+    config: &EncodeConfig,
+    parts: &[&SegmentPartial],
+    threads: usize,
+) -> Forest {
     let Skeleton { mut relations, .. } = build_skeleton(&map, config);
     let nrel = relations.len();
     for part in parts {
@@ -256,16 +264,28 @@ pub fn merge_partials(map: SchemaMap, config: &EncodeConfig, parts: &[&SegmentPa
     // (the serial DFS meets each segment's tuples as a contiguous block).
     // Parent pointers shift by the parent relation's tuple count over
     // earlier segments — zero when the parent is the root relation, whose
-    // placeholder tuple 0 is shared.
-    let mut prefix: Vec<TupleIdx> = vec![0; nrel];
-    for (i, part) in parts.iter().enumerate() {
-        for (r, rel) in relations.iter_mut().enumerate().skip(1) {
+    // placeholder tuple 0 is shared. `tuple_prefix[r][i]` is relation `r`'s
+    // tuple count over segments `0..i`; with the prefixes precomputed every
+    // relation concatenates independently, so the loop fans out over the
+    // worker pool — one relation per task, identical output at any count.
+    let mut tuple_prefix: Vec<Vec<TupleIdx>> = Vec::with_capacity(nrel);
+    for r in 0..nrel {
+        let mut acc: TupleIdx = 0;
+        let mut pre = Vec::with_capacity(parts.len());
+        for part in parts {
+            pre.push(acc);
+            acc += part.relations[r].n_tuples() as TupleIdx;
+        }
+        tuple_prefix.push(pre);
+    }
+    let fill = |r: usize, rel: &mut Relation| {
+        let parent = rel.parent.expect("non-root relation has a parent");
+        for (i, part) in parts.iter().enumerate() {
             let src = &part.relations[r];
-            let parent = rel.parent.expect("non-root relation has a parent");
             let parent_shift = if parent.index() == 0 {
                 0
             } else {
-                prefix[parent.index()]
+                tuple_prefix[parent.index()][i]
             };
             rel.node_keys
                 .extend(src.node_keys.iter().map(|k| NodeId(k.0 + node_off[i])));
@@ -280,9 +300,44 @@ pub fn merge_partials(map: SchemaMap, config: &EncodeConfig, parts: &[&SegmentPa
                 );
             }
         }
-        for (r, p) in prefix.iter_mut().enumerate().skip(1) {
-            *p += part.relations[r].n_tuples() as TupleIdx;
+    };
+    let (_, rest) = relations.split_at_mut(1);
+    let workers = threads.min(rest.len());
+    if workers <= 1 {
+        for (j, rel) in rest.iter_mut().enumerate() {
+            fill(j + 1, rel);
         }
+    } else {
+        // Static LPT assignment: largest relations first, each to the
+        // least-loaded bucket. Deterministic, and balanced enough for the
+        // handful of relations a schema produces.
+        let sizes: Vec<usize> = (1..nrel)
+            .map(|r| parts.iter().map(|p| p.relations[r].n_tuples()).sum())
+            .collect();
+        let mut order: Vec<usize> = (0..rest.len()).collect();
+        order.sort_by_key(|&j| (std::cmp::Reverse(sizes[j]), j));
+        let mut buckets: Vec<Vec<(usize, &mut Relation)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        let mut load = vec![0usize; workers];
+        let mut slots: Vec<Option<&mut Relation>> = rest.iter_mut().map(Some).collect();
+        for &j in &order {
+            let w = (0..workers)
+                .min_by_key(|&w| load[w])
+                .expect("at least one bucket");
+            load[w] += sizes[j].max(1);
+            let rel = slots[j].take().expect("each relation assigned once");
+            buckets[w].push((j + 1, rel));
+        }
+        let fill = &fill;
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    for (r, rel) in bucket {
+                        fill(r, rel);
+                    }
+                });
+            }
+        });
     }
 
     // Set-valued columns, over the synthesized global classes.
@@ -323,7 +378,7 @@ pub fn encode_collection(
     let map = SchemaMap::new(schema);
     let parts = build_partials(trees, &map, config, threads);
     let refs: Vec<&SegmentPartial> = parts.iter().collect();
-    merge_partials(map, config, &refs)
+    merge_partials(map, config, &refs, threads)
 }
 
 /// Build one partial per tree, fanning out over a scoped worker pool.
@@ -356,6 +411,315 @@ pub fn build_partials(
         .into_iter()
         .map(|slot| slot.into_inner().expect("worker filled every slot"))
         .collect()
+}
+
+/// Magic prefix of an encoded [`SegmentPartial`] ("XFD segment partial,
+/// version 1").
+pub const PARTIAL_MAGIC: [u8; 4] = *b"XSP1";
+
+/// Sentinel cell meaning ⊥ (dictionary/class/node ids never reach it).
+const NONE_CELL: u64 = u64::MAX;
+
+/// Serialize a [`SegmentPartial`] into a self-contained block, in the
+/// TreeTuple style (little-endian integers, length-prefixed strings). Only
+/// segment-local *data* is written — node keys, parent pointers, cells,
+/// dictionary strings and the class table; the relation skeleton is
+/// re-derived from the schema on decode, so a block is valid for any
+/// process that shares the plan (schema + encode config).
+pub fn encode_partial(part: &SegmentPartial) -> Vec<u8> {
+    debug_assert_eq!(
+        part.dictionary.num_multisets(),
+        0,
+        "partials never hold multisets (set columns are added after merge)"
+    );
+    let mut out = Vec::with_capacity(64 + part.approx_bytes() / 2);
+    out.extend_from_slice(&PARTIAL_MAGIC);
+    out.extend_from_slice(&(part.node_count as u64).to_le_bytes());
+    out.extend_from_slice(&(part.dictionary.num_strings() as u32).to_le_bytes());
+    for id in 0..part.dictionary.num_strings() as u64 {
+        let s = part.dictionary.resolve_str(id);
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    match &part.table {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            out.extend_from_slice(&(t.shapes.len() as u32).to_le_bytes());
+            for s in &t.shapes {
+                out.extend_from_slice(&(s.label.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.label.as_bytes());
+                match &s.value {
+                    None => out.push(0),
+                    Some(v) => {
+                        out.push(1);
+                        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                        out.extend_from_slice(v.as_bytes());
+                    }
+                }
+                out.extend_from_slice(&(s.children.len() as u32).to_le_bytes());
+                for &c in s.children.iter() {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+            out.extend_from_slice(&(t.class_by_rank.len() as u32).to_le_bytes());
+            for &c in &t.class_by_rank {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&(part.relations.len() as u32).to_le_bytes());
+    for rel in &part.relations {
+        out.extend_from_slice(&(rel.node_keys.len() as u32).to_le_bytes());
+        for k in &rel.node_keys {
+            out.extend_from_slice(&k.0.to_le_bytes());
+        }
+        out.extend_from_slice(&(rel.parent_of.len() as u32).to_le_bytes());
+        for &p in &rel.parent_of {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out.extend_from_slice(&(rel.columns.len() as u32).to_le_bytes());
+        for col in &rel.columns {
+            for cell in &col.cells {
+                out.extend_from_slice(&cell.unwrap_or(NONE_CELL).to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decode a block produced by [`encode_partial`] against the same plan
+/// (collection schema map + encode config). The format is strict and every
+/// index is bounds-checked, so a torn or hostile block errors instead of
+/// corrupting a later merge.
+pub fn decode_partial(
+    bytes: &[u8],
+    map: &SchemaMap,
+    config: &EncodeConfig,
+) -> Result<SegmentPartial, DecodeError> {
+    use crate::treetuple::Cursor;
+    let mut c = Cursor::new(bytes);
+    if c.take(4)? != PARTIAL_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let node_count = c.u64()? as usize;
+
+    let n_strings = c.u32()? as usize;
+    if n_strings > c.remaining() / 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut dictionary = Dictionary::new();
+    for i in 0..n_strings {
+        let len = c.u32()? as usize;
+        let s = std::str::from_utf8(c.take(len)?).map_err(|_| DecodeError::BadUtf8)?;
+        if dictionary.intern_str(s) != i as u64 {
+            return Err(DecodeError::BadIndex("duplicate dictionary string"));
+        }
+    }
+
+    let table = match c.u8()? {
+        0 => None,
+        1 => {
+            let n_shapes = c.u32()? as usize;
+            if n_shapes > c.remaining() / 9 {
+                return Err(DecodeError::Truncated);
+            }
+            let mut shapes = Vec::with_capacity(n_shapes);
+            for local in 0..n_shapes {
+                let len = c.u32()? as usize;
+                let label: Box<str> = std::str::from_utf8(c.take(len)?)
+                    .map_err(|_| DecodeError::BadUtf8)?
+                    .into();
+                let value = match c.u8()? {
+                    0 => None,
+                    1 => {
+                        let len = c.u32()? as usize;
+                        Some(
+                            std::str::from_utf8(c.take(len)?)
+                                .map_err(|_| DecodeError::BadUtf8)?
+                                .into(),
+                        )
+                    }
+                    _ => return Err(DecodeError::BadIndex("shape value flag")),
+                };
+                let n_children = c.u32()? as usize;
+                if n_children > c.remaining() / 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut children = Vec::with_capacity(n_children);
+                for _ in 0..n_children {
+                    let child = c.u32()?;
+                    // The merge remaps children through ids already consed,
+                    // which is only sound when children precede the shape.
+                    if child as usize >= local {
+                        return Err(DecodeError::BadIndex("shape child"));
+                    }
+                    children.push(child);
+                }
+                shapes.push(xfd_xml::ShapeExport {
+                    label,
+                    value,
+                    children: children.into(),
+                });
+            }
+            let n_ranks = c.u32()? as usize;
+            if n_ranks != node_count {
+                return Err(DecodeError::BadIndex("class-by-rank length"));
+            }
+            if n_ranks > c.remaining() / 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let mut class_by_rank = Vec::with_capacity(n_ranks);
+            for _ in 0..n_ranks {
+                let class = c.u32()?;
+                if class as usize >= n_shapes {
+                    return Err(DecodeError::BadIndex("class id"));
+                }
+                class_by_rank.push(class);
+            }
+            Some(ClassTable {
+                class_by_rank,
+                shapes,
+            })
+        }
+        _ => return Err(DecodeError::BadIndex("class table flag")),
+    };
+    if table.is_some() != need_classes(config) {
+        return Err(DecodeError::BadIndex("class table presence"));
+    }
+    let n_shapes = table.as_ref().map_or(0, |t| t.shapes.len());
+
+    let Skeleton { mut relations, .. } = build_skeleton(map, config);
+    let n_rel = c.u32()? as usize;
+    if n_rel != relations.len() {
+        return Err(DecodeError::BadIndex("relation count"));
+    }
+    for r in 0..n_rel {
+        let n_tuples = c.u32()? as usize;
+        if n_tuples > c.remaining() / 4 {
+            return Err(DecodeError::Truncated);
+        }
+        if r == 0 && n_tuples != 1 {
+            return Err(DecodeError::BadIndex("root tuple count"));
+        }
+        let mut node_keys = Vec::with_capacity(n_tuples);
+        for _ in 0..n_tuples {
+            let k = c.u32()?;
+            if k as usize >= node_count {
+                return Err(DecodeError::BadIndex("node key"));
+            }
+            node_keys.push(NodeId(k));
+        }
+        // Every partial relation carries one parent pointer per tuple; the
+        // root's is the placeholder 0 (dropped by the merge overlay).
+        let n_parents = c.u32()? as usize;
+        if n_parents != n_tuples {
+            return Err(DecodeError::BadIndex("parent count"));
+        }
+        let mut parent_of = Vec::with_capacity(n_parents);
+        for _ in 0..n_parents {
+            parent_of.push(c.u32()?);
+        }
+        let n_cols = c.u32()? as usize;
+        let rel = relations
+            .get_mut(r)
+            .ok_or(DecodeError::BadIndex("relation count"))?;
+        if n_cols != rel.columns.len() {
+            return Err(DecodeError::BadIndex("column count"));
+        }
+        rel.node_keys = node_keys;
+        rel.parent_of = parent_of;
+        for col in &mut rel.columns {
+            let mut cells = Vec::with_capacity(n_tuples);
+            for _ in 0..n_tuples {
+                let v = c.u64()?;
+                if v == NONE_CELL {
+                    cells.push(None);
+                    continue;
+                }
+                let bound = match col.kind {
+                    ColumnKind::Simple => n_strings as u64,
+                    ColumnKind::Complex => match config.complex_columns {
+                        ComplexColumnMode::NodeKey => node_count as u64,
+                        ComplexColumnMode::ValueClass => n_shapes as u64,
+                        ComplexColumnMode::Omit => 0,
+                    },
+                    ColumnKind::SetValue => 0,
+                };
+                if v >= bound {
+                    return Err(DecodeError::BadIndex("cell value"));
+                }
+                cells.push(Some(v));
+            }
+            col.cells = cells;
+        }
+    }
+    if c.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes);
+    }
+    // Parent pointers must land inside the parent relation's tuple block.
+    for r in 1..n_rel {
+        let rel = relations.get(r).ok_or(DecodeError::BadIndex("relation"))?;
+        let parent = rel.parent.ok_or(DecodeError::BadIndex("parent relation"))?;
+        let parent_tuples = relations
+            .get(parent.index())
+            .map(|p| p.n_tuples())
+            .ok_or(DecodeError::BadIndex("parent relation"))?;
+        if rel.parent_of.iter().any(|&p| p as usize >= parent_tuples) {
+            return Err(DecodeError::BadIndex("parent pointer"));
+        }
+    }
+    Ok(SegmentPartial {
+        relations,
+        dictionary,
+        table,
+        node_count,
+    })
+}
+
+/// Content fingerprint of a merged forest: every relation's node keys,
+/// parent pointers and cells, plus the dictionary — order-sensitive, so two
+/// forests fingerprint equal exactly when they encode byte-identically.
+/// Cluster workers use it to prove they reconstructed the coordinator's
+/// forest before accepting relation passes.
+pub fn forest_fingerprint(forest: &Forest) -> u128 {
+    let mut d = xfd_hash::ContentDigest::new();
+    d.update_u64(forest.relations.len() as u64);
+    for rel in &forest.relations {
+        d.update_u64(rel.node_keys.len() as u64);
+        for k in &rel.node_keys {
+            d.update_u64(u64::from(k.0));
+        }
+        for &p in &rel.parent_of {
+            d.update_u64(u64::from(p));
+        }
+        d.update_u64(rel.columns.len() as u64);
+        for col in &rel.columns {
+            d.update_u64(match col.kind {
+                ColumnKind::Simple => 0,
+                ColumnKind::Complex => 1,
+                ColumnKind::SetValue => 2,
+            });
+            for cell in &col.cells {
+                d.update_u64(cell.unwrap_or(NONE_CELL));
+            }
+        }
+    }
+    d.update_u64(forest.dictionary.num_strings() as u64);
+    for id in 0..forest.dictionary.num_strings() as u64 {
+        let s = forest.dictionary.resolve_str(id);
+        d.update_u64(s.len() as u64);
+        d.update(s.as_bytes());
+    }
+    d.update_u64(forest.dictionary.num_multisets() as u64);
+    for id in 0..forest.dictionary.num_multisets() as u64 {
+        let elems = forest.dictionary.resolve_multiset(id);
+        d.update_u64(elems.len() as u64);
+        for &e in elems {
+            d.update_u64(e);
+        }
+    }
+    d.finish()
 }
 
 #[cfg(test)]
@@ -555,7 +919,106 @@ mod tests {
         let rearranged: Vec<&DataTree> = vec![&trees[2], &trees[0], &trees[1]];
         let serial = encode(&grafted(&rearranged), &schema, &config);
         let picked: Vec<&SegmentPartial> = vec![&parts[2], &parts[0], &parts[1]];
-        let sharded = merge_partials(SchemaMap::new(&schema), &config, &picked);
+        let sharded = merge_partials(SchemaMap::new(&schema), &config, &picked, 1);
         assert_forest_eq(&sharded, &serial);
+    }
+
+    fn partial_codec_roundtrip(config: &EncodeConfig) {
+        let trees: Vec<DataTree> = STORES.iter().map(|d| parse(d).unwrap()).collect();
+        let refs: Vec<&DataTree> = trees.iter().collect();
+        let schema = infer_schema(&grafted(&refs));
+        let map = SchemaMap::new(&schema);
+        let parts: Vec<SegmentPartial> = refs
+            .iter()
+            .map(|t| build_partial(t, &map, config))
+            .collect();
+        let decoded: Vec<SegmentPartial> = parts
+            .iter()
+            .map(|p| decode_partial(&encode_partial(p), &map, config).expect("round-trip"))
+            .collect();
+        let direct: Vec<&SegmentPartial> = parts.iter().collect();
+        let wired: Vec<&SegmentPartial> = decoded.iter().collect();
+        let a = merge_partials(SchemaMap::new(&schema), config, &direct, 1);
+        let b = merge_partials(SchemaMap::new(&schema), config, &wired, 1);
+        assert_forest_eq(&a, &b);
+        assert_eq!(forest_fingerprint(&a), forest_fingerprint(&b));
+    }
+
+    #[test]
+    fn partial_codec_roundtrips_default_config() {
+        partial_codec_roundtrip(&EncodeConfig::default());
+    }
+
+    #[test]
+    fn partial_codec_roundtrips_value_class_mode() {
+        partial_codec_roundtrip(&EncodeConfig {
+            complex_columns: ComplexColumnMode::ValueClass,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn partial_codec_roundtrips_without_classes() {
+        partial_codec_roundtrip(&EncodeConfig {
+            set_columns: SetColumnMode::None,
+            complex_columns: ComplexColumnMode::Omit,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn partial_decode_rejects_corruption() {
+        let tree = parse(STORES[0]).unwrap();
+        let refs = [&tree];
+        let schema = infer_schema(&grafted(&refs));
+        let map = SchemaMap::new(&schema);
+        let config = EncodeConfig::default();
+        let bytes = encode_partial(&build_partial(&tree, &map, &config));
+        assert_eq!(
+            decode_partial(b"nope", &map, &config).err(),
+            Some(DecodeError::BadMagic)
+        );
+        // Every strict prefix fails; none panics or yields a partial.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_partial(&bytes[..cut], &map, &config).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            decode_partial(&trailing, &map, &config).err(),
+            Some(DecodeError::TrailingBytes)
+        );
+        // Single-byte corruption must never panic (errors or a valid but
+        // different partial are both acceptable).
+        for i in 0..bytes.len() {
+            let mut dirty = bytes.clone();
+            dirty[i] ^= 0xff;
+            let _ = decode_partial(&dirty, &map, &config);
+        }
+        // A mismatched plan (different class-table expectations) is typed.
+        let no_classes = EncodeConfig {
+            set_columns: SetColumnMode::None,
+            complex_columns: ComplexColumnMode::Omit,
+            ..Default::default()
+        };
+        assert!(decode_partial(&bytes, &map, &no_classes).is_err());
+    }
+
+    #[test]
+    fn forest_fingerprint_tracks_content() {
+        let trees: Vec<DataTree> = STORES.iter().map(|d| parse(d).unwrap()).collect();
+        let refs: Vec<&DataTree> = trees.iter().collect();
+        let schema = infer_schema(&grafted(&refs));
+        let config = EncodeConfig::default();
+        let a = encode_collection(&refs, &schema, &config, 1);
+        let b = encode_collection(&refs, &schema, &config, 4);
+        assert_eq!(forest_fingerprint(&a), forest_fingerprint(&b));
+        let fewer: Vec<&DataTree> = trees.iter().take(2).collect();
+        let schema2 = infer_schema(&grafted(&fewer));
+        let c = encode_collection(&fewer, &schema2, &config, 1);
+        assert_ne!(forest_fingerprint(&a), forest_fingerprint(&c));
     }
 }

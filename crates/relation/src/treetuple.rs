@@ -113,13 +113,17 @@ pub fn encode_tree(tree: &DataTree) -> Vec<u8> {
     out
 }
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
         if end > self.bytes.len() {
             return Err(DecodeError::Truncated);
@@ -132,15 +136,30 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
-    fn u32(&mut self) -> Result<u32, DecodeError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
+        let bytes = self.take(1)?;
+        bytes.first().copied().ok_or(DecodeError::Truncated)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
         let bytes = <[u8; 4]>::try_from(self.take(4)?).map_err(|_| DecodeError::Truncated)?;
         Ok(u32::from_le_bytes(bytes))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
+        let bytes = <[u8; 8]>::try_from(self.take(8)?).map_err(|_| DecodeError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
     }
 }
 
 /// Decode a segment block back into the [`DataTree`] it encodes.
 pub fn decode_tree(bytes: &[u8]) -> Result<DataTree, DecodeError> {
-    let mut c = Cursor { bytes, pos: 0 };
+    let mut c = Cursor::new(bytes);
     if c.take(4)? != TREETUPLE_MAGIC {
         return Err(DecodeError::BadMagic);
     }

@@ -59,6 +59,13 @@ pub struct Metrics {
     memo_misses: AtomicU64,
     memo_evictions: AtomicU64,
     memo_resident_bytes: AtomicU64,
+    // Cluster-mode counters (corpus discovery over worker subprocesses).
+    cluster_workers: AtomicU64,
+    cluster_tasks_done: AtomicU64,
+    cluster_tasks_retried: AtomicU64,
+    cluster_tasks_fallback: AtomicU64,
+    cluster_retries: AtomicU64,
+    cluster_runs_fallback: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -93,7 +100,35 @@ impl Metrics {
             memo_misses: AtomicU64::new(0),
             memo_evictions: AtomicU64::new(0),
             memo_resident_bytes: AtomicU64::new(0),
+            cluster_workers: AtomicU64::new(0),
+            cluster_tasks_done: AtomicU64::new(0),
+            cluster_tasks_retried: AtomicU64::new(0),
+            cluster_tasks_fallback: AtomicU64::new(0),
+            cluster_retries: AtomicU64::new(0),
+            cluster_runs_fallback: AtomicU64::new(0),
         }
+    }
+
+    /// Fold one cluster run's counters in. The gauge tracks the live
+    /// worker count of the most recent run.
+    pub fn observe_cluster(&self, stats: &xfd_cluster::ClusterStats) {
+        self.cluster_workers
+            .store(stats.workers_live, Ordering::Relaxed);
+        self.cluster_tasks_done
+            .fetch_add(stats.encode_remote + stats.pass_remote, Ordering::Relaxed);
+        self.cluster_tasks_retried
+            .fetch_add(stats.tasks_retried, Ordering::Relaxed);
+        self.cluster_tasks_fallback
+            .fetch_add(stats.tasks_fallback, Ordering::Relaxed);
+        self.cluster_retries
+            .fetch_add(stats.tasks_retried, Ordering::Relaxed);
+    }
+
+    /// Count one corpus discovery that fell back to in-process execution
+    /// because the cluster could not be set up at all.
+    pub fn observe_cluster_fallback(&self) {
+        self.cluster_workers.store(0, Ordering::Relaxed);
+        self.cluster_runs_fallback.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one result-cache hit that skipped XML parsing entirely.
@@ -387,6 +422,52 @@ impl Metrics {
         );
 
         metric(
+            "discoverxfd_cluster_workers",
+            "Live worker subprocesses in the most recent cluster-mode discovery.",
+            "gauge",
+            &format!(
+                "discoverxfd_cluster_workers {}\n",
+                self.cluster_workers.load(Ordering::Relaxed)
+            ),
+        );
+        let cluster_tasks = [
+            ("done", &self.cluster_tasks_done),
+            ("retried", &self.cluster_tasks_retried),
+            ("fallback", &self.cluster_tasks_fallback),
+        ];
+        let mut body = String::new();
+        for (status, value) in cluster_tasks {
+            body.push_str(&format!(
+                "discoverxfd_cluster_tasks_total{{status=\"{status}\"}} {}\n",
+                value.load(Ordering::Relaxed)
+            ));
+        }
+        metric(
+            "discoverxfd_cluster_tasks_total",
+            "Cluster-mode tasks by outcome across all corpus discoveries.",
+            "counter",
+            &body,
+        );
+        metric(
+            "discoverxfd_cluster_retries_total",
+            "Cluster-mode task reassignments after a worker was lost or answered badly.",
+            "counter",
+            &format!(
+                "discoverxfd_cluster_retries_total {}\n",
+                self.cluster_retries.load(Ordering::Relaxed)
+            ),
+        );
+        metric(
+            "discoverxfd_cluster_fallback_runs_total",
+            "Corpus discoveries that fell back to in-process execution because no cluster could be set up.",
+            "counter",
+            &format!(
+                "discoverxfd_cluster_fallback_runs_total {}\n",
+                self.cluster_runs_fallback.load(Ordering::Relaxed)
+            ),
+        );
+
+        metric(
             "discoverxfd_uptime_seconds",
             "Seconds since the server started.",
             "gauge",
@@ -441,6 +522,10 @@ mod tests {
             "discoverxfd_runs_total",
             "discoverxfd_stage_seconds_total",
             "discoverxfd_lattice_total",
+            "discoverxfd_cluster_workers",
+            "discoverxfd_cluster_tasks_total",
+            "discoverxfd_cluster_retries_total",
+            "discoverxfd_cluster_fallback_runs_total",
             "discoverxfd_uptime_seconds",
         ] {
             assert!(text.contains(&format!("# HELP {family} ")), "{family}");
@@ -463,6 +548,44 @@ mod tests {
             text.contains(&format!(
                 "discoverxfd_lattice_total{{counter=\"nodes_visited\"}} {expected}\n"
             )),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn cluster_observations_render_by_status() {
+        let m = Metrics::new();
+        let stats = xfd_cluster::ClusterStats {
+            workers_spawned: 2,
+            workers_live: 2,
+            encode_remote: 3,
+            pass_remote: 4,
+            tasks_retried: 1,
+            tasks_fallback: 2,
+            ..xfd_cluster::ClusterStats::default()
+        };
+        m.observe_cluster(&stats);
+        m.observe_cluster_fallback();
+        let text = render(&m);
+        assert!(text.contains("discoverxfd_cluster_workers 0\n"), "{text}");
+        assert!(
+            text.contains("discoverxfd_cluster_tasks_total{status=\"done\"} 7\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("discoverxfd_cluster_tasks_total{status=\"retried\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("discoverxfd_cluster_tasks_total{status=\"fallback\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("discoverxfd_cluster_retries_total 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("discoverxfd_cluster_fallback_runs_total 1\n"),
             "{text}"
         );
     }

@@ -106,6 +106,11 @@ pub struct ServerConfig {
     pub keep_alive_timeout: Duration,
     /// Root directory of named corpora; `None` disables `/v1/corpora`.
     pub corpus_root: Option<PathBuf>,
+    /// Cluster workers for corpus discovery; `0` keeps it in-process.
+    /// When set, `POST /v1/corpora/{name}/discover` runs through the
+    /// coordinator/worker subsystem (same report bytes), falling back to
+    /// in-process discovery if the cluster cannot be set up.
+    pub cluster_workers: usize,
     /// Base discovery configuration; query parameters override per request.
     pub discovery: DiscoveryConfig,
 }
@@ -123,6 +128,7 @@ impl Default for ServerConfig {
             keep_alive_max_requests: 100,
             keep_alive_timeout: Duration::from_secs(5),
             corpus_root: None,
+            cluster_workers: 0,
             discovery: DiscoveryConfig::default(),
         }
     }
@@ -777,7 +783,10 @@ fn corpus_remove_doc(registry: &CorpusRegistry, corpus: &str, doc: &str) -> Resp
 }
 
 /// `POST /v1/corpora/{name}/discover`: run memoized discovery over the
-/// merged corpus and return the full JSON report.
+/// merged corpus and return the full JSON report. With
+/// [`ServerConfig::cluster_workers`] set, the run is sharded over worker
+/// subprocesses — same report bytes, with an in-process fallback when
+/// the cluster cannot be set up (spawn failure, plan mismatch).
 fn corpus_discover(
     state: &ServerState,
     registry: &CorpusRegistry,
@@ -785,7 +794,24 @@ fn corpus_discover(
     config: &DiscoveryConfig,
 ) -> Response {
     match registry.with_handle(corpus, |h| {
-        let outcome = h.discover(config);
+        let outcome = if state.config.cluster_workers > 0 {
+            let opts = xfd_cluster::ClusterOptions {
+                workers: state.config.cluster_workers,
+                ..xfd_cluster::ClusterOptions::default()
+            };
+            match xfd_cluster::cluster_discover(h, config, &opts) {
+                Ok((outcome, stats)) => {
+                    state.metrics.observe_cluster(&stats);
+                    outcome
+                }
+                Err(_) => {
+                    state.metrics.observe_cluster_fallback();
+                    h.discover(config)
+                }
+            }
+        } else {
+            h.discover(config)
+        };
         let body = render_json(&outcome);
         (body, outcome, h.len())
     }) {

@@ -116,13 +116,79 @@ cmp /tmp/ci-corpus-recovered.json /tmp/ci-corpus-clean.json \
   || { echo "recovered corpus report differs from a clean one"; exit 1; }
 echo "   recovered report matches a never-crashed corpus"
 
+# Compaction folds the smoke corpus's per-document segments into one;
+# the discovery report must not change.
+"$BIN" corpus compact smoke --root "$CORPUS_ROOT" 2>/dev/null
+"$BIN" corpus discover smoke --root "$CORPUS_ROOT" --json | normalize > /tmp/ci-corpus-compacted.json
+cmp /tmp/ci-corpus-compacted.json /tmp/ci-corpus-clean.json \
+  || { echo "compacted corpus report differs from the pre-compaction one"; exit 1; }
+echo "   compaction preserved the report"
+
+echo "== cluster smoke test"
+CLUSTER_LOG=$(mktemp /tmp/ci-cluster-XXXXXX.log)
+trap 'rm -f "$DOC" "$DOC2" "$DOC3" "$BANNER" "$CLUSTER_LOG"; rm -rf "$CORPUS_ROOT"; [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# Two worker subprocesses must reproduce the in-process report
+# byte-for-byte (wall-clock normalized on both sides, as above).
+"$BIN" cluster discover clean --root "$CORPUS_ROOT" --workers 2 --json \
+  2> "$CLUSTER_LOG" | normalize > /tmp/ci-cluster-two.json
+cmp /tmp/ci-cluster-two.json /tmp/ci-corpus-clean.json \
+  || { echo "2-worker cluster report differs from the in-process one"; exit 1; }
+grep -q "workers=2 live=2 lost=0 handshake_failures=0" "$CLUSTER_LOG" \
+  || { echo "expected two live workers; got: $(cat "$CLUSTER_LOG")"; exit 1; }
+grep -Eq "pass_remote=[1-9]" "$CLUSTER_LOG" \
+  || { echo "expected remote relation passes; got: $(cat "$CLUSTER_LOG")"; exit 1; }
+echo "   2-worker report matches in-process"
+
+# SIGKILL one worker right after its first pass assignment: the orphaned
+# task must be retried (or recomputed locally) and the report must still
+# be identical.
+"$BIN" cluster discover clean --root "$CORPUS_ROOT" --workers 2 --kill-worker-after 1 --json \
+  2> "$CLUSTER_LOG" | normalize > /tmp/ci-cluster-killed.json
+cmp /tmp/ci-cluster-killed.json /tmp/ci-corpus-clean.json \
+  || { echo "report changed after a worker was killed mid-run"; exit 1; }
+grep -q " lost=1 " "$CLUSTER_LOG" \
+  || { echo "expected one lost worker; got: $(cat "$CLUSTER_LOG")"; exit 1; }
+RETRIED=$(sed -n 's/.* retried=\([0-9]*\).*/\1/p' "$CLUSTER_LOG")
+FALLBACK=$(sed -n 's/.* fallback=\([0-9]*\).*/\1/p' "$CLUSTER_LOG")
+[ "$((${RETRIED:-0} + ${FALLBACK:-0}))" -ge 1 ] \
+  || { echo "expected the orphaned task to be retried or recomputed; got: $(cat "$CLUSTER_LOG")"; exit 1; }
+echo "   mid-run kill survived: lost=1 retried=${RETRIED:-0} fallback=${FALLBACK:-0}, report identical"
+
+# Serving mode routes corpus discovery through the same worker pool when
+# started with --cluster-workers; /metrics must account for it.
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 --corpus-root "$CORPUS_ROOT" --cluster-workers 2 > "$BANNER" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$BANNER" 2>/dev/null && break
+  sleep 0.05
+done
+ADDR=$(sed -n 's#listening on http://##p' "$BANNER")
+[ -n "$ADDR" ] || { echo "cluster server did not start"; exit 1; }
+curl -sS -X POST "http://$ADDR/v1/corpora/clean/discover" -o /dev/null
+curl -sS "http://$ADDR/metrics" > /tmp/ci-cluster-metrics.txt
+grep -q "^discoverxfd_cluster_workers 2$" /tmp/ci-cluster-metrics.txt \
+  || { echo "expected discoverxfd_cluster_workers 2 in /metrics"; exit 1; }
+grep -Eq '^discoverxfd_cluster_tasks_total\{status="done"\} [1-9]' /tmp/ci-cluster-metrics.txt \
+  || { echo "expected completed cluster tasks in /metrics"; exit 1; }
+grep -q '^discoverxfd_cluster_tasks_total{status="fallback"} 0$' /tmp/ci-cluster-metrics.txt \
+  || { echo "expected zero fallback cluster tasks in /metrics"; exit 1; }
+grep -q "^discoverxfd_cluster_retries_total 0$" /tmp/ci-cluster-metrics.txt \
+  || { echo "expected zero cluster retries in /metrics"; exit 1; }
+grep -q "^discoverxfd_worker_panics_total 0$" /tmp/ci-cluster-metrics.txt \
+  || { echo "expected discoverxfd_worker_panics_total 0 in /metrics"; exit 1; }
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "cluster server did not exit cleanly on SIGTERM"; exit 1; }
+SERVER_PID=""
+echo "   served cluster discovery accounted in /metrics, zero panics"
+
 echo "== bench corpus smoke"
 # Scaled-down bench_corpus run: same 33-doc / 8-category shape, smaller
 # relations. The binary itself asserts byte-identical serial / parallel /
 # from-scratch reports; CI re-checks the two headline numbers from the
 # JSON it writes.
 BENCH_OUT=$(mktemp /tmp/ci-bench-corpus-XXXXXX.json)
-trap 'rm -f "$DOC" "$DOC2" "$DOC3" "$BANNER" "$BENCH_OUT"; rm -rf "$CORPUS_ROOT"; [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null || true' EXIT
+trap 'rm -f "$DOC" "$DOC2" "$DOC3" "$BANNER" "$CLUSTER_LOG" "$BENCH_OUT"; rm -rf "$CORPUS_ROOT"; [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null || true' EXIT
 ./target/release/bench_corpus "$BENCH_OUT" --smoke
 grep -q '"worker_panics": 0' "$BENCH_OUT" \
   || { echo "expected zero worker panics in $BENCH_OUT"; exit 1; }
@@ -130,5 +196,16 @@ SPEEDUP=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' "$BENCH_OUT")
 awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 3.0) }' \
   || { echo "incremental speedup $SPEEDUP below the 3x floor"; exit 1; }
 echo "   incremental speedup ${SPEEDUP}x, zero worker panics"
+
+echo "== bench cluster smoke"
+# Scaled-down bench_cluster run. The binary itself asserts that the 1, 2
+# and 4-worker reports are byte-identical to the in-process run and that
+# every worker survived; CI re-checks the loss counter from the JSON.
+BENCH_CLUSTER_OUT=$(mktemp /tmp/ci-bench-cluster-XXXXXX.json)
+trap 'rm -f "$DOC" "$DOC2" "$DOC3" "$BANNER" "$CLUSTER_LOG" "$BENCH_OUT" "$BENCH_CLUSTER_OUT"; rm -rf "$CORPUS_ROOT"; [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null || true' EXIT
+./target/release/bench_cluster "$BENCH_CLUSTER_OUT" --smoke
+grep -q '"workers_lost": 0' "$BENCH_CLUSTER_OUT" \
+  || { echo "expected zero lost workers in $BENCH_CLUSTER_OUT"; exit 1; }
+echo "   cluster bench parity held, zero workers lost"
 
 echo "CI OK"
