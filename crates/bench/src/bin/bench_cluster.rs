@@ -20,12 +20,12 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use discoverxfd::report::render_json;
 use discoverxfd::DiscoveryConfig;
-use xfd_cluster::{cluster_discover, ClusterOptions, ClusterStats};
-use xfd_corpus::CorpusStore;
+use xfd_cluster::{cluster_discover, ClusterOptions, ClusterStats, PushMode, WorkerPool};
+use xfd_corpus::{CorpusHandle, CorpusStore};
 use xfd_xml::{parse_reader, DataTree};
 
 fn parse_str(xml: &str) -> Result<DataTree, xfd_xml::ReadError> {
@@ -101,14 +101,18 @@ struct Measured {
     stats: ClusterStats,
 }
 
-/// Seed a fresh corpus under `tag` and run one cold discovery over
-/// `workers` subprocesses (0 = plain in-process discovery).
-fn measure(store: &CorpusStore, tag: &str, workers: usize, smoke: bool) -> Measured {
-    let config = DiscoveryConfig {
+/// Intra-pass threading pinned to 1: process fan-out is the only
+/// parallelism under test.
+fn bench_config() -> DiscoveryConfig {
+    DiscoveryConfig {
         parallel: false,
         threads: 1,
         ..DiscoveryConfig::default()
-    };
+    }
+}
+
+/// Seed a fresh corpus under `tag` with the full synthetic document set.
+fn seed(store: &CorpusStore, tag: &str, smoke: bool) -> CorpusHandle {
     let mut handle = store.create(tag).expect("create corpus");
     for doc in 0..DOCS_PER_CATEGORY {
         for cat in 0..CATEGORIES {
@@ -118,10 +122,30 @@ fn measure(store: &CorpusStore, tag: &str, workers: usize, smoke: bool) -> Measu
                 .expect("add doc");
         }
     }
+    handle
+}
+
+/// Seed a fresh corpus under `tag` and run one cold discovery over
+/// `workers` subprocesses (0 = plain in-process discovery).
+fn measure(store: &CorpusStore, tag: &str, workers: usize, smoke: bool) -> Measured {
+    measure_with(store, tag, workers, smoke, PushMode::Auto)
+}
+
+/// Like [`measure`], with the forest-distribution strategy pinned.
+fn measure_with(
+    store: &CorpusStore,
+    tag: &str,
+    workers: usize,
+    smoke: bool,
+    push_mode: PushMode,
+) -> Measured {
+    let config = bench_config();
+    let mut handle = seed(store, tag, smoke);
 
     let opts = ClusterOptions {
         workers,
         worker_command: worker_command(),
+        push_mode,
         ..ClusterOptions::default()
     };
     let t0 = Instant::now();
@@ -206,6 +230,82 @@ fn main() {
         );
     }
 
+    // Push economy: the same cold 2-worker run with each forest
+    // distribution strategy pinned. Auto ships the merged forest once
+    // when a worker misses more than half the distinct partials
+    // (missing/distinct > 0.5) and pushes per-partial otherwise; both
+    // pinned paths must agree with the baseline byte for byte.
+    let push_partials = measure_with(&store, "bench-push-partials", 2, smoke, PushMode::Partials);
+    let push_forest = measure_with(&store, "bench-push-forest", 2, smoke, PushMode::Forest);
+    for run in [&push_partials, &push_forest] {
+        assert_eq!(
+            stable(&run.report),
+            stable(&baseline.report),
+            "pinned push-mode report must stay byte-identical"
+        );
+    }
+    assert!(
+        push_partials.stats.partials_pushed > 0 && push_partials.stats.forest_ships == 0,
+        "partials mode must push partials only ({})",
+        push_partials.stats.summary()
+    );
+    assert!(
+        push_forest.stats.forest_ships > 0,
+        "forest mode must ship the merged forest ({})",
+        push_forest.stats.summary()
+    );
+    eprintln!(
+        "push economy at 2 workers: partials {:.1} ms ({} pushed), forest {:.1} ms ({} ships)",
+        push_partials.ms,
+        push_partials.stats.partials_pushed,
+        push_forest.ms,
+        push_forest.stats.forest_ships
+    );
+
+    // Warm pool: the second serve-mode discovery against the same pool
+    // skips worker spawn, handshake, and forest distribution entirely.
+    let config = bench_config();
+    let mut pool_handle = seed(&store, "bench-pool", smoke);
+    let pool = WorkerPool::new(
+        ClusterOptions {
+            workers: 2,
+            worker_command: worker_command(),
+            ..ClusterOptions::default()
+        },
+        Duration::from_secs(600),
+    );
+    let t0 = Instant::now();
+    let cold = pool
+        .discover(&mut pool_handle, &config)
+        .expect("pool cold discover");
+    let pool_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let warm = pool
+        .discover(&mut pool_handle, &config)
+        .expect("pool warm discover");
+    let pool_warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        !cold.warm && warm.warm,
+        "the second pooled discovery must hit the warm pool"
+    );
+    assert_eq!(
+        stable(&render_json(&cold.outcome)),
+        stable(&baseline.report),
+        "cold pooled report must match the in-process run"
+    );
+    assert_eq!(
+        stable(&render_json(&warm.outcome)),
+        stable(&baseline.report),
+        "warm pooled report must match the in-process run"
+    );
+    assert!(
+        pool_warm_ms < pool_cold_ms,
+        "a warm pool hit must beat the cold spawn (cold {pool_cold_ms:.1} ms, warm {pool_warm_ms:.1} ms)"
+    );
+    let pool_speedup = pool_cold_ms / pool_warm_ms;
+    eprintln!("pool: cold {pool_cold_ms:.1} ms, warm {pool_warm_ms:.1} ms ({pool_speedup:.2}x)");
+    pool.shutdown_all();
+
     let _ = std::fs::remove_dir_all(&root);
 
     let mut json = String::from("{\n  \"cluster\": {\n");
@@ -233,6 +333,20 @@ fn main() {
             s.tasks_fallback
         );
     }
+    let _ = writeln!(
+        json,
+        "    \"push\": {{\"partials_ms\": {:.1}, \"partials_pushed\": {}, \"forest_ms\": {:.1}, \
+         \"forest_ships\": {}, \"auto_crossover_missing_fraction\": 0.5}},",
+        push_partials.ms,
+        push_partials.stats.partials_pushed,
+        push_forest.ms,
+        push_forest.stats.forest_ships
+    );
+    let _ = writeln!(
+        json,
+        "    \"pool\": {{\"cold_ms\": {pool_cold_ms:.1}, \"warm_ms\": {pool_warm_ms:.1}, \
+         \"speedup\": {pool_speedup:.2}, \"warm_hit\": true}},"
+    );
     json.push_str("    \"workers_lost\": 0\n  }\n}\n");
     std::fs::write(&out_path, json).expect("write results");
     eprintln!("wrote {out_path}");

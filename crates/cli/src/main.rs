@@ -50,7 +50,9 @@ const USAGE: &str = "usage:
   discoverxfd serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
                        [--result-cache-budget BYTES] [--body-limit BYTES]
                        [--request-timeout SECS] [--corpus-root DIR]
-                       [--cluster-workers N]        (HTTP discovery daemon)
+                       [--cluster-workers N] [--remote HOST:PORT,...]
+                       [--cluster-token T] [--pool-idle-secs SECS]
+                       (HTTP discovery daemon; cluster workers stay warm between requests)
   discoverxfd corpus create <corpus> [--root DIR]
   discoverxfd corpus add <corpus> <file.xml> [--name DOC] [--root DIR]
   discoverxfd corpus rm <corpus> <doc> [--root DIR]
@@ -62,11 +64,15 @@ const USAGE: &str = "usage:
   discoverxfd corpus list [--root DIR]
                        (persistent multi-document corpora; default root ./corpora)
   discoverxfd cluster discover <corpus> [--root DIR] [--workers N] [--worker-timeout SECS]
+                               [--remote HOST:PORT,...] [--token T]
+                               [--push-mode auto|partials|forest]
                                [--json|--markdown] [--max-lhs N] [--no-inter]
                                [--keep-uninteresting] [--threads N] [--cache-budget BYTES]
                                [--memo-budget BYTES]
-                       (corpus discovery sharded over worker subprocesses)
-  discoverxfd worker   --socket <path> [--index N]    (cluster worker; spawned internally)";
+                       (corpus discovery sharded over worker subprocesses / remote hosts)
+  discoverxfd worker   (--socket <path> | --listen HOST:PORT) [--index N] [--token T]
+                       [--seg-cache DIR] [--seg-cache-budget BYTES] [--no-shared-storage]
+                       (cluster worker; spawned internally, or started by hand for TCP)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -487,6 +493,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--request-timeout",
             "--corpus-root",
             "--cluster-workers",
+            "--remote",
+            "--cluster-token",
+            "--pool-idle-secs",
         ],
     )?;
     let mut config = xfd_server::ServerConfig::default();
@@ -513,6 +522,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(n) = opt_value::<usize>(args, "--cluster-workers")? {
         config.cluster_workers = n;
+    }
+    if let Some(remote) = opt_value::<String>(args, "--remote")? {
+        config.cluster_remote = split_remote(&remote);
+    }
+    if let Some(token) = opt_value::<String>(args, "--cluster-token")? {
+        config.cluster_token = token;
+    }
+    if let Some(secs) = opt_value::<u64>(args, "--pool-idle-secs")? {
+        config.pool_idle = std::time::Duration::from_secs(secs);
     }
     let server = xfd_server::Server::bind(config.clone())
         .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
@@ -756,6 +774,9 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
             "--workers",
             "--worker-timeout",
             "--kill-worker-after",
+            "--remote",
+            "--token",
+            "--push-mode",
             "--max-lhs",
             "--threads",
             "--cache-budget",
@@ -787,6 +808,24 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     // that received the Nth relation pass, mid-run.
     opts.kill_worker_after = opt_value::<u64>(rest, "--kill-worker-after")?;
     opts.corrupt_plan = flag(rest, "--corrupt-plan");
+    if let Some(remote) = opt_value::<String>(rest, "--remote")? {
+        opts.remote = split_remote(&remote);
+    }
+    if let Some(token) = opt_value::<String>(rest, "--token")? {
+        opts.token = token;
+    }
+    if let Some(mode) = opt_value::<String>(rest, "--push-mode")? {
+        opts.push_mode = match mode.as_str() {
+            "auto" => xfd_cluster::PushMode::Auto,
+            "partials" => xfd_cluster::PushMode::Partials,
+            "forest" => xfd_cluster::PushMode::Forest,
+            other => {
+                return Err(format!(
+                    "push-mode: expected auto|partials|forest, got {other:?}"
+                ))
+            }
+        };
+    }
 
     let mut handle = CorpusStore::new(&root)
         .open(corpus)
@@ -811,9 +850,20 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Split a `--remote host:port,host:port,...` list.
+fn split_remote(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
 /// `discoverxfd worker` — a cluster worker process. Spawned by the
-/// coordinator, never by hand; connects back over the given socket and
-/// serves encode/merge/pass requests until told to shut down.
+/// coordinator over a Unix socket, or started by hand with
+/// `--listen host:port` to serve remote coordinators over TCP; serves
+/// encode/merge/pass requests until told to shut down.
 fn cmd_worker(args: &[String]) -> Result<(), String> {
     let opts = xfd_cluster::worker::parse_worker_args(args)?;
     xfd_cluster::run_worker(&opts).map_err(|e| e.to_string())

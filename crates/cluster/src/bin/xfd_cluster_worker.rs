@@ -10,7 +10,11 @@ fn main() {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("xfd-cluster-worker: {msg}");
-            eprintln!("usage: xfd-cluster-worker --socket <path> [--index N] [--corrupt-plan] [--exit-after-tasks N]");
+            eprintln!(
+                "usage: xfd-cluster-worker (--socket <path> | --listen <host:port>) [--index N] \
+                 [--token T] [--seg-cache DIR] [--seg-cache-budget BYTES] [--no-shared-storage] \
+                 [--corrupt-plan] [--exit-after-tasks N]"
+            );
             std::process::exit(2);
         }
     };

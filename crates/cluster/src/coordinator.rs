@@ -1,27 +1,32 @@
-//! The coordinator: spawn workers, handshake them against the plan
-//! fingerprint, drive the encode / forest / pass phases, and keep the
-//! run deterministic no matter what the workers do.
+//! The coordinator: spawn (or dial) workers, handshake them against the
+//! plan fingerprint, drive the encode / forest / pass phases, and keep
+//! the run deterministic no matter what the workers do.
 //!
-//! Concurrency model: the coordinator thread owns every socket's write
-//! half and all bookkeeping; one reader thread per worker owns a cloned
-//! read half and funnels frames into a single event channel. No mutex
-//! guards any I/O.
+//! Transport: every connection is a [`Stream`] trait object — a Unix
+//! socket to a spawned subprocess, or TCP to a `worker --listen` peer
+//! named in `--remote`. The phase machine is transport-blind; the only
+//! per-transport differences are how a connection is made and what
+//! "kill" means (SIGKILL a child, hard-reset a remote connection).
 //!
-//! Failure model: a worker is *lost* when its socket closes, a write to
-//! it fails, it answers a forest build with the wrong fingerprint, or it
-//! stays silent past the liveness timeout (a `Ping` halfway through the
-//! window gives a busy-but-healthy worker the chance to answer from its
-//! reader thread). Losing a worker reassigns its in-flight tasks to the
-//! survivors — a bounded number of times per task — and anything still
-//! unanswered falls back to local computation, so the result bytes never
-//! depend on worker health.
+//! Concurrency model: the coordinator thread owns every connection's
+//! write half and all bookkeeping; one reader thread per worker owns a
+//! cloned read half and funnels frames into a single event channel. No
+//! mutex guards any I/O.
+//!
+//! Failure model: a worker is *lost* when its connection closes, a write
+//! to it fails, it answers a forest build with the wrong fingerprint, or
+//! it stays silent past the liveness timeout (a `Ping` halfway through
+//! the window gives a busy-but-healthy worker the chance to answer from
+//! its reader thread). Losing a worker reassigns its in-flight tasks to
+//! the survivors — a bounded number of times per task — and anything
+//! still unanswered falls back to local computation, so the result bytes
+//! never depend on worker health.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -29,9 +34,10 @@ use discoverxfd::{encode_config, DiscoveryConfig, PassRunner, WaveTask};
 use xfd_corpus::{CorpusHandle, CorpusPlan};
 use xfd_relation::{decode_partial, encode_partial, Forest};
 use xfd_schema::SchemaMap;
+use xfd_transport::{join_auth, plan_auth, Endpoint, Stream};
 
 use crate::frame::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
-use crate::{ClusterError, ClusterOptions, ClusterStats};
+use crate::{ClusterError, ClusterOptions, ClusterStats, PushMode};
 
 /// Event-loop tick: bounds how stale liveness checks can get while
 /// waiting for frames.
@@ -40,16 +46,18 @@ const TICK: Duration = Duration::from_millis(50);
 /// Distinguishes concurrent clusters of one process in socket names.
 static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
 
-fn socket_path() -> PathBuf {
+fn fresh_socket_path() -> PathBuf {
     let n = SOCKET_SEQ.fetch_add(1, Ordering::Relaxed);
     std::env::temp_dir().join(format!("xfd-cluster-{}-{n}.sock", std::process::id()))
 }
 
 /// One admitted worker, from the coordinator's side.
 struct WorkerConn {
-    child: Child,
+    /// The subprocess, for spawned workers; `None` for remote (`--remote`)
+    /// workers, whose lifetime we do not own.
+    child: Option<Child>,
     /// Write half; the paired reader thread owns a clone of the fd.
-    stream: UnixStream,
+    stream: Box<dyn Stream>,
     alive: bool,
     reaped: bool,
     last_seen: Instant,
@@ -66,7 +74,7 @@ enum Event {
     Gone(usize),
 }
 
-fn reader_loop(mut stream: UnixStream, slot: usize, tx: Sender<Event>) {
+fn reader_loop(mut stream: Box<dyn Stream>, slot: usize, tx: Sender<Event>) {
     loop {
         match read_frame(&mut stream) {
             Ok(Some(frame)) => {
@@ -82,6 +90,41 @@ fn reader_loop(mut stream: UnixStream, slot: usize, tx: Sender<Event>) {
     }
 }
 
+/// Content-addressed segment shipping, coordinator side: answer a
+/// worker's `SegHave` with the document manifest plus only the segments
+/// its cache lacks, every byte re-verified against the manifest digest
+/// before it travels. Returns `false` when the worker asks for a segment
+/// we cannot produce verified bytes for (the handshake then fails).
+fn ship_segments(
+    stream: &mut Box<dyn Stream>,
+    handle: &CorpusHandle,
+    have: &HashSet<u128>,
+    stats: &mut ClusterStats,
+) -> bool {
+    let manifest = handle.doc_digests();
+    let announce = Frame::SegManifest {
+        digests: manifest.clone(),
+    };
+    if write_frame(stream, &announce).is_err() {
+        return false;
+    }
+    let mut sent: HashSet<u128> = HashSet::new();
+    for digest in manifest {
+        if have.contains(&digest) || !sent.insert(digest) {
+            continue;
+        }
+        let Some(bytes) = handle.doc_bytes(digest) else {
+            return false;
+        };
+        stats.segments_shipped += 1;
+        stats.segment_ship_bytes += bytes.len() as u64;
+        if write_frame(stream, &Frame::SegData { digest, bytes }).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
 /// A running worker pool, after handshake. Drives the three remote
 /// phases and implements [`PassRunner`] so the memoized wave traversal
 /// can offload relation passes; memo hits never reach it.
@@ -92,121 +135,175 @@ pub struct Cluster {
     stats: ClusterStats,
     worker_timeout: Duration,
     max_task_retries: usize,
+    push_mode: PushMode,
     /// Fault injection: kill the worker that received the Nth pass task.
     kill_after: Option<u64>,
     assigned_passes: u64,
     next_task_id: u64,
     rr: usize,
-    socket_path: PathBuf,
+    /// The forest fingerprint the live workers last acked; lets a pooled
+    /// cluster skip redistribution when nothing changed between requests.
+    last_forest_fp: Option<u128>,
+    /// Unix socket to unlink on teardown (spawned pools only).
+    socket_path: Option<PathBuf>,
 }
 
 impl Cluster {
-    /// Spawn and handshake `opts.workers` subprocesses. Only returns
-    /// `Err` when there is nothing sane to continue with; a partially
-    /// (or completely) dead pool that at least agreed on the plan — or
-    /// never claimed otherwise — yields a working `Cluster` that
-    /// degrades to local computation.
+    /// Spawn and handshake `opts.workers` subprocesses — or, when
+    /// `opts.remote` is non-empty, dial those TCP endpoints instead. Only
+    /// returns `Err` when there is nothing sane to continue with; a
+    /// partially (or completely) dead pool that at least agreed on the
+    /// plan — and on the token — yields a working `Cluster` that degrades
+    /// to local computation.
     pub(crate) fn spawn(
         opts: &ClusterOptions,
         plan_fp: u128,
-        corpus_dir: &Path,
+        handle: &CorpusHandle,
         config: &DiscoveryConfig,
     ) -> Result<Cluster, ClusterError> {
-        let dir_str = corpus_dir
+        let dir_str = handle
+            .dir()
             .to_str()
             .ok_or_else(|| ClusterError::Config("corpus path is not valid UTF-8".into()))?
             .to_string();
-        let command = if opts.worker_command.is_empty() {
-            let exe = std::env::current_exe()?;
-            let exe = exe
-                .to_str()
-                .ok_or_else(|| ClusterError::Config("executable path is not valid UTF-8".into()))?
-                .to_string();
-            vec![exe, "worker".to_string()]
-        } else {
-            opts.worker_command.clone()
-        };
-        let Some((program, prefix_args)) = command.split_first() else {
-            return Err(ClusterError::Config("empty worker command".into()));
-        };
-
-        let socket_path = socket_path();
-        std::fs::remove_file(&socket_path).ok();
-        let listener = UnixListener::bind(&socket_path)?;
-        listener.set_nonblocking(true)?;
-
-        let mut children: Vec<Option<Child>> = Vec::with_capacity(opts.workers);
-        let mut spawn_err = None;
-        for i in 0..opts.workers {
-            let mut cmd = Command::new(program);
-            cmd.args(prefix_args)
-                .arg("--socket")
-                .arg(&socket_path)
-                .arg("--index")
-                .arg(i.to_string())
-                .stdin(Stdio::null())
-                .stdout(Stdio::null());
-            if opts.corrupt_plan {
-                cmd.arg("--corrupt-plan");
-            }
-            match cmd.spawn() {
-                Ok(child) => children.push(Some(child)),
-                Err(e) => spawn_err = Some(e),
-            }
-        }
-        if children.is_empty() {
-            std::fs::remove_file(&socket_path).ok();
-            let detail =
-                spawn_err.map_or_else(|| "no workers requested".to_string(), |e| e.to_string());
-            return Err(ClusterError::Config(format!(
-                "failed to spawn any worker ('{program}'): {detail}"
-            )));
-        }
-        let mut stats = ClusterStats {
-            workers_spawned: children.len() as u64,
-            ..ClusterStats::default()
-        };
-
-        // Accept until every still-running child has connected, bounded
-        // by the handshake deadline.
         let handshake_timeout = opts.worker_timeout.max(Duration::from_secs(10));
-        let deadline = Instant::now() + handshake_timeout;
-        let mut conns: Vec<UnixStream> = Vec::new();
-        while conns.len() < children.len() && Instant::now() < deadline {
-            match listener.accept() {
-                Ok((stream, _)) => conns.push(stream),
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    let mut exited = 0;
-                    for child in children.iter_mut().flatten() {
-                        if matches!(child.try_wait(), Ok(Some(_))) {
-                            exited += 1;
-                        }
+        let is_remote = !opts.remote.is_empty();
+        let mut stats = ClusterStats::default();
+        let mut socket_path = None;
+        let mut claimed: Vec<Option<Child>> = Vec::new();
+        let mut conns: Vec<Box<dyn Stream>> = Vec::new();
+
+        if is_remote {
+            // Multi-host: connect to `worker --listen` peers. Unreachable
+            // endpoints count as handshake failures; all-unreachable is a
+            // setup error.
+            let mut last_err = None;
+            for addr in &opts.remote {
+                stats.workers_spawned += 1;
+                match Endpoint::Tcp(addr.clone()).connect_timeout(handshake_timeout) {
+                    Ok(stream) => conns.push(stream),
+                    Err(e) => {
+                        stats.handshake_failures += 1;
+                        last_err = Some(format!("{addr}: {e}"));
                     }
-                    if children.len() - exited <= conns.len() {
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_millis(5));
                 }
-                Err(e) => {
-                    for child in children.iter_mut().flatten() {
-                        child.kill().ok();
-                        child.wait().ok();
+            }
+            if conns.is_empty() {
+                let detail = last_err.unwrap_or_else(|| "no endpoints given".to_string());
+                return Err(ClusterError::Config(format!(
+                    "could not connect to any --remote worker: {detail}"
+                )));
+            }
+        } else {
+            let command = if opts.worker_command.is_empty() {
+                let exe = std::env::current_exe()?;
+                let exe = exe
+                    .to_str()
+                    .ok_or_else(|| {
+                        ClusterError::Config("executable path is not valid UTF-8".into())
+                    })?
+                    .to_string();
+                vec![exe, "worker".to_string()]
+            } else {
+                opts.worker_command.clone()
+            };
+            let Some((program, prefix_args)) = command.split_first() else {
+                return Err(ClusterError::Config("empty worker command".into()));
+            };
+
+            let path = fresh_socket_path();
+            std::fs::remove_file(&path).ok();
+            let listener = Endpoint::Unix(path.clone()).listen()?;
+            socket_path = Some(path.clone());
+
+            let mut spawn_err = None;
+            for i in 0..opts.workers {
+                let mut cmd = Command::new(program);
+                cmd.args(prefix_args)
+                    .arg("--socket")
+                    .arg(&path)
+                    .arg("--index")
+                    .arg(i.to_string())
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null());
+                if !opts.token.is_empty() {
+                    cmd.arg("--token").arg(&opts.token);
+                }
+                if opts.corrupt_plan {
+                    cmd.arg("--corrupt-plan");
+                }
+                match cmd.spawn() {
+                    Ok(child) => claimed.push(Some(child)),
+                    Err(e) => spawn_err = Some(e),
+                }
+            }
+            if claimed.is_empty() {
+                std::fs::remove_file(&path).ok();
+                let detail =
+                    spawn_err.map_or_else(|| "no workers requested".to_string(), |e| e.to_string());
+                return Err(ClusterError::Config(format!(
+                    "failed to spawn any worker ('{program}'): {detail}"
+                )));
+            }
+            stats.workers_spawned = claimed.len() as u64;
+
+            // Accept until every still-running child has connected,
+            // bounded by the handshake deadline.
+            let deadline = Instant::now() + handshake_timeout;
+            while conns.len() < claimed.len() && Instant::now() < deadline {
+                match listener.accept_stream() {
+                    Ok(Some(stream)) => conns.push(stream),
+                    Ok(None) => {
+                        let mut exited = 0;
+                        for child in claimed.iter_mut().flatten() {
+                            if matches!(child.try_wait(), Ok(Some(_))) {
+                                exited += 1;
+                            }
+                        }
+                        if claimed.len() - exited <= conns.len() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
                     }
-                    std::fs::remove_file(&socket_path).ok();
-                    return Err(e.into());
+                    Err(e) => {
+                        for child in claimed.iter_mut().flatten() {
+                            child.kill().ok();
+                            child.wait().ok();
+                        }
+                        std::fs::remove_file(&path).ok();
+                        return Err(e.into());
+                    }
                 }
             }
         }
 
-        // Handshake each connection: Join → Plan → PlanAck. Rejections
-        // and silence both count as handshake failures.
+        // Handshake each connection: Join (version + token digest) →
+        // Plan → [SegHave → SegManifest + SegData*] → PlanAck.
+        // Rejections and silence both count as handshake failures.
         let config_bytes = encode_config(config);
-        let mut admitted: Vec<(u32, UnixStream)> = Vec::new();
+        let expected_join = join_auth(&opts.token);
+        let sent_plan_auth = plan_auth(&opts.token);
+        let mut admitted: Vec<(Option<u32>, Box<dyn Stream>)> = Vec::new();
         let mut mismatch_fp = None;
+        let mut auth_failures = 0u64;
         for mut stream in conns {
             stream.set_read_timeout(Some(handshake_timeout)).ok();
             let index = match read_frame(&mut stream) {
-                Ok(Some(Frame::Join { version, index })) if version == PROTOCOL_VERSION => index,
+                Ok(Some(Frame::Join {
+                    version,
+                    index,
+                    auth,
+                })) if version == PROTOCOL_VERSION => {
+                    if auth != expected_join {
+                        // Wrong shared secret: explicit, typed rejection —
+                        // the worker gets a Shutdown, never a hang.
+                        stats.handshake_failures += 1;
+                        auth_failures += 1;
+                        write_frame(&mut stream, &Frame::Shutdown).ok();
+                        continue;
+                    }
+                    index
+                }
                 _ => {
                     stats.handshake_failures += 1;
                     continue;
@@ -214,6 +311,7 @@ impl Cluster {
             };
             let plan = Frame::Plan {
                 plan_fp,
+                auth: sent_plan_auth,
                 corpus_dir: dir_str.clone(),
                 config: config_bytes.clone(),
             };
@@ -221,24 +319,41 @@ impl Cluster {
                 stats.handshake_failures += 1;
                 continue;
             }
-            match read_frame(&mut stream) {
-                Ok(Some(Frame::PlanAck { plan_fp: got })) if got == plan_fp => {
-                    stream.set_read_timeout(None).ok();
-                    admitted.push((index, stream));
+            // One shipping round at most; then the PlanAck decides.
+            let mut shipped = false;
+            loop {
+                match read_frame(&mut stream) {
+                    Ok(Some(Frame::PlanAck { plan_fp: got })) if got == plan_fp => {
+                        stream.set_read_timeout(None).ok();
+                        let claim = (!is_remote).then_some(index);
+                        admitted.push((claim, stream));
+                        break;
+                    }
+                    Ok(Some(Frame::PlanAck { plan_fp: got })) => {
+                        stats.handshake_failures += 1;
+                        mismatch_fp = Some(got);
+                        write_frame(&mut stream, &Frame::Shutdown).ok();
+                        break;
+                    }
+                    Ok(Some(Frame::SegHave { digests })) if !shipped => {
+                        shipped = true;
+                        let have: HashSet<u128> = digests.into_iter().collect();
+                        if !ship_segments(&mut stream, handle, &have, &mut stats) {
+                            stats.handshake_failures += 1;
+                            break;
+                        }
+                    }
+                    _ => {
+                        stats.handshake_failures += 1;
+                        break;
+                    }
                 }
-                Ok(Some(Frame::PlanAck { plan_fp: got })) => {
-                    stats.handshake_failures += 1;
-                    mismatch_fp = Some(got);
-                    write_frame(&mut stream, &Frame::Shutdown).ok();
-                }
-                _ => stats.handshake_failures += 1,
             }
         }
 
         // Children that never made it through the handshake are dead
         // weight: reap them now.
-        let admitted_idx: HashSet<u32> = admitted.iter().map(|(i, _)| *i).collect();
-        let mut claimed: Vec<Option<Child>> = children;
+        let admitted_idx: HashSet<u32> = admitted.iter().filter_map(|(i, _)| *i).collect();
         for (i, slot) in claimed.iter_mut().enumerate() {
             if !admitted_idx.contains(&(i as u32)) {
                 if let Some(mut child) = slot.take() {
@@ -250,12 +365,17 @@ impl Cluster {
         }
 
         if admitted.is_empty() {
-            std::fs::remove_file(&socket_path).ok();
+            if let Some(path) = &socket_path {
+                std::fs::remove_file(path).ok();
+            }
             if let Some(got) = mismatch_fp {
                 return Err(ClusterError::PlanMismatch {
                     expected: plan_fp,
                     got,
                 });
+            }
+            if auth_failures > 0 {
+                return Err(ClusterError::AuthFailed);
             }
         }
 
@@ -263,13 +383,22 @@ impl Cluster {
         let mut workers = Vec::with_capacity(admitted.len());
         let mut readers = Vec::with_capacity(admitted.len());
         for (index, stream) in admitted {
-            let Some(child) = claimed.get_mut(index as usize).and_then(Option::take) else {
-                // A worker claimed an index we never spawned: drop it.
-                stats.handshake_failures += 1;
-                continue;
+            let child = match index {
+                Some(i) => {
+                    let Some(child) = claimed.get_mut(i as usize).and_then(Option::take) else {
+                        // A worker claimed an index we never spawned:
+                        // drop it.
+                        stats.handshake_failures += 1;
+                        continue;
+                    };
+                    Some(child)
+                }
+                // Remote workers are slotted by connection order; their
+                // processes belong to another host.
+                None => None,
             };
             let slot = workers.len();
-            let read_half = stream.try_clone()?;
+            let read_half = stream.try_clone_stream()?;
             let tx = tx.clone();
             readers.push(std::thread::spawn(move || reader_loop(read_half, slot, tx)));
             workers.push(WorkerConn {
@@ -291,16 +420,23 @@ impl Cluster {
             stats,
             worker_timeout: opts.worker_timeout,
             max_task_retries: opts.max_task_retries,
+            push_mode: opts.push_mode,
             kill_after: opts.kill_worker_after,
             assigned_passes: 0,
             next_task_id: 0,
             rr: 0,
+            last_forest_fp: None,
             socket_path,
         })
     }
 
     fn live_count(&self) -> usize {
         self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Live workers right now (the warm-pool gauge; no I/O).
+    pub(crate) fn live_workers(&self) -> usize {
+        self.live_count()
     }
 
     fn ready_count(&self) -> usize {
@@ -332,7 +468,12 @@ impl Cluster {
         if let Some(w) = self.workers.get_mut(slot) {
             if w.alive {
                 w.alive = false;
-                w.child.kill().ok();
+                if let Some(child) = w.child.as_mut() {
+                    child.kill().ok();
+                }
+                // For a remote worker this is the whole funeral; either
+                // way it unblocks the reader thread.
+                w.stream.shutdown_both().ok();
                 self.stats.workers_lost += 1;
             }
         }
@@ -399,6 +540,71 @@ impl Cluster {
             self.mark_dead(i);
         }
         dead
+    }
+
+    /// Reset the per-run counters before reusing a pooled cluster for a
+    /// new request; lifetime counters (spawns, losses, handshake
+    /// failures) persist. Deliberately *not* called after a cold spawn,
+    /// so the first run's stats still report the handshake's segment
+    /// shipping.
+    pub(crate) fn begin_run(&mut self) {
+        self.stats.encode_tasks = 0;
+        self.stats.encode_remote = 0;
+        self.stats.pass_tasks = 0;
+        self.stats.pass_remote = 0;
+        self.stats.tasks_retried = 0;
+        self.stats.tasks_fallback = 0;
+        self.stats.partials_pushed = 0;
+        self.stats.forest_ships = 0;
+        self.stats.segments_shipped = 0;
+        self.stats.segment_ship_bytes = 0;
+    }
+
+    /// Heartbeats doubling as health checks: drain any queued events,
+    /// ping every live worker and require a `Pong` within `timeout`.
+    /// Silent workers are declared dead. Returns the surviving count —
+    /// what a warm pool consults before trusting a cached entry.
+    pub(crate) fn health_check(&mut self, timeout: Duration) -> usize {
+        loop {
+            match self.events.try_recv() {
+                Ok(Event::Frame(slot, _)) => self.touch(slot),
+                Ok(Event::Gone(slot)) => self.mark_dead(slot),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        let live: Vec<usize> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive)
+            .map(|(i, _)| i)
+            .collect();
+        let mut waiting: HashSet<usize> = HashSet::new();
+        for slot in live {
+            if self.send_to(slot, &Frame::Ping) {
+                waiting.insert(slot);
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        while !waiting.is_empty() && Instant::now() < deadline {
+            match self.events.recv_timeout(TICK) {
+                Ok(Event::Frame(slot, Frame::Pong)) => {
+                    self.touch(slot);
+                    waiting.remove(&slot);
+                }
+                Ok(Event::Frame(slot, _)) => self.touch(slot),
+                Ok(Event::Gone(slot)) => {
+                    self.mark_dead(slot);
+                    waiting.remove(&slot);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        for slot in waiting {
+            self.mark_dead(slot);
+        }
+        self.live_count()
     }
 
     /// Phase 1: farm the pending segment-encode work list out to the
@@ -475,10 +681,14 @@ impl Cluster {
         }
     }
 
-    /// Phase 2: bring every worker up to the merged forest. Partials a
-    /// worker did not build itself are pushed over the socket; then each
-    /// worker merges in the coordinator's exact document order and must
-    /// ack with the same forest fingerprint to stay eligible for passes.
+    /// Phase 2: bring every worker up to the merged forest. Small gaps
+    /// are filled with per-partial `Push` frames; a worker missing more
+    /// than half the partials gets the whole set in one `ForestShip`
+    /// frame, encoded once and broadcast (`PushMode` can force either
+    /// path). Then each worker merges in the coordinator's exact document
+    /// order and must ack with the same forest fingerprint to stay
+    /// eligible for passes. A pooled cluster that already acked this
+    /// exact fingerprint skips the phase entirely.
     pub(crate) fn distribute_forest(
         &mut self,
         handle: &CorpusHandle,
@@ -486,6 +696,15 @@ impl Cluster {
         forest_fp: u128,
     ) {
         if self.live_count() == 0 {
+            return;
+        }
+        if self.last_forest_fp == Some(forest_fp)
+            && self
+                .workers
+                .iter()
+                .filter(|w| w.alive)
+                .all(|w| w.forest_ready)
+        {
             return;
         }
         self.touch_all();
@@ -497,33 +716,71 @@ impl Cluster {
                 distinct.push(d);
             }
         }
+        // The batched frame and its digest list are built at most once,
+        // however many workers need them.
+        let mut ship_frame: Option<Frame> = None;
+        let mut ship_digests: Vec<u128> = Vec::new();
         let mut waiting: HashSet<usize> = HashSet::new();
         for slot in 0..self.workers.len() {
-            if !self.workers.get(slot).is_some_and(|w| w.alive) {
-                continue;
-            }
+            let missing: Vec<u128> = match self.workers.get(slot) {
+                Some(w) if w.alive => distinct
+                    .iter()
+                    .copied()
+                    .filter(|d| {
+                        // No cached partial (cold forest cache): the
+                        // worker rebuilds from its own tree during Build.
+                        !w.has.contains(d) && handle.partial(plan.plan_fp(), *d).is_some()
+                    })
+                    .collect(),
+                _ => continue,
+            };
+            let use_ship = match self.push_mode {
+                PushMode::Partials => false,
+                PushMode::Forest => !missing.is_empty(),
+                PushMode::Auto => missing.len() * 2 > distinct.len(),
+            };
             let mut writable = true;
-            for &digest in &distinct {
-                if self
-                    .workers
-                    .get(slot)
-                    .is_some_and(|w| w.has.contains(&digest))
-                {
-                    continue;
+            if use_ship {
+                if ship_frame.is_none() {
+                    let partials: Vec<(u128, Vec<u8>)> = distinct
+                        .iter()
+                        .copied()
+                        .filter_map(|d| {
+                            handle
+                                .partial(plan.plan_fp(), d)
+                                .map(|p| (d, encode_partial(&p)))
+                        })
+                        .collect();
+                    ship_digests = partials.iter().map(|(d, _)| *d).collect();
+                    ship_frame = Some(Frame::ForestShip { partials });
                 }
-                // No cached partial (cold forest cache): the worker
-                // rebuilds from its own tree during Build.
-                let Some(partial) = handle.partial(plan.plan_fp(), digest) else {
-                    continue;
+                let sent = match &ship_frame {
+                    Some(frame) => self.send_to(slot, frame),
+                    None => false,
                 };
-                let bytes = encode_partial(&partial);
-                if self.send_to(slot, &Frame::Push { digest, bytes }) {
+                if sent {
+                    self.stats.forest_ships += 1;
                     if let Some(w) = self.workers.get_mut(slot) {
-                        w.has.insert(digest);
+                        w.has.extend(ship_digests.iter().copied());
                     }
                 } else {
                     writable = false;
-                    break;
+                }
+            } else {
+                for digest in missing {
+                    let Some(partial) = handle.partial(plan.plan_fp(), digest) else {
+                        continue;
+                    };
+                    let bytes = encode_partial(&partial);
+                    if self.send_to(slot, &Frame::Push { digest, bytes }) {
+                        self.stats.partials_pushed += 1;
+                        if let Some(w) = self.workers.get_mut(slot) {
+                            w.has.insert(digest);
+                        }
+                    } else {
+                        writable = false;
+                        break;
+                    }
                 }
             }
             let build = Frame::Build {
@@ -563,15 +820,25 @@ impl Cluster {
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+        self.last_forest_fp = Some(forest_fp);
     }
 
     /// Fault injection: SIGKILL the worker that just received a pass
-    /// task, leaving the task in flight. Death is then *discovered* the
-    /// honest way (EOF or liveness timeout), exactly like a real crash.
+    /// task — or, when the worker is remote, hard-reset its connection
+    /// (the TCP equivalent) — leaving the task in flight. Death is then
+    /// *discovered* the honest way (EOF, reset or liveness timeout),
+    /// exactly like a real crash.
     fn kill_injected(&mut self, slot: usize) {
         self.kill_after = None;
         if let Some(w) = self.workers.get_mut(slot) {
-            w.child.kill().ok();
+            match w.child.as_mut() {
+                Some(child) => {
+                    child.kill().ok();
+                }
+                None => {
+                    w.stream.shutdown_both().ok();
+                }
+            }
         }
     }
 
@@ -594,20 +861,37 @@ impl Cluster {
         }
     }
 
+    /// The stats of the run so far, with the live-worker gauge refreshed
+    /// — what a pooled cluster reports after each request, since it
+    /// never reaches [`Cluster::shutdown`] between them.
+    pub(crate) fn run_stats(&mut self) -> ClusterStats {
+        self.stats.workers_live = self.live_count() as u64;
+        self.stats
+    }
+
     /// Graceful teardown: `Shutdown` to every survivor, close write
-    /// halves, reap children (killing any that linger), join readers.
+    /// halves, reap spawned children (killing any that linger), close
+    /// remote connections, join readers.
     pub(crate) fn shutdown(&mut self) -> ClusterStats {
         self.stats.workers_live = self.live_count() as u64;
         for slot in 0..self.workers.len() {
             self.send_to(slot, &Frame::Shutdown);
         }
         for w in &mut self.workers {
-            w.stream.shutdown(std::net::Shutdown::Write).ok();
+            w.stream.shutdown_write().ok();
         }
         let deadline = Instant::now() + Duration::from_secs(10);
         for w in &mut self.workers {
+            let Some(child) = w.child.as_mut() else {
+                // Remote worker: not ours to reap. A full shutdown of the
+                // connection unblocks our reader thread; the worker loops
+                // back to listening.
+                w.stream.shutdown_both().ok();
+                w.reaped = true;
+                continue;
+            };
             loop {
-                match w.child.try_wait() {
+                match child.try_wait() {
                     Ok(Some(_)) => {
                         w.reaped = true;
                         break;
@@ -616,8 +900,8 @@ impl Cluster {
                         std::thread::sleep(Duration::from_millis(10))
                     }
                     _ => {
-                        w.child.kill().ok();
-                        w.child.wait().ok();
+                        child.kill().ok();
+                        child.wait().ok();
                         w.reaped = true;
                         break;
                     }
@@ -627,7 +911,9 @@ impl Cluster {
         for handle in self.readers.drain(..) {
             handle.join().ok();
         }
-        std::fs::remove_file(&self.socket_path).ok();
+        if let Some(path) = &self.socket_path {
+            std::fs::remove_file(path).ok();
+        }
         self.stats
     }
 
@@ -641,11 +927,20 @@ impl Drop for Cluster {
     fn drop(&mut self) {
         for w in &mut self.workers {
             if !w.reaped {
-                w.child.kill().ok();
-                w.child.wait().ok();
+                match w.child.as_mut() {
+                    Some(child) => {
+                        child.kill().ok();
+                        child.wait().ok();
+                    }
+                    None => {
+                        w.stream.shutdown_both().ok();
+                    }
+                }
             }
         }
-        std::fs::remove_file(&self.socket_path).ok();
+        if let Some(path) = &self.socket_path {
+            std::fs::remove_file(path).ok();
+        }
     }
 }
 

@@ -3,46 +3,73 @@
 //!
 //! Multi-process sharded discovery: a coordinator that drives corpus
 //! discovery by farming the two parallelizable stages — per-segment
-//! partial encoding and the relation passes — out to worker subprocesses
-//! over Unix domain sockets.
+//! partial encoding and the relation passes — out to worker processes
+//! over a pluggable byte-stream transport ([`xfd_transport`]): Unix
+//! domain sockets for spawned single-host pools, TCP for remote workers
+//! started with `discoverxfd worker --listen host:port` and addressed
+//! with `--remote host:port,...`.
 //!
 //! The workers are instances of the same binary (`discoverxfd worker
 //! --socket <path>`, or the `xfd-cluster-worker` helper this crate
 //! ships for its own tests), so there is nothing to deploy beyond the one
 //! executable. The protocol is the hand-rolled frame codec in [`frame`]
-//! — dependency-free, versioned, and fingerprint-checked: a worker
-//! re-derives the plan fingerprint (collection schema + encode config)
-//! from its own read-only view of the corpus directory and is only
-//! admitted when it matches the coordinator's.
+//! — dependency-free, versioned, token-authenticated, and
+//! fingerprint-checked: a worker re-derives the plan fingerprint
+//! (collection schema + encode config) from its own read-only view of the
+//! corpus directory and is only admitted when it matches the
+//! coordinator's. A remote worker with no shared filesystem gets there by
+//! **content-addressed segment shipping**: it announces the segment
+//! digests its byte-budgeted local cache holds, the coordinator answers
+//! with the per-document digest manifest plus only the missing segment
+//! bytes, and the worker verifies each against its digest before
+//! reassembling the identical document view.
 //!
 //! Determinism is the design center: results merge in the same wave order
 //! as single-process discovery, memo hits never leave the coordinator,
-//! and any worker failure — death mid-task, a torn frame, a forged
-//! answer — degrades to computing that piece locally. The final report is
-//! therefore **byte-identical** to `discover` at any worker count,
-//! including after a mid-run `kill -9`.
+//! and any worker failure — death mid-task, a torn frame, a connection
+//! reset, a forged answer — degrades to computing that piece locally. The
+//! final report is therefore **byte-identical** to `discover` at any
+//! worker count on either transport, including after a mid-run `kill -9`
+//! or TCP reset.
 //!
 //! ```text
 //! coordinator                                worker (×N)
 //! ───────────                                ───────────
-//!            ◄─ Join{version, index} ──────
-//!            ── Plan{fp, dir, config} ─────►  opens corpus read-only,
+//!            ◄─ Join{version, index, auth} ─
+//!            ── Plan{fp, auth, dir, cfg} ───►  opens corpus read-only…
+//!            ◄─ SegHave{digests}? ──────────  …or announces its cache
+//!            ── SegManifest + SegData* ─────►  verifies, reassembles
 //!            ◄─ PlanAck{fp} ────────────────  re-derives fp
 //!   [encode] ── Encode{digest} ─────────────►
 //!            ◄─ Partial{digest, bytes} ─────
-//!   [forest] ── Push{digest, bytes}* ───────►  fills partial gaps
+//!   [forest] ── Push{digest, bytes}* ───────►  fills small gaps, or
+//!            ── ForestShip{partials} ───────►  …everything in one frame
 //!            ── Build{forest_fp, digests} ──►  merges, fingerprints
 //!            ◄─ ForestAck{forest_fp} ───────
 //!   [passes] ── Pass{task_id, wave task} ───►
 //!            ◄─ TaskResult{task_id, bytes} ─
 //!            ── Ping ───────────────────────►  (any time; liveness)
 //!            ◄─ Pong ───────────────────────
-//!            ── Shutdown ───────────────────►
+//!            ── Shutdown ───────────────────►  (pooled clusters skip
+//!                                               this between requests)
 //! ```
+//!
+//! [`pool::WorkerPool`] keeps whole clusters warm between requests,
+//! keyed by (corpus name, plan fingerprint): heartbeats double as health
+//! checks on checkout, idle entries are reaped on a deadline, and a dead
+//! or poisoned entry is respawned transparently.
 
 pub mod coordinator;
-pub mod frame;
+pub mod pool;
 pub mod worker;
+
+/// The frame codec, re-exported from [`xfd_transport`] (where it lives
+/// so both the transport tests and this crate drive the same bytes).
+pub use xfd_transport::frame;
+
+/// The pluggable byte-stream layer (also re-exported whole for callers
+/// that need [`xfd_transport::Endpoint`] and friends).
+pub use xfd_transport as transport;
 
 use std::fmt;
 use std::io;
@@ -54,6 +81,7 @@ use xfd_relation::forest_fingerprint;
 
 pub use coordinator::Cluster;
 pub use frame::{Frame, PROTOCOL_VERSION};
+pub use pool::{PoolDiscovery, PoolSnapshot, WorkerPool};
 pub use worker::{run_worker, WorkerOptions};
 
 /// Everything that can go wrong setting up or driving a cluster. Worker
@@ -69,6 +97,11 @@ pub enum ClusterError {
     Config(String),
     /// A peer spoke the protocol wrong.
     Protocol(String),
+    /// Every worker failed the shared-secret token check: the two sides
+    /// were started with different `--token` values. Typed so a
+    /// misconfigured cluster is an immediate, explicit rejection — never
+    /// a hang waiting out handshake timeouts.
+    AuthFailed,
     /// Every worker derived a different plan fingerprint than the
     /// coordinator: the worker pool is looking at a different corpus
     /// state or running an incompatible build. Nothing was assigned.
@@ -87,6 +120,11 @@ impl fmt::Display for ClusterError {
             ClusterError::Corpus(e) => write!(f, "cluster corpus: {e}"),
             ClusterError::Config(m) => write!(f, "cluster config: {m}"),
             ClusterError::Protocol(m) => write!(f, "cluster protocol: {m}"),
+            ClusterError::AuthFailed => write!(
+                f,
+                "cluster auth: every worker failed the shared-secret token check; \
+                 coordinator and workers must be started with the same --token"
+            ),
             ClusterError::PlanMismatch { expected, got } => write!(
                 f,
                 "plan fingerprint mismatch: coordinator {expected:032x}, workers reported \
@@ -110,11 +148,38 @@ impl From<CorpusError> for ClusterError {
     }
 }
 
+/// How the coordinator brings a worker's partial set up to the merged
+/// forest (satellite of the forest-distribution phase; see
+/// [`Cluster`]'s `distribute_forest`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PushMode {
+    /// Per-worker choice: individual `Push` frames when the worker
+    /// already holds most partials, one batched `ForestShip` frame when
+    /// more than half are missing.
+    #[default]
+    Auto,
+    /// Always individual `Push` frames (the pre-ship behavior; kept for
+    /// the bench crossover measurement).
+    Partials,
+    /// Always one batched `ForestShip` frame per worker that is missing
+    /// anything.
+    Forest,
+}
+
 /// Knobs for one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterOptions {
     /// Worker subprocesses to spawn. `0` runs everything in-process.
+    /// Ignored when `remote` is non-empty.
     pub workers: usize,
+    /// Remote worker endpoints (`host:port` each, from `--remote`). When
+    /// non-empty the coordinator connects to these instead of spawning
+    /// local subprocesses.
+    pub remote: Vec<String>,
+    /// Shared-secret handshake token; both sides must be started with
+    /// the same value. The empty default keeps single-host Unix-socket
+    /// clusters working with no flags.
+    pub token: String,
     /// A worker silent for this long (no frame, no heartbeat answer) is
     /// declared dead, killed, and its in-flight tasks reassigned.
     pub worker_timeout: Duration,
@@ -124,8 +189,11 @@ pub struct ClusterOptions {
     /// Command prefix to launch a worker; `--socket`/`--index` are
     /// appended. Empty means "this executable, `worker` subcommand".
     pub worker_command: Vec<String>,
-    /// Fault injection: `kill -9` the worker that received the Nth pass
-    /// task, right after assigning it (so the task is in flight when the
+    /// How partial gaps are filled before the forest build.
+    pub push_mode: PushMode,
+    /// Fault injection: `kill -9` (or, for a remote worker, hard-reset
+    /// the connection of) the worker that received the Nth pass task,
+    /// right after assigning it (so the task is in flight when the
     /// worker dies). Exercised by tests and the CI smoke script.
     pub kill_worker_after: Option<u64>,
     /// Fault injection: spawn workers with `--corrupt-plan` so every
@@ -137,9 +205,12 @@ impl Default for ClusterOptions {
     fn default() -> ClusterOptions {
         ClusterOptions {
             workers: 2,
+            remote: Vec::new(),
+            token: String::new(),
             worker_timeout: Duration::from_secs(30),
             max_task_retries: 2,
             worker_command: Vec::new(),
+            push_mode: PushMode::Auto,
             kill_worker_after: None,
             corrupt_plan: false,
         }
@@ -150,13 +221,14 @@ impl Default for ClusterOptions {
 /// `/metrics` families and the bench harness.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ClusterStats {
-    /// Workers successfully spawned.
+    /// Workers successfully spawned (or, for `--remote`, attempted).
     pub workers_spawned: u64,
     /// Workers still alive when the run finished.
     pub workers_live: u64,
     /// Workers lost mid-run (died, timed out, or spoke garbage).
     pub workers_lost: u64,
-    /// Workers rejected during the handshake (version or fingerprint).
+    /// Workers rejected during the handshake (version, token or
+    /// fingerprint).
     pub handshake_failures: u64,
     /// Segment-encode tasks in the work list.
     pub encode_tasks: u64,
@@ -172,15 +244,25 @@ pub struct ClusterStats {
     /// Tasks abandoned to local computation (retries exhausted or no
     /// workers left).
     pub tasks_fallback: u64,
+    /// Individual partial `Push` frames sent during forest distribution.
+    pub partials_pushed: u64,
+    /// Batched `ForestShip` frames sent instead of per-partial pushes.
+    pub forest_ships: u64,
+    /// Segments shipped to workers without shared storage.
+    pub segments_shipped: u64,
+    /// Total bytes of shipped segment payloads.
+    pub segment_ship_bytes: u64,
 }
 
 impl ClusterStats {
     /// One stable line for scripts to grep:
     /// `cluster: workers=2 live=2 lost=0 handshake_failures=0 ...`.
+    /// New fields append at the end so existing extractions keep working.
     pub fn summary(&self) -> String {
         format!(
             "cluster: workers={} live={} lost={} handshake_failures={} encode_tasks={} \
-             encode_remote={} pass_tasks={} pass_remote={} retried={} fallback={}",
+             encode_remote={} pass_tasks={} pass_remote={} retried={} fallback={} \
+             pushed={} ships={} segs_shipped={} ship_bytes={}",
             self.workers_spawned,
             self.workers_live,
             self.workers_lost,
@@ -191,31 +273,37 @@ impl ClusterStats {
             self.pass_remote,
             self.tasks_retried,
             self.tasks_fallback,
+            self.partials_pushed,
+            self.forest_ships,
+            self.segments_shipped,
+            self.segment_ship_bytes,
         )
     }
 }
 
-/// Run corpus discovery across `opts.workers` subprocesses.
+/// Run corpus discovery across a worker pool — `opts.workers` spawned
+/// subprocesses, or the `opts.remote` TCP endpoints when given.
 ///
 /// The output [`RunOutcome`] is byte-identical (timings aside) to
 /// [`CorpusHandle::discover_with_progress`] on the same handle: the
 /// coordinator plans, farms out encoding and passes, and merges results
 /// in the deterministic single-process order. Any failure after a
 /// successful handshake degrades to local computation; the only
-/// run-aborting errors are setup problems and a unanimous
-/// [`ClusterError::PlanMismatch`].
+/// run-aborting errors are setup problems, a unanimous
+/// [`ClusterError::PlanMismatch`] and a unanimous
+/// [`ClusterError::AuthFailed`].
 pub fn cluster_discover(
     handle: &mut CorpusHandle,
     config: &DiscoveryConfig,
     opts: &ClusterOptions,
 ) -> Result<(RunOutcome, ClusterStats), ClusterError> {
     let plan = handle.plan(config);
-    if opts.workers == 0 {
+    if opts.workers == 0 && opts.remote.is_empty() {
         let prepared = handle.merged_forest(config, &plan);
         let outcome = handle.finish_discover(config, &prepared, |_| {}, None);
         return Ok((outcome, ClusterStats::default()));
     }
-    let mut cluster = Cluster::spawn(opts, plan.plan_fp(), handle.dir(), config)?;
+    let mut cluster = Cluster::spawn(opts, plan.plan_fp(), handle, config)?;
     cluster.encode_phase(handle, config, &plan);
     let prepared = handle.merged_forest(config, &plan);
     let forest_fp = forest_fingerprint(prepared.forest());

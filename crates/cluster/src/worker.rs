@@ -1,36 +1,72 @@
-//! The worker side: connect to the coordinator's socket, re-derive the
-//! plan from a read-only view of the corpus, then serve encode / merge /
-//! pass requests until `Shutdown` or EOF.
+//! The worker side: connect to the coordinator's Unix socket (spawned
+//! workers) or listen on TCP for one (`--listen host:port`, remote
+//! workers), re-derive the plan from a read-only view of the corpus —
+//! or, without shared storage, from digest-verified shipped segments —
+//! then serve encode / merge / pass requests until `Shutdown` or EOF.
 //!
-//! Three threads, no shared locks:
+//! Three threads per session, no shared locks:
 //!
 //! * the **main** thread reads frames and dispatches — heartbeats are
 //!   answered here so liveness holds even while a merge is running;
 //! * a **compute** thread owns the corpus handle and works the queue in
 //!   FIFO order;
-//! * a **writer** thread owns the write half of the socket, serializing
-//!   whole frames from one channel (answers and `Pong`s interleave at
-//!   frame boundaries, never inside one).
+//! * a **writer** thread owns the write half of the connection,
+//!   serializing whole frames from one channel (answers and `Pong`s
+//!   interleave at frame boundaries, never inside one).
+//!
+//! A listening worker is persistent: when a coordinator disconnects it
+//! loops back to accepting, its segment cache warm for the next session.
+//! It serves one coordinator at a time.
 
-use std::path::PathBuf;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::Duration;
 
 use discoverxfd::{decode_config, run_task, task_in_bounds, DiscoveryConfig, WaveTask};
 use xfd_corpus::{CorpusHandle, CorpusPlan, CorpusStore, PreparedCorpus};
+use xfd_relation::treetuple::decode_tree;
 use xfd_relation::{build_partial, encode_partial, forest_fingerprint};
 use xfd_schema::SchemaMap;
+use xfd_transport::{join_auth, plan_auth, Endpoint, Stream};
+use xfd_xml::DataTree;
 
 use crate::frame::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
 use crate::ClusterError;
 
+/// Bound on coordinator silence during the handshake and segment
+/// shipping; cleared once admitted (a pooled worker then waits
+/// indefinitely between requests).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default byte budget for the shipped-segment cache (256 MiB).
+pub const DEFAULT_SEG_CACHE_BUDGET: u64 = 256 * 1024 * 1024;
+
 /// How a worker process was invoked.
 #[derive(Debug, Clone)]
 pub struct WorkerOptions {
-    /// The coordinator's Unix socket.
-    pub socket: PathBuf,
+    /// The coordinator's Unix socket (spawned workers). Exactly one of
+    /// `socket` and `listen` must be set.
+    pub socket: Option<PathBuf>,
+    /// TCP `host:port` to listen on for coordinators (remote workers).
+    /// Port 0 picks an ephemeral port; the bound address is printed as
+    /// `worker listening on <addr>` for scripts to parse.
+    pub listen: Option<String>,
     /// This worker's index, echoed in the `Join` frame.
     pub index: u32,
+    /// Shared-secret handshake token; must match the coordinator's.
+    pub token: String,
+    /// Directory for the content-addressed segment cache used when the
+    /// corpus directory is unreachable; defaults to a per-user temp
+    /// location.
+    pub seg_cache: Option<PathBuf>,
+    /// Byte budget for the segment cache; least-recently-written
+    /// segments beyond it are evicted after each handshake.
+    pub seg_cache_budget: u64,
+    /// Never open the corpus directory, even if it exists locally —
+    /// always announce the cache and fetch missing segments (exercises
+    /// the multi-host shipping path on one machine).
+    pub no_shared_storage: bool,
     /// Fault injection: report a deliberately wrong plan fingerprint in
     /// the handshake (exercises the coordinator's typed rejection).
     pub corrupt_plan: bool,
@@ -39,12 +75,19 @@ pub struct WorkerOptions {
     pub exit_after_tasks: Option<u64>,
 }
 
-/// Parse worker flags (`--socket <path> [--index N] [--corrupt-plan]
-/// [--exit-after-tasks N]`), shared by the `discoverxfd worker`
-/// subcommand and the `xfd-cluster-worker` test binary.
+/// Parse worker flags (`--socket <path> | --listen <host:port>`, plus
+/// `[--index N] [--token T] [--seg-cache DIR] [--seg-cache-budget BYTES]
+/// [--no-shared-storage] [--corrupt-plan] [--exit-after-tasks N]`),
+/// shared by the `discoverxfd worker` subcommand and the
+/// `xfd-cluster-worker` test binary.
 pub fn parse_worker_args(args: &[String]) -> Result<WorkerOptions, String> {
     let mut socket: Option<PathBuf> = None;
+    let mut listen: Option<String> = None;
     let mut index = 0u32;
+    let mut token = String::new();
+    let mut seg_cache: Option<PathBuf> = None;
+    let mut seg_cache_budget = DEFAULT_SEG_CACHE_BUDGET;
+    let mut no_shared_storage = false;
     let mut corrupt_plan = false;
     let mut exit_after_tasks = None;
     let mut it = args.iter();
@@ -54,10 +97,29 @@ pub fn parse_worker_args(args: &[String]) -> Result<WorkerOptions, String> {
                 let v = it.next().ok_or("--socket needs a path")?;
                 socket = Some(PathBuf::from(v));
             }
+            "--listen" => {
+                let v = it.next().ok_or("--listen needs host:port")?;
+                listen = Some(v.clone());
+            }
             "--index" => {
                 let v = it.next().ok_or("--index needs a number")?;
                 index = v.parse().map_err(|_| format!("bad --index '{v}'"))?;
             }
+            "--token" => {
+                let v = it.next().ok_or("--token needs a value")?;
+                token = v.clone();
+            }
+            "--seg-cache" => {
+                let v = it.next().ok_or("--seg-cache needs a directory")?;
+                seg_cache = Some(PathBuf::from(v));
+            }
+            "--seg-cache-budget" => {
+                let v = it.next().ok_or("--seg-cache-budget needs a byte count")?;
+                seg_cache_budget = v
+                    .parse()
+                    .map_err(|_| format!("bad --seg-cache-budget '{v}'"))?;
+            }
+            "--no-shared-storage" => no_shared_storage = true,
             "--corrupt-plan" => corrupt_plan = true,
             "--exit-after-tasks" => {
                 let v = it.next().ok_or("--exit-after-tasks needs a number")?;
@@ -69,9 +131,17 @@ pub fn parse_worker_args(args: &[String]) -> Result<WorkerOptions, String> {
             other => return Err(format!("unknown worker option '{other}'")),
         }
     }
+    if socket.is_some() == listen.is_some() {
+        return Err("exactly one of --socket and --listen is required".into());
+    }
     Ok(WorkerOptions {
-        socket: socket.ok_or("--socket is required")?,
+        socket,
+        listen,
         index,
+        token,
+        seg_cache,
+        seg_cache_budget,
+        no_shared_storage,
         corrupt_plan,
         exit_after_tasks,
     })
@@ -82,36 +152,102 @@ pub fn parse_worker_args(args: &[String]) -> Result<WorkerOptions, String> {
 enum Work {
     Encode(u128),
     Push(u128, Vec<u8>),
+    Ship(Vec<(u128, Vec<u8>)>),
     Build(Vec<u128>),
     Pass(u64, Vec<u8>),
 }
 
-/// Run the worker protocol to completion. Returns when the coordinator
-/// sends `Shutdown` or closes the socket; errors cover only the phase
-/// before any work is accepted (connect, handshake, corpus open).
+/// Run the worker. With `--socket`, dials the coordinator and serves one
+/// session, returning when the coordinator sends `Shutdown` or closes
+/// the connection. With `--listen`, binds the TCP address, prints
+/// `worker listening on <addr>` to stdout, and serves coordinator
+/// sessions forever (one at a time); session failures are reported to
+/// stderr and the worker keeps listening.
 pub fn run_worker(opts: &WorkerOptions) -> Result<(), ClusterError> {
-    let mut reader = std::os::unix::net::UnixStream::connect(&opts.socket)?;
-    let write_half = reader.try_clone()?;
+    match (&opts.socket, &opts.listen) {
+        (Some(path), None) => {
+            let stream: Box<dyn Stream> = Box::new(std::os::unix::net::UnixStream::connect(path)?);
+            run_session(stream, opts)
+        }
+        (None, Some(addr)) => {
+            let listener = Endpoint::Tcp(addr.clone()).listen()?;
+            {
+                // The bound address line is the contract scripts parse to
+                // learn an ephemeral port; flush so it is visible before
+                // the first session blocks.
+                use std::io::Write as _;
+                let mut stdout = std::io::stdout();
+                writeln!(stdout, "worker listening on {}", listener.local_label()).ok();
+                stdout.flush().ok();
+            }
+            loop {
+                match listener.accept_stream() {
+                    Ok(Some(stream)) => {
+                        if let Err(e) = run_session(stream, opts) {
+                            eprintln!("worker: session failed: {e}");
+                        }
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                    Err(e) => {
+                        eprintln!("worker: accept failed: {e}");
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+            }
+        }
+        _ => Err(ClusterError::Config(
+            "exactly one of --socket and --listen is required".into(),
+        )),
+    }
+}
+
+/// Serve one coordinator session over an established connection. Errors
+/// cover only the phase before any work is accepted (handshake, corpus
+/// open or segment shipping).
+fn run_session(mut reader: Box<dyn Stream>, opts: &WorkerOptions) -> Result<(), ClusterError> {
+    let write_half = reader.try_clone_stream()?;
     let (out_tx, out_rx) = channel::<Frame>();
     let writer = std::thread::spawn(move || writer_loop(write_half, out_rx));
 
-    // Handshake: announce ourselves, receive the job, re-derive the plan
-    // fingerprint from our own read-only view and report it back.
+    // Handshake: announce ourselves (with our token's digest), receive
+    // the job, re-derive the plan fingerprint from our own view and
+    // report it back. A silent coordinator cannot wedge us: reads are
+    // bounded until we are admitted.
+    reader.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).ok();
     out_tx
         .send(Frame::Join {
             version: PROTOCOL_VERSION,
             index: opts.index,
+            auth: join_auth(&opts.token),
         })
         .ok();
-    let (plan_fp, corpus_dir, config_bytes) = match read_frame(&mut reader)? {
+    let (plan_fp, auth, corpus_dir, config_bytes) = match read_frame(&mut reader)? {
         Some(Frame::Plan {
             plan_fp,
+            auth,
             corpus_dir,
             config,
-        }) => (plan_fp, corpus_dir, config),
+        }) => (plan_fp, auth, corpus_dir, config),
+        // A Shutdown here is the coordinator rejecting our Join (wrong
+        // token or version); EOF is it going away. Either ends cleanly.
+        Some(Frame::Shutdown) | None => {
+            drop(out_tx);
+            writer.join().ok();
+            return Ok(());
+        }
         Some(_) => return Err(ClusterError::Protocol("expected a Plan frame".into())),
-        None => return Ok(()), // coordinator went away before assigning anything
     };
+    if auth != plan_auth(&opts.token) {
+        // The coordinator's token digest is wrong: refuse to serve it.
+        out_tx
+            .send(Frame::WorkerError {
+                message: "plan auth digest mismatch: tokens differ".into(),
+            })
+            .ok();
+        drop(out_tx);
+        writer.join().ok();
+        return Ok(());
+    }
     let config = decode_config(&config_bytes)
         .map_err(|e| ClusterError::Protocol(format!("undecodable config: {e}")))?;
     let dir = PathBuf::from(&corpus_dir);
@@ -120,11 +256,32 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<(), ClusterError> {
         .and_then(|n| n.to_str())
         .ok_or_else(|| ClusterError::Config(format!("bad corpus dir '{corpus_dir}'")))?
         .to_string();
-    let root = dir
-        .parent()
-        .ok_or_else(|| ClusterError::Config(format!("corpus dir '{corpus_dir}' has no parent")))?
-        .to_path_buf();
-    let mut handle = CorpusStore::new(root).open_readonly(&name)?;
+
+    // Shared storage first; otherwise (or when forced) announce our
+    // segment cache and let the coordinator ship what it lacks.
+    let shared = if opts.no_shared_storage {
+        None
+    } else {
+        dir.parent()
+            .map(|root| CorpusStore::new(root).open_readonly(&name))
+            .and_then(Result::ok)
+    };
+    let mut handle = match shared {
+        Some(h) => h,
+        None => {
+            let cache_dir = opts
+                .seg_cache
+                .clone()
+                .unwrap_or_else(|| std::env::temp_dir().join("xfd-worker-segcache"));
+            open_shipped(
+                &mut reader,
+                &out_tx,
+                &name,
+                &cache_dir,
+                opts.seg_cache_budget,
+            )?
+        }
+    };
     let plan = handle.plan(&config);
     let mut my_fp = plan.plan_fp();
     if opts.corrupt_plan {
@@ -139,6 +296,7 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<(), ClusterError> {
         writer.join().ok();
         return Ok(());
     }
+    reader.set_read_timeout(None).ok();
 
     // Admitted: hand the corpus to the compute thread and keep reading.
     let (work_tx, work_rx) = channel::<Work>();
@@ -157,6 +315,9 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<(), ClusterError> {
             }
             Ok(Some(Frame::Push { digest, bytes })) => {
                 work_tx.send(Work::Push(digest, bytes)).ok();
+            }
+            Ok(Some(Frame::ForestShip { partials })) => {
+                work_tx.send(Work::Ship(partials)).ok();
             }
             Ok(Some(Frame::Build { digests, .. })) => {
                 work_tx.send(Work::Build(digests)).ok();
@@ -182,8 +343,193 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<(), ClusterError> {
     Ok(())
 }
 
+/// Path of one cached segment.
+fn seg_cache_path(cache_dir: &Path, digest: u128) -> PathBuf {
+    cache_dir.join(format!("{digest:032x}.seg"))
+}
+
+/// Digests present in the local segment cache (by filename; bytes are
+/// verified against the digest when actually used).
+fn scan_cache(cache_dir: &Path) -> Vec<u128> {
+    let Ok(entries) = std::fs::read_dir(cache_dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("seg") {
+            continue;
+        }
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        if stem.len() == 32 {
+            if let Ok(d) = u128::from_str_radix(stem, 16) {
+                out.push(d);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Persist one verified shipped segment (write-then-rename, so a crash
+/// mid-write never leaves a plausible-looking partial file).
+fn store_cached(cache_dir: &Path, digest: u128, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = cache_dir.join(format!("{digest:032x}.tmp"));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, seg_cache_path(cache_dir, digest))
+}
+
+/// Enforce the cache byte budget: drop least-recently-written segments
+/// until under budget, never touching the current manifest's segments.
+fn evict_cache(cache_dir: &Path, budget: u64, keep: &HashSet<u128>) {
+    let Ok(entries) = std::fs::read_dir(cache_dir) else {
+        return;
+    };
+    let mut files: Vec<(std::time::SystemTime, u64, PathBuf, Option<u128>)> = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("seg") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else {
+            continue;
+        };
+        let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        let digest = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .filter(|s| s.len() == 32)
+            .and_then(|s| u128::from_str_radix(s, 16).ok());
+        files.push((mtime, meta.len(), path, digest));
+    }
+    let mut total: u64 = files.iter().map(|f| f.1).sum();
+    files.sort_by_key(|f| f.0);
+    for (_, len, path, digest) in files {
+        if total <= budget {
+            break;
+        }
+        if digest.is_some_and(|d| keep.contains(&d)) {
+            continue;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total = total.saturating_sub(len);
+        }
+    }
+}
+
+/// Content-addressed segment shipping, worker side: announce what the
+/// cache holds, receive the manifest plus the missing segments (each
+/// verified against its digest before being trusted or cached), then
+/// assemble a read-only corpus handle identical in document view to the
+/// coordinator's.
+fn open_shipped(
+    reader: &mut Box<dyn Stream>,
+    out: &Sender<Frame>,
+    name: &str,
+    cache_dir: &Path,
+    budget: u64,
+) -> Result<CorpusHandle, ClusterError> {
+    std::fs::create_dir_all(cache_dir)?;
+    let cached_list = scan_cache(cache_dir);
+    out.send(Frame::SegHave {
+        digests: cached_list.clone(),
+    })
+    .ok();
+    let cached: HashSet<u128> = cached_list.into_iter().collect();
+    let manifest = match read_frame(reader)? {
+        Some(Frame::SegManifest { digests }) => digests,
+        Some(_) => {
+            return Err(ClusterError::Protocol(
+                "expected a SegManifest frame".into(),
+            ))
+        }
+        None => {
+            return Err(ClusterError::Protocol(
+                "coordinator closed during segment shipping".into(),
+            ))
+        }
+    };
+    let mut distinct = Vec::new();
+    let mut seen = HashSet::new();
+    for &d in &manifest {
+        if seen.insert(d) {
+            distinct.push(d);
+        }
+    }
+    let mut missing: HashSet<u128> = distinct
+        .iter()
+        .copied()
+        .filter(|d| !cached.contains(d))
+        .collect();
+    let mut received: HashMap<u128, Vec<u8>> = HashMap::new();
+    while !missing.is_empty() {
+        match read_frame(reader)? {
+            Some(Frame::SegData { digest, bytes }) => {
+                if xfd_hash::digest_bytes(&bytes) != digest {
+                    return Err(ClusterError::Protocol(format!(
+                        "shipped segment {digest:032x} failed digest verification"
+                    )));
+                }
+                if missing.remove(&digest) {
+                    store_cached(cache_dir, digest, &bytes)?;
+                    received.insert(digest, bytes);
+                }
+            }
+            Some(_) => {
+                return Err(ClusterError::Protocol(
+                    "expected a SegData frame during shipping".into(),
+                ))
+            }
+            None => {
+                return Err(ClusterError::Protocol(
+                    "coordinator closed mid-shipping".into(),
+                ))
+            }
+        }
+    }
+    // Assemble the document view in manifest order. Cache hits are read
+    // back and re-verified — a corrupted cache file is evicted and the
+    // session fails, so the retry fetches it fresh.
+    let mut trees: HashMap<u128, DataTree> = HashMap::new();
+    for &digest in &distinct {
+        let bytes = match received.remove(&digest) {
+            Some(b) => b,
+            None => {
+                let path = seg_cache_path(cache_dir, digest);
+                let b = std::fs::read(&path)?;
+                if xfd_hash::digest_bytes(&b) != digest {
+                    std::fs::remove_file(&path).ok();
+                    return Err(ClusterError::Protocol(format!(
+                        "cached segment {digest:032x} failed digest verification"
+                    )));
+                }
+                b
+            }
+        };
+        let tree = decode_tree(&bytes).map_err(|e| {
+            ClusterError::Protocol(format!(
+                "shipped segment {digest:032x} failed to decode: {e}"
+            ))
+        })?;
+        trees.insert(digest, tree);
+    }
+    let mut docs = Vec::with_capacity(manifest.len());
+    for &d in &manifest {
+        let Some(tree) = trees.get(&d) else {
+            return Err(ClusterError::Protocol(
+                "manifest digest unresolved after shipping".into(),
+            ));
+        };
+        docs.push((d, tree.clone()));
+    }
+    evict_cache(cache_dir, budget, &seen);
+    Ok(CorpusHandle::from_shipped(name, cache_dir, docs))
+}
+
 /// Drain frames until `Shutdown` or EOF (post-rejection limbo).
-fn wait_for_shutdown(reader: &mut std::os::unix::net::UnixStream) {
+fn wait_for_shutdown(reader: &mut Box<dyn Stream>) {
     reader.set_read_timeout(Some(Duration::from_secs(30))).ok();
     loop {
         match read_frame(reader) {
@@ -193,9 +539,9 @@ fn wait_for_shutdown(reader: &mut std::os::unix::net::UnixStream) {
     }
 }
 
-/// Sole owner of the socket's write half: serialize whole frames from
-/// the channel, stop on the first failed write (coordinator gone).
-fn writer_loop(mut stream: std::os::unix::net::UnixStream, rx: Receiver<Frame>) {
+/// Sole owner of the connection's write half: serialize whole frames
+/// from the channel, stop on the first failed write (coordinator gone).
+fn writer_loop(mut stream: Box<dyn Stream>, rx: Receiver<Frame>) {
     while let Ok(frame) = rx.recv() {
         if write_frame(&mut stream, &frame).is_err() {
             break;
@@ -244,6 +590,16 @@ fn compute_loop(
                 // the tree during Build instead).
                 if let Ok(partial) = xfd_relation::decode_partial(&bytes, &map, &config.encode) {
                     handle.store_partial(plan_fp, digest, partial);
+                }
+            }
+            Work::Ship(partials) => {
+                // The batched form of Push: the coordinator's whole
+                // partial set in one frame.
+                for (digest, bytes) in partials {
+                    if let Ok(partial) = xfd_relation::decode_partial(&bytes, &map, &config.encode)
+                    {
+                        handle.store_partial(plan_fp, digest, partial);
+                    }
                 }
             }
             Work::Build(digests) => {

@@ -1,0 +1,143 @@
+//! Warm worker pool integration tests: the second request on an
+//! unchanged (corpus, plan fingerprint) key reuses live workers with no
+//! respawn, dead entries are respawned transparently, and the idle
+//! janitor reaps parked clusters.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use discoverxfd::DiscoveryConfig;
+use xfd_cluster::{ClusterOptions, WorkerPool};
+use xfd_corpus::CorpusStore;
+use xfd_xml::{parse, DataTree};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xfd-cluster-pool-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn worker_bin() -> String {
+    env!("CARGO_BIN_EXE_xfd-cluster-worker").to_string()
+}
+
+fn render_stable(r: &discoverxfd::RunOutcome) -> String {
+    let json = discoverxfd::report::render_json(r);
+    json.split("\"total_ms\"").next().unwrap().to_string()
+}
+
+fn doc(seed: u64) -> DataTree {
+    let a = seed % 3;
+    let b = seed % 5;
+    let xml = format!(
+        "<shop><name>S{a}</name><book><i>{b}</i><t>T{a}</t><p>{}</p></book>\
+         <order><id>{seed}</id><i>{b}</i></order></shop>",
+        b * 10,
+    );
+    parse(&xml).unwrap()
+}
+
+fn seed_corpus(root: &PathBuf, n: u64, config: &DiscoveryConfig) -> String {
+    let store = CorpusStore::new(root);
+    let mut c = store.create("c").unwrap();
+    for i in 0..n {
+        c.add_doc(&format!("d{i}"), &doc(i)).unwrap();
+    }
+    render_stable(&c.discover(config))
+}
+
+fn opts(workers: usize) -> ClusterOptions {
+    ClusterOptions {
+        workers,
+        worker_command: vec![worker_bin()],
+        ..ClusterOptions::default()
+    }
+}
+
+#[test]
+fn second_request_hits_the_warm_pool_and_skips_spawn_and_shipping() {
+    let root = tmp("warm");
+    let config = DiscoveryConfig::default();
+    let expect = seed_corpus(&root, 6, &config);
+    let pool = WorkerPool::new(opts(2), Duration::from_secs(600));
+    let mut handle = CorpusStore::new(&root).open("c").unwrap();
+
+    let cold = pool.discover(&mut handle, &config).unwrap();
+    assert!(!cold.warm, "first request cannot be warm");
+    assert_eq!(render_stable(&cold.outcome), expect);
+    assert_eq!(cold.stats.workers_spawned, 2);
+
+    let warm = pool.discover(&mut handle, &config).unwrap();
+    assert!(warm.warm, "stats: {}", warm.stats.summary());
+    assert_eq!(
+        render_stable(&warm.outcome),
+        expect,
+        "warm-path report must be byte-identical"
+    );
+    assert_eq!(
+        warm.stats.segments_shipped, 0,
+        "a warm hit must not re-ship segments"
+    );
+
+    let snap = pool.snapshot();
+    assert_eq!(snap.warm_hits_total, 1);
+    assert_eq!(snap.warm_workers, 2);
+    assert_eq!(snap.spawning, 0);
+    pool.shutdown_all();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dead_pool_entries_are_respawned_transparently() {
+    let root = tmp("respawn");
+    let config = DiscoveryConfig::default();
+    let expect = seed_corpus(&root, 6, &config);
+    // --exit-after-tasks 0 makes every worker die on its first pass
+    // task, so the parked entry is a cluster of corpses.
+    let o = ClusterOptions {
+        worker_command: vec![worker_bin(), "--exit-after-tasks".into(), "0".into()],
+        ..opts(2)
+    };
+    let pool = WorkerPool::new(o, Duration::from_secs(600));
+    let mut handle = CorpusStore::new(&root).open("c").unwrap();
+
+    let first = pool.discover(&mut handle, &config).unwrap();
+    assert_eq!(render_stable(&first.outcome), expect);
+    assert_eq!(
+        first.stats.workers_lost,
+        2,
+        "stats: {}",
+        first.stats.summary()
+    );
+
+    let second = pool.discover(&mut handle, &config).unwrap();
+    assert!(
+        !second.warm,
+        "a dead entry must not be reported as a warm hit"
+    );
+    assert_eq!(
+        render_stable(&second.outcome),
+        expect,
+        "respawn must be invisible in the report"
+    );
+    assert!(pool.snapshot().reaped_total >= 1);
+    pool.shutdown_all();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn idle_entries_are_reaped_on_deadline() {
+    let root = tmp("reap");
+    let config = DiscoveryConfig::default();
+    seed_corpus(&root, 4, &config);
+    let pool = WorkerPool::new(opts(1), Duration::from_millis(0));
+    let mut handle = CorpusStore::new(&root).open("c").unwrap();
+    pool.discover(&mut handle, &config).unwrap();
+    assert_eq!(pool.snapshot().warm_workers, 1);
+    assert_eq!(pool.reap_idle(), 1);
+    let snap = pool.snapshot();
+    assert_eq!(snap.warm_workers, 0);
+    assert!(snap.reaped_total >= 1);
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,0 +1,225 @@
+//! End-to-end multi-host cluster runs over loopback TCP against real
+//! `xfd-cluster-worker --listen` processes: byte-parity with
+//! single-process discovery at several worker counts, the typed
+//! wrong-token rejection, a mid-pass TCP connection reset, and
+//! content-addressed segment shipping for workers without shared
+//! storage (including the cache-warm second run that ships nothing).
+
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use discoverxfd::DiscoveryConfig;
+use xfd_cluster::{cluster_discover, ClusterError, ClusterOptions, ClusterStats};
+use xfd_corpus::CorpusStore;
+use xfd_xml::{parse, DataTree};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xfd-cluster-tcp-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn worker_bin() -> String {
+    env!("CARGO_BIN_EXE_xfd-cluster-worker").to_string()
+}
+
+fn render_stable(r: &discoverxfd::RunOutcome) -> String {
+    let json = discoverxfd::report::render_json(r);
+    json.split("\"total_ms\"").next().unwrap().to_string()
+}
+
+fn doc(seed: u64) -> DataTree {
+    let a = seed % 3;
+    let b = seed % 5;
+    let xml = format!(
+        "<shop><name>S{a}</name><book><i>{b}</i><t>T{a}</t><p>{}</p></book>\
+         <book><i>{b}</i><t>T{a}</t><p>{}</p></book>\
+         <order><id>{seed}</id><i>{b}</i></order></shop>",
+        b * 10,
+        (seed % 7) * 10,
+    );
+    parse(&xml).unwrap()
+}
+
+fn seed_corpus(root: &PathBuf, n: u64, config: &DiscoveryConfig) -> String {
+    let store = CorpusStore::new(root);
+    let mut c = store.create("c").unwrap();
+    for i in 0..n {
+        c.add_doc(&format!("d{i}"), &doc(i)).unwrap();
+    }
+    render_stable(&c.discover(config))
+}
+
+/// A `worker --listen 127.0.0.1:0` subprocess plus the ephemeral address
+/// it printed; killed on drop.
+struct TcpWorker {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for TcpWorker {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+fn spawn_tcp_worker(extra: &[&str]) -> TcpWorker {
+    let mut child = Command::new(worker_bin())
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn listening worker");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read the listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("worker listening on ")
+        .unwrap_or_else(|| panic!("unexpected listen line: {line:?}"))
+        .to_string();
+    TcpWorker { child, addr }
+}
+
+fn remote_opts(workers: &[TcpWorker], token: &str) -> ClusterOptions {
+    ClusterOptions {
+        remote: workers.iter().map(|w| w.addr.clone()).collect(),
+        token: token.to_string(),
+        ..ClusterOptions::default()
+    }
+}
+
+fn cluster_run(
+    root: &PathBuf,
+    config: &DiscoveryConfig,
+    o: &ClusterOptions,
+) -> Result<(String, ClusterStats), ClusterError> {
+    let mut handle = CorpusStore::new(root).open("c").unwrap();
+    let (outcome, stats) = cluster_discover(&mut handle, config, o)?;
+    Ok((render_stable(&outcome), stats))
+}
+
+#[test]
+fn tcp_reports_are_byte_identical_at_1_2_and_4_workers() {
+    let root = tmp("parity");
+    let config = DiscoveryConfig::default();
+    let expect = seed_corpus(&root, 6, &config);
+    for n in [1usize, 2, 4] {
+        let workers: Vec<TcpWorker> = (0..n)
+            .map(|_| spawn_tcp_worker(&["--token", "s3cret"]))
+            .collect();
+        let (report, stats) =
+            cluster_run(&root, &config, &remote_opts(&workers, "s3cret")).unwrap();
+        assert_eq!(
+            report, expect,
+            "TCP cluster report at {n} workers diverged from single-process discover"
+        );
+        assert_eq!(stats.workers_spawned, n as u64);
+        assert_eq!(stats.workers_live, n as u64, "stats: {}", stats.summary());
+        assert_eq!(stats.handshake_failures, 0, "stats: {}", stats.summary());
+        assert!(stats.pass_remote > 0, "stats: {}", stats.summary());
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn wrong_token_is_a_typed_auth_error_not_a_hang() {
+    let root = tmp("auth");
+    let config = DiscoveryConfig::default();
+    seed_corpus(&root, 3, &config);
+    let workers: Vec<TcpWorker> = (0..2)
+        .map(|_| spawn_tcp_worker(&["--token", "alpha"]))
+        .collect();
+    let start = Instant::now();
+    let err = cluster_run(&root, &config, &remote_opts(&workers, "beta")).unwrap_err();
+    assert!(
+        matches!(err, ClusterError::AuthFailed),
+        "expected AuthFailed, got: {err}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "auth rejection must not wait out full timeouts"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn tcp_reset_mid_pass_retries_and_keeps_the_report_identical() {
+    let root = tmp("reset");
+    let config = DiscoveryConfig::default();
+    let expect = seed_corpus(&root, 6, &config);
+    // One healthy worker plus one that dies with exit(9) upon receiving
+    // its first pass task — the answer is never written, so the
+    // coordinator sees a hard TCP reset with the task in flight (the
+    // coordinator-side kill injection cannot be used here: over loopback
+    // the tiny answer wins the race against the shutdown).
+    let workers = vec![
+        spawn_tcp_worker(&[]),
+        spawn_tcp_worker(&["--exit-after-tasks", "0"]),
+    ];
+    let o = remote_opts(&workers, "");
+    let (report, stats) = cluster_run(&root, &config, &o).unwrap();
+    assert_eq!(
+        report,
+        expect,
+        "report after a mid-pass TCP reset diverged (stats: {})",
+        stats.summary()
+    );
+    assert_eq!(stats.workers_lost, 1, "stats: {}", stats.summary());
+    assert_eq!(stats.workers_live, 1, "stats: {}", stats.summary());
+    assert!(
+        stats.tasks_retried + stats.tasks_fallback >= 1,
+        "the reset worker's in-flight task must be reassigned or recomputed (stats: {})",
+        stats.summary()
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn segment_shipping_feeds_a_worker_without_shared_storage() {
+    let root = tmp("ship");
+    let cache = tmp("ship-cache");
+    let config = DiscoveryConfig::default();
+    let expect = seed_corpus(&root, 6, &config);
+    let cache_str = cache.display().to_string();
+    let workers = vec![spawn_tcp_worker(&[
+        "--no-shared-storage",
+        "--seg-cache",
+        &cache_str,
+    ])];
+    let o = remote_opts(&workers, "");
+
+    // Cold cache: every distinct segment travels, and the report still
+    // matches single-process discovery byte for byte.
+    let (report, stats) = cluster_run(&root, &config, &o).unwrap();
+    assert_eq!(report, expect, "stats: {}", stats.summary());
+    assert_eq!(stats.workers_live, 1, "stats: {}", stats.summary());
+    assert!(
+        stats.segments_shipped > 0 && stats.segment_ship_bytes > 0,
+        "a storage-less worker must be fed over the wire (stats: {})",
+        stats.summary()
+    );
+
+    // Second run against the same (still listening) worker: its
+    // content-addressed cache already holds everything, so nothing ships.
+    let (report2, stats2) = cluster_run(&root, &config, &o).unwrap();
+    assert_eq!(report2, expect, "stats: {}", stats2.summary());
+    assert_eq!(
+        stats2.segments_shipped,
+        0,
+        "a warm cache must announce its digests and receive nothing (stats: {})",
+        stats2.summary()
+    );
+    assert!(stats2.pass_remote > 0, "stats: {}", stats2.summary());
+    let _ = fs::remove_dir_all(&root);
+    let _ = fs::remove_dir_all(&cache);
+}

@@ -720,6 +720,51 @@ impl CorpusHandle {
         self.docs.iter().map(|d| d.meta.digest).collect()
     }
 
+    /// One document's raw segment bytes by content digest — what the
+    /// coordinator ships to a remote worker whose cache lacks it.
+    /// Re-verified against the digest before returning, so a segment file
+    /// corrupted on disk can never travel as if authentic.
+    pub fn doc_bytes(&self, digest: u128) -> Option<Vec<u8>> {
+        let meta = &self.docs.iter().find(|d| d.meta.digest == digest)?.meta;
+        let bytes = self.store.read_doc(meta).ok()?;
+        (xfd_hash::digest_bytes(&bytes) == digest).then_some(bytes)
+    }
+
+    /// Assemble a read-only handle from shipped, digest-verified segments
+    /// — a remote worker's substitute for [`CorpusStore::open_readonly`]
+    /// when the corpus directory lives on another host. `docs` carries
+    /// `(digest, decoded tree)` per document in the coordinator's
+    /// manifest order, duplicates included. Document names are
+    /// synthesized from the digests; they never influence discovery,
+    /// which sees only the trees and the fixed collection name.
+    pub fn from_shipped(name: &str, dir: &Path, docs: Vec<(u128, DataTree)>) -> CorpusHandle {
+        let docs: Vec<Doc> = docs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (digest, tree))| Doc {
+                meta: DocMeta {
+                    name: format!("{digest:032x}-{i}"),
+                    seg: i as u64,
+                    digest,
+                    span: None,
+                },
+                tree,
+            })
+            .collect();
+        let next_seg = docs.len() as u64;
+        CorpusHandle {
+            name: name.to_string(),
+            store: StoreDir::attach(dir),
+            docs,
+            next_seg,
+            memo: RelationMemo::new(),
+            generation: 0,
+            seg_cache: HashMap::new(),
+            forest_cache: None,
+            readonly: true,
+        }
+    }
+
     /// Stage 2: the collection forest, from the generation cache when the
     /// corpus and plan are unchanged, else merged from per-segment
     /// partials. Partials not prefilled via

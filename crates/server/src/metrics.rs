@@ -28,6 +28,8 @@ pub struct GaugeSnapshot {
     pub jobs_inflight: u64,
     /// Result-cache counters.
     pub cache: ResultCacheStats,
+    /// Warm worker pool counters (zeroed when no pool is configured).
+    pub pool: xfd_cluster::PoolSnapshot,
 }
 
 /// The daemon's metrics registry.
@@ -66,6 +68,8 @@ pub struct Metrics {
     cluster_tasks_fallback: AtomicU64,
     cluster_retries: AtomicU64,
     cluster_runs_fallback: AtomicU64,
+    /// Segment bytes shipped to storage-less cluster workers.
+    segments_shipped_bytes: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -106,6 +110,7 @@ impl Metrics {
             cluster_tasks_fallback: AtomicU64::new(0),
             cluster_retries: AtomicU64::new(0),
             cluster_runs_fallback: AtomicU64::new(0),
+            segments_shipped_bytes: AtomicU64::new(0),
         }
     }
 
@@ -122,6 +127,8 @@ impl Metrics {
             .fetch_add(stats.tasks_fallback, Ordering::Relaxed);
         self.cluster_retries
             .fetch_add(stats.tasks_retried, Ordering::Relaxed);
+        self.segments_shipped_bytes
+            .fetch_add(stats.segment_ship_bytes, Ordering::Relaxed);
     }
 
     /// Count one corpus discovery that fell back to in-process execution
@@ -467,6 +474,43 @@ impl Metrics {
             ),
         );
 
+        let pool = &gauges.pool;
+        let pool_states = [
+            ("warm", pool.warm_workers),
+            ("spawning", pool.spawning),
+            ("reaped", pool.reaped_total),
+        ];
+        let mut body = String::new();
+        for (pool_state, value) in pool_states {
+            body.push_str(&format!(
+                "discoverxfd_pool_workers{{state=\"{pool_state}\"}} {value}\n"
+            ));
+        }
+        metric(
+            "discoverxfd_pool_workers",
+            "Warm worker pool: live pooled workers, clusters mid-spawn, and entries retired so far.",
+            "gauge",
+            &body,
+        );
+        metric(
+            "discoverxfd_pool_warm_hits_total",
+            "Corpus discoveries served by a warm pool entry (no spawn, no handshake, no shipping).",
+            "counter",
+            &format!(
+                "discoverxfd_pool_warm_hits_total {}\n",
+                pool.warm_hits_total
+            ),
+        );
+        metric(
+            "discoverxfd_segments_shipped_bytes_total",
+            "Segment bytes shipped over the wire to cluster workers without shared storage.",
+            "counter",
+            &format!(
+                "discoverxfd_segments_shipped_bytes_total {}\n",
+                self.segments_shipped_bytes.load(Ordering::Relaxed)
+            ),
+        );
+
         metric(
             "discoverxfd_uptime_seconds",
             "Seconds since the server started.",
@@ -526,6 +570,9 @@ mod tests {
             "discoverxfd_cluster_tasks_total",
             "discoverxfd_cluster_retries_total",
             "discoverxfd_cluster_fallback_runs_total",
+            "discoverxfd_pool_workers",
+            "discoverxfd_pool_warm_hits_total",
+            "discoverxfd_segments_shipped_bytes_total",
             "discoverxfd_uptime_seconds",
         ] {
             assert!(text.contains(&format!("# HELP {family} ")), "{family}");

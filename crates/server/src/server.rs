@@ -111,6 +111,15 @@ pub struct ServerConfig {
     /// coordinator/worker subsystem (same report bytes), falling back to
     /// in-process discovery if the cluster cannot be set up.
     pub cluster_workers: usize,
+    /// Remote worker addresses (`host:port`) to join into the cluster;
+    /// combined with `cluster_workers` local subprocesses.
+    pub cluster_remote: Vec<String>,
+    /// Shared-secret token for cluster handshakes (must match the
+    /// `--token` every remote worker was started with).
+    pub cluster_token: String,
+    /// How long an unused warm pool entry keeps its workers alive before
+    /// the janitor reaps them.
+    pub pool_idle: Duration,
     /// Base discovery configuration; query parameters override per request.
     pub discovery: DiscoveryConfig,
 }
@@ -129,6 +138,9 @@ impl Default for ServerConfig {
             keep_alive_timeout: Duration::from_secs(5),
             corpus_root: None,
             cluster_workers: 0,
+            cluster_remote: Vec::new(),
+            cluster_token: String::new(),
+            pool_idle: Duration::from_secs(120),
             discovery: DiscoveryConfig::default(),
         }
     }
@@ -203,6 +215,9 @@ struct ServerState {
     cache: ResultCache,
     metrics: Metrics,
     corpus: Option<CorpusRegistry>,
+    /// Warm cluster pool for corpus discovery; present when the server
+    /// was configured with local cluster workers or remote addresses.
+    pool: Option<xfd_cluster::WorkerPool>,
     shutdown: AtomicBool,
 }
 
@@ -217,6 +232,7 @@ impl ServerState {
             queue_capacity: self.queue.capacity() as u64,
             jobs_inflight: self.jobs.inflight(),
             cache: self.cache.stats(),
+            pool: self.pool.as_ref().map(|p| p.snapshot()).unwrap_or_default(),
         }
     }
 }
@@ -257,12 +273,24 @@ impl Server {
             }
             None => None,
         };
+        let pool = if config.cluster_workers > 0 || !config.cluster_remote.is_empty() {
+            let opts = xfd_cluster::ClusterOptions {
+                workers: config.cluster_workers,
+                remote: config.cluster_remote.clone(),
+                token: config.cluster_token.clone(),
+                ..xfd_cluster::ClusterOptions::default()
+            };
+            Some(xfd_cluster::WorkerPool::new(opts, config.pool_idle))
+        } else {
+            None
+        };
         let state = Arc::new(ServerState {
             queue: JobQueue::new(config.queue_depth),
             jobs: JobTable::new(),
             cache: ResultCache::new(config.result_cache_budget),
             metrics: Metrics::new(),
             corpus,
+            pool,
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -301,6 +329,7 @@ impl Server {
         }
 
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut last_reap = Instant::now();
         while !self.state.shutting_down() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -313,6 +342,14 @@ impl Server {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     connections.retain(|c| !c.is_finished());
+                    // Janitor: retire warm pool entries idle past their
+                    // deadline, at most once a second.
+                    if let Some(pool) = &self.state.pool {
+                        if last_reap.elapsed() >= Duration::from_secs(1) {
+                            pool.reap_idle();
+                            last_reap = Instant::now();
+                        }
+                    }
                     // The poll interval is the idle-accept latency floor;
                     // 1 ms keeps tail latency flat at negligible idle cost.
                     std::thread::sleep(Duration::from_millis(1));
@@ -331,6 +368,9 @@ impl Server {
         for w in workers {
             // xfdlint:allow(error_hygiene, reason = "worker panics are contained by catch_unwind and counted in metrics; a join error here cannot carry new information")
             let _ = w.join();
+        }
+        if let Some(pool) = &self.state.pool {
+            pool.shutdown_all();
         }
         Ok(())
     }
@@ -596,7 +636,7 @@ fn route_corpus(state: &ServerState, request: &Request, body: &mut impl Read) ->
     };
     match (request.method.as_str(), tail) {
         ("PUT", None) => Routed::plain("/v1/corpora/{name}", corpus_create(registry, name)),
-        ("GET", None) => Routed::plain("/v1/corpora/{name}", corpus_status(registry, name)),
+        ("GET", None) => Routed::plain("/v1/corpora/{name}", corpus_status(state, registry, name)),
         ("DELETE", None) => Routed::plain("/v1/corpora/{name}", corpus_delete(registry, name)),
         ("POST", Some("docs")) => Routed::plain(
             "/v1/corpora/{name}/docs",
@@ -607,8 +647,8 @@ fn route_corpus(state: &ServerState, request: &Request, body: &mut impl Read) ->
             corpus_remove_doc(registry, name, t.strip_prefix("docs/").unwrap_or(t)),
         ),
         ("POST", Some("discover")) => {
-            let config = match config_from_query(&state.config.discovery, request) {
-                Ok((config, _)) => config,
+            let (config, fingerprint) = match config_from_query(&state.config.discovery, request) {
+                Ok(pair) => pair,
                 Err(message) => {
                     return Routed::plain(
                         "/v1/corpora/{name}/discover",
@@ -627,7 +667,7 @@ fn route_corpus(state: &ServerState, request: &Request, body: &mut impl Read) ->
             } else {
                 Routed::plain(
                     "/v1/corpora/{name}/discover",
-                    corpus_discover(state, registry, name, &config),
+                    corpus_discover(state, registry, name, &config, &fingerprint),
                 )
             }
         }
@@ -675,14 +715,18 @@ fn corpus_create(registry: &CorpusRegistry, name: &str) -> Response {
 }
 
 /// `GET /v1/corpora/{name}`.
-fn corpus_status(registry: &CorpusRegistry, name: &str) -> Response {
-    match registry.with_handle(name, |h| render_corpus_status(&h.status())) {
+fn corpus_status(state: &ServerState, registry: &CorpusRegistry, name: &str) -> Response {
+    let pool = state.pool.as_ref().map(|p| p.snapshot());
+    match registry.with_handle(name, |h| render_corpus_status(&h.status(), pool)) {
         Ok(body) => Response::json(200, body),
         Err(e) => corpus_error_response(&e),
     }
 }
 
-fn render_corpus_status(status: &xfd_corpus::CorpusStatus) -> String {
+fn render_corpus_status(
+    status: &xfd_corpus::CorpusStatus,
+    pool: Option<xfd_cluster::PoolSnapshot>,
+) -> String {
     let mut out = format!(
         "{{\"corpus\": \"{}\", \"segment_bytes\": {}, \"forest_cached\": {}, \"memo\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"resident_bytes\": {}}}, \"docs\": [",
         json_escape(&status.name),
@@ -703,7 +747,14 @@ fn render_corpus_status(status: &xfd_corpus::CorpusStatus) -> String {
             json_escape(name)
         ));
     }
-    out.push_str("]}\n");
+    out.push(']');
+    if let Some(p) = pool {
+        out.push_str(&format!(
+            ", \"pool\": {{\"warm_workers\": {}, \"spawning\": {}, \"reaped\": {}, \"warm_hits\": {}, \"segments_shipped_bytes\": {}}}",
+            p.warm_workers, p.spawning, p.reaped_total, p.warm_hits_total, p.segments_shipped_bytes,
+        ));
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -783,26 +834,38 @@ fn corpus_remove_doc(registry: &CorpusRegistry, corpus: &str, doc: &str) -> Resp
 }
 
 /// `POST /v1/corpora/{name}/discover`: run memoized discovery over the
-/// merged corpus and return the full JSON report. With
-/// [`ServerConfig::cluster_workers`] set, the run is sharded over worker
-/// subprocesses — same report bytes, with an in-process fallback when
-/// the cluster cannot be set up (spawn failure, plan mismatch).
+/// merged corpus and return the full JSON report.
+///
+/// The result cache is consulted *first*, keyed by the config
+/// fingerprint plus the corpus name and its document content digests —
+/// a hit answers with `X-Cache: hit` before any plan derivation or
+/// cluster setup happens. On a miss, a configured worker pool runs the
+/// discovery over warm cluster workers (same report bytes), with an
+/// in-process fallback when the cluster cannot be set up (spawn
+/// failure, plan mismatch, auth failure).
 fn corpus_discover(
     state: &ServerState,
     registry: &CorpusRegistry,
     corpus: &str,
     config: &DiscoveryConfig,
+    fingerprint: &str,
 ) -> Response {
     match registry.with_handle(corpus, |h| {
-        let outcome = if state.config.cluster_workers > 0 {
-            let opts = xfd_cluster::ClusterOptions {
-                workers: state.config.cluster_workers,
-                ..xfd_cluster::ClusterOptions::default()
-            };
-            match xfd_cluster::cluster_discover(h, config, &opts) {
-                Ok((outcome, stats)) => {
-                    state.metrics.observe_cluster(&stats);
-                    outcome
+        let mut seed = ContentDigest::new();
+        seed.update(fingerprint.as_bytes());
+        seed.update(corpus.as_bytes());
+        for d in h.doc_digests() {
+            seed.update(&d.to_le_bytes());
+        }
+        let digest = seed.finish();
+        if let Some(body) = state.cache.get(digest) {
+            return (h.len(), None, Some(body));
+        }
+        let outcome = if let Some(pool) = &state.pool {
+            match pool.discover(h, config) {
+                Ok(run) => {
+                    state.metrics.observe_cluster(&run.stats);
+                    run.outcome
                 }
                 Err(_) => {
                     state.metrics.observe_cluster_fallback();
@@ -812,13 +875,21 @@ fn corpus_discover(
         } else {
             h.discover(config)
         };
-        let body = render_json(&outcome);
-        (body, outcome, h.len())
+        let body = Arc::new(render_json(&outcome));
+        state.cache.put(digest, Arc::clone(&body));
+        (h.len(), Some(outcome), Some(body))
     }) {
-        Ok((body, outcome, docs)) => {
+        Ok((docs, Some(outcome), Some(body))) => {
             state.metrics.observe_outcome(&outcome);
-            Response::json(200, body).with_header("X-Corpus-Docs", &docs.to_string())
+            Response::json(200, body.as_bytes().to_vec())
+                .with_header("X-Cache", "miss")
+                .with_header("X-Corpus-Docs", &docs.to_string())
         }
+        Ok((docs, None, Some(body))) => Response::json(200, body.as_bytes().to_vec())
+            .with_header("X-Cache", "hit")
+            .with_header("X-Corpus-Docs", &docs.to_string()),
+        // The closure always returns a body alongside either branch.
+        Ok((docs, _, None)) => Response::error(500, &format!("internal: no report ({docs} docs)")),
         Err(e) => corpus_error_response(&e),
     }
 }

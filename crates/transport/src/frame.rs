@@ -1,5 +1,6 @@
 //! The wire protocol between coordinator and workers: length-prefixed
-//! frames over a Unix domain socket, hand-rolled and dependency-free.
+//! frames over any [`crate::Stream`] (Unix socket or TCP), hand-rolled
+//! and dependency-free.
 //!
 //! ```text
 //! [u32 LE payload length][u8 kind][payload]
@@ -7,15 +8,21 @@
 //!
 //! Payload integers are little-endian; byte strings are `u32`
 //! length-prefixed. The protocol is strictly request/response-free at the
-//! frame layer — sequencing lives in the coordinator's phase machine (see
-//! [`crate::coordinator`]) — so a frame needs no correlation header beyond
-//! the task id the pass frames carry.
+//! frame layer — sequencing lives in the coordinator's phase machine —
+//! so a frame needs no correlation header beyond the task id the pass
+//! frames carry.
+//!
+//! Version 2 adds a shared-secret auth digest to both handshake frames
+//! (see [`crate::join_auth`]/[`crate::plan_auth`]) and the
+//! content-addressed segment-shipping frames (`SegHave`/`SegManifest`/
+//! `SegData`) plus the batched `ForestShip` push, for workers with no
+//! shared filesystem view of the corpus.
 
 use std::io::{self, Read, Write};
 
 /// Protocol version, checked in the `Join` handshake. Bump on any frame
 /// layout change.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard cap on one frame's payload (a partial of a very large segment
 /// stays far below this); anything bigger is a protocol violation, not an
@@ -29,15 +36,22 @@ pub enum Frame {
     Join {
         /// Must equal [`PROTOCOL_VERSION`].
         version: u32,
-        /// The `--index` the worker was spawned with.
+        /// The `--index` the worker was spawned with (0 for remote
+        /// workers, which the coordinator slots by connection order).
         index: u32,
+        /// [`crate::join_auth`] of the worker's token; the coordinator
+        /// recomputes it from its own token and rejects mismatches.
+        auth: u128,
     },
     /// Coordinator → worker: the job description. The worker re-derives
     /// the plan fingerprint from its own read-only view of `corpus_dir`
-    /// and must come to the same answer.
+    /// (or from shipped segments) and must come to the same answer.
     Plan {
         /// The coordinator's plan fingerprint.
         plan_fp: u128,
+        /// [`crate::plan_auth`] of the coordinator's token; the worker
+        /// refuses to serve a coordinator whose digest mismatches.
+        auth: u128,
         /// Corpus directory to open read-only.
         corpus_dir: String,
         /// `discoverxfd::encode_config` bytes.
@@ -47,6 +61,29 @@ pub enum Frame {
     PlanAck {
         /// The worker's independently derived fingerprint.
         plan_fp: u128,
+    },
+    /// Worker → coordinator, instead of an immediate `PlanAck`: the
+    /// corpus directory is not reachable from this host; here is what my
+    /// content-addressed segment cache already holds. The coordinator
+    /// answers with `SegManifest` and the missing `SegData` frames.
+    SegHave {
+        /// Segment content digests present in the worker's local cache.
+        digests: Vec<u128>,
+    },
+    /// Coordinator → worker: the corpus's per-document segment digests,
+    /// ingest order, duplicates preserved — the complete recipe for
+    /// reassembling the coordinator's document view.
+    SegManifest {
+        /// Per-document segment digests.
+        digests: Vec<u128>,
+    },
+    /// Coordinator → worker: one segment the worker's cache lacks. The
+    /// worker verifies `bytes` against `digest` before trusting it.
+    SegData {
+        /// Segment content digest (FNV-1a over `bytes`).
+        digest: u128,
+        /// The segment's tuple-block bytes, exactly as stored.
+        bytes: Vec<u8>,
     },
     /// Coordinator → worker: build the partial of the segment with this
     /// digest.
@@ -69,6 +106,14 @@ pub enum Frame {
         digest: u128,
         /// `xfd_relation::encode_partial` bytes.
         bytes: Vec<u8>,
+    },
+    /// Coordinator → worker: every distinct partial of the merged forest
+    /// in one frame — encoded once and broadcast when a worker is missing
+    /// more than half of them, instead of N separate `Push` frames.
+    ForestShip {
+        /// `(digest, encode_partial bytes)` per distinct segment, in
+        /// first-appearance document order.
+        partials: Vec<(u128, Vec<u8>)>,
     },
     /// Coordinator → worker: merge the forest from partials, in this
     /// exact per-document digest order, and fingerprint it.
@@ -126,6 +171,10 @@ const K_PING: u8 = 11;
 const K_PONG: u8 = 12;
 const K_SHUTDOWN: u8 = 13;
 const K_WORKER_ERROR: u8 = 14;
+const K_SEG_HAVE: u8 = 15;
+const K_SEG_MANIFEST: u8 = 16;
+const K_SEG_DATA: u8 = 17;
+const K_FOREST_SHIP: u8 = 18;
 
 fn proto_err(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("protocol: {what}"))
@@ -188,6 +237,21 @@ impl<'a> Cur<'a> {
         String::from_utf8(b).map_err(|_| proto_err("bad utf-8"))
     }
 
+    /// A `u32`-count-prefixed digest list; the count must fit in what
+    /// remains of the payload before anything is allocated.
+    fn digests(&mut self, payload_len: usize) -> io::Result<Vec<u128>> {
+        let n = self.u32()? as usize;
+        // 16 bytes per digest must fit in what remains.
+        if n > payload_len / 16 {
+            return Err(proto_err("digest count exceeds payload"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u128()?);
+        }
+        Ok(out)
+    }
+
     fn finish(&self) -> io::Result<()> {
         if self.pos == self.bytes.len() {
             Ok(())
@@ -214,15 +278,26 @@ fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(b);
 }
 
+fn put_digests(out: &mut Vec<u8>, digests: &[u128]) {
+    put_u32(out, digests.len() as u32);
+    for d in digests {
+        put_u128(out, *d);
+    }
+}
+
 impl Frame {
     fn kind(&self) -> u8 {
         match self {
             Frame::Join { .. } => K_JOIN,
             Frame::Plan { .. } => K_PLAN,
             Frame::PlanAck { .. } => K_PLAN_ACK,
+            Frame::SegHave { .. } => K_SEG_HAVE,
+            Frame::SegManifest { .. } => K_SEG_MANIFEST,
+            Frame::SegData { .. } => K_SEG_DATA,
             Frame::Encode { .. } => K_ENCODE,
             Frame::Partial { .. } => K_PARTIAL,
             Frame::Push { .. } => K_PUSH,
+            Frame::ForestShip { .. } => K_FOREST_SHIP,
             Frame::Build { .. } => K_BUILD,
             Frame::ForestAck { .. } => K_FOREST_ACK,
             Frame::Pass { .. } => K_PASS,
@@ -237,31 +312,49 @@ impl Frame {
     fn payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Frame::Join { version, index } => {
+            Frame::Join {
+                version,
+                index,
+                auth,
+            } => {
                 put_u32(&mut out, *version);
                 put_u32(&mut out, *index);
+                put_u128(&mut out, *auth);
             }
             Frame::Plan {
                 plan_fp,
+                auth,
                 corpus_dir,
                 config,
             } => {
                 put_u128(&mut out, *plan_fp);
+                put_u128(&mut out, *auth);
                 put_bytes(&mut out, corpus_dir.as_bytes());
                 put_bytes(&mut out, config);
             }
             Frame::PlanAck { plan_fp } => put_u128(&mut out, *plan_fp),
+            Frame::SegHave { digests } | Frame::SegManifest { digests } => {
+                put_digests(&mut out, digests)
+            }
+            Frame::SegData { digest, bytes } => {
+                put_u128(&mut out, *digest);
+                put_bytes(&mut out, bytes);
+            }
             Frame::Encode { digest } => put_u128(&mut out, *digest),
             Frame::Partial { digest, bytes } | Frame::Push { digest, bytes } => {
                 put_u128(&mut out, *digest);
                 put_bytes(&mut out, bytes);
             }
+            Frame::ForestShip { partials } => {
+                put_u32(&mut out, partials.len() as u32);
+                for (digest, bytes) in partials {
+                    put_u128(&mut out, *digest);
+                    put_bytes(&mut out, bytes);
+                }
+            }
             Frame::Build { forest_fp, digests } => {
                 put_u128(&mut out, *forest_fp);
-                put_u32(&mut out, digests.len() as u32);
-                for d in digests {
-                    put_u128(&mut out, *d);
-                }
+                put_digests(&mut out, digests);
             }
             Frame::ForestAck { forest_fp } => put_u128(&mut out, *forest_fp),
             Frame::Pass { task_id, task } => {
@@ -284,13 +377,25 @@ impl Frame {
             K_JOIN => Frame::Join {
                 version: c.u32()?,
                 index: c.u32()?,
+                auth: c.u128()?,
             },
             K_PLAN => Frame::Plan {
                 plan_fp: c.u128()?,
+                auth: c.u128()?,
                 corpus_dir: c.string()?,
                 config: c.bytes()?,
             },
             K_PLAN_ACK => Frame::PlanAck { plan_fp: c.u128()? },
+            K_SEG_HAVE => Frame::SegHave {
+                digests: c.digests(payload.len())?,
+            },
+            K_SEG_MANIFEST => Frame::SegManifest {
+                digests: c.digests(payload.len())?,
+            },
+            K_SEG_DATA => Frame::SegData {
+                digest: c.u128()?,
+                bytes: c.bytes()?,
+            },
             K_ENCODE => Frame::Encode { digest: c.u128()? },
             K_PARTIAL => Frame::Partial {
                 digest: c.u128()?,
@@ -300,17 +405,23 @@ impl Frame {
                 digest: c.u128()?,
                 bytes: c.bytes()?,
             },
+            K_FOREST_SHIP => {
+                let n = c.u32()? as usize;
+                // Each entry needs at least a digest and a length prefix.
+                if n > payload.len() / 20 {
+                    return Err(proto_err("partial count exceeds payload"));
+                }
+                let mut partials = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let digest = c.u128()?;
+                    let bytes = c.bytes()?;
+                    partials.push((digest, bytes));
+                }
+                Frame::ForestShip { partials }
+            }
             K_BUILD => {
                 let forest_fp = c.u128()?;
-                let n = c.u32()? as usize;
-                // 16 bytes per digest must fit in what remains.
-                if n > payload.len() / 16 {
-                    return Err(proto_err("digest count exceeds payload"));
-                }
-                let mut digests = Vec::with_capacity(n);
-                for _ in 0..n {
-                    digests.push(c.u128()?);
-                }
+                let digests = c.digests(payload.len())?;
                 Frame::Build { forest_fp, digests }
             }
             K_FOREST_ACK => Frame::ForestAck {
@@ -394,13 +505,25 @@ mod tests {
             Frame::Join {
                 version: PROTOCOL_VERSION,
                 index: 3,
+                auth: 0x1234_5678_9abc_def0,
             },
             Frame::Plan {
                 plan_fp: 0xdead_beef,
+                auth: 0x0bad_cafe,
                 corpus_dir: "/tmp/corpora/orders".into(),
                 config: vec![1, 2, 3],
             },
             Frame::PlanAck { plan_fp: 7 },
+            Frame::SegHave {
+                digests: vec![1, 2, 3],
+            },
+            Frame::SegManifest {
+                digests: vec![3, 3, 1],
+            },
+            Frame::SegData {
+                digest: 3,
+                bytes: vec![0xAB; 57],
+            },
             Frame::Encode { digest: 42 },
             Frame::Partial {
                 digest: 42,
@@ -409,6 +532,9 @@ mod tests {
             Frame::Push {
                 digest: 43,
                 bytes: vec![],
+            },
+            Frame::ForestShip {
+                partials: vec![(42, vec![9; 10]), (43, vec![])],
             },
             Frame::Build {
                 forest_fp: 1,
@@ -466,5 +592,41 @@ mod tests {
         let huge = (u32::MAX).to_le_bytes();
         let mut r: &[u8] = &huge;
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn shipping_frame_prefixes_are_errors_too() {
+        // The v2 frames get the same every-prefix guarantee as the rest.
+        for frame in [
+            Frame::SegHave {
+                digests: vec![7, 8, 9],
+            },
+            Frame::SegData {
+                digest: 7,
+                bytes: vec![1; 33],
+            },
+            Frame::ForestShip {
+                partials: vec![(7, vec![2; 12]), (8, vec![3; 5])],
+            },
+        ] {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &frame).unwrap();
+            for cut in 1..wire.len() {
+                let mut r = &wire[..cut];
+                assert!(read_frame(&mut r).is_err(), "cut at {cut} of {frame:?}");
+            }
+        }
+        // A forged count that exceeds the payload is rejected before any
+        // oversized allocation.
+        let mut forged = Vec::new();
+        write_frame(
+            &mut forged,
+            &Frame::SegHave {
+                digests: vec![1, 2],
+            },
+        )
+        .unwrap();
+        forged[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_frame(&mut forged.as_slice()).is_err());
     }
 }

@@ -155,8 +155,46 @@ FALLBACK=$(sed -n 's/.* fallback=\([0-9]*\).*/\1/p' "$CLUSTER_LOG")
   || { echo "expected the orphaned task to be retried or recomputed; got: $(cat "$CLUSTER_LOG")"; exit 1; }
 echo "   mid-run kill survived: lost=1 retried=${RETRIED:-0} fallback=${FALLBACK:-0}, report identical"
 
-# Serving mode routes corpus discovery through the same worker pool when
-# started with --cluster-workers; /metrics must account for it.
+echo "== loopback TCP cluster smoke"
+TCPW1_LOG=$(mktemp /tmp/ci-tcpw1-XXXXXX.log)
+TCPW2_LOG=$(mktemp /tmp/ci-tcpw2-XXXXXX.log)
+SEG_CACHE=$(mktemp -d /tmp/ci-segcache-XXXXXX)
+trap 'rm -f "$DOC" "$DOC2" "$DOC3" "$BANNER" "$CLUSTER_LOG" "$TCPW1_LOG" "$TCPW2_LOG"; rm -rf "$CORPUS_ROOT" "$SEG_CACHE"; [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null; [ -n "${W1_PID:-}" ] && kill -9 "$W1_PID" 2>/dev/null; [ -n "${W2_PID:-}" ] && kill -9 "$W2_PID" 2>/dev/null || true' EXIT
+
+# Two standalone TCP workers on ephemeral loopback ports: one with shared
+# storage, one storage-less (fed via content-addressed segment shipping).
+"$BIN" worker --listen 127.0.0.1:0 --token ci-secret > "$TCPW1_LOG" &
+W1_PID=$!
+"$BIN" worker --listen 127.0.0.1:0 --token ci-secret --no-shared-storage --seg-cache "$SEG_CACHE" > "$TCPW2_LOG" &
+W2_PID=$!
+disown "$W1_PID" "$W2_PID"   # teardown is kill -9; keep bash quiet about it
+for _ in $(seq 1 100); do
+  grep -q "worker listening on" "$TCPW1_LOG" 2>/dev/null \
+    && grep -q "worker listening on" "$TCPW2_LOG" 2>/dev/null && break
+  sleep 0.05
+done
+TCP_ADDR1=$(sed -n 's/^worker listening on //p' "$TCPW1_LOG")
+TCP_ADDR2=$(sed -n 's/^worker listening on //p' "$TCPW2_LOG")
+[ -n "$TCP_ADDR1" ] && [ -n "$TCP_ADDR2" ] || { echo "TCP workers did not start"; exit 1; }
+
+# The remote report must match the in-process one byte-for-byte, with the
+# storage-less worker fed over the wire.
+"$BIN" cluster discover clean --root "$CORPUS_ROOT" --remote "$TCP_ADDR1,$TCP_ADDR2" \
+  --token ci-secret --json 2> "$CLUSTER_LOG" | normalize > /tmp/ci-cluster-tcp.json
+cmp /tmp/ci-cluster-tcp.json /tmp/ci-corpus-clean.json \
+  || { echo "loopback-TCP cluster report differs from the in-process one"; exit 1; }
+grep -q "workers=2 live=2 lost=0 handshake_failures=0" "$CLUSTER_LOG" \
+  || { echo "expected two live TCP workers; got: $(cat "$CLUSTER_LOG")"; exit 1; }
+grep -Eq "segs_shipped=[1-9]" "$CLUSTER_LOG" \
+  || { echo "expected shipped segments for the storage-less worker; got: $(cat "$CLUSTER_LOG")"; exit 1; }
+echo "   2 remote TCP workers match in-process, segments shipped"
+
+kill -9 "$W1_PID" "$W2_PID" 2>/dev/null || true
+W1_PID=""
+W2_PID=""
+
+# Serving mode routes corpus discovery through a persistent warm worker
+# pool when started with --cluster-workers; /metrics must account for it.
 "$BIN" serve --addr 127.0.0.1:0 --workers 2 --corpus-root "$CORPUS_ROOT" --cluster-workers 2 > "$BANNER" &
 SERVER_PID=$!
 for _ in $(seq 1 100); do
@@ -166,6 +204,14 @@ done
 ADDR=$(sed -n 's#listening on http://##p' "$BANNER")
 [ -n "$ADDR" ] || { echo "cluster server did not start"; exit 1; }
 curl -sS -X POST "http://$ADDR/v1/corpora/clean/discover" -o /dev/null
+# A different search config misses the result cache but keeps the plan
+# fingerprint, so the second request must reuse the warm pool entry.
+curl -sS -X POST "http://$ADDR/v1/corpora/clean/discover?max-lhs=4" -o /dev/null
+# An identical repeat must be answered straight from the result cache —
+# no plan derivation, no cluster contact at all.
+curl -sS -X POST "http://$ADDR/v1/corpora/clean/discover" -o /dev/null -D /tmp/ci-headers.txt
+grep -qi '^X-Cache: hit' /tmp/ci-headers.txt \
+  || { echo "expected X-Cache: hit on the repeat corpus discovery"; exit 1; }
 curl -sS "http://$ADDR/metrics" > /tmp/ci-cluster-metrics.txt
 grep -q "^discoverxfd_cluster_workers 2$" /tmp/ci-cluster-metrics.txt \
   || { echo "expected discoverxfd_cluster_workers 2 in /metrics"; exit 1; }
@@ -175,12 +221,16 @@ grep -q '^discoverxfd_cluster_tasks_total{status="fallback"} 0$' /tmp/ci-cluster
   || { echo "expected zero fallback cluster tasks in /metrics"; exit 1; }
 grep -q "^discoverxfd_cluster_retries_total 0$" /tmp/ci-cluster-metrics.txt \
   || { echo "expected zero cluster retries in /metrics"; exit 1; }
+grep -Eq '^discoverxfd_pool_warm_hits_total [1-9]' /tmp/ci-cluster-metrics.txt \
+  || { echo "expected a warm pool hit in /metrics"; exit 1; }
+grep -q '^discoverxfd_pool_workers{state="warm"} 2$' /tmp/ci-cluster-metrics.txt \
+  || { echo "expected two warm pooled workers in /metrics"; exit 1; }
 grep -q "^discoverxfd_worker_panics_total 0$" /tmp/ci-cluster-metrics.txt \
   || { echo "expected discoverxfd_worker_panics_total 0 in /metrics"; exit 1; }
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "cluster server did not exit cleanly on SIGTERM"; exit 1; }
 SERVER_PID=""
-echo "   served cluster discovery accounted in /metrics, zero panics"
+echo "   warm pool reused across requests, cache hit skipped the cluster, zero panics"
 
 echo "== bench corpus smoke"
 # Scaled-down bench_corpus run: same 33-doc / 8-category shape, smaller
