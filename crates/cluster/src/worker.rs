@@ -166,6 +166,7 @@ enum Work {
 pub fn run_worker(opts: &WorkerOptions) -> Result<(), ClusterError> {
     match (&opts.socket, &opts.listen) {
         (Some(path), None) => {
+            // xfdlint:allow(deadline_discipline, reason = "UnixStream has no connect-with-timeout; a local socket connect cannot hang on a live kernel")
             let stream: Box<dyn Stream> = Box::new(std::os::unix::net::UnixStream::connect(path)?);
             run_session(stream, opts)
         }

@@ -99,8 +99,10 @@ pub fn build_partial(tree: &DataTree, map: &SchemaMap, config: &EncodeConfig) ->
     // rank-indexed table.
     let classes = table.as_ref().map(|t| {
         let mut by_arena = vec![ValueClassId(0); tree.node_count()];
-        for (idx, slot) in by_arena.iter_mut().enumerate() {
-            *slot = ValueClassId(t.class_by_rank[rank[idx] as usize]);
+        for (slot, &rk) in by_arena.iter_mut().zip(rank.iter()) {
+            if let Some(&class) = t.class_by_rank.get(rk as usize) {
+                *slot = ValueClassId(class);
+            }
         }
         EqClasses::from_raw(by_arena, t.num_classes() as u32)
     });
@@ -179,32 +181,39 @@ pub fn merge_partials(
     if need_classes(config) {
         let mut cons: HashMap<GlobalShape, u32> = HashMap::new();
         for (i, part) in parts.iter().enumerate().rev() {
-            let table = part.table.as_ref().expect("partials built with classes");
-            let mut local_to_global = vec![0u32; table.num_classes()];
-            for (local, shape) in table.shapes.iter().enumerate() {
+            debug_assert!(part.table.is_some(), "partials built with classes");
+            let Some(table) = part.table.as_ref() else {
+                continue;
+            };
+            let mut local_to_global: Vec<u32> = Vec::with_capacity(table.shapes.len());
+            for shape in table.shapes.iter() {
                 // Children have strictly smaller local ids, so they are
                 // already remapped; re-sort because the remap is not
                 // monotone across segments.
                 let mut kids: Vec<u32> = shape
                     .children
                     .iter()
-                    .map(|&c| local_to_global[c as usize])
+                    .map(|&c| local_to_global.get(c as usize).copied().unwrap_or(0))
                     .collect();
                 if config.order == OrderMode::Unordered {
                     kids.sort_unstable();
                 }
                 let key: GlobalShape = (shape.label.clone(), shape.value.clone(), kids.into());
                 let next = cons.len() as u32;
-                local_to_global[local] = *cons.entry(key).or_insert(next);
+                local_to_global.push(*cons.entry(key).or_insert(next));
             }
-            class_maps[i] = local_to_global;
+            if let Some(slot) = class_maps.get_mut(i) {
+                *slot = local_to_global;
+            }
         }
         let mut kids: Vec<u32> = parts
             .iter()
             .enumerate()
-            .map(|(i, part)| {
-                let table = part.table.as_ref().expect("partials built with classes");
-                class_maps[i][table.class_by_rank[0] as usize]
+            .filter_map(|(i, part)| {
+                debug_assert!(part.table.is_some(), "partials built with classes");
+                let table = part.table.as_ref()?;
+                let local = table.class_by_rank.first().copied()?;
+                class_maps.get(i)?.get(local as usize).copied()
             })
             .collect();
         if config.order == OrderMode::Unordered {
@@ -229,33 +238,55 @@ pub fn merge_partials(
         })
         .collect();
 
+    // Cell values are structurally in range for any partial built under this
+    // plan (wire input is bounds-checked by `decode_partial`); the fallbacks
+    // below are never hit on valid input and exist so a violated invariant
+    // degrades to a deterministic wrong cell instead of a panic that kills
+    // a merge worker mid-job.
     let remap_cell = |kind: ColumnKind, v: u64, seg: usize| -> u64 {
         match kind {
-            ColumnKind::Simple => string_maps[seg][v as usize],
+            ColumnKind::Simple => string_maps
+                .get(seg)
+                .and_then(|m| m.get(v as usize))
+                .copied()
+                .unwrap_or(0),
             ColumnKind::Complex => match config.complex_columns {
-                ComplexColumnMode::NodeKey => v + u64::from(node_off[seg]),
-                ComplexColumnMode::ValueClass => u64::from(class_maps[seg][v as usize]),
-                ComplexColumnMode::Omit => unreachable!("omitted columns are skipped"),
+                ComplexColumnMode::NodeKey => {
+                    v + u64::from(node_off.get(seg).copied().unwrap_or(0))
+                }
+                ComplexColumnMode::ValueClass => class_maps
+                    .get(seg)
+                    .and_then(|m| m.get(v as usize))
+                    .copied()
+                    .map_or(0, u64::from),
+                // Omitted columns never materialize cells; pass through.
+                ComplexColumnMode::Omit => v,
             },
-            ColumnKind::SetValue => unreachable!("set columns are added after the merge"),
+            // Set columns are only added after the merge; pass through.
+            ColumnKind::SetValue => v,
         }
     };
 
     // Root relation: the collection root's single tuple. A non-set
     // document root (label unique across the collection) lands its columns
     // here; at most one segment contributes a non-⊥ value per column.
-    relations[0].node_keys.push(NodeId(0));
-    for c in &mut relations[0].columns {
-        c.cells.push(None);
-    }
-    for (i, part) in parts.iter().enumerate() {
-        for (c, col) in part.relations[0].columns.iter().enumerate() {
-            if let Some(v) = col.cells.first().copied().flatten() {
-                let kind = relations[0].columns[c].kind;
-                let mapped = remap_cell(kind, v, i);
-                let dst = &mut relations[0].columns[c].cells[0];
-                debug_assert!(dst.is_none(), "root columns are single-segment");
-                *dst = Some(mapped);
+    if let Some(root) = relations.first_mut() {
+        root.node_keys.push(NodeId(0));
+        for c in &mut root.columns {
+            c.cells.push(None);
+        }
+        for (i, part) in parts.iter().enumerate() {
+            let Some(src_root) = part.relations.first() else {
+                continue;
+            };
+            for (dst, col) in root.columns.iter_mut().zip(&src_root.columns) {
+                if let Some(v) = col.cells.first().copied().flatten() {
+                    let mapped = remap_cell(dst.kind, v, i);
+                    if let Some(cell) = dst.cells.first_mut() {
+                        debug_assert!(cell.is_none(), "root columns are single-segment");
+                        *cell = Some(mapped);
+                    }
+                }
             }
         }
     }
@@ -274,26 +305,39 @@ pub fn merge_partials(
         let mut pre = Vec::with_capacity(parts.len());
         for part in parts {
             pre.push(acc);
-            acc += part.relations[r].n_tuples() as TupleIdx;
+            acc += part
+                .relations
+                .get(r)
+                .map_or(0, |rel| rel.n_tuples() as TupleIdx);
         }
         tuple_prefix.push(pre);
     }
     let fill = |r: usize, rel: &mut Relation| {
-        let parent = rel.parent.expect("non-root relation has a parent");
+        debug_assert!(rel.parent.is_some(), "non-root relation has a parent");
+        let Some(parent) = rel.parent else {
+            return;
+        };
         for (i, part) in parts.iter().enumerate() {
-            let src = &part.relations[r];
+            let Some(src) = part.relations.get(r) else {
+                continue;
+            };
             let parent_shift = if parent.index() == 0 {
                 0
             } else {
-                tuple_prefix[parent.index()][i]
+                tuple_prefix
+                    .get(parent.index())
+                    .and_then(|pre| pre.get(i))
+                    .copied()
+                    .unwrap_or(0)
             };
+            let off = node_off.get(i).copied().unwrap_or(0);
             rel.node_keys
-                .extend(src.node_keys.iter().map(|k| NodeId(k.0 + node_off[i])));
+                .extend(src.node_keys.iter().map(|k| NodeId(k.0 + off)));
             rel.parent_of
                 .extend(src.parent_of.iter().map(|&p| p + parent_shift));
-            for (c, col) in src.columns.iter().enumerate() {
-                let kind = rel.columns[c].kind;
-                rel.columns[c].cells.extend(
+            for (dst, col) in rel.columns.iter_mut().zip(&src.columns) {
+                let kind = dst.kind;
+                dst.cells.extend(
                     col.cells
                         .iter()
                         .map(|cell| cell.map(|v| remap_cell(kind, v, i))),
@@ -301,7 +345,7 @@ pub fn merge_partials(
             }
         }
     };
-    let (_, rest) = relations.split_at_mut(1);
+    let rest = relations.get_mut(1..).unwrap_or_default();
     let workers = threads.min(rest.len());
     if workers <= 1 {
         for (j, rel) in rest.iter_mut().enumerate() {
@@ -312,21 +356,35 @@ pub fn merge_partials(
         // least-loaded bucket. Deterministic, and balanced enough for the
         // handful of relations a schema produces.
         let sizes: Vec<usize> = (1..nrel)
-            .map(|r| parts.iter().map(|p| p.relations[r].n_tuples()).sum())
+            .map(|r| {
+                parts
+                    .iter()
+                    .map(|p| p.relations.get(r).map_or(0, Relation::n_tuples))
+                    .sum()
+            })
             .collect();
+        let size_of = |j: usize| sizes.get(j).copied().unwrap_or(0);
         let mut order: Vec<usize> = (0..rest.len()).collect();
-        order.sort_by_key(|&j| (std::cmp::Reverse(sizes[j]), j));
+        order.sort_by_key(|&j| (std::cmp::Reverse(size_of(j)), j));
         let mut buckets: Vec<Vec<(usize, &mut Relation)>> =
             (0..workers).map(|_| Vec::new()).collect();
         let mut load = vec![0usize; workers];
         let mut slots: Vec<Option<&mut Relation>> = rest.iter_mut().map(Some).collect();
         for &j in &order {
-            let w = (0..workers)
-                .min_by_key(|&w| load[w])
-                .expect("at least one bucket");
-            load[w] += sizes[j].max(1);
-            let rel = slots[j].take().expect("each relation assigned once");
-            buckets[w].push((j + 1, rel));
+            let w = load
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &l)| l)
+                .map_or(0, |(w, _)| w);
+            if let Some(l) = load.get_mut(w) {
+                *l += size_of(j).max(1);
+            }
+            let Some(rel) = slots.get_mut(j).and_then(Option::take) else {
+                continue;
+            };
+            if let Some(bucket) = buckets.get_mut(w) {
+                bucket.push((j + 1, rel));
+            }
         }
         let fill = &fill;
         std::thread::scope(|scope| {
@@ -343,12 +401,24 @@ pub fn merge_partials(
     // Set-valued columns, over the synthesized global classes.
     if need_classes(config) && config.set_columns != SetColumnMode::None {
         let mut class = vec![ValueClassId(0); total_nodes];
-        class[0] = ValueClassId(root_class);
+        if let Some(slot) = class.first_mut() {
+            *slot = ValueClassId(root_class);
+        }
         for (i, part) in parts.iter().enumerate() {
-            let table = part.table.as_ref().expect("partials built with classes");
-            let off = node_off[i] as usize;
+            debug_assert!(part.table.is_some(), "partials built with classes");
+            let Some(table) = part.table.as_ref() else {
+                continue;
+            };
+            let off = node_off.get(i).copied().unwrap_or(0) as usize;
             for (k, &local) in table.class_by_rank.iter().enumerate() {
-                class[off + k] = ValueClassId(class_maps[i][local as usize]);
+                let global = class_maps
+                    .get(i)
+                    .and_then(|m| m.get(local as usize))
+                    .copied()
+                    .unwrap_or(0);
+                if let Some(slot) = class.get_mut(off + k) {
+                    *slot = ValueClassId(global);
+                }
             }
         }
         let classes = EqClasses::from_raw(class, num_global_classes);
@@ -403,13 +473,21 @@ pub fn build_partials(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(tree) = trees.get(i) else { break };
                 let partial = build_partial(tree, map, config);
-                let _ = slots[i].set(partial);
+                if let Some(slot) = slots.get(i) {
+                    slot.set(partial).ok();
+                }
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .zip(trees)
+        .map(|(slot, tree)| {
+            // A worker fills every slot it claims; rebuilding serially on a
+            // missed slot keeps the invariant violation from panicking.
+            slot.into_inner()
+                .unwrap_or_else(|| build_partial(tree, map, config))
+        })
         .collect()
 }
 

@@ -17,11 +17,13 @@
 use std::collections::BTreeMap;
 
 /// Names of the rules xfdlint knows, in report order.
-pub const RULE_NAMES: [&str; 4] = [
+pub const RULE_NAMES: [&str; 6] = [
     "panic_freedom",
     "lock_discipline",
     "unsafe_audit",
     "error_hygiene",
+    "deadline_discipline",
+    "protocol_exhaustiveness",
 ];
 
 /// Per-rule configuration section.
@@ -36,6 +38,20 @@ pub struct RuleCfg {
     /// `lock_discipline` only: extra guard-returning helper functions
     /// (method receivers are always scanned for `.lock(`).
     pub lock_helpers: Vec<String>,
+    /// `deadline_discipline` only: names of blocking calls that need a
+    /// deadline. Defaults to `read_frame`/`accept`/`connect`.
+    pub blocking: Vec<String>,
+    /// `deadline_discipline` only: names of calls that establish a deadline.
+    /// Defaults to `set_read_timeout`/`connect_timeout`.
+    pub deadline_ok: Vec<String>,
+    /// `protocol_exhaustiveness` only: the protocol enum to audit.
+    pub protocol_enum: String,
+    /// `protocol_exhaustiveness` only: functions whose bodies together must
+    /// mention every variant on the encode side.
+    pub encode_fns: Vec<String>,
+    /// `protocol_exhaustiveness` only: functions whose bodies together must
+    /// mention every variant on the decode side.
+    pub decode_fns: Vec<String>,
 }
 
 /// The parsed config: one section per enabled rule.
@@ -109,6 +125,18 @@ impl Config {
                         .collect::<Result<_, _>>()?;
                 }
                 "lock_helpers" if section == "lock_discipline" => rule.lock_helpers = items,
+                "blocking" if section == "deadline_discipline" => rule.blocking = items,
+                "deadline_ok" if section == "deadline_discipline" => rule.deadline_ok = items,
+                "protocol_enum" if section == "protocol_exhaustiveness" => match items.as_slice() {
+                    [one] => rule.protocol_enum = one.clone(),
+                    _ => {
+                        return Err(format!(
+                            "line {lineno}: `protocol_enum` must name exactly one enum"
+                        ))
+                    }
+                },
+                "encode_fns" if section == "protocol_exhaustiveness" => rule.encode_fns = items,
+                "decode_fns" if section == "protocol_exhaustiveness" => rule.decode_fns = items,
                 _ => {
                     return Err(format!(
                         "line {lineno}: unknown key `{key}` in section [{section}]"
@@ -116,9 +144,33 @@ impl Config {
                 }
             }
         }
-        for (name, rule) in &cfg.rules {
+        for (name, rule) in cfg.rules.iter_mut() {
             if rule.paths.is_empty() {
                 return Err(format!("section [{name}] has no `paths`"));
+            }
+            if name == "deadline_discipline" {
+                if rule.blocking.is_empty() {
+                    rule.blocking = vec![
+                        "read_frame".to_string(),
+                        "accept".to_string(),
+                        "connect".to_string(),
+                    ];
+                }
+                if rule.deadline_ok.is_empty() {
+                    rule.deadline_ok = vec![
+                        "set_read_timeout".to_string(),
+                        "connect_timeout".to_string(),
+                    ];
+                }
+            }
+            if name == "protocol_exhaustiveness"
+                && (rule.protocol_enum.is_empty()
+                    || rule.encode_fns.is_empty()
+                    || rule.decode_fns.is_empty())
+            {
+                return Err(format!(
+                    "section [{name}] needs `protocol_enum`, `encode_fns` and `decode_fns`"
+                ));
             }
         }
         if cfg.rules.is_empty() {
@@ -280,6 +332,41 @@ lock_helpers = ["lock_recover"]
         assert!(Config::parse("paths = [\"x\"]\n").is_err());
         assert!(Config::parse("[panic_freedom]\n").is_err());
         assert!(Config::parse("[error_hygiene]\norder = [\"a->b\"]\n").is_err());
+    }
+
+    #[test]
+    fn deadline_section_gets_defaults() {
+        let cfg = Config::parse("[deadline_discipline]\npaths = [\"crates/x/src\"]\n")
+            .expect("config parses");
+        let dl = &cfg.rules["deadline_discipline"];
+        assert_eq!(dl.blocking, vec!["read_frame", "accept", "connect"]);
+        assert_eq!(dl.deadline_ok, vec!["set_read_timeout", "connect_timeout"]);
+        let cfg = Config::parse(
+            "[deadline_discipline]\npaths = [\"x\"]\nblocking = [\"recv\"]\ndeadline_ok = [\"arm\"]\n",
+        )
+        .expect("config parses");
+        assert_eq!(cfg.rules["deadline_discipline"].blocking, vec!["recv"]);
+        assert_eq!(cfg.rules["deadline_discipline"].deadline_ok, vec!["arm"]);
+    }
+
+    #[test]
+    fn protocol_section_requires_enum_and_fns() {
+        let cfg = Config::parse(
+            "[protocol_exhaustiveness]\npaths = [\"x\"]\nprotocol_enum = \"Frame\"\n\
+             encode_fns = [\"kind\", \"payload\"]\ndecode_fns = [\"decode\"]\n",
+        )
+        .expect("config parses");
+        let pe = &cfg.rules["protocol_exhaustiveness"];
+        assert_eq!(pe.protocol_enum, "Frame");
+        assert_eq!(pe.encode_fns, vec!["kind", "payload"]);
+        assert_eq!(pe.decode_fns, vec!["decode"]);
+        assert!(Config::parse("[protocol_exhaustiveness]\npaths = [\"x\"]\n").is_err());
+        assert!(Config::parse(
+            "[protocol_exhaustiveness]\npaths = [\"x\"]\nprotocol_enum = [\"A\", \"B\"]\n"
+        )
+        .is_err());
+        // Rule-specific keys stay rule-specific.
+        assert!(Config::parse("[panic_freedom]\npaths = [\"x\"]\nblocking = [\"y\"]\n").is_err());
     }
 
     #[test]

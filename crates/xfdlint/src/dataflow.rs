@@ -1,0 +1,713 @@
+//! Interprocedural analyses over the workspace call graph: guard-to-I/O
+//! reachability, the global lock-order graph with cycle detection,
+//! deadline domination for blocking transport calls, and frame-protocol
+//! exhaustiveness.
+//!
+//! All walks are bounded ([`MAX_DEPTH`]) and cycle-safe (visited sets);
+//! unresolved calls simply contribute no edges, so the analyses degrade
+//! toward silence, never toward nontermination.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::RuleCfg;
+use crate::graph::Workspace;
+use crate::rules::{GuardedCall, NestedAcq, Violation};
+
+/// Call-chain depth bound for reachability walks.
+const MAX_DEPTH: usize = 8;
+
+fn hit(rule: &'static str, line: usize, message: String) -> Violation {
+    Violation {
+        rule,
+        line,
+        message,
+    }
+}
+
+fn fn_label(ws: &Workspace, id: usize) -> String {
+    let node = &ws.fns[id];
+    format!(
+        "`{}` ({}:{})",
+        node.item.name, ws.files[node.file].rel, node.item.line
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural lock discipline
+// ---------------------------------------------------------------------------
+
+/// Violations from calls made under a live guard whose call chains reach
+/// I/O or further lock acquisitions, plus cycles in the combined
+/// (configured + observed) lock-order graph. The second return component
+/// carries cycle reports that have no source site (config-only cycles);
+/// the driver attaches them to `xfdlint.toml`.
+pub fn lock_graph_violations(
+    ws: &Workspace,
+    cfg: &RuleCfg,
+    guarded: &[(usize, GuardedCall)],
+    nested: &[(usize, NestedAcq)],
+) -> (Vec<(usize, Violation)>, Vec<Violation>) {
+    const RULE: &str = "lock_discipline";
+    let mut out: Vec<(usize, Violation)> = Vec::new();
+    // Edge → a witness site (file index, line), configured edges have none.
+    let mut edges: BTreeMap<(String, String), Option<(usize, usize)>> = BTreeMap::new();
+    for (outer, inner) in &cfg.order {
+        edges.entry((outer.clone(), inner.clone())).or_insert(None);
+    }
+    for (file, n) in nested {
+        edges
+            .entry((n.outer.clone(), n.inner.clone()))
+            .or_insert(Some((*file, n.line)));
+    }
+
+    // Configured guard helpers are acquisition syntax, not callees: their
+    // internal `.lock()` is credited to each call site's receiver, so the
+    // walk must not descend into them and double-count their generic lock.
+    let is_helper = |id: usize| cfg.lock_helpers.iter().any(|h| h == &ws.fns[id].item.name);
+    for (file, gc) in guarded {
+        let mut queue: Vec<(usize, usize)> = ws
+            .resolve(&gc.name, gc.method, gc.qualifier.as_deref(), Some(*file))
+            .into_iter()
+            .filter(|&id| !is_helper(id))
+            .map(|id| (id, 1))
+            .collect();
+        let mut visited: BTreeSet<usize> = queue.iter().map(|&(id, _)| id).collect();
+        let mut io_reported = false;
+        let mut acq_reported: BTreeSet<String> = BTreeSet::new();
+        while let Some((id, depth)) = queue.pop() {
+            let node = &ws.fns[id];
+            if !io_reported {
+                if let Some((io_name, io_line)) = node.facts.io.first() {
+                    let (_, gname, gline) = gc.guards.last().cloned().unwrap_or_default();
+                    out.push((
+                        *file,
+                        hit(
+                            RULE,
+                            gc.line,
+                            format!(
+                                "`{}()` called while lock guard `{gname}` (bound line {gline}) \
+                                 is live reaches I/O `{io_name}()` in {} at line {io_line}",
+                                gc.name,
+                                fn_label(ws, id),
+                            ),
+                        ),
+                    ));
+                    io_reported = true;
+                }
+            }
+            // Reached acquisitions get their own per-site report but do NOT
+            // feed the cycle graph: a call chain can pass through branches
+            // the guard never lexically crosses (e.g. a poisoned-lock arm),
+            // so only configured pairs and direct lexical nestings are
+            // trusted as lock-order edges.
+            for (recv2, acq_line) in &node.facts.acquires {
+                for (outer_recv, _, gline) in &gc.guards {
+                    let allowed = cfg.order.iter().any(|(o, i)| o == outer_recv && i == recv2);
+                    if !allowed && acq_reported.insert(format!("{outer_recv}->{recv2}")) {
+                        out.push((
+                            *file,
+                            hit(
+                                RULE,
+                                gc.line,
+                                format!(
+                                    "`{}()` called while lock guard on `{outer_recv}` (bound \
+                                     line {gline}) is live acquires lock `{recv2}` in {} at \
+                                     line {acq_line}; nesting not in configured order",
+                                    gc.name,
+                                    fn_label(ws, id),
+                                ),
+                            ),
+                        ));
+                    }
+                }
+            }
+            if depth < MAX_DEPTH {
+                let from_file = ws.fns[id].file;
+                for call in &ws.fns[id].item.calls {
+                    if call.in_test {
+                        continue;
+                    }
+                    for target in ws.resolve_call(call, from_file) {
+                        if !is_helper(target) && visited.insert(target) {
+                            queue.push((target, depth + 1));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let (sited, unsited) = cycle_violations(&edges);
+    out.extend(sited);
+    (out, unsited)
+}
+
+/// Find cycles in the lock-order graph. Each strongly-connected component
+/// with a cycle is reported once; the report lands on a witness site when
+/// one of its edges was observed in source, otherwise it is site-less.
+fn cycle_violations(
+    edges: &BTreeMap<(String, String), Option<(usize, usize)>>,
+) -> (Vec<(usize, Violation)>, Vec<Violation>) {
+    const RULE: &str = "lock_discipline";
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let reachable = |from: &str, to: &str| -> bool {
+        let mut stack = vec![from];
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            for &m in adj.get(n).map(Vec::as_slice).unwrap_or_default() {
+                if m == to {
+                    return true;
+                }
+                if seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    };
+    let mut sited = Vec::new();
+    let mut unsited = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for ((a, b), _) in edges.iter() {
+        if !reachable(b, a) && a != b {
+            continue;
+        }
+        // The SCC containing edge a→b: nodes on some cycle through it.
+        let mut scc: Vec<String> = edges
+            .keys()
+            .flat_map(|(x, y)| [x.clone(), y.clone()])
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .filter(|n| n == a || (reachable(a, n) && reachable(n.as_str(), a)))
+            .collect();
+        scc.sort();
+        if !reported.insert(scc.clone()) {
+            continue;
+        }
+        let ring = scc.join(" -> ");
+        let witness = edges
+            .iter()
+            .filter(|((x, y), _)| scc.contains(x) && scc.contains(y))
+            .find_map(|(_, site)| *site);
+        let message = format!(
+            "lock-order cycle: {ring} -> {}; configured `order` pairs and observed \
+             nestings together admit a deadlock",
+            scc.first().map(String::as_str).unwrap_or("?"),
+        );
+        match witness {
+            Some((file, line)) => sited.push((file, hit(RULE, line, message))),
+            None => unsited.push(hit(RULE, 1, message)),
+        }
+    }
+    (sited, unsited)
+}
+
+// ---------------------------------------------------------------------------
+// Deadline discipline
+// ---------------------------------------------------------------------------
+
+/// Every blocking call (configured `blocking` names) must be *dominated* by
+/// a deadline-arming call (`deadline_ok` names): one must occur earlier in
+/// the same function, or on every non-test call path leading in from the
+/// function's entry points. A `pub` function is an entry point — external
+/// callers cannot be vetted — and a function with no known callers is
+/// treated as one too.
+pub fn deadline_violations(
+    ws: &Workspace,
+    cfg: &RuleCfg,
+    in_scope: &dyn Fn(&str) -> bool,
+) -> Vec<(usize, Violation)> {
+    const RULE: &str = "deadline_discipline";
+    let mut out = Vec::new();
+    let mut memo: Vec<Option<Option<Vec<usize>>>> = vec![None; ws.fns.len()];
+    for id in 0..ws.fns.len() {
+        let node = &ws.fns[id];
+        if node.is_test(ws.files) || !in_scope(&ws.files[node.file].rel) {
+            continue;
+        }
+        if node.facts.blocking.is_empty() {
+            continue;
+        }
+        for (name, line, site_ci) in node.facts.blocking.clone() {
+            if node.facts.deadline_marks.iter().any(|&m| m < site_ci) {
+                continue;
+            }
+            let mut in_progress = vec![false; ws.fns.len()];
+            if let Some(chain) = exposed(ws, id, &mut memo, &mut in_progress) {
+                let path = chain
+                    .iter()
+                    .rev()
+                    .map(|&f| ws.fns[f].item.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                out.push((
+                    node.file,
+                    hit(
+                        RULE,
+                        line,
+                        format!(
+                            "blocking `{name}()` is reachable with no deadline armed via \
+                             entry path `{path}`; a `{}` call must dominate it",
+                            cfg.deadline_ok.join("`/`"),
+                        ),
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Can `id` be *entered* with no deadline armed? Returns the offending
+/// chain `[id, caller, ..., entry]` if so. Cycles count as safe (re-entry
+/// implies a first entry that is judged on its own merits); results are
+/// memoized per function.
+fn exposed(
+    ws: &Workspace,
+    id: usize,
+    memo: &mut Vec<Option<Option<Vec<usize>>>>,
+    in_progress: &mut Vec<bool>,
+) -> Option<Vec<usize>> {
+    if let Some(Some(cached)) = memo.get(id) {
+        return cached.clone();
+    }
+    if in_progress[id] {
+        return None;
+    }
+    in_progress[id] = true;
+    let result = (|| {
+        if ws.fns[id].item.is_pub {
+            return Some(vec![id]);
+        }
+        let callers = ws.callers.get(&id).cloned().unwrap_or_default();
+        if callers.is_empty() {
+            return Some(vec![id]);
+        }
+        for (caller, call_ci) in callers {
+            if ws.fns[caller]
+                .facts
+                .deadline_marks
+                .iter()
+                .any(|&m| m < call_ci)
+            {
+                continue; // this path arms a deadline before the call
+            }
+            if let Some(mut chain) = exposed(ws, caller, memo, in_progress) {
+                chain.insert(0, id);
+                return Some(chain);
+            }
+        }
+        None
+    })();
+    in_progress[id] = false;
+    memo[id] = Some(result.clone());
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Protocol exhaustiveness
+// ---------------------------------------------------------------------------
+
+/// Every variant of the configured protocol enum must be mentioned (as
+/// `Enum::Variant` or `Self::Variant`) in the encode functions, in the
+/// decode functions, and in at least one test. The second return component
+/// carries configuration-shaped failures (enum or functions not found).
+pub fn protocol_violations(
+    ws: &Workspace,
+    cfg: &RuleCfg,
+    in_scope: &dyn Fn(&str) -> bool,
+) -> (Vec<(usize, Violation)>, Vec<Violation>) {
+    const RULE: &str = "protocol_exhaustiveness";
+    let enum_name = cfg.protocol_enum.as_str();
+    let mut unsited = Vec::new();
+    let found = ws.files.iter().enumerate().find_map(|(fi, m)| {
+        if m.is_test_file || !in_scope(&m.rel) {
+            return None;
+        }
+        m.items
+            .enums
+            .iter()
+            .find(|e| e.name == enum_name)
+            .map(|e| (fi, e.clone()))
+    });
+    let Some((enum_file, item)) = found else {
+        unsited.push(hit(
+            RULE,
+            1,
+            format!("protocol enum `{enum_name}` not found in any file in scope"),
+        ));
+        return (Vec::new(), unsited);
+    };
+
+    let side_fns = |names: &[String]| -> Vec<usize> {
+        (0..ws.fns.len())
+            .filter(|&id| {
+                let node = &ws.fns[id];
+                !node.is_test(ws.files)
+                    && in_scope(&ws.files[node.file].rel)
+                    && names.iter().any(|n| n == &node.item.name)
+                    && node
+                        .item
+                        .owner
+                        .as_deref()
+                        .map(|o| o == enum_name)
+                        .unwrap_or(true)
+            })
+            .collect()
+    };
+    let encode = side_fns(&cfg.encode_fns);
+    let decode = side_fns(&cfg.decode_fns);
+    for (side, ids, names) in [
+        ("encode", &encode, &cfg.encode_fns),
+        ("decode", &decode, &cfg.decode_fns),
+    ] {
+        if ids.is_empty() {
+            unsited.push(hit(
+                RULE,
+                1,
+                format!(
+                    "no {side} fn ({}) found for enum `{enum_name}`",
+                    names.join("/")
+                ),
+            ));
+        }
+    }
+    if encode.is_empty() || decode.is_empty() {
+        return (Vec::new(), unsited);
+    }
+
+    let mentioned_in = |ids: &[usize], variant: &str| -> bool {
+        ids.iter().any(|&id| {
+            let node = &ws.fns[id];
+            let scan = &ws.files[node.file].scan;
+            mentions(scan, node.item.body, enum_name, variant)
+        })
+    };
+    let mut out = Vec::new();
+    for (variant, line) in &item.variants {
+        if !mentioned_in(&encode, variant) {
+            out.push((
+                enum_file,
+                hit(
+                    RULE,
+                    *line,
+                    format!(
+                        "`{enum_name}::{variant}` has no arm in encode fn(s) {}",
+                        cfg.encode_fns.join("/")
+                    ),
+                ),
+            ));
+        }
+        if !mentioned_in(&decode, variant) {
+            out.push((
+                enum_file,
+                hit(
+                    RULE,
+                    *line,
+                    format!(
+                        "`{enum_name}::{variant}` has no arm in decode fn(s) {}",
+                        cfg.decode_fns.join("/")
+                    ),
+                ),
+            ));
+        }
+        if !mentioned_in_tests(ws, enum_name, variant) {
+            out.push((
+                enum_file,
+                hit(
+                    RULE,
+                    *line,
+                    format!("`{enum_name}::{variant}` is not exercised by any test"),
+                ),
+            ));
+        }
+    }
+    (out, unsited)
+}
+
+/// `Enum::Variant` / `Self::Variant` token pattern inside a body range.
+fn mentions(
+    scan: &crate::scan::SourceScan,
+    body: (usize, usize),
+    enum_name: &str,
+    variant: &str,
+) -> bool {
+    let (open, close) = body;
+    (open + 1..close).any(|ci| qualified_mention(scan, ci, enum_name, variant))
+}
+
+fn qualified_mention(
+    scan: &crate::scan::SourceScan,
+    ci: usize,
+    enum_name: &str,
+    variant: &str,
+) -> bool {
+    ci >= 3
+        && scan.code_tok(ci).is_ident(variant)
+        && scan.code_tok(ci - 1).is_punct(':')
+        && scan.code_tok(ci - 2).is_punct(':')
+        && (scan.code_tok(ci - 3).is_ident(enum_name) || scan.code_tok(ci - 3).is_ident("Self"))
+}
+
+/// Variant mentioned anywhere in test code (test files or test regions).
+fn mentioned_in_tests(ws: &Workspace, enum_name: &str, variant: &str) -> bool {
+    ws.files.iter().any(|m| {
+        (0..m.scan.code.len()).any(|ci| {
+            let fi = m.scan.code[ci];
+            (m.is_test_file || m.scan.in_test[fi])
+                && qualified_mention(&m.scan, ci, enum_name, variant)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::graph::FileModel;
+    use crate::rules::lock_scan;
+
+    fn setup(files: &[(&str, &str)], cfg_src: &str) -> (Vec<FileModel>, Config) {
+        let cfg = Config::parse(cfg_src).expect("config parses");
+        let models = files
+            .iter()
+            .map(|(rel, src)| FileModel::new(rel.to_string(), src))
+            .collect();
+        (models, cfg)
+    }
+
+    type LockInputs = (Vec<(usize, GuardedCall)>, Vec<(usize, NestedAcq)>);
+
+    fn lock_inputs(models: &[FileModel], cfg: &RuleCfg) -> LockInputs {
+        let mut guarded = Vec::new();
+        let mut nested = Vec::new();
+        for (i, m) in models.iter().enumerate() {
+            let ls = lock_scan(&m.scan, cfg);
+            guarded.extend(ls.guarded_calls.into_iter().map(|g| (i, g)));
+            nested.extend(ls.nested.into_iter().map(|n| (i, n)));
+        }
+        (guarded, nested)
+    }
+
+    #[test]
+    fn guarded_call_reaching_io_is_flagged() {
+        let (models, cfg) = setup(
+            &[(
+                "crates/a/src/lib.rs",
+                "impl S {\n\
+                 fn hot(&self) {\n    let g = self.state.lock();\n    self.evict(1);\n}\n\
+                 fn evict(&self, n: u64) { spill(n); }\n\
+                 }\n\
+                 fn spill(n: u64) { file.sync_all(); }\n",
+            )],
+            "[lock_discipline]\npaths = [\"crates\"]\n",
+        );
+        let ws = Workspace::build(&models, &cfg);
+        let rc = &cfg.rules["lock_discipline"];
+        let (guarded, nested) = lock_inputs(&models, rc);
+        let (v, unsited) = lock_graph_violations(&ws, rc, &guarded, &nested);
+        assert!(unsited.is_empty());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].1.message.contains("sync_all"));
+        assert!(v[0].1.message.contains("spill"));
+    }
+
+    #[test]
+    fn guarded_call_acquiring_unordered_lock_is_flagged() {
+        let src = "impl S {\n\
+                   fn hot(&self) {\n    let a = self.first.lock();\n    self.deep();\n}\n\
+                   fn deep(&self) { let b = self.second.lock(); b.bump(); }\n\
+                   }\n";
+        for (order, expect) in [("[]", 1usize), ("[\"first->second\"]", 0)] {
+            let (models, cfg) = setup(
+                &[("crates/a/src/lib.rs", src)],
+                &format!("[lock_discipline]\npaths = [\"crates\"]\norder = {order}\n"),
+            );
+            let ws = Workspace::build(&models, &cfg);
+            let rc = &cfg.rules["lock_discipline"];
+            let (guarded, nested) = lock_inputs(&models, rc);
+            let (v, _) = lock_graph_violations(&ws, rc, &guarded, &nested);
+            assert_eq!(v.len(), expect, "order={order}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn lock_order_cycles_are_reported_once() {
+        // Configured a->b plus an observed b->a nesting: a cycle.
+        let (models, cfg) = setup(
+            &[(
+                "crates/a/src/lib.rs",
+                "impl S {\nfn f(&self) {\n    let g = self.b.lock();\n    let h = self.a.lock();\n}\n}\n",
+            )],
+            "[lock_discipline]\npaths = [\"crates\"]\norder = [\"a->b\", \"b->a\"]\n",
+        );
+        let ws = Workspace::build(&models, &cfg);
+        let rc = &cfg.rules["lock_discipline"];
+        let (guarded, nested) = lock_inputs(&models, rc);
+        let (v, unsited) = lock_graph_violations(&ws, rc, &guarded, &nested);
+        let cycles: Vec<_> = v
+            .iter()
+            .map(|(_, x)| x)
+            .chain(unsited.iter())
+            .filter(|x| x.message.contains("lock-order cycle"))
+            .collect();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert!(cycles[0].message.contains("a -> b"));
+    }
+
+    #[test]
+    fn config_only_cycle_lands_siteless() {
+        let (models, cfg) = setup(
+            &[("crates/a/src/lib.rs", "fn f() {}\n")],
+            "[lock_discipline]\npaths = [\"crates\"]\norder = [\"a->b\", \"b->a\"]\n",
+        );
+        let ws = Workspace::build(&models, &cfg);
+        let rc = &cfg.rules["lock_discipline"];
+        let (v, unsited) = lock_graph_violations(&ws, rc, &[], &[]);
+        assert!(v.is_empty());
+        assert_eq!(unsited.len(), 1, "{unsited:?}");
+    }
+
+    fn deadline_cfg() -> &'static str {
+        "[deadline_discipline]\npaths = [\"crates\"]\n"
+    }
+
+    fn run_deadline(models: &[FileModel], cfg: &Config) -> Vec<(usize, Violation)> {
+        let ws = Workspace::build(models, cfg);
+        let rc = &cfg.rules["deadline_discipline"];
+        deadline_violations(&ws, rc, &|rel| cfg.in_scope("deadline_discipline", rel))
+    }
+
+    #[test]
+    fn blocking_call_needs_local_or_caller_deadline() {
+        let (models, cfg) = setup(
+            &[(
+                "crates/a/src/lib.rs",
+                "pub fn naked(s: &mut S) { let f = read_frame(s); }\n\
+                 pub fn armed(s: &mut S) { s.set_read_timeout(Some(t)); let f = read_frame(s); }\n",
+            )],
+            deadline_cfg(),
+        );
+        let v = run_deadline(&models, &cfg);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].1.line, 1);
+        assert!(v[0].1.message.contains("naked"));
+    }
+
+    #[test]
+    fn caller_arming_a_deadline_dominates_private_callee() {
+        let (models, cfg) = setup(
+            &[(
+                "crates/a/src/lib.rs",
+                "pub fn session(s: &mut S) { s.set_read_timeout(Some(t)); shipped(s); }\n\
+                 fn shipped(s: &mut S) { let f = read_frame(s); }\n",
+            )],
+            deadline_cfg(),
+        );
+        let v = run_deadline(&models, &cfg);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn one_unarmed_entry_path_is_enough_to_flag() {
+        let (models, cfg) = setup(
+            &[(
+                "crates/a/src/lib.rs",
+                "pub fn good(s: &mut S) { s.set_read_timeout(Some(t)); shipped(s); }\n\
+                 pub fn bad(s: &mut S) { shipped(s); }\n\
+                 fn shipped(s: &mut S) { let f = read_frame(s); }\n",
+            )],
+            deadline_cfg(),
+        );
+        let v = run_deadline(&models, &cfg);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].1.message.contains("bad -> shipped"),
+            "{}",
+            v[0].1.message
+        );
+    }
+
+    #[test]
+    fn test_only_callers_do_not_count_as_entries() {
+        let (models, cfg) = setup(
+            &[(
+                "crates/a/src/lib.rs",
+                "pub fn session(s: &mut S) { s.set_read_timeout(Some(t)); shipped(s); }\n\
+                 fn shipped(s: &mut S) { let f = read_frame(s); }\n\
+                 #[cfg(test)]\nmod tests {\n    fn t(s: &mut S) { super::shipped(s); }\n}\n",
+            )],
+            deadline_cfg(),
+        );
+        let v = run_deadline(&models, &cfg);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    fn protocol_cfg() -> &'static str {
+        "[protocol_exhaustiveness]\npaths = [\"crates/t/src\"]\nprotocol_enum = \"Frame\"\n\
+         encode_fns = [\"kind\"]\ndecode_fns = [\"decode\"]\n"
+    }
+
+    #[test]
+    fn missing_arms_and_missing_tests_are_flagged_per_variant() {
+        let (models, cfg) = setup(
+            &[(
+                "crates/t/src/frame.rs",
+                "pub enum Frame { Ping, Pong }\n\
+                 impl Frame {\n\
+                 pub fn kind(&self) -> u8 { match self { Frame::Ping => 1, Frame::Pong => 2 } }\n\
+                 pub fn decode(k: u8) -> Frame { match k { 1 => Frame::Ping, _ => Frame::Ping } }\n\
+                 }\n\
+                 #[cfg(test)]\nmod tests {\n    fn t() { let _f = Frame::Ping; }\n}\n",
+            )],
+            protocol_cfg(),
+        );
+        let ws = Workspace::build(&models, &cfg);
+        let rc = &cfg.rules["protocol_exhaustiveness"];
+        let (v, unsited) =
+            protocol_violations(&ws, rc, &|rel| cfg.in_scope("protocol_exhaustiveness", rel));
+        assert!(unsited.is_empty(), "{unsited:?}");
+        // Pong: missing decode arm and missing test coverage.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|(_, x)| x.message.contains("Pong")));
+        assert!(v.iter().any(|(_, x)| x.message.contains("decode")));
+        assert!(v.iter().any(|(_, x)| x.message.contains("test")));
+    }
+
+    #[test]
+    fn fully_wired_enum_is_clean_and_missing_enum_is_config_shaped() {
+        let (models, cfg) = setup(
+            &[
+                (
+                    "crates/t/src/frame.rs",
+                    "pub enum Frame { Ping }\n\
+                     impl Frame {\n\
+                     pub fn kind(&self) -> u8 { match self { Self::Ping => 1 } }\n\
+                     pub fn decode(k: u8) -> Frame { Frame::Ping }\n\
+                     }\n",
+                ),
+                (
+                    "crates/t/tests/roundtrip.rs",
+                    "fn t() { let f = Frame::Ping; }\n",
+                ),
+            ],
+            protocol_cfg(),
+        );
+        let ws = Workspace::build(&models, &cfg);
+        let rc = &cfg.rules["protocol_exhaustiveness"];
+        let (v, unsited) =
+            protocol_violations(&ws, rc, &|rel| cfg.in_scope("protocol_exhaustiveness", rel));
+        assert!(v.is_empty(), "{v:?}");
+        assert!(unsited.is_empty());
+
+        let (models, cfg) = setup(&[("crates/t/src/lib.rs", "fn f() {}\n")], protocol_cfg());
+        let ws = Workspace::build(&models, &cfg);
+        let rc = &cfg.rules["protocol_exhaustiveness"];
+        let (_, unsited) =
+            protocol_violations(&ws, rc, &|rel| cfg.in_scope("protocol_exhaustiveness", rel));
+        assert_eq!(unsited.len(), 1, "{unsited:?}");
+    }
+}

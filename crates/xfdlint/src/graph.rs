@@ -1,0 +1,475 @@
+//! The workspace model: every parsed file, a symbol table of `fn` items,
+//! per-function facts (I/O sites, lock acquisitions, deadline arms,
+//! blocking calls) and the call graph in both directions.
+//!
+//! Call resolution is name-based with two precision aids:
+//!
+//! * a path-qualified call (`Store::open`) prefers functions whose `impl`
+//!   owner matches the qualifier, falling back to plain name matching
+//!   (the qualifier may be a module or crate path segment);
+//! * a *method* call whose name is a common std container/iterator method
+//!   (`get`, `insert`, `remove`, ...) is never resolved into the workspace
+//!   — `guard.remove(&key)` is a `HashMap` operation, not a call into a
+//!   workspace `fn remove`, and resolving it would drown the graph rules
+//!   in false edges.
+//!
+//! Functions defined in test regions or test files never resolve: they are
+//! exercise code, not production reachability.
+
+use std::collections::BTreeMap;
+
+use crate::config::{Config, RuleCfg};
+use crate::parse::{CallSite, FileItems, FnItem};
+use crate::rules;
+use crate::scan::SourceScan;
+
+/// Method names resolved to std types rather than workspace functions.
+const STD_METHODS: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "bytes",
+    "chain",
+    "chars",
+    "checked_add",
+    "checked_mul",
+    "checked_sub",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "fmt",
+    "fold",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "lock",
+    "map",
+    "max",
+    "max_by_key",
+    "min",
+    "min_by_key",
+    "next",
+    "ok",
+    "parse",
+    "peek",
+    "position",
+    "pop",
+    "push",
+    "push_str",
+    "read",
+    "recv",
+    "recv_timeout",
+    "remove",
+    "replace",
+    "retain",
+    "rev",
+    "saturating_add",
+    "saturating_sub",
+    "send",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "split_off",
+    "split_once",
+    "splitn",
+    "starts_with",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "try_recv",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "with_capacity",
+    "wrapping_add",
+    "write",
+    "zip",
+];
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// Token-level scan.
+    pub scan: SourceScan,
+    /// Item-level parse.
+    pub items: FileItems,
+    /// Lives under a `tests/` or `benches/` directory.
+    pub is_test_file: bool,
+}
+
+impl FileModel {
+    /// Parse one file into its model.
+    pub fn new(rel: String, src: &str) -> FileModel {
+        let scan = SourceScan::new(src);
+        let items = crate::parse::parse_items(&scan);
+        let is_test_file = rel.split('/').any(|c| c == "tests" || c == "benches");
+        FileModel {
+            rel,
+            scan,
+            items,
+            is_test_file,
+        }
+    }
+}
+
+/// Derived per-function facts the graph rules query.
+#[derive(Debug, Default, Clone)]
+pub struct FnFacts {
+    /// Direct file/socket I/O calls: (name, line), non-test only.
+    pub io: Vec<(String, usize)>,
+    /// Direct lock acquisitions: (receiver, line), non-test only.
+    pub acquires: Vec<(String, usize)>,
+    /// Code indices of deadline-arming calls (`set_read_timeout`, ...).
+    pub deadline_marks: Vec<usize>,
+    /// Blocking calls needing a deadline: (name, line, code index).
+    pub blocking: Vec<(String, usize, usize)>,
+}
+
+/// A function in the workspace graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into the file list.
+    pub file: usize,
+    /// The parsed item.
+    pub item: FnItem,
+    /// Derived facts.
+    pub facts: FnFacts,
+}
+
+impl FnNode {
+    /// True when this function is test-only (its own region or its file).
+    pub fn is_test(&self, files: &[FileModel]) -> bool {
+        self.item.in_test || files[self.file].is_test_file
+    }
+}
+
+/// Symbol table + call graph over all parsed files.
+#[derive(Debug)]
+pub struct Workspace<'a> {
+    /// The parsed files, in walk order.
+    pub files: &'a [FileModel],
+    /// All function nodes.
+    pub fns: Vec<FnNode>,
+    /// name → function ids (production functions only).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// callee id → (caller id, call code-index); non-test call sites only.
+    pub callers: BTreeMap<usize, Vec<(usize, usize)>>,
+}
+
+impl<'a> Workspace<'a> {
+    /// Build the graph; rule configs drive which facts are extracted.
+    pub fn build(files: &'a [FileModel], cfg: &Config) -> Workspace<'a> {
+        let default_lock = RuleCfg::default();
+        let lock_cfg = cfg.rules.get("lock_discipline").unwrap_or(&default_lock);
+        let deadline_cfg = cfg.rules.get("deadline_discipline");
+
+        let mut fns = Vec::new();
+        for (file, model) in files.iter().enumerate() {
+            for item in &model.items.fns {
+                let facts = fn_facts(&model.scan, item, lock_cfg, deadline_cfg);
+                fns.push(FnNode {
+                    file,
+                    item: item.clone(),
+                    facts,
+                });
+            }
+        }
+
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, node) in fns.iter().enumerate() {
+            if !node.is_test(files) {
+                by_name.entry(node.item.name.clone()).or_default().push(id);
+            }
+        }
+
+        let mut ws = Workspace {
+            files,
+            fns,
+            by_name,
+            callers: BTreeMap::new(),
+        };
+        let mut callers: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+        for id in 0..ws.fns.len() {
+            if ws.fns[id].is_test(files) {
+                continue;
+            }
+            let from_file = ws.fns[id].file;
+            for call in ws.fns[id].item.calls.clone() {
+                if call.in_test {
+                    continue;
+                }
+                for target in ws.resolve_call(&call, from_file) {
+                    callers.entry(target).or_default().push((id, call.ci));
+                }
+            }
+        }
+        ws.callers = callers;
+        ws
+    }
+
+    /// Production function ids a call with this shape may land in.
+    ///
+    /// `from_file` narrows `Self::name(...)` calls to the calling file —
+    /// a `Self` path resolves within its own `impl`, which this parser
+    /// always sees in the same file. A type-shaped qualifier (leading
+    /// uppercase) that matches no workspace `impl` owner is a foreign type
+    /// (`String::new`, `TcpStream::connect`) and resolves to nothing;
+    /// module-shaped qualifiers fall back to plain name resolution.
+    pub fn resolve(
+        &self,
+        name: &str,
+        method: bool,
+        qualifier: Option<&str>,
+        from_file: Option<usize>,
+    ) -> Vec<usize> {
+        if method && STD_METHODS.contains(&name) {
+            return Vec::new();
+        }
+        let Some(ids) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        match qualifier {
+            Some("Self") => ids
+                .iter()
+                .copied()
+                .filter(|&id| from_file.is_none_or(|f| self.fns[id].file == f))
+                .collect(),
+            Some(q) if q.starts_with(|c: char| c.is_ascii_uppercase()) => ids
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].item.owner.as_deref() == Some(q))
+                .collect(),
+            _ => ids.clone(),
+        }
+    }
+
+    /// Resolve a parsed call site made from `from_file`.
+    pub fn resolve_call(&self, call: &CallSite, from_file: usize) -> Vec<usize> {
+        self.resolve(
+            &call.name,
+            call.method,
+            call.qualifier.as_deref(),
+            Some(from_file),
+        )
+    }
+}
+
+fn fn_facts(
+    scan: &SourceScan,
+    item: &FnItem,
+    lock_cfg: &RuleCfg,
+    deadline_cfg: Option<&RuleCfg>,
+) -> FnFacts {
+    let mut facts = FnFacts::default();
+    let (open, close) = item.body;
+    for ci in open + 1..close {
+        let (_, in_test, in_attr) = scan.code_ctx(ci);
+        if in_test || in_attr {
+            continue;
+        }
+        let tok = scan.code_tok(ci);
+        if tok.kind != crate::lexer::Kind::Ident {
+            continue;
+        }
+        let called = scan
+            .code
+            .get(ci + 1)
+            .is_some_and(|_| scan.code_tok(ci + 1).is_punct('('));
+        if !called {
+            continue;
+        }
+        if let Some(recv) = rules::acquisition_at(scan, ci, lock_cfg) {
+            facts.acquires.push((recv, tok.line));
+            continue;
+        }
+        if rules::IO_CALLS.contains(&tok.text.as_str()) {
+            facts.io.push((tok.text.clone(), tok.line));
+        }
+        if let Some(dl) = deadline_cfg {
+            if dl.deadline_ok.iter().any(|n| n == &tok.text) {
+                facts.deadline_marks.push(ci);
+            } else if dl.blocking.iter().any(|n| n == &tok.text) {
+                facts.blocking.push((tok.text.clone(), tok.line, ci));
+            }
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(files: &[(&str, &str)], cfg_src: &str) -> (Vec<FileModel>, Config) {
+        let cfg = Config::parse(cfg_src).expect("config parses");
+        let models: Vec<FileModel> = files
+            .iter()
+            .map(|(rel, src)| FileModel::new(rel.to_string(), src))
+            .collect();
+        (models, cfg)
+    }
+
+    #[test]
+    fn call_graph_links_callers_and_callees() {
+        let (models, cfg) = build(
+            &[(
+                "crates/a/src/lib.rs",
+                "pub fn entry() { helper(); }\nfn helper() { leaf(); }\nfn leaf() {}\n",
+            )],
+            "[panic_freedom]\npaths = [\"crates\"]\n",
+        );
+        let ws = Workspace::build(&models, &cfg);
+        let id = |n: &str| {
+            ws.fns
+                .iter()
+                .position(|f| f.item.name == n)
+                .expect("fn in graph")
+        };
+        let callers_of = |n: &str| {
+            ws.callers
+                .get(&id(n))
+                .map(|v| v.iter().map(|&(c, _)| c).collect::<Vec<_>>())
+                .unwrap_or_default()
+        };
+        assert_eq!(callers_of("helper"), vec![id("entry")]);
+        assert_eq!(callers_of("leaf"), vec![id("helper")]);
+        assert!(callers_of("entry").is_empty());
+    }
+
+    #[test]
+    fn std_container_methods_do_not_resolve() {
+        let (models, cfg) = build(
+            &[(
+                "crates/a/src/lib.rs",
+                "pub fn remove(&self) { fs_stuff(); }\n\
+                 fn fs_stuff() {}\n\
+                 pub fn caller(m: &mut Map) { m.remove(&1); plain_remove(); }\n\
+                 pub fn plain_remove() {}\n",
+            )],
+            "[panic_freedom]\npaths = [\"crates\"]\n",
+        );
+        let ws = Workspace::build(&models, &cfg);
+        assert!(ws.resolve("remove", true, None, None).is_empty());
+        assert_eq!(ws.resolve("remove", false, None, None).len(), 1);
+        assert_eq!(ws.resolve("plain_remove", false, None, None).len(), 1);
+    }
+
+    #[test]
+    fn qualifier_prefers_owner_match() {
+        let (models, cfg) = build(
+            &[(
+                "crates/a/src/lib.rs",
+                "impl Store { pub fn open(&self) {} }\n\
+                 impl Cache { pub fn open(&self) {} }\n",
+            )],
+            "[panic_freedom]\npaths = [\"crates\"]\n",
+        );
+        let ws = Workspace::build(&models, &cfg);
+        let resolved = ws.resolve("open", false, Some("Store"), None);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(ws.fns[resolved[0]].item.owner.as_deref(), Some("Store"));
+        // Module-path qualifiers fall back to name resolution.
+        assert_eq!(ws.resolve("open", false, Some("store_mod"), None).len(), 2);
+    }
+
+    #[test]
+    fn facts_capture_io_locks_and_deadlines() {
+        let (models, cfg) = build(
+            &[(
+                "crates/a/src/lib.rs",
+                "fn f(&self, s: &mut S) {\n\
+                 let g = self.state.lock();\n\
+                 drop(g);\n\
+                 s.set_read_timeout(None);\n\
+                 let fr = read_frame(s);\n\
+                 file.sync_all();\n\
+                 }\n",
+            )],
+            "[lock_discipline]\npaths = [\"crates\"]\n\
+             [deadline_discipline]\npaths = [\"crates\"]\n",
+        );
+        let ws = Workspace::build(&models, &cfg);
+        let facts = &ws.fns[0].facts;
+        assert_eq!(facts.acquires.len(), 1);
+        assert_eq!(facts.acquires[0].0, "state");
+        // `set_read_timeout` is both a deadline arm and (syscall) I/O.
+        assert!(
+            facts.io.iter().any(|(n, _)| n == "sync_all"),
+            "{:?}",
+            facts.io
+        );
+        assert_eq!(facts.blocking.len(), 1);
+        assert_eq!(facts.deadline_marks.len(), 1);
+        assert!(facts.deadline_marks[0] < facts.blocking[0].2);
+    }
+
+    #[test]
+    fn test_functions_neither_resolve_nor_call() {
+        let (models, cfg) = build(
+            &[
+                (
+                    "crates/a/src/lib.rs",
+                    "pub fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn prod() { helper(); }\n    fn helper() {}\n}\n",
+                ),
+                ("crates/a/tests/it.rs", "fn prod() {}\nfn case() { prod(); }\n"),
+            ],
+            "[panic_freedom]\npaths = [\"crates\"]\n",
+        );
+        let ws = Workspace::build(&models, &cfg);
+        assert_eq!(
+            ws.resolve("prod", false, None, None).len(),
+            1,
+            "only the production fn"
+        );
+        assert!(ws.resolve("helper", false, None, None).is_empty());
+        // The integration-test call to `prod` creates no caller edge.
+        let prod = ws.resolve("prod", false, None, None)[0];
+        assert!(!ws.callers.contains_key(&prod));
+    }
+}

@@ -1,15 +1,27 @@
 //! xfdlint: workspace-native static analysis for the DiscoverXFD codebase.
 //!
-//! Four rules guard the hot and durable paths (see `xfdlint.toml` at the
+//! Six rules guard the hot and durable paths (see `xfdlint.toml` at the
 //! workspace root for the scoped paths and DESIGN.md for the philosophy):
 //!
 //! * `panic_freedom` — no `unwrap`/`expect`, panic-family macros,
 //!   `unchecked` operations or index expressions where a panic would tear
 //!   down a worker mid-job or mid-WAL-commit.
-//! * `lock_discipline` — no file/socket I/O while a `Mutex` guard is live,
-//!   and nested lock acquisitions must match the configured order pairs.
+//! * `lock_discipline` — no file/socket I/O while a `Mutex` guard is live
+//!   (directly *or through any call chain*), nested acquisitions must match
+//!   the configured order pairs, and the combined configured + observed
+//!   lock-order graph must be acyclic.
 //! * `unsafe_audit` — every `unsafe` block carries a `// SAFETY:` comment.
 //! * `error_hygiene` — no `let _ =` discards in non-test code.
+//! * `deadline_discipline` — blocking transport calls (`read_frame`,
+//!   `accept`, `connect`) must be dominated by a deadline-arming call on
+//!   every non-test path from their public entry points.
+//! * `protocol_exhaustiveness` — every variant of the frame enum appears in
+//!   the encode and decode functions and in at least one test.
+//!
+//! The analyzer runs in two passes: pass one lexes and item-parses every
+//! walked file into a workspace model ([`graph::Workspace`]: symbol table,
+//! per-function facts, call graph); pass two runs the lexical rules per
+//! file and the graph rules ([`dataflow`]) globally.
 //!
 //! Sites that are deliberate carry
 //! `// xfdlint:allow(<rule>, reason = "...")`; the reason is mandatory and
@@ -19,7 +31,10 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dataflow;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod scan;
 
@@ -27,11 +42,15 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use config::Config;
+use graph::{FileModel, Workspace};
 use rules::Violation;
-use scan::SourceScan;
 
 /// Pseudo-rule under which malformed and stale allow annotations report.
 pub const ALLOW_RULE: &str = "allow-annotation";
+
+/// Pseudo-path for violations with no source site (e.g. a lock-order cycle
+/// that exists purely between configured `order` pairs).
+pub const CONFIG_PATH: &str = "xfdlint.toml";
 
 /// A violation bound to the file it occurred in.
 #[derive(Debug, Clone)]
@@ -40,6 +59,19 @@ pub struct FileViolation {
     pub path: String,
     /// The underlying rule hit.
     pub violation: Violation,
+}
+
+/// A live (consumed) allow annotation.
+#[derive(Debug, Clone)]
+pub struct LiveAllow {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Line of the annotation comment.
+    pub line: usize,
+    /// Rule it suppresses.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
 }
 
 /// Per-rule tallies for the summary table.
@@ -60,6 +92,9 @@ pub struct Outcome {
     pub stats: BTreeMap<String, RuleStats>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Every allow annotation that suppressed a violation, with its reason,
+    /// ordered by path then line.
+    pub allows_live: Vec<LiveAllow>,
 }
 
 impl Outcome {
@@ -91,44 +126,98 @@ pub fn run_with_config(root: &Path, cfg: &Config) -> Result<Outcome, String> {
     let mut files = Vec::new();
     walk(root, root, &mut files)?;
     files.sort();
+
+    // Pass 1: parse every file into the workspace model. The graph rules
+    // need the whole tree — a call chain does not stop at a scope boundary.
+    let mut models = Vec::with_capacity(files.len());
     for rel in files {
-        let scoped: Vec<&str> = cfg
-            .rules
-            .keys()
-            .map(String::as_str)
-            .filter(|rule| cfg.in_scope(rule, &rel))
-            .collect();
-        if scoped.is_empty() {
-            continue;
-        }
         let src = std::fs::read_to_string(root.join(&rel))
             .map_err(|e| format!("cannot read {rel}: {e}"))?;
-        lint_file(&rel, &src, &scoped, cfg, &mut outcome);
+        models.push(FileModel::new(rel, &src));
+    }
+    let ws = Workspace::build(&models, cfg);
+
+    // Pass 2a: lexical rules per scoped file; the lock walk also yields the
+    // guarded-call and nesting events the graph pass consumes.
+    let mut raw: Vec<Vec<Violation>> = models.iter().map(|_| Vec::new()).collect();
+    let mut scoped_any = vec![false; models.len()];
+    let mut guarded = Vec::new();
+    let mut nested = Vec::new();
+    for (i, m) in models.iter().enumerate() {
+        for rule in cfg.rules.keys() {
+            if !cfg.in_scope(rule, &m.rel) {
+                continue;
+            }
+            scoped_any[i] = true;
+            match rule.as_str() {
+                "panic_freedom" => raw[i].extend(rules::panic_freedom(&m.scan)),
+                "unsafe_audit" => raw[i].extend(rules::unsafe_audit(&m.scan)),
+                "error_hygiene" => raw[i].extend(rules::error_hygiene(&m.scan)),
+                "lock_discipline" => {
+                    let rc = &cfg.rules[rule];
+                    let ls = rules::lock_scan(&m.scan, rc);
+                    raw[i].extend(ls.violations);
+                    guarded.extend(ls.guarded_calls.into_iter().map(|g| (i, g)));
+                    nested.extend(ls.nested.into_iter().map(|n| (i, n)));
+                }
+                // Graph rules run globally below; scoping a file still
+                // counts it as scanned.
+                _ => {}
+            }
+        }
+    }
+
+    // Pass 2b: graph rules.
+    let mut siteless: Vec<Violation> = Vec::new();
+    if let Some(rc) = cfg.rules.get("lock_discipline") {
+        let (sited, unsited) = dataflow::lock_graph_violations(&ws, rc, &guarded, &nested);
+        for (file, v) in sited {
+            raw[file].push(v);
+        }
+        siteless.extend(unsited);
+    }
+    if let Some(rc) = cfg.rules.get("deadline_discipline") {
+        let scope = |rel: &str| cfg.in_scope("deadline_discipline", rel);
+        for (file, v) in dataflow::deadline_violations(&ws, rc, &scope) {
+            raw[file].push(v);
+        }
+    }
+    if let Some(rc) = cfg.rules.get("protocol_exhaustiveness") {
+        let scope = |rel: &str| cfg.in_scope("protocol_exhaustiveness", rel);
+        let (sited, unsited) = dataflow::protocol_violations(&ws, rc, &scope);
+        for (file, v) in sited {
+            raw[file].push(v);
+        }
+        siteless.extend(unsited);
+    }
+
+    // Allow-filtering per scoped file; stale and malformed allows report.
+    for (i, m) in models.iter().enumerate() {
+        if !scoped_any[i] {
+            continue;
+        }
+        filter_allows(m, std::mem::take(&mut raw[i]), &mut outcome);
         outcome.files_scanned += 1;
+    }
+    for v in siteless {
+        bump(&mut outcome, v.rule, |s| s.violations += 1);
+        outcome.violations.push(FileViolation {
+            path: CONFIG_PATH.to_string(),
+            violation: v,
+        });
     }
     outcome
         .violations
         .sort_by(|a, b| (&a.path, a.violation.line).cmp(&(&b.path, b.violation.line)));
+    outcome
+        .allows_live
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(outcome)
 }
 
-fn lint_file(rel: &str, src: &str, scoped: &[&str], cfg: &Config, outcome: &mut Outcome) {
-    let scan = SourceScan::new(src);
-    let mut raw: Vec<Violation> = Vec::new();
-    for &rule in scoped {
-        match rule {
-            "panic_freedom" => raw.extend(rules::panic_freedom(&scan)),
-            "lock_discipline" => {
-                if let Some(rule_cfg) = cfg.rules.get(rule) {
-                    raw.extend(rules::lock_discipline(&scan, rule_cfg));
-                }
-            }
-            "unsafe_audit" => raw.extend(rules::unsafe_audit(&scan)),
-            "error_hygiene" => raw.extend(rules::error_hygiene(&scan)),
-            _ => {}
-        }
-    }
-
+fn filter_allows(m: &FileModel, raw: Vec<Violation>, outcome: &mut Outcome) {
+    let scan = &m.scan;
+    let rel = &m.rel;
     let mut allow_used = vec![false; scan.allows.len()];
     for v in raw {
         let suppressed = scan
@@ -151,22 +240,29 @@ fn lint_file(rel: &str, src: &str, scoped: &[&str], cfg: &Config, outcome: &mut 
         }
     }
     for (i, a) in scan.allows.iter().enumerate() {
+        if allow_used[i] {
+            outcome.allows_live.push(LiveAllow {
+                path: rel.to_string(),
+                line: a.line,
+                rule: a.rule.clone(),
+                reason: a.reason.clone(),
+            });
+            continue;
+        }
         // An allow for a rule this file is not even in scope of is as stale
         // as one whose violation was fixed.
-        if !allow_used[i] {
-            bump(outcome, ALLOW_RULE, |s| s.violations += 1);
-            outcome.violations.push(FileViolation {
-                path: rel.to_string(),
-                violation: Violation {
-                    rule: ALLOW_RULE,
-                    line: a.line,
-                    message: format!(
-                        "stale xfdlint:allow({}) — no violation left to suppress; remove it",
-                        a.rule
-                    ),
-                },
-            });
-        }
+        bump(outcome, ALLOW_RULE, |s| s.violations += 1);
+        outcome.violations.push(FileViolation {
+            path: rel.to_string(),
+            violation: Violation {
+                rule: ALLOW_RULE,
+                line: a.line,
+                message: format!(
+                    "stale xfdlint:allow({}) — no violation left to suppress; remove it",
+                    a.rule
+                ),
+            },
+        });
     }
     for bad in &scan.bad_allows {
         bump(outcome, ALLOW_RULE, |s| s.violations += 1);
@@ -186,8 +282,10 @@ fn bump(outcome: &mut Outcome, rule: &str, f: impl FnOnce(&mut RuleStats)) {
 }
 
 /// Recursively collect workspace-relative paths of `.rs` files, skipping
-/// build output, VCS metadata and the vendored stand-in crates (they mirror
-/// external APIs and are not held to this workspace's rules).
+/// build output, VCS metadata, the vendored stand-in crates (they mirror
+/// external APIs and are not held to this workspace's rules) and lint
+/// fixture corpora (directories named `fixtures` hold deliberately
+/// violating snippets linted only by their own tests).
 fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
@@ -197,7 +295,7 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name == "vendor" || name.starts_with('.') {
+            if name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             walk(root, &path, out)?;
@@ -213,6 +311,20 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Stable diagnostic code for a rule name (used by `--format json`).
+pub fn diagnostic_code(rule: &str) -> &'static str {
+    match rule {
+        ALLOW_RULE => "XFD000",
+        "panic_freedom" => "XFD001",
+        "lock_discipline" => "XFD002",
+        "unsafe_audit" => "XFD003",
+        "error_hygiene" => "XFD004",
+        "deadline_discipline" => "XFD005",
+        "protocol_exhaustiveness" => "XFD006",
+        _ => "XFD999",
+    }
 }
 
 /// Render the per-rule summary table shown in CI logs.
@@ -236,15 +348,90 @@ pub fn render_summary(outcome: &Outcome) -> String {
         );
     }
     s.push_str(&format!(
-        "{} file(s) scanned, {} violation(s)\n",
+        "{} file(s) scanned, {} violation(s), {} live allow(s)\n",
         outcome.files_scanned,
-        outcome.violations.len()
+        outcome.violations.len(),
+        outcome.allows_live.len()
     ));
     s
 }
 
 fn push_row(s: &mut String, width: usize, rule: &str, violations: &str, allowed: &str) {
     s.push_str(&format!("{rule:<width$}  {violations:>10}  {allowed:>7}\n"));
+}
+
+/// Render the machine-readable report (`--format json`). The shape is
+/// stable: `violations` (code/rule/path/line/message), `stats` per rule,
+/// `files_scanned`, and `allows` (every live allow with its reason).
+pub fn render_json(outcome: &Outcome) -> String {
+    let mut s = String::from("{\n  \"violations\": [");
+    for (i, fv) in outcome.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"code\": \"{}\", \"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"message\": \"{}\"}}",
+            diagnostic_code(fv.violation.rule),
+            json_escape(fv.violation.rule),
+            json_escape(&fv.path),
+            fv.violation.line,
+            json_escape(&fv.violation.message),
+        ));
+    }
+    if !outcome.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"stats\": {");
+    for (i, (rule, st)) in outcome.stats.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    \"{}\": {{\"violations\": {}, \"allowed\": {}}}",
+            json_escape(rule),
+            st.violations,
+            st.allowed
+        ));
+    }
+    s.push_str("\n  },\n");
+    s.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"allows\": [",
+        outcome.files_scanned
+    ));
+    for (i, a) in outcome.allows_live.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\"}}",
+            json_escape(&a.path),
+            a.line,
+            json_escape(&a.rule),
+            json_escape(&a.reason),
+        ));
+    }
+    if !outcome.allows_live.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Locate the workspace root: the nearest ancestor of `start` (inclusive)
@@ -302,6 +489,12 @@ mod tests {
         assert_eq!(outcome.stats["panic_freedom"].allowed, 1);
         assert_eq!(outcome.stats[ALLOW_RULE].violations, 1);
         assert_eq!(outcome.violations.len(), 2);
+        assert_eq!(outcome.allows_live.len(), 1);
+        assert_eq!(outcome.allows_live[0].line, 2);
+        assert_eq!(
+            outcome.allows_live[0].reason,
+            "demo: index is bounded above"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -318,6 +511,91 @@ mod tests {
         let outcome = run_root(&dir).expect("lint runs");
         assert_eq!(outcome.files_scanned, 1);
         assert_eq!(outcome.stats["error_hygiene"].violations, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fixture_directories_are_not_walked() {
+        let dir = tmpdir("fixtures");
+        std::fs::create_dir_all(dir.join("crates/demo/tests/fixtures")).expect("mkdir");
+        write(
+            &dir,
+            "xfdlint.toml",
+            "[error_hygiene]\npaths = [\"crates\"]\n",
+        );
+        write(&dir, "crates/demo/src/lib.rs", "pub fn ok() {}\n");
+        write(
+            &dir,
+            "crates/demo/tests/fixtures/bad.rs",
+            "fn f() { let _ = g(); }\n",
+        );
+        let outcome = run_root(&dir).expect("lint runs");
+        assert!(outcome.is_clean(), "{:?}", outcome.violations);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_file_lock_reachability_is_caught_end_to_end() {
+        let dir = tmpdir("xfile");
+        write(
+            &dir,
+            "xfdlint.toml",
+            "[lock_discipline]\npaths = [\"crates/demo/src\"]\nlock_helpers = [\"lock_recover\"]\n",
+        );
+        write(
+            &dir,
+            "crates/demo/src/lib.rs",
+            "mod store;\n\
+             pub fn hot(&self) {\n\
+             let g = lock_recover(&self.entries);\n\
+             persist(g.id);\n\
+             }\n",
+        );
+        write(
+            &dir,
+            "crates/demo/src/store.rs",
+            "pub fn persist(id: u64) { file.sync_all(); }\n",
+        );
+        let outcome = run_root(&dir).expect("lint runs");
+        assert_eq!(outcome.stats["lock_discipline"].violations, 1);
+        let v = &outcome.violations[0];
+        assert!(v.violation.message.contains("persist"), "{v:?}");
+        assert!(v.violation.message.contains("sync_all"), "{v:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_report_escapes_and_round_trips_key_fields() {
+        let dir = tmpdir("json");
+        write(
+            &dir,
+            "xfdlint.toml",
+            "[panic_freedom]\npaths = [\"crates/demo/src\"]\n",
+        );
+        write(
+            &dir,
+            "crates/demo/src/lib.rs",
+            "pub fn f(v: &[u8]) -> u8 {\n\
+             // xfdlint:allow(panic_freedom, reason = \"bounded by caller\")\n\
+             v[0]\n\
+             }\n",
+        );
+        let outcome = run_root(&dir).expect("lint runs");
+        let json = render_json(&outcome);
+        assert!(json.contains("\"violations\": []"), "{json}");
+        assert!(json.contains("\"files_scanned\": 1"), "{json}");
+        assert!(json.contains("\"rule\": \"panic_freedom\""), "{json}");
+        assert!(json.contains("\"reason\": \"bounded by caller\""), "{json}");
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        // A violation renders with its stable code.
+        write(
+            &dir,
+            "crates/demo/src/bad.rs",
+            "pub fn g(v: &[u8]) -> u8 { v[1] }\n",
+        );
+        let outcome = run_root(&dir).expect("lint runs");
+        let json = render_json(&outcome);
+        assert!(json.contains("\"code\": \"XFD001\""), "{json}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

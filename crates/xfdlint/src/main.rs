@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! cargo run -p xfdlint -- --check
+//! cargo run -p xfdlint -- --format json
+//! cargo run -p xfdlint -- --list-allows
 //! ```
 //!
 //! Exit codes: 0 clean (or advisory mode without `--check`), 1 violations
@@ -10,17 +12,36 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: xfdlint [--check] [--root DIR]\n\n\
-  --check      exit nonzero when violations are found (CI mode)\n\
-  --root DIR   workspace root (default: nearest ancestor with xfdlint.toml)\n";
+const USAGE: &str =
+    "usage: xfdlint [--check] [--root DIR] [--format human|json] [--list-allows]\n\n\
+  --check         exit nonzero when violations are found (CI mode)\n\
+  --root DIR      workspace root (default: nearest ancestor with xfdlint.toml)\n\
+  --format FMT    report format: human (default) or json\n\
+  --list-allows   print every live xfdlint:allow with its reason and exit\n";
+
+enum Format {
+    Human,
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut check = false;
+    let mut list_allows = false;
+    let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check = true,
+            "--list-allows" => list_allows = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some(other) => {
+                    return usage_error(&format!("unknown format '{other}' (human|json)"))
+                }
+                None => return usage_error("--format needs a value (human|json)"),
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage_error("--root needs a directory"),
@@ -47,28 +68,54 @@ fn main() -> ExitCode {
         }
     };
 
-    match xfdlint::run_root(&root) {
-        Ok(outcome) => {
+    let outcome = match xfdlint::run_root(&root) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if list_allows {
+        match format {
+            Format::Human => {
+                for a in &outcome.allows_live {
+                    println!("{}:{}: [{}] {}", a.path, a.line, a.rule, a.reason);
+                }
+                println!("{} live allow(s)", outcome.allows_live.len());
+            }
+            Format::Json => print!("{}", xfdlint::render_json(&outcome)),
+        }
+        return if check && !outcome.is_clean() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    match format {
+        Format::Human => {
             for fv in &outcome.violations {
                 println!(
-                    "{}:{}: [{}] {}",
-                    fv.path, fv.violation.line, fv.violation.rule, fv.violation.message
+                    "{}:{}: [{}:{}] {}",
+                    fv.path,
+                    fv.violation.line,
+                    xfdlint::diagnostic_code(fv.violation.rule),
+                    fv.violation.rule,
+                    fv.violation.message
                 );
             }
             if !outcome.violations.is_empty() {
                 println!();
             }
             print!("{}", xfdlint::render_summary(&outcome));
-            if check && !outcome.is_clean() {
-                ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
-            }
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
-        }
+        Format::Json => print!("{}", xfdlint::render_json(&outcome)),
+    }
+    if check && !outcome.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

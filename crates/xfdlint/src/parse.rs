@@ -1,0 +1,454 @@
+//! Item-level parsing: recover `fn` items (with their bodies' call
+//! expressions), `impl` ownership and `enum` variants from a token stream.
+//!
+//! This is deliberately not a full Rust parser. It tracks exactly the
+//! structure the interprocedural rules need — function boundaries, who owns
+//! a method, which names a body calls — and leans on the same conventions
+//! the lexical rules do: brace counting for bodies, token adjacency for
+//! calls (`ident (` is a call; `ident ! (` is a macro and is not).
+//!
+//! Known, documented approximations:
+//!
+//! * A nested `fn` contributes its calls to the enclosing item too. For
+//!   this workspace that is the desired reading — closures passed to
+//!   `thread::spawn` belong to the spawning function's behavior.
+//! * `pub(crate)`/`pub(super)` functions are treated as private: they are
+//!   not entry points an external caller can reach.
+
+use crate::lexer::Kind;
+use crate::scan::SourceScan;
+
+/// Reserved words that can never be call or owner names.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "union",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+/// A call expression inside a `fn` body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name: the last path segment before the `(`.
+    pub name: String,
+    /// 1-based source line of the callee token.
+    pub line: usize,
+    /// Code-token index of the callee, for intra-file ordering.
+    pub ci: usize,
+    /// Invoked as `recv.name(...)`.
+    pub method: bool,
+    /// For `Qual::name(...)`, the qualifying segment.
+    pub qualifier: Option<String>,
+    /// The call sits in a `#[test]`/`#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A `fn` item that has a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Declared `pub` without a restriction (`pub(crate)` counts private).
+    pub is_pub: bool,
+    /// Self type of the enclosing `impl`, if any.
+    pub owner: Option<String>,
+    /// Defined inside a `#[test]`/`#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Code-token indices of the body braces, `{` and `}` inclusive.
+    pub body: (usize, usize),
+    /// Call expressions inside the body, in order.
+    pub calls: Vec<CallSite>,
+}
+
+/// An `enum` item and its variants.
+#[derive(Debug, Clone)]
+pub struct EnumItem {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: usize,
+    /// Variant names with their definition lines, in order.
+    pub variants: Vec<(String, usize)>,
+}
+
+/// Everything `parse_items` recovers from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// Function items with bodies, in source order.
+    pub fns: Vec<FnItem>,
+    /// Enum items, in source order.
+    pub enums: Vec<EnumItem>,
+}
+
+/// Parse the items of one scanned file.
+pub fn parse_items(scan: &SourceScan) -> FileItems {
+    let impls = impl_spans(scan);
+    let mut items = FileItems::default();
+    for ci in 0..scan.code.len() {
+        let (_, _, in_attr) = scan.code_ctx(ci);
+        if in_attr {
+            continue;
+        }
+        let tok = scan.code_tok(ci);
+        if tok.is_ident("fn") {
+            if let Some(item) = parse_fn(scan, ci, &impls) {
+                items.fns.push(item);
+            }
+        } else if tok.is_ident("enum") {
+            if let Some(item) = parse_enum(scan, ci) {
+                items.enums.push(item);
+            }
+        }
+    }
+    items
+}
+
+/// `impl` blocks as (owner name, code-index body range).
+fn impl_spans(scan: &SourceScan) -> Vec<(String, (usize, usize))> {
+    let mut spans = Vec::new();
+    for ci in 0..scan.code.len() {
+        let (_, _, in_attr) = scan.code_ctx(ci);
+        if in_attr || !scan.code_tok(ci).is_ident("impl") {
+            continue;
+        }
+        // Owner = last ident at angle-depth 0 before the body brace; a `for`
+        // resets it (trait impls name the self type after `for`), a `where`
+        // clause ends collection.
+        let mut owner: Option<String> = None;
+        let mut angle = 0i64;
+        let mut open = None;
+        let mut k = ci + 1;
+        while let Some(&fi) = scan.code.get(k) {
+            let tok = &scan.tokens[fi];
+            if tok.is_punct('<') {
+                angle += 1;
+            } else if tok.is_punct('>') {
+                angle -= 1;
+            } else if angle == 0 {
+                if tok.is_punct('{') {
+                    open = Some(k);
+                    break;
+                }
+                if tok.is_punct(';') || tok.is_ident("where") {
+                    if tok.is_punct(';') {
+                        owner = None;
+                    }
+                    break;
+                }
+                if tok.is_ident("for") {
+                    owner = None;
+                } else if tok.kind == Kind::Ident && !KEYWORDS.contains(&tok.text.as_str()) {
+                    owner = Some(tok.text.clone());
+                }
+            }
+            k += 1;
+        }
+        // A `where` clause may still be followed by the body.
+        if open.is_none() && owner.is_some() {
+            while let Some(&fi) = scan.code.get(k) {
+                let tok = &scan.tokens[fi];
+                if tok.is_punct('{') {
+                    open = Some(k);
+                    break;
+                }
+                if tok.is_punct(';') {
+                    break;
+                }
+                k += 1;
+            }
+        }
+        if let (Some(name), Some(open)) = (owner, open) {
+            if let Some(close) = matching_close(scan, open) {
+                spans.push((name, (open, close)));
+            }
+        }
+    }
+    spans
+}
+
+fn parse_fn(scan: &SourceScan, fn_ci: usize, impls: &[(String, (usize, usize))]) -> Option<FnItem> {
+    let name_tok = scan.code.get(fn_ci + 1).map(|_| scan.code_tok(fn_ci + 1))?;
+    if name_tok.kind != Kind::Ident {
+        return None; // `fn(..)` pointer type, not an item
+    }
+    let name = name_tok.text.clone();
+    // Signature: scan forward; the body `{` opens at paren/bracket nesting 0,
+    // a `;` there means a bodyless declaration (trait method, extern).
+    let mut nesting = 0i64;
+    let mut k = fn_ci + 2;
+    let mut open = None;
+    while let Some(&fi) = scan.code.get(k) {
+        let tok = &scan.tokens[fi];
+        if tok.is_punct('(') || tok.is_punct('[') {
+            nesting += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') {
+            nesting -= 1;
+        } else if nesting == 0 {
+            if tok.is_punct('{') {
+                open = Some(k);
+                break;
+            }
+            if tok.is_punct(';') {
+                return None;
+            }
+        }
+        k += 1;
+    }
+    let open = open?;
+    let close = matching_close(scan, open)?;
+    let owner = impls
+        .iter()
+        .find(|(_, (a, b))| *a < fn_ci && fn_ci < *b)
+        .map(|(n, _)| n.clone());
+    Some(FnItem {
+        name,
+        line: scan.code_tok(fn_ci).line,
+        is_pub: fn_is_pub(scan, fn_ci),
+        owner,
+        in_test: scan.in_test[scan.code[open]],
+        body: (open, close),
+        calls: calls_in(scan, open, close),
+    })
+}
+
+/// Look back from the `fn` keyword across qualifiers (`unsafe`, `const`,
+/// `async`, `extern "C"`) for an unrestricted `pub`.
+fn fn_is_pub(scan: &SourceScan, fn_ci: usize) -> bool {
+    let mut k = fn_ci;
+    while k > 0 {
+        k -= 1;
+        let tok = scan.code_tok(k);
+        match tok.kind {
+            Kind::Ident if matches!(tok.text.as_str(), "unsafe" | "const" | "async" | "extern") => {
+                continue;
+            }
+            Kind::Str => continue, // extern "C"
+            Kind::Ident if tok.text == "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Code index of the `}` matching the `{` at `open`.
+fn matching_close(scan: &SourceScan, open: usize) -> Option<usize> {
+    let mut braces = 0i64;
+    let mut k = open;
+    while let Some(&fi) = scan.code.get(k) {
+        let tok = &scan.tokens[fi];
+        if tok.is_punct('{') {
+            braces += 1;
+        } else if tok.is_punct('}') {
+            braces -= 1;
+            if braces == 0 {
+                return Some(k);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Call expressions strictly inside a body: `name (` adjacency, keywords and
+/// definitions excluded; macros are naturally excluded by the `!` between
+/// name and `(`.
+fn calls_in(scan: &SourceScan, open: usize, close: usize) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    for ci in open + 1..close {
+        let (_, in_test, in_attr) = scan.code_ctx(ci);
+        if in_attr {
+            continue;
+        }
+        let tok = scan.code_tok(ci);
+        if tok.kind != Kind::Ident || KEYWORDS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        if !scan
+            .code
+            .get(ci + 1)
+            .is_some_and(|_| scan.code_tok(ci + 1).is_punct('('))
+        {
+            continue;
+        }
+        if ci > 0 && scan.code_tok(ci - 1).is_ident("fn") {
+            continue; // nested definition, not a call
+        }
+        let method = ci > 0 && scan.code_tok(ci - 1).is_punct('.');
+        let qualifier = if ci >= 3
+            && scan.code_tok(ci - 1).is_punct(':')
+            && scan.code_tok(ci - 2).is_punct(':')
+            && scan.code_tok(ci - 3).kind == Kind::Ident
+        {
+            Some(scan.code_tok(ci - 3).text.clone())
+        } else {
+            None
+        };
+        calls.push(CallSite {
+            name: tok.text.clone(),
+            line: tok.line,
+            ci,
+            method,
+            qualifier,
+            in_test,
+        });
+    }
+    calls
+}
+
+fn parse_enum(scan: &SourceScan, enum_ci: usize) -> Option<EnumItem> {
+    let name_tok = scan
+        .code
+        .get(enum_ci + 1)
+        .map(|_| scan.code_tok(enum_ci + 1))?;
+    if name_tok.kind != Kind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let mut k = enum_ci + 2;
+    let mut open = None;
+    while let Some(&fi) = scan.code.get(k) {
+        let tok = &scan.tokens[fi];
+        if tok.is_punct('{') {
+            open = Some(k);
+            break;
+        }
+        if tok.is_punct(';') {
+            return None;
+        }
+        k += 1;
+    }
+    let open = open?;
+    let close = matching_close(scan, open)?;
+    // Variants are idents at nesting 0 in "expect a variant" position: at
+    // the body start or right after a top-level comma. Attribute tokens
+    // (`#[default]` etc.) are skipped.
+    let mut variants = Vec::new();
+    let mut nesting = 0i64;
+    let mut expect = true;
+    for ci in open + 1..close {
+        let (_, _, in_attr) = scan.code_ctx(ci);
+        if in_attr {
+            continue;
+        }
+        let tok = scan.code_tok(ci);
+        if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+            nesting += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+            nesting -= 1;
+        } else if nesting == 0 {
+            if tok.is_punct(',') {
+                expect = true;
+            } else if expect && tok.kind == Kind::Ident {
+                variants.push((tok.text.clone(), tok.line));
+                expect = false;
+            }
+        }
+    }
+    Some(EnumItem {
+        name,
+        line: scan.code_tok(enum_ci).line,
+        variants,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> FileItems {
+        parse_items(&SourceScan::new(src))
+    }
+
+    #[test]
+    fn fns_get_names_visibility_and_owners() {
+        let items = parse(
+            "pub fn free() { helper(); }\n\
+             pub(crate) fn scoped() {}\n\
+             impl Widget {\n    pub fn method(&self) {}\n    fn private(&self) {}\n}\n\
+             impl Draw for Widget {\n    fn draw(&self) {}\n}\n\
+             trait Draw { fn draw(&self); }\n\
+             pub const unsafe fn tricky() {}\n",
+        );
+        let by_name = |n: &str| items.fns.iter().find(|f| f.name == n).expect("fn parsed");
+        assert!(by_name("free").is_pub);
+        assert!(by_name("free").owner.is_none());
+        assert!(
+            !by_name("scoped").is_pub,
+            "pub(crate) is not an entry point"
+        );
+        assert_eq!(by_name("method").owner.as_deref(), Some("Widget"));
+        assert_eq!(by_name("draw").owner.as_deref(), Some("Widget"));
+        assert!(by_name("tricky").is_pub);
+        // The bodyless trait declaration is not an item with a body.
+        assert_eq!(items.fns.iter().filter(|f| f.name == "draw").count(), 1);
+    }
+
+    #[test]
+    fn calls_track_form_and_qualifier_but_not_macros() {
+        let items = parse(
+            "fn f() {\n\
+             helper(1);\n\
+             obj.method(2);\n\
+             Widget::assoc(3);\n\
+             println!(\"not a call\");\n\
+             if cond() { loop {} }\n\
+             }\n",
+        );
+        let calls = &items.fns[0].calls;
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["helper", "method", "assoc", "cond"]);
+        assert!(!calls[0].method && calls[0].qualifier.is_none());
+        assert!(calls[1].method);
+        assert_eq!(calls[2].qualifier.as_deref(), Some("Widget"));
+    }
+
+    #[test]
+    fn nested_fns_share_calls_with_the_enclosing_item() {
+        let items = parse("fn outer() { fn inner() { leaf(); } inner(); }\n");
+        let outer = items.fns.iter().find(|f| f.name == "outer").expect("outer");
+        let names: Vec<&str> = outer.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["leaf", "inner"]);
+        assert!(items.fns.iter().any(|f| f.name == "inner"));
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let items = parse(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn case() {}\n}\n",
+        );
+        let by_name = |n: &str| items.fns.iter().find(|f| f.name == n).expect("fn parsed");
+        assert!(!by_name("prod").in_test);
+        assert!(by_name("helper").in_test);
+        assert!(by_name("case").in_test);
+    }
+
+    #[test]
+    fn enums_list_variants_across_shapes() {
+        let items = parse(
+            "pub enum Frame {\n\
+             Ping,\n\
+             Join { id: u64, token: [u8; 16] },\n\
+             Data(Vec<u8>, usize),\n\
+             #[allow(dead_code)]\n\
+             Legacy = 9,\n\
+             }\n",
+        );
+        let e = &items.enums[0];
+        assert_eq!(e.name, "Frame");
+        let names: Vec<&str> = e.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Ping", "Join", "Data", "Legacy"]);
+    }
+
+    #[test]
+    fn generic_impls_resolve_their_owner() {
+        let items = parse(
+            "impl<T: Clone> Holder<T> {\n    fn held(&self) {}\n}\n\
+             impl<T> Drop for Holder<T> where T: Send {\n    fn drop(&mut self) {}\n}\n",
+        );
+        let by_name = |n: &str| items.fns.iter().find(|f| f.name == n).expect("fn parsed");
+        assert_eq!(by_name("held").owner.as_deref(), Some("Holder"));
+        assert_eq!(by_name("drop").owner.as_deref(), Some("Holder"));
+    }
+}

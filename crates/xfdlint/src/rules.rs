@@ -156,7 +156,7 @@ pub fn error_hygiene(scan: &SourceScan) -> Vec<Violation> {
 /// Bare `read`/`write` are deliberately absent: they collide with
 /// `RwLock::read`/`write` and in-memory writers, and every real I/O site in
 /// this workspace goes through one of the listed calls.
-const IO_CALLS: [&str; 27] = [
+pub(crate) const IO_CALLS: [&str; 27] = [
     "write_all",
     "write_fmt",
     "flush",
@@ -194,24 +194,69 @@ struct Guard {
     line: usize,
 }
 
-/// Lock discipline: flag I/O performed while a `Mutex` guard is live, and
-/// nested acquisitions that do not match the configured `outer->inner`
-/// order pairs.
+/// A non-I/O, non-acquisition call made while at least one lock guard is
+/// lexically live — the seed of the interprocedural reachability pass.
+#[derive(Debug, Clone)]
+pub struct GuardedCall {
+    /// Callee name (last path segment).
+    pub name: String,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Invoked as `recv.name(...)`.
+    pub method: bool,
+    /// For `Qual::name(...)`, the qualifying segment.
+    pub qualifier: Option<String>,
+    /// Live guards, outermost first: (receiver, binding name, bind line).
+    pub guards: Vec<(String, String, usize)>,
+}
+
+/// A nested acquisition observed lexically (whether or not the configured
+/// order permits it) — an edge in the global lock-order graph.
+#[derive(Debug, Clone)]
+pub struct NestedAcq {
+    /// Receiver of the guard already held.
+    pub outer: String,
+    /// Receiver acquired under it.
+    pub inner: String,
+    /// 1-based line of the inner acquisition.
+    pub line: usize,
+}
+
+/// Everything the guard-tracking walk yields for one file.
+#[derive(Debug, Default)]
+pub struct LockScan {
+    /// Lexical violations (I/O under guard, out-of-order nesting).
+    pub violations: Vec<Violation>,
+    /// Calls made under a live guard.
+    pub guarded_calls: Vec<GuardedCall>,
+    /// Observed direct-nesting edges.
+    pub nested: Vec<NestedAcq>,
+}
+
+/// Lock discipline, lexical part: flag I/O performed while a `Mutex` guard
+/// is live, and nested acquisitions that do not match the configured
+/// `outer->inner` order pairs.
 pub fn lock_discipline(scan: &SourceScan, cfg: &RuleCfg) -> Vec<Violation> {
+    lock_scan(scan, cfg).violations
+}
+
+/// One guard-tracking walk feeding both the lexical rule and the
+/// interprocedural pass.
+pub fn lock_scan(scan: &SourceScan, cfg: &RuleCfg) -> LockScan {
     const RULE: &str = "lock_discipline";
-    let mut out = Vec::new();
+    let mut out = LockScan::default();
     let mut guards: Vec<Guard> = Vec::new();
     // Acquisition sites already credited to a `let` binding, so the generic
     // walk does not double-report them.
     let mut handled: Vec<usize> = Vec::new();
     for ci in 0..scan.code.len() {
-        let (depth, in_test, _) = scan.code_ctx(ci);
+        let (depth, in_test, in_attr) = scan.code_ctx(ci);
         let tok = scan.code_tok(ci);
         if tok.is_punct('}') {
             guards.retain(|g| g.depth < depth);
             continue;
         }
-        if in_test {
+        if in_test || in_attr {
             continue;
         }
         if tok.is_ident("drop")
@@ -224,7 +269,8 @@ pub fn lock_discipline(scan: &SourceScan, cfg: &RuleCfg) -> Vec<Violation> {
         }
         if tok.is_ident("let") {
             if let Some((name, acq_ci, recv)) = binding_acquisition(scan, ci, cfg) {
-                check_order(RULE, scan, acq_ci, &recv, &guards, cfg, &mut out);
+                check_order(RULE, scan, acq_ci, &recv, &guards, cfg, &mut out.violations);
+                record_nesting(scan, acq_ci, &recv, &guards, &mut out.nested);
                 handled.push(acq_ci);
                 guards.push(Guard {
                     name,
@@ -237,28 +283,82 @@ pub fn lock_discipline(scan: &SourceScan, cfg: &RuleCfg) -> Vec<Violation> {
         }
         if let Some(recv) = acquisition_at(scan, ci, cfg) {
             if !handled.contains(&ci) {
-                check_order(RULE, scan, ci, &recv, &guards, cfg, &mut out);
+                check_order(RULE, scan, ci, &recv, &guards, cfg, &mut out.violations);
+                record_nesting(scan, ci, &recv, &guards, &mut out.nested);
             }
             continue;
         }
         if tok.kind == Kind::Ident
-            && IO_CALLS.contains(&tok.text.as_str())
             && scan.code.get(ci + 1).is_some()
             && scan.code_tok(ci + 1).is_punct('(')
         {
-            if let Some(g) = guards.last() {
-                out.push(hit(
-                    RULE,
-                    tok.line,
-                    format!(
-                        "`{}()` performs I/O while lock guard `{}` (bound line {}) is live",
-                        tok.text, g.name, g.line
-                    ),
-                ));
+            if IO_CALLS.contains(&tok.text.as_str()) {
+                if let Some(g) = guards.last() {
+                    out.violations.push(hit(
+                        RULE,
+                        tok.line,
+                        format!(
+                            "`{}()` performs I/O while lock guard `{}` (bound line {}) is live",
+                            tok.text, g.name, g.line
+                        ),
+                    ));
+                }
+            } else if !guards.is_empty() {
+                if crate::parse::KEYWORDS.contains(&tok.text.as_str())
+                    || (ci > 0 && scan.code_tok(ci - 1).is_ident("fn"))
+                {
+                    continue;
+                }
+                let method = ci > 0 && scan.code_tok(ci - 1).is_punct('.');
+                // A method call whose receiver is a live guard binding is the
+                // operation the lock protects — its internals are the guarded
+                // resource's own business, not unrelated work held across it.
+                if method
+                    && ci >= 2
+                    && scan.code_tok(ci - 2).kind == Kind::Ident
+                    && guards.iter().any(|g| g.name == scan.code_tok(ci - 2).text)
+                {
+                    continue;
+                }
+                let qualifier = if ci >= 3
+                    && scan.code_tok(ci - 1).is_punct(':')
+                    && scan.code_tok(ci - 2).is_punct(':')
+                    && scan.code_tok(ci - 3).kind == Kind::Ident
+                {
+                    Some(scan.code_tok(ci - 3).text.clone())
+                } else {
+                    None
+                };
+                out.guarded_calls.push(GuardedCall {
+                    name: tok.text.clone(),
+                    line: tok.line,
+                    method,
+                    qualifier,
+                    guards: guards
+                        .iter()
+                        .map(|g| (g.recv.clone(), g.name.clone(), g.line))
+                        .collect(),
+                });
             }
         }
     }
     out
+}
+
+fn record_nesting(
+    scan: &SourceScan,
+    acq_ci: usize,
+    recv: &str,
+    guards: &[Guard],
+    nested: &mut Vec<NestedAcq>,
+) {
+    for g in guards {
+        nested.push(NestedAcq {
+            outer: g.recv.clone(),
+            inner: recv.to_string(),
+            line: scan.code_tok(acq_ci).line,
+        });
+    }
 }
 
 fn check_order(
@@ -331,7 +431,7 @@ fn binding_acquisition(
 
 /// If the code token at `ci` is a lock acquisition (`.lock(` or a
 /// configured helper call), return the receiver name.
-fn acquisition_at(scan: &SourceScan, ci: usize, cfg: &RuleCfg) -> Option<String> {
+pub(crate) fn acquisition_at(scan: &SourceScan, ci: usize, cfg: &RuleCfg) -> Option<String> {
     let tok = scan.code_tok(ci);
     if tok.kind != Kind::Ident {
         return None;
@@ -424,6 +524,7 @@ mod tests {
                 .map(|(a, b)| (a.to_string(), b.to_string()))
                 .collect(),
             lock_helpers: vec!["lock_recover".into()],
+            ..RuleCfg::default()
         }
     }
 

@@ -1,0 +1,120 @@
+//! Fixture harness: every configured rule ships a positive snippet (one or
+//! more violations) and a negative twin (clean), each a self-contained
+//! lintable root under `tests/fixtures/<rule>/{positive,negative}/`.
+//!
+//! The workspace walker deliberately skips directories named `fixtures`,
+//! so the positive corpora never pollute the real-tree meta-lint; they are
+//! only ever linted here, as roots of their own.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use xfdlint::{config::RULE_NAMES, run_root};
+
+fn fixture_root(rule: &str, kind: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(kind)
+}
+
+#[test]
+fn every_configured_rule_has_both_fixture_kinds() {
+    for rule in RULE_NAMES {
+        for kind in ["positive", "negative"] {
+            let root = fixture_root(rule, kind);
+            assert!(
+                root.join("xfdlint.toml").is_file(),
+                "{rule}/{kind} is missing its xfdlint.toml"
+            );
+            assert!(
+                root.join("src/lib.rs").is_file(),
+                "{rule}/{kind} is missing src/lib.rs"
+            );
+        }
+    }
+}
+
+#[test]
+fn positive_fixtures_violate_their_rule() {
+    for rule in RULE_NAMES {
+        let outcome = run_root(&fixture_root(rule, "positive"))
+            .unwrap_or_else(|e| panic!("{rule}/positive lints: {e}"));
+        assert!(
+            outcome.violations.iter().any(|v| v.violation.rule == rule),
+            "{rule}/positive produced no {rule} violation: {:?}",
+            outcome.violations
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_are_clean() {
+    for rule in RULE_NAMES {
+        let outcome = run_root(&fixture_root(rule, "negative"))
+            .unwrap_or_else(|e| panic!("{rule}/negative lints: {e}"));
+        assert!(
+            outcome.is_clean(),
+            "{rule}/negative is not clean: {:?}",
+            outcome.violations
+        );
+    }
+}
+
+fn check_exit_code(root: &PathBuf) -> Option<i32> {
+    Command::new(env!("CARGO_BIN_EXE_xfdlint"))
+        .arg("--check")
+        .arg("--root")
+        .arg(root)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("xfdlint binary runs")
+        .code()
+}
+
+/// The acceptance scenario from the ISSUE: deleting a decode arm for a
+/// `Frame` variant makes `xfdlint --check` exit nonzero, and restoring it
+/// (the negative twin) exits zero.
+#[test]
+fn deleted_decode_arm_fails_the_check_binary() {
+    let positive = fixture_root("protocol_exhaustiveness", "positive");
+    assert_eq!(check_exit_code(&positive), Some(1), "missing arm must fail");
+    let outcome = run_root(&positive).expect("lints");
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| v.violation.rule == "protocol_exhaustiveness"
+                && v.violation.message.contains("Bye")
+                && v.violation.message.contains("decode")),
+        "expected a Bye-missing-from-decode violation: {:?}",
+        outcome.violations
+    );
+    let negative = fixture_root("protocol_exhaustiveness", "negative");
+    assert_eq!(check_exit_code(&negative), Some(0), "full wiring must pass");
+}
+
+/// The twin scenario: removing the `set_read_timeout` ahead of a blocking
+/// transport call makes `xfdlint --check` exit nonzero.
+#[test]
+fn removed_read_timeout_fails_the_check_binary() {
+    let positive = fixture_root("deadline_discipline", "positive");
+    assert_eq!(
+        check_exit_code(&positive),
+        Some(1),
+        "unarmed path must fail"
+    );
+    let outcome = run_root(&positive).expect("lints");
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| v.violation.rule == "deadline_discipline"
+                && v.violation.message.contains("read_frame")),
+        "expected an unarmed read_frame violation: {:?}",
+        outcome.violations
+    );
+    let negative = fixture_root("deadline_discipline", "negative");
+    assert_eq!(check_exit_code(&negative), Some(0), "armed paths must pass");
+}

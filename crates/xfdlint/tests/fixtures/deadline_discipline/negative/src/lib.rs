@@ -1,0 +1,22 @@
+//! Clean under deadline_discipline: `fetch` arms a read timeout before its
+//! own blocking call, and `loop_frames` (private, blocking) is only
+//! reachable through `fetch_all`, which arms the deadline before calling.
+
+use std::io;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+pub fn fetch(stream: &mut Stream) -> io::Result<Frame> {
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    read_frame(stream)
+}
+
+pub fn fetch_all(stream: &mut Stream) -> io::Result<Frame> {
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    loop_frames(stream)
+}
+
+fn loop_frames(stream: &mut Stream) -> io::Result<Frame> {
+    read_frame(stream)
+}

@@ -1,0 +1,9 @@
+//! Violates deadline_discipline: `fetch` is a public entry point that
+//! reaches the blocking `read_frame` with no deadline armed anywhere on
+//! the path (the `set_read_timeout` call was removed).
+
+use std::io;
+
+pub fn fetch(stream: &mut Stream) -> io::Result<Frame> {
+    read_frame(stream)
+}

@@ -1,0 +1,5 @@
+//! Clean under error_hygiene: the Result is returned to the caller.
+
+pub fn persist(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}

@@ -1,0 +1,5 @@
+//! Violates error_hygiene: the write's Result is silently discarded.
+
+pub fn persist(path: &str, bytes: &[u8]) {
+    let _ = std::fs::write(path, bytes);
+}

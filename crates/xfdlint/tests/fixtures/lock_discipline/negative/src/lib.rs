@@ -1,0 +1,26 @@
+//! Clean under lock_discipline: the nesting follows the configured
+//! `outer->inner` order and the I/O call runs after both guards are gone.
+
+use std::sync::Mutex;
+
+pub struct State {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+    file: std::fs::File,
+}
+
+impl State {
+    pub fn hot(&self) {
+        {
+            let guard = self.outer.lock();
+            let nested = self.inner.lock();
+            drop(nested);
+            drop(guard);
+        }
+        self.spill();
+    }
+
+    fn spill(&self) {
+        self.file.sync_all().ok();
+    }
+}

@@ -1,0 +1,30 @@
+//! Violates lock_discipline twice: `hot` reaches file I/O through `spill`
+//! while the `outer` guard is live (cross-function), and `backwards` nests
+//! the acquisitions against the configured `outer->inner` order.
+
+use std::sync::Mutex;
+
+pub struct State {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+    file: std::fs::File,
+}
+
+impl State {
+    pub fn hot(&self) {
+        let guard = self.outer.lock();
+        self.spill();
+        drop(guard);
+    }
+
+    pub fn backwards(&self) {
+        let second = self.inner.lock();
+        let first = self.outer.lock();
+        drop(first);
+        drop(second);
+    }
+
+    fn spill(&self) {
+        self.file.sync_all().ok();
+    }
+}

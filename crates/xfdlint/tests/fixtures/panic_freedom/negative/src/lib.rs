@@ -1,0 +1,9 @@
+//! Clean under panic_freedom: checked access and explicit defaults.
+
+pub fn pick(xs: &[u32], i: usize) -> Option<u32> {
+    xs.get(i).copied()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+//! Violates panic_freedom: direct indexing and `unwrap` on a scoped path.
+
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

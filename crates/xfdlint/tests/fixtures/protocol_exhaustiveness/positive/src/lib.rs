@@ -1,0 +1,37 @@
+//! Violates protocol_exhaustiveness: `Frame::Bye` is encoded and tested
+//! but its `decode` arm was deleted.
+
+pub enum Frame {
+    Hello,
+    Data,
+    Bye,
+}
+
+impl Frame {
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello => 0,
+            Frame::Data => 1,
+            Frame::Bye => 2,
+        }
+    }
+
+    pub fn decode(kind: u8) -> Option<Frame> {
+        match kind {
+            0 => Some(Frame::Hello),
+            1 => Some(Frame::Data),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Frame;
+
+    #[test]
+    fn kinds_are_distinct() {
+        assert_ne!(Frame::Hello.kind(), Frame::Data.kind());
+        assert_ne!(Frame::Data.kind(), Frame::Bye.kind());
+    }
+}

@@ -1,0 +1,6 @@
+//! Clean under unsafe_audit: the block is justified in place.
+
+pub fn peek(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` points to a live, aligned u32.
+    unsafe { *p }
+}

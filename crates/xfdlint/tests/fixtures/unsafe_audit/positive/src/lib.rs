@@ -1,0 +1,5 @@
+//! Violates unsafe_audit: the unsafe block carries no SAFETY comment.
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

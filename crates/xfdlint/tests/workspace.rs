@@ -1,4 +1,7 @@
-//! Meta-test: lint the real workspace with the checked-in `xfdlint.toml`.
+//! Meta-test: lint the real workspace with the checked-in `xfdlint.toml`,
+//! running the full v2 pipeline — lexical rules plus the call-graph passes
+//! (interprocedural lock discipline, deadline domination, frame-protocol
+//! exhaustiveness).
 //!
 //! This is the test the ISSUE calls "every allow matches a live site": a
 //! stale `xfdlint:allow` (one whose violation was fixed, or that sits in a
@@ -54,6 +57,17 @@ fn workspace_is_clean_and_every_allow_is_live() {
         allowed_total > 0,
         "no allow consumed anywhere — allow parsing is broken"
     );
+    // Every consumed allow is reported with its reason, and the two views
+    // of suppression agree.
+    assert_eq!(
+        outcome.allows_live.len(),
+        allowed_total,
+        "live-allow list and per-rule allowed counts disagree"
+    );
+    assert!(
+        outcome.allows_live.iter().all(|a| !a.reason.is_empty()),
+        "a live allow lost its reason"
+    );
     assert!(
         outcome.files_scanned > 20,
         "only {} files scanned — scope globs or the walker regressed",
@@ -71,4 +85,31 @@ fn every_configured_rule_has_a_stats_row() {
         );
     }
     assert!(outcome.stats.contains_key(ALLOW_RULE));
+}
+
+/// The v2 call-graph rules must demonstrably run against the real tree,
+/// not just parse their config sections: the transport/cluster crates
+/// carry justified deadline allows (listener accepts, Unix connects) and
+/// the server carries lock-discipline allows, so a zero `allowed` count
+/// for either rule means the interprocedural pass silently stopped firing.
+#[test]
+fn call_graph_rules_are_exercised_by_the_real_tree() {
+    let outcome = run_root(&workspace_root()).expect("lint runs");
+    let allowed = |rule: &str| outcome.stats.get(rule).map_or(0, |s| s.allowed);
+    assert!(
+        allowed("deadline_discipline") > 0,
+        "deadline_discipline consumed no allows — the domination pass regressed"
+    );
+    assert!(
+        allowed("lock_discipline") > 0,
+        "lock_discipline consumed no allows — the reachability pass regressed"
+    );
+    // The frame protocol is fully wired (enum + encoders + decoder + tests
+    // all present in crates/transport), so the rule reports zero of both.
+    let proto = outcome
+        .stats
+        .get("protocol_exhaustiveness")
+        .copied()
+        .unwrap_or_default();
+    assert_eq!(proto.violations, 0, "Frame protocol wiring regressed");
 }

@@ -15,10 +15,21 @@ cargo clippy --workspace --all-targets \
   -- -D warnings
 
 echo "== xfdlint --check"
-# Workspace-native static analysis: panic-freedom, lock discipline,
-# unsafe audit, error hygiene. Exits nonzero on any violation, including
-# stale allow annotations; prints the per-rule summary table either way.
-cargo run -q -p xfdlint -- --check
+# Workspace-native static analysis: panic-freedom, lock discipline (now
+# call-graph-aware), unsafe audit, error hygiene, deadline discipline and
+# frame-protocol exhaustiveness. Exits nonzero on any violation, including
+# stale allow annotations. The JSON report is archived for inspection, and
+# the live-allow count is gated on a fixed budget: adding a new
+# `xfdlint:allow` annotation must bump the number here, in review.
+XFDLINT_ALLOW_BUDGET=26
+mkdir -p target
+cargo run -q -p xfdlint -- --check --format json > target/xfdlint-report.json
+grep -q '"violations": \[\]' target/xfdlint-report.json \
+  || { echo "xfdlint report has violations:"; cargo run -q -p xfdlint -- --check || true; exit 1; }
+ALLOWS=$(grep -c '"reason":' target/xfdlint-report.json || true)
+[ "$ALLOWS" = "$XFDLINT_ALLOW_BUDGET" ] \
+  || { echo "live allow count $ALLOWS != budget $XFDLINT_ALLOW_BUDGET (see cargo run -p xfdlint -- --list-allows)"; exit 1; }
+echo "   zero violations, $ALLOWS live allows (budget $XFDLINT_ALLOW_BUDGET), report at target/xfdlint-report.json"
 
 echo "== cargo build --release"
 # The root manifest is a package + workspace; a bare `cargo build` would
