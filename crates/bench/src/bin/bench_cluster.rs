@@ -319,9 +319,16 @@ fn main() {
     );
     for run in &runs {
         let s = &run.stats;
+        // Multi-worker rows on a 1-core host time-slice one CPU; the
+        // marker tells CI gates to skip their speedups.
+        let constrained = if run.workers > 1 && cores == 1 {
+            "\"constrained\": true, "
+        } else {
+            ""
+        };
         let _ = writeln!(
             json,
-            "    \"workers_{}\": {{\"workers\": {}, \"cold_ms\": {:.1}, \
+            "    \"workers_{}\": {{{constrained}\"workers\": {}, \"cold_ms\": {:.1}, \
              \"encode_remote\": {}, \"pass_remote\": {}, \"retried\": {}, \
              \"fallback\": {}}},",
             run.workers,

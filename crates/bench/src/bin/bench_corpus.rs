@@ -285,9 +285,16 @@ fn main() {
     );
     for m in [&ser, &par] {
         let label = if m.threads == 1 { "serial" } else { "parallel" };
+        // A multi-thread row on a 1-core host measures overhead, not
+        // parallelism; the marker tells CI gates to skip its speedup.
+        let constrained = if m.threads > 1 && cores == 1 {
+            "\"constrained\": true, "
+        } else {
+            ""
+        };
         let _ = write!(
             json,
-            "    \"{label}\": {{\"threads\": {}, \"cold_ms\": {:.1}, \
+            "    \"{label}\": {{{constrained}\"threads\": {}, \"cold_ms\": {:.1}, \
              \"incremental_ms\": {:.1},\n      \"cold_phases\": {},\n      \
              \"incremental_phases\": {}}},\n",
             m.threads,

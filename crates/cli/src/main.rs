@@ -36,7 +36,7 @@ const USAGE: &str = "usage:
   discoverxfd discover <file.xml> [--max-lhs N] [--no-sets] [--no-inter] [--ordered]
                                   [--approx EPS] [--inds] [--cover] [--keep-uninteresting]
                                   [--threads N] [--cache-budget BYTES]
-                                  [--suggest] [--markdown|--json]
+                                  [--no-error-only-kernel] [--suggest] [--markdown|--json]
   discoverxfd schema   <file.xml> [--xsd]
   discoverxfd encode   <file.xml>
   discoverxfd flat     <file.xml> [--max-rows N] [--max-lhs N]
@@ -59,6 +59,7 @@ const USAGE: &str = "usage:
   discoverxfd corpus discover <corpus> [--root DIR] [--json|--markdown] [--progress]
                               [--max-lhs N] [--no-inter] [--keep-uninteresting]
                               [--threads N] [--cache-budget BYTES] [--memo-budget BYTES]
+                              [--no-error-only-kernel]
   discoverxfd corpus compact <corpus> [--root DIR]    (merge segments into one)
   discoverxfd corpus status <corpus> [--root DIR]
   discoverxfd corpus list [--root DIR]
@@ -68,7 +69,7 @@ const USAGE: &str = "usage:
                                [--push-mode auto|partials|forest]
                                [--json|--markdown] [--max-lhs N] [--no-inter]
                                [--keep-uninteresting] [--threads N] [--cache-budget BYTES]
-                               [--memo-budget BYTES]
+                               [--memo-budget BYTES] [--no-error-only-kernel]
                        (corpus discovery sharded over worker subprocesses / remote hosts)
   discoverxfd worker   (--socket <path> | --listen HOST:PORT) [--index N] [--token T]
                        [--seg-cache DIR] [--seg-cache-budget BYTES] [--no-shared-storage]
@@ -162,6 +163,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
             "--keep-uninteresting",
             "--threads",
             "--cache-budget",
+            "--no-error-only-kernel",
             "--suggest",
             "--markdown",
             "--json",
@@ -173,6 +175,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
         inter_relation: !flag(args, "--no-inter"),
         keep_uninteresting: flag(args, "--keep-uninteresting"),
         cache_budget: opt_value::<usize>(args, "--cache-budget")?,
+        error_only_kernel: !flag(args, "--no-error-only-kernel"),
         ..Default::default()
     };
     if let Some(threads) = opt_value::<usize>(args, "--threads")? {
@@ -651,6 +654,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
                     "--markdown",
                     "--progress",
                     "--no-inter",
+                    "--no-error-only-kernel",
                     "--keep-uninteresting",
                 ],
                 &[
@@ -668,6 +672,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
                 inter_relation: !flag(rest, "--no-inter"),
                 keep_uninteresting: flag(rest, "--keep-uninteresting"),
                 cache_budget: opt_value::<usize>(rest, "--cache-budget")?,
+                error_only_kernel: !flag(rest, "--no-error-only-kernel"),
                 ..Default::default()
             };
             if let Some(threads) = opt_value::<usize>(rest, "--threads")? {
@@ -730,6 +735,13 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
             for (name, digest, nodes) in &status.docs {
                 println!("  {name}  {digest}  {nodes} nodes");
             }
+            println!(
+                "kernel: {} error-only products ({} early exits), {} materialized, {} summary hits",
+                status.kernel_products_error_only,
+                status.kernel_early_exits,
+                status.kernel_products_materialized,
+                status.kernel_summary_hits
+            );
             Ok(())
         }
         "list" => {
@@ -766,6 +778,7 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
             "--json",
             "--markdown",
             "--no-inter",
+            "--no-error-only-kernel",
             "--keep-uninteresting",
             "--corrupt-plan",
         ],
@@ -791,6 +804,7 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         inter_relation: !flag(rest, "--no-inter"),
         keep_uninteresting: flag(rest, "--keep-uninteresting"),
         cache_budget: opt_value::<usize>(rest, "--cache-budget")?,
+        error_only_kernel: !flag(rest, "--no-error-only-kernel"),
         ..Default::default()
     };
     if let Some(threads) = opt_value::<usize>(rest, "--threads")? {

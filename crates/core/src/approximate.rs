@@ -69,6 +69,45 @@ pub fn g3_error(pl: &Partition, pa: &Partition, n: usize) -> f64 {
     removed as f64 / n as f64
 }
 
+/// Error-only `g₃` kernel: count the tuples `g₃` removes by bucketing each
+/// `Π_LHS` group with the RHS *base* group-map — no product partition is
+/// materialized. Within one LHS group, tuples sharing an RHS base group are
+/// exactly the tuples sharing a product group (they agree on both sides),
+/// and product-stripped singletons land in `singles` or a size-1 bucket,
+/// neither of which can raise `keep` above 1 — so the count matches
+/// [`g3_error`]'s numerator exactly.
+///
+/// With `budget = Some(b)` the scan stops as soon as `removed > b` and
+/// returns `None` (the FD already exceeds the error threshold implying
+/// `b`); otherwise `Some(removed)`.
+pub fn g3_removed(pl: &Partition, rhs_gm: &GroupMap, budget: Option<usize>) -> Option<usize> {
+    let mut removed = 0usize;
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for g in pl.groups() {
+        counts.clear();
+        let mut singles = 0usize;
+        for &t in g {
+            match rhs_gm.group_of(t) {
+                Some(sub) => *counts.entry(sub).or_insert(0) += 1,
+                None => singles += 1,
+            }
+        }
+        let keep = counts
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(usize::from(singles > 0));
+        removed += g.len() - keep;
+        if let Some(b) = budget {
+            if removed > b {
+                return None;
+            }
+        }
+    }
+    Some(removed)
+}
+
 /// Discover minimal approximate FDs (error ≤ `epsilon`) over one table.
 ///
 /// Exactly-satisfied FDs are included with error 0. Minimality is with
@@ -85,6 +124,12 @@ pub fn discover_approximate(
         return Vec::new();
     }
     let singles: Vec<Partition> = columns.iter().map(|c| Partition::from_column(c)).collect();
+    let single_gms: Vec<GroupMap> = singles.iter().map(GroupMap::new).collect();
+    // Early-exit budget for the error-only kernel. The `+ 1` absorbs the
+    // float rounding of `ε·n`: a candidate is cut off only when its removal
+    // count is strictly beyond anything `removed/n ≤ ε` could accept, so
+    // results are bit-identical to the materializing path.
+    let budget = (epsilon * n_tuples as f64).floor() as usize + 1;
     let mut out: Vec<ApproxFd> = Vec::new();
     // Level-wise enumeration of LHS sets (smallest first ensures minimal
     // LHSs are recorded before their supersets are considered).
@@ -93,21 +138,22 @@ pub fn discover_approximate(
     for _ in 0..=max_lhs.min(m) {
         let mut next: Vec<(AttrSet, Partition)> = Vec::new();
         for (lhs, pl) in &level {
-            for (rhs, single) in singles.iter().enumerate() {
+            for (rhs, rhs_gm) in single_gms.iter().enumerate() {
                 if lhs.contains(rhs) {
                     continue;
                 }
                 if out.iter().any(|f| f.rhs == rhs && f.lhs.is_subset_of(*lhs)) {
                     continue; // a subset already (approximately) determines rhs
                 }
-                let pa = pl.product(single);
-                let err = g3_error(pl, &pa, n_tuples);
-                if err <= epsilon {
-                    out.push(ApproxFd {
-                        lhs: *lhs,
-                        rhs,
-                        error: err,
-                    });
+                if let Some(removed) = g3_removed(pl, rhs_gm, Some(budget)) {
+                    let err = removed as f64 / n_tuples as f64;
+                    if err <= epsilon {
+                        out.push(ApproxFd {
+                            lhs: *lhs,
+                            rhs,
+                            error: err,
+                        });
+                    }
                 }
             }
             // Expand canonically (append attributes beyond the max).
@@ -213,6 +259,46 @@ mod tests {
         let pa = Partition::from_column(&paired);
         let err = g3_error(&pl, &pa, 3);
         assert!((err - (1.0 / 3.0)).abs() < 1e-9, "{err}");
+    }
+
+    #[test]
+    fn g3_removed_matches_materialized_g3() {
+        // Deterministic mixed columns: nulls, repeated values, and
+        // per-column-unique values (stripped singletons of the base).
+        let n = 40usize;
+        let cols: Vec<Vec<Option<u64>>> = (0..4u64)
+            .map(|c| {
+                (0..n as u64)
+                    .map(|i| match (i * 7 + c * 3) % 11 {
+                        0 => None,
+                        v => Some(v % (3 + c) + i / 20 * 100),
+                    })
+                    .collect()
+            })
+            .collect();
+        let parts: Vec<Partition> = cols.iter().map(|c| Partition::from_column(c)).collect();
+        for pl in &parts {
+            for pr in &parts {
+                let pa = pl.product(pr);
+                let gm = GroupMap::new(pr);
+                let removed = g3_removed(pl, &gm, None).expect("no budget, no exit");
+                let err = g3_error(pl, &pa, n);
+                assert!(
+                    (removed as f64 / n as f64 - err).abs() < 1e-12,
+                    "kernel {removed}/{n} vs materialized {err}"
+                );
+                // The early exit fires exactly when the count exceeds the
+                // budget, never sooner and never later.
+                for b in 0..=removed + 1 {
+                    let got = g3_removed(pl, &gm, Some(b));
+                    if removed > b {
+                        assert_eq!(got, None, "budget {b} must cut off {removed}");
+                    } else {
+                        assert_eq!(got, Some(removed), "budget {b} must stay exact");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -25,10 +25,13 @@
 //!   `crate::lattice::precompute_level` for the argument); only the work
 //!   counters may report extra speculative products.
 
-use xfd_partition::{AttrSet, Partition, PartitionCache};
+use xfd_partition::{AttrSet, ErrorOnlyProduct, Partition, PartitionCache};
 
 use crate::config::PruneConfig;
-use crate::lattice::{candidate_lhs, ensure, precompute_level, IntraFd};
+use crate::lattice::{
+    candidate_error, candidate_lhs, ensure, ensure_summary, materialize_frontier, precompute_level,
+    IntraFd,
+};
 
 /// Options for a single-table run.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +52,10 @@ pub struct IntraOptions {
     /// never changes results: evicted partitions are refolded from the
     /// bases on demand.
     pub cache_budget: Option<usize>,
+    /// Use the tiered partition kernel: error-only products with early
+    /// exit for validation, full CSR materialization only for next-level
+    /// operands. Results are bit-identical either way.
+    pub error_only_kernel: bool,
 }
 
 impl Default for IntraOptions {
@@ -60,6 +67,7 @@ impl Default for IntraOptions {
             empty_lhs: true,
             threads: 1,
             cache_budget: None,
+            error_only_kernel: true,
         }
     }
 }
@@ -95,6 +103,14 @@ pub struct RunStats {
     pub evictions: usize,
     /// High-water mark of resident partition bytes.
     pub peak_resident_bytes: usize,
+    /// Products answered by the error-only kernel (no CSR result built).
+    pub products_error_only: usize,
+    /// Products that materialized a full CSR partition.
+    pub products_materialized: usize,
+    /// Error-only products that stopped at the first provable violation.
+    pub early_exits: usize,
+    /// Lookups answered from the 16-byte summary tier.
+    pub summary_hits: usize,
 }
 
 impl RunStats {
@@ -109,6 +125,10 @@ impl RunStats {
         self.cache_misses += other.cache_misses;
         self.evictions += other.evictions;
         self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
+        self.products_error_only += other.products_error_only;
+        self.products_materialized += other.products_materialized;
+        self.early_exits += other.early_exits;
+        self.summary_hits += other.summary_hits;
     }
 
     /// Copy the partition-cache counters into this run's stats.
@@ -119,6 +139,10 @@ impl RunStats {
         self.cache_misses = cs.misses;
         self.evictions = cs.evictions;
         self.peak_resident_bytes = cs.peak_resident_bytes;
+        self.products_error_only = cs.products_error_only;
+        self.products_materialized = cs.products_materialized;
+        self.early_exits = cs.early_exits;
+        self.summary_hits = cs.summary_hits;
     }
 }
 
@@ -199,30 +223,96 @@ pub fn discover_intra(
             if a_set.len() > 1 && cands.is_empty() {
                 continue;
             }
-            ensure(&mut cache, a_set, &cands);
             result.stats.nodes_visited += 1;
             result.stats.max_level = result.stats.max_level.max(a_set.len());
 
-            if cache.get(a_set).expect("ensured").is_key() {
-                result.keys.push(a_set);
-                continue;
-            }
-            // Candidate partitions are only needed on non-key nodes. Pin
-            // `Π_{a_set}` outside the cache while they are refolded: under a
-            // byte budget those inserts could otherwise evict it mid-node.
-            let pa = cache.take(a_set).expect("ensured");
-            for &al in &cands {
-                ensure(&mut cache, al, &[]);
-                let pl = cache.get(al).expect("just ensured");
-                if pl.same_as_refining(&pa) {
-                    let rhs = a_set
-                        .minus(al)
-                        .max_attr()
-                        .expect("al = a_set minus one attr");
-                    result.fds.push(IntraFd { lhs: al, rhs });
+            if opts.error_only_kernel {
+                if let Some(node_error) = cache.error_of(a_set) {
+                    // Node already resident (parallel precompute warmed the
+                    // cache, or a frontier pass materialized it): keys skip
+                    // candidate work entirely, exactly like the
+                    // materializing path.
+                    if node_error == 0 {
+                        result.keys.push(a_set);
+                        continue;
+                    }
+                    for &al in &cands {
+                        let e = candidate_error(
+                            &mut cache,
+                            al,
+                            &result.fds,
+                            &opts.prune,
+                            opts.use_rule2,
+                            opts.empty_lhs,
+                        );
+                        if e == node_error {
+                            let rhs = a_set
+                                .minus(al)
+                                .max_attr()
+                                .expect("al = a_set minus one attr");
+                            result.fds.push(IntraFd { lhs: al, rhs });
+                        }
+                    }
+                } else {
+                    // Tiered kernel: candidate errors first (O(1) from
+                    // either cache tier after the frontier pass), then one
+                    // error-only product for the node, early-exiting once
+                    // its error provably drops below every candidate's
+                    // (Lemma 2: all edges fail, and error ≥ 1 rules out a
+                    // key).
+                    let mut cand_errors: Vec<usize> = Vec::with_capacity(cands.len());
+                    for &al in &cands {
+                        cand_errors.push(candidate_error(
+                            &mut cache,
+                            al,
+                            &result.fds,
+                            &opts.prune,
+                            opts.use_rule2,
+                            opts.empty_lhs,
+                        ));
+                    }
+                    let bound = cand_errors.iter().copied().min();
+                    let node_error = match ensure_summary(&mut cache, a_set, &cands, bound) {
+                        ErrorOnlyProduct::Exact(s) if s.error == 0 => {
+                            result.keys.push(a_set);
+                            continue;
+                        }
+                        ErrorOnlyProduct::Exact(s) => Some(s.error),
+                        ErrorOnlyProduct::BelowBound => None,
+                    };
+                    for (&al, &e) in cands.iter().zip(&cand_errors) {
+                        if node_error == Some(e) {
+                            let rhs = a_set
+                                .minus(al)
+                                .max_attr()
+                                .expect("al = a_set minus one attr");
+                            result.fds.push(IntraFd { lhs: al, rhs });
+                        }
+                    }
                 }
+            } else {
+                ensure(&mut cache, a_set, &cands);
+                if cache.get(a_set).expect("ensured").is_key() {
+                    result.keys.push(a_set);
+                    continue;
+                }
+                // Candidate partitions are only needed on non-key nodes. Pin
+                // `Π_{a_set}` outside the cache while they are refolded: under a
+                // byte budget those inserts could otherwise evict it mid-node.
+                let pa = cache.take(a_set).expect("ensured");
+                for &al in &cands {
+                    ensure(&mut cache, al, &[]);
+                    let pl = cache.get(al).expect("just ensured");
+                    if pl.same_as_refining(&pa) {
+                        let rhs = a_set
+                            .minus(al)
+                            .max_attr()
+                            .expect("al = a_set minus one attr");
+                        result.fds.push(IntraFd { lhs: al, rhs });
+                    }
+                }
+                cache.adopt(a_set, pa);
             }
-            cache.adopt(a_set, pa);
             if a_set.len() <= opts.max_lhs {
                 let last = a_set.max_attr().expect("non-empty lattice node");
                 for next in last + 1..columns.len() {
@@ -233,6 +323,23 @@ pub fn discover_intra(
                     next_level.push(bigger);
                 }
             }
+        }
+        // Tiered kernel, sequential: materialize exactly the partitions the
+        // next level will use as product operands, while this level's
+        // operands are still resident. (With threads > 1 the speculative
+        // precompute materializes every node it touches, so the frontier
+        // pass is unnecessary.)
+        if opts.error_only_kernel && threads <= 1 {
+            materialize_frontier(
+                &mut cache,
+                &next_level,
+                &result.fds,
+                &result.keys,
+                &opts.prune,
+                opts.use_rule2,
+                opts.empty_lhs,
+                false,
+            );
         }
         current = next_level;
         level += 1;
@@ -592,6 +699,20 @@ mod tests {
                     threads: 0, // auto-detect
                     ..Default::default()
                 },
+                IntraOptions {
+                    error_only_kernel: false,
+                    ..Default::default()
+                },
+                IntraOptions {
+                    error_only_kernel: false,
+                    threads: 4,
+                    ..Default::default()
+                },
+                IntraOptions {
+                    error_only_kernel: false,
+                    cache_budget: Some(256),
+                    ..Default::default()
+                },
             ] {
                 let got = discover_intra(&refs, n_rows, &opts);
                 assert_eq!(got.fds, seq.fds, "FDs drifted under {opts:?}");
@@ -602,6 +723,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The tiered kernel must actually run error-only products (with early
+    /// exits on invalid candidates) while the escape hatch runs none — and
+    /// both must emit identical results.
+    #[test]
+    fn tiered_kernel_counters_and_parity() {
+        let mut seed = 0xA076_1D64_78BD_642Fu64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        // Mostly-random wide table: plenty of invalid candidates whose
+        // product error overshoots the node bound → early exits.
+        let cols: Vec<Vec<Option<u64>>> = (0..7)
+            .map(|_| (0..48).map(|_| Some(next() % 4)).collect())
+            .collect();
+        let refs: Vec<&[Option<u64>]> = cols.iter().map(|c| c.as_slice()).collect();
+        let tiered = discover_intra(&refs, 48, &IntraOptions::default());
+        let mat = discover_intra(
+            &refs,
+            48,
+            &IntraOptions {
+                error_only_kernel: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(tiered.fds, mat.fds);
+        assert_eq!(tiered.keys, mat.keys);
+        assert!(tiered.stats.products_error_only > 0, "{:?}", tiered.stats);
+        assert!(tiered.stats.early_exits > 0, "{:?}", tiered.stats);
+        assert!(tiered.stats.summary_hits > 0, "{:?}", tiered.stats);
+        assert_eq!(mat.stats.products_error_only, 0);
+        assert_eq!(mat.stats.early_exits, 0);
+        assert_eq!(mat.stats.summary_hits, 0);
+        assert_eq!(mat.stats.products, mat.stats.products_materialized);
+        // Fewer CSR materializations is the whole point.
+        assert!(
+            tiered.stats.products_materialized < mat.stats.products_materialized,
+            "tiered {} vs materializing {}",
+            tiered.stats.products_materialized,
+            mat.stats.products_materialized
+        );
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! passes (`discover_intra` and `DiscoverXFD`'s per-relation pass).
 
 use xfd_hash::FxHashMap;
-use xfd_partition::{AttrSet, CacheStats, Partition, PartitionCache, ProductScratch};
+use xfd_partition::{
+    AttrSet, CacheStats, ErrorOnlyProduct, Partition, PartitionCache, ProductScratch,
+};
 
 use crate::config::PruneConfig;
 
@@ -113,6 +115,159 @@ pub fn ensure(cache: &mut PartitionCache, a_set: AttrSet, candidates: &[AttrSet]
     for a in iter {
         cache.product(acc, AttrSet::single(a));
         acc = acc.insert(a);
+    }
+}
+
+/// [`ensure`] for the tiered kernel's frontier: identical operand
+/// preferences plus one extra pass — any *fully resident* candidate pairs
+/// with its single-attribute complement — so a frontier node whose first
+/// two candidates were validation-only (summary tier) still avoids the
+/// fold. Kept separate from [`ensure`] so the materializing kernel's work
+/// counters stay exactly as they were.
+pub(crate) fn ensure_full(cache: &mut PartitionCache, a_set: AttrSet, candidates: &[AttrSet]) {
+    if cache.get(a_set).is_some() {
+        return;
+    }
+    if candidates.len() >= 2 {
+        let (c1, c2) = (candidates[0], candidates[1]);
+        if cache.get(c1).is_some() && cache.get(c2).is_some() {
+            debug_assert_eq!(c1.union(c2), a_set);
+            cache.product(c1, c2);
+            return;
+        }
+    }
+    for &c1 in candidates {
+        let rest = a_set.minus(c1);
+        if cache.get(c1).is_some() && cache.get(rest).is_some() {
+            cache.product(c1, rest);
+            return;
+        }
+    }
+    let mut iter = a_set.iter();
+    let first = AttrSet::single(iter.next().expect("ensure_full on empty set"));
+    let mut acc = first;
+    for a in iter {
+        cache.product(acc, AttrSet::single(a));
+        acc = acc.insert(a);
+    }
+}
+
+/// Tiered-kernel analogue of [`ensure`]: obtain the exact summary of
+/// `Π_{a_set}` (or an early-exit proof against `bound`) without
+/// materializing the product. Since `Π_{a_set} = Π_{a_set∖{a}} · Π_a` for
+/// any `a ∈ a_set`, *one* resident parent suffices: the parent is refined
+/// through the missing attribute's cached base map
+/// ([`PartitionCache::product_summary_base`]), which costs a single scan of
+/// the parent's stripped tuples with no probe-table setup or reset.
+/// Candidates are preferred in order (the frontier materializes the first
+/// one), then any resident parent (pruning can drop the materialized
+/// candidate from the list between levels), and only if every parent was
+/// evicted does this refold one from the bases.
+///
+/// The outcome is operand-independent: `BelowBound` fires iff
+/// `0 < e(Π_{a_set}) < bound` no matter which parent is scanned, so work
+/// counters and results stay deterministic.
+pub(crate) fn ensure_summary(
+    cache: &mut PartitionCache,
+    a_set: AttrSet,
+    candidates: &[AttrSet],
+    bound: Option<usize>,
+) -> ErrorOnlyProduct {
+    if let Some(s) = cache.summary_of(a_set) {
+        return ErrorOnlyProduct::Exact(s);
+    }
+    for &c in candidates {
+        let diff = a_set.minus(c);
+        if diff.len() == 1 && cache.get(c).is_some() {
+            let attr = diff.max_attr().expect("one attribute");
+            return cache.product_summary_base(c, attr, bound);
+        }
+    }
+    for attr in a_set.iter() {
+        let parent = a_set.remove(attr);
+        if cache.get(parent).is_some() {
+            return cache.product_summary_base(parent, attr, bound);
+        }
+    }
+    // Every parent was evicted (byte budget): refold one from the bases and
+    // finish with the error-only refinement step.
+    let attr = a_set.max_attr().expect("ensure_summary on empty set");
+    let parent = a_set.remove(attr);
+    ensure_full(cache, parent, &[]);
+    cache.product_summary_base(parent, attr, bound)
+}
+
+/// Exact error of `Π_{al}` for candidate validation under the tiered
+/// kernel: O(1) from either cache tier when known; otherwise recomputed
+/// error-only (possible when the frontier pass skipped `al` — e.g. it was
+/// key-covered at the boundary — or a byte budget evicted it).
+pub(crate) fn candidate_error(
+    cache: &mut PartitionCache,
+    al: AttrSet,
+    fds: &[IntraFd],
+    prune: &PruneConfig,
+    use_rule2: bool,
+    empty_lhs: bool,
+) -> usize {
+    if let Some(e) = cache.error_of(al) {
+        return e;
+    }
+    let cands = candidate_lhs(al, fds, prune, use_rule2, empty_lhs);
+    match ensure_summary(cache, al, &cands, None) {
+        ErrorOnlyProduct::Exact(s) => s.error,
+        ErrorOnlyProduct::BelowBound => unreachable!("no bound was given"),
+    }
+}
+
+/// Materialize the partitions the *next* lattice level will use as product
+/// operands, now that the current level's summaries identified them. Run at
+/// the end of each level by the tiered sequential traversal (`threads ≤ 1`;
+/// the parallel precompute already materializes everything it touches).
+///
+/// For each next-level node [`ensure_summary`] refines *one* resident
+/// parent through a base map, so only the first candidate becomes a full
+/// partition. With `all_candidates` (inter-relation passes) every candidate
+/// is materialized instead: a failing edge `A_L → a` builds its partition
+/// target by scanning the full `Π_{A_L}`. Without it, the remaining
+/// candidates only feed error comparisons, so an exact summary suffices.
+///
+/// Why every partition this pass needs is obtainable: candidate lists only
+/// shrink as FDs/keys are discovered (pruning is monotone), so next-level
+/// candidates seen *here* are supersets of the ones the next level will
+/// compute, and each such candidate is a node of the current level whose
+/// operands (previous-level partitions) are still resident —
+/// `evict_below(level − 2)` runs at level *starts*, after this pass used
+/// them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn materialize_frontier(
+    cache: &mut PartitionCache,
+    next_level: &[AttrSet],
+    fds: &[IntraFd],
+    keys: &[AttrSet],
+    prune: &PruneConfig,
+    use_rule2: bool,
+    empty_lhs: bool,
+    all_candidates: bool,
+) {
+    for &b in next_level {
+        if prune.key_prune && keys.iter().any(|k| k.is_subset_of(b)) {
+            continue;
+        }
+        let cands = candidate_lhs(b, fds, prune, use_rule2, empty_lhs);
+        if b.len() > 1 && cands.is_empty() {
+            continue;
+        }
+        for (idx, &al) in cands.iter().enumerate() {
+            if cache.get(al).is_some() {
+                continue;
+            }
+            let al_cands = candidate_lhs(al, fds, prune, use_rule2, empty_lhs);
+            if idx == 0 || all_candidates {
+                ensure_full(cache, al, &al_cands);
+            } else if cache.summary_of(al).is_none() {
+                let _ = ensure_summary(cache, al, &al_cands, None);
+            }
+        }
     }
 }
 
@@ -269,6 +424,7 @@ pub(crate) fn precompute_level(
     let mut stats = CacheStats::default();
     for (built, products) in worker_results {
         stats.products += products;
+        stats.products_materialized += products;
         stats.partitions_built += products;
         for (attrs, partition) in built {
             cache.adopt(attrs, partition);

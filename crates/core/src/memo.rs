@@ -277,6 +277,7 @@ fn config_fingerprint(config: &DiscoveryConfig, d: &mut ContentDigest) {
     d.update_u64(config.prune.key_prune as u64);
     d.update_u64(config.max_partition_targets as u64);
     d.update_u64(config.cache_budget.map_or(u64::MAX, |b| b as u64));
+    d.update_u64(config.error_only_kernel as u64);
     // Thread count never changes *discovered* FDs/keys, but speculative
     // level-precompute does show in the work counters the report renders;
     // keying on it keeps replayed stats byte-identical too.

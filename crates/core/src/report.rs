@@ -94,6 +94,14 @@ pub fn render_text(report: &RunOutcome, opts: &RenderOptions) -> String {
             report.stats.lattice.evictions,
             report.stats.lattice.peak_resident_bytes
         );
+        let _ = writeln!(
+            out,
+            "# Kernel: {} error-only products ({} early exits), {} materialized, {} summary hits",
+            report.stats.lattice.products_error_only,
+            report.stats.lattice.early_exits,
+            report.stats.lattice.products_materialized,
+            report.stats.lattice.summary_hits
+        );
     }
     out
 }
@@ -130,7 +138,8 @@ pub fn render_markdown(report: &RunOutcome, opts: &RenderOptions) -> String {
         let _ = writeln!(
             out,
             "\n---\n*{} lattice nodes · {} partitions · {} targets · \
-             {} cache hits / {} misses / {} evictions · {} peak bytes · {:?}*",
+             {} cache hits / {} misses / {} evictions · {} peak bytes · \
+             {} error-only / {} materialized products ({} early exits, {} summary hits) · {:?}*",
             report.stats.lattice.nodes_visited,
             report.stats.lattice.partitions_built,
             report.stats.targets.created,
@@ -138,6 +147,10 @@ pub fn render_markdown(report: &RunOutcome, opts: &RenderOptions) -> String {
             report.stats.lattice.cache_misses,
             report.stats.lattice.evictions,
             report.stats.lattice.peak_resident_bytes,
+            report.stats.lattice.products_error_only,
+            report.stats.lattice.products_materialized,
+            report.stats.lattice.early_exits,
+            report.stats.lattice.summary_hits,
             report.profile.total()
         );
     }
@@ -229,10 +242,14 @@ pub fn render_json(report: &RunOutcome) -> String {
     }
     let _ = write!(
         out,
-        "\n  ],\n  \"stats\": {{\"lattice_nodes\": {}, \"partitions\": {}, \"products\": {}, \"targets_created\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \"peak_resident_bytes\": {}, \"total_ms\": {:.3}, \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evictions\": {}, \"memo_resident_bytes\": {}}}\n}}\n",
+        "\n  ],\n  \"stats\": {{\"lattice_nodes\": {}, \"partitions\": {}, \"products\": {}, \"products_error_only\": {}, \"products_materialized\": {}, \"early_exits\": {}, \"summary_hits\": {}, \"targets_created\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \"peak_resident_bytes\": {}, \"total_ms\": {:.3}, \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evictions\": {}, \"memo_resident_bytes\": {}}}\n}}\n",
         report.stats.lattice.nodes_visited,
         report.stats.lattice.partitions_built,
         report.stats.lattice.products,
+        report.stats.lattice.products_error_only,
+        report.stats.lattice.products_materialized,
+        report.stats.lattice.early_exits,
+        report.stats.lattice.summary_hits,
         report.stats.targets.created,
         report.stats.lattice.cache_hits,
         report.stats.lattice.cache_misses,
@@ -279,6 +296,7 @@ mod tests {
             "# Refinement",
             "# Stats",
             "# Cache",
+            "# Kernel",
         ] {
             assert!(text.contains(needle), "missing {needle}:\n{text}");
         }
@@ -308,6 +326,9 @@ mod tests {
             "\"scope\"",
             "\"cache_hits\"",
             "\"peak_resident_bytes\"",
+            "\"products_error_only\"",
+            "\"early_exits\"",
+            "\"summary_hits\"",
         ] {
             assert!(json.contains(key), "missing {key}:\n{json}");
         }

@@ -71,16 +71,66 @@ pub fn create_target(
     max_pairs: usize,
 ) -> CreateOutcome {
     let gm = GroupMap::new(pa);
+    create_target_keyed(
+        origin,
+        rhs,
+        lhs,
+        pl,
+        |t| gm.group_of(t),
+        parent_of,
+        max_pairs,
+    )
+}
+
+/// [`create_target`] keyed by the *single-attribute base* partition of the
+/// RHS instead of the materialized product `Π_{A_L∪{a}}`. Within one group
+/// of `Π_{A_L}` (members agree on `A_L`), two tuples share a product group
+/// exactly when they share an RHS base group, and a tuple stripped from the
+/// product (its `{A_L, a}` combination is unique, or its RHS is ⊥) is
+/// either alone in its base bucket or base-⊥ — its own subgroup in both
+/// decompositions. First-touch subgroup order is the member scan order
+/// either way, so the outcome is *identical* to [`create_target`] — without
+/// materializing the product or building a per-edge O(n) group map.
+#[allow(clippy::too_many_arguments)]
+pub fn create_target_from_base(
+    origin: RelId,
+    rhs: usize,
+    lhs: AttrSet,
+    pl: &Partition,
+    rhs_groups: &GroupMap,
+    parent_of: &[Tuple],
+    max_pairs: usize,
+) -> CreateOutcome {
+    create_target_keyed(
+        origin,
+        rhs,
+        lhs,
+        pl,
+        |t| rhs_groups.group_of(t),
+        parent_of,
+        max_pairs,
+    )
+}
+
+fn create_target_keyed(
+    origin: RelId,
+    rhs: usize,
+    lhs: AttrSet,
+    pl: &Partition,
+    key_of: impl Fn(Tuple) -> Option<u32>,
+    parent_of: &[Tuple],
+    max_pairs: usize,
+) -> CreateOutcome {
     let mut fd_pairs = PairSet::new();
     let mut key_pairs: Option<PairSet> = Some(PairSet::new());
     let mut n_pairs = 0usize;
 
     for g1 in pl.groups() {
-        // Bucket g1's members by their Π_A subgroup; `None` (stripped
-        // singleton of the product) members are each their own subgroup.
+        // Bucket g1's members by their refining-partition subgroup; `None`
+        // (stripped singleton) members are each their own subgroup.
         let mut subgroups: Vec<(Option<u32>, Vec<Tuple>)> = Vec::new();
         for &t in g1 {
-            match gm.group_of(t) {
+            match key_of(t) {
                 Some(g) => match subgroups.iter_mut().find(|(k, _)| *k == Some(g)) {
                     Some((_, v)) => v.push(t),
                     None => subgroups.push((Some(g), vec![t])),
@@ -284,6 +334,104 @@ mod tests {
         let parent_of: Vec<Tuple> = (0..60).collect();
         let out = create_target(RelId(1), 1, AttrSet::single(0), &pl, &pa, &parent_of, 50);
         assert!(matches!(out, CreateOutcome::Overflow));
+    }
+
+    #[test]
+    fn base_keyed_target_matches_product_keyed() {
+        // Keying by the RHS base partition must reproduce the
+        // product-keyed outcome exactly — same pairs, same Impossible /
+        // Overflow decisions — across nulls, unique combos, and shared RHS
+        // values that straddle LHS groups.
+        type Case = (Vec<Option<u64>>, Vec<Option<u64>>, Vec<Tuple>, usize);
+        let cases: Vec<Case> = vec![
+            // The paper's worked example.
+            (
+                vec![Some(1), Some(2), Some(2), Some(2)],
+                vec![Some(10), Some(20), Some(20), None],
+                vec![0, 0, 1, 2],
+                100,
+            ),
+            // Same-parent FD conflict (Impossible).
+            (
+                vec![Some(1), Some(1)],
+                vec![Some(5), Some(6)],
+                vec![0, 0],
+                100,
+            ),
+            // Key collapse, FD viable.
+            (
+                vec![Some(1), Some(1), Some(1)],
+                vec![Some(11), Some(11), Some(12)],
+                vec![0, 0, 1],
+                100,
+            ),
+            // Null RHS: product-stripped vs base-⊥ must agree.
+            (
+                vec![Some(1), Some(1), Some(1)],
+                vec![Some(11), None, None],
+                vec![0, 1, 2],
+                100,
+            ),
+            // RHS values shared across LHS groups: base groups span pl
+            // groups, product groups do not.
+            (
+                vec![Some(1), Some(1), Some(2), Some(2)],
+                vec![Some(7), Some(8), Some(7), Some(8)],
+                vec![0, 1, 2, 3],
+                100,
+            ),
+            // Overflow at the same pair count.
+            (
+                (0..20).map(|_| Some(1)).collect(),
+                (0..20).map(|i| Some(i as u64)).collect(),
+                (0..20).collect(),
+                50,
+            ),
+        ];
+        for (lhs_col, rhs_col, parent_of, max_pairs) in cases {
+            let pl = Partition::from_column(&lhs_col);
+            let paired: Vec<Option<u64>> = lhs_col
+                .iter()
+                .zip(rhs_col.iter())
+                .map(|(a, b)| match (a, b) {
+                    (Some(a), Some(b)) => Some(a * 1000 + b),
+                    _ => None,
+                })
+                .collect();
+            let pa = Partition::from_column(&paired);
+            let base = Partition::from_column(&rhs_col);
+            let gm = GroupMap::new(&base);
+            let via_product = create_target(
+                RelId(1),
+                1,
+                AttrSet::single(0),
+                &pl,
+                &pa,
+                &parent_of,
+                max_pairs,
+            );
+            let via_base = create_target_from_base(
+                RelId(1),
+                1,
+                AttrSet::single(0),
+                &pl,
+                &gm,
+                &parent_of,
+                max_pairs,
+            );
+            match (via_product, via_base) {
+                (CreateOutcome::Target(a), CreateOutcome::Target(b)) => {
+                    assert_eq!(a.fd_target.pairs(), b.fd_target.pairs());
+                    assert_eq!(
+                        a.key_target.map(|k| k.pairs().to_vec()),
+                        b.key_target.map(|k| k.pairs().to_vec()),
+                    );
+                }
+                (CreateOutcome::Impossible, CreateOutcome::Impossible) => {}
+                (CreateOutcome::Overflow, CreateOutcome::Overflow) => {}
+                (a, b) => panic!("outcomes diverged: {a:?} vs {b:?} for {lhs_col:?}/{rhs_col:?}"),
+            }
+        }
     }
 
     #[test]

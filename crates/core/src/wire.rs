@@ -189,6 +189,7 @@ pub fn encode_config(config: &DiscoveryConfig) -> Vec<u8> {
     put_bool(&mut out, config.parallel);
     put_usize(&mut out, config.threads);
     put_opt_usize(&mut out, config.cache_budget);
+    put_bool(&mut out, config.error_only_kernel);
     out
 }
 
@@ -233,6 +234,7 @@ pub fn decode_config(bytes: &[u8]) -> Result<DiscoveryConfig, WireError> {
         parallel: r.bool()?,
         threads: r.usize()?,
         cache_budget: opt_usize(&mut r)?,
+        error_only_kernel: r.bool()?,
     };
     r.finish()?;
     Ok(config)
@@ -353,6 +355,10 @@ fn put_run_stats(out: &mut Vec<u8>, s: &RunStats) {
     put_usize(out, s.cache_misses);
     put_usize(out, s.evictions);
     put_usize(out, s.peak_resident_bytes);
+    put_usize(out, s.products_error_only);
+    put_usize(out, s.products_materialized);
+    put_usize(out, s.early_exits);
+    put_usize(out, s.summary_hits);
 }
 
 fn read_run_stats(r: &mut Reader<'_>) -> Result<RunStats, WireError> {
@@ -366,6 +372,10 @@ fn read_run_stats(r: &mut Reader<'_>) -> Result<RunStats, WireError> {
         cache_misses: r.usize()?,
         evictions: r.usize()?,
         peak_resident_bytes: r.usize()?,
+        products_error_only: r.usize()?,
+        products_materialized: r.usize()?,
+        early_exits: r.usize()?,
+        summary_hits: r.usize()?,
     })
 }
 
@@ -491,6 +501,7 @@ mod tests {
                 parallel: true,
                 threads: 4,
                 cache_budget: Some(1 << 20),
+                error_only_kernel: false,
             },
         ];
         for config in &configs {
@@ -542,6 +553,10 @@ mod tests {
                 cache_misses: 4,
                 evictions: 0,
                 peak_resident_bytes: 999,
+                products_error_only: 7,
+                products_materialized: 5,
+                early_exits: 2,
+                summary_hits: 8,
             },
             targets: TargetStats {
                 created: 2,

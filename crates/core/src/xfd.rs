@@ -5,13 +5,18 @@
 
 use std::collections::HashMap;
 
-use xfd_partition::{AttrSet, GroupMap, Partition, PartitionCache};
+use xfd_partition::{AttrSet, ErrorOnlyProduct, GroupMap, Partition, PartitionCache};
 use xfd_relation::{Forest, RelId};
 
 use crate::config::DiscoveryConfig;
 use crate::intra::RunStats;
-use crate::lattice::{candidate_lhs, ensure, precompute_level, IntraFd};
-use crate::target::{create_target, update_target, CreateOutcome, PartitionTarget};
+use crate::lattice::{
+    candidate_error, candidate_lhs, ensure, ensure_full, ensure_summary, materialize_frontier,
+    precompute_level, IntraFd,
+};
+use crate::target::{
+    create_target, create_target_from_base, update_target, CreateOutcome, PartitionTarget,
+};
 
 /// A discovered inter-relation FD, in raw (relation, attribute) form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -371,6 +376,21 @@ pub(crate) fn process_relation(
     }
 
     let mut stats = RunStats::default();
+    // The tiered kernel applies when no incoming targets ride on this
+    // relation: target checks scan the full node partition anyway (their
+    // `GroupMap` needs it), so relations with incoming targets run the
+    // materializing path unchanged.
+    let tiered = config.error_only_kernel && incoming.is_empty();
+    let inter_targets = has_parent && config.inter_relation;
+    // Lazily built tuple → group maps of the single-attribute *base*
+    // partitions: a failing edge's partition target is derived from
+    // `Π_{A_L}` plus the RHS base map (see `create_target_from_base`),
+    // amortizing the old per-edge O(n) product group map per RHS column.
+    let mut rhs_maps: Vec<Option<GroupMap>> = if tiered && inter_targets {
+        (0..columns.len()).map(|_| None).collect()
+    } else {
+        Vec::new()
+    };
     let mut current: Vec<AttrSet> = (0..columns.len()).map(AttrSet::single).collect();
     let mut level = 1usize;
     while !current.is_empty() {
@@ -407,10 +427,116 @@ pub(crate) fn process_relation(
             if a_set.len() > 1 && cands.is_empty() {
                 continue;
             }
-            ensure(&mut cache, a_set, &cands);
             stats.nodes_visited += 1;
             stats.max_level = stats.max_level.max(a_set.len());
 
+            if tiered {
+                // Error-only validation: exact candidate errors (O(1) from
+                // either cache tier after the frontier pass), one error-only
+                // node product with a first-violation early exit, Lemma 2
+                // comparisons on scalars. Failing edges build their
+                // partition target from the full `Π_{A_L}` plus the RHS
+                // *base* group map — never from the node product.
+                let known = cache.error_of(a_set);
+                let (node_error, cand_errors) = match known {
+                    // Node already resident (parallel precompute or a
+                    // frontier pass materialized it).
+                    Some(e) => (Some(e), None),
+                    None => {
+                        let mut errs: Vec<usize> = Vec::with_capacity(cands.len());
+                        for &al in &cands {
+                            errs.push(candidate_error(
+                                &mut cache,
+                                al,
+                                &out.local.fds,
+                                &config.prune,
+                                false,
+                                config.empty_lhs,
+                            ));
+                        }
+                        let bound = errs.iter().copied().min();
+                        let ne = match ensure_summary(&mut cache, a_set, &cands, bound) {
+                            ErrorOnlyProduct::Exact(s) => Some(s.error),
+                            ErrorOnlyProduct::BelowBound => None,
+                        };
+                        (ne, Some(errs))
+                    }
+                };
+                if node_error == Some(0) {
+                    out.local.keys.push(a_set);
+                    continue;
+                }
+                for (idx, &al) in cands.iter().enumerate() {
+                    let e = match &cand_errors {
+                        Some(errs) => errs[idx],
+                        None => candidate_error(
+                            &mut cache,
+                            al,
+                            &out.local.fds,
+                            &config.prune,
+                            false,
+                            config.empty_lhs,
+                        ),
+                    };
+                    let rhs = a_set
+                        .minus(al)
+                        .max_attr()
+                        .expect("al = a_set minus one attribute");
+                    if node_error == Some(e) {
+                        out.local.fds.push(IntraFd { lhs: al, rhs });
+                    } else if inter_targets {
+                        if cache.get(al).is_none() {
+                            let al_cands = candidate_lhs(
+                                al,
+                                &out.local.fds,
+                                &config.prune,
+                                false,
+                                config.empty_lhs,
+                            );
+                            ensure_full(&mut cache, al, &al_cands);
+                        }
+                        if rhs_maps[rhs].is_none() {
+                            let base = cache
+                                .get(AttrSet::single(rhs))
+                                .expect("base partition resident");
+                            rhs_maps[rhs] = Some(GroupMap::new(base));
+                        }
+                        let pl = cache.get(al).expect("ensured full");
+                        let gm = rhs_maps[rhs].as_ref().expect("just built");
+                        match create_target_from_base(
+                            rel_id,
+                            rhs,
+                            al,
+                            pl,
+                            gm,
+                            &rel.parent_of,
+                            config.max_partition_targets,
+                        ) {
+                            CreateOutcome::Target(pt) => {
+                                out.targets.created += 1;
+                                out.outgoing.push(*pt);
+                            }
+                            CreateOutcome::Impossible => out.targets.dropped_impossible += 1,
+                            CreateOutcome::Overflow => out.targets.dropped_overflow += 1,
+                        }
+                    }
+                }
+                if a_set.len() <= config.lhs_bound() {
+                    let last = a_set.max_attr().expect("non-empty node");
+                    for next in last + 1..columns.len() {
+                        let bigger = a_set.insert(next);
+                        if config.prune.key_prune
+                            && out.local.keys.iter().any(|k| k.is_subset_of(bigger))
+                        {
+                            continue;
+                        }
+                        next_level.push(bigger);
+                    }
+                }
+                continue;
+            }
+
+            ensure(&mut cache, a_set, &cands);
             let pa = cache.get(a_set).expect("ensured");
             if pa.is_key() {
                 out.local.keys.push(a_set);
@@ -525,6 +651,24 @@ pub(crate) fn process_relation(
                     next_level.push(bigger);
                 }
             }
+        }
+        // Tiered kernel, sequential: materialize exactly the partitions the
+        // next level will use (product operands; with inter-relation
+        // targets, every candidate — failing edges scan their full
+        // `Π_{A_L}`) while this level's operands are still resident. With
+        // `intra_threads > 1` the speculative precompute materializes
+        // everything it touches, so no frontier pass is needed.
+        if tiered && intra_threads <= 1 {
+            materialize_frontier(
+                &mut cache,
+                &next_level,
+                &out.local.fds,
+                &out.local.keys,
+                &config.prune,
+                false,
+                config.empty_lhs,
+                inter_targets,
+            );
         }
         current = next_level;
         level += 1;

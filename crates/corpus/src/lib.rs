@@ -248,6 +248,15 @@ pub struct CorpusStatus {
     /// Whether the merged forest for the current corpus state is cached
     /// (the next same-config `discover` skips merge+infer+encode).
     pub forest_cached: bool,
+    /// Lifetime error-only (validation) partition products across discover
+    /// runs on this handle.
+    pub kernel_products_error_only: u64,
+    /// Lifetime fully-materialized partition products.
+    pub kernel_products_materialized: u64,
+    /// Lifetime early exits taken by the error-only kernel.
+    pub kernel_early_exits: u64,
+    /// Lifetime lattice-node answers served from the summary tier.
+    pub kernel_summary_hits: u64,
 }
 
 /// Per-segment derived state, keyed by the segment's content digest so
@@ -351,6 +360,12 @@ pub struct CorpusHandle {
     seg_cache: HashMap<u128, SegCacheEntry>,
     forest_cache: Option<ForestCache>,
     readonly: bool,
+    /// Lifetime partition-kernel counters, summed over every discover run
+    /// on this handle (including stats replayed from the memo).
+    kernel_products_error_only: u64,
+    kernel_products_materialized: u64,
+    kernel_early_exits: u64,
+    kernel_summary_hits: u64,
 }
 
 impl CorpusHandle {
@@ -388,6 +403,10 @@ impl CorpusHandle {
             seg_cache: HashMap::new(),
             forest_cache: None,
             readonly,
+            kernel_products_error_only: 0,
+            kernel_products_materialized: 0,
+            kernel_early_exits: 0,
+            kernel_summary_hits: 0,
         })
     }
 
@@ -762,6 +781,10 @@ impl CorpusHandle {
             seg_cache: HashMap::new(),
             forest_cache: None,
             readonly: true,
+            kernel_products_error_only: 0,
+            kernel_products_materialized: 0,
+            kernel_early_exits: 0,
+            kernel_summary_hits: 0,
         }
     }
 
@@ -859,6 +882,12 @@ impl CorpusHandle {
         outcome.profile.merge = prepared.merge;
         outcome.profile.infer = prepared.infer;
         outcome.profile.encode = prepared.encode;
+        // Lifetime kernel counters for `corpus status` / the server's
+        // corpus JSON (replayed passes contribute their recorded stats).
+        self.kernel_products_error_only += outcome.stats.lattice.products_error_only as u64;
+        self.kernel_products_materialized += outcome.stats.lattice.products_materialized as u64;
+        self.kernel_early_exits += outcome.stats.lattice.early_exits as u64;
+        self.kernel_summary_hits += outcome.stats.lattice.summary_hits as u64;
         // Entries from superseded corpus states can never hit again.
         self.memo.prune_stale();
         outcome
@@ -896,6 +925,10 @@ impl CorpusHandle {
                 .forest_cache
                 .as_ref()
                 .is_some_and(|fc| fc.generation == self.generation),
+            kernel_products_error_only: self.kernel_products_error_only,
+            kernel_products_materialized: self.kernel_products_materialized,
+            kernel_early_exits: self.kernel_early_exits,
+            kernel_summary_hits: self.kernel_summary_hits,
         }
     }
 }

@@ -27,11 +27,15 @@
 use xfd_hash::FxHashMap;
 
 use crate::attrset::AttrSet;
-use crate::partition::Partition;
+use crate::partition::{ErrorOnlyProduct, GroupMap, Partition, PartitionSummary};
 use crate::scratch::ProductScratch;
 
 /// Number of cache shards (power of two).
 pub const N_SHARDS: usize = 16;
+
+/// Accounted bytes per summary-tier entry: the [`PartitionSummary`]
+/// payload plus its `AttrSet` key.
+pub const SUMMARY_BYTES: usize = 32;
 
 /// Counters describing how much work a lattice traversal did and how much
 /// memory its partitions held.
@@ -49,6 +53,14 @@ pub struct CacheStats {
     pub evictions: usize,
     /// High-water mark of resident partition bytes.
     pub peak_resident_bytes: usize,
+    /// Products answered by the error-only kernel (no CSR result built).
+    pub products_error_only: usize,
+    /// Products that materialized a full CSR partition.
+    pub products_materialized: usize,
+    /// Error-only products that stopped at the first provable violation.
+    pub early_exits: usize,
+    /// Lookups answered from the 16-byte summary tier.
+    pub summary_hits: usize,
 }
 
 impl CacheStats {
@@ -60,6 +72,10 @@ impl CacheStats {
         self.misses += other.misses;
         self.evictions += other.evictions;
         self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
+        self.products_error_only += other.products_error_only;
+        self.products_materialized += other.products_materialized;
+        self.early_exits += other.early_exits;
+        self.summary_hits += other.summary_hits;
     }
 }
 
@@ -67,20 +83,32 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct PartitionCache {
     shards: [FxHashMap<AttrSet, Partition>; N_SHARDS],
+    /// Summary tier: 16-byte digests for attribute sets whose full CSR
+    /// partition was never materialized (validation-only lattice nodes).
+    summaries: FxHashMap<AttrSet, PartitionSummary>,
     stats: CacheStats,
     resident_bytes: usize,
     budget_bytes: Option<usize>,
     scratch: ProductScratch,
+    /// Tuple → group lookup per base attribute, built lazily on first use
+    /// by the refinement kernel and valid for the lifetime of the base
+    /// partition. Like `scratch`, these are working-state for the kernels
+    /// (one `u32` per tuple per touched attribute, never evicted) and are
+    /// not charged against `resident_bytes` — the budget governs the
+    /// rebuildable partition payload, not fixed per-attribute overhead.
+    base_maps: Vec<Option<GroupMap>>,
 }
 
 impl Default for PartitionCache {
     fn default() -> Self {
         PartitionCache {
             shards: std::array::from_fn(|_| FxHashMap::default()),
+            summaries: FxHashMap::default(),
             stats: CacheStats::default(),
             resident_bytes: 0,
             budget_bytes: None,
             scratch: ProductScratch::new(),
+            base_maps: Vec::new(),
         }
     }
 }
@@ -119,6 +147,16 @@ impl PartitionCache {
     }
 
     fn account_insert(&mut self, attrs: AttrSet, partition: Partition) {
+        // Replacing a base partition invalidates its cached group map.
+        if attrs.len() == 1 {
+            if let Some(slot) = attrs.iter().next().and_then(|a| self.base_maps.get_mut(a)) {
+                *slot = None;
+            }
+        }
+        // A full partition supersedes any summary for the same key.
+        if self.summaries.remove(&attrs).is_some() {
+            self.resident_bytes -= SUMMARY_BYTES;
+        }
         let shard = self.shard(attrs);
         let bytes = partition.heap_bytes();
         if let Some(old) = self.shards[shard].insert(attrs, partition) {
@@ -212,6 +250,7 @@ impl PartitionCache {
             let prod = pa.product_in(pb, &mut scratch);
             self.scratch = scratch;
             self.stats.products += 1;
+            self.stats.products_materialized += 1;
             self.stats.partitions_built += 1;
             self.account_insert(target, prod);
         } else {
@@ -220,8 +259,118 @@ impl PartitionCache {
         self.get(target).expect("just inserted")
     }
 
+    /// Exact summary of `Π_{attrs}` if it is known without computing
+    /// anything: from the summary tier (counted as a `summary_hit`) or
+    /// derived from a resident full partition (not counted — mirror of the
+    /// non-counting [`Self::get`]).
+    pub fn summary_of(&mut self, attrs: AttrSet) -> Option<PartitionSummary> {
+        if let Some(&s) = self.summaries.get(&attrs) {
+            self.stats.summary_hits += 1;
+            return Some(s);
+        }
+        self.get(attrs).map(Partition::summary)
+    }
+
+    /// Exact error of `Π_{attrs}` if known, O(1) from either tier (no
+    /// group scan, unlike [`Self::summary_of`] on a full partition).
+    pub fn error_of(&mut self, attrs: AttrSet) -> Option<usize> {
+        if let Some(s) = self.summaries.get(&attrs) {
+            self.stats.summary_hits += 1;
+            return Some(s.error);
+        }
+        self.get(attrs).map(Partition::error)
+    }
+
+    /// Run the error-only kernel on `Π_a · Π_b` and file the exact outcome
+    /// in the summary tier. An early exit ([`ErrorOnlyProduct::BelowBound`])
+    /// stores nothing: the result is a proof about the *bound*, not a
+    /// reusable digest.
+    ///
+    /// # Panics
+    /// Panics if `Π_a` or `Π_b` is not already cached in the full tier.
+    pub fn product_summary(
+        &mut self,
+        a: AttrSet,
+        b: AttrSet,
+        bound: Option<usize>,
+    ) -> ErrorOnlyProduct {
+        let target = a.union(b);
+        // Move the scratch out so the operand borrows (into the shard
+        // maps) and the scratch borrow don't alias through `self`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let pa = self.get(a).expect("operand partition must be cached");
+        let pb = self.get(b).expect("operand partition must be cached");
+        let outcome = pa.product_error_in(pb, &mut scratch, bound);
+        self.scratch = scratch;
+        self.stats.products += 1;
+        self.stats.products_error_only += 1;
+        match outcome {
+            ErrorOnlyProduct::Exact(s) => self.insert_summary(target, s),
+            ErrorOnlyProduct::BelowBound => self.stats.early_exits += 1,
+        }
+        outcome
+    }
+
+    /// Error-only summary of `Π_{parent ∪ {attr}}` by refining the resident
+    /// `Π_parent` through the cached base map of `attr` — the fast path of
+    /// the tiered kernel. Unlike [`Self::product_summary`] there is no probe
+    /// table to fill or reset per call: the base lookup is built once per
+    /// attribute (O(n), amortized) and the product costs only a scan of the
+    /// parent's stripped tuples, stopping early under `bound`. Outcomes are
+    /// filed exactly like `product_summary`.
+    ///
+    /// # Panics
+    /// Panics if `Π_parent` or the base `Π_{attr}` is not cached.
+    pub fn product_summary_base(
+        &mut self,
+        parent: AttrSet,
+        attr: usize,
+        bound: Option<usize>,
+    ) -> ErrorOnlyProduct {
+        let target = parent.union(AttrSet::single(attr));
+        if self.base_maps.len() <= attr {
+            self.base_maps.resize_with(attr + 1, || None);
+        }
+        if self.base_maps[attr].is_none() {
+            let base = self
+                .get(AttrSet::single(attr))
+                .expect("base partition must be cached");
+            self.base_maps[attr] = Some(GroupMap::new(base));
+        }
+        // Move the scratch and map out so the parent borrow (into the shard
+        // maps) and the mutable scratch borrow don't alias through `self`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let map = self.base_maps[attr].take().expect("just built");
+        let pa = self.get(parent).expect("parent partition must be cached");
+        let outcome = pa.error_refine_in(&map, &mut scratch, bound);
+        self.scratch = scratch;
+        self.base_maps[attr] = Some(map);
+        self.stats.products += 1;
+        self.stats.products_error_only += 1;
+        match outcome {
+            ErrorOnlyProduct::Exact(s) => self.insert_summary(target, s),
+            ErrorOnlyProduct::BelowBound => self.stats.early_exits += 1,
+        }
+        outcome
+    }
+
+    /// File an exact summary in the summary tier (no-op if the full
+    /// partition is resident — the full tier already answers for it).
+    pub fn insert_summary(&mut self, attrs: AttrSet, summary: PartitionSummary) {
+        if self.get(attrs).is_some() {
+            return;
+        }
+        if self.summaries.insert(attrs, summary).is_none() {
+            self.resident_bytes += SUMMARY_BYTES;
+            self.stats.peak_resident_bytes =
+                self.stats.peak_resident_bytes.max(self.resident_bytes);
+        }
+    }
+
     /// Drop partitions for attribute sets of size `level` or smaller except
     /// the bases (size ≤ 1); level-wise algorithms never revisit them.
+    /// Stale summaries are dropped on the same schedule but are not counted
+    /// as evictions (nothing rebuildable was lost — 32 bytes of digest).
     pub fn evict_below(&mut self, level: usize) {
         let mut freed = 0usize;
         let mut evicted = 0usize;
@@ -236,7 +385,16 @@ impl PartitionCache {
                 keep
             });
         }
-        self.resident_bytes -= freed;
+        let mut freed_summaries = 0usize;
+        self.summaries.retain(|k, _| {
+            let n = k.len();
+            let keep = n <= 1 || n > level;
+            if !keep {
+                freed_summaries += 1;
+            }
+            keep
+        });
+        self.resident_bytes -= freed + freed_summaries * SUMMARY_BYTES;
         self.stats.evictions += evicted;
     }
 
@@ -281,6 +439,9 @@ impl PartitionCache {
                     self.account_insert(attrs, partition);
                 }
             }
+        }
+        for (attrs, summary) in other.summaries {
+            self.insert_summary(attrs, summary);
         }
         self.stats.absorb(&other.stats);
     }
@@ -388,6 +549,68 @@ mod tests {
         for s in [a, b, d] {
             assert!(c.get(s).is_some(), "bases are never evicted");
         }
+    }
+
+    #[test]
+    fn summary_tier_answers_without_materializing() {
+        let mut c = PartitionCache::new();
+        let a = AttrSet::single(0);
+        let b = AttrSet::single(1);
+        c.insert(
+            a,
+            Partition::from_column(&[Some(1), Some(1), Some(2), Some(2)]),
+        );
+        c.insert(
+            b,
+            Partition::from_column(&[Some(1), Some(2), Some(1), Some(1)]),
+        );
+        let ab = a.union(b);
+        let outcome = c.product_summary(a, b, None);
+        let expected = c.get(a).unwrap().product(c.get(b).unwrap()).summary();
+        assert_eq!(outcome, ErrorOnlyProduct::Exact(expected));
+        assert!(c.get(ab).is_none(), "no CSR partition was built");
+        assert_eq!(c.summary_of(ab), Some(expected));
+        assert_eq!(c.error_of(ab), Some(expected.error));
+        let s = c.stats();
+        assert_eq!(s.products, 1);
+        assert_eq!(s.products_error_only, 1);
+        assert_eq!(s.products_materialized, 0);
+        assert_eq!(s.partitions_built, 2, "only the bases");
+        assert!(s.summary_hits >= 2);
+        // Materializing the same node later replaces the summary and keeps
+        // residency accounting balanced.
+        let resident_with_summary = c.resident_bytes();
+        let full = c.product(a, b).clone();
+        assert_eq!(full.summary(), expected);
+        assert_eq!(
+            c.resident_bytes(),
+            resident_with_summary - SUMMARY_BYTES + full.heap_bytes()
+        );
+    }
+
+    #[test]
+    fn product_summary_early_exit_stores_nothing() {
+        let mut c = PartitionCache::new();
+        let a = AttrSet::single(0);
+        let b = AttrSet::single(1);
+        // One big group split in two by `b`: error drops 4 → 3.
+        c.insert(a, Partition::universal(6));
+        c.insert(
+            b,
+            Partition::from_column(&[Some(1), Some(1), Some(1), Some(2), Some(2), Some(2)]),
+        );
+        let outcome = c.product_summary(a, b, Some(5));
+        assert_eq!(outcome, ErrorOnlyProduct::BelowBound);
+        assert_eq!(c.summary_of(a.union(b)), None);
+        assert_eq!(c.stats().early_exits, 1);
+        // Eviction drops stale summaries without counting them.
+        let exact = c.product_summary(a, b, None);
+        assert!(matches!(exact, ErrorOnlyProduct::Exact(_)));
+        let resident = c.resident_bytes();
+        c.evict_below(2);
+        assert_eq!(c.summary_of(a.union(b)), None);
+        assert_eq!(c.resident_bytes(), resident - SUMMARY_BYTES);
+        assert_eq!(c.stats().evictions, 0);
     }
 
     #[test]

@@ -34,5 +34,5 @@ pub mod scratch;
 pub use attrset::AttrSet;
 pub use cache::{CacheStats, PartitionCache};
 pub use pairs::{Collapse, PairSet};
-pub use partition::{GroupMap, Groups, Partition, Tuple};
+pub use partition::{ErrorOnlyProduct, GroupMap, Groups, Partition, PartitionSummary, Tuple};
 pub use scratch::ProductScratch;

@@ -261,8 +261,8 @@ impl Partition {
                 probe[t as usize] = i as u32;
             }
         }
-        if scratch.buckets.len() < self.n_groups() {
-            scratch.buckets.resize_with(self.n_groups(), Vec::new);
+        if scratch.bucket_spans.len() < self.n_groups() {
+            scratch.bucket_spans.resize(self.n_groups(), (0, 0));
         }
         let out_tuples = &mut scratch.out_tuples;
         let out_groups = &mut scratch.out_groups;
@@ -271,22 +271,45 @@ impl Partition {
         let mut sorted = true;
         let mut prev_first = 0 as Tuple;
         for g in other.groups() {
+            // Pass 1: count this group's members per left bucket.
             for &t in g {
                 let i = probe[t as usize];
                 if i != u32::MAX {
-                    let bucket = &mut scratch.buckets[i as usize];
-                    if bucket.is_empty() {
+                    let span = &mut scratch.bucket_spans[i as usize];
+                    if span.1 == 0 {
                         scratch.touched.push(i);
                     }
-                    bucket.push(t);
+                    span.1 += 1;
+                }
+            }
+            // Lay the buckets out back to back in the flat arena,
+            // first-touch order; the span start doubles as pass 2's write
+            // cursor (ending at the bucket's end).
+            let mut cursor = 0u32;
+            for &i in &scratch.touched {
+                let span = &mut scratch.bucket_spans[i as usize];
+                span.0 = cursor;
+                cursor += span.1;
+            }
+            if scratch.bucket_data.len() < cursor as usize {
+                scratch.bucket_data.resize(cursor as usize, 0);
+            }
+            // Pass 2: place members (ascending within each bucket).
+            for &t in g {
+                let i = probe[t as usize];
+                if i != u32::MAX {
+                    let span = &mut scratch.bucket_spans[i as usize];
+                    scratch.bucket_data[span.0 as usize] = t;
+                    span.0 += 1;
                 }
             }
             // Touch order is first-member-ascending *within* this group's
             // scan (members ascend), so each run lands sorted; see the
             // module docs for why runs can interleave across groups.
             for &i in &scratch.touched {
-                let bucket = &mut scratch.buckets[i as usize];
-                if bucket.len() >= 2 {
+                let (end, len) = scratch.bucket_spans[i as usize];
+                if len >= 2 {
+                    let bucket = &scratch.bucket_data[(end - len) as usize..end as usize];
                     let first = bucket[0];
                     if out_groups.is_empty() || first > prev_first {
                         prev_first = first;
@@ -295,9 +318,9 @@ impl Partition {
                     }
                     let start = out_tuples.len() as u32;
                     out_tuples.extend_from_slice(bucket);
-                    out_groups.push((start, bucket.len() as u32));
+                    out_groups.push((start, len));
                 }
-                bucket.clear();
+                scratch.bucket_spans[i as usize] = (0, 0);
             }
             scratch.touched.clear();
         }
@@ -345,6 +368,213 @@ impl Partition {
         debug_assert!(sup.error <= self.error, "sup must refine self");
         self.error == sup.error
     }
+
+    /// The 16-byte digest of this partition: everything the Lemma 2
+    /// validation path consumes, without the CSR payload.
+    pub fn summary(&self) -> PartitionSummary {
+        PartitionSummary {
+            error: self.error,
+            n_groups: self.n_groups() as u32,
+            max_group: self.max_group_size() as u32,
+        }
+    }
+
+    /// Error-only product kernel: the [`PartitionSummary`] of
+    /// `Π_self · Π_other` with **zero** allocations in steady state — no
+    /// `out_tuples` staging, no result arrays, no descriptor sort. Only the
+    /// probe table and per-bucket counters are touched.
+    ///
+    /// With `bound = Some(m)` the kernel may stop early: the operand with
+    /// the smaller error is scanned group by group, maintaining
+    ///
+    /// * `error` — the product error contributed by scanned groups (a lower
+    ///   bound on the final error, since contributions are non-negative);
+    /// * `deficit` — the error the scanned groups have already lost
+    ///   relative to the scan operand (`Σ (|g|−1) − contribution`), so
+    ///   `scan.error − deficit` is an upper bound on the final error
+    ///   (unscanned groups can only lose more).
+    ///
+    /// As soon as `error > 0` and `scan.error − deficit < m`, the final
+    /// error is provably in `1..m`: the node is not a key and every
+    /// candidate FD with `e(Π_lhs) ≥ m` fails, so the scan returns
+    /// [`ErrorOnlyProduct::BelowBound`] without visiting the remaining
+    /// groups. A bound of 0 never triggers (errors are non-negative), so
+    /// key detection always gets an exact summary.
+    pub fn product_error_in(
+        &self,
+        other: &Partition,
+        scratch: &mut ProductScratch,
+        bound: Option<usize>,
+    ) -> ErrorOnlyProduct {
+        debug_assert_eq!(self.n_tuples, other.n_tuples);
+        // Scan the smaller-error operand: its error caps the deficit, so
+        // the early exit fires after fewer groups.
+        let (scan, probe_side) = if other.error < self.error {
+            (other, self)
+        } else {
+            (self, other)
+        };
+        let probe = &mut scratch.probe;
+        if probe.len() < probe_side.n_tuples {
+            probe.resize(probe_side.n_tuples, u32::MAX);
+        }
+        for (i, g) in probe_side.groups().enumerate() {
+            for &t in g {
+                probe[t as usize] = i as u32;
+            }
+        }
+        if scratch.bucket_spans.len() < probe_side.n_groups() {
+            scratch.bucket_spans.resize(probe_side.n_groups(), (0, 0));
+        }
+        let mut error = 0usize;
+        let mut deficit = 0usize;
+        let mut n_groups = 0u32;
+        let mut max_group = 0u32;
+        let mut exited = false;
+        for g in scan.groups() {
+            for &t in g {
+                let i = probe[t as usize];
+                if i != u32::MAX {
+                    let span = &mut scratch.bucket_spans[i as usize];
+                    if span.1 == 0 {
+                        scratch.touched.push(i);
+                    }
+                    span.1 += 1;
+                }
+            }
+            let mut contribution = 0usize;
+            for &i in &scratch.touched {
+                let len = scratch.bucket_spans[i as usize].1;
+                if len >= 2 {
+                    contribution += (len - 1) as usize;
+                    n_groups += 1;
+                    max_group = max_group.max(len);
+                }
+                scratch.bucket_spans[i as usize] = (0, 0);
+            }
+            scratch.touched.clear();
+            error += contribution;
+            deficit += (g.len() - 1) - contribution;
+            if let Some(m) = bound {
+                if error > 0 && scan.error - deficit < m {
+                    exited = true;
+                    break;
+                }
+            }
+        }
+        // Reset only the probe entries this product wrote.
+        for &t in &probe_side.tuples {
+            probe[t as usize] = u32::MAX;
+        }
+        if exited {
+            ErrorOnlyProduct::BelowBound
+        } else {
+            ErrorOnlyProduct::Exact(PartitionSummary {
+                error,
+                n_groups,
+                max_group,
+            })
+        }
+    }
+
+    /// Error-only refinement kernel against a *prebuilt* [`GroupMap`]:
+    /// the summary of `Π_self · Π_base`, where `base` indexes the base
+    /// partition of one attribute. Unlike [`Partition::product_error_in`]
+    /// there is no probe table to fill or reset — the map is built once per
+    /// attribute and amortized over every product that refines through it —
+    /// so the cost is `O(|stripped(self)|)` flat, and an early exit really
+    /// does stop after a prefix of the scan.
+    ///
+    /// Correct for the same reason scanning one operand suffices in the
+    /// probing kernel: every product group of size ≥ 2 lies inside a
+    /// stripped group of *each* operand, so tuples outside `self`'s
+    /// stripped groups are product singletons and contribute nothing.
+    /// The `bound` semantics are identical to `product_error_in`.
+    pub fn error_refine_in(
+        &self,
+        base: &GroupMap,
+        scratch: &mut ProductScratch,
+        bound: Option<usize>,
+    ) -> ErrorOnlyProduct {
+        if scratch.bucket_spans.len() < base.n_groups() {
+            scratch.bucket_spans.resize(base.n_groups(), (0, 0));
+        }
+        let mut error = 0usize;
+        let mut deficit = 0usize;
+        let mut n_groups = 0u32;
+        let mut max_group = 0u32;
+        let mut exited = false;
+        for g in self.groups() {
+            for &t in g {
+                if let Some(i) = base.group_of(t) {
+                    let span = &mut scratch.bucket_spans[i as usize];
+                    if span.1 == 0 {
+                        scratch.touched.push(i);
+                    }
+                    span.1 += 1;
+                }
+            }
+            let mut contribution = 0usize;
+            for &i in &scratch.touched {
+                let len = scratch.bucket_spans[i as usize].1;
+                if len >= 2 {
+                    contribution += (len - 1) as usize;
+                    n_groups += 1;
+                    max_group = max_group.max(len);
+                }
+                scratch.bucket_spans[i as usize] = (0, 0);
+            }
+            scratch.touched.clear();
+            error += contribution;
+            deficit += (g.len() - 1) - contribution;
+            if let Some(m) = bound {
+                if error > 0 && self.error - deficit < m {
+                    exited = true;
+                    break;
+                }
+            }
+        }
+        if exited {
+            ErrorOnlyProduct::BelowBound
+        } else {
+            ErrorOnlyProduct::Exact(PartitionSummary {
+                error,
+                n_groups,
+                max_group,
+            })
+        }
+    }
+}
+
+/// The 16-byte validation digest of a partition: what Lemma 2 checks and
+/// key tests consume, without the CSR payload. Stored in the cache's
+/// summary tier for nodes that never become product operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSummary {
+    /// The error measure `e(Π) = Σ(|g| − 1)`.
+    pub error: usize,
+    /// Number of stripped groups.
+    pub n_groups: u32,
+    /// Size of the largest group (0 when stripped empty, i.e. a key).
+    pub max_group: u32,
+}
+
+impl PartitionSummary {
+    /// Is the attribute set a key (every tuple distinguished)?
+    pub fn is_key(&self) -> bool {
+        self.max_group == 0
+    }
+}
+
+/// Result of [`Partition::product_error_in`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorOnlyProduct {
+    /// The scan ran to completion: the product's exact summary.
+    Exact(PartitionSummary),
+    /// Early exit: the product error is provably `≥ 1` and `< bound`, so
+    /// the node is not a key and every candidate edge whose lhs error is
+    /// `≥ bound` fails.
+    BelowBound,
 }
 
 /// Iterator over a partition's groups as slices.
@@ -389,8 +619,10 @@ impl<'a> DoubleEndedIterator for Groups<'a> {
 
 /// Tuple → group lookup for one partition; `None` means the tuple is a
 /// stripped singleton.
+#[derive(Debug)]
 pub struct GroupMap {
     map: Vec<u32>,
+    n_groups: usize,
 }
 
 impl GroupMap {
@@ -402,7 +634,20 @@ impl GroupMap {
                 map[t as usize] = i as u32;
             }
         }
-        GroupMap { map }
+        GroupMap {
+            map,
+            n_groups: p.n_groups(),
+        }
+    }
+
+    /// Number of stripped groups in the indexed partition.
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Heap bytes held by the lookup table.
+    pub fn heap_bytes(&self) -> usize {
+        self.map.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Group index of `t`, or `None` if `t` is in a stripped singleton.
@@ -600,6 +845,64 @@ mod tests {
         let mut backward: Vec<_> = p.groups().rev().collect();
         backward.reverse();
         assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn summary_digests_the_partition() {
+        let p = col(&[Some(1), Some(1), Some(2), Some(2), Some(2), None]);
+        let s = p.summary();
+        assert_eq!(s.error, p.error());
+        assert_eq!(s.n_groups as usize, p.n_groups());
+        assert_eq!(s.max_group as usize, p.max_group_size());
+        assert!(!s.is_key());
+        assert!(col(&[Some(1), Some(2)]).summary().is_key());
+    }
+
+    #[test]
+    fn product_error_matches_materialized_product() {
+        let mut scratch = ProductScratch::new();
+        let cols: Vec<Vec<Option<u64>>> = vec![
+            vec![Some(1), Some(1), Some(2), Some(2), None, Some(1)],
+            vec![Some(5), Some(6), Some(5), Some(5), Some(5), Some(6)],
+            vec![Some(9), Some(9), Some(9), Some(8), Some(8), Some(9)],
+            vec![Some(1), Some(2), Some(3), Some(4), Some(5), Some(6)],
+            vec![None, None, None, None, None, None],
+        ];
+        let parts: Vec<Partition> = cols.iter().map(|c| Partition::from_column(c)).collect();
+        for a in &parts {
+            for b in &parts {
+                let full = a.product_in(b, &mut scratch);
+                let got = a.product_error_in(b, &mut scratch, None);
+                assert_eq!(got, ErrorOnlyProduct::Exact(full.summary()));
+            }
+        }
+    }
+
+    #[test]
+    fn product_error_early_exit_is_sound() {
+        // X = {0..5} in one group; A splits it into {0,1,2} and {3,4,5}.
+        let x = Partition::from_groups(vec![vec![0, 1, 2, 3, 4, 5]], 6);
+        let a = col(&[Some(1), Some(1), Some(1), Some(2), Some(2), Some(2)]);
+        let true_error = x.product(&a).error(); // 4
+        let mut scratch = ProductScratch::new();
+        for bound in 0..=x.error() + 1 {
+            let got = x.product_error_in(&a, &mut scratch, Some(bound));
+            if true_error < bound {
+                assert_eq!(got, ErrorOnlyProduct::BelowBound, "bound {bound}");
+            } else {
+                assert_eq!(
+                    got,
+                    ErrorOnlyProduct::Exact(x.product(&a).summary()),
+                    "bound {bound}"
+                );
+            }
+        }
+        // A key product never exits early, whatever the bound: the exit
+        // requires error > 0.
+        let key_side = col(&[Some(1), Some(2), Some(3), Some(4), Some(5), Some(6)]);
+        let got = x.product_error_in(&key_side, &mut scratch, Some(usize::MAX));
+        assert_eq!(got, ErrorOnlyProduct::Exact(x.product(&key_side).summary()));
+        assert!(x.product(&key_side).is_key());
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct Metrics {
     lattice_cache_misses: AtomicU64,
     lattice_evictions: AtomicU64,
     lattice_peak_bytes: AtomicU64,
+    // Tiered partition-kernel counters over all runs.
+    lattice_products_error_only: AtomicU64,
+    lattice_products_materialized: AtomicU64,
+    lattice_early_exits: AtomicU64,
+    lattice_summary_hits: AtomicU64,
     // Relation-pass memo totals over all corpus discoveries.
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
@@ -100,6 +105,10 @@ impl Metrics {
             lattice_cache_misses: AtomicU64::new(0),
             lattice_evictions: AtomicU64::new(0),
             lattice_peak_bytes: AtomicU64::new(0),
+            lattice_products_error_only: AtomicU64::new(0),
+            lattice_products_materialized: AtomicU64::new(0),
+            lattice_early_exits: AtomicU64::new(0),
+            lattice_summary_hits: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
             memo_evictions: AtomicU64::new(0),
@@ -198,6 +207,14 @@ impl Metrics {
             .fetch_add(l.evictions as u64, Ordering::Relaxed);
         self.lattice_peak_bytes
             .fetch_max(l.peak_resident_bytes as u64, Ordering::Relaxed);
+        self.lattice_products_error_only
+            .fetch_add(l.products_error_only as u64, Ordering::Relaxed);
+        self.lattice_products_materialized
+            .fetch_add(l.products_materialized as u64, Ordering::Relaxed);
+        self.lattice_early_exits
+            .fetch_add(l.early_exits as u64, Ordering::Relaxed);
+        self.lattice_summary_hits
+            .fetch_add(l.summary_hits as u64, Ordering::Relaxed);
         let m = &outcome.stats.memo;
         self.memo_hits.fetch_add(m.hits, Ordering::Relaxed);
         self.memo_misses.fetch_add(m.misses, Ordering::Relaxed);
@@ -404,6 +421,10 @@ impl Metrics {
             ("cache_hits", &self.lattice_cache_hits),
             ("cache_misses", &self.lattice_cache_misses),
             ("evictions", &self.lattice_evictions),
+            ("products_error_only", &self.lattice_products_error_only),
+            ("products_materialized", &self.lattice_products_materialized),
+            ("early_exits", &self.lattice_early_exits),
+            ("summary_hits", &self.lattice_summary_hits),
         ];
         let mut body = String::new();
         for (counter, value) in lattice {

@@ -729,7 +729,7 @@ fn render_corpus_status(
     pool: Option<xfd_cluster::PoolSnapshot>,
 ) -> String {
     let mut out = format!(
-        "{{\"corpus\": \"{}\", \"segment_bytes\": {}, \"forest_cached\": {}, \"memo\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"resident_bytes\": {}}}, \"docs\": [",
+        "{{\"corpus\": \"{}\", \"segment_bytes\": {}, \"forest_cached\": {}, \"memo\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"resident_bytes\": {}}}, \"kernel\": {{\"products_error_only\": {}, \"products_materialized\": {}, \"early_exits\": {}, \"summary_hits\": {}}}, \"docs\": [",
         json_escape(&status.name),
         status.segment_bytes,
         status.forest_cached,
@@ -738,6 +738,10 @@ fn render_corpus_status(
         status.memo_misses,
         status.memo_evictions,
         status.memo_resident_bytes,
+        status.kernel_products_error_only,
+        status.kernel_products_materialized,
+        status.kernel_early_exits,
+        status.kernel_summary_hits,
     );
     for (i, (name, digest, nodes)) in status.docs.iter().enumerate() {
         if i > 0 {

@@ -67,6 +67,29 @@ curl -sS -X POST --data-binary @"$DOC" "http://$ADDR/v1/discover" | normalize > 
 cmp /tmp/ci-served.json /tmp/ci-batch.json || { echo "served report differs from batch CLI"; exit 1; }
 echo "   served report matches batch CLI"
 
+# Tiered partition kernel: the default run must actually take the
+# error-only path (and its early exit — the warehouse data has invalid
+# candidates), and the report must be byte-identical to the materializing
+# escape hatch once the stats object is normalized (its work counters
+# legitimately differ between kernels — that is the whole point).
+grep -Eq '"products_error_only": [1-9]' /tmp/ci-batch.json \
+  || { echo "expected error-only products in the default discover run"; exit 1; }
+grep -Eq '"early_exits": [1-9]' /tmp/ci-batch.json \
+  || { echo "expected early exits in the default discover run"; exit 1; }
+normalize_stats() { sed 's/"stats": {[^}]*}/"stats": X/'; }
+"$BIN" discover "$DOC" --json --no-error-only-kernel | normalize_stats > /tmp/ci-batch-mat.json
+normalize_stats < /tmp/ci-batch.json > /tmp/ci-batch-tiered.json
+cmp /tmp/ci-batch-tiered.json /tmp/ci-batch-mat.json \
+  || { echo "tiered report differs from --no-error-only-kernel"; exit 1; }
+# Cross-thread runs agree modulo the same stats normalization (sequential
+# uses frontier materialization, parallel the speculative precompute).
+for T in 2 8; do
+  "$BIN" discover "$DOC" --json --threads "$T" | normalize_stats > /tmp/ci-batch-t"$T".json
+  cmp /tmp/ci-batch-tiered.json /tmp/ci-batch-t"$T".json \
+    || { echo "tiered report drifted at --threads $T"; exit 1; }
+done
+echo "   tiered kernel engaged (early exits seen); parity with escape hatch and threads 2/8"
+
 # Second POST of the same document must be answered from the result cache.
 curl -sS -X POST --data-binary @"$DOC" "http://$ADDR/v1/discover" -o /dev/null -D /tmp/ci-headers.txt
 grep -qi '^X-Cache: hit' /tmp/ci-headers.txt \
